@@ -1,0 +1,66 @@
+//! **B3 — the replicated key-value store under wall-clock load.**
+//!
+//! Get/put latency on a 3-replica cluster, gets of missing keys (one round
+//! instead of two), behaviour with a crashed minority replica, and a
+//! multi-threaded mixed workload measuring aggregate throughput.
+
+use abd_runtime::client::{spawn_kv_cluster, KvStoreClient};
+use abd_runtime::cluster::Jitter;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+
+fn bench_kv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_store");
+    group.sample_size(30);
+
+    let cluster = spawn_kv_cluster::<u64, u64>(3, Jitter::None);
+    let kv = KvStoreClient::new(cluster.client(0));
+    kv.put(1, 1);
+
+    let mut k = 0u64;
+    group.bench_function("put/n=3", |b| {
+        b.iter(|| {
+            k += 1;
+            kv.put(k % 1024, k)
+        })
+    });
+    group.bench_function("get_hit/n=3", |b| b.iter(|| kv.get(1)));
+    group.bench_function("get_miss/n=3", |b| b.iter(|| kv.get(u64::MAX)));
+
+    // A crashed minority replica must not change the cost profile.
+    let degraded = spawn_kv_cluster::<u64, u64>(3, Jitter::None);
+    degraded.crash(2);
+    let dkv = KvStoreClient::new(degraded.client(0));
+    dkv.put(1, 1);
+    group.bench_function("get_hit_one_crashed/n=3", |b| b.iter(|| dkv.get(1)));
+
+    // Aggregate throughput: 4 client threads, 50/50 mix over 256 keys.
+    let tcluster = Arc::new(spawn_kv_cluster::<u64, u64>(3, Jitter::None));
+    group.throughput(Throughput::Elements(400));
+    group.bench_function("mixed_4_threads_400_ops", |b| {
+        b.iter(|| {
+            let mut joins = Vec::new();
+            for t in 0..4usize {
+                let kv = KvStoreClient::new(tcluster.client(t % 3));
+                joins.push(std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        let key = (t as u64 * 37 + i) % 256;
+                        if i % 2 == 0 {
+                            kv.put(key, i);
+                        } else {
+                            let _ = kv.get(key);
+                        }
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kv);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! **B2 — scaling with cluster size and quorum family.**
+//!
+//! Wall-clock operation latency on the thread runtime as `n` grows, and
+//! majority vs grid quorums at `n = 9`. Message *count* grows linearly in
+//! `n` (the broadcast), but latency should grow only mildly: the client
+//! still waits for the fastest quorum.
+
+use abd_core::msg::RegisterOp;
+use abd_core::mwmr::{MwmrConfig, MwmrNode};
+use abd_core::quorum::{Grid, QuorumSystem};
+use abd_core::types::ProcessId;
+use abd_runtime::cluster::{Cluster, Jitter};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn cluster_with(n: usize, quorum: Option<Arc<dyn QuorumSystem>>) -> Cluster<MwmrNode<u64>> {
+    Cluster::spawn(
+        (0..n)
+            .map(|i| {
+                let mut cfg = MwmrConfig::new(n, ProcessId(i));
+                if let Some(q) = &quorum {
+                    cfg = cfg.with_quorum(Arc::clone(q));
+                }
+                MwmrNode::new(cfg, 0u64)
+            })
+            .collect(),
+        Jitter::None,
+    )
+}
+
+fn bench_quorum_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quorum_scaling");
+    group.sample_size(20);
+
+    for n in [3usize, 5, 9, 17] {
+        let cluster = cluster_with(n, None);
+        let client = cluster.client(0);
+        let mut v = 0u64;
+        group.bench_function(format!("majority_write/n={n}"), |b| {
+            b.iter(|| {
+                v += 1;
+                client.invoke(RegisterOp::Write(v))
+            })
+        });
+    }
+
+    // Majority vs grid at n = 9.
+    let grid: Arc<dyn QuorumSystem> = Arc::new(Grid::new(3, 3));
+    let cluster = cluster_with(9, Some(grid));
+    let client = cluster.client(0);
+    let mut v = 0u64;
+    group.bench_function("grid3x3_write/n=9", |b| {
+        b.iter(|| {
+            v += 1;
+            client.invoke(RegisterOp::Write(v))
+        })
+    });
+    group.bench_function("grid3x3_read/n=9", |b| b.iter(|| client.invoke(RegisterOp::Read)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_quorum_scaling);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! **B1 — wall-clock cost of register operations on the thread runtime.**
+//!
+//! Measures the end-to-end latency of the emulation's operations on real
+//! threads and channels: single-writer and multi-writer, reads and writes.
+//! The expected shape mirrors the round-trip counts: SWMR writes (1 round
+//! trip) are the cheapest; SWMR reads and both MWMR operations (2 round
+//! trips) cluster together above them.
+
+use abd_core::msg::RegisterOp;
+use abd_core::mwmr::{MwmrConfig, MwmrNode};
+use abd_core::swmr::{SwmrConfig, SwmrNode};
+use abd_core::types::ProcessId;
+use abd_runtime::cluster::{Cluster, Jitter};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn swmr_cluster(n: usize) -> Cluster<SwmrNode<u64>> {
+    Cluster::spawn(
+        (0..n).map(|i| SwmrNode::new(SwmrConfig::new(n, ProcessId(i), ProcessId(0)), 0u64)).collect(),
+        Jitter::None,
+    )
+}
+
+fn mwmr_cluster(n: usize) -> Cluster<MwmrNode<u64>> {
+    Cluster::spawn(
+        (0..n).map(|i| MwmrNode::new(MwmrConfig::new(n, ProcessId(i)), 0u64)).collect(),
+        Jitter::None,
+    )
+}
+
+fn bench_register_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("register_ops");
+    group.sample_size(30);
+
+    for n in [3usize, 5] {
+        let cluster = swmr_cluster(n);
+        let writer = cluster.client(0);
+        let reader = cluster.client(n - 1);
+        let mut v = 0u64;
+        group.bench_function(format!("swmr_write/n={n}"), |b| {
+            b.iter(|| {
+                v += 1;
+                writer.invoke(RegisterOp::Write(v))
+            })
+        });
+        group.bench_function(format!("swmr_read/n={n}"), |b| {
+            b.iter(|| reader.invoke(RegisterOp::Read))
+        });
+    }
+
+    for n in [3usize, 5] {
+        let cluster = mwmr_cluster(n);
+        let writer = cluster.client(1 % n);
+        let reader = cluster.client(n - 1);
+        let mut v = 0u64;
+        group.bench_function(format!("mwmr_write/n={n}"), |b| {
+            b.iter(|| {
+                v += 1;
+                writer.invoke(RegisterOp::Write(v))
+            })
+        });
+        group.bench_function(format!("mwmr_read/n={n}"), |b| {
+            b.iter(|| reader.invoke(RegisterOp::Read))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_register_ops);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! **B4 — shared-memory algorithms: local registers vs the emulation.**
+//!
+//! The criterion companion to figure F5: counter and snapshot operations
+//! over process-local atomic registers and over ABD-emulated registers on
+//! a 3-replica thread cluster. The ratio between the two substrates is the
+//! wall-clock price of the paper's portability theorem.
+
+use abd_runtime::client::{spawn_kv_cluster, KvRegisterArray, KvStoreClient};
+use abd_runtime::cluster::Jitter;
+use abd_shmem::array::LocalAtomicArray;
+use abd_shmem::counter::Counter;
+use abd_shmem::snapshot::{Segment, SnapshotObject};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_shmem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shmem_algorithms");
+    group.sample_size(20);
+    let n_procs = 3;
+
+    // Counter over local registers.
+    {
+        let regs = LocalAtomicArray::new(n_procs, 0u64);
+        let mut counter = Counter::new(0, regs);
+        group.bench_function("counter_increment/local", |b| b.iter(|| counter.increment()));
+        group.bench_function("counter_value/local", |b| b.iter(|| counter.value()));
+    }
+    // Counter over the ABD emulation.
+    {
+        let cluster = spawn_kv_cluster::<u64, u64>(3, Jitter::None);
+        let regs = KvRegisterArray::new(KvStoreClient::new(cluster.client(0)), n_procs, 0u64);
+        let mut counter = Counter::new(0, regs);
+        group.bench_function("counter_increment/abd", |b| b.iter(|| counter.increment()));
+        group.bench_function("counter_value/abd", |b| b.iter(|| counter.value()));
+    }
+
+    // Snapshot over local registers.
+    {
+        let regs = LocalAtomicArray::new(n_procs, Segment::initial(n_procs, 0u64));
+        let mut snap = SnapshotObject::new(0, regs);
+        let mut v = 0u64;
+        group.bench_function("snapshot_update/local", |b| {
+            b.iter(|| {
+                v += 1;
+                snap.update(v)
+            })
+        });
+        group.bench_function("snapshot_scan/local", |b| b.iter(|| snap.scan()));
+    }
+    // Snapshot over the ABD emulation.
+    {
+        let cluster = spawn_kv_cluster::<u64, Segment<u64>>(3, Jitter::None);
+        let regs = KvRegisterArray::new(
+            KvStoreClient::new(cluster.client(0)),
+            n_procs,
+            Segment::initial(n_procs, 0u64),
+        );
+        let mut snap = SnapshotObject::new(0, regs);
+        let mut v = 0u64;
+        group.bench_function("snapshot_update/abd", |b| {
+            b.iter(|| {
+                v += 1;
+                snap.update(v)
+            })
+        });
+        group.bench_function("snapshot_scan/abd", |b| b.iter(|| snap.scan()));
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_shmem);
+criterion_main!(benches);

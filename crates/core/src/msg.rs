@@ -1,0 +1,165 @@
+//! Wire messages and client operation types shared by the register
+//! protocols.
+//!
+//! All ABD variants exchange the same four message shapes, differing only in
+//! the label type `L` (plain [`SeqNo`](crate::types::SeqNo) for the
+//! single-writer protocol, [`Tag`](crate::types::Tag) for the multi-writer
+//! protocol, a bounded label for the bounded variant):
+//!
+//! * `Query` / `QueryReply` — the read (or multi-writer write) query phase:
+//!   "send me your current `(label, value)`";
+//! * `Update` / `UpdateAck` — the propagation phase: "adopt this
+//!   `(label, value)` if it is newer than yours, then acknowledge".
+//!
+//! Every phase carries a node-local unique id `uid`; replies echo it so a
+//! client can discard stragglers from phases it has already completed. The
+//! protocols are idempotent in `uid`, which is what makes blind
+//! retransmission over lossy links safe.
+
+use crate::types::RegisterError;
+
+/// Message exchanged by the register emulation, generic over the label type
+/// `L` and the register value type `V`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RegisterMsg<L, V> {
+    /// Ask the receiver for its current `(label, value)` replica state.
+    Query {
+        /// Phase id, echoed in [`RegisterMsg::QueryReply`].
+        uid: u64,
+    },
+    /// Reply to a [`RegisterMsg::Query`] with the replica's current state.
+    QueryReply {
+        /// Phase id copied from the query.
+        uid: u64,
+        /// The replica's current label.
+        label: L,
+        /// The replica's current value.
+        value: V,
+    },
+    /// Ask the receiver to adopt `(label, value)` if newer, and acknowledge.
+    ///
+    /// Used both by writes and by the read's write-back phase — the paper's
+    /// observation that a reader "writes back" what it is about to return.
+    Update {
+        /// Phase id, echoed in [`RegisterMsg::UpdateAck`].
+        uid: u64,
+        /// Label of the propagated value.
+        label: L,
+        /// The propagated value.
+        value: V,
+    },
+    /// Acknowledge an [`RegisterMsg::Update`].
+    UpdateAck {
+        /// Phase id copied from the update.
+        uid: u64,
+    },
+}
+
+impl<L, V> RegisterMsg<L, V> {
+    /// The phase id this message belongs to.
+    pub fn uid(&self) -> u64 {
+        match self {
+            RegisterMsg::Query { uid }
+            | RegisterMsg::QueryReply { uid, .. }
+            | RegisterMsg::Update { uid, .. }
+            | RegisterMsg::UpdateAck { uid } => *uid,
+        }
+    }
+
+    /// Whether this is a reply (consumes no replica state at the receiver).
+    pub fn is_reply(&self) -> bool {
+        matches!(self, RegisterMsg::QueryReply { .. } | RegisterMsg::UpdateAck { .. })
+    }
+}
+
+/// A client operation on the emulated register.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RegisterOp<V> {
+    /// Read the register.
+    Read,
+    /// Write `V` to the register.
+    Write(V),
+}
+
+/// Response to a completed [`RegisterOp`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RegisterResp<V> {
+    /// A read returned this value.
+    ReadOk(V),
+    /// A write completed.
+    WriteOk,
+    /// The operation was rejected (e.g. write on a non-writer processor).
+    Err(RegisterError),
+}
+
+impl<V> RegisterResp<V> {
+    /// Unwraps a read response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not [`RegisterResp::ReadOk`].
+    pub fn into_read_value(self) -> V
+    where
+        V: std::fmt::Debug,
+    {
+        match self {
+            RegisterResp::ReadOk(v) => v,
+            other => panic!("expected ReadOk, got {other:?}"),
+        }
+    }
+
+    /// Whether the operation succeeded.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, RegisterResp::Err(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ProcessId, RegisterError};
+
+    #[test]
+    fn uid_is_extracted_from_every_variant() {
+        let msgs: Vec<RegisterMsg<u64, u8>> = vec![
+            RegisterMsg::Query { uid: 1 },
+            RegisterMsg::QueryReply { uid: 2, label: 0, value: 9 },
+            RegisterMsg::Update { uid: 3, label: 1, value: 8 },
+            RegisterMsg::UpdateAck { uid: 4 },
+        ];
+        assert_eq!(msgs.iter().map(RegisterMsg::uid).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reply_classification() {
+        let q: RegisterMsg<u64, u8> = RegisterMsg::Query { uid: 0 };
+        let qr: RegisterMsg<u64, u8> = RegisterMsg::QueryReply { uid: 0, label: 0, value: 0 };
+        let u: RegisterMsg<u64, u8> = RegisterMsg::Update { uid: 0, label: 0, value: 0 };
+        let ua: RegisterMsg<u64, u8> = RegisterMsg::UpdateAck { uid: 0 };
+        assert!(!q.is_reply());
+        assert!(qr.is_reply());
+        assert!(!u.is_reply());
+        assert!(ua.is_reply());
+    }
+
+    #[test]
+    fn response_accessors() {
+        let r: RegisterResp<u8> = RegisterResp::ReadOk(5);
+        assert!(r.is_ok());
+        assert_eq!(r.into_read_value(), 5);
+        let w: RegisterResp<u8> = RegisterResp::WriteOk;
+        assert!(w.is_ok());
+        let e: RegisterResp<u8> = RegisterResp::Err(RegisterError::NotWriter {
+            invoked_on: ProcessId(1),
+            writer: ProcessId(0),
+        });
+        assert!(!e.is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected ReadOk")]
+    fn into_read_value_panics_on_write_ok() {
+        let w: RegisterResp<u8> = RegisterResp::WriteOk;
+        w.into_read_value();
+    }
+}

@@ -1,0 +1,561 @@
+//! The multi-writer multi-reader (MWMR) extension of the emulation.
+//!
+//! The paper presents the single-writer protocol and notes the extension to
+//! multiple writers; it became folklore immediately (and is spelled out in
+//! the follow-up literature, e.g. Lynch–Shvartsman's RAMBO). Two changes:
+//!
+//! * labels become [`Tag`]s — `(sequence, writer-id)` pairs ordered
+//!   lexicographically, so concurrent writers never produce equal labels;
+//! * a **write** gains a query phase: the writer first asks a read quorum
+//!   for their current tags, then writes with
+//!   `(max_seq + 1, writer_id)` to a write quorum. Both reads and writes
+//!   are therefore two round trips, `4(n−1)` messages with majorities.
+//!
+//! Reads are identical to the single-writer protocol, write-back included.
+
+use crate::context::{Effects, Protocol, TimerKey};
+use crate::msg::{RegisterMsg, RegisterOp, RegisterResp};
+use crate::phase::PhaseTracker;
+use crate::quorum::{Majority, QuorumSystem};
+use crate::replica::Replica;
+use crate::types::{Nanos, OpId, ProcessId, Tag};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Wire message of the MWMR protocol.
+pub type MwmrMsg<V> = RegisterMsg<Tag, V>;
+
+/// Configuration of one MWMR node.
+#[derive(Clone, Debug)]
+pub struct MwmrConfig {
+    /// Cluster size.
+    pub n: usize,
+    /// This node's id.
+    pub me: ProcessId,
+    /// Quorum system consulted by all phases.
+    ///
+    /// Must satisfy read/write *and* write/write intersection
+    /// ([`QuorumSystem::validate`] with `multi_writer = true`).
+    pub quorum: Arc<dyn QuorumSystem>,
+    /// Whether reads perform the write-back phase (`true` = atomic,
+    /// `false` = regular baseline).
+    pub read_write_back: bool,
+    /// Retransmission interval for unfinished phases (`None` = reliable
+    /// links, no retransmission).
+    pub retransmit: Option<Nanos>,
+}
+
+impl MwmrConfig {
+    /// Majority quorums, write-back on, no retransmission.
+    pub fn new(n: usize, me: ProcessId) -> Self {
+        MwmrConfig {
+            n,
+            me,
+            quorum: Arc::new(Majority::new(n)),
+            read_write_back: true,
+            retransmit: None,
+        }
+    }
+
+    /// Replaces the quorum system.
+    pub fn with_quorum(mut self, q: Arc<dyn QuorumSystem>) -> Self {
+        self.quorum = q;
+        self
+    }
+
+    /// Enables or disables the read write-back phase.
+    pub fn with_read_write_back(mut self, yes: bool) -> Self {
+        self.read_write_back = yes;
+        self
+    }
+
+    /// Sets the retransmission interval for lossy links.
+    pub fn with_retransmit(mut self, every: Nanos) -> Self {
+        self.retransmit = Some(every);
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Pending<V> {
+    /// Writer discovering the current maximum tag.
+    WriteQuery { op: OpId, ph: PhaseTracker, best: Tag, value: V },
+    /// Writer propagating its new `(tag, value)`.
+    WriteUpdate { op: OpId, ph: PhaseTracker, tag: Tag, value: V },
+    /// Reader collecting `(tag, value)` replies.
+    ReadQuery { op: OpId, ph: PhaseTracker, best_tag: Tag, best_value: V },
+    /// Reader writing back the value it is about to return.
+    ReadWriteBack { op: OpId, ph: PhaseTracker, tag: Tag, value: V },
+}
+
+impl<V> Pending<V> {
+    fn phase(&self) -> &PhaseTracker {
+        match self {
+            Pending::WriteQuery { ph, .. }
+            | Pending::WriteUpdate { ph, .. }
+            | Pending::ReadQuery { ph, .. }
+            | Pending::ReadWriteBack { ph, .. } => ph,
+        }
+    }
+}
+
+/// One processor of the MWMR emulation. Every processor may read and write.
+///
+/// # Examples
+///
+/// ```
+/// use abd_core::context::{Effects, Protocol};
+/// use abd_core::msg::{RegisterOp, RegisterResp};
+/// use abd_core::mwmr::{MwmrConfig, MwmrNode};
+/// use abd_core::types::{OpId, ProcessId};
+///
+/// // n = 1: the node is its own quorum, operations complete locally.
+/// let mut node = MwmrNode::new(MwmrConfig::new(1, ProcessId(0)), String::new());
+/// let mut fx = Effects::new();
+/// node.on_invoke(OpId(0), RegisterOp::Write("hi".to_string()), &mut fx);
+/// node.on_invoke(OpId(1), RegisterOp::Read, &mut fx);
+/// assert_eq!(fx.responses[1].1, RegisterResp::ReadOk("hi".to_string()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MwmrNode<V> {
+    cfg: MwmrConfig,
+    replica: Replica<Tag, V>,
+    next_uid: u64,
+    pending: Option<Pending<V>>,
+    queue: VecDeque<(OpId, RegisterOp<V>)>,
+}
+
+impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
+    /// Creates a node holding `initial` under [`Tag::initial`].
+    pub fn new(cfg: MwmrConfig, initial: V) -> Self {
+        assert!(cfg.me.index() < cfg.n, "node id out of range");
+        assert_eq!(cfg.quorum.n(), cfg.n, "quorum system sized for a different cluster");
+        MwmrNode {
+            cfg,
+            replica: Replica::new(Tag::initial(), initial),
+            next_uid: 0,
+            pending: None,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// This node's replica state `(tag, value)`.
+    pub fn replica_state(&self) -> (Tag, V) {
+        self.replica.snapshot()
+    }
+
+    /// Whether an operation is currently in flight on this node.
+    pub fn is_busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &MwmrConfig {
+        &self.cfg
+    }
+
+    fn fresh_uid(&mut self) -> u64 {
+        self.next_uid += 1;
+        self.next_uid
+    }
+
+    fn broadcast(&self, msg: MwmrMsg<V>, fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>) {
+        for i in 0..self.cfg.n {
+            let p = ProcessId(i);
+            if p != self.cfg.me {
+                fx.send(p, msg.clone());
+            }
+        }
+    }
+
+    fn arm_timer(&self, uid: u64, fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>) {
+        if let Some(interval) = self.cfg.retransmit {
+            fx.set_timer(TimerKey(uid), interval);
+        }
+    }
+
+    fn disarm_timer(&self, uid: u64, fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>) {
+        if self.cfg.retransmit.is_some() {
+            fx.cancel_timer(TimerKey(uid));
+        }
+    }
+
+    fn finish(
+        &mut self,
+        op: OpId,
+        resp: RegisterResp<V>,
+        fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        self.pending = None;
+        fx.respond(op, resp);
+        if let Some((next_op, next_input)) = self.queue.pop_front() {
+            self.begin(next_op, next_input, fx);
+        }
+    }
+
+    fn begin(
+        &mut self,
+        op: OpId,
+        input: RegisterOp<V>,
+        fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        debug_assert!(self.pending.is_none());
+        match input {
+            RegisterOp::Write(v) => {
+                let uid = self.fresh_uid();
+                let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+                let best = self.replica.label();
+                if self.cfg.quorum.is_read_quorum(ph.responders()) {
+                    self.enter_write_update(op, best, v, fx);
+                    return;
+                }
+                self.pending = Some(Pending::WriteQuery { op, ph, best, value: v });
+                self.broadcast(RegisterMsg::Query { uid }, fx);
+                self.arm_timer(uid, fx);
+            }
+            RegisterOp::Read => {
+                let uid = self.fresh_uid();
+                let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+                let (best_tag, best_value) = self.replica.snapshot();
+                if self.cfg.quorum.is_read_quorum(ph.responders()) {
+                    self.enter_read_write_back(op, best_tag, best_value, fx);
+                    return;
+                }
+                self.pending = Some(Pending::ReadQuery { op, ph, best_tag, best_value });
+                self.broadcast(RegisterMsg::Query { uid }, fx);
+                self.arm_timer(uid, fx);
+            }
+        }
+    }
+
+    /// Second phase of a write: stamp the value with a tag strictly larger
+    /// than every tag seen in the query phase and propagate it.
+    fn enter_write_update(
+        &mut self,
+        op: OpId,
+        max_seen: Tag,
+        v: V,
+        fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        let tag = max_seen.next(self.cfg.me);
+        self.replica.adopt(tag, v.clone());
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        if self.cfg.quorum.is_write_quorum(ph.responders()) {
+            self.finish(op, RegisterResp::WriteOk, fx);
+            return;
+        }
+        self.pending = Some(Pending::WriteUpdate { op, ph, tag, value: v.clone() });
+        self.broadcast(RegisterMsg::Update { uid, label: tag, value: v }, fx);
+        self.arm_timer(uid, fx);
+    }
+
+    /// Second phase of a read (or immediate completion for the regular
+    /// baseline).
+    fn enter_read_write_back(
+        &mut self,
+        op: OpId,
+        tag: Tag,
+        value: V,
+        fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        if !self.cfg.read_write_back {
+            self.finish(op, RegisterResp::ReadOk(value), fx);
+            return;
+        }
+        self.replica.adopt(tag, value.clone());
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        if self.cfg.quorum.is_write_quorum(ph.responders()) {
+            self.finish(op, RegisterResp::ReadOk(value), fx);
+            return;
+        }
+        self.pending = Some(Pending::ReadWriteBack { op, ph, tag, value: value.clone() });
+        self.broadcast(RegisterMsg::Update { uid, label: tag, value }, fx);
+        self.arm_timer(uid, fx);
+    }
+
+    fn phase_message(&self) -> Option<MwmrMsg<V>> {
+        match self.pending.as_ref()? {
+            Pending::WriteQuery { ph, .. } | Pending::ReadQuery { ph, .. } => {
+                Some(RegisterMsg::Query { uid: ph.uid() })
+            }
+            Pending::WriteUpdate { ph, tag, value, .. }
+            | Pending::ReadWriteBack { ph, tag, value, .. } => Some(RegisterMsg::Update {
+                uid: ph.uid(),
+                label: *tag,
+                value: value.clone(),
+            }),
+        }
+    }
+}
+
+impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
+    type Msg = MwmrMsg<V>;
+    type Op = RegisterOp<V>;
+    type Resp = RegisterResp<V>;
+
+    fn id(&self) -> ProcessId {
+        self.cfg.me
+    }
+
+    fn on_invoke(&mut self, op: OpId, input: RegisterOp<V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        if self.pending.is_some() {
+            self.queue.push_back((op, input));
+        } else {
+            self.begin(op, input, fx);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: MwmrMsg<V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        match msg {
+            // ---- replica role ----
+            RegisterMsg::Query { uid } => {
+                let (label, value) = self.replica.snapshot();
+                fx.send(from, RegisterMsg::QueryReply { uid, label, value });
+            }
+            RegisterMsg::Update { uid, label, value } => {
+                self.replica.adopt(label, value);
+                fx.send(from, RegisterMsg::UpdateAck { uid });
+            }
+            // ---- client role ----
+            RegisterMsg::QueryReply { uid, label, value } => {
+                enum Next<V> {
+                    WriteUpdate(OpId, Tag, V),
+                    ReadWriteBack(OpId, Tag, V),
+                }
+                let next = match self.pending.as_mut() {
+                    Some(Pending::WriteQuery { op, ph, best, value: v }) => {
+                        if !ph.record(from, uid) {
+                            return;
+                        }
+                        if label > *best {
+                            *best = label;
+                        }
+                        if self.cfg.quorum.is_read_quorum(ph.responders()) {
+                            Some(Next::WriteUpdate(*op, *best, v.clone()))
+                        } else {
+                            None
+                        }
+                    }
+                    Some(Pending::ReadQuery { op, ph, best_tag, best_value }) => {
+                        if !ph.record(from, uid) {
+                            return;
+                        }
+                        if label > *best_tag {
+                            *best_tag = label;
+                            *best_value = value;
+                        }
+                        if self.cfg.quorum.is_read_quorum(ph.responders()) {
+                            Some(Next::ReadWriteBack(*op, *best_tag, best_value.clone()))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                match next {
+                    Some(Next::WriteUpdate(op, best, v)) => {
+                        self.pending = None;
+                        self.disarm_timer(uid, fx);
+                        self.enter_write_update(op, best, v, fx);
+                    }
+                    Some(Next::ReadWriteBack(op, tag, v)) => {
+                        self.pending = None;
+                        self.disarm_timer(uid, fx);
+                        self.enter_read_write_back(op, tag, v, fx);
+                    }
+                    None => {}
+                }
+            }
+            RegisterMsg::UpdateAck { uid } => {
+                let done = match self.pending.as_mut() {
+                    Some(Pending::WriteUpdate { op, ph, .. }) => {
+                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders()) {
+                            Some((*op, RegisterResp::WriteOk))
+                        } else {
+                            None
+                        }
+                    }
+                    Some(Pending::ReadWriteBack { op, ph, value, .. }) => {
+                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders()) {
+                            Some((*op, RegisterResp::ReadOk(value.clone())))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some((op, resp)) = done {
+                    self.disarm_timer(uid, fx);
+                    self.finish(op, resp, fx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        let Some(pending) = self.pending.as_ref() else { return };
+        if pending.phase().uid() != key.0 {
+            return;
+        }
+        let missing = pending.phase().missing();
+        if let Some(msg) = self.phase_message() {
+            for p in missing {
+                fx.send(p, msg.clone());
+            }
+        }
+        self.arm_timer(key.0, fx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::MiniNet;
+
+    fn cluster(n: usize) -> MiniNet<MwmrNode<u32>> {
+        let nodes = (0..n)
+            .map(|i| MwmrNode::new(MwmrConfig::new(n, ProcessId(i)), 0u32))
+            .collect();
+        MiniNet::new(nodes)
+    }
+
+    #[test]
+    fn any_node_can_write() {
+        let mut net = cluster(3);
+        for writer in 0..3 {
+            net.invoke(writer, RegisterOp::Write(writer as u32 + 10));
+            net.run_to_quiescence();
+        }
+        let resp = net.take_responses();
+        assert!(resp.iter().all(|(_, r)| *r == RegisterResp::WriteOk));
+        net.invoke(0, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(12));
+    }
+
+    #[test]
+    fn sequential_writes_get_increasing_tags() {
+        let mut net = cluster(3);
+        net.invoke(1, RegisterOp::Write(1));
+        net.run_to_quiescence();
+        let t1 = net.node(1).replica_state().0;
+        net.invoke(2, RegisterOp::Write(2));
+        net.run_to_quiescence();
+        let t2 = net.node(2).replica_state().0;
+        assert!(t2 > t1, "{t2:?} must exceed {t1:?}");
+        assert_eq!(t1, Tag::new(1, ProcessId(1)));
+        assert_eq!(t2, Tag::new(2, ProcessId(2)));
+    }
+
+    #[test]
+    fn concurrent_writers_produce_distinct_tags() {
+        let mut net = cluster(5);
+        // Both writers pass their query phase before either update lands.
+        net.invoke(1, RegisterOp::Write(100));
+        net.invoke(2, RegisterOp::Write(200));
+        net.run_to_quiescence();
+        let resp = net.take_responses();
+        assert_eq!(resp.len(), 2);
+        // Tags differ at least in the writer component; all replicas agree
+        // on the winner.
+        let winner = net.node(0).replica_state();
+        for i in 1..5 {
+            assert_eq!(net.node(i).replica_state(), winner);
+        }
+        assert!(winner.0.writer == ProcessId(1) || winner.0.writer == ProcessId(2));
+    }
+
+    #[test]
+    fn write_costs_two_round_trips() {
+        let mut net = cluster(5);
+        net.invoke(3, RegisterOp::Write(7));
+        net.run_to_quiescence();
+        // query + replies + update + acks = 4(n-1).
+        assert_eq!(net.messages_sent(), 4 * (5 - 1));
+    }
+
+    #[test]
+    fn read_costs_two_round_trips() {
+        let mut net = cluster(5);
+        net.invoke(3, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(net.messages_sent(), 4 * (5 - 1));
+        assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(0));
+    }
+
+    #[test]
+    fn tolerates_minority_crashes() {
+        let mut net = cluster(5);
+        net.crash(0);
+        net.crash(4);
+        net.invoke(2, RegisterOp::Write(9));
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses(), vec![(OpId(0), RegisterResp::WriteOk)]);
+        net.invoke(1, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(9));
+    }
+
+    #[test]
+    fn blocks_under_majority_crashes() {
+        let mut net = cluster(4);
+        net.crash(2);
+        net.crash(3);
+        net.invoke(0, RegisterOp::Write(1));
+        net.run_to_quiescence();
+        assert!(net.take_responses().is_empty());
+        assert!(net.node(0).is_busy());
+    }
+
+    #[test]
+    fn writer_query_prevents_lost_update() {
+        // Writer 2 must observe writer 1's completed write in its query
+        // phase and pick a strictly larger tag.
+        let mut net = cluster(3);
+        net.invoke(1, RegisterOp::Write(100));
+        net.run_to_quiescence();
+        net.invoke(2, RegisterOp::Write(200));
+        net.run_to_quiescence();
+        net.take_responses();
+        net.invoke(0, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(200));
+    }
+
+    #[test]
+    fn stale_messages_ignored() {
+        let mut node = MwmrNode::new(MwmrConfig::new(3, ProcessId(0)), 0u32);
+        let mut fx = Effects::new();
+        node.on_message(
+            ProcessId(1),
+            RegisterMsg::QueryReply { uid: 42, label: Tag::new(9, ProcessId(1)), value: 5 },
+            &mut fx,
+        );
+        node.on_message(ProcessId(1), RegisterMsg::UpdateAck { uid: 42 }, &mut fx);
+        assert!(fx.is_empty());
+        assert_eq!(node.replica_state().0, Tag::initial());
+    }
+
+    #[test]
+    fn retransmission_recovers_lost_update_phase() {
+        let nodes: Vec<MwmrNode<u32>> = (0..3)
+            .map(|i| MwmrNode::new(MwmrConfig::new(3, ProcessId(i)).with_retransmit(500), 0))
+            .collect();
+        let mut net = MiniNet::new(nodes);
+        // Lose each (from, to, is_update) combination once.
+        net.set_drop_filter({
+            let mut seen = std::collections::HashSet::new();
+            move |from, to, m: &MwmrMsg<u32>| {
+                matches!(m, RegisterMsg::Update { .. }) && seen.insert((from, to))
+            }
+        });
+        net.invoke(0, RegisterOp::Write(77));
+        net.run_to_quiescence();
+        assert!(net.take_responses().is_empty());
+        net.fire_timers(0);
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses(), vec![(OpId(0), RegisterResp::WriteOk)]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Quorum-gathering phases.
+//!
+//! Every operation of the emulation is one or two *phases*: broadcast a
+//! request, then wait until the set of responders (always including the
+//! issuing processor itself) contains a quorum. [`PhaseTracker`] owns the
+//! bookkeeping common to all of them — the unique phase id, the responder
+//! set, and the retransmission target list — so the protocol state machines
+//! only encode *what* each phase means.
+
+use crate::procset::ProcSet;
+use crate::types::ProcessId;
+
+/// Tracks one in-flight phase: who has responded, and which phase id the
+/// responses must echo.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PhaseTracker {
+    uid: u64,
+    responders: ProcSet,
+}
+
+impl PhaseTracker {
+    /// Starts a phase with id `uid` for a cluster of `n` processors,
+    /// counting the issuing processor `me` as having already responded
+    /// (a processor never messages itself).
+    pub fn new(uid: u64, n: usize, me: ProcessId) -> Self {
+        let mut responders = ProcSet::new(n);
+        responders.insert(me);
+        PhaseTracker { uid, responders }
+    }
+
+    /// The phase id replies must carry.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Records a response from `from` if `uid` matches this phase.
+    /// Returns `true` if the response was accepted (right phase, first time).
+    pub fn record(&mut self, from: ProcessId, uid: u64) -> bool {
+        uid == self.uid && self.responders.insert(from)
+    }
+
+    /// The set of processors that have responded (including the issuer).
+    pub fn responders(&self) -> &ProcSet {
+        &self.responders
+    }
+
+    /// Processors that have **not** responded yet — the retransmission
+    /// targets when the phase timer fires.
+    pub fn missing(&self) -> Vec<ProcessId> {
+        self.responders.complement()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_self_and_filters_stale_uids() {
+        let mut ph = PhaseTracker::new(7, 5, ProcessId(2));
+        assert_eq!(ph.uid(), 7);
+        assert_eq!(ph.responders().len(), 1);
+        assert!(ph.responders().contains(ProcessId(2)));
+
+        assert!(ph.record(ProcessId(0), 7));
+        assert!(!ph.record(ProcessId(0), 7), "duplicate response ignored");
+        assert!(!ph.record(ProcessId(1), 6), "stale phase id ignored");
+        assert_eq!(ph.responders().len(), 2);
+    }
+
+    #[test]
+    fn missing_lists_non_responders() {
+        let mut ph = PhaseTracker::new(1, 4, ProcessId(0));
+        ph.record(ProcessId(3), 1);
+        assert_eq!(ph.missing(), vec![ProcessId(1), ProcessId(2)]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Named protocol configurations used throughout the experiments.
+//!
+//! Each preset pins down one point in the design space the benchmark
+//! harness sweeps:
+//!
+//! | preset | quorums | read write-back | semantics |
+//! |--------|---------|-----------------|-----------|
+//! | [`atomic_swmr`] / [`atomic_mwmr`] | majority | yes | atomic (the paper) |
+//! | [`regular_swmr`] / [`regular_mwmr`] | majority | no | regular (baseline) |
+//! | [`read_one_swmr`] | `R=1, W=majority` | no | *not even regular* |
+//! | [`dynamo_style_mwmr`] | `R`/`W` thresholds | yes | atomic iff `R+W>N`, `2W>N` |
+
+use crate::mwmr::MwmrConfig;
+use crate::quorum::{Majority, Threshold};
+use crate::swmr::SwmrConfig;
+use crate::types::ProcessId;
+use std::sync::Arc;
+
+/// The paper's single-writer protocol: majority quorums, reads write back.
+pub fn atomic_swmr(n: usize, me: ProcessId, writer: ProcessId) -> SwmrConfig {
+    SwmrConfig::new(n, me, writer)
+}
+
+/// Single-writer baseline that skips the read write-back: only *regular* —
+/// two overlapping reads may observe a new value then an old one.
+pub fn regular_swmr(n: usize, me: ProcessId, writer: ProcessId) -> SwmrConfig {
+    SwmrConfig::new(n, me, writer).with_read_write_back(false)
+}
+
+/// Deliberately broken baseline: reads return the local replica (`R = 1`),
+/// writes still reach a majority. Fast, and not even regular — a completed
+/// write may be invisible to a subsequent read.
+pub fn read_one_swmr(n: usize, me: ProcessId, writer: ProcessId) -> SwmrConfig {
+    SwmrConfig::new(n, me, writer)
+        .with_quorum(Arc::new(Threshold::new(n, 1, Majority::new(n).quorum_size())))
+        .with_read_write_back(false)
+}
+
+/// The multi-writer protocol with majority quorums: atomic.
+pub fn atomic_mwmr(n: usize, me: ProcessId) -> MwmrConfig {
+    MwmrConfig::new(n, me)
+}
+
+/// Multi-writer baseline without the read write-back: regular reads.
+pub fn regular_mwmr(n: usize, me: ProcessId) -> MwmrConfig {
+    MwmrConfig::new(n, me).with_read_write_back(false)
+}
+
+/// Dynamo-style `R`/`W` threshold configuration. Atomic exactly when
+/// `r + w > n` and `2w > n` — call
+/// [`QuorumSystem::validate`](crate::quorum::QuorumSystem::validate) to
+/// check before trusting it.
+pub fn dynamo_style_mwmr(n: usize, me: ProcessId, r: usize, w: usize) -> MwmrConfig {
+    MwmrConfig::new(n, me).with_quorum(Arc::new(Threshold::new(n, r, w)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_presets_validate() {
+        assert!(atomic_swmr(5, ProcessId(1), ProcessId(0)).quorum.validate(false).is_ok());
+        assert!(atomic_mwmr(5, ProcessId(1)).quorum.validate(true).is_ok());
+        assert!(dynamo_style_mwmr(5, ProcessId(0), 3, 3).quorum.validate(true).is_ok());
+    }
+
+    #[test]
+    fn read_one_is_knowingly_broken() {
+        let cfg = read_one_swmr(5, ProcessId(0), ProcessId(0));
+        assert!(cfg.quorum.validate(false).is_err());
+        assert!(!cfg.read_write_back);
+    }
+
+    #[test]
+    fn regular_presets_differ_only_in_write_back() {
+        let a = atomic_swmr(3, ProcessId(0), ProcessId(0));
+        let r = regular_swmr(3, ProcessId(0), ProcessId(0));
+        assert!(a.read_write_back);
+        assert!(!r.read_write_back);
+        assert_eq!(a.quorum.n(), r.quorum.n());
+    }
+}

@@ -1,0 +1,657 @@
+//! The single-writer multi-reader (SWMR) atomic register emulation — the
+//! core construction of the paper, with unbounded integer timestamps.
+//!
+//! One designated processor is the *writer*; every processor may read. Each
+//! processor also plays the replica role for the register.
+//!
+//! * **Write(v)** — the writer increments its sequence number, adopts
+//!   `(seq, v)` locally, broadcasts `Update(seq, v)` and returns once a
+//!   *write quorum* (a majority, in the paper) has acknowledged. One round
+//!   trip, `2(n−1)` messages.
+//! * **Read()** — the reader broadcasts `Query`, waits for a *read quorum*
+//!   of `(label, value)` replies (counting its own replica), selects the
+//!   pair with the **largest label**, and then — the paper's key move —
+//!   performs a **write-back**: it propagates that pair with `Update` and
+//!   waits for a write quorum of acknowledgements *before* returning the
+//!   value. Two round trips, `4(n−1)` messages.
+//!
+//! The write-back is what upgrades *regularity* to *atomicity*: once a read
+//! returns `v`, a write quorum stores a label `≥ label(v)`, so every later
+//! read's query quorum intersects it and cannot return an older value (no
+//! "new/old inversion"). Setting
+//! [`read_write_back`](SwmrConfig::read_write_back) to `false` yields
+//! exactly the regular-register baseline whose violations experiment **T5**
+//! exhibits.
+//!
+//! The state machine is sans-io (see [`crate::context`]): hosts deliver
+//! messages and timer ticks, and carry out the recorded effects. With a
+//! retransmission interval configured, an unfinished phase periodically
+//! re-broadcasts to the processors that have not yet responded, which makes
+//! the emulation live over fair-lossy links (experiment **F3**).
+
+use crate::context::{Effects, Protocol, TimerKey};
+use crate::msg::{RegisterMsg, RegisterOp, RegisterResp};
+use crate::phase::PhaseTracker;
+use crate::quorum::{Majority, QuorumSystem};
+use crate::replica::Replica;
+use crate::types::{Nanos, OpId, ProcessId, RegisterError, SeqNo};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Wire message of the SWMR protocol.
+pub type SwmrMsg<V> = RegisterMsg<SeqNo, V>;
+
+/// Configuration of one SWMR node.
+#[derive(Clone, Debug)]
+pub struct SwmrConfig {
+    /// Cluster size.
+    pub n: usize,
+    /// This node's id.
+    pub me: ProcessId,
+    /// The designated writer's id.
+    pub writer: ProcessId,
+    /// Quorum system consulted by both phases.
+    pub quorum: Arc<dyn QuorumSystem>,
+    /// Whether reads perform the write-back phase (`true` = atomic ABD,
+    /// `false` = regular-register baseline).
+    pub read_write_back: bool,
+    /// Retransmission interval for unfinished phases; `None` disables
+    /// retransmission (appropriate for reliable links).
+    pub retransmit: Option<Nanos>,
+}
+
+impl SwmrConfig {
+    /// The paper's configuration: majority quorums, write-back on reads, no
+    /// retransmission (reliable links).
+    pub fn new(n: usize, me: ProcessId, writer: ProcessId) -> Self {
+        SwmrConfig {
+            n,
+            me,
+            writer,
+            quorum: Arc::new(Majority::new(n)),
+            read_write_back: true,
+            retransmit: None,
+        }
+    }
+
+    /// Replaces the quorum system.
+    pub fn with_quorum(mut self, q: Arc<dyn QuorumSystem>) -> Self {
+        self.quorum = q;
+        self
+    }
+
+    /// Enables or disables the read write-back phase.
+    pub fn with_read_write_back(mut self, yes: bool) -> Self {
+        self.read_write_back = yes;
+        self
+    }
+
+    /// Sets the retransmission interval for lossy links.
+    pub fn with_retransmit(mut self, every: Nanos) -> Self {
+        self.retransmit = Some(every);
+        self
+    }
+}
+
+/// In-flight operation state.
+#[derive(Clone, Debug)]
+enum Pending<V> {
+    /// Writer waiting for update acknowledgements.
+    Write { op: OpId, ph: PhaseTracker, seq: SeqNo, value: V },
+    /// Reader collecting query replies.
+    Query { op: OpId, ph: PhaseTracker, best_label: SeqNo, best_value: V },
+    /// Reader propagating the value it is about to return.
+    WriteBack { op: OpId, ph: PhaseTracker, label: SeqNo, value: V },
+}
+
+/// One processor of the SWMR emulation: replica role plus (on the designated
+/// writer) the writer role and (on every node) the reader role.
+///
+/// # Examples
+///
+/// Driving a single-node "cluster" by hand (with `n = 1` the node itself is
+/// a quorum, so operations complete without any messages):
+///
+/// ```
+/// use abd_core::context::{Effects, Protocol};
+/// use abd_core::msg::{RegisterOp, RegisterResp};
+/// use abd_core::swmr::{SwmrConfig, SwmrNode};
+/// use abd_core::types::{OpId, ProcessId};
+///
+/// let mut node = SwmrNode::new(SwmrConfig::new(1, ProcessId(0), ProcessId(0)), 0u32);
+/// let mut fx = Effects::new();
+/// node.on_invoke(OpId(1), RegisterOp::Write(7), &mut fx);
+/// node.on_invoke(OpId(2), RegisterOp::Read, &mut fx);
+/// assert_eq!(fx.responses, vec![
+///     (OpId(1), RegisterResp::WriteOk),
+///     (OpId(2), RegisterResp::ReadOk(7)),
+/// ]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SwmrNode<V> {
+    cfg: SwmrConfig,
+    replica: Replica<SeqNo, V>,
+    /// The writer's sequence number (meaningful only on the writer).
+    seq: SeqNo,
+    next_uid: u64,
+    pending: Option<Pending<V>>,
+    queue: VecDeque<(OpId, RegisterOp<V>)>,
+}
+
+impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
+    /// Creates a node holding `initial` as the register's initial value
+    /// (label `0`, conceptually written before the execution starts).
+    pub fn new(cfg: SwmrConfig, initial: V) -> Self {
+        assert!(cfg.me.index() < cfg.n, "node id out of range");
+        assert!(cfg.writer.index() < cfg.n, "writer id out of range");
+        assert_eq!(cfg.quorum.n(), cfg.n, "quorum system sized for a different cluster");
+        SwmrNode {
+            cfg,
+            replica: Replica::new(0, initial),
+            seq: 0,
+            next_uid: 0,
+            pending: None,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// This node's replica state `(label, value)` — for inspection in tests
+    /// and metrics.
+    pub fn replica_state(&self) -> (SeqNo, V) {
+        self.replica.snapshot()
+    }
+
+    /// Whether an operation is currently in flight on this node.
+    pub fn is_busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Number of invocations waiting behind the in-flight operation.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &SwmrConfig {
+        &self.cfg
+    }
+
+    fn fresh_uid(&mut self) -> u64 {
+        self.next_uid += 1;
+        self.next_uid
+    }
+
+    fn others(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.cfg.n).map(ProcessId).filter(move |&p| p != self.cfg.me)
+    }
+
+    fn broadcast(&self, msg: SwmrMsg<V>, fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>) {
+        for p in self.others() {
+            fx.send(p, msg.clone());
+        }
+    }
+
+    fn arm_timer(&self, uid: u64, fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>) {
+        if let Some(interval) = self.cfg.retransmit {
+            fx.set_timer(TimerKey(uid), interval);
+        }
+    }
+
+    fn disarm_timer(&self, uid: u64, fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>) {
+        if self.cfg.retransmit.is_some() {
+            fx.cancel_timer(TimerKey(uid));
+        }
+    }
+
+    fn finish(
+        &mut self,
+        op: OpId,
+        resp: RegisterResp<V>,
+        fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        self.pending = None;
+        fx.respond(op, resp);
+        if let Some((next_op, next_input)) = self.queue.pop_front() {
+            self.begin(next_op, next_input, fx);
+        }
+    }
+
+    fn begin(
+        &mut self,
+        op: OpId,
+        input: RegisterOp<V>,
+        fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        debug_assert!(self.pending.is_none());
+        match input {
+            RegisterOp::Write(v) => self.begin_write(op, v, fx),
+            RegisterOp::Read => self.begin_read(op, fx),
+        }
+    }
+
+    fn begin_write(&mut self, op: OpId, v: V, fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>) {
+        if self.cfg.me != self.cfg.writer {
+            fx.respond(
+                op,
+                RegisterResp::Err(RegisterError::NotWriter {
+                    invoked_on: self.cfg.me,
+                    writer: self.cfg.writer,
+                }),
+            );
+            // Not an in-flight op: serve whatever is queued next.
+            if self.pending.is_none() {
+                if let Some((next_op, next_input)) = self.queue.pop_front() {
+                    self.begin(next_op, next_input, fx);
+                }
+            }
+            return;
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        self.replica.adopt(seq, v.clone());
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        if self.cfg.quorum.is_write_quorum(ph.responders()) {
+            fx.respond(op, RegisterResp::WriteOk);
+            return;
+        }
+        self.pending = Some(Pending::Write { op, ph, seq, value: v.clone() });
+        self.broadcast(RegisterMsg::Update { uid, label: seq, value: v }, fx);
+        self.arm_timer(uid, fx);
+    }
+
+    fn begin_read(&mut self, op: OpId, fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>) {
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        let (best_label, best_value) = self.replica.snapshot();
+        if self.cfg.quorum.is_read_quorum(ph.responders()) {
+            self.enter_write_back(op, best_label, best_value, fx);
+            return;
+        }
+        self.pending = Some(Pending::Query { op, ph, best_label, best_value });
+        self.broadcast(RegisterMsg::Query { uid }, fx);
+        self.arm_timer(uid, fx);
+    }
+
+    /// Second half of a read: either respond immediately (regular baseline)
+    /// or propagate the chosen pair to a write quorum first (atomic ABD).
+    fn enter_write_back(
+        &mut self,
+        op: OpId,
+        label: SeqNo,
+        value: V,
+        fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        if !self.cfg.read_write_back {
+            self.finish(op, RegisterResp::ReadOk(value), fx);
+            return;
+        }
+        self.replica.adopt(label, value.clone());
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        if self.cfg.quorum.is_write_quorum(ph.responders()) {
+            self.finish(op, RegisterResp::ReadOk(value), fx);
+            return;
+        }
+        self.pending = Some(Pending::WriteBack { op, ph, label, value: value.clone() });
+        self.broadcast(RegisterMsg::Update { uid, label, value }, fx);
+        self.arm_timer(uid, fx);
+    }
+
+    /// Message a phase (re)transmits to processors that have not responded.
+    fn phase_message(&self) -> Option<SwmrMsg<V>> {
+        match self.pending.as_ref()? {
+            Pending::Write { ph, seq, value, .. } => Some(RegisterMsg::Update {
+                uid: ph.uid(),
+                label: *seq,
+                value: value.clone(),
+            }),
+            Pending::Query { ph, .. } => Some(RegisterMsg::Query { uid: ph.uid() }),
+            Pending::WriteBack { ph, label, value, .. } => Some(RegisterMsg::Update {
+                uid: ph.uid(),
+                label: *label,
+                value: value.clone(),
+            }),
+        }
+    }
+}
+
+impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
+    type Msg = SwmrMsg<V>;
+    type Op = RegisterOp<V>;
+    type Resp = RegisterResp<V>;
+
+    fn id(&self) -> ProcessId {
+        self.cfg.me
+    }
+
+    fn on_invoke(&mut self, op: OpId, input: RegisterOp<V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        if self.pending.is_some() {
+            self.queue.push_back((op, input));
+        } else {
+            self.begin(op, input, fx);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: SwmrMsg<V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        match msg {
+            // ---- replica role ----
+            RegisterMsg::Query { uid } => {
+                let (label, value) = self.replica.snapshot();
+                fx.send(from, RegisterMsg::QueryReply { uid, label, value });
+            }
+            RegisterMsg::Update { uid, label, value } => {
+                self.replica.adopt(label, value);
+                fx.send(from, RegisterMsg::UpdateAck { uid });
+            }
+            // ---- client role ----
+            RegisterMsg::QueryReply { uid, label, value } => {
+                let Some(Pending::Query { ph, best_label, best_value, op }) = self.pending.as_mut()
+                else {
+                    return;
+                };
+                if !ph.record(from, uid) {
+                    return;
+                }
+                if label > *best_label {
+                    *best_label = label;
+                    *best_value = value;
+                }
+                if self.cfg.quorum.is_read_quorum(ph.responders()) {
+                    let (op, label, value) = (*op, *best_label, best_value.clone());
+                    self.pending = None;
+                    self.disarm_timer(uid, fx);
+                    self.enter_write_back(op, label, value, fx);
+                }
+            }
+            RegisterMsg::UpdateAck { uid } => {
+                let done = match self.pending.as_mut() {
+                    Some(Pending::Write { ph, op, .. }) => {
+                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders()) {
+                            Some((*op, RegisterResp::WriteOk))
+                        } else {
+                            None
+                        }
+                    }
+                    Some(Pending::WriteBack { ph, op, value, .. }) => {
+                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders()) {
+                            Some((*op, RegisterResp::ReadOk(value.clone())))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some((op, resp)) = done {
+                    self.disarm_timer(uid, fx);
+                    self.finish(op, resp, fx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        let Some(pending) = self.pending.as_ref() else { return };
+        let ph = match pending {
+            Pending::Write { ph, .. } | Pending::Query { ph, .. } | Pending::WriteBack { ph, .. } => ph,
+        };
+        if ph.uid() != key.0 {
+            return; // Timer from a phase that already completed.
+        }
+        let missing = ph.missing();
+        if let Some(msg) = self.phase_message() {
+            for p in missing {
+                fx.send(p, msg.clone());
+            }
+        }
+        self.arm_timer(key.0, fx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quorum::Threshold;
+    use crate::testutil::MiniNet;
+
+    fn cluster(n: usize, write_back: bool) -> MiniNet<SwmrNode<u32>> {
+        let nodes = (0..n)
+            .map(|i| {
+                let cfg = SwmrConfig::new(n, ProcessId(i), ProcessId(0))
+                    .with_read_write_back(write_back);
+                SwmrNode::new(cfg, 0u32)
+            })
+            .collect();
+        MiniNet::new(nodes)
+    }
+
+    #[test]
+    fn write_then_read_returns_written_value() {
+        let mut net = cluster(3, true);
+        net.invoke(0, RegisterOp::Write(42));
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses(), vec![(OpId(0), RegisterResp::WriteOk)]);
+
+        net.invoke(2, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses(), vec![(OpId(1), RegisterResp::ReadOk(42))]);
+    }
+
+    #[test]
+    fn initial_value_is_readable() {
+        let mut net = cluster(5, true);
+        net.invoke(4, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses(), vec![(OpId(0), RegisterResp::ReadOk(0))]);
+    }
+
+    #[test]
+    fn non_writer_write_is_rejected() {
+        let mut net = cluster(3, true);
+        net.invoke(1, RegisterOp::Write(7));
+        net.run_to_quiescence();
+        match &net.take_responses()[..] {
+            [(_, RegisterResp::Err(RegisterError::NotWriter { invoked_on, writer }))] => {
+                assert_eq!(*invoked_on, ProcessId(1));
+                assert_eq!(*writer, ProcessId(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequential_writes_are_ordered() {
+        let mut net = cluster(3, true);
+        for v in [1u32, 2, 3, 4, 5] {
+            net.invoke(0, RegisterOp::Write(v));
+            net.run_to_quiescence();
+        }
+        net.take_responses();
+        net.invoke(1, RegisterOp::Read);
+        net.run_to_quiescence();
+        let r = net.take_responses();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].1, RegisterResp::ReadOk(5));
+        // Every replica converged to seq 5.
+        for i in 0..3 {
+            assert_eq!(net.node(i).replica_state().0, 5);
+        }
+    }
+
+    #[test]
+    fn queued_invocations_run_in_fifo_order() {
+        let mut net = cluster(3, true);
+        // Invoke three ops on the writer before delivering any message.
+        net.invoke(0, RegisterOp::Write(1));
+        net.invoke(0, RegisterOp::Read);
+        net.invoke(0, RegisterOp::Write(2));
+        assert!(net.node(0).is_busy());
+        assert_eq!(net.node(0).queue_len(), 2);
+        net.run_to_quiescence();
+        let resp = net.take_responses();
+        assert_eq!(
+            resp,
+            vec![
+                (OpId(0), RegisterResp::WriteOk),
+                (OpId(1), RegisterResp::ReadOk(1)),
+                (OpId(2), RegisterResp::WriteOk),
+            ]
+        );
+    }
+
+    #[test]
+    fn write_completes_with_minority_crashed() {
+        let mut net = cluster(5, true);
+        net.crash(3);
+        net.crash(4);
+        net.invoke(0, RegisterOp::Write(9));
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses(), vec![(OpId(0), RegisterResp::WriteOk)]);
+        net.invoke(1, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses(), vec![(OpId(1), RegisterResp::ReadOk(9))]);
+    }
+
+    #[test]
+    fn write_blocks_with_majority_crashed() {
+        let mut net = cluster(5, true);
+        for i in 2..5 {
+            net.crash(i);
+        }
+        net.invoke(0, RegisterOp::Write(9));
+        net.run_to_quiescence();
+        assert!(net.take_responses().is_empty(), "op must block without a quorum");
+        assert!(net.node(0).is_busy());
+    }
+
+    #[test]
+    fn read_write_back_helps_lagging_majority() {
+        // Classic scenario: the writer's update reached only the quorum
+        // {0,1,2}; replicas 3 and 4 are stale. A read that observes the new
+        // value propagates it before returning.
+        let mut net = cluster(5, true);
+        // Drop updates to 3 and 4 during the write.
+        net.set_drop_filter(|_, to, _| to.index() >= 3);
+        net.invoke(0, RegisterOp::Write(1));
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses().len(), 1, "write reached quorum {{0,1,2}}");
+        net.clear_drop_filter();
+        assert_eq!(net.node(3).replica_state().0, 0, "p3 stale before the read");
+        assert_eq!(net.node(4).replica_state().0, 0, "p4 stale before the read");
+        // Reader 3 (stale itself) queries everyone; quorum replies include a
+        // fresh value, which the write-back then installs everywhere.
+        net.invoke(3, RegisterOp::Read);
+        net.run_to_quiescence();
+        let r = net.take_responses();
+        assert_eq!(r[0].1, RegisterResp::ReadOk(1));
+        let fresh = (0..5).filter(|&i| net.node(i).replica_state().0 == 1).count();
+        assert_eq!(fresh, 5, "write-back must spread the value");
+    }
+
+    #[test]
+    fn regular_baseline_skips_write_back_phase() {
+        let mut net = cluster(3, false);
+        net.invoke(0, RegisterOp::Write(5));
+        net.run_to_quiescence();
+        net.take_responses();
+        let sent_before = net.messages_sent();
+        net.invoke(1, RegisterOp::Read);
+        net.run_to_quiescence();
+        let read_msgs = net.messages_sent() - sent_before;
+        // Regular read: query + replies only = 2(n-1) = 4 messages.
+        assert_eq!(read_msgs, 4);
+        assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(5));
+    }
+
+    #[test]
+    fn atomic_read_costs_4n_minus_4_messages() {
+        let mut net = cluster(5, true);
+        net.invoke(3, RegisterOp::Read);
+        net.run_to_quiescence();
+        // query + replies + write-back updates + acks = 4(n-1).
+        assert_eq!(net.messages_sent(), 4 * (5 - 1));
+    }
+
+    #[test]
+    fn write_costs_2n_minus_2_messages() {
+        let mut net = cluster(7, true);
+        net.invoke(0, RegisterOp::Write(1));
+        net.run_to_quiescence();
+        assert_eq!(net.messages_sent(), 2 * (7 - 1));
+    }
+
+    #[test]
+    fn stale_replies_are_ignored() {
+        let mut node = SwmrNode::new(SwmrConfig::new(3, ProcessId(1), ProcessId(0)), 0u32);
+        let mut fx = Effects::new();
+        // Reply for a phase that does not exist.
+        node.on_message(
+            ProcessId(0),
+            RegisterMsg::QueryReply { uid: 99, label: 7, value: 1 },
+            &mut fx,
+        );
+        node.on_message(ProcessId(0), RegisterMsg::UpdateAck { uid: 99 }, &mut fx);
+        assert!(fx.is_empty());
+        assert_eq!(node.replica_state(), (0, 0));
+    }
+
+    #[test]
+    fn retransmission_fills_in_lost_messages() {
+        let nodes: Vec<SwmrNode<u32>> = (0..3)
+            .map(|i| {
+                SwmrNode::new(
+                    SwmrConfig::new(3, ProcessId(i), ProcessId(0)).with_retransmit(1_000),
+                    0,
+                )
+            })
+            .collect();
+        let mut net = MiniNet::new(nodes);
+        // Lose every message once; retransmission must recover.
+        net.set_drop_filter({
+            let mut dropped = std::collections::HashSet::new();
+            move |from, to, _| dropped.insert((from, to))
+        });
+        net.invoke(0, RegisterOp::Write(3));
+        net.run_to_quiescence();
+        assert!(net.take_responses().is_empty(), "first transmission lost");
+        // First retransmission: the updates get through, but the (first)
+        // acknowledgements on the reverse links are lost too.
+        net.fire_timers(0);
+        net.run_to_quiescence();
+        assert!(net.take_responses().is_empty(), "first acks lost");
+        // Second retransmission: replicas re-ack idempotently and the write
+        // completes.
+        net.fire_timers(0);
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses(), vec![(OpId(0), RegisterResp::WriteOk)]);
+    }
+
+    #[test]
+    fn read_one_quorum_completes_without_messages_to_others() {
+        // R=1: the reader's own replica is a read quorum, and W=n demands
+        // everyone. This is the deliberately weak Dynamo-ish configuration.
+        let nodes: Vec<SwmrNode<u32>> = (0..3)
+            .map(|i| {
+                let cfg = SwmrConfig::new(3, ProcessId(i), ProcessId(0))
+                    .with_quorum(Arc::new(Threshold::new(3, 1, 3)))
+                    .with_read_write_back(false);
+                SwmrNode::new(cfg, 0)
+            })
+            .collect();
+        let mut net = MiniNet::new(nodes);
+        net.invoke(2, RegisterOp::Read);
+        // Completes instantly: no messages at all.
+        assert_eq!(net.messages_sent(), 0);
+        assert_eq!(net.take_responses(), vec![(OpId(0), RegisterResp::ReadOk(0))]);
+    }
+
+    #[test]
+    fn config_validation_panics_on_mismatched_quorum() {
+        let result = std::panic::catch_unwind(|| {
+            let cfg = SwmrConfig::new(3, ProcessId(0), ProcessId(0))
+                .with_quorum(Arc::new(Majority::new(5)));
+            SwmrNode::new(cfg, 0u32)
+        });
+        assert!(result.is_err());
+    }
+}

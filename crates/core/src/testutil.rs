@@ -1,0 +1,161 @@
+//! A minimal deterministic executor for unit-testing protocol state
+//! machines inside this crate.
+//!
+//! `MiniNet` delivers messages in FIFO order, supports crash flags, a
+//! pluggable message-drop filter and manual timer firing. It deliberately
+//! has no notion of time or randomness — the full adversarial simulator
+//! lives in the `abd-simnet` crate; this one exists so `abd-core`'s tests
+//! need no dependencies.
+
+use crate::context::{Effects, Protocol, TimerCmd, TimerKey};
+use crate::types::{OpId, ProcessId};
+use std::collections::{BTreeSet, VecDeque};
+
+type DropFilter<M> = Box<dyn FnMut(ProcessId, ProcessId, &M) -> bool>;
+
+/// Deterministic FIFO test network over a vector of protocol nodes.
+pub(crate) struct MiniNet<P: Protocol> {
+    nodes: Vec<P>,
+    alive: Vec<bool>,
+    queue: VecDeque<(ProcessId, ProcessId, P::Msg)>,
+    responses: Vec<(OpId, P::Resp)>,
+    armed: Vec<BTreeSet<TimerKey>>,
+    drop_filter: Option<DropFilter<P::Msg>>,
+    next_op: u64,
+    sent: u64,
+    dropped: u64,
+}
+
+impl<P: Protocol> MiniNet<P> {
+    /// Creates a network over `nodes` (node `i` must have id `i`) and runs
+    /// every node's `on_start`.
+    pub fn new(nodes: Vec<P>) -> Self {
+        let n = nodes.len();
+        let mut net = MiniNet {
+            nodes,
+            alive: vec![true; n],
+            queue: VecDeque::new(),
+            responses: Vec::new(),
+            armed: vec![BTreeSet::new(); n],
+            drop_filter: None,
+            next_op: 0,
+            sent: 0,
+            dropped: 0,
+        };
+        for i in 0..n {
+            debug_assert_eq!(net.nodes[i].id(), ProcessId(i));
+            let mut fx = Effects::new();
+            net.nodes[i].on_start(&mut fx);
+            net.absorb(ProcessId(i), fx);
+        }
+        net
+    }
+
+    /// Immutable access to node `i`.
+    pub fn node(&self, i: usize) -> &P {
+        &self.nodes[i]
+    }
+
+    /// Marks node `i` as crashed: it stops receiving messages, timers and
+    /// invocations.
+    pub fn crash(&mut self, i: usize) {
+        self.alive[i] = false;
+    }
+
+    /// Installs a filter that drops a message when it returns `true`.
+    pub fn set_drop_filter<F>(&mut self, f: F)
+    where
+        F: FnMut(ProcessId, ProcessId, &P::Msg) -> bool + 'static,
+    {
+        self.drop_filter = Some(Box::new(f));
+    }
+
+    /// Removes the drop filter.
+    pub fn clear_drop_filter(&mut self) {
+        self.drop_filter = None;
+    }
+
+    /// Invokes `op` on node `i`, assigning the next sequential [`OpId`],
+    /// and immediately processes the invocation's direct effects (but does
+    /// not deliver messages — call [`run_to_quiescence`](Self::run_to_quiescence)).
+    pub fn invoke(&mut self, i: usize, op: P::Op) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        if !self.alive[i] {
+            return id;
+        }
+        let mut fx = Effects::new();
+        self.nodes[i].on_invoke(id, op, &mut fx);
+        self.absorb(ProcessId(i), fx);
+        id
+    }
+
+    /// Delivers queued messages in FIFO order until the network is quiet.
+    pub fn run_to_quiescence(&mut self) {
+        while let Some((from, to, msg)) = self.queue.pop_front() {
+            if !self.alive[to.index()] {
+                self.dropped += 1;
+                continue;
+            }
+            if let Some(f) = self.drop_filter.as_mut() {
+                if f(from, to, &msg) {
+                    self.dropped += 1;
+                    continue;
+                }
+            }
+            let mut fx = Effects::new();
+            self.nodes[to.index()].on_message(from, msg, &mut fx);
+            self.absorb(to, fx);
+        }
+    }
+
+    /// Fires every armed timer of node `i` exactly once (in key order).
+    pub fn fire_timers(&mut self, i: usize) {
+        if !self.alive[i] {
+            return;
+        }
+        let keys: Vec<TimerKey> = self.armed[i].iter().copied().collect();
+        for key in keys {
+            // Firing consumes the arming; protocols re-arm if they want more.
+            self.armed[i].remove(&key);
+            let mut fx = Effects::new();
+            self.nodes[i].on_timer(key, &mut fx);
+            self.absorb(ProcessId(i), fx);
+        }
+    }
+
+    /// Takes the responses accumulated so far, in completion order.
+    pub fn take_responses(&mut self) -> Vec<(OpId, P::Resp)> {
+        std::mem::take(&mut self.responses)
+    }
+
+    /// Total messages handed to the network so far (including later-dropped
+    /// ones).
+    pub fn messages_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages dropped by crash flags or the drop filter.
+    #[allow(dead_code)]
+    pub fn messages_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn absorb(&mut self, from: ProcessId, fx: Effects<P::Msg, P::Resp>) {
+        for (to, m) in fx.sends {
+            self.sent += 1;
+            self.queue.push_back((from, to, m));
+        }
+        for t in fx.timers {
+            match t {
+                TimerCmd::Set { key, .. } => {
+                    self.armed[from.index()].insert(key);
+                }
+                TimerCmd::Cancel { key } => {
+                    self.armed[from.index()].remove(&key);
+                }
+            }
+        }
+        self.responses.extend(fx.responses);
+    }
+}

@@ -1,0 +1,202 @@
+//! Fundamental identifier and timestamp types shared by every protocol in
+//! this crate.
+//!
+//! The ABD emulation runs on a fixed, fully connected set of `n` processors
+//! named by dense indices (`ProcessId`). Register values are tagged with
+//! totally ordered *labels*: plain sequence numbers for the single-writer
+//! protocol ([`SeqNo`]) and `(sequence, writer)` pairs for the multi-writer
+//! protocol ([`Tag`]).
+
+use std::fmt;
+
+/// Virtual (or real) time expressed in nanoseconds.
+///
+/// The protocol core never interprets absolute times; it only hands
+/// durations to the host when arming retransmission timers.
+pub type Nanos = u64;
+
+/// Identifier of a processor in the system.
+///
+/// Processors are named `0..n` for a cluster of size `n`. The id doubles as
+/// an index into per-processor tables and as the tie-breaking component of
+/// multi-writer [`Tag`]s.
+///
+/// # Examples
+///
+/// ```
+/// use abd_core::types::ProcessId;
+/// let p = ProcessId(2);
+/// assert_eq!(p.index(), 2);
+/// assert_eq!(p.to_string(), "p2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// Returns the dense index of this processor.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// Identifier of a client operation instance.
+///
+/// Assigned by the host (simulator or runtime) when an operation is invoked
+/// on a node; echoed back in the corresponding response so the host can match
+/// completions to invocations.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct OpId(pub u64);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Unbounded sequence number used as the label of the single-writer
+/// protocol.
+///
+/// The single writer increments it once per write; `0` labels the initial
+/// value of the register.
+pub type SeqNo = u64;
+
+/// Label of the multi-writer protocol: a `(sequence, writer)` pair ordered
+/// lexicographically.
+///
+/// Two different writers can never produce the same tag because the writer id
+/// breaks ties, which is exactly what makes the multi-writer emulation's
+/// labels totally ordered.
+///
+/// # Examples
+///
+/// ```
+/// use abd_core::types::{ProcessId, Tag};
+/// let a = Tag::new(3, ProcessId(0));
+/// let b = Tag::new(3, ProcessId(1));
+/// let c = Tag::new(4, ProcessId(0));
+/// assert!(a < b);
+/// assert!(b < c);
+/// assert_eq!(b.next(ProcessId(2)), Tag::new(4, ProcessId(2)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Tag {
+    /// Monotonically increasing sequence component.
+    pub seq: u64,
+    /// Writer id; breaks ties between concurrent writers.
+    pub writer: ProcessId,
+}
+
+impl Tag {
+    /// Creates a tag from its components.
+    pub fn new(seq: u64, writer: ProcessId) -> Self {
+        Tag { seq, writer }
+    }
+
+    /// The tag labelling the initial register value (smaller than every tag
+    /// any writer produces).
+    pub fn initial() -> Self {
+        Tag { seq: 0, writer: ProcessId(0) }
+    }
+
+    /// Returns the tag a writer `w` should use after observing `self` as the
+    /// largest tag in its query phase.
+    pub fn next(self, w: ProcessId) -> Self {
+        Tag { seq: self.seq + 1, writer: w }
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.seq, self.writer)
+    }
+}
+
+/// Errors surfaced by protocol nodes through their responses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegisterError {
+    /// A write was invoked on a processor that is not the designated writer
+    /// of a single-writer register.
+    NotWriter {
+        /// The processor the operation was invoked on.
+        invoked_on: ProcessId,
+        /// The designated writer of the register.
+        writer: ProcessId,
+    },
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterError::NotWriter { invoked_on, writer } => write!(
+                f,
+                "write invoked on {invoked_on} but the designated writer is {writer}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_display_and_index() {
+        assert_eq!(ProcessId(7).to_string(), "p7");
+        assert_eq!(ProcessId::from(3).index(), 3);
+    }
+
+    #[test]
+    fn tag_ordering_is_lexicographic() {
+        let t00 = Tag::new(0, ProcessId(0));
+        let t01 = Tag::new(0, ProcessId(1));
+        let t10 = Tag::new(1, ProcessId(0));
+        assert!(t00 < t01);
+        assert!(t01 < t10);
+        assert!(t10 > t00);
+        assert_eq!(Tag::initial(), t00);
+    }
+
+    #[test]
+    fn tag_next_increments_seq_and_stamps_writer() {
+        let t = Tag::new(41, ProcessId(3));
+        let n = t.next(ProcessId(5));
+        assert_eq!(n.seq, 42);
+        assert_eq!(n.writer, ProcessId(5));
+        assert!(n > t);
+    }
+
+    #[test]
+    fn tag_display() {
+        assert_eq!(Tag::new(9, ProcessId(2)).to_string(), "9@p2");
+    }
+
+    #[test]
+    fn register_error_display() {
+        let e = RegisterError::NotWriter { invoked_on: ProcessId(1), writer: ProcessId(0) };
+        assert!(e.to_string().contains("p1"));
+        assert!(e.to_string().contains("p0"));
+    }
+
+    #[test]
+    fn types_are_send_and_sync() {
+        fn assert_ss<T: Send + Sync>() {}
+        assert_ss::<ProcessId>();
+        assert_ss::<Tag>();
+        assert_ss::<OpId>();
+        assert_ss::<RegisterError>();
+    }
+}

@@ -1,0 +1,636 @@
+//! The replicated key-value node: one multi-writer ABD register per key.
+//!
+//! This is the construction the Dijkstra Prize citation refers to when it
+//! says ABD "lies at the heart of many distributed storage systems": a
+//! quorum-replicated store where every key is an independent atomic
+//! register. Each node plays replica for every key and client for the
+//! operations invoked on it.
+//!
+//! Differences from the single-register protocol in `abd-core` (both
+//! deliberate, both standard in practice):
+//!
+//! * **keyed state** — the replica holds a map `key → (tag, value)`;
+//!   unknown keys report the initial tag and no value;
+//! * **pipelining** — operations on a node run concurrently (each gets its
+//!   own phase ids) instead of queueing, since operations on independent
+//!   keys do not interact; per-client ordering is preserved by the clients
+//!   themselves, which block on one operation at a time.
+//!
+//! A `Get` on a key that has a value performs the read write-back exactly
+//! like the register protocol; a `Get` that finds the key unwritten (the
+//! maximum tag is still the initial tag) skips the write-back — there is
+//! nothing to propagate.
+
+use abd_core::context::{Effects, Protocol, TimerKey};
+use abd_core::phase::PhaseTracker;
+use abd_core::quorum::{Majority, QuorumSystem};
+use abd_core::types::{Nanos, OpId, ProcessId, Tag};
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Wire message of the key-value protocol.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum KvMsg<K, V> {
+    /// Ask for the receiver's `(tag, value)` for `key`.
+    Query {
+        /// Phase id echoed by the reply.
+        uid: u64,
+        /// Key being queried.
+        key: K,
+    },
+    /// Reply to [`KvMsg::Query`]. `value` is `None` when the key was never
+    /// written on the receiver.
+    QueryReply {
+        /// Phase id copied from the query.
+        uid: u64,
+        /// The replica's tag for the key.
+        tag: Tag,
+        /// The replica's value for the key, if any.
+        value: Option<V>,
+    },
+    /// Ask the receiver to adopt `(tag, value)` for `key` if newer.
+    Update {
+        /// Phase id echoed by the ack.
+        uid: u64,
+        /// Key being updated.
+        key: K,
+        /// Tag of the propagated value.
+        tag: Tag,
+        /// The propagated value.
+        value: V,
+    },
+    /// Acknowledge an [`KvMsg::Update`].
+    UpdateAck {
+        /// Phase id copied from the update.
+        uid: u64,
+    },
+}
+
+/// A client operation on the store.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum KvOp<K, V> {
+    /// Read the value of `key`.
+    Get(K),
+    /// Write `value` under `key`.
+    Put(K, V),
+}
+
+/// Response to a completed [`KvOp`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum KvResp<V> {
+    /// `Get` result; `None` means the key has never been written.
+    GetOk(Option<V>),
+    /// `Put` completed.
+    PutOk,
+}
+
+/// Configuration of one key-value node.
+#[derive(Clone, Debug)]
+pub struct KvConfig {
+    /// Cluster size.
+    pub n: usize,
+    /// This node's id.
+    pub me: ProcessId,
+    /// Quorum system (must satisfy multi-writer intersection).
+    pub quorum: Arc<dyn QuorumSystem>,
+    /// Retransmission interval for unfinished phases (`None` = reliable
+    /// links).
+    pub retransmit: Option<Nanos>,
+}
+
+impl KvConfig {
+    /// Majority quorums, no retransmission.
+    pub fn new(n: usize, me: ProcessId) -> Self {
+        KvConfig { n, me, quorum: Arc::new(Majority::new(n)), retransmit: None }
+    }
+
+    /// Replaces the quorum system.
+    pub fn with_quorum(mut self, q: Arc<dyn QuorumSystem>) -> Self {
+        self.quorum = q;
+        self
+    }
+
+    /// Sets the retransmission interval.
+    pub fn with_retransmit(mut self, every: Nanos) -> Self {
+        self.retransmit = Some(every);
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Pending<K, V> {
+    GetQuery { op: OpId, key: K, ph: PhaseTracker, best: (Tag, Option<V>) },
+    GetWriteBack { op: OpId, key: K, ph: PhaseTracker, tag: Tag, value: V },
+    PutQuery { op: OpId, key: K, ph: PhaseTracker, best: Tag, value: V },
+    PutUpdate { op: OpId, key: K, ph: PhaseTracker, tag: Tag, value: V },
+}
+
+/// One node of the replicated key-value store.
+///
+/// # Examples
+///
+/// ```
+/// use abd_core::context::{Effects, Protocol};
+/// use abd_core::types::{OpId, ProcessId};
+/// use abd_kv::{KvConfig, KvNode, KvOp, KvResp};
+///
+/// // Single-node cluster: quorums are trivially satisfied locally.
+/// let mut node: KvNode<&'static str, u32> = KvNode::new(KvConfig::new(1, ProcessId(0)));
+/// let mut fx = Effects::new();
+/// node.on_invoke(OpId(0), KvOp::Put("x", 1), &mut fx);
+/// node.on_invoke(OpId(1), KvOp::Get("x"), &mut fx);
+/// node.on_invoke(OpId(2), KvOp::Get("y"), &mut fx);
+/// assert_eq!(fx.responses[1].1, KvResp::GetOk(Some(1)));
+/// assert_eq!(fx.responses[2].1, KvResp::GetOk(None));
+/// ```
+#[derive(Clone, Debug)]
+pub struct KvNode<K, V> {
+    cfg: KvConfig,
+    store: HashMap<K, (Tag, V)>,
+    next_uid: u64,
+    pending: HashMap<u64, Pending<K, V>>,
+}
+
+impl<K, V> KvNode<K, V>
+where
+    K: Clone + Eq + Hash + Debug + Send + 'static,
+    V: Clone + Debug + Send + 'static,
+{
+    /// Creates an empty node.
+    pub fn new(cfg: KvConfig) -> Self {
+        assert!(cfg.me.index() < cfg.n, "node id out of range");
+        assert_eq!(cfg.quorum.n(), cfg.n, "quorum system sized for a different cluster");
+        KvNode { cfg, store: HashMap::new(), next_uid: 0, pending: HashMap::new() }
+    }
+
+    /// The node's local `(tag, value)` for `key`, if present.
+    pub fn local_entry(&self, key: &K) -> Option<(Tag, &V)> {
+        self.store.get(key).map(|(t, v)| (*t, v))
+    }
+
+    /// Number of keys stored locally.
+    pub fn local_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Number of operations currently in flight on this node.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &KvConfig {
+        &self.cfg
+    }
+
+    fn fresh_uid(&mut self) -> u64 {
+        self.next_uid += 1;
+        self.next_uid
+    }
+
+    fn snapshot(&self, key: &K) -> (Tag, Option<V>) {
+        match self.store.get(key) {
+            Some((t, v)) => (*t, Some(v.clone())),
+            None => (Tag::initial(), None),
+        }
+    }
+
+    fn adopt(&mut self, key: K, tag: Tag, value: V) {
+        match self.store.get_mut(&key) {
+            Some(entry) => {
+                if tag > entry.0 {
+                    *entry = (tag, value);
+                }
+            }
+            None => {
+                if tag > Tag::initial() {
+                    self.store.insert(key, (tag, value));
+                }
+            }
+        }
+    }
+
+    fn broadcast(&self, msg: KvMsg<K, V>, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
+        for i in 0..self.cfg.n {
+            let p = ProcessId(i);
+            if p != self.cfg.me {
+                fx.send(p, msg.clone());
+            }
+        }
+    }
+
+    fn arm_timer(&self, uid: u64, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
+        if let Some(interval) = self.cfg.retransmit {
+            fx.set_timer(TimerKey(uid), interval);
+        }
+    }
+
+    fn disarm_timer(&self, uid: u64, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
+        if self.cfg.retransmit.is_some() {
+            fx.cancel_timer(TimerKey(uid));
+        }
+    }
+
+    /// Phase 2 of a `Put`: stamp and propagate.
+    fn enter_put_update(
+        &mut self,
+        op: OpId,
+        key: K,
+        max_seen: Tag,
+        value: V,
+        fx: &mut Effects<KvMsg<K, V>, KvResp<V>>,
+    ) {
+        let tag = max_seen.next(self.cfg.me);
+        self.adopt(key.clone(), tag, value.clone());
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        if self.cfg.quorum.is_write_quorum(ph.responders()) {
+            fx.respond(op, KvResp::PutOk);
+            return;
+        }
+        self.pending
+            .insert(uid, Pending::PutUpdate { op, key: key.clone(), ph, tag, value: value.clone() });
+        self.broadcast(KvMsg::Update { uid, key, tag, value }, fx);
+        self.arm_timer(uid, fx);
+    }
+
+    /// Phase 2 of a `Get`: write back what we are about to return (skipped
+    /// when the key was never written — the initial tag needs no
+    /// propagation).
+    fn enter_get_write_back(
+        &mut self,
+        op: OpId,
+        key: K,
+        best: (Tag, Option<V>),
+        fx: &mut Effects<KvMsg<K, V>, KvResp<V>>,
+    ) {
+        let (tag, value) = best;
+        let Some(value) = value else {
+            fx.respond(op, KvResp::GetOk(None));
+            return;
+        };
+        self.adopt(key.clone(), tag, value.clone());
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        if self.cfg.quorum.is_write_quorum(ph.responders()) {
+            fx.respond(op, KvResp::GetOk(Some(value)));
+            return;
+        }
+        self.pending.insert(
+            uid,
+            Pending::GetWriteBack { op, key: key.clone(), ph, tag, value: value.clone() },
+        );
+        self.broadcast(KvMsg::Update { uid, key, tag, value }, fx);
+        self.arm_timer(uid, fx);
+    }
+
+    fn retransmit_message(&self, p: &Pending<K, V>) -> Option<KvMsg<K, V>> {
+        match p {
+            Pending::GetQuery { key, ph, .. } | Pending::PutQuery { key, ph, .. } => {
+                Some(KvMsg::Query { uid: ph.uid(), key: key.clone() })
+            }
+            Pending::GetWriteBack { key, ph, tag, value, .. }
+            | Pending::PutUpdate { key, ph, tag, value, .. } => Some(KvMsg::Update {
+                uid: ph.uid(),
+                key: key.clone(),
+                tag: *tag,
+                value: value.clone(),
+            }),
+        }
+    }
+}
+
+impl<K, V> Protocol for KvNode<K, V>
+where
+    K: Clone + Eq + Hash + Debug + Send + 'static,
+    V: Clone + Debug + Send + 'static,
+{
+    type Msg = KvMsg<K, V>;
+    type Op = KvOp<K, V>;
+    type Resp = KvResp<V>;
+
+    fn id(&self) -> ProcessId {
+        self.cfg.me
+    }
+
+    fn on_invoke(&mut self, op: OpId, input: KvOp<K, V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        match input {
+            KvOp::Get(key) => {
+                let uid = self.fresh_uid();
+                let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+                let best = self.snapshot(&key);
+                if self.cfg.quorum.is_read_quorum(ph.responders()) {
+                    self.enter_get_write_back(op, key, best, fx);
+                    return;
+                }
+                self.broadcast(KvMsg::Query { uid, key: key.clone() }, fx);
+                self.pending.insert(uid, Pending::GetQuery { op, key, ph, best });
+                self.arm_timer(uid, fx);
+            }
+            KvOp::Put(key, value) => {
+                let uid = self.fresh_uid();
+                let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+                let best = self.snapshot(&key).0;
+                if self.cfg.quorum.is_read_quorum(ph.responders()) {
+                    self.enter_put_update(op, key, best, value, fx);
+                    return;
+                }
+                self.broadcast(KvMsg::Query { uid, key: key.clone() }, fx);
+                self.pending.insert(uid, Pending::PutQuery { op, key, ph, best, value });
+                self.arm_timer(uid, fx);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: KvMsg<K, V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        match msg {
+            KvMsg::Query { uid, key } => {
+                let (tag, value) = self.snapshot(&key);
+                fx.send(from, KvMsg::QueryReply { uid, tag, value });
+            }
+            KvMsg::Update { uid, key, tag, value } => {
+                self.adopt(key, tag, value);
+                fx.send(from, KvMsg::UpdateAck { uid });
+            }
+            KvMsg::QueryReply { uid, tag, value } => {
+                let Some(pending) = self.pending.get_mut(&uid) else { return };
+                match pending {
+                    Pending::GetQuery { ph, best, .. } => {
+                        if !ph.record(from, uid) {
+                            return;
+                        }
+                        if tag > best.0 {
+                            *best = (tag, value);
+                        }
+                        if self.cfg.quorum.is_read_quorum(ph.responders()) {
+                            let Some(Pending::GetQuery { op, key, best, .. }) =
+                                self.pending.remove(&uid)
+                            else {
+                                unreachable!()
+                            };
+                            self.disarm_timer(uid, fx);
+                            self.enter_get_write_back(op, key, best, fx);
+                        }
+                    }
+                    Pending::PutQuery { ph, best, .. } => {
+                        if !ph.record(from, uid) {
+                            return;
+                        }
+                        if tag > *best {
+                            *best = tag;
+                        }
+                        if self.cfg.quorum.is_read_quorum(ph.responders()) {
+                            let Some(Pending::PutQuery { op, key, best, value, .. }) =
+                                self.pending.remove(&uid)
+                            else {
+                                unreachable!()
+                            };
+                            self.disarm_timer(uid, fx);
+                            self.enter_put_update(op, key, best, value, fx);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            KvMsg::UpdateAck { uid } => {
+                let Some(pending) = self.pending.get_mut(&uid) else { return };
+                let done = match pending {
+                    Pending::PutUpdate { op, ph, .. } => {
+                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders()) {
+                            Some((*op, KvResp::PutOk))
+                        } else {
+                            None
+                        }
+                    }
+                    Pending::GetWriteBack { op, ph, value, .. } => {
+                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders()) {
+                            Some((*op, KvResp::GetOk(Some(value.clone()))))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some((op, resp)) = done {
+                    self.pending.remove(&uid);
+                    self.disarm_timer(uid, fx);
+                    fx.respond(op, resp);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        let uid = key.0;
+        let Some(pending) = self.pending.get(&uid) else { return };
+        let targets = match pending {
+            Pending::GetQuery { ph, .. }
+            | Pending::PutQuery { ph, .. }
+            | Pending::GetWriteBack { ph, .. }
+            | Pending::PutUpdate { ph, .. } => ph.missing(),
+        };
+        if let Some(msg) = self.retransmit_message(pending) {
+            for p in targets {
+                fx.send(p, msg.clone());
+            }
+            self.arm_timer(uid, fx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal FIFO executor local to this crate's tests.
+    struct Net<K, V> {
+        nodes: Vec<KvNode<K, V>>,
+        queue: std::collections::VecDeque<(ProcessId, ProcessId, KvMsg<K, V>)>,
+        responses: Vec<(OpId, KvResp<V>)>,
+        alive: Vec<bool>,
+        next_op: u64,
+        sent: u64,
+    }
+
+    impl<K, V> Net<K, V>
+    where
+        K: Clone + Eq + Hash + Debug + Send + 'static,
+        V: Clone + Debug + Send + 'static,
+    {
+        fn new(n: usize) -> Self {
+            Net {
+                nodes: (0..n).map(|i| KvNode::new(KvConfig::new(n, ProcessId(i)))).collect(),
+                queue: Default::default(),
+                responses: Vec::new(),
+                alive: vec![true; n],
+                next_op: 0,
+                sent: 0,
+            }
+        }
+
+        fn absorb(&mut self, from: ProcessId, fx: Effects<KvMsg<K, V>, KvResp<V>>) {
+            for (to, m) in fx.sends {
+                self.sent += 1;
+                self.queue.push_back((from, to, m));
+            }
+            self.responses.extend(fx.responses);
+        }
+
+        fn invoke(&mut self, i: usize, op: KvOp<K, V>) -> OpId {
+            let id = OpId(self.next_op);
+            self.next_op += 1;
+            let mut fx = Effects::new();
+            self.nodes[i].on_invoke(id, op, &mut fx);
+            self.absorb(ProcessId(i), fx);
+            id
+        }
+
+        fn run(&mut self) {
+            while let Some((from, to, m)) = self.queue.pop_front() {
+                if !self.alive[to.index()] {
+                    continue;
+                }
+                let mut fx = Effects::new();
+                self.nodes[to.index()].on_message(from, m, &mut fx);
+                self.absorb(to, fx);
+            }
+        }
+
+        fn take(&mut self) -> Vec<(OpId, KvResp<V>)> {
+            std::mem::take(&mut self.responses)
+        }
+    }
+
+    #[test]
+    fn put_then_get() {
+        let mut net: Net<&str, u32> = Net::new(3);
+        net.invoke(0, KvOp::Put("k", 7));
+        net.run();
+        net.invoke(2, KvOp::Get("k"));
+        net.run();
+        let r = net.take();
+        assert_eq!(r[0].1, KvResp::PutOk);
+        assert_eq!(r[1].1, KvResp::GetOk(Some(7)));
+    }
+
+    #[test]
+    fn get_of_missing_key_returns_none_without_write_back() {
+        let mut net: Net<&str, u32> = Net::new(3);
+        net.invoke(1, KvOp::Get("nope"));
+        net.run();
+        assert_eq!(net.take()[0].1, KvResp::GetOk(None));
+        // Only the query round: 2(n-1) messages.
+        assert_eq!(net.sent, 4);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut net: Net<String, u64> = Net::new(3);
+        for (i, k) in ["a", "b", "c"].iter().enumerate() {
+            net.invoke(i, KvOp::Put(k.to_string(), i as u64));
+        }
+        net.run();
+        for (i, k) in ["a", "b", "c"].iter().enumerate() {
+            net.invoke((i + 1) % 3, KvOp::Get(k.to_string()));
+        }
+        net.run();
+        let r = net.take();
+        assert_eq!(r[3].1, KvResp::GetOk(Some(0)));
+        assert_eq!(r[4].1, KvResp::GetOk(Some(1)));
+        assert_eq!(r[5].1, KvResp::GetOk(Some(2)));
+    }
+
+    #[test]
+    fn last_put_wins_per_key() {
+        let mut net: Net<&str, u32> = Net::new(5);
+        net.invoke(1, KvOp::Put("k", 1));
+        net.run();
+        net.invoke(3, KvOp::Put("k", 2));
+        net.run();
+        net.invoke(4, KvOp::Get("k"));
+        net.run();
+        let r = net.take();
+        assert_eq!(r[2].1, KvResp::GetOk(Some(2)));
+    }
+
+    #[test]
+    fn pipelined_operations_complete_independently() {
+        let mut net: Net<&str, u32> = Net::new(3);
+        // Two ops in flight on the same node before any delivery.
+        net.invoke(0, KvOp::Put("x", 1));
+        net.invoke(0, KvOp::Put("y", 2));
+        assert_eq!(net.nodes[0].in_flight(), 2);
+        net.run();
+        let r = net.take();
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|(_, resp)| *resp == KvResp::PutOk));
+        assert_eq!(net.nodes[0].in_flight(), 0);
+    }
+
+    #[test]
+    fn tolerates_minority_crash() {
+        let mut net: Net<&str, u32> = Net::new(5);
+        net.alive[3] = false;
+        net.alive[4] = false;
+        net.invoke(0, KvOp::Put("k", 9));
+        net.run();
+        net.invoke(1, KvOp::Get("k"));
+        net.run();
+        let r = net.take();
+        assert_eq!(r[1].1, KvResp::GetOk(Some(9)));
+    }
+
+    #[test]
+    fn blocks_under_majority_crash() {
+        let mut net: Net<&str, u32> = Net::new(5);
+        for i in 2..5 {
+            net.alive[i] = false;
+        }
+        net.invoke(0, KvOp::Put("k", 9));
+        net.run();
+        assert!(net.take().is_empty());
+        assert_eq!(net.nodes[0].in_flight(), 1);
+    }
+
+    #[test]
+    fn concurrent_puts_converge() {
+        let mut net: Net<&str, u32> = Net::new(3);
+        net.invoke(0, KvOp::Put("k", 10));
+        net.invoke(1, KvOp::Put("k", 20));
+        net.run();
+        net.invoke(2, KvOp::Get("k"));
+        net.run();
+        let r = net.take();
+        let KvResp::GetOk(Some(winner)) = r[2].1 else { panic!("missing value") };
+        assert!(winner == 10 || winner == 20);
+        // All replicas agree.
+        let tags: Vec<_> = (0..3).map(|i| net.nodes[i].local_entry(&"k").unwrap().0).collect();
+        assert_eq!(tags[0], tags[1]);
+        assert_eq!(tags[1], tags[2]);
+    }
+
+    #[test]
+    fn local_len_counts_keys() {
+        let mut net: Net<&str, u32> = Net::new(3);
+        net.invoke(0, KvOp::Put("a", 1));
+        net.invoke(0, KvOp::Put("b", 2));
+        net.run();
+        assert_eq!(net.nodes[1].local_len(), 2);
+    }
+
+    #[test]
+    fn stale_replies_ignored() {
+        let mut node: KvNode<&str, u32> = KvNode::new(KvConfig::new(3, ProcessId(0)));
+        let mut fx = Effects::new();
+        node.on_message(
+            ProcessId(1),
+            KvMsg::QueryReply { uid: 77, tag: Tag::new(5, ProcessId(1)), value: Some(1) },
+            &mut fx,
+        );
+        node.on_message(ProcessId(1), KvMsg::UpdateAck { uid: 77 }, &mut fx);
+        assert!(fx.is_empty());
+        assert_eq!(node.local_len(), 0);
+    }
+}

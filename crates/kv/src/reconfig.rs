@@ -1,0 +1,940 @@
+//! Reconfigurable replicated storage — a deliberately simplified cousin of
+//! RAMBO (Lynch & Shvartsman, DISC 2002), the follow-up the Dijkstra Prize
+//! account cites for "systems with dynamic failures".
+//!
+//! The static emulation dies once a majority of the *original* cluster has
+//! crashed. Reconfiguration fixes that: an administrator installs a new
+//! member set, the store's state migrates, and the resilience clock
+//! restarts against the new membership.
+//!
+//! ## Protocol
+//!
+//! Every node knows a [`Config`] `(epoch, members)`. Client operations are
+//! **epoch-fenced**: queries/updates carry their epoch and replicas ignore
+//! messages from other epochs, so an operation only completes with a
+//! quorum of the configuration it started in (clients restart under the
+//! new configuration otherwise — their retransmission timer notices the
+//! epoch moved).
+//!
+//! `Reconfig(new_members)` runs three phases:
+//!
+//! 1. **Collect & fence** — `StateRequest` to the old members; answering
+//!    *fences* a replica (it stops serving the old epoch). Once a majority
+//!    of the old configuration has answered, any old-epoch write that ever
+//!    completed is contained in the merged state: a completed write has a
+//!    majority of old-epoch acks, it intersects the fenced majority, and
+//!    the common replica must have acked the write *before* fencing (after
+//!    fencing it refuses old-epoch updates).
+//! 2. **Install** — merged store + new config to the new members; wait for
+//!    a majority of the *new* configuration.
+//! 3. **Announce** — best-effort broadcast of the new config to everyone
+//!    (stragglers also learn it when their fenced retries time out).
+//!
+//! ## Documented simplification
+//!
+//! Competing concurrent reconfigurations are **not** arbitrated: epochs
+//! are chosen as `current + 1`, so two simultaneous administrators could
+//! fork the configuration. RAMBO orders configurations with consensus
+//! (and the paper lineage suggests exactly disk Paxos for it); here
+//! reconfiguration is assumed externally serialized — one administrator —
+//! which is enforced per node and documented as the scope cut.
+
+use abd_core::context::{Effects, Protocol, TimerKey};
+use abd_core::phase::PhaseTracker;
+use abd_core::procset::ProcSet;
+use abd_core::types::{Nanos, OpId, ProcessId, Tag};
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A configuration: an epoch number and the member set acting as replicas.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Config {
+    /// Monotonically increasing configuration number.
+    pub epoch: u64,
+    /// The replicas of this epoch (majority quorums within this set).
+    pub members: Vec<ProcessId>,
+}
+
+impl Config {
+    /// Creates the initial configuration (epoch 0).
+    pub fn initial(members: Vec<ProcessId>) -> Self {
+        assert!(!members.is_empty(), "a configuration needs members");
+        Config { epoch: 0, members }
+    }
+
+    /// Majority size of this configuration.
+    pub fn quorum(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    /// Whether `p` is a member.
+    pub fn has(&self, p: ProcessId) -> bool {
+        self.members.contains(&p)
+    }
+
+    /// Whether `responders ∩ members` reaches a majority of the members.
+    fn quorum_met(&self, responders: &ProcSet) -> bool {
+        self.members.iter().filter(|&&m| responders.contains(m)).count() >= self.quorum()
+    }
+}
+
+/// Wire messages of the reconfigurable store.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RcMsg<K, V> {
+    /// Epoch-fenced query for `key`.
+    Query {
+        /// Phase id.
+        uid: u64,
+        /// Epoch the issuing operation runs in.
+        epoch: u64,
+        /// Key being queried.
+        key: K,
+    },
+    /// Reply to [`RcMsg::Query`].
+    QueryReply {
+        /// Phase id copied from the query.
+        uid: u64,
+        /// Replica's tag for the key.
+        tag: Tag,
+        /// Replica's value for the key.
+        value: Option<V>,
+    },
+    /// Epoch-fenced update.
+    Update {
+        /// Phase id.
+        uid: u64,
+        /// Epoch the issuing operation runs in.
+        epoch: u64,
+        /// Key being updated.
+        key: K,
+        /// Tag of the value.
+        tag: Tag,
+        /// The value.
+        value: V,
+    },
+    /// Acknowledge an [`RcMsg::Update`].
+    UpdateAck {
+        /// Phase id copied from the update.
+        uid: u64,
+    },
+    /// Collect-and-fence request for the coordinator's phase 1.
+    StateRequest {
+        /// Phase id.
+        uid: u64,
+        /// The epoch being closed.
+        epoch: u64,
+    },
+    /// A replica's entire store (it is now fenced for that epoch).
+    StateReply {
+        /// Phase id copied from the request.
+        uid: u64,
+        /// Full store contents `(key, tag, value)`.
+        store: Vec<(K, Tag, V)>,
+    },
+    /// Install a new configuration with the merged store.
+    Install {
+        /// Phase id.
+        uid: u64,
+        /// The new configuration.
+        config: Config,
+        /// Merged store to adopt (by tag).
+        store: Vec<(K, Tag, V)>,
+    },
+    /// Acknowledge an [`RcMsg::Install`].
+    InstallAck {
+        /// Phase id copied from the install.
+        uid: u64,
+    },
+    /// Best-effort notification of the new configuration.
+    Announce {
+        /// The new configuration.
+        config: Config,
+    },
+}
+
+/// Client operations of the reconfigurable store.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RcOp<K, V> {
+    /// Read `key`.
+    Get(K),
+    /// Write `value` under `key`.
+    Put(K, V),
+    /// Install a new member set (administrator operation; externally
+    /// serialized — see module docs).
+    Reconfig(Vec<ProcessId>),
+}
+
+/// Responses of the reconfigurable store.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RcResp<V> {
+    /// `Get` result.
+    GetOk(Option<V>),
+    /// `Put` completed.
+    PutOk,
+    /// Reconfiguration installed; the new epoch.
+    ReconfigOk {
+        /// Epoch of the installed configuration.
+        epoch: u64,
+    },
+    /// The operation could not run (e.g. a second concurrent reconfig on
+    /// this node).
+    Rejected(String),
+}
+
+/// Configuration of one node of the reconfigurable store.
+#[derive(Clone, Debug)]
+pub struct RcNodeConfig {
+    /// Universe size (node ids are `0..n`; configurations choose subsets).
+    pub n: usize,
+    /// This node's id.
+    pub me: ProcessId,
+    /// The initial configuration, shared by all nodes.
+    pub initial: Config,
+    /// Retransmission/retry interval (fenced operations retry with it).
+    pub retry: Nanos,
+}
+
+impl RcNodeConfig {
+    /// Creates a node config; the initial configuration defaults to all of
+    /// `0..n`.
+    pub fn new(n: usize, me: ProcessId) -> Self {
+        RcNodeConfig {
+            n,
+            me,
+            initial: Config::initial((0..n).map(ProcessId).collect()),
+            retry: 50_000,
+        }
+    }
+
+    /// Overrides the initial configuration.
+    pub fn with_initial(mut self, cfg: Config) -> Self {
+        self.initial = cfg;
+        self
+    }
+
+    /// Overrides the retry interval.
+    pub fn with_retry(mut self, retry: Nanos) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Pending<K, V> {
+    GetQuery { op: OpId, epoch: u64, key: K, ph: PhaseTracker, best: (Tag, Option<V>) },
+    GetWriteBack { op: OpId, epoch: u64, key: K, ph: PhaseTracker, tag: Tag, value: V },
+    PutQuery { op: OpId, epoch: u64, key: K, ph: PhaseTracker, best: Tag, value: V },
+    PutUpdate { op: OpId, epoch: u64, key: K, ph: PhaseTracker, tag: Tag, value: V },
+    Collect { op: OpId, epoch: u64, new_members: Vec<ProcessId>, ph: PhaseTracker, merged: HashMap<K, (Tag, V)> },
+    Install { op: OpId, new_config: Config, ph: PhaseTracker },
+}
+
+/// One node of the reconfigurable replicated key-value store.
+///
+/// # Examples
+///
+/// ```
+/// use abd_core::context::{Effects, Protocol};
+/// use abd_core::types::{OpId, ProcessId};
+/// use abd_kv::reconfig::{RcNode, RcNodeConfig, RcOp, RcResp};
+///
+/// // Single-node universe: everything completes locally.
+/// let mut node: RcNode<&'static str, u32> = RcNode::new(RcNodeConfig::new(1, ProcessId(0)));
+/// let mut fx = Effects::new();
+/// node.on_invoke(OpId(0), RcOp::Put("x", 1), &mut fx);
+/// node.on_invoke(OpId(1), RcOp::Get("x"), &mut fx);
+/// assert_eq!(fx.responses[1].1, RcResp::GetOk(Some(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RcNode<K, V> {
+    cfg: RcNodeConfig,
+    config: Config,
+    store: HashMap<K, (Tag, V)>,
+    /// Highest epoch this replica has been fenced for: it no longer serves
+    /// operations of epochs `<= fenced`.
+    fenced: Option<u64>,
+    next_uid: u64,
+    pending: HashMap<u64, Pending<K, V>>,
+    reconfig_in_flight: bool,
+}
+
+impl<K, V> RcNode<K, V>
+where
+    K: Clone + Eq + Hash + Debug + Send + 'static,
+    V: Clone + Debug + Send + 'static,
+{
+    /// Creates a node with an empty store in the initial configuration.
+    pub fn new(cfg: RcNodeConfig) -> Self {
+        assert!(cfg.me.index() < cfg.n, "node id out of range");
+        let config = cfg.initial.clone();
+        RcNode {
+            cfg,
+            config,
+            store: HashMap::new(),
+            fenced: None,
+            next_uid: 0,
+            pending: HashMap::new(),
+            reconfig_in_flight: false,
+        }
+    }
+
+    /// This node's current configuration.
+    pub fn current_config(&self) -> &Config {
+        &self.config
+    }
+
+    /// This node's local `(tag, value)` for `key`.
+    pub fn local_entry(&self, key: &K) -> Option<(Tag, &V)> {
+        self.store.get(key).map(|(t, v)| (*t, v))
+    }
+
+    /// Operations currently in flight on this node.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn fresh_uid(&mut self) -> u64 {
+        self.next_uid += 1;
+        self.next_uid
+    }
+
+    fn snapshot(&self, key: &K) -> (Tag, Option<V>) {
+        match self.store.get(key) {
+            Some((t, v)) => (*t, Some(v.clone())),
+            None => (Tag::initial(), None),
+        }
+    }
+
+    fn adopt(&mut self, key: K, tag: Tag, value: V) {
+        match self.store.get_mut(&key) {
+            Some(entry) => {
+                if tag > entry.0 {
+                    *entry = (tag, value);
+                }
+            }
+            None => {
+                if tag > Tag::initial() {
+                    self.store.insert(key, (tag, value));
+                }
+            }
+        }
+    }
+
+    /// Whether this replica may serve an operation of `epoch`.
+    fn serves(&self, epoch: u64) -> bool {
+        epoch == self.config.epoch
+            && self.config.has(self.cfg.me)
+            && self.fenced.map_or(true, |f| epoch > f)
+    }
+
+    fn send_to_members<'a, I: IntoIterator<Item = &'a ProcessId>>(
+        &self,
+        members: I,
+        msg: RcMsg<K, V>,
+        fx: &mut Effects<RcMsg<K, V>, RcResp<V>>,
+    ) {
+        for &m in members {
+            if m != self.cfg.me {
+                fx.send(m, msg.clone());
+            }
+        }
+    }
+
+    fn begin(&mut self, op: OpId, input: RcOp<K, V>, fx: &mut Effects<RcMsg<K, V>, RcResp<V>>) {
+        match input {
+            RcOp::Get(key) => self.begin_get(op, key, fx),
+            RcOp::Put(key, value) => self.begin_put(op, key, value, fx),
+            RcOp::Reconfig(members) => self.begin_reconfig(op, members, fx),
+        }
+    }
+
+    fn i_am_member(&self) -> bool {
+        self.config.has(self.cfg.me)
+    }
+
+    fn begin_get(&mut self, op: OpId, key: K, fx: &mut Effects<RcMsg<K, V>, RcResp<V>>) {
+        let epoch = self.config.epoch;
+        let uid = self.fresh_uid();
+        // PhaseTracker counts `me` unconditionally, but Config::quorum_met
+        // filters responders to members, so a non-member self never counts
+        // toward a quorum (and a fenced self contributes no reply data).
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        let best = if self.i_am_member() && self.serves(epoch) {
+            self.snapshot(&key)
+        } else {
+            (Tag::initial(), None)
+        };
+        if self.config.quorum_met(ph.responders()) {
+            self.enter_get_write_back(op, epoch, key, best, fx);
+            return;
+        }
+        self.send_to_members(
+            &self.config.members.clone(),
+            RcMsg::Query { uid, epoch, key: key.clone() },
+            fx,
+        );
+        self.pending.insert(uid, Pending::GetQuery { op, epoch, key, ph, best });
+        fx.set_timer(TimerKey(uid), self.cfg.retry);
+    }
+
+    fn begin_put(&mut self, op: OpId, key: K, value: V, fx: &mut Effects<RcMsg<K, V>, RcResp<V>>) {
+        let epoch = self.config.epoch;
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        let best = if self.i_am_member() && self.serves(epoch) {
+            self.snapshot(&key).0
+        } else {
+            Tag::initial()
+        };
+        if self.config.quorum_met(ph.responders()) {
+            self.enter_put_update(op, epoch, key, best, value, fx);
+            return;
+        }
+        self.send_to_members(
+            &self.config.members.clone(),
+            RcMsg::Query { uid, epoch, key: key.clone() },
+            fx,
+        );
+        self.pending.insert(uid, Pending::PutQuery { op, epoch, key, ph, best, value });
+        fx.set_timer(TimerKey(uid), self.cfg.retry);
+    }
+
+    fn begin_reconfig(
+        &mut self,
+        op: OpId,
+        members: Vec<ProcessId>,
+        fx: &mut Effects<RcMsg<K, V>, RcResp<V>>,
+    ) {
+        if members.is_empty() || members.iter().any(|m| m.index() >= self.cfg.n) {
+            fx.respond(op, RcResp::Rejected("invalid member set".into()));
+            return;
+        }
+        if self.reconfig_in_flight {
+            fx.respond(op, RcResp::Rejected("reconfiguration already in flight".into()));
+            return;
+        }
+        self.reconfig_in_flight = true;
+        let epoch = self.config.epoch;
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        let mut merged: HashMap<K, (Tag, V)> = HashMap::new();
+        if self.i_am_member() {
+            // Answer our own StateRequest inline: fence ourselves.
+            self.fenced = Some(self.fenced.map_or(epoch, |f| f.max(epoch)));
+            merged = self.store.clone();
+        }
+        if self.config.quorum_met(ph.responders()) {
+            self.enter_install(op, members, merged, fx);
+            return;
+        }
+        self.send_to_members(&self.config.members.clone(), RcMsg::StateRequest { uid, epoch }, fx);
+        self.pending.insert(uid, Pending::Collect { op, epoch, new_members: members, ph, merged });
+        fx.set_timer(TimerKey(uid), self.cfg.retry);
+    }
+
+    fn enter_get_write_back(
+        &mut self,
+        op: OpId,
+        epoch: u64,
+        key: K,
+        best: (Tag, Option<V>),
+        fx: &mut Effects<RcMsg<K, V>, RcResp<V>>,
+    ) {
+        let (tag, value) = best;
+        let Some(value) = value else {
+            fx.respond(op, RcResp::GetOk(None));
+            return;
+        };
+        if self.serves(epoch) {
+            self.adopt(key.clone(), tag, value.clone());
+        }
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        if self.config.quorum_met(ph.responders()) {
+            fx.respond(op, RcResp::GetOk(Some(value)));
+            return;
+        }
+        self.send_to_members(
+            &self.config.members.clone(),
+            RcMsg::Update { uid, epoch, key: key.clone(), tag, value: value.clone() },
+            fx,
+        );
+        self.pending.insert(uid, Pending::GetWriteBack { op, epoch, key, ph, tag, value });
+        fx.set_timer(TimerKey(uid), self.cfg.retry);
+    }
+
+    fn enter_put_update(
+        &mut self,
+        op: OpId,
+        epoch: u64,
+        key: K,
+        max_seen: Tag,
+        value: V,
+        fx: &mut Effects<RcMsg<K, V>, RcResp<V>>,
+    ) {
+        let tag = max_seen.next(self.cfg.me);
+        if self.serves(epoch) {
+            self.adopt(key.clone(), tag, value.clone());
+        }
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        if self.config.quorum_met(ph.responders()) {
+            fx.respond(op, RcResp::PutOk);
+            return;
+        }
+        self.send_to_members(
+            &self.config.members.clone(),
+            RcMsg::Update { uid, epoch, key: key.clone(), tag, value: value.clone() },
+            fx,
+        );
+        self.pending.insert(uid, Pending::PutUpdate { op, epoch, key, ph, tag, value });
+        fx.set_timer(TimerKey(uid), self.cfg.retry);
+    }
+
+    fn enter_install(
+        &mut self,
+        op: OpId,
+        members: Vec<ProcessId>,
+        merged: HashMap<K, (Tag, V)>,
+        fx: &mut Effects<RcMsg<K, V>, RcResp<V>>,
+    ) {
+        let new_config = Config { epoch: self.config.epoch + 1, members };
+        let store: Vec<(K, Tag, V)> =
+            merged.into_iter().map(|(k, (t, v))| (k, t, v)).collect();
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        if new_config.has(self.cfg.me) {
+            // Install locally.
+            for (k, t, v) in &store {
+                self.adopt(k.clone(), *t, v.clone());
+            }
+            self.config = new_config.clone();
+            self.fenced = None;
+        }
+        if new_config.quorum_met(ph.responders()) {
+            self.finish_reconfig(op, new_config, fx);
+            return;
+        }
+        self.send_to_members(
+            &new_config.members.clone(),
+            RcMsg::Install { uid, config: new_config.clone(), store },
+            fx,
+        );
+        self.pending.insert(uid, Pending::Install { op, new_config, ph });
+        fx.set_timer(TimerKey(uid), self.cfg.retry);
+    }
+
+    fn finish_reconfig(
+        &mut self,
+        op: OpId,
+        new_config: Config,
+        fx: &mut Effects<RcMsg<K, V>, RcResp<V>>,
+    ) {
+        // Adopt (if we have not already via local install) and announce to
+        // the whole universe, members or not.
+        if new_config.epoch > self.config.epoch {
+            self.config = new_config.clone();
+            self.fenced = None;
+        }
+        for i in 0..self.cfg.n {
+            let p = ProcessId(i);
+            if p != self.cfg.me {
+                fx.send(p, RcMsg::Announce { config: new_config.clone() });
+            }
+        }
+        self.reconfig_in_flight = false;
+        fx.respond(op, RcResp::ReconfigOk { epoch: new_config.epoch });
+    }
+
+    /// Restart a pending client operation under the current configuration
+    /// (its epoch moved on, or its quorum can no longer answer).
+    fn restart(&mut self, uid: u64, fx: &mut Effects<RcMsg<K, V>, RcResp<V>>) {
+        let Some(pending) = self.pending.remove(&uid) else { return };
+        match pending {
+            Pending::GetQuery { op, key, .. } | Pending::GetWriteBack { op, key, .. } => {
+                self.begin_get(op, key, fx);
+            }
+            Pending::PutQuery { op, key, value, .. } | Pending::PutUpdate { op, key, value, .. } => {
+                self.begin_put(op, key, value, fx);
+            }
+            // Reconfiguration phases retransmit rather than restart.
+            other @ (Pending::Collect { .. } | Pending::Install { .. }) => {
+                let _ = self.pending.insert(uid, other);
+            }
+        }
+    }
+}
+
+impl<K, V> Protocol for RcNode<K, V>
+where
+    K: Clone + Eq + Hash + Debug + Send + 'static,
+    V: Clone + Debug + Send + 'static,
+{
+    type Msg = RcMsg<K, V>;
+    type Op = RcOp<K, V>;
+    type Resp = RcResp<V>;
+
+    fn id(&self) -> ProcessId {
+        self.cfg.me
+    }
+
+    fn on_invoke(&mut self, op: OpId, input: RcOp<K, V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        self.begin(op, input, fx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: RcMsg<K, V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        match msg {
+            // ---- replica role ----
+            RcMsg::Query { uid, epoch, key } => {
+                if self.serves(epoch) {
+                    let (tag, value) = self.snapshot(&key);
+                    fx.send(from, RcMsg::QueryReply { uid, tag, value });
+                }
+                // Fenced or wrong epoch: stay silent; the client's retry
+                // timer will restart the operation under the new config.
+            }
+            RcMsg::Update { uid, epoch, key, tag, value } => {
+                if self.serves(epoch) {
+                    self.adopt(key, tag, value);
+                    fx.send(from, RcMsg::UpdateAck { uid });
+                }
+            }
+            RcMsg::StateRequest { uid, epoch } => {
+                if epoch == self.config.epoch && self.config.has(self.cfg.me) {
+                    self.fenced = Some(self.fenced.map_or(epoch, |f| f.max(epoch)));
+                    let store: Vec<(K, Tag, V)> =
+                        self.store.iter().map(|(k, (t, v))| (k.clone(), *t, v.clone())).collect();
+                    fx.send(from, RcMsg::StateReply { uid, store });
+                }
+            }
+            RcMsg::Install { uid, config, store } => {
+                if config.epoch > self.config.epoch {
+                    for (k, t, v) in store {
+                        self.adopt(k, t, v);
+                    }
+                    self.config = config;
+                    self.fenced = None;
+                }
+                // Idempotent ack (duplicates / stragglers).
+                fx.send(from, RcMsg::InstallAck { uid });
+            }
+            RcMsg::Announce { config } => {
+                if config.epoch > self.config.epoch {
+                    self.config = config;
+                    self.fenced = None;
+                }
+            }
+            // ---- client role ----
+            RcMsg::QueryReply { uid, tag, value } => {
+                let config = self.config.clone();
+                enum Next<K, V> {
+                    Get(OpId, u64, K, (Tag, Option<V>)),
+                    Put(OpId, u64, K, Tag, V),
+                }
+                let next = match self.pending.get_mut(&uid) {
+                    Some(Pending::GetQuery { op, epoch, key, ph, best }) => {
+                        if !ph.record(from, uid) {
+                            return;
+                        }
+                        if tag > best.0 {
+                            *best = (tag, value);
+                        }
+                        if config.quorum_met(ph.responders()) {
+                            Some(Next::Get(*op, *epoch, key.clone(), best.clone()))
+                        } else {
+                            None
+                        }
+                    }
+                    Some(Pending::PutQuery { op, epoch, key, ph, best, value: v }) => {
+                        if !ph.record(from, uid) {
+                            return;
+                        }
+                        if tag > *best {
+                            *best = tag;
+                        }
+                        if config.quorum_met(ph.responders()) {
+                            Some(Next::Put(*op, *epoch, key.clone(), *best, v.clone()))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                match next {
+                    Some(Next::Get(op, epoch, key, best)) => {
+                        self.pending.remove(&uid);
+                        fx.cancel_timer(TimerKey(uid));
+                        self.enter_get_write_back(op, epoch, key, best, fx);
+                    }
+                    Some(Next::Put(op, epoch, key, best, v)) => {
+                        self.pending.remove(&uid);
+                        fx.cancel_timer(TimerKey(uid));
+                        self.enter_put_update(op, epoch, key, best, v, fx);
+                    }
+                    None => {}
+                }
+            }
+            RcMsg::UpdateAck { uid } => {
+                let config = self.config.clone();
+                let done = match self.pending.get_mut(&uid) {
+                    Some(Pending::PutUpdate { op, ph, .. }) => {
+                        if ph.record(from, uid) && config.quorum_met(ph.responders()) {
+                            Some((*op, RcResp::PutOk))
+                        } else {
+                            None
+                        }
+                    }
+                    Some(Pending::GetWriteBack { op, ph, value, .. }) => {
+                        if ph.record(from, uid) && config.quorum_met(ph.responders()) {
+                            Some((*op, RcResp::GetOk(Some(value.clone()))))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some((op, resp)) = done {
+                    self.pending.remove(&uid);
+                    fx.cancel_timer(TimerKey(uid));
+                    fx.respond(op, resp);
+                }
+            }
+            RcMsg::StateReply { uid, store } => {
+                let quorum_now = match self.pending.get_mut(&uid) {
+                    Some(Pending::Collect { ph, merged, .. }) => {
+                        if !ph.record(from, uid) {
+                            return;
+                        }
+                        for (k, t, v) in store {
+                            match merged.get_mut(&k) {
+                                Some(entry) => {
+                                    if t > entry.0 {
+                                        *entry = (t, v);
+                                    }
+                                }
+                                None => {
+                                    merged.insert(k, (t, v));
+                                }
+                            }
+                        }
+                        let old_cfg = self.config.clone();
+                        old_cfg.quorum_met(ph.responders())
+                    }
+                    _ => return,
+                };
+                if quorum_now {
+                    let Some(Pending::Collect { op, new_members, merged, .. }) =
+                        self.pending.remove(&uid)
+                    else {
+                        unreachable!()
+                    };
+                    fx.cancel_timer(TimerKey(uid));
+                    self.enter_install(op, new_members, merged, fx);
+                }
+            }
+            RcMsg::InstallAck { uid } => {
+                let done = match self.pending.get_mut(&uid) {
+                    Some(Pending::Install { op, new_config, ph }) => {
+                        if ph.record(from, uid) && new_config.quorum_met(ph.responders()) {
+                            Some((*op, new_config.clone()))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some((op, new_config)) = done {
+                    self.pending.remove(&uid);
+                    fx.cancel_timer(TimerKey(uid));
+                    self.finish_reconfig(op, new_config, fx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        let uid = key.0;
+        let Some(pending) = self.pending.get(&uid) else { return };
+        let epoch_moved = match pending {
+            Pending::GetQuery { epoch, .. }
+            | Pending::GetWriteBack { epoch, .. }
+            | Pending::PutQuery { epoch, .. }
+            | Pending::PutUpdate { epoch, .. } => *epoch != self.config.epoch,
+            Pending::Collect { .. } | Pending::Install { .. } => false,
+        };
+        if epoch_moved {
+            // The configuration changed under this operation: restart it.
+            self.restart(uid, fx);
+            return;
+        }
+        // A reconfiguration phase whose epoch context has been overtaken
+        // (a competing administrator won) aborts cleanly instead of
+        // retrying forever — the unsupported-concurrency case is thereby
+        // *detected*, per the module docs.
+        let overtaken = match self.pending.get(&uid) {
+            Some(Pending::Collect { epoch, .. }) => self.config.epoch != *epoch,
+            Some(Pending::Install { new_config, .. }) => self.config.epoch >= new_config.epoch,
+            _ => false,
+        };
+        if overtaken {
+            let (op_id, was_install_done) = match self.pending.remove(&uid) {
+                Some(Pending::Collect { op, .. }) => (op, false),
+                Some(Pending::Install { op, new_config, .. }) => {
+                    (op, self.config.epoch >= new_config.epoch)
+                }
+                _ => unreachable!(),
+            };
+            self.reconfig_in_flight = false;
+            let _ = was_install_done;
+            fx.respond(
+                op_id,
+                RcResp::Rejected("configuration changed during reconfiguration".into()),
+            );
+            return;
+        }
+        // Same epoch: plain retransmission to non-responders.
+        let (targets, msg): (Vec<ProcessId>, RcMsg<K, V>) = match pending {
+            Pending::GetQuery { epoch, key, ph, .. } | Pending::PutQuery { epoch, key, ph, .. } => (
+                ph.missing(),
+                RcMsg::Query { uid, epoch: *epoch, key: key.clone() },
+            ),
+            Pending::GetWriteBack { epoch, key, ph, tag, value, .. }
+            | Pending::PutUpdate { epoch, key, ph, tag, value, .. } => (
+                ph.missing(),
+                RcMsg::Update { uid, epoch: *epoch, key: key.clone(), tag: *tag, value: value.clone() },
+            ),
+            Pending::Collect { epoch, ph, .. } => {
+                (ph.missing(), RcMsg::StateRequest { uid, epoch: *epoch })
+            }
+            Pending::Install { new_config, ph, .. } => {
+                // Re-send the full install to stragglers.
+                let store: Vec<(K, Tag, V)> =
+                    self.store.iter().map(|(k, (t, v))| (k.clone(), *t, v.clone())).collect();
+                (ph.missing(), RcMsg::Install { uid, config: new_config.clone(), store })
+            }
+        };
+        let members: Vec<ProcessId> = match self.pending.get(&uid) {
+            Some(Pending::Install { new_config, .. }) => new_config.members.clone(),
+            _ => self.config.members.clone(),
+        };
+        for p in targets {
+            if members.contains(&p) && p != self.cfg.me {
+                fx.send(p, msg.clone());
+            }
+        }
+        fx.set_timer(TimerKey(uid), self.cfg.retry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The doc example covers the n = 1 fast path; the integration tests in
+    // `tests/reconfiguration.rs` drive multi-node clusters through the
+    // simulator. Here: pure state-machine unit tests.
+
+    #[test]
+    fn config_quorum_math() {
+        let c = Config::initial(vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+        assert_eq!(c.quorum(), 2);
+        assert!(c.has(ProcessId(1)));
+        assert!(!c.has(ProcessId(3)));
+        let mut r = ProcSet::new(5);
+        r.insert(ProcessId(0));
+        assert!(!c.quorum_met(&r));
+        r.insert(ProcessId(3)); // not a member: does not count
+        assert!(!c.quorum_met(&r));
+        r.insert(ProcessId(2));
+        assert!(c.quorum_met(&r));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs members")]
+    fn empty_config_rejected() {
+        Config::initial(vec![]);
+    }
+
+    #[test]
+    fn rejects_invalid_member_set() {
+        let mut node: RcNode<&str, u32> = RcNode::new(RcNodeConfig::new(3, ProcessId(0)));
+        let mut fx = Effects::new();
+        node.on_invoke(OpId(0), RcOp::Reconfig(vec![]), &mut fx);
+        assert!(matches!(fx.responses[0].1, RcResp::Rejected(_)));
+        let mut fx = Effects::new();
+        node.on_invoke(OpId(1), RcOp::Reconfig(vec![ProcessId(9)]), &mut fx);
+        assert!(matches!(fx.responses[0].1, RcResp::Rejected(_)));
+    }
+
+    #[test]
+    fn rejects_concurrent_local_reconfig() {
+        let mut node: RcNode<&str, u32> = RcNode::new(RcNodeConfig::new(3, ProcessId(0)));
+        let mut fx = Effects::new();
+        node.on_invoke(OpId(0), RcOp::Reconfig(vec![ProcessId(0), ProcessId(1)]), &mut fx);
+        // First reconfig is collecting; a second must be rejected.
+        node.on_invoke(OpId(1), RcOp::Reconfig(vec![ProcessId(0)]), &mut fx);
+        assert!(fx
+            .responses
+            .iter()
+            .any(|(op, r)| *op == OpId(1) && matches!(r, RcResp::Rejected(_))));
+    }
+
+    #[test]
+    fn fenced_replica_ignores_old_epoch() {
+        let mut node: RcNode<&str, u32> = RcNode::new(RcNodeConfig::new(3, ProcessId(1)));
+        let mut fx = Effects::new();
+        // Fence via StateRequest for epoch 0.
+        node.on_message(ProcessId(0), RcMsg::StateRequest { uid: 1, epoch: 0 }, &mut fx);
+        assert!(matches!(fx.sends[0].1, RcMsg::StateReply { .. }));
+        // An old-epoch update is now ignored (no ack, no adoption).
+        let mut fx = Effects::new();
+        node.on_message(
+            ProcessId(0),
+            RcMsg::Update { uid: 2, epoch: 0, key: "k", tag: Tag::new(1, ProcessId(0)), value: 9 },
+            &mut fx,
+        );
+        assert!(fx.is_empty(), "fenced replica must stay silent");
+        assert!(node.local_entry(&"k").is_none());
+    }
+
+    #[test]
+    fn install_adopts_config_and_state() {
+        let mut node: RcNode<&str, u32> = RcNode::new(RcNodeConfig::new(3, ProcessId(2)));
+        let mut fx = Effects::new();
+        let new_cfg = Config { epoch: 1, members: vec![ProcessId(1), ProcessId(2)] };
+        node.on_message(
+            ProcessId(0),
+            RcMsg::Install {
+                uid: 7,
+                config: new_cfg.clone(),
+                store: vec![("k", Tag::new(3, ProcessId(0)), 42)],
+            },
+            &mut fx,
+        );
+        assert!(matches!(fx.sends[0].1, RcMsg::InstallAck { uid: 7 }));
+        assert_eq!(node.current_config(), &new_cfg);
+        assert_eq!(node.local_entry(&"k").map(|(_, v)| *v), Some(42));
+        // Re-delivery is idempotent.
+        let mut fx = Effects::new();
+        node.on_message(
+            ProcessId(0),
+            RcMsg::Install { uid: 7, config: new_cfg.clone(), store: vec![] },
+            &mut fx,
+        );
+        assert!(matches!(fx.sends[0].1, RcMsg::InstallAck { uid: 7 }));
+        assert_eq!(node.local_entry(&"k").map(|(_, v)| *v), Some(42));
+    }
+
+    #[test]
+    fn announce_moves_epoch_forward_only() {
+        let mut node: RcNode<&str, u32> = RcNode::new(RcNodeConfig::new(3, ProcessId(0)));
+        let newer = Config { epoch: 2, members: vec![ProcessId(0)] };
+        let older = Config { epoch: 1, members: vec![ProcessId(1)] };
+        let mut fx = Effects::new();
+        node.on_message(ProcessId(1), RcMsg::Announce { config: newer.clone() }, &mut fx);
+        assert_eq!(node.current_config().epoch, 2);
+        node.on_message(ProcessId(1), RcMsg::Announce { config: older }, &mut fx);
+        assert_eq!(node.current_config(), &newer, "older announce ignored");
+    }
+}

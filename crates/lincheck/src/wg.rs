@@ -1,0 +1,335 @@
+//! A Wing–Gong style linearizability checker for register histories.
+//!
+//! The checker searches for a *linearization*: a total order of the
+//! operations that (a) respects real time — if `a` responded before `b` was
+//! invoked, `a` comes first — and (b) is legal for a sequential read/write
+//! register — every read returns the most recently written value. Pending
+//! writes (from crashed clients) are optional: they may take effect at any
+//! point after their invocation, or never.
+//!
+//! The search memoizes on `(set of linearized operations, current value)`,
+//! the standard Wing–Gong optimization: two interleavings that linearized
+//! the same set and left the register in the same state are
+//! interchangeable. Register histories prune very well in practice; a
+//! configurable state cap turns pathological cases into an explicit
+//! [`CheckResult::Unknown`] instead of an unbounded search.
+
+use crate::history::{History, RegAction};
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// Verdict of a linearizability check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CheckResult {
+    /// A linearization exists (the history is atomic).
+    Linearizable,
+    /// No linearization exists (the history is **not** atomic).
+    NotLinearizable,
+    /// The state cap was hit before the search concluded.
+    Unknown,
+}
+
+/// Default cap on distinct memoized states explored.
+pub const DEFAULT_STATE_LIMIT: usize = 2_000_000;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct StateKey {
+    done: Vec<u64>,
+    value: u32,
+}
+
+struct Op {
+    client: usize,
+    start: u64,
+    end: Option<u64>, // None for pending writes
+    kind: Kind,
+}
+
+/// Real-time (plus program-order) precedence: `j` must be linearized before
+/// `i`. Distinct clients are ordered only when `j` responded strictly before
+/// `i` was invoked; operations of the *same* (sequential) client are also
+/// ordered when their intervals merely touch (`j.end == i.start`), with the
+/// original history index breaking ties between degenerate equal intervals.
+fn precedes(j: &Op, jdx: usize, i: &Op, idx: usize) -> bool {
+    let Some(jend) = j.end else { return false };
+    if jend < i.start {
+        return true;
+    }
+    j.client == i.client
+        && jend <= i.start
+        && (j.start < i.start || (j.start == i.start && jdx < idx))
+}
+
+enum Kind {
+    Write(u32),
+    Read(u32),
+}
+
+/// Checks linearizability with the default state cap.
+pub fn check_linearizable<V: Eq + Hash + Clone>(h: &History<V>) -> CheckResult {
+    check_linearizable_with_limit(h, DEFAULT_STATE_LIMIT)
+}
+
+/// Checks linearizability, giving up with [`CheckResult::Unknown`] after
+/// exploring `state_limit` distinct states.
+pub fn check_linearizable_with_limit<V: Eq + Hash + Clone>(
+    h: &History<V>,
+    state_limit: usize,
+) -> CheckResult {
+    // Intern values as dense indices; index 0 is the initial value.
+    let mut dense: HashMap<V, u32> = HashMap::new();
+    dense.insert(h.initial().clone(), 0);
+    let idx = |v: &V, dense: &mut HashMap<V, u32>| -> u32 {
+        if let Some(&i) = dense.get(v) {
+            i
+        } else {
+            let i = dense.len() as u32;
+            dense.insert(v.clone(), i);
+            i
+        }
+    };
+
+    let mut ops: Vec<Op> = Vec::with_capacity(h.len() + h.pending_writes().len());
+    for c in h.ops() {
+        let kind = match &c.action {
+            RegAction::Write(v) => Kind::Write(idx(v, &mut dense)),
+            RegAction::Read(v) => Kind::Read(idx(v, &mut dense)),
+        };
+        ops.push(Op { client: c.client, start: c.start, end: Some(c.end), kind });
+    }
+    let completed = ops.len();
+    for (client, v, start) in h.pending_writes() {
+        let kind = Kind::Write(idx(v, &mut dense));
+        ops.push(Op { client: *client, start: *start, end: None, kind });
+    }
+
+    let total = ops.len();
+    if completed == 0 {
+        return CheckResult::Linearizable;
+    }
+
+    // predecessors[i] = ops that must be linearized before i can be.
+    let preds: Vec<Vec<usize>> = (0..total)
+        .map(|i| {
+            (0..total)
+                .filter(|&j| j != i)
+                .filter(|&j| precedes(&ops[j], j, &ops[i], i))
+                .collect()
+        })
+        .collect();
+
+    let words = total.div_ceil(64);
+    let full_completed: Vec<u64> = {
+        let mut w = vec![0u64; words];
+        for (i, word) in w.iter_mut().enumerate() {
+            for b in 0..64 {
+                let id = i * 64 + b;
+                if id < completed {
+                    *word |= 1 << b;
+                }
+            }
+        }
+        w
+    };
+
+    let mut visited: HashSet<StateKey> = HashSet::new();
+    let mut stack: Vec<StateKey> = vec![StateKey { done: vec![0u64; words], value: 0 }];
+    visited.insert(stack[0].clone());
+
+    let is_done = |done: &[u64], i: usize| done[i / 64] & (1 << (i % 64)) != 0;
+
+    while let Some(state) = stack.pop() {
+        // Success: every *completed* op linearized (pending may dangle).
+        if state
+            .done
+            .iter()
+            .zip(&full_completed)
+            .all(|(d, f)| d & f == *f)
+        {
+            return CheckResult::Linearizable;
+        }
+        if visited.len() >= state_limit {
+            return CheckResult::Unknown;
+        }
+        for i in 0..total {
+            if is_done(&state.done, i) {
+                continue;
+            }
+            if preds[i].iter().any(|&j| !is_done(&state.done, j)) {
+                continue;
+            }
+            let next_value = match ops[i].kind {
+                Kind::Write(v) => v,
+                Kind::Read(v) => {
+                    if v != state.value {
+                        continue;
+                    }
+                    state.value
+                }
+            };
+            let mut done = state.done.clone();
+            done[i / 64] |= 1 << (i % 64);
+            let key = StateKey { done, value: next_value };
+            if visited.insert(key.clone()) {
+                stack.push(key);
+            }
+        }
+    }
+    CheckResult::NotLinearizable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::History;
+    use crate::history::RegAction::{Read, Write};
+
+    fn lin<V: Eq + Hash + Clone>(h: &History<V>) -> bool {
+        match check_linearizable(h) {
+            CheckResult::Linearizable => true,
+            CheckResult::NotLinearizable => false,
+            CheckResult::Unknown => panic!("state limit hit in test"),
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h: History<u32> = History::new(0);
+        assert!(lin(&h));
+    }
+
+    #[test]
+    fn sequential_write_then_read() {
+        let mut h = History::new(0);
+        h.push(0, Write(1), 0, 10);
+        h.push(1, Read(1), 20, 30);
+        assert!(lin(&h));
+    }
+
+    #[test]
+    fn read_of_initial_value() {
+        let mut h = History::new(7);
+        h.push(0, Read(7), 0, 10);
+        assert!(lin(&h));
+    }
+
+    #[test]
+    fn read_of_never_written_value_fails() {
+        let mut h = History::new(0);
+        h.push(0, Write(1), 0, 10);
+        h.push(1, Read(9), 20, 30);
+        assert!(!lin(&h));
+    }
+
+    #[test]
+    fn stale_read_after_completed_write_fails() {
+        let mut h = History::new(0);
+        h.push(0, Write(1), 0, 10);
+        h.push(1, Read(0), 20, 30); // write finished at 10; read must see 1
+        assert!(!lin(&h));
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_value() {
+        for ret in [0u32, 1] {
+            let mut h = History::new(0);
+            h.push(0, Write(1), 0, 100);
+            h.push(1, Read(ret), 50, 60); // overlaps the write
+            assert!(lin(&h), "read returning {ret} concurrent with write is fine");
+        }
+    }
+
+    #[test]
+    fn new_old_inversion_fails() {
+        // The anomaly the write-back prevents: r1 finishes before r2 starts,
+        // r1 sees the new value, r2 the old one.
+        let mut h = History::new(0);
+        h.push(0, Write(1), 0, 100); // write concurrent with both reads
+        h.push(1, Read(1), 10, 20);
+        h.push(2, Read(0), 30, 40);
+        assert!(!lin(&h));
+        // Swapped returns are fine (old then new).
+        let mut h2 = History::new(0);
+        h2.push(0, Write(1), 0, 100);
+        h2.push(1, Read(0), 10, 20);
+        h2.push(2, Read(1), 30, 40);
+        assert!(lin(&h2));
+    }
+
+    #[test]
+    fn pending_write_may_take_effect() {
+        let mut h = History::new(0);
+        h.push_pending_write(0, 5, 0);
+        h.push(1, Read(5), 10, 20);
+        assert!(lin(&h), "pending write observed by a read");
+    }
+
+    #[test]
+    fn pending_write_may_never_take_effect() {
+        let mut h = History::new(0);
+        h.push_pending_write(0, 5, 0);
+        h.push(1, Read(0), 10, 20);
+        assert!(lin(&h), "pending write ignored");
+    }
+
+    #[test]
+    fn pending_write_cannot_take_effect_before_invocation() {
+        let mut h = History::new(0);
+        h.push(1, Read(5), 0, 10); // reads 5 before the pending write started
+        h.push_pending_write(0, 5, 50);
+        assert!(!lin(&h));
+    }
+
+    #[test]
+    fn multi_writer_interleaving() {
+        // Two concurrent writes, then reads that must agree on a single
+        // winner order: 2 then 1 is observable only if w1 is ordered last.
+        let mut h = History::new(0);
+        h.push(0, Write(1), 0, 50);
+        h.push(1, Write(2), 0, 50);
+        h.push(2, Read(2), 60, 70);
+        h.push(2, Read(2), 80, 90);
+        assert!(lin(&h));
+        // But flip-flopping reads after both writes completed are invalid.
+        let mut h2 = History::new(0);
+        h2.push(0, Write(1), 0, 50);
+        h2.push(1, Write(2), 0, 50);
+        h2.push(2, Read(2), 60, 70);
+        h2.push(2, Read(1), 80, 90);
+        h2.push(2, Read(2), 100, 110);
+        assert!(!lin(&h2));
+    }
+
+    #[test]
+    fn long_sequential_history_is_fast() {
+        let mut h = History::new(0u64);
+        let mut t = 0;
+        for v in 1..=300u64 {
+            h.push(0, Write(v), t, t + 5);
+            h.push(1, Read(v), t + 10, t + 15);
+            t += 20;
+        }
+        assert!(lin(&h));
+    }
+
+    #[test]
+    fn limit_yields_unknown() {
+        // Many fully concurrent writes: state space explodes; a tiny limit
+        // must surface Unknown rather than hang or guess.
+        let mut h = History::new(0u32);
+        for i in 0..20 {
+            h.push(i, Write(i as u32 + 1), 0, 1000);
+        }
+        h.push(30, Read(999), 2000, 2001); // unsatisfiable
+        assert_eq!(check_linearizable_with_limit(&h, 100), CheckResult::Unknown);
+    }
+
+    #[test]
+    fn read_own_write_across_clients_respects_real_time() {
+        let mut h = History::new(0);
+        h.push(0, Write(1), 0, 10);
+        h.push(0, Write(2), 20, 30);
+        h.push(1, Read(1), 40, 50); // 2 was completed at 30: stale
+        assert!(!lin(&h));
+    }
+}

@@ -1,0 +1,501 @@
+//! Thread-per-node runtime for sans-io protocols.
+//!
+//! Each protocol node runs on its own OS thread, receiving network messages
+//! and client commands over crossbeam channels and keeping its own timer
+//! wheel (serviced via `select!` timeouts). The protocol state machines are
+//! the *same objects* the deterministic simulator drives — this crate is
+//! the demonstration that the sans-io core runs on a real concurrent
+//! transport, and it is what the wall-clock criterion benchmarks measure.
+
+use crate::delay::Delayer;
+use abd_core::context::{Effects, Protocol, TimerCmd, TimerKey};
+use abd_core::types::{Nanos, OpId, ProcessId};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Network latency injected by the runtime router.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Jitter {
+    /// Deliver directly, as fast as the channels go.
+    #[default]
+    None,
+    /// Delay every message by a uniformly random duration in `[lo, hi]`
+    /// nanoseconds (routed through a dedicated delayer thread).
+    Uniform {
+        /// Minimum injected delay.
+        lo: Nanos,
+        /// Maximum injected delay.
+        hi: Nanos,
+    },
+}
+
+/// Commands a node thread accepts besides network messages.
+enum Cmd<P: Protocol> {
+    Invoke { op: OpId, input: P::Op, reply: Sender<P::Resp> },
+    Crash,
+    Shutdown,
+}
+
+/// A running cluster of protocol nodes on OS threads.
+///
+/// Dropping the cluster shuts every thread down.
+///
+/// # Examples
+///
+/// ```
+/// use abd_core::msg::{RegisterOp, RegisterResp};
+/// use abd_core::mwmr::{MwmrConfig, MwmrNode};
+/// use abd_core::types::ProcessId;
+/// use abd_runtime::cluster::{Cluster, Jitter};
+///
+/// let cluster = Cluster::spawn(
+///     (0..3).map(|i| MwmrNode::new(MwmrConfig::new(3, ProcessId(i)), 0u64)).collect(),
+///     Jitter::None,
+/// );
+/// let c0 = cluster.client(0);
+/// assert_eq!(c0.invoke(RegisterOp::Write(7)), RegisterResp::WriteOk);
+/// let c2 = cluster.client(2);
+/// assert_eq!(c2.invoke(RegisterOp::Read), RegisterResp::ReadOk(7));
+/// ```
+#[derive(Debug)]
+pub struct Cluster<P: Protocol> {
+    cmd_txs: Vec<Sender<Cmd<P>>>,
+    handles: Vec<JoinHandle<()>>,
+    next_op: Arc<AtomicU64>,
+    epoch: Instant,
+    _delayer: Option<Delayer<(ProcessId, ProcessId, P::Msg)>>,
+}
+
+impl<P: Protocol + Send + 'static> Cluster<P> {
+    /// Spawns one thread per node (node `i` must have id `i`). With a
+    /// [`Jitter`] other than `None`, messages are routed through a delayer
+    /// thread that injects random latency.
+    pub fn spawn(nodes: Vec<P>, jitter: Jitter) -> Self {
+        let n = nodes.len();
+        let mut net_txs = Vec::with_capacity(n);
+        let mut net_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<(ProcessId, P::Msg)>();
+            net_txs.push(tx);
+            net_rxs.push(rx);
+        }
+        let mut cmd_txs = Vec::with_capacity(n);
+        let mut cmd_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Cmd<P>>();
+            cmd_txs.push(tx);
+            cmd_rxs.push(rx);
+        }
+
+        // The fabric every node sends through: either direct channels or a
+        // delayer thread feeding them.
+        let delayer = match jitter {
+            Jitter::None => None,
+            Jitter::Uniform { lo, hi } => {
+                let txs = net_txs.clone();
+                Some(Delayer::spawn(lo, hi, move |(from, to, msg): (ProcessId, ProcessId, P::Msg)| {
+                    let _ = txs[to.index()].send((from, msg));
+                }))
+            }
+        };
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, node) in nodes.into_iter().enumerate() {
+            debug_assert_eq!(node.id(), ProcessId(i), "node {i} has wrong id");
+            let net_rx = net_rxs.remove(0);
+            let cmd_rx = cmd_rxs.remove(0);
+            let net_txs = net_txs.clone();
+            let delay_tx = delayer.as_ref().map(Delayer::sender);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("abd-node-{i}"))
+                    .spawn(move || node_main(node, net_rx, cmd_rx, net_txs, delay_tx))
+                    .expect("spawn node thread"),
+            );
+        }
+        Cluster {
+            cmd_txs,
+            handles,
+            next_op: Arc::new(AtomicU64::new(0)),
+            epoch: Instant::now(),
+            _delayer: delayer,
+        }
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn n(&self) -> usize {
+        self.cmd_txs.len()
+    }
+
+    /// The instant all client timing measurements are relative to.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// A blocking client bound to node `i`. Clients are cheap to create and
+    /// can live on any thread.
+    pub fn client(&self, i: usize) -> Client<P> {
+        Client {
+            node: ProcessId(i),
+            cmd_tx: self.cmd_txs[i].clone(),
+            next_op: Arc::clone(&self.next_op),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Crashes node `i`: its thread stops processing permanently. Pending
+    /// and future operations on it never complete (their clients would
+    /// block forever — use [`Client::try_invoke_for`] around crashes).
+    pub fn crash(&self, i: usize) {
+        let _ = self.cmd_txs[i].send(Cmd::Crash);
+    }
+}
+
+impl<P: Protocol> Drop for Cluster<P> {
+    fn drop(&mut self) {
+        for tx in &self.cmd_txs {
+            let _ = tx.send(Cmd::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A blocking client handle bound to one node of a [`Cluster`].
+#[derive(Debug)]
+pub struct Client<P: Protocol> {
+    node: ProcessId,
+    cmd_tx: Sender<Cmd<P>>,
+    next_op: Arc<AtomicU64>,
+    epoch: Instant,
+}
+
+impl<P: Protocol> Clone for Client<P> {
+    fn clone(&self) -> Self {
+        Client {
+            node: self.node,
+            cmd_tx: self.cmd_tx.clone(),
+            next_op: Arc::clone(&self.next_op),
+            epoch: self.epoch,
+        }
+    }
+}
+
+impl<P: Protocol> Client<P> {
+    /// The node this client is bound to.
+    pub fn node(&self) -> ProcessId {
+        self.node
+    }
+
+    /// Invokes `input` and blocks until the response arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has been crashed or shut down (the operation can
+    /// never complete).
+    pub fn invoke(&self, input: P::Op) -> P::Resp {
+        self.try_invoke_for(input, Duration::from_secs(60))
+            .expect("operation did not complete (node crashed or overloaded?)")
+    }
+
+    /// Invokes `input`, giving up after `timeout`. Returns `None` on
+    /// timeout — the operation may still take effect later (it is not
+    /// cancelled), exactly like a real client timing out on a real store.
+    pub fn try_invoke_for(&self, input: P::Op, timeout: Duration) -> Option<P::Resp> {
+        let op = OpId(self.next_op.fetch_add(1, Ordering::Relaxed));
+        let (reply_tx, reply_rx) = bounded(1);
+        self.cmd_tx.send(Cmd::Invoke { op, input, reply: reply_tx }).ok()?;
+        reply_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Like [`invoke`](Self::invoke), also returning the operation's
+    /// `[start, end]` interval in nanoseconds since the cluster epoch — the
+    /// format `abd-lincheck` histories use.
+    pub fn invoke_timed(&self, input: P::Op) -> (P::Resp, u64, u64) {
+        let start = self.epoch.elapsed().as_nanos() as u64;
+        let resp = self.invoke(input);
+        let end = self.epoch.elapsed().as_nanos() as u64;
+        (resp, start, end)
+    }
+}
+
+/// The node thread: drives the protocol with messages, commands and timers.
+fn node_main<P: Protocol>(
+    mut node: P,
+    net_rx: Receiver<(ProcessId, P::Msg)>,
+    cmd_rx: Receiver<Cmd<P>>,
+    net_txs: Vec<Sender<(ProcessId, P::Msg)>>,
+    delay_tx: Option<Sender<(ProcessId, ProcessId, P::Msg)>>,
+) {
+    let me = node.id();
+    let mut waiting: HashMap<OpId, Sender<P::Resp>> = HashMap::new();
+    // Timer wheel: key -> deadline. Small (a handful of phases), so a map
+    // scan per iteration is fine.
+    let mut timers: HashMap<TimerKey, Instant> = HashMap::new();
+    let mut crashed = false;
+
+    let mut fx: Effects<P::Msg, P::Resp> = Effects::new();
+    node.on_start(&mut fx);
+    apply_effects(me, &mut node, fx, &net_txs, &delay_tx, &mut timers, &mut waiting);
+
+    loop {
+        // Next timer deadline, if any.
+        let now = Instant::now();
+        let next_deadline = timers.values().min().copied();
+        let timeout = match next_deadline {
+            Some(d) if !crashed => d.saturating_duration_since(now),
+            _ => Duration::from_millis(50),
+        };
+
+        crossbeam::channel::select! {
+            recv(net_rx) -> msg => match msg {
+                Ok((from, m)) if !crashed => {
+                    let mut fx = Effects::new();
+                    node.on_message(from, m, &mut fx);
+                    apply_effects(me, &mut node, fx, &net_txs, &delay_tx, &mut timers, &mut waiting);
+                }
+                Ok(_) => {} // crashed: drop silently
+                Err(_) => return,
+            },
+            recv(cmd_rx) -> cmd => match cmd {
+                Ok(Cmd::Invoke { op, input, reply }) => {
+                    if crashed {
+                        continue; // client will time out
+                    }
+                    waiting.insert(op, reply);
+                    let mut fx = Effects::new();
+                    node.on_invoke(op, input, &mut fx);
+                    apply_effects(me, &mut node, fx, &net_txs, &delay_tx, &mut timers, &mut waiting);
+                }
+                Ok(Cmd::Crash) => crashed = true,
+                Ok(Cmd::Shutdown) | Err(_) => return,
+            },
+            default(timeout) => {
+                if crashed {
+                    continue;
+                }
+                let now = Instant::now();
+                let due: Vec<TimerKey> =
+                    timers.iter().filter(|(_, &d)| d <= now).map(|(&k, _)| k).collect();
+                for key in due {
+                    timers.remove(&key);
+                    let mut fx = Effects::new();
+                    node.on_timer(key, &mut fx);
+                    apply_effects(me, &mut node, fx, &net_txs, &delay_tx, &mut timers, &mut waiting);
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply_effects<P: Protocol>(
+    me: ProcessId,
+    node: &mut P,
+    fx: Effects<P::Msg, P::Resp>,
+    net_txs: &[Sender<(ProcessId, P::Msg)>],
+    delay_tx: &Option<Sender<(ProcessId, ProcessId, P::Msg)>>,
+    timers: &mut HashMap<TimerKey, Instant>,
+    waiting: &mut HashMap<OpId, Sender<P::Resp>>,
+) {
+    // Effects can cascade (e.g. finishing an op starts the next queued
+    // one), but protocols only emit effects from callbacks, so one level is
+    // enough — sends never produce local follow-ups.
+    let _ = node;
+    for (to, msg) in fx.sends {
+        if to == me {
+            // Self-sends loop back through the node's own channel.
+            let _ = net_txs[me.index()].send((me, msg));
+            continue;
+        }
+        match delay_tx {
+            Some(d) => {
+                let _ = d.send((me, to, msg));
+            }
+            None => {
+                let _ = net_txs[to.index()].send((me, msg));
+            }
+        }
+    }
+    for cmd in fx.timers {
+        match cmd {
+            TimerCmd::Set { key, after } => {
+                timers.insert(key, Instant::now() + Duration::from_nanos(after));
+            }
+            TimerCmd::Cancel { key } => {
+                timers.remove(&key);
+            }
+        }
+    }
+    for (op, resp) in fx.responses {
+        if let Some(reply) = waiting.remove(&op) {
+            let _ = reply.send(resp);
+        }
+    }
+}
+
+/// A shared history recorder for multi-threaded linearizability tests on
+/// the real runtime: threads append timed operations, the test extracts an
+/// `abd-lincheck`-shaped record set.
+#[derive(Clone, Debug, Default)]
+pub struct HistoryRecorder<A> {
+    events: Arc<Mutex<Vec<(usize, A, u64, u64)>>>,
+}
+
+impl<A> HistoryRecorder<A> {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        HistoryRecorder { events: Arc::new(Mutex::new(Vec::new())) }
+    }
+
+    /// Records one completed action by `client` spanning `[start, end]`.
+    pub fn record(&self, client: usize, action: A, start: u64, end: u64) {
+        self.events.lock().push((client, action, start, end));
+    }
+
+    /// Takes all recorded events.
+    pub fn take(&self) -> Vec<(usize, A, u64, u64)> {
+        std::mem::take(&mut self.events.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abd_core::msg::{RegisterOp, RegisterResp};
+    use abd_core::mwmr::{MwmrConfig, MwmrNode};
+    use abd_core::swmr::{SwmrConfig, SwmrNode};
+
+    fn mwmr_cluster(n: usize) -> Cluster<MwmrNode<u64>> {
+        Cluster::spawn(
+            (0..n).map(|i| MwmrNode::new(MwmrConfig::new(n, ProcessId(i)), 0u64)).collect(),
+            Jitter::None,
+        )
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let cluster = mwmr_cluster(3);
+        let c = cluster.client(0);
+        assert_eq!(c.invoke(RegisterOp::Write(5)), RegisterResp::WriteOk);
+        let r = cluster.client(1);
+        assert_eq!(r.invoke(RegisterOp::Read), RegisterResp::ReadOk(5));
+    }
+
+    #[test]
+    fn concurrent_clients_all_complete() {
+        let cluster = Arc::new(mwmr_cluster(5));
+        let mut joins = Vec::new();
+        for i in 0..5 {
+            let c = cluster.client(i);
+            joins.push(std::thread::spawn(move || {
+                for k in 0..50u64 {
+                    let v = (i as u64) << 32 | k;
+                    assert_eq!(c.invoke(RegisterOp::Write(v)), RegisterResp::WriteOk);
+                    assert!(matches!(c.invoke(RegisterOp::Read), RegisterResp::ReadOk(_)));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn survives_minority_crash() {
+        let cluster = mwmr_cluster(5);
+        cluster.crash(3);
+        cluster.crash(4);
+        let c = cluster.client(0);
+        assert_eq!(c.invoke(RegisterOp::Write(1)), RegisterResp::WriteOk);
+        assert_eq!(cluster.client(2).invoke(RegisterOp::Read), RegisterResp::ReadOk(1));
+    }
+
+    #[test]
+    fn blocks_under_majority_crash_until_timeout() {
+        let cluster = mwmr_cluster(3);
+        cluster.crash(1);
+        cluster.crash(2);
+        let c = cluster.client(0);
+        let r = c.try_invoke_for(RegisterOp::Write(1), Duration::from_millis(200));
+        assert_eq!(r, None, "no quorum: operation must time out");
+    }
+
+    #[test]
+    fn crashed_node_ignores_invocations() {
+        let cluster = mwmr_cluster(3);
+        cluster.crash(0);
+        let c = cluster.client(0);
+        assert_eq!(c.try_invoke_for(RegisterOp::Read, Duration::from_millis(200)), None);
+        // The rest of the cluster is still functional.
+        assert_eq!(cluster.client(1).invoke(RegisterOp::Read), RegisterResp::ReadOk(0));
+    }
+
+    #[test]
+    fn jitter_delays_but_delivers() {
+        let cluster: Cluster<MwmrNode<u64>> = Cluster::spawn(
+            (0..3).map(|i| MwmrNode::new(MwmrConfig::new(3, ProcessId(i)), 0u64)).collect(),
+            Jitter::Uniform { lo: 100_000, hi: 2_000_000 },
+        );
+        let c = cluster.client(0);
+        let (resp, start, end) = c.invoke_timed(RegisterOp::Write(3));
+        assert_eq!(resp, RegisterResp::WriteOk);
+        assert!(end - start >= 200_000, "two message hops of >= 100µs each");
+        assert_eq!(cluster.client(1).invoke(RegisterOp::Read), RegisterResp::ReadOk(3));
+    }
+
+    #[test]
+    fn swmr_on_runtime_rejects_non_writer() {
+        let cluster: Cluster<SwmrNode<u64>> = Cluster::spawn(
+            (0..3)
+                .map(|i| SwmrNode::new(SwmrConfig::new(3, ProcessId(i), ProcessId(0)), 0u64))
+                .collect(),
+            Jitter::None,
+        );
+        let c1 = cluster.client(1);
+        assert!(matches!(c1.invoke(RegisterOp::Write(9)), RegisterResp::Err(_)));
+        let c0 = cluster.client(0);
+        assert_eq!(c0.invoke(RegisterOp::Write(9)), RegisterResp::WriteOk);
+    }
+
+    #[test]
+    fn retransmission_timers_fire_on_runtime() {
+        // Nodes with retransmission; no loss on channels, so this just
+        // exercises the timer path end to end.
+        let cluster: Cluster<MwmrNode<u64>> = Cluster::spawn(
+            (0..3)
+                .map(|i| {
+                    MwmrNode::new(MwmrConfig::new(3, ProcessId(i)).with_retransmit(1_000_000), 0u64)
+                })
+                .collect(),
+            Jitter::Uniform { lo: 10_000, hi: 3_000_000 },
+        );
+        let c = cluster.client(2);
+        for k in 0..10 {
+            assert_eq!(c.invoke(RegisterOp::Write(k)), RegisterResp::WriteOk);
+        }
+    }
+
+    #[test]
+    fn history_recorder_collects_across_threads() {
+        let rec: HistoryRecorder<&'static str> = HistoryRecorder::new();
+        let mut joins = Vec::new();
+        for i in 0..4 {
+            let r = rec.clone();
+            joins.push(std::thread::spawn(move || {
+                r.record(i, "op", i as u64, i as u64 + 1);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(rec.take().len(), 4);
+        assert_eq!(rec.take().len(), 0);
+    }
+}

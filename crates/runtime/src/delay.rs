@@ -1,0 +1,182 @@
+//! A latency-injection thread: messages check in, wait their randomly drawn
+//! delay on a timing heap, and are handed to a delivery callback.
+
+use abd_core::types::Nanos;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Handle to a running delayer thread. Dropping it stops the thread (any
+/// still-buffered messages are dropped — acceptable, since an asynchronous
+/// network may lose what is in flight at shutdown).
+#[derive(Debug)]
+pub struct Delayer<T> {
+    tx: Sender<T>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> Delayer<T> {
+    /// Spawns the delayer: each item sent to [`sender`](Self::sender) is
+    /// delivered via `deliver` after a uniformly random delay in
+    /// `[lo, hi]` nanoseconds.
+    pub fn spawn<F>(lo: Nanos, hi: Nanos, deliver: F) -> Self
+    where
+        F: FnMut(T) + Send + 'static,
+    {
+        assert!(lo <= hi, "delay range must satisfy lo <= hi");
+        let (tx, rx) = unbounded::<T>();
+        let handle = std::thread::Builder::new()
+            .name("abd-delayer".into())
+            .spawn(move || delayer_main(rx, lo, hi, deliver))
+            .expect("spawn delayer thread");
+        Delayer { tx, handle: Some(handle) }
+    }
+
+    /// The channel producers push messages into.
+    pub fn sender(&self) -> Sender<T> {
+        self.tx.clone()
+    }
+}
+
+impl<T> Drop for Delayer<T> {
+    fn drop(&mut self) {
+        // Close the channel so the thread's recv errors out and exits.
+        let (dead_tx, _) = crossbeam::channel::bounded(0);
+        self.tx = dead_tx;
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct Waiting<T> {
+    due: Instant,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Waiting<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<T> Eq for Waiting<T> {}
+impl<T> PartialOrd for Waiting<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Waiting<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+fn delayer_main<T, F: FnMut(T)>(rx: Receiver<T>, lo: Nanos, hi: Nanos, mut deliver: F) {
+    let mut rng = SmallRng::from_entropy();
+    let mut heap: BinaryHeap<Reverse<Waiting<T>>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|Reverse(w)| w.due <= now) {
+            let Reverse(w) = heap.pop().expect("peeked");
+            deliver(w.item);
+        }
+        let timeout = heap
+            .peek()
+            .map(|Reverse(w)| w.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(25));
+        match rx.recv_timeout(timeout) {
+            Ok(item) => {
+                let delay = if hi == lo { lo } else { rng.gen_range(lo..=hi) };
+                heap.push(Reverse(Waiting {
+                    due: Instant::now() + Duration::from_nanos(delay),
+                    seq,
+                    item,
+                }));
+                seq += 1;
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Flush what remains, then exit.
+                while let Some(Reverse(w)) = heap.pop() {
+                    let wait = w.due.saturating_duration_since(Instant::now());
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                    deliver(w.item);
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn delivers_everything_with_delay() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        let start = Instant::now();
+        let delayer = Delayer::spawn(1_000_000, 2_000_000, move |_: u32| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let tx = delayer.sender();
+        for i in 0..100u32 {
+            tx.send(i).unwrap();
+        }
+        while count.load(Ordering::SeqCst) < 100 {
+            assert!(start.elapsed() < Duration::from_secs(10), "delayer stalled");
+            std::thread::yield_now();
+        }
+        assert!(start.elapsed() >= Duration::from_millis(1), "some delay was injected");
+    }
+
+    #[test]
+    fn delivers_in_due_order_for_constant_delay() {
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        let delayer = Delayer::spawn(500_000, 500_000, move |i: u32| s.lock().push(i));
+        let tx = delayer.sender();
+        for i in 0..50u32 {
+            tx.send(i).unwrap();
+        }
+        let start = Instant::now();
+        while seen.lock().len() < 50 {
+            assert!(start.elapsed() < Duration::from_secs(5));
+            std::thread::yield_now();
+        }
+        let v = seen.lock().clone();
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(v, sorted, "constant delay preserves send order");
+    }
+
+    #[test]
+    fn drop_flushes_pending() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        {
+            let delayer = Delayer::spawn(200_000, 400_000, move |_: u8| {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+            let tx = delayer.sender();
+            for i in 0..10u8 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            // Dropping the handle joins the thread, which flushes.
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+}

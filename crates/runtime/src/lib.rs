@@ -1,0 +1,37 @@
+//! # abd-runtime — the protocols on real threads
+//!
+//! `abd-simnet` proves the protocols correct under a deterministic
+//! adversary; this crate runs **the same sans-io state machines** on real
+//! OS threads over crossbeam channels, which is what the wall-clock
+//! criterion benchmarks measure and what the examples demo:
+//!
+//! * [`cluster`] — thread-per-node hosting of any
+//!   [`Protocol`](abd_core::context::Protocol): channel fabric, timer
+//!   wheels, blocking clients, crash injection, optional random latency
+//!   ([`cluster::Jitter`]);
+//! * [`client`] — typed clients for the replicated key-value store and
+//!   [`client::KvRegisterArray`], the adapter that lets every `abd-shmem`
+//!   algorithm run over the ABD emulation unchanged;
+//! * [`delay`] — the latency-injection thread.
+//!
+//! ```
+//! use abd_runtime::client::{spawn_kv_cluster, KvStoreClient};
+//! use abd_runtime::cluster::Jitter;
+//!
+//! let cluster = spawn_kv_cluster::<String, u64>(3, Jitter::None);
+//! cluster.crash(2); // a minority crash is harmless
+//! let kv = KvStoreClient::new(cluster.client(0));
+//! kv.put("x".to_string(), 1);
+//! assert_eq!(kv.get("x".to_string()), Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod cluster;
+pub mod delay;
+
+pub use client::{spawn_kv_cluster, KvRegisterArray, KvStoreClient};
+pub use cluster::{Client, Cluster, HistoryRecorder, Jitter};

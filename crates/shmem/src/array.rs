@@ -1,0 +1,133 @@
+//! The abstract shared-memory interface the algorithms in this crate are
+//! written against.
+//!
+//! The whole point of the ABD paper is that algorithms designed for the
+//! shared-memory model can run unchanged on message-passing systems. This
+//! module is where that modularity lives on the code level: every algorithm
+//! here takes any [`RegisterArray`] — an array of atomic read/write
+//! registers — and neither knows nor cares whether the registers are
+//! process-local ([`LocalAtomicArray`], used in unit tests) or emulated by
+//! ABD over a faulty network (the adapter in `abd-runtime`).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// An array of atomic (linearizable) read/write registers.
+///
+/// Handles are **per-thread**: each concurrent process owns its own
+/// `RegisterArray` handle onto the same underlying shared registers (clone
+/// the implementor). Methods take `&mut self` because a handle may keep
+/// per-client protocol state (sequence numbers, sockets, …).
+pub trait RegisterArray<V: Clone> {
+    /// Number of registers in the array.
+    fn len(&self) -> usize;
+
+    /// Whether the array is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Atomically reads register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    fn read(&mut self, i: usize) -> V;
+
+    /// Atomically writes `v` to register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    fn write(&mut self, i: usize, v: V);
+}
+
+/// Process-local atomic registers: a `Mutex<V>` per slot.
+///
+/// Trivially linearizable; exists so the algorithms can be tested (and
+/// stress-tested across threads) without any network, isolating algorithm
+/// bugs from emulation bugs.
+///
+/// # Examples
+///
+/// ```
+/// use abd_shmem::array::{LocalAtomicArray, RegisterArray};
+///
+/// let mut a = LocalAtomicArray::new(3, 0u64);
+/// a.write(1, 42);
+/// assert_eq!(a.read(1), 42);
+/// assert_eq!(a.read(0), 0);
+///
+/// // Handles share the same registers.
+/// let mut b = a.clone();
+/// b.write(0, 7);
+/// assert_eq!(a.read(0), 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LocalAtomicArray<V> {
+    slots: Arc<Vec<Mutex<V>>>,
+}
+
+impl<V: Clone> LocalAtomicArray<V> {
+    /// Creates `n` registers all holding `initial`.
+    pub fn new(n: usize, initial: V) -> Self {
+        LocalAtomicArray { slots: Arc::new((0..n).map(|_| Mutex::new(initial.clone())).collect()) }
+    }
+}
+
+impl<V: Clone> RegisterArray<V> for LocalAtomicArray<V> {
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn read(&mut self, i: usize) -> V {
+        self.slots[i].lock().clone()
+    }
+
+    fn write(&mut self, i: usize, v: V) {
+        *self.slots[i].lock() = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_array_reads_and_writes() {
+        let mut a = LocalAtomicArray::new(4, String::from("init"));
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        a.write(2, "two".into());
+        assert_eq!(a.read(2), "two");
+        assert_eq!(a.read(3), "init");
+    }
+
+    #[test]
+    fn empty_array() {
+        let a: LocalAtomicArray<u8> = LocalAtomicArray::new(0, 0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let mut a = LocalAtomicArray::new(1, 0u8);
+        let _ = a.read(1);
+    }
+
+    #[test]
+    fn handles_share_state_across_threads() {
+        let a = LocalAtomicArray::new(1, 0u64);
+        let mut handles = Vec::new();
+        for t in 1..=8u64 {
+            let mut h = a.clone();
+            handles.push(std::thread::spawn(move || h.write(0, t)));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut h = a.clone();
+        assert!((1..=8).contains(&h.read(0)));
+    }
+}

@@ -1,0 +1,56 @@
+//! The *collect* primitive: read all registers once, in index order.
+//!
+//! A collect is **not** an atomic snapshot — the reads happen at different
+//! times — but for *monotone* per-register data it is already linearizable
+//! (each component only grows, so the collected vector lies between the
+//! true states at the collect's start and end). The counter and
+//! max-register in this crate exploit exactly that; the snapshot object
+//! exists for when monotonicity is not available.
+
+use crate::array::RegisterArray;
+
+/// Reads every register once, in index order.
+pub fn collect<V: Clone, R: RegisterArray<V>>(regs: &mut R) -> Vec<V> {
+    (0..regs.len()).map(|i| regs.read(i)).collect()
+}
+
+/// Repeatedly collects until two successive collects are equal (a "clean
+/// double collect"), returning that stable vector. With concurrent writers
+/// this may retry; unlike [`crate::snapshot`] it has no helping, so it is
+/// only *obstruction-free* — use it where writers quiesce.
+pub fn collect_stable<V: Clone + PartialEq, R: RegisterArray<V>>(regs: &mut R) -> Vec<V> {
+    let mut prev = collect(regs);
+    loop {
+        let cur = collect(regs);
+        if prev == cur {
+            return cur;
+        }
+        prev = cur;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::LocalAtomicArray;
+
+    #[test]
+    fn collect_reads_in_index_order() {
+        let mut a = LocalAtomicArray::new(3, 0u32);
+        a.write(0, 10);
+        a.write(2, 30);
+        assert_eq!(collect(&mut a), vec![10, 0, 30]);
+    }
+
+    #[test]
+    fn collect_stable_on_quiescent_array() {
+        let mut a = LocalAtomicArray::new(2, 7u32);
+        assert_eq!(collect_stable(&mut a), vec![7, 7]);
+    }
+
+    #[test]
+    fn collect_of_empty_array() {
+        let mut a: LocalAtomicArray<u8> = LocalAtomicArray::new(0, 0);
+        assert!(collect(&mut a).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! A wait-free max-register: `write_max(v)` and `read()` returning the
+//! largest value ever written.
+//!
+//! Same single-writer decomposition as the counter: each process keeps its
+//! personal maximum; the global maximum of a collect is linearizable
+//! because each component is monotone.
+
+use crate::array::RegisterArray;
+use crate::collect::collect;
+
+/// Process `me`'s handle on a shared max-register.
+///
+/// # Examples
+///
+/// ```
+/// use abd_shmem::array::LocalAtomicArray;
+/// use abd_shmem::maxreg::MaxRegister;
+///
+/// let regs = LocalAtomicArray::new(2, 0u64);
+/// let mut a = MaxRegister::new(0, regs.clone());
+/// let mut b = MaxRegister::new(1, regs.clone());
+/// a.write_max(10);
+/// b.write_max(7); // smaller: no effect on the max
+/// assert_eq!(b.read(), 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MaxRegister<R> {
+    me: usize,
+    regs: R,
+}
+
+impl<R: RegisterArray<u64>> MaxRegister<R> {
+    /// Creates process `me`'s handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range.
+    pub fn new(me: usize, regs: R) -> Self {
+        assert!(me < regs.len(), "process id {me} out of range");
+        MaxRegister { me, regs }
+    }
+
+    /// Raises the register to at least `v` (no effect if the maximum is
+    /// already larger).
+    pub fn write_max(&mut self, v: u64) {
+        let cur = self.regs.read(self.me);
+        if v > cur {
+            self.regs.write(self.me, v);
+        }
+    }
+
+    /// The largest value ever written (0 if none).
+    pub fn read(&mut self) -> u64 {
+        collect(&mut self.regs).into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::LocalAtomicArray;
+
+    #[test]
+    fn tracks_global_maximum() {
+        let regs = LocalAtomicArray::new(3, 0u64);
+        let mut h: Vec<MaxRegister<_>> = (0..3).map(|i| MaxRegister::new(i, regs.clone())).collect();
+        h[0].write_max(5);
+        h[1].write_max(12);
+        h[2].write_max(9);
+        assert_eq!(h[0].read(), 12);
+        h[2].write_max(20);
+        assert_eq!(h[1].read(), 20);
+    }
+
+    #[test]
+    fn smaller_writes_are_absorbed() {
+        let regs = LocalAtomicArray::new(1, 0u64);
+        let mut m = MaxRegister::new(0, regs);
+        m.write_max(10);
+        m.write_max(3);
+        assert_eq!(m.read(), 10);
+    }
+
+    #[test]
+    fn reads_are_monotone_under_concurrency() {
+        let n = 4;
+        let regs = LocalAtomicArray::new(n, 0u64);
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut joins = Vec::new();
+        for p in 0..n {
+            let regs = regs.clone();
+            let stop = std::sync::Arc::clone(&stop);
+            joins.push(std::thread::spawn(move || {
+                let mut m = MaxRegister::new(p, regs);
+                let mut v = p as u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    v += n as u64;
+                    m.write_max(v);
+                }
+            }));
+        }
+        let mut reader = MaxRegister::new(0, regs.clone());
+        let mut last = 0;
+        for _ in 0..5_000 {
+            let v = reader.read();
+            assert!(v >= last, "max register regressed: {last} -> {v}");
+            last = v;
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+}

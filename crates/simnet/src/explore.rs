@@ -1,0 +1,135 @@
+//! Seed-space exploration: run a check over many seeded executions and
+//! report exactly which seeds fail.
+//!
+//! The deterministic simulator turns "the adversary cannot break this
+//! protocol" into a falsifiable sweep: every seed is one adversarial
+//! schedule, and a failing seed is a *replayable counterexample* (feed it
+//! back to the same builder and attach [`Sim::set_trace`] to dissect it).
+//! The integration tests and the T5 experiment are built on this shape;
+//! [`sweep`] packages it.
+
+use std::fmt;
+
+/// Outcome of checking one seed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SeedOutcome {
+    /// The property held.
+    Pass,
+    /// The property failed, with a description.
+    Fail(String),
+    /// The check could not decide (e.g. a checker hit its state cap).
+    Undecided(String),
+}
+
+/// Aggregated result of a seed sweep.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// Seeds whose check passed.
+    pub passed: u64,
+    /// Seeds that failed, with their descriptions (replay with these!).
+    pub failures: Vec<(u64, String)>,
+    /// Seeds that were undecided.
+    pub undecided: Vec<(u64, String)>,
+}
+
+impl SweepReport {
+    /// Whether every decided seed passed.
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Total seeds examined.
+    pub fn total(&self) -> u64 {
+        self.passed + self.failures.len() as u64 + self.undecided.len() as u64
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} seeds passed, {} failed, {} undecided",
+            self.passed,
+            self.total(),
+            self.failures.len(),
+            self.undecided.len()
+        )?;
+        for (seed, why) in self.failures.iter().take(5) {
+            write!(f, "\n  seed {seed}: {why}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs `check` for every seed in `seeds`, aggregating outcomes. `check`
+/// builds and runs a fresh simulation for the given seed and judges it.
+pub fn sweep<I, F>(seeds: I, mut check: F) -> SweepReport
+where
+    I: IntoIterator<Item = u64>,
+    F: FnMut(u64) -> SeedOutcome,
+{
+    let mut report = SweepReport::default();
+    for seed in seeds {
+        match check(seed) {
+            SeedOutcome::Pass => report.passed += 1,
+            SeedOutcome::Fail(why) => report.failures.push((seed, why)),
+            SeedOutcome::Undecided(why) => report.undecided.push((seed, why)),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LatencyModel, SimConfig};
+    use crate::sim::Sim;
+    use crate::workload::{run_workload, WorkloadConfig, WriterMode};
+    use abd_core::swmr::SwmrNode;
+    use abd_core::types::ProcessId;
+
+    #[test]
+    fn report_aggregates_and_displays() {
+        let r = sweep(0..10u64, |seed| {
+            if seed == 3 {
+                SeedOutcome::Fail("boom".into())
+            } else if seed == 7 {
+                SeedOutcome::Undecided("cap".into())
+            } else {
+                SeedOutcome::Pass
+            }
+        });
+        assert_eq!(r.passed, 8);
+        assert_eq!(r.failures, vec![(3, "boom".into())]);
+        assert_eq!(r.undecided.len(), 1);
+        assert!(!r.all_passed());
+        assert_eq!(r.total(), 10);
+        let s = r.to_string();
+        assert!(s.contains("seed 3: boom"));
+    }
+
+    #[test]
+    fn sweep_over_real_simulations_passes() {
+        let report = sweep(0..10u64, |seed| {
+            let nodes = (0..3)
+                .map(|i| {
+                    SwmrNode::new(
+                        abd_core::presets::atomic_swmr(3, ProcessId(i), ProcessId(0)),
+                        0u64,
+                    )
+                })
+                .collect();
+            let cfg = SimConfig::new(seed)
+                .with_latency(LatencyModel::Uniform { lo: 100, hi: 20_000 });
+            let mut sim = Sim::new(cfg, nodes);
+            let wl = WorkloadConfig::new(seed, 6, WriterMode::Single(ProcessId(0)));
+            match run_workload(&mut sim, &wl, 0, 10_000_000_000, true) {
+                Some(h) if abd_lincheck::is_atomic_swmr(&h) => SeedOutcome::Pass,
+                Some(_) => SeedOutcome::Fail("non-atomic history".into()),
+                None => SeedOutcome::Fail("did not complete".into()),
+            }
+        });
+        assert!(report.all_passed(), "{report}");
+        assert_eq!(report.total(), 10);
+    }
+}

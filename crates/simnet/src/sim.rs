@@ -1,0 +1,735 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Sim`] owns a cluster of sans-io protocol nodes
+//! ([`abd_core::context::Protocol`]) and a priority queue of timestamped
+//! events. Every source of nondeterminism the paper's adversary controls —
+//! message delays and reorderings, losses, duplications, crash timing,
+//! partitions — is drawn from a single seeded RNG, so **a seed identifies an
+//! execution**: failures found by randomized tests replay exactly.
+
+use crate::config::SimConfig;
+use crate::metrics::Metrics;
+use abd_core::context::{Effects, Protocol, TimerCmd, TimerKey};
+use abd_core::types::{Nanos, OpId, ProcessId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// What happens when an event is processed.
+#[derive(Debug)]
+enum EventKind<P: Protocol> {
+    /// Deliver `msg` from `from` to the event's target node.
+    Deliver { from: ProcessId, msg: P::Msg },
+    /// Fire timer `key` on the target node, if generation `gen` is current.
+    Timer { key: TimerKey, gen: u64 },
+    /// Invoke a client operation on the target node.
+    Invoke { op: OpId, input: P::Op },
+    /// Crash the target node permanently.
+    Crash,
+    /// Install a partition: node `i` joins group `groups[i]`; messages
+    /// between groups are discarded. (Target node is ignored.)
+    SetPartition { groups: Vec<u32> },
+    /// Remove any partition. (Target node is ignored.)
+    Heal,
+}
+
+struct QueuedEvent<P: Protocol> {
+    at: Nanos,
+    seq: u64,
+    target: ProcessId,
+    kind: EventKind<P>,
+}
+
+impl<P: Protocol> PartialEq for QueuedEvent<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<P: Protocol> Eq for QueuedEvent<P> {}
+impl<P: Protocol> PartialOrd for QueuedEvent<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P: Protocol> Ord for QueuedEvent<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (then lowest seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct NodeSlot<P: Protocol> {
+    proto: P,
+    alive: bool,
+    /// Current generation per armed timer key; stale generations are
+    /// cancelled timers.
+    timers: HashMap<TimerKey, u64>,
+    timer_gen: u64,
+}
+
+/// Record of one completed operation.
+#[derive(Clone, Debug)]
+pub struct OpRecord<Op, Resp> {
+    /// Operation id (unique per simulation).
+    pub op: OpId,
+    /// The node the operation was invoked on.
+    pub client: ProcessId,
+    /// The invocation payload.
+    pub input: Op,
+    /// The response.
+    pub resp: Resp,
+    /// Virtual invocation time.
+    pub invoked_at: Nanos,
+    /// Virtual completion time.
+    pub completed_at: Nanos,
+}
+
+impl<Op, Resp> OpRecord<Op, Resp> {
+    /// Latency of the operation in virtual nanoseconds.
+    pub fn latency(&self) -> Nanos {
+        self.completed_at - self.invoked_at
+    }
+}
+
+/// A deterministic simulation of `n` protocol nodes on an adversarial
+/// asynchronous network.
+///
+/// # Examples
+///
+/// ```
+/// use abd_core::msg::{RegisterOp, RegisterResp};
+/// use abd_core::swmr::{SwmrConfig, SwmrNode};
+/// use abd_core::types::ProcessId;
+/// use abd_simnet::{Sim, SimConfig};
+///
+/// let nodes: Vec<SwmrNode<u64>> = (0..3)
+///     .map(|i| SwmrNode::new(SwmrConfig::new(3, ProcessId(i), ProcessId(0)), 0))
+///     .collect();
+/// let mut sim = Sim::new(SimConfig::new(42), nodes);
+/// sim.invoke(ProcessId(0), RegisterOp::Write(7));
+/// sim.run_until_quiet(1_000_000_000);
+/// assert_eq!(sim.completed().len(), 1);
+/// assert!(matches!(sim.completed()[0].resp, RegisterResp::WriteOk));
+/// ```
+pub struct Sim<P: Protocol>
+where
+    P::Op: Clone,
+{
+    cfg: SimConfig,
+    nodes: Vec<NodeSlot<P>>,
+    queue: BinaryHeap<QueuedEvent<P>>,
+    now: Nanos,
+    next_seq: u64,
+    next_op: u64,
+    rng: SmallRng,
+    partition: Option<Vec<u32>>,
+    metrics: Metrics,
+    invoked: HashMap<OpId, (ProcessId, P::Op, Nanos)>,
+    completed: Vec<OpRecord<P::Op, P::Resp>>,
+    drained: usize,
+    /// Per-directed-link lower bound on the next delivery time (FIFO mode).
+    fifo_floor: HashMap<(usize, usize), Nanos>,
+    /// Optional bounded event trace (newest last) for debugging.
+    trace: Option<VecDeque<String>>,
+    trace_cap: usize,
+    /// Invoke events scheduled but not yet processed.
+    queued_invokes: u64,
+}
+
+impl<P: Protocol> Sim<P>
+where
+    P::Op: Clone,
+{
+    /// Creates a simulation over `nodes` (node `i` must have id `i`) and
+    /// runs every node's `on_start` at time 0.
+    pub fn new(cfg: SimConfig, nodes: Vec<P>) -> Self {
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut sim = Sim {
+            cfg,
+            nodes: nodes
+                .into_iter()
+                .map(|proto| NodeSlot { proto, alive: true, timers: HashMap::new(), timer_gen: 0 })
+                .collect(),
+            queue: BinaryHeap::new(),
+            now: 0,
+            next_seq: 0,
+            next_op: 0,
+            rng,
+            partition: None,
+            metrics: Metrics::default(),
+            invoked: HashMap::new(),
+            completed: Vec::new(),
+            drained: 0,
+            fifo_floor: HashMap::new(),
+            trace: None,
+            trace_cap: 512,
+            queued_invokes: 0,
+        };
+        for i in 0..sim.nodes.len() {
+            debug_assert_eq!(sim.nodes[i].proto.id(), ProcessId(i), "node {i} has wrong id");
+            let mut fx = Effects::new();
+            sim.nodes[i].proto.on_start(&mut fx);
+            sim.absorb(ProcessId(i), fx);
+        }
+        sim
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Immutable access to node `i`'s protocol state.
+    pub fn node(&self, i: usize) -> &P {
+        &self.nodes[i].proto
+    }
+
+    /// Whether node `i` is still alive.
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.nodes[i].alive
+    }
+
+    /// Accumulated counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// All completed operations, in completion order.
+    pub fn completed(&self) -> &[OpRecord<P::Op, P::Resp>] {
+        &self.completed
+    }
+
+    /// Completions recorded since the previous call — the hook closed-loop
+    /// workloads use to issue follow-up operations.
+    pub fn drain_new_completions(&mut self) -> Vec<OpRecord<P::Op, P::Resp>>
+    where
+        P::Resp: Clone,
+    {
+        let new = self.completed[self.drained..].to_vec();
+        self.drained = self.completed.len();
+        new
+    }
+
+    /// Operations invoked but not yet completed.
+    pub fn pending_ops(&self) -> Vec<OpId> {
+        let mut v: Vec<OpId> = self.invoked.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Details of every pending operation: `(op, client, input, invoked_at)`,
+    /// sorted by op id. Used to close histories that end with in-flight
+    /// operations (e.g. crashed clients).
+    pub fn pending_details(&self) -> Vec<(OpId, ProcessId, P::Op, Nanos)> {
+        let mut v: Vec<_> = self
+            .invoked
+            .iter()
+            .map(|(&op, (client, input, at))| (op, *client, input.clone(), *at))
+            .collect();
+        v.sort_by_key(|e| e.0);
+        v
+    }
+
+    fn push(&mut self, at: Nanos, target: ProcessId, kind: EventKind<P>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(QueuedEvent { at, seq, target, kind });
+    }
+
+    /// Schedules `input` on node `node` at time `at` (must not be in the
+    /// past). Returns the operation id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at < self.now()`.
+    pub fn invoke_at(&mut self, at: Nanos, node: ProcessId, input: P::Op) -> OpId {
+        assert!(at >= self.now, "cannot schedule in the past");
+        let op = OpId(self.next_op);
+        self.next_op += 1;
+        self.queued_invokes += 1;
+        self.push(at, node, EventKind::Invoke { op, input });
+        op
+    }
+
+    /// Schedules `input` on node `node` now.
+    pub fn invoke(&mut self, node: ProcessId, input: P::Op) -> OpId {
+        self.invoke_at(self.now, node, input)
+    }
+
+    /// Crashes node `node` at time `at`: it permanently stops processing
+    /// messages, timers and invocations.
+    pub fn crash_at(&mut self, at: Nanos, node: ProcessId) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(at, node, EventKind::Crash);
+    }
+
+    /// Installs a partition at time `at`: nodes with equal group numbers can
+    /// communicate; messages across groups are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups.len() != n`.
+    pub fn partition_at(&mut self, at: Nanos, groups: Vec<u32>) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        assert_eq!(groups.len(), self.nodes.len(), "one group per node");
+        self.push(at, ProcessId(0), EventKind::SetPartition { groups });
+    }
+
+    /// Removes any partition at time `at`.
+    pub fn heal_at(&mut self, at: Nanos) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(at, ProcessId(0), EventKind::Heal);
+    }
+
+    fn partitioned(&self, a: ProcessId, b: ProcessId) -> bool {
+        match &self.partition {
+            Some(groups) => groups[a.index()] != groups[b.index()],
+            None => false,
+        }
+    }
+
+    /// Enables (or disables) the bounded event trace. The trace records a
+    /// one-line description of every processed event, keeping the most
+    /// recent `cap` lines — invaluable when a seeded failure needs
+    /// dissecting.
+    pub fn set_trace(&mut self, enabled: bool, cap: usize) {
+        self.trace = enabled.then(VecDeque::new);
+        self.trace_cap = cap.max(1);
+    }
+
+    /// The recorded trace lines (oldest first). Empty when tracing is off.
+    pub fn trace(&self) -> Vec<String> {
+        self.trace.as_ref().map(|t| t.iter().cloned().collect()).unwrap_or_default()
+    }
+
+    fn record_trace(&mut self, line: String) {
+        if let Some(t) = self.trace.as_mut() {
+            if t.len() == self.trace_cap {
+                t.pop_front();
+            }
+            t.push_back(line);
+        }
+    }
+
+    /// Processes the single earliest event. Returns `false` if the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else { return false };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        let t = ev.target.index();
+        if self.trace.is_some() {
+            let desc = match &ev.kind {
+                EventKind::Deliver { from, msg } => {
+                    format!("{:>12} deliver {from} -> {}: {msg:?}", ev.at, ev.target)
+                }
+                EventKind::Timer { key, .. } => format!("{:>12} timer {:?} @ {}", ev.at, key, ev.target),
+                EventKind::Invoke { op, input } => {
+                    format!("{:>12} invoke {op} {input:?} @ {}", ev.at, ev.target)
+                }
+                EventKind::Crash => format!("{:>12} CRASH {}", ev.at, ev.target),
+                EventKind::SetPartition { groups } => format!("{:>12} PARTITION {groups:?}", ev.at),
+                EventKind::Heal => format!("{:>12} HEAL", ev.at),
+            };
+            self.record_trace(desc);
+        }
+        match ev.kind {
+            EventKind::Deliver { from, msg } => {
+                if !self.nodes[t].alive {
+                    self.metrics.dropped_crash += 1;
+                    return true;
+                }
+                if self.partitioned(from, ev.target) {
+                    self.metrics.dropped_partition += 1;
+                    return true;
+                }
+                self.metrics.delivered += 1;
+                let mut fx = Effects::new();
+                self.nodes[t].proto.on_message(from, msg, &mut fx);
+                self.absorb(ev.target, fx);
+            }
+            EventKind::Timer { key, gen } => {
+                if !self.nodes[t].alive {
+                    return true;
+                }
+                if self.nodes[t].timers.get(&key) != Some(&gen) {
+                    return true; // cancelled or superseded
+                }
+                self.nodes[t].timers.remove(&key);
+                self.metrics.timer_fires += 1;
+                let mut fx = Effects::new();
+                self.nodes[t].proto.on_timer(key, &mut fx);
+                self.absorb(ev.target, fx);
+            }
+            EventKind::Invoke { op, input } => {
+                self.queued_invokes -= 1;
+                if !self.nodes[t].alive {
+                    return true; // invocation on a crashed node is lost
+                }
+                self.metrics.ops_invoked += 1;
+                self.invoked.insert(op, (ev.target, input.clone(), self.now));
+                let mut fx = Effects::new();
+                self.nodes[t].proto.on_invoke(op, input, &mut fx);
+                self.absorb(ev.target, fx);
+            }
+            EventKind::Crash => {
+                self.nodes[t].alive = false;
+                self.nodes[t].timers.clear();
+            }
+            EventKind::SetPartition { groups } => {
+                self.partition = Some(groups);
+            }
+            EventKind::Heal => {
+                self.partition = None;
+            }
+        }
+        true
+    }
+
+    /// Runs until virtual time exceeds `deadline` or the queue empties.
+    pub fn run_until(&mut self, deadline: Nanos) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs until the event queue is empty or `deadline` passes — with
+    /// retransmission timers a pending operation keeps the queue busy, so
+    /// the deadline also bounds stalled executions. Returns `true` if the
+    /// queue emptied.
+    pub fn run_until_quiet(&mut self, deadline: Nanos) -> bool {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                return false;
+            }
+            self.step();
+        }
+        true
+    }
+
+    /// Whether any operation is still waiting to start or complete on a
+    /// *live* node. Operations pending on crashed nodes are abandoned: they
+    /// can never complete, so they do not count as "waiting".
+    pub fn has_waiting_ops(&self) -> bool {
+        self.queued_invokes > 0
+            || self
+                .invoked
+                .values()
+                .any(|(client, _, _)| self.nodes[client.index()].alive)
+    }
+
+    /// Runs until every scheduled operation on a live node has completed
+    /// (operations stranded on crashed nodes are abandoned), or `deadline`
+    /// passes. Returns `true` on full completion.
+    pub fn run_until_ops_complete(&mut self, deadline: Nanos) -> bool {
+        while self.has_waiting_ops() {
+            match self.queue.peek() {
+                Some(ev) if ev.at <= deadline => {
+                    self.step();
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn absorb(&mut self, from: ProcessId, fx: Effects<P::Msg, P::Resp>) {
+        for (to, msg) in fx.sends {
+            self.route(from, to, msg);
+        }
+        for cmd in fx.timers {
+            let slot = &mut self.nodes[from.index()];
+            match cmd {
+                TimerCmd::Set { key, after } => {
+                    slot.timer_gen += 1;
+                    let gen = slot.timer_gen;
+                    slot.timers.insert(key, gen);
+                    let at = self.now + after;
+                    self.push(at, from, EventKind::Timer { key, gen });
+                }
+                TimerCmd::Cancel { key } => {
+                    slot.timers.remove(&key);
+                }
+            }
+        }
+        for (op, resp) in fx.responses {
+            if let Some((client, input, invoked_at)) = self.invoked.remove(&op) {
+                self.metrics.ops_completed += 1;
+                self.metrics.total_op_latency += self.now - invoked_at;
+                self.completed.push(OpRecord {
+                    op,
+                    client,
+                    input,
+                    resp,
+                    invoked_at,
+                    completed_at: self.now,
+                });
+            }
+        }
+    }
+
+    fn route(&mut self, from: ProcessId, to: ProcessId, msg: P::Msg) {
+        self.metrics.sent += 1;
+        if self.partitioned(from, to) {
+            self.metrics.dropped_partition += 1;
+            return;
+        }
+        if self.cfg.loss_prob > 0.0 && self.rng.gen_bool(self.cfg.loss_prob) {
+            self.metrics.dropped_loss += 1;
+            return;
+        }
+        let copies = if self.cfg.dup_prob > 0.0 && self.rng.gen_bool(self.cfg.dup_prob) {
+            self.metrics.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for c in 0..copies {
+            let delay = self.cfg.latency.sample(&mut self.rng);
+            let mut at = self.now + delay;
+            if self.cfg.fifo {
+                let floor = self.fifo_floor.entry((from.index(), to.index())).or_insert(0);
+                at = at.max(*floor);
+                *floor = at;
+            }
+            let m = if c + 1 == copies { msg.clone() } else { msg.clone() };
+            self.push(at, to, EventKind::Deliver { from, msg: m });
+        }
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for Sim<P>
+where
+    P::Op: Clone,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("n", &self.nodes.len())
+            .field("now", &self.now)
+            .field("queued", &self.queue.len())
+            .field("completed", &self.completed.len())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatencyModel;
+    use abd_core::msg::{RegisterOp, RegisterResp};
+    use abd_core::swmr::{SwmrConfig, SwmrNode};
+
+    fn swmr_cluster(n: usize, seed: u64) -> Sim<SwmrNode<u64>> {
+        let nodes = (0..n)
+            .map(|i| SwmrNode::new(SwmrConfig::new(n, ProcessId(i), ProcessId(0)), 0u64))
+            .collect();
+        Sim::new(SimConfig::new(seed), nodes)
+    }
+
+    #[test]
+    fn write_and_read_complete() {
+        let mut sim = swmr_cluster(5, 1);
+        sim.invoke(ProcessId(0), RegisterOp::Write(11));
+        assert!(sim.run_until_ops_complete(1_000_000));
+        sim.invoke(ProcessId(3), RegisterOp::Read);
+        assert!(sim.run_until_ops_complete(2_000_000));
+        let recs = sim.completed();
+        assert_eq!(recs.len(), 2);
+        assert!(matches!(recs[1].resp, RegisterResp::ReadOk(11)));
+        assert!(recs[1].latency() > 0);
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let run = |seed| {
+            let mut sim = swmr_cluster(5, seed);
+            for k in 0..10u64 {
+                sim.invoke_at(k * 5_000, ProcessId(0), RegisterOp::Write(k));
+                sim.invoke_at(k * 5_000 + 1, ProcessId((k as usize % 4) + 1), RegisterOp::Read);
+            }
+            sim.run_until_quiet(10_000_000);
+            (
+                sim.metrics().clone(),
+                sim.completed()
+                    .iter()
+                    .map(|r| (r.op, r.completed_at))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).1, run(100).1, "different seeds explore different schedules");
+    }
+
+    #[test]
+    fn crash_minority_still_live() {
+        let mut sim = swmr_cluster(5, 7);
+        sim.crash_at(0, ProcessId(3));
+        sim.crash_at(0, ProcessId(4));
+        sim.invoke_at(10, ProcessId(0), RegisterOp::Write(5));
+        assert!(sim.run_until_ops_complete(10_000_000));
+        assert!(!sim.is_alive(3));
+    }
+
+    #[test]
+    fn crash_majority_blocks_ops() {
+        let mut sim = swmr_cluster(5, 7);
+        for i in 2..5 {
+            sim.crash_at(0, ProcessId(i));
+        }
+        sim.invoke_at(10, ProcessId(0), RegisterOp::Write(5));
+        assert!(!sim.run_until_ops_complete(10_000_000));
+        assert_eq!(sim.pending_ops().len(), 1);
+        assert_eq!(sim.metrics().ops_completed, 0);
+    }
+
+    #[test]
+    fn partition_blocks_then_heal_releases() {
+        // Writer with retransmission so the operation survives the partition.
+        let nodes: Vec<SwmrNode<u64>> = (0..4)
+            .map(|i| {
+                SwmrNode::new(
+                    SwmrConfig::new(4, ProcessId(i), ProcessId(0)).with_retransmit(20_000),
+                    0,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(SimConfig::new(3), nodes);
+        // Split 2-2: no majority on either side (n=4 needs 3).
+        sim.partition_at(0, vec![0, 0, 1, 1]);
+        sim.invoke_at(10, ProcessId(0), RegisterOp::Write(1));
+        assert!(!sim.run_until_ops_complete(500_000), "2-2 split must block");
+        sim.heal_at(600_000);
+        assert!(sim.run_until_ops_complete(5_000_000), "heal must release the write");
+        assert!(sim.metrics().dropped_partition > 0);
+    }
+
+    #[test]
+    fn message_loss_is_counted_and_retransmission_recovers() {
+        let nodes: Vec<SwmrNode<u64>> = (0..3)
+            .map(|i| {
+                SwmrNode::new(
+                    SwmrConfig::new(3, ProcessId(i), ProcessId(0)).with_retransmit(15_000),
+                    0,
+                )
+            })
+            .collect();
+        let cfg = SimConfig::new(5).with_loss(0.4);
+        let mut sim = Sim::new(cfg, nodes);
+        for k in 0..20u64 {
+            sim.invoke_at(k, ProcessId(0), RegisterOp::Write(k));
+        }
+        assert!(sim.run_until_ops_complete(1_000_000_000));
+        assert!(sim.metrics().dropped_loss > 0, "40% loss must drop something");
+        assert_eq!(sim.metrics().ops_completed, 20);
+    }
+
+    #[test]
+    fn duplication_does_not_break_idempotent_phases() {
+        let cfg = SimConfig::new(11).with_duplication(0.5);
+        let nodes = (0..3)
+            .map(|i| SwmrNode::new(SwmrConfig::new(3, ProcessId(i), ProcessId(0)), 0u64))
+            .collect();
+        let mut sim: Sim<SwmrNode<u64>> = Sim::new(cfg, nodes);
+        for k in 0..10u64 {
+            sim.invoke_at(k, ProcessId(0), RegisterOp::Write(k));
+            sim.invoke_at(k, ProcessId(1), RegisterOp::Read);
+        }
+        assert!(sim.run_until_ops_complete(1_000_000_000));
+        assert!(sim.metrics().duplicated > 0);
+        assert_eq!(sim.metrics().ops_completed, 20);
+    }
+
+    #[test]
+    fn fifo_mode_preserves_link_order() {
+        // With wildly variable latency and FIFO on, per-link deliveries
+        // never reorder. We check indirectly: a long run completes and the
+        // fifo floors are monotone (enforced by construction), so just
+        // assert the run is deterministic and completes.
+        let cfg = SimConfig::new(13)
+            .with_latency(LatencyModel::Uniform { lo: 10, hi: 100_000 })
+            .with_fifo(true);
+        let nodes = (0..3)
+            .map(|i| SwmrNode::new(SwmrConfig::new(3, ProcessId(i), ProcessId(0)), 0u64))
+            .collect();
+        let mut sim: Sim<SwmrNode<u64>> = Sim::new(cfg, nodes);
+        for k in 0..30u64 {
+            sim.invoke_at(k * 1_000, ProcessId(0), RegisterOp::Write(k));
+        }
+        assert!(sim.run_until_ops_complete(1_000_000_000));
+        assert_eq!(sim.metrics().ops_completed, 30);
+    }
+
+    #[test]
+    fn constant_latency_gives_exact_round_trip_latency() {
+        let cfg = SimConfig::new(1).with_latency(LatencyModel::Constant(1_000));
+        let nodes = (0..5)
+            .map(|i| SwmrNode::new(SwmrConfig::new(5, ProcessId(i), ProcessId(0)), 0u64))
+            .collect();
+        let mut sim: Sim<SwmrNode<u64>> = Sim::new(cfg, nodes);
+        sim.invoke_at(0, ProcessId(0), RegisterOp::Write(1));
+        sim.run_until_quiet(1_000_000);
+        // Write = 1 round trip = 2 * 1000ns.
+        assert_eq!(sim.completed()[0].latency(), 2_000);
+        sim.invoke(ProcessId(2), RegisterOp::Read);
+        sim.run_until_quiet(10_000_000);
+        // Read = 2 round trips.
+        assert_eq!(sim.completed()[1].latency(), 4_000);
+    }
+
+    #[test]
+    fn invoke_on_crashed_node_is_lost() {
+        let mut sim = swmr_cluster(3, 2);
+        sim.crash_at(0, ProcessId(1));
+        sim.invoke_at(10, ProcessId(1), RegisterOp::Read);
+        sim.run_until_quiet(1_000_000);
+        assert_eq!(sim.metrics().ops_invoked, 0);
+        assert!(sim.completed().is_empty());
+    }
+
+    #[test]
+    fn drain_new_completions_is_incremental() {
+        let mut sim = swmr_cluster(3, 2);
+        sim.invoke(ProcessId(0), RegisterOp::Write(1));
+        sim.run_until_quiet(1_000_000);
+        assert_eq!(sim.drain_new_completions().len(), 1);
+        assert_eq!(sim.drain_new_completions().len(), 0);
+        sim.invoke(ProcessId(1), RegisterOp::Read);
+        sim.run_until_quiet(10_000_000);
+        assert_eq!(sim.drain_new_completions().len(), 1);
+    }
+
+    #[test]
+    fn trace_records_and_caps_events() {
+        let mut sim = swmr_cluster(3, 2);
+        sim.set_trace(true, 8);
+        sim.invoke(ProcessId(0), RegisterOp::Write(1));
+        sim.crash_at(1_000_000, ProcessId(2));
+        sim.run_until_quiet(2_000_000);
+        let trace = sim.trace();
+        assert!(!trace.is_empty());
+        assert!(trace.len() <= 8, "trace must respect its cap");
+        assert!(trace.iter().any(|l| l.contains("CRASH")), "{trace:#?}");
+        sim.set_trace(false, 8);
+        assert!(sim.trace().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = swmr_cluster(3, 2);
+        sim.invoke(ProcessId(0), RegisterOp::Write(1));
+        sim.run_until_quiet(1_000_000);
+        sim.invoke_at(5, ProcessId(0), RegisterOp::Read);
+    }
+}

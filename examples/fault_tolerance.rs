@@ -1,0 +1,95 @@
+//! A guided tour of the failure model, in the deterministic simulator:
+//! seeded adversarial delays, message duplication, message loss with
+//! retransmission, and crashes up to the optimal bound — every run checked
+//! for linearizability afterwards.
+//!
+//! Run with: `cargo run --release --example fault_tolerance`
+
+use abd_core::swmr::SwmrNode;
+use abd_core::types::ProcessId;
+use abd_repro::lincheck;
+use abd_repro::simnet::workload::{history_from_sim, WorkloadConfig, WriterMode};
+use abd_repro::simnet::{harness, LatencyModel, Sim, SimConfig};
+
+fn build(n: usize, cfg: SimConfig, retransmit: Option<u64>) -> Sim<SwmrNode<u64>> {
+    let nodes = (0..n)
+        .map(|i| {
+            let mut c = abd_core::presets::atomic_swmr(n, ProcessId(i), ProcessId(0));
+            c.retransmit = retransmit;
+            SwmrNode::new(c, 0)
+        })
+        .collect();
+    Sim::new(cfg, nodes)
+}
+
+fn run_and_check(name: &str, mut sim: Sim<SwmrNode<u64>>, crash: &[usize]) {
+    let n = sim.n();
+    for &i in crash {
+        sim.crash_at(0, ProcessId(i));
+    }
+    let wl = WorkloadConfig::new(7, 12, WriterMode::Single(ProcessId(0))).with_write_ratio(0.4);
+    let mut scripts = wl.generate(n);
+    for &i in crash {
+        scripts[i].clear(); // crashed nodes issue nothing
+    }
+    let ok = harness::run_scripts(&mut sim, scripts, 0, 1, 60_000_000_000);
+    assert!(ok, "{name}: all operations must complete");
+    let h = history_from_sim(0, &sim);
+    let atomic = lincheck::is_atomic_swmr(&h)
+        && matches!(lincheck::check_linearizable(&h), lincheck::CheckResult::Linearizable);
+    println!(
+        "{name:<38} ops={:<4} msgs={:<6} lost={:<5} dup={:<4} atomic={}",
+        sim.metrics().ops_completed,
+        sim.metrics().sent,
+        sim.metrics().dropped_loss,
+        sim.metrics().duplicated,
+        atomic
+    );
+    assert!(atomic, "{name}: history must be linearizable");
+}
+
+fn main() {
+    println!("Fault-tolerance tour (n = 5, every run linearizability-checked)\n");
+
+    run_and_check("clean network", build(5, SimConfig::new(1), None), &[]);
+
+    run_and_check(
+        "adversarial delays (x500 variance)",
+        build(5, SimConfig::new(2).with_latency(LatencyModel::Uniform { lo: 100, hi: 50_000 }), None),
+        &[],
+    );
+
+    run_and_check(
+        "duplication 20%",
+        build(5, SimConfig::new(3).with_duplication(0.2), None),
+        &[],
+    );
+
+    run_and_check(
+        "loss 30% + retransmission",
+        build(5, SimConfig::new(4).with_loss(0.3), Some(30_000)),
+        &[],
+    );
+
+    run_and_check(
+        "2 crashes (optimal bound for n=5)",
+        build(5, SimConfig::new(5), None),
+        &[3, 4],
+    );
+
+    run_and_check(
+        "everything at once",
+        build(
+            5,
+            SimConfig::new(6)
+                .with_latency(LatencyModel::Bimodal { fast: 1_000, slow: 80_000, slow_prob: 0.2 })
+                .with_loss(0.15)
+                .with_duplication(0.1),
+            Some(50_000),
+        ),
+        &[4],
+    );
+
+    println!("\nEvery execution above — reordered, duplicated, lossy, crash-ridden — produced");
+    println!("a linearizable history. Change any seed and it still will; that is the theorem.");
+}

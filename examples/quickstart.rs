@@ -1,0 +1,54 @@
+//! Quickstart: an atomic register shared by three "machines".
+//!
+//! Spawns a 3-node multi-writer ABD cluster on OS threads, writes from two
+//! different nodes, reads from a third, then crashes one replica and shows
+//! that nothing changes — the emulation tolerates any minority of crashes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use abd_core::msg::{RegisterOp, RegisterResp};
+use abd_core::mwmr::{MwmrConfig, MwmrNode};
+use abd_core::types::ProcessId;
+use abd_repro::runtime::cluster::{Cluster, Jitter};
+
+fn main() {
+    println!("ABD quickstart — an atomic register over message passing\n");
+
+    // Three processors, each a replica AND a client; any of them may write.
+    let n = 3;
+    let cluster: Cluster<MwmrNode<String>> = Cluster::spawn(
+        (0..n)
+            .map(|i| MwmrNode::new(MwmrConfig::new(n, ProcessId(i)), String::from("(initial)")))
+            .collect(),
+        Jitter::Uniform { lo: 50_000, hi: 500_000 }, // 0.05–0.5 ms per message
+    );
+
+    // p0 writes.
+    let p0 = cluster.client(0);
+    let (resp, s, e) = p0.invoke_timed(RegisterOp::Write("hello from p0".to_string()));
+    assert_eq!(resp, RegisterResp::WriteOk);
+    println!("p0: Write(\"hello from p0\")  -> ok in {:.2} ms", (e - s) as f64 / 1e6);
+
+    // p1 reads — two round trips: query a majority, write back, return.
+    let p1 = cluster.client(1);
+    let (resp, s, e) = p1.invoke_timed(RegisterOp::Read);
+    println!("p1: Read() -> {resp:?} in {:.2} ms", (e - s) as f64 / 1e6);
+
+    // p2 overwrites; its query phase guarantees a tag newer than p0's.
+    let p2 = cluster.client(2);
+    p2.invoke(RegisterOp::Write("p2 was here".to_string()));
+    println!("p2: Write(\"p2 was here\") -> ok");
+
+    // Crash a replica — a minority, so everything keeps working.
+    println!("\ncrashing p0 (a minority of n = 3)...");
+    cluster.crash(0);
+    let (resp, s, e) = p1.invoke_timed(RegisterOp::Read);
+    println!("p1: Read() -> {resp:?} in {:.2} ms (unaffected)", (e - s) as f64 / 1e6);
+    match resp {
+        RegisterResp::ReadOk(v) => assert_eq!(v, "p2 was here"),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    println!("\nThe register stayed atomic and available through the crash — the paper's");
+    println!("main theorem, running on your machine's threads.");
+}

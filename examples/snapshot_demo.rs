@@ -1,0 +1,73 @@
+//! The portability theorem in one program: the Afek et al. wait-free
+//! atomic snapshot — a *shared-memory* algorithm — running unmodified on a
+//! crash-prone message-passing cluster, because its registers are ABD
+//! registers.
+//!
+//! Three worker threads continuously update their segments; a scanner
+//! takes atomic snapshots and verifies an invariant that only holds if the
+//! snapshots are really atomic (each worker writes coupled pairs).
+//!
+//! Run with: `cargo run --release --example snapshot_demo`
+
+use abd_repro::runtime::client::{spawn_kv_cluster, KvRegisterArray, KvStoreClient};
+use abd_repro::runtime::cluster::Jitter;
+use abd_repro::shmem::snapshot::{Segment, SnapshotObject};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    println!("Atomic snapshot over the ABD emulation (5 replicas, 1 crashed)\n");
+
+    // Each snapshot segment holds a (value, value) pair written together;
+    // an atomic scan must never observe a torn pair.
+    let n_procs = 3;
+    let cluster = Arc::new(spawn_kv_cluster::<u64, Segment<(u64, u64)>>(5, Jitter::None));
+    cluster.crash(4); // a minority crash, before we even start
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut joins = Vec::new();
+    for p in 0..n_procs {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        joins.push(std::thread::spawn(move || {
+            let regs = KvRegisterArray::new(
+                KvStoreClient::new(cluster.client(p)),
+                n_procs,
+                Segment::initial(n_procs, (0, 0)),
+            );
+            let mut obj = SnapshotObject::new(p, regs);
+            let mut v = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                v += 1;
+                obj.update((v, v)); // coupled pair: must never appear torn
+            }
+            v
+        }));
+    }
+
+    let regs = KvRegisterArray::new(
+        KvStoreClient::new(cluster.client(3)),
+        n_procs,
+        Segment::initial(n_procs, (0, 0)),
+    );
+    let mut scanner = SnapshotObject::new(0, regs);
+    let mut last: Vec<(u64, u64)> = vec![(0, 0); n_procs];
+    let scans = 60;
+    for i in 0..scans {
+        let snap = scanner.scan();
+        for (p, &(a, b)) in snap.iter().enumerate() {
+            assert_eq!(a, b, "torn pair in segment {p}: ({a}, {b}) — snapshot not atomic!");
+            assert!(a >= last[p].0, "segment {p} went backwards — snapshot not atomic!");
+        }
+        last = snap.clone();
+        if i % 20 == 0 {
+            println!("scan #{i:>3}: {snap:?}  (all pairs intact, all monotone)");
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let totals: Vec<u64> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    println!("\nworkers performed {totals:?} updates each, one replica crashed the whole time;");
+    println!("{scans} scans, zero torn pairs, zero regressions.");
+    println!("\nAn algorithm written for shared memory just ran on message passing — ABD's thesis.");
+}

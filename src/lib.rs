@@ -1,0 +1,7 @@
+//! Workspace root crate: re-exports for integration tests and examples.
+pub use abd_core as core;
+pub use abd_kv as kv;
+pub use abd_lincheck as lincheck;
+pub use abd_runtime as runtime;
+pub use abd_shmem as shmem;
+pub use abd_simnet as simnet;

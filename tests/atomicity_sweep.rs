@@ -1,0 +1,128 @@
+//! Integration: the paper's correctness theorem under a randomized
+//! adversary — every seeded schedule of the ABD protocols yields a
+//! linearizable history, while the baselines demonstrably leak anomalies
+//! somewhere in the same sweep.
+
+use abd_core::types::ProcessId;
+use abd_repro::lincheck::{
+    check_linearizable_with_limit, check_regular_swmr, find_new_old_inversions, CheckResult,
+};
+use abd_repro::simnet::workload::{run_workload, WorkloadConfig, WriterMode};
+use abd_repro::simnet::{LatencyModel, Sim, SimConfig};
+
+const SEEDS: u64 = 120;
+
+fn adversarial(seed: u64) -> SimConfig {
+    SimConfig::new(seed)
+        .with_latency(LatencyModel::Uniform { lo: 100, hi: 50_000 })
+        .with_duplication(0.1)
+}
+
+/// Bimodal delays: writes straggle across many fast reads — the schedule
+/// shape that exposes the baselines' anomalies (same idea as experiment
+/// T5, dialed up so anomalies appear reliably within the test's seed
+/// budget).
+fn straggly(seed: u64) -> SimConfig {
+    SimConfig::new(seed)
+        .with_latency(LatencyModel::Bimodal { fast: 300, slow: 150_000, slow_prob: 0.4 })
+        .with_duplication(0.05)
+}
+
+#[test]
+fn atomic_swmr_is_linearizable_on_every_seed() {
+    for seed in 0..SEEDS {
+        let nodes = (0..5)
+            .map(|i| {
+                abd_core::swmr::SwmrNode::new(
+                    abd_core::presets::atomic_swmr(5, ProcessId(i), ProcessId(0)),
+                    0u64,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(adversarial(seed), nodes);
+        let wl = WorkloadConfig::new(seed, 10, WriterMode::Single(ProcessId(0)));
+        let h = run_workload(&mut sim, &wl, 0, 10_000_000_000, true)
+            .unwrap_or_else(|| panic!("seed {seed}: workload did not complete"));
+        assert_eq!(
+            check_linearizable_with_limit(&h, 1_000_000),
+            CheckResult::Linearizable,
+            "seed {seed} produced a non-linearizable history:\n{h}"
+        );
+        assert!(check_regular_swmr(&h).is_empty(), "seed {seed}");
+        assert!(find_new_old_inversions(&h).is_empty(), "seed {seed}");
+    }
+}
+
+#[test]
+fn atomic_mwmr_is_linearizable_on_every_seed() {
+    for seed in 0..SEEDS {
+        let nodes = (0..5)
+            .map(|i| {
+                abd_core::mwmr::MwmrNode::new(abd_core::presets::atomic_mwmr(5, ProcessId(i)), 0u64)
+            })
+            .collect();
+        let mut sim = Sim::new(adversarial(seed), nodes);
+        let wl = WorkloadConfig::new(seed ^ 0x5555, 8, WriterMode::All).with_write_ratio(0.4);
+        let h = run_workload(&mut sim, &wl, 0, 10_000_000_000, true)
+            .unwrap_or_else(|| panic!("seed {seed}: workload did not complete"));
+        assert_eq!(
+            check_linearizable_with_limit(&h, 1_000_000),
+            CheckResult::Linearizable,
+            "seed {seed} produced a non-linearizable history:\n{h}"
+        );
+    }
+}
+
+#[test]
+fn regular_baseline_exhibits_inversions_somewhere_in_the_sweep() {
+    let mut total_inversions = 0u64;
+    let mut total_stale = 0u64;
+    for seed in 0..SEEDS {
+        let nodes = (0..5)
+            .map(|i| {
+                abd_core::swmr::SwmrNode::new(
+                    abd_core::presets::regular_swmr(5, ProcessId(i), ProcessId(0)),
+                    0u64,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(straggly(seed), nodes);
+        let wl = WorkloadConfig::new(seed ^ 0xabd, 14, WriterMode::Single(ProcessId(0)))
+            .with_write_ratio(0.5);
+        let Some(h) = run_workload(&mut sim, &wl, 1_000, 60_000_000_000, true) else { continue };
+        // The regular protocol must still be *regular* — only inversions
+        // (the regular-vs-atomic gap) may appear.
+        total_stale += check_regular_swmr(&h).len() as u64;
+        total_inversions += find_new_old_inversions(&h).len() as u64;
+    }
+    assert_eq!(total_stale, 0, "the no-write-back baseline must still be regular");
+    assert!(
+        total_inversions > 0,
+        "across {SEEDS} adversarial schedules the regular baseline should exhibit \
+         at least one new/old inversion — otherwise the write-back would be pointless"
+    );
+}
+
+#[test]
+fn read_one_baseline_violates_regularity_somewhere_in_the_sweep() {
+    let mut stale = 0u64;
+    for seed in 0..SEEDS {
+        let nodes = (0..5)
+            .map(|i| {
+                abd_core::swmr::SwmrNode::new(
+                    abd_core::presets::read_one_swmr(5, ProcessId(i), ProcessId(0)),
+                    0u64,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(straggly(seed), nodes);
+        let wl = WorkloadConfig::new(seed ^ 0xabd, 14, WriterMode::Single(ProcessId(0)))
+            .with_write_ratio(0.5);
+        let Some(h) = run_workload(&mut sim, &wl, 1_000, 60_000_000_000, true) else { continue };
+        stale += check_regular_swmr(&h).len() as u64;
+    }
+    assert!(
+        stale > 0,
+        "read-one/write-majority should produce stale reads across {SEEDS} schedules"
+    );
+}

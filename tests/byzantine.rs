@@ -1,0 +1,163 @@
+//! Integration: Byzantine-tolerant reads via masking quorums under the
+//! simulator's adversary, and the contrast case showing why the
+//! crash-tolerant protocol is not enough once replicas can lie.
+
+use abd_core::byzantine::{ByzConfig, ByzNode, LieStrategy};
+use abd_core::msg::{RegisterOp, RegisterResp};
+use abd_core::types::ProcessId;
+use abd_repro::lincheck::{check_linearizable_with_limit, is_atomic_swmr, CheckResult, History, RegAction};
+use abd_repro::simnet::{LatencyModel, Sim, SimConfig};
+
+fn byz_cluster(
+    b: usize,
+    liars: &[(usize, LieStrategy)],
+    seed: u64,
+) -> Sim<ByzNode<u64>> {
+    let n = 4 * b + 1;
+    let nodes = (0..n)
+        .map(|i| {
+            let mut cfg = ByzConfig::new(n, ProcessId(i), ProcessId(0), b);
+            if let Some((_, lie)) = liars.iter().find(|(id, _)| *id == i) {
+                cfg = cfg.with_lie(*lie);
+            }
+            ByzNode::new(cfg, 0u64)
+        })
+        .collect();
+    Sim::new(
+        SimConfig::new(seed).with_latency(LatencyModel::Uniform { lo: 100, hi: 30_000 }),
+        nodes,
+    )
+}
+
+fn honest_history(sim: &Sim<ByzNode<u64>>, liars: &[usize]) -> History<u64> {
+    let mut h = History::new(0);
+    for r in sim.completed() {
+        if liars.contains(&r.client.index()) {
+            continue;
+        }
+        match (&r.input, &r.resp) {
+            (RegisterOp::Write(v), RegisterResp::WriteOk) => {
+                h.push(r.client.index(), RegAction::Write(*v), r.invoked_at, r.completed_at);
+            }
+            (RegisterOp::Read, RegisterResp::ReadOk(v)) => {
+                h.push(r.client.index(), RegAction::Read(*v), r.invoked_at, r.completed_at);
+            }
+            _ => {}
+        }
+    }
+    h
+}
+
+#[test]
+fn masked_reads_stay_linearizable_under_every_lie_strategy() {
+    for (li, lie) in
+        [LieStrategy::ReportStale, LieStrategy::ForgeLabel, LieStrategy::Silent].iter().enumerate()
+    {
+        for seed in 0..40u64 {
+            // Liar at node 1 (adjacent to the writer, always in quorums).
+            let mut sim = byz_cluster(1, &[(1, *lie)], seed * 13 + li as u64);
+            // Closed-loop scripts keep per-client intervals honest (the
+            // liar issues nothing).
+            let scripts: Vec<Vec<RegisterOp<u64>>> = vec![
+                (1..=8u64).map(RegisterOp::Write).collect(),
+                vec![],
+                vec![RegisterOp::Read; 6],
+                vec![RegisterOp::Read; 6],
+                vec![RegisterOp::Read; 6],
+            ];
+            assert!(
+                abd_repro::simnet::harness::run_scripts(&mut sim, scripts, 500, 1, 600_000_000_000),
+                "lie {lie:?} seed {seed}: liveness must hold (q = n - b)"
+            );
+            let h = honest_history(&sim, &[1]);
+            assert!(is_atomic_swmr(&h), "lie {lie:?} seed {seed}:\n{h}");
+            assert_ne!(
+                check_linearizable_with_limit(&h, 1_000_000),
+                CheckResult::NotLinearizable,
+                "lie {lie:?} seed {seed}:\n{h}"
+            );
+        }
+    }
+}
+
+#[test]
+fn b2_masks_two_coordinated_liars() {
+    for seed in 0..20u64 {
+        let mut sim = byz_cluster(
+            2,
+            &[(1, LieStrategy::ForgeLabel), (2, LieStrategy::ReportStale)],
+            seed,
+        );
+        let mut scripts: Vec<Vec<RegisterOp<u64>>> = vec![(1..=6u64).map(RegisterOp::Write).collect()];
+        scripts.push(vec![]); // liar
+        scripts.push(vec![]); // liar
+        for _ in 3..9 {
+            scripts.push(vec![RegisterOp::Read; 4]);
+        }
+        assert!(
+            abd_repro::simnet::harness::run_scripts(&mut sim, scripts, 500, 1, 600_000_000_000),
+            "seed {seed}"
+        );
+        let h = honest_history(&sim, &[1, 2]);
+        assert!(is_atomic_swmr(&h), "seed {seed}:\n{h}");
+        assert_ne!(
+            check_linearizable_with_limit(&h, 1_000_000),
+            CheckResult::NotLinearizable,
+            "seed {seed}:\n{h}"
+        );
+    }
+}
+
+#[test]
+fn plain_majority_protocol_is_poisoned_by_a_forger() {
+    // The same liar against b = 0 parameters (majority quorum, no masking):
+    // some seed produces a read of a fabricated value. This is the
+    // *motivation* row for masking quorums.
+    let mut poisoned = 0u64;
+    for seed in 0..40u64 {
+        let n = 5;
+        let nodes = (0..n)
+            .map(|i| {
+                let mut cfg = ByzConfig::new(n, ProcessId(i), ProcessId(0), 0);
+                if i == 1 {
+                    cfg = cfg.with_lie(LieStrategy::ForgeLabel);
+                }
+                ByzNode::new(cfg, 0u64)
+            })
+            .collect();
+        let mut sim: Sim<ByzNode<u64>> = Sim::new(
+            SimConfig::new(seed).with_latency(LatencyModel::Uniform { lo: 100, hi: 30_000 }),
+            nodes,
+        );
+        sim.invoke_at(0, ProcessId(0), RegisterOp::Write(7));
+        assert!(sim.run_until_ops_complete(60_000_000_000));
+        for reader in [2usize, 3, 4] {
+            sim.invoke(ProcessId(reader), RegisterOp::Read);
+        }
+        assert!(sim.run_until_ops_complete(120_000_000_000));
+        for r in sim.completed() {
+            if let (RegisterOp::Read, RegisterResp::ReadOk(v)) = (&r.input, &r.resp) {
+                if *v != 7 {
+                    poisoned += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        poisoned > 0,
+        "without masking quorums the forged label should poison some read across seeds"
+    );
+}
+
+#[test]
+fn silent_liar_cannot_stall_liveness_even_with_delays() {
+    let mut sim = byz_cluster(1, &[(2, LieStrategy::Silent)], 9);
+    for k in 0..20u64 {
+        sim.invoke(ProcessId(0), RegisterOp::Write(k + 1));
+        assert!(sim.run_until_ops_complete(60_000_000_000), "write {k}");
+        sim.invoke(ProcessId(3), RegisterOp::Read);
+        assert!(sim.run_until_ops_complete(120_000_000_000), "read {k}");
+    }
+    let last = sim.completed().last().unwrap();
+    assert!(matches!(last.resp, RegisterResp::ReadOk(20)));
+}

@@ -1,0 +1,129 @@
+//! Integration: the paper's complexity theorems as exact assertions —
+//! message counts per operation and round-trip counts (via constant-delay
+//! latency), across cluster sizes and protocol variants.
+
+use abd_core::msg::RegisterOp;
+use abd_core::types::ProcessId;
+use abd_repro::simnet::{LatencyModel, Sim, SimConfig};
+
+const D: u64 = 1_000; // constant per-message delay
+
+fn constant_delay(seed: u64) -> SimConfig {
+    SimConfig::new(seed).with_latency(LatencyModel::Constant(D))
+}
+
+#[test]
+fn swmr_write_is_one_round_trip_2n_minus_2_messages() {
+    for n in [3usize, 5, 9, 15] {
+        let nodes = (0..n)
+            .map(|i| {
+                abd_core::swmr::SwmrNode::new(
+                    abd_core::presets::atomic_swmr(n, ProcessId(i), ProcessId(0)),
+                    0u64,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(constant_delay(1), nodes);
+        sim.invoke(ProcessId(0), RegisterOp::Write(1));
+        assert!(sim.run_until_quiet(u64::MAX / 2));
+        assert_eq!(sim.metrics().sent, 2 * (n as u64 - 1), "n={n}: messages");
+        assert_eq!(sim.completed()[0].latency(), 2 * D, "n={n}: one round trip");
+    }
+}
+
+#[test]
+fn swmr_read_is_two_round_trips_4n_minus_4_messages() {
+    for n in [3usize, 5, 9, 15] {
+        let nodes = (0..n)
+            .map(|i| {
+                abd_core::swmr::SwmrNode::new(
+                    abd_core::presets::atomic_swmr(n, ProcessId(i), ProcessId(0)),
+                    0u64,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(constant_delay(2), nodes);
+        sim.invoke(ProcessId(n - 1), RegisterOp::Read);
+        assert!(sim.run_until_quiet(u64::MAX / 2));
+        assert_eq!(sim.metrics().sent, 4 * (n as u64 - 1), "n={n}: messages");
+        assert_eq!(sim.completed()[0].latency(), 4 * D, "n={n}: two round trips");
+    }
+}
+
+#[test]
+fn regular_read_saves_one_round_trip() {
+    let n = 9;
+    let nodes = (0..n)
+        .map(|i| {
+            abd_core::swmr::SwmrNode::new(
+                abd_core::presets::regular_swmr(n, ProcessId(i), ProcessId(0)),
+                0u64,
+            )
+        })
+        .collect();
+    let mut sim = Sim::new(constant_delay(3), nodes);
+    sim.invoke(ProcessId(4), RegisterOp::Read);
+    assert!(sim.run_until_quiet(u64::MAX / 2));
+    assert_eq!(sim.metrics().sent, 2 * (n as u64 - 1));
+    assert_eq!(sim.completed()[0].latency(), 2 * D);
+}
+
+#[test]
+fn mwmr_ops_are_two_round_trips_each() {
+    for n in [3usize, 5, 9] {
+        let nodes = (0..n)
+            .map(|i| {
+                abd_core::mwmr::MwmrNode::new(abd_core::presets::atomic_mwmr(n, ProcessId(i)), 0u64)
+            })
+            .collect();
+        let mut sim = Sim::new(constant_delay(4), nodes);
+        sim.invoke(ProcessId(1), RegisterOp::Write(1));
+        assert!(sim.run_until_quiet(u64::MAX / 2));
+        assert_eq!(sim.metrics().sent, 4 * (n as u64 - 1), "n={n}: write messages");
+        assert_eq!(sim.completed()[0].latency(), 4 * D, "n={n}: write rounds");
+        let before = sim.metrics().sent;
+        sim.invoke(ProcessId(2), RegisterOp::Read);
+        assert!(sim.run_until_quiet(u64::MAX / 2));
+        assert_eq!(sim.metrics().sent - before, 4 * (n as u64 - 1), "n={n}: read messages");
+        assert_eq!(sim.completed()[1].latency(), 4 * D, "n={n}: read rounds");
+    }
+}
+
+#[test]
+fn latency_is_independent_of_n_under_constant_delay() {
+    // The quorum structure means completion time depends on the delay, not
+    // the cluster size (with constant delays, exactly).
+    let mut latencies = Vec::new();
+    for n in [3usize, 11, 31, 51] {
+        let nodes = (0..n)
+            .map(|i| {
+                abd_core::swmr::SwmrNode::new(
+                    abd_core::presets::atomic_swmr(n, ProcessId(i), ProcessId(0)),
+                    0u64,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(constant_delay(5), nodes);
+        sim.invoke(ProcessId(0), RegisterOp::Write(1));
+        assert!(sim.run_until_quiet(u64::MAX / 2));
+        latencies.push(sim.completed()[0].latency());
+    }
+    assert!(latencies.windows(2).all(|w| w[0] == w[1]), "latency varied with n: {latencies:?}");
+}
+
+#[test]
+fn retransmission_adds_no_messages_on_reliable_links() {
+    let n = 5;
+    let nodes = (0..n)
+        .map(|i| {
+            let cfg = abd_core::presets::atomic_swmr(n, ProcessId(i), ProcessId(0))
+                .with_retransmit(1_000_000); // longer than any op
+            abd_core::swmr::SwmrNode::new(cfg, 0u64)
+        })
+        .collect();
+    let mut sim = Sim::new(constant_delay(6), nodes);
+    sim.invoke(ProcessId(0), RegisterOp::Write(1));
+    assert!(sim.run_until_ops_complete(u64::MAX / 2));
+    assert_eq!(sim.metrics().sent, 2 * (n as u64 - 1), "no spurious retransmissions");
+    assert_eq!(sim.metrics().timer_fires, 0, "timer cancelled on completion");
+}

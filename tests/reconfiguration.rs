@@ -1,0 +1,175 @@
+//! Integration: the reconfigurable store (RAMBO-lite) under the simulator —
+//! data survives membership changes, resilience renews against the new
+//! member set, and operations racing a reconfiguration complete correctly.
+
+use abd_core::types::ProcessId;
+use abd_kv::reconfig::{RcNode, RcNodeConfig, RcOp, RcResp};
+use abd_repro::lincheck::{check_linearizable_with_limit, CheckResult, History, RegAction};
+use abd_repro::simnet::{LatencyModel, Sim, SimConfig};
+
+fn cluster(n: usize, seed: u64) -> Sim<RcNode<u32, u64>> {
+    let nodes = (0..n).map(|i| RcNode::new(RcNodeConfig::new(n, ProcessId(i)))).collect();
+    Sim::new(
+        SimConfig::new(seed).with_latency(LatencyModel::Uniform { lo: 100, hi: 20_000 }),
+        nodes,
+    )
+}
+
+fn members(ids: &[usize]) -> Vec<ProcessId> {
+    ids.iter().copied().map(ProcessId).collect()
+}
+
+#[test]
+fn data_survives_a_membership_change() {
+    let mut sim = cluster(6, 1);
+    // Epoch 0: all six nodes. Write some data.
+    sim.invoke(ProcessId(0), RcOp::Put(1, 100));
+    sim.invoke(ProcessId(1), RcOp::Put(2, 200));
+    assert!(sim.run_until_ops_complete(60_000_000_000));
+
+    // Reconfigure to a disjoint-ish trio {3, 4, 5}.
+    sim.invoke(ProcessId(0), RcOp::Reconfig(members(&[3, 4, 5])));
+    assert!(sim.run_until_ops_complete(120_000_000_000));
+    let last = sim.completed().last().unwrap();
+    assert_eq!(last.resp, RcResp::ReconfigOk { epoch: 1 });
+
+    // Reads through the new configuration still see the data (completion
+    // order is not invocation order — match by key).
+    sim.invoke(ProcessId(5), RcOp::Get(1));
+    sim.invoke(ProcessId(3), RcOp::Get(2));
+    assert!(sim.run_until_ops_complete(240_000_000_000));
+    for r in sim.completed().iter().rev().take(2) {
+        match &r.input {
+            RcOp::Get(1) => assert_eq!(r.resp, RcResp::GetOk(Some(100))),
+            RcOp::Get(2) => assert_eq!(r.resp, RcResp::GetOk(Some(200))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn resilience_renews_against_the_new_member_set() {
+    // Universe of 5; epoch 0 members = all 5 (tolerates 2 crashes).
+    let mut sim = cluster(5, 2);
+    sim.invoke(ProcessId(0), RcOp::Put(7, 77));
+    assert!(sim.run_until_ops_complete(60_000_000_000));
+
+    // Crash nodes 3 and 4: the static emulation is now at its bound — one
+    // more crash would kill it forever.
+    sim.crash_at(sim.now(), ProcessId(3));
+    sim.crash_at(sim.now(), ProcessId(4));
+
+    // Shrink the configuration to the three survivors.
+    sim.invoke(ProcessId(0), RcOp::Reconfig(members(&[0, 1, 2])));
+    assert!(sim.run_until_ops_complete(240_000_000_000), "reconfig must survive the crashes");
+
+    // Now crash node 2 as well: 3 of the original 5 are gone — fatal for
+    // the static protocol — but {0,1} is a majority of the *new* config.
+    sim.crash_at(sim.now(), ProcessId(2));
+    sim.invoke(ProcessId(0), RcOp::Get(7));
+    sim.invoke(ProcessId(1), RcOp::Put(8, 88));
+    assert!(
+        sim.run_until_ops_complete(sim.now() + 240_000_000_000),
+        "the reconfigured store must survive a third crash"
+    );
+    for r in sim.completed().iter().rev().take(2) {
+        match &r.input {
+            RcOp::Get(7) => assert_eq!(r.resp, RcResp::GetOk(Some(77))),
+            RcOp::Put(8, _) => assert_eq!(r.resp, RcResp::PutOk),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn writes_racing_the_reconfiguration_are_not_lost() {
+    for seed in 0..30u64 {
+        let mut sim = cluster(5, seed);
+        // Launch several puts and a reconfig at overlapping times.
+        sim.invoke_at(0, ProcessId(1), RcOp::Put(1, 11));
+        sim.invoke_at(500, ProcessId(2), RcOp::Put(2, 22));
+        sim.invoke_at(1_000, ProcessId(0), RcOp::Reconfig(members(&[0, 1, 2])));
+        sim.invoke_at(1_500, ProcessId(3), RcOp::Put(3, 33));
+        assert!(
+            sim.run_until_ops_complete(600_000_000_000),
+            "seed {seed}: racing operations must all complete (restart under the new epoch)"
+        );
+        // Every completed put must be readable afterwards.
+        for key in [1u32, 2, 3] {
+            sim.invoke(ProcessId(1), RcOp::Get(key));
+        }
+        assert!(sim.run_until_ops_complete(sim.now() + 600_000_000_000), "seed {seed}");
+        let recs = sim.completed();
+        let gets: Vec<_> = recs.iter().rev().take(3).collect();
+        for g in gets {
+            let RcOp::Get(k) = &g.input else { panic!() };
+            assert_eq!(
+                g.resp,
+                RcResp::GetOk(Some(u64::from(*k) * 11)),
+                "seed {seed}: key {k} lost across reconfiguration"
+            );
+        }
+    }
+}
+
+#[test]
+fn per_key_histories_stay_linearizable_across_reconfigs() {
+    for seed in 0..20u64 {
+        let mut sim = cluster(5, seed ^ 0xc0fe);
+        let mut value = 0u64;
+        // Rounds of concurrent puts; reconfigurations are serialized with
+        // respect to each other (the documented assumption) but race the
+        // puts of their round freely.
+        for round in 0..4u64 {
+            for node in 0..5usize {
+                value += 1;
+                sim.invoke_at(sim.now() + node as u64 * 100, ProcessId(node), RcOp::Put(0, value));
+            }
+            if round == 1 {
+                sim.invoke_at(sim.now() + 1_000, ProcessId(0), RcOp::Reconfig(members(&[0, 1, 2])));
+            }
+            if round == 2 {
+                sim.invoke_at(sim.now() + 1_000, ProcessId(1), RcOp::Reconfig(members(&[1, 2, 3, 4])));
+            }
+            assert!(sim.run_until_ops_complete(sim.now() + 600_000_000_000), "seed {seed} round {round}");
+        }
+        let mut h = History::new(0u64);
+        for r in sim.completed() {
+            match (&r.input, &r.resp) {
+                (RcOp::Put(0, v), RcResp::PutOk) => {
+                    h.push(r.client.index(), RegAction::Write(*v), r.invoked_at, r.completed_at);
+                }
+                (RcOp::Get(0), RcResp::GetOk(Some(v))) => {
+                    h.push(r.client.index(), RegAction::Read(*v), r.invoked_at, r.completed_at);
+                }
+                _ => {}
+            }
+        }
+        assert_ne!(
+            check_linearizable_with_limit(&h, 2_000_000),
+            CheckResult::NotLinearizable,
+            "seed {seed}: reconfiguration broke per-key atomicity\n{h}"
+        );
+    }
+}
+
+#[test]
+fn second_reconfig_from_another_admin_works_after_the_first() {
+    let mut sim = cluster(4, 9);
+    sim.invoke(ProcessId(0), RcOp::Put(5, 50));
+    assert!(sim.run_until_ops_complete(60_000_000_000));
+    sim.invoke(ProcessId(0), RcOp::Reconfig(members(&[0, 1])));
+    assert!(sim.run_until_ops_complete(240_000_000_000));
+    // A different node runs the next reconfiguration (serialized after).
+    sim.invoke(ProcessId(1), RcOp::Reconfig(members(&[2, 3])));
+    assert!(sim.run_until_ops_complete(sim.now() + 240_000_000_000));
+    let last = sim.completed().last().unwrap();
+    assert_eq!(last.resp, RcResp::ReconfigOk { epoch: 2 });
+    sim.invoke(ProcessId(3), RcOp::Get(5));
+    assert!(sim.run_until_ops_complete(sim.now() + 240_000_000_000));
+    assert_eq!(
+        sim.completed().last().unwrap().resp,
+        RcResp::GetOk(Some(50)),
+        "data must survive two migrations"
+    );
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI: every gate the repo holds itself to, cheapest first.
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> abd-lint (protocol-invariant static analysis)"
+cargo run -q -p abd-lint
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "ci.sh: all gates green"

@@ -55,7 +55,9 @@ fn bench_quorum_scaling(c: &mut Criterion) {
             client.invoke(RegisterOp::Write(v))
         })
     });
-    group.bench_function("grid3x3_read/n=9", |b| b.iter(|| client.invoke(RegisterOp::Read)));
+    group.bench_function("grid3x3_read/n=9", |b| {
+        b.iter(|| client.invoke(RegisterOp::Read))
+    });
 
     group.finish();
 }

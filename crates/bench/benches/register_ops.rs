@@ -15,14 +15,18 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn swmr_cluster(n: usize) -> Cluster<SwmrNode<u64>> {
     Cluster::spawn(
-        (0..n).map(|i| SwmrNode::new(SwmrConfig::new(n, ProcessId(i), ProcessId(0)), 0u64)).collect(),
+        (0..n)
+            .map(|i| SwmrNode::new(SwmrConfig::new(n, ProcessId(i), ProcessId(0)), 0u64))
+            .collect(),
         Jitter::None,
     )
 }
 
 fn mwmr_cluster(n: usize) -> Cluster<MwmrNode<u64>> {
     Cluster::spawn(
-        (0..n).map(|i| MwmrNode::new(MwmrConfig::new(n, ProcessId(i)), 0u64)).collect(),
+        (0..n)
+            .map(|i| MwmrNode::new(MwmrConfig::new(n, ProcessId(i)), 0u64))
+            .collect(),
         Jitter::None,
     )
 }

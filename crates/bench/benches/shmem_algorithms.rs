@@ -21,7 +21,9 @@ fn bench_shmem(c: &mut Criterion) {
     {
         let regs = LocalAtomicArray::new(n_procs, 0u64);
         let mut counter = Counter::new(0, regs);
-        group.bench_function("counter_increment/local", |b| b.iter(|| counter.increment()));
+        group.bench_function("counter_increment/local", |b| {
+            b.iter(|| counter.increment())
+        });
         group.bench_function("counter_value/local", |b| b.iter(|| counter.value()));
     }
     // Counter over the ABD emulation.

@@ -24,7 +24,10 @@ fn run_ops(sim: &mut Sim<SwmrNode<u64>>, clients: &[usize], ops: u64) -> Stats {
         if k % 2 == 0 {
             sim.invoke(ProcessId(0), RegisterOp::Write(k + 1));
         } else {
-            sim.invoke(ProcessId(clients[(k as usize) % clients.len()]), RegisterOp::Read);
+            sim.invoke(
+                ProcessId(clients[(k as usize) % clients.len()]),
+                RegisterOp::Read,
+            );
         }
         assert!(sim.run_until_quiet(u64::MAX / 2), "op must complete");
         lats.push(sim.completed()[before].latency());
@@ -34,7 +37,10 @@ fn run_ops(sim: &mut Sim<SwmrNode<u64>>, clients: &[usize], ops: u64) -> Stats {
 
 fn main() {
     let n = 9;
-    let lat = LatencyModel::Uniform { lo: 5_000, hi: 15_000 };
+    let lat = LatencyModel::Uniform {
+        lo: 5_000,
+        hi: 15_000,
+    };
 
     let mut f2a = Table::new(
         "F2a — latency vs crashed replicas (n = 9, majority quorums); µs",
@@ -54,7 +60,12 @@ fn main() {
             f.to_string(),
             us(s.mean),
             us(s.p99),
-            if f == 4 { "max tolerated (paper bound)" } else { "" }.to_string(),
+            if f == 4 {
+                "max tolerated (paper bound)"
+            } else {
+                ""
+            }
+            .to_string(),
         ]);
     }
     f2a.print();
@@ -63,8 +74,15 @@ fn main() {
         "F2b — one straggler replica (100x slower): quorum vs wait-for-all (n = 5); µs",
         &["scheme", "mean", "p99"],
     );
-    let straggler_lat = LatencyModel::Bimodal { fast: 5_000, slow: 500_000, slow_prob: 0.2 };
-    for (name, quorum_all) in [("ABD majority quorum", false), ("wait-for-all (r=w=n)", true)] {
+    let straggler_lat = LatencyModel::Bimodal {
+        fast: 5_000,
+        slow: 500_000,
+        slow_prob: 0.2,
+    };
+    for (name, quorum_all) in [
+        ("ABD majority quorum", false),
+        ("wait-for-all (r=w=n)", true),
+    ] {
         let nodes: Vec<SwmrNode<u64>> = (0..5)
             .map(|i| {
                 let mut cfg = SwmrConfig::new(5, ProcessId(i), ProcessId(0));

@@ -16,7 +16,12 @@ use abd_core::types::ProcessId;
 use abd_simnet::{LatencyModel, SimConfig};
 
 fn series(n: usize, lat: LatencyModel, seed: u64) -> (Stats, Stats) {
-    let mut sim = swmr_sim(Variant::AtomicSwmr, n, SimConfig::new(seed).with_latency(lat), None);
+    let mut sim = swmr_sim(
+        Variant::AtomicSwmr,
+        n,
+        SimConfig::new(seed).with_latency(lat),
+        None,
+    );
     let mut writes = Vec::new();
     let mut reads = Vec::new();
     for k in 0..200u64 {
@@ -34,14 +39,27 @@ fn series(n: usize, lat: LatencyModel, seed: u64) -> (Stats, Stats) {
             reads.push(lat);
         }
     }
-    (Stats::from_samples(writes).unwrap(), Stats::from_samples(reads).unwrap())
+    (
+        Stats::from_samples(writes).unwrap(),
+        Stats::from_samples(reads).unwrap(),
+    )
 }
 
 fn main() {
-    let lat = LatencyModel::Uniform { lo: 5_000, hi: 15_000 };
+    let lat = LatencyModel::Uniform {
+        lo: 5_000,
+        hi: 15_000,
+    };
     let mut f1a = Table::new(
         "F1a — latency vs n (delay ~ U[5µs, 15µs]); µs",
-        &["n", "write mean", "write p99", "read mean", "read p99", "read/write"],
+        &[
+            "n",
+            "write mean",
+            "write p99",
+            "read mean",
+            "read p99",
+            "read/write",
+        ],
     );
     for n in [3usize, 5, 9, 15, 21, 31, 51] {
         let (w, r) = series(n, lat, 42);
@@ -58,11 +76,21 @@ fn main() {
 
     let mut f1b = Table::new(
         "F1b — latency vs delay scale (n = 7); µs",
-        &["delay U[d, 3d], d =", "write mean", "read mean", "read/write"],
+        &[
+            "delay U[d, 3d], d =",
+            "write mean",
+            "read mean",
+            "read/write",
+        ],
     );
     for d in [1_000u64, 5_000, 10_000, 50_000, 100_000] {
         let (w, r) = series(7, LatencyModel::Uniform { lo: d, hi: 3 * d }, 43);
-        f1b.row(vec![us(d as f64), us(w.mean), us(r.mean), format!("{:.2}", r.mean / w.mean)]);
+        f1b.row(vec![
+            us(d as f64),
+            us(w.mean),
+            us(r.mean),
+            format!("{:.2}", r.mean / w.mean),
+        ]);
     }
     f1b.print();
 

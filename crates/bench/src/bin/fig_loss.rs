@@ -19,20 +19,31 @@ fn main() {
     let retransmit_every = 30_000; // 30µs, ~2x the max delay
     let mut t = Table::new(
         "F3 — message-loss sweep (n = 5, retransmit every 30µs); 200 ops each",
-        &["loss p", "completed", "msgs/op", "overhead vs p=0", "mean latency µs", "p99 µs"],
+        &[
+            "loss p",
+            "completed",
+            "msgs/op",
+            "overhead vs p=0",
+            "mean latency µs",
+            "p99 µs",
+        ],
     );
     let mut base_msgs_per_op = None;
     for loss in [0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5_f64] {
         let nodes: Vec<SwmrNode<u64>> = (0..n)
             .map(|i| {
                 SwmrNode::new(
-                    SwmrConfig::new(n, ProcessId(i), ProcessId(0)).with_retransmit(retransmit_every),
+                    SwmrConfig::new(n, ProcessId(i), ProcessId(0))
+                        .with_retransmit(retransmit_every),
                     0,
                 )
             })
             .collect();
         let cfg = SimConfig::new(99)
-            .with_latency(LatencyModel::Uniform { lo: 2_000, hi: 15_000 })
+            .with_latency(LatencyModel::Uniform {
+                lo: 2_000,
+                hi: 15_000,
+            })
             .with_loss(loss.min(0.999));
         let mut sim = Sim::new(cfg, nodes);
         let mut lats = Vec::new();

@@ -24,10 +24,18 @@ use std::sync::Arc;
 
 fn build(n: usize, q: Arc<dyn QuorumSystem>, seed: u64) -> Sim<MwmrNode<u64>> {
     let nodes = (0..n)
-        .map(|i| MwmrNode::new(MwmrConfig::new(n, ProcessId(i)).with_quorum(Arc::clone(&q)), 0u64))
+        .map(|i| {
+            MwmrNode::new(
+                MwmrConfig::new(n, ProcessId(i)).with_quorum(Arc::clone(&q)),
+                0u64,
+            )
+        })
         .collect();
     Sim::new(
-        SimConfig::new(seed).with_latency(LatencyModel::Uniform { lo: 2_000, hi: 20_000 }),
+        SimConfig::new(seed).with_latency(LatencyModel::Uniform {
+            lo: 2_000,
+            hi: 20_000,
+        }),
         nodes,
     )
 }
@@ -48,7 +56,10 @@ fn measure(n: usize, q: Arc<dyn QuorumSystem>) -> (f64, Stats) {
         assert!(sim.run_until_quiet(u64::MAX / 2));
         lats.push(sim.completed()[before].latency());
     }
-    (sim.metrics().sent as f64 / ops as f64, Stats::from_samples(lats).unwrap())
+    (
+        sim.metrics().sent as f64 / ops as f64,
+        Stats::from_samples(lats).unwrap(),
+    )
 }
 
 /// Largest f such that crashing nodes n-f..n still lets a write+read pair
@@ -76,7 +87,15 @@ fn observed_resilience(n: usize, q: &Arc<dyn QuorumSystem>) -> usize {
 fn main() {
     let mut t = Table::new(
         "F4 — quorum families on the MWMR emulation (n = 16 where applicable)",
-        &["quorum system", "valid (MW)", "msgs/op", "mean µs", "p99 µs", "observed max f", "paper bound f"],
+        &[
+            "quorum system",
+            "valid (MW)",
+            "msgs/op",
+            "mean µs",
+            "p99 µs",
+            "observed max f",
+            "paper bound f",
+        ],
     );
     let n = 16;
     let families: Vec<Arc<dyn QuorumSystem>> = vec![

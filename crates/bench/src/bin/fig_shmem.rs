@@ -37,7 +37,11 @@ struct Counting<R> {
 
 impl<R> Counting<R> {
     fn new(inner: R) -> Self {
-        Counting { inner, reads: Arc::new(AtomicU64::new(0)), writes: Arc::new(AtomicU64::new(0)) }
+        Counting {
+            inner,
+            reads: Arc::new(AtomicU64::new(0)),
+            writes: Arc::new(AtomicU64::new(0)),
+        }
     }
     fn ops(&self) -> u64 {
         self.reads.load(Ordering::Relaxed) + self.writes.load(Ordering::Relaxed)
@@ -69,7 +73,13 @@ fn bench_op<F: FnMut()>(mut f: F) -> Stats {
 }
 
 fn push(t: &mut Table, alg: &str, substrate: &str, ops_per: f64, s: &Stats) {
-    t.row(vec![alg.into(), substrate.into(), format!("{ops_per:.0}"), us(s.mean), us(s.p99)]);
+    t.row(vec![
+        alg.into(),
+        substrate.into(),
+        format!("{ops_per:.0}"),
+        us(s.mean),
+        us(s.p99),
+    ]);
 }
 
 fn counter_rows<R: RegisterArray<u64> + Clone>(name: &str, arr: R, t: &mut Table) {
@@ -125,7 +135,13 @@ fn snapshot_rows<R: RegisterArray<Segment<u64>> + Clone>(name: &str, arr: R, t: 
 fn main() {
     let mut t = Table::new(
         "F5 — shared-memory algorithms over local vs ABD-emulated registers (3 replicas)",
-        &["algorithm / op", "substrate", "register ops/op", "mean µs", "p99 µs"],
+        &[
+            "algorithm / op",
+            "substrate",
+            "register ops/op",
+            "mean µs",
+            "p99 µs",
+        ],
     );
 
     let kv_cluster_u64 = spawn_kv_cluster::<u64, u64>(3, Jitter::None);
@@ -133,13 +149,21 @@ fn main() {
     let kv_cluster_u64b = spawn_kv_cluster::<u64, u64>(3, Jitter::None);
     let kv_cluster_seg = spawn_kv_cluster::<u64, Segment<u64>>(3, Jitter::None);
 
-    counter_rows("local registers", LocalAtomicArray::new(N_PROCS, 0u64), &mut t);
+    counter_rows(
+        "local registers",
+        LocalAtomicArray::new(N_PROCS, 0u64),
+        &mut t,
+    );
     counter_rows(
         "ABD emulation",
         KvRegisterArray::new(KvStoreClient::new(kv_cluster_u64.client(0)), N_PROCS, 0u64),
         &mut t,
     );
-    maxreg_rows("local registers", LocalAtomicArray::new(N_PROCS, 0u64), &mut t);
+    maxreg_rows(
+        "local registers",
+        LocalAtomicArray::new(N_PROCS, 0u64),
+        &mut t,
+    );
     maxreg_rows(
         "ABD emulation",
         KvRegisterArray::new(KvStoreClient::new(kv_cluster_u64b.client(0)), N_PROCS, 0u64),

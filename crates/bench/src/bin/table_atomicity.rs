@@ -16,7 +16,10 @@
 
 use abd_bench::clusters::{mwmr_sim, swmr_sim, Variant};
 use abd_bench::Table;
-use abd_lincheck::{check_linearizable_with_limit, check_regular_swmr, find_new_old_inversions, Anomaly, CheckResult};
+use abd_lincheck::{
+    check_linearizable_with_limit, check_regular_swmr, find_new_old_inversions, Anomaly,
+    CheckResult,
+};
 use abd_simnet::workload::{run_workload, WorkloadConfig, WriterMode};
 use abd_simnet::{LatencyModel, SimConfig};
 
@@ -43,7 +46,11 @@ fn sweep(variant: Variant, n: usize, seeds: u64) -> Tally {
         // the window where regular reads can invert and read-one reads go
         // stale.
         let sim_cfg = SimConfig::new(seed)
-            .with_latency(LatencyModel::Bimodal { fast: 500, slow: 80_000, slow_prob: 0.25 })
+            .with_latency(LatencyModel::Bimodal {
+                fast: 500,
+                slow: 80_000,
+                slow_prob: 0.25,
+            })
             .with_duplication(0.05);
         let wl_writers = if variant.is_single_writer() {
             WriterMode::Single(abd_core::types::ProcessId(0))
@@ -78,7 +85,10 @@ fn sweep(variant: Variant, n: usize, seeds: u64) -> Tally {
 }
 
 fn main() {
-    let seeds: u64 = std::env::var("ABD_T5_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let seeds: u64 = std::env::var("ABD_T5_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
     let n = 5;
     let mut t = Table::new(
         &format!("T5 — consistency over {seeds} adversarial schedules each (n = {n})"),
@@ -101,7 +111,8 @@ fn main() {
         let tally = sweep(variant, n, seeds);
         if matches!(variant, Variant::AtomicSwmr | Variant::AtomicMwmr) {
             assert_eq!(
-                tally.not_linearizable, 0,
+                tally.not_linearizable,
+                0,
                 "{}: the paper's protocol produced a non-linearizable history!",
                 variant.name()
             );
@@ -115,7 +126,11 @@ fn main() {
             format!(
                 "{}{}",
                 tally.not_linearizable,
-                if tally.unknown > 0 { format!(" (+{} unknown)", tally.unknown) } else { String::new() }
+                if tally.unknown > 0 {
+                    format!(" (+{} unknown)", tally.unknown)
+                } else {
+                    String::new()
+                }
             ),
             tally.stale_reads.to_string(),
             tally.inversions.to_string(),

@@ -37,7 +37,12 @@ fn main() {
     for k in [100u64, 1_000, 10_000, 100_000] {
         // Unbounded protocol.
         let nodes: Vec<SwmrNode<u64>> = (0..n)
-            .map(|i| SwmrNode::new(abd_core::presets::atomic_swmr(n, ProcessId(i), ProcessId(0)), 0))
+            .map(|i| {
+                SwmrNode::new(
+                    abd_core::presets::atomic_swmr(n, ProcessId(i), ProcessId(0)),
+                    0,
+                )
+            })
             .collect();
         let mut sim = Sim::new(
             SimConfig::new(k).with_latency(LatencyModel::Constant(500)),
@@ -75,9 +80,15 @@ fn main() {
             last.resp,
             abd_core::msg::RegisterResp::ReadOk(v) if v == k
         );
-        assert!(read_ok, "bounded read must return the last write after {k} writes");
+        assert!(
+            read_ok,
+            "bounded read must return the last write after {k} writes"
+        );
         let violations: u64 = (0..n).map(|i| bsim.node(i).window_violations()).sum();
-        assert_eq!(violations, 0, "no comparison may escape the window under synchrony");
+        assert_eq!(
+            violations, 0,
+            "no comparison may escape the window under synchrony"
+        );
 
         t.row(vec![
             k.to_string(),

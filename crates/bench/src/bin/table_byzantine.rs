@@ -32,7 +32,10 @@ fn sweep(b: usize, n: usize, lie: LieStrategy, liar: usize, seeds: u64) -> (u64,
             })
             .collect();
         let mut sim: Sim<ByzNode<u64>> = Sim::new(
-            SimConfig::new(seed).with_latency(LatencyModel::Uniform { lo: 100, hi: 30_000 }),
+            SimConfig::new(seed).with_latency(LatencyModel::Uniform {
+                lo: 100,
+                hi: 30_000,
+            }),
             nodes,
         );
         // Sequential rounds: each write completes before its reads start,
@@ -64,7 +67,11 @@ fn main() {
         &format!("E1 — Byzantine replica sweeps ({seeds} seeds each, 1 liar unless noted)"),
         &["protocol", "lie strategy", "reads", "wrong reads"],
     );
-    for lie in [LieStrategy::ReportStale, LieStrategy::ForgeLabel, LieStrategy::Silent] {
+    for lie in [
+        LieStrategy::ReportStale,
+        LieStrategy::ForgeLabel,
+        LieStrategy::Silent,
+    ] {
         // Plain majority (b = 0 masking; ABD parameters) on n = 5, liar at 1.
         let (reads, wrong) = sweep(0, 5, lie, 1, seeds);
         t.row(vec![

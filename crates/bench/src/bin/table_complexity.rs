@@ -57,7 +57,15 @@ fn main() {
 
     let mut t2 = Table::new(
         "T2 — MWMR emulation cost (paper: write and read both 4(n-1) msgs / 2 rounds)",
-        &["n", "write msgs", "expect", "read msgs", "expect", "write rounds", "read rounds"],
+        &[
+            "n",
+            "write msgs",
+            "expect",
+            "read msgs",
+            "expect",
+            "write rounds",
+            "read rounds",
+        ],
     );
     for n in [3usize, 5, 7, 9, 15, 21, 31] {
         let mut sim = mwmr_sim(Variant::AtomicMwmr, n, cfg(), None);

@@ -19,7 +19,14 @@ use abd_simnet::SimConfig;
 fn main() {
     let mut t3 = Table::new(
         "T3 — crash-failure sweep (paper: live iff f <= ceil(n/2)-1)",
-        &["n", "f", "paper predicts", "SWMR write", "SWMR read", "MWMR write"],
+        &[
+            "n",
+            "f",
+            "paper predicts",
+            "SWMR write",
+            "SWMR read",
+            "MWMR write",
+        ],
     );
     for n in [3usize, 4, 5, 7, 9] {
         let f_max = n.div_ceil(2) - 1;
@@ -43,9 +50,18 @@ fn main() {
             let mw_ok = mw.run_until_ops_complete(10_000_000_000);
 
             let verdict = |ok: bool| if ok { "OK" } else { "STALL" }.to_string();
-            assert_eq!(w_ok, live, "n={n} f={f}: SWMR write disagrees with the paper");
-            assert_eq!(r_ok, live, "n={n} f={f}: SWMR read disagrees with the paper");
-            assert_eq!(mw_ok, live, "n={n} f={f}: MWMR write disagrees with the paper");
+            assert_eq!(
+                w_ok, live,
+                "n={n} f={f}: SWMR write disagrees with the paper"
+            );
+            assert_eq!(
+                r_ok, live,
+                "n={n} f={f}: SWMR read disagrees with the paper"
+            );
+            assert_eq!(
+                mw_ok, live,
+                "n={n} f={f}: MWMR write disagrees with the paper"
+            );
             t3.row(vec![
                 n.to_string(),
                 f.to_string(),
@@ -76,7 +92,10 @@ fn main() {
         sim.partition_at(0, groups);
         sim.invoke_at(10, ProcessId(0), RegisterOp::Write(7));
         let during = sim.run_until_ops_complete(1_000_000_000);
-        assert!(!during, "n={n}: a half-half split must stall (2f = n impossibility)");
+        assert!(
+            !during,
+            "n={n}: a half-half split must stall (2f = n impossibility)"
+        );
         sim.heal_at(sim.now().max(1_000_000_000) + 1);
         let after = sim.run_until_ops_complete(60_000_000_000);
         assert!(after, "n={n}: healing must release the operation");
@@ -84,10 +103,17 @@ fn main() {
             n.to_string(),
             format!("{}/{}", n / 2, n - n / 2),
             if during { "completed (BUG)" } else { "stalled" }.to_string(),
-            if after { "completed" } else { "still stalled (BUG)" }.to_string(),
+            if after {
+                "completed"
+            } else {
+                "still stalled (BUG)"
+            }
+            .to_string(),
         ]);
     }
     t4.print();
 
-    println!("\nAll rows asserted against the paper's predictions — a disagreement aborts the binary.");
+    println!(
+        "\nAll rows asserted against the paper's predictions — a disagreement aborts the binary."
+    );
 }

@@ -39,7 +39,13 @@ impl Stats {
             let idx = ((count as f64 - 1.0) * p).round() as usize;
             xs[idx] as f64
         };
-        Some(Stats { count, mean, p50: pct(0.5), p99: pct(0.99), max: *xs.last().unwrap() as f64 })
+        Some(Stats {
+            count,
+            mean,
+            p50: pct(0.5),
+            p99: pct(0.99),
+            max: *xs.last().unwrap() as f64,
+        })
     }
 }
 
@@ -76,7 +82,11 @@ impl Table {
                 widths[i] = widths[i].max(c.len());
             }
         }
-        let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
         let fmt_row = |cells: &[String]| -> String {
             cells
                 .iter()
@@ -147,7 +157,10 @@ pub mod clusters {
 
         /// Whether this is a single-writer variant.
         pub fn is_single_writer(&self) -> bool {
-            matches!(self, Variant::AtomicSwmr | Variant::RegularSwmr | Variant::ReadOneSwmr)
+            matches!(
+                self,
+                Variant::AtomicSwmr | Variant::RegularSwmr | Variant::ReadOneSwmr
+            )
         }
     }
 
@@ -238,7 +251,10 @@ pub mod clusters {
                 reads += 1;
             }
         }
-        (write_msgs as f64 / writes.max(1) as f64, read_msgs as f64 / reads.max(1) as f64)
+        (
+            write_msgs as f64 / writes.max(1) as f64,
+            read_msgs as f64 / reads.max(1) as f64,
+        )
     }
 }
 

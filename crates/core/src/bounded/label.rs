@@ -45,7 +45,10 @@ impl LabelSpace {
     /// Panics if `modulus < 8`.
     pub fn new(modulus: u32) -> Self {
         assert!(modulus >= 8, "modulus must be at least 8, got {modulus}");
-        LabelSpace { modulus, window: modulus / 2 - 1 }
+        // abd-lint: allow(raw-quorum-arith): this halving sizes the label
+        // comparison window on the recycling cycle, not a quorum.
+        let window = modulus / 2 - 1;
+        LabelSpace { modulus, window }
     }
 
     /// Number of distinct labels.
@@ -73,7 +76,9 @@ impl LabelSpace {
 
     /// The label following `l` on the cycle.
     pub fn successor(&self, l: SerialLabel) -> SerialLabel {
-        SerialLabel { raw: (l.raw + 1) % self.modulus }
+        SerialLabel {
+            raw: (l.raw + 1) % self.modulus,
+        }
     }
 
     /// Forward distance from `from` to `to` along the cycle, in `0..modulus`.

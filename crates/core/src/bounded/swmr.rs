@@ -84,17 +84,32 @@ impl BoundedSwmrConfig {
 
 #[derive(Clone, Debug)]
 enum Pending<V> {
-    Write { op: OpId, ph: PhaseTracker, label: SerialLabel, value: V },
-    Query { op: OpId, ph: PhaseTracker, best_label: SerialLabel, best_value: V },
-    WriteBack { op: OpId, ph: PhaseTracker, label: SerialLabel, value: V },
+    Write {
+        op: OpId,
+        ph: PhaseTracker,
+        label: SerialLabel,
+        value: V,
+    },
+    Query {
+        op: OpId,
+        ph: PhaseTracker,
+        best_label: SerialLabel,
+        best_value: V,
+    },
+    WriteBack {
+        op: OpId,
+        ph: PhaseTracker,
+        label: SerialLabel,
+        value: V,
+    },
 }
 
 impl<V> Pending<V> {
     fn phase(&self) -> &PhaseTracker {
         match self {
-            Pending::Write { ph, .. } | Pending::Query { ph, .. } | Pending::WriteBack { ph, .. } => {
-                ph
-            }
+            Pending::Write { ph, .. }
+            | Pending::Query { ph, .. }
+            | Pending::WriteBack { ph, .. } => ph,
         }
     }
 }
@@ -134,7 +149,11 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> BoundedSwmrNode<V> {
     pub fn new(cfg: BoundedSwmrConfig, initial: V) -> Self {
         assert!(cfg.me.index() < cfg.n, "node id out of range");
         assert!(cfg.writer.index() < cfg.n, "writer id out of range");
-        assert_eq!(cfg.quorum.n(), cfg.n, "quorum system sized for a different cluster");
+        assert_eq!(
+            cfg.quorum.n(),
+            cfg.n,
+            "quorum system sized for a different cluster"
+        );
         let origin = cfg.space.origin();
         BoundedSwmrNode {
             cfg,
@@ -181,7 +200,11 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> BoundedSwmrNode<V> {
         self.next_uid
     }
 
-    fn broadcast(&self, msg: BoundedSwmrMsg<V>, fx: &mut Effects<BoundedSwmrMsg<V>, RegisterResp<V>>) {
+    fn broadcast(
+        &self,
+        msg: BoundedSwmrMsg<V>,
+        fx: &mut Effects<BoundedSwmrMsg<V>, RegisterResp<V>>,
+    ) {
         for i in 0..self.cfg.n {
             let p = ProcessId(i);
             if p != self.cfg.me {
@@ -256,8 +279,20 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> BoundedSwmrNode<V> {
                     self.finish(op, RegisterResp::WriteOk, fx);
                     return;
                 }
-                self.pending = Some(Pending::Write { op, ph, label, value: v.clone() });
-                self.broadcast(RegisterMsg::Update { uid, label, value: v }, fx);
+                self.pending = Some(Pending::Write {
+                    op,
+                    ph,
+                    label,
+                    value: v.clone(),
+                });
+                self.broadcast(
+                    RegisterMsg::Update {
+                        uid,
+                        label,
+                        value: v,
+                    },
+                    fx,
+                );
                 self.arm_timer(uid, fx);
             }
             RegisterOp::Read => {
@@ -268,7 +303,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> BoundedSwmrNode<V> {
                     self.enter_write_back(op, best_label, best_value, fx);
                     return;
                 }
-                self.pending = Some(Pending::Query { op, ph, best_label, best_value });
+                self.pending = Some(Pending::Query {
+                    op,
+                    ph,
+                    best_label,
+                    best_value,
+                });
                 self.broadcast(RegisterMsg::Query { uid }, fx);
                 self.arm_timer(uid, fx);
             }
@@ -289,16 +329,28 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> BoundedSwmrNode<V> {
             self.finish(op, RegisterResp::ReadOk(value), fx);
             return;
         }
-        self.pending = Some(Pending::WriteBack { op, ph, label, value: value.clone() });
+        self.pending = Some(Pending::WriteBack {
+            op,
+            ph,
+            label,
+            value: value.clone(),
+        });
         self.broadcast(RegisterMsg::Update { uid, label, value }, fx);
         self.arm_timer(uid, fx);
     }
 
     fn phase_message(&self) -> Option<BoundedSwmrMsg<V>> {
         match self.pending.as_ref()? {
-            Pending::Write { ph, label, value, .. } | Pending::WriteBack { ph, label, value, .. } => {
-                Some(RegisterMsg::Update { uid: ph.uid(), label: *label, value: value.clone() })
+            Pending::Write {
+                ph, label, value, ..
             }
+            | Pending::WriteBack {
+                ph, label, value, ..
+            } => Some(RegisterMsg::Update {
+                uid: ph.uid(),
+                label: *label,
+                value: value.clone(),
+            }),
             Pending::Query { ph, .. } => Some(RegisterMsg::Query { uid: ph.uid() }),
         }
     }
@@ -313,7 +365,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for BoundedSwmrNode<V
         self.cfg.me
     }
 
-    fn on_invoke(&mut self, op: OpId, input: RegisterOp<V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+    fn on_invoke(
+        &mut self,
+        op: OpId,
+        input: RegisterOp<V>,
+        fx: &mut Effects<Self::Msg, Self::Resp>,
+    ) {
         if self.pending.is_some() {
             self.queue.push_back((op, input));
         } else {
@@ -321,7 +378,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for BoundedSwmrNode<V
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: BoundedSwmrMsg<V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: BoundedSwmrMsg<V>,
+        fx: &mut Effects<Self::Msg, Self::Resp>,
+    ) {
         match msg {
             RegisterMsg::Query { uid } => {
                 let (label, value) = (self.stored_label, self.stored_value.clone());
@@ -335,7 +397,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for BoundedSwmrNode<V
                 let space = self.cfg.space;
                 let mut violation = false;
                 let next = match self.pending.as_mut() {
-                    Some(Pending::Query { op, ph, best_label, best_value }) => {
+                    Some(Pending::Query {
+                        op,
+                        ph,
+                        best_label,
+                        best_value,
+                    }) => {
                         if !ph.record(from, uid) {
                             return;
                         }
@@ -367,14 +434,16 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for BoundedSwmrNode<V
             RegisterMsg::UpdateAck { uid } => {
                 let done = match self.pending.as_mut() {
                     Some(Pending::Write { op, ph, .. }) => {
-                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders()) {
+                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders())
+                        {
                             Some((*op, RegisterResp::WriteOk))
                         } else {
                             None
                         }
                     }
                     Some(Pending::WriteBack { op, ph, value, .. }) => {
-                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders()) {
+                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders())
+                        {
                             Some((*op, RegisterResp::ReadOk(value.clone())))
                         } else {
                             None
@@ -393,7 +462,9 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for BoundedSwmrNode<V
     }
 
     fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
-        let Some(pending) = self.pending.as_ref() else { return };
+        let Some(pending) = self.pending.as_ref() else {
+            return;
+        };
         if pending.phase().uid() != key.0 {
             return;
         }
@@ -469,7 +540,15 @@ mod tests {
         let mut l = space.origin();
         for step in 1..=10u32 {
             l = space.successor(l);
-            node.on_message(ProcessId(0), RegisterMsg::Update { uid: u64::from(step), label: l, value: step }, &mut fx);
+            node.on_message(
+                ProcessId(0),
+                RegisterMsg::Update {
+                    uid: u64::from(step),
+                    label: l,
+                    value: step,
+                },
+                &mut fx,
+            );
         }
         assert_eq!(node.replica_state().0.raw(), 10);
         assert_eq!(node.window_violations(), 0);
@@ -482,7 +561,15 @@ mod tests {
             z = space.successor(z); // 1
             space.successor(z) // 2
         };
-        node.on_message(ProcessId(2), RegisterMsg::Update { uid: 99, label: zombie, value: 777 }, &mut fx);
+        node.on_message(
+            ProcessId(2),
+            RegisterMsg::Update {
+                uid: 99,
+                label: zombie,
+                value: 777,
+            },
+            &mut fx,
+        );
         assert_eq!(node.window_violations(), 1, "escape must be counted");
         assert_eq!(node.replica_state(), (l, 10), "zombie must not be adopted");
     }

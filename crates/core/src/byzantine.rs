@@ -74,8 +74,15 @@ impl ByzConfig {
     ///
     /// Panics unless `n >= 4b + 1`.
     pub fn new(n: usize, me: ProcessId, writer: ProcessId, b: usize) -> Self {
-        assert!(n >= 4 * b + 1, "masking quorums need n >= 4b+1 (n={n}, b={b})");
-        ByzConfig { n, me, writer, b, retransmit: None, lie: None }
+        assert!(n > 4 * b, "masking quorums need n >= 4b+1 (n={n}, b={b})");
+        ByzConfig {
+            n,
+            me,
+            writer,
+            b,
+            retransmit: None,
+            lie: None,
+        }
     }
 
     /// Turns this node Byzantine with the given strategy.
@@ -92,16 +99,30 @@ impl ByzConfig {
 
     /// Quorum size `⌈(n + 2b + 1) / 2⌉`.
     pub fn quorum_size(&self) -> usize {
-        (self.n + 2 * self.b + 1).div_ceil(2)
+        crate::quorum::masking_threshold(self.n, self.b)
     }
 }
 
 #[derive(Clone, Debug)]
 enum Pending<V> {
-    Write { op: OpId, ph: PhaseTracker, seq: SeqNo, value: V },
+    Write {
+        op: OpId,
+        ph: PhaseTracker,
+        seq: SeqNo,
+        value: V,
+    },
     /// Read query: collect *identical pair* votes, keyed by `(label, value)`.
-    Query { op: OpId, ph: PhaseTracker, votes: Vec<(SeqNo, V, usize)> },
-    WriteBack { op: OpId, ph: PhaseTracker, label: SeqNo, value: V },
+    Query {
+        op: OpId,
+        ph: PhaseTracker,
+        votes: Vec<(SeqNo, V, usize)>,
+    },
+    WriteBack {
+        op: OpId,
+        ph: PhaseTracker,
+        label: SeqNo,
+        value: V,
+    },
 }
 
 /// One node of the Byzantine-tolerant single-writer emulation.
@@ -184,7 +205,12 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> ByzNode<V> {
         }
     }
 
-    fn finish(&mut self, op: OpId, resp: RegisterResp<V>, fx: &mut Effects<ByzMsg<V>, RegisterResp<V>>) {
+    fn finish(
+        &mut self,
+        op: OpId,
+        resp: RegisterResp<V>,
+        fx: &mut Effects<ByzMsg<V>, RegisterResp<V>>,
+    ) {
         self.pending = None;
         fx.respond(op, resp);
         if let Some((next_op, next_input)) = self.queue.pop_front() {
@@ -192,7 +218,12 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> ByzNode<V> {
         }
     }
 
-    fn begin(&mut self, op: OpId, input: RegisterOp<V>, fx: &mut Effects<ByzMsg<V>, RegisterResp<V>>) {
+    fn begin(
+        &mut self,
+        op: OpId,
+        input: RegisterOp<V>,
+        fx: &mut Effects<ByzMsg<V>, RegisterResp<V>>,
+    ) {
         match input {
             RegisterOp::Write(v) => {
                 if self.cfg.me != self.cfg.writer {
@@ -220,8 +251,20 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> ByzNode<V> {
                     self.finish(op, RegisterResp::WriteOk, fx);
                     return;
                 }
-                self.pending = Some(Pending::Write { op, ph, seq, value: v.clone() });
-                self.broadcast(RegisterMsg::Update { uid, label: seq, value: v }, fx);
+                self.pending = Some(Pending::Write {
+                    op,
+                    ph,
+                    seq,
+                    value: v.clone(),
+                });
+                self.broadcast(
+                    RegisterMsg::Update {
+                        uid,
+                        label: seq,
+                        value: v,
+                    },
+                    fx,
+                );
                 self.arm_timer(uid, fx);
             }
             RegisterOp::Read => {
@@ -250,7 +293,7 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> ByzNode<V> {
     fn masked_choice(&self, votes: &[(SeqNo, V, usize)]) -> (SeqNo, V) {
         votes
             .iter()
-            .filter(|(_, _, support)| *support >= self.cfg.b + 1)
+            .filter(|(_, _, support)| *support > self.cfg.b)
             .max_by_key(|(label, _, _)| *label)
             .map(|(l, v, _)| (*l, v.clone()))
             .unwrap_or_else(|| (self.label, self.value.clone()))
@@ -273,7 +316,12 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> ByzNode<V> {
             self.finish(op, RegisterResp::ReadOk(value), fx);
             return;
         }
-        self.pending = Some(Pending::WriteBack { op, ph, label, value: value.clone() });
+        self.pending = Some(Pending::WriteBack {
+            op,
+            ph,
+            label,
+            value: value.clone(),
+        });
         self.broadcast(RegisterMsg::Update { uid, label, value }, fx);
         self.arm_timer(uid, fx);
     }
@@ -281,12 +329,20 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> ByzNode<V> {
     /// The replica-role reply, honest or lying.
     fn replica_reply(&mut self, uid: u64) -> Option<ByzMsg<V>> {
         match self.cfg.lie {
-            None => Some(RegisterMsg::QueryReply { uid, label: self.label, value: self.value.clone() }),
+            None => Some(RegisterMsg::QueryReply {
+                uid,
+                label: self.label,
+                value: self.value.clone(),
+            }),
             Some(LieStrategy::ReportStale) => {
                 // Report label 0 with whatever we were initialized to —
                 // pretend no write ever happened. (We keep the current
                 // value but label 0: an *inconsistent* fabrication.)
-                Some(RegisterMsg::QueryReply { uid, label: 0, value: self.value.clone() })
+                Some(RegisterMsg::QueryReply {
+                    uid,
+                    label: 0,
+                    value: self.value.clone(),
+                })
             }
             Some(LieStrategy::ForgeLabel) => {
                 self.forged += 1;
@@ -308,7 +364,9 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> ByzNode<V> {
                 value: value.clone(),
             }),
             Pending::Query { ph, .. } => Some(RegisterMsg::Query { uid: ph.uid() }),
-            Pending::WriteBack { ph, label, value, .. } => Some(RegisterMsg::Update {
+            Pending::WriteBack {
+                ph, label, value, ..
+            } => Some(RegisterMsg::Update {
                 uid: ph.uid(),
                 label: *label,
                 value: value.clone(),
@@ -326,7 +384,12 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> Protocol for ByzNode<V> {
         self.cfg.me
     }
 
-    fn on_invoke(&mut self, op: OpId, input: RegisterOp<V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+    fn on_invoke(
+        &mut self,
+        op: OpId,
+        input: RegisterOp<V>,
+        fx: &mut Effects<Self::Msg, Self::Resp>,
+    ) {
         if self.pending.is_some() {
             self.queue.push_back((op, input));
         } else {
@@ -334,7 +397,12 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> Protocol for ByzNode<V> {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: ByzMsg<V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: ByzMsg<V>,
+        fx: &mut Effects<Self::Msg, Self::Resp>,
+    ) {
         match msg {
             RegisterMsg::Query { uid } => {
                 if let Some(reply) = self.replica_reply(uid) {
@@ -365,7 +433,10 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> Protocol for ByzNode<V> {
                         if !ph.record(from, uid) {
                             return;
                         }
-                        match votes.iter_mut().find(|(l, v, _)| *l == label && *v == value) {
+                        match votes
+                            .iter_mut()
+                            .find(|(l, v, _)| *l == label && *v == value)
+                        {
                             Some(entry) => entry.2 += 1,
                             None => votes.push((label, value, 1)),
                         }
@@ -419,9 +490,13 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> Protocol for ByzNode<V> {
     }
 
     fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
-        let Some(pending) = self.pending.as_ref() else { return };
+        let Some(pending) = self.pending.as_ref() else {
+            return;
+        };
         let ph = match pending {
-            Pending::Write { ph, .. } | Pending::Query { ph, .. } | Pending::WriteBack { ph, .. } => ph,
+            Pending::Write { ph, .. }
+            | Pending::Query { ph, .. }
+            | Pending::WriteBack { ph, .. } => ph,
         };
         if ph.uid() != key.0 {
             return;
@@ -439,7 +514,7 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> Protocol for ByzNode<V> {
 /// Quick sanity map from `b` to the minimum cluster and quorum sizes.
 pub fn masking_parameters(b: usize) -> (usize, usize) {
     let n = 4 * b + 1;
-    (n, (n + 2 * b + 1).div_ceil(2))
+    (n, crate::quorum::masking_threshold(n, b))
 }
 
 #[cfg(test)]
@@ -502,7 +577,11 @@ mod tests {
         net.invoke(2, RegisterOp::Read);
         net.run_to_quiescence();
         let r = net.take_responses();
-        assert_eq!(r[1].1, RegisterResp::ReadOk(7), "forged label must be filtered");
+        assert_eq!(
+            r[1].1,
+            RegisterResp::ReadOk(7),
+            "forged label must be filtered"
+        );
     }
 
     #[test]
@@ -520,7 +599,10 @@ mod tests {
 
     #[test]
     fn b2_tolerates_two_coordinated_liars() {
-        let mut net = cluster(2, &[(1, LieStrategy::ForgeLabel), (2, LieStrategy::ForgeLabel)]);
+        let mut net = cluster(
+            2,
+            &[(1, LieStrategy::ForgeLabel), (2, LieStrategy::ForgeLabel)],
+        );
         net.invoke(0, RegisterOp::Write(11));
         net.run_to_quiescence();
         net.invoke(4, RegisterOp::Read);

@@ -65,7 +65,11 @@ pub struct Effects<M, R> {
 impl<M, R> Effects<M, R> {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        Effects { sends: Vec::new(), timers: Vec::new(), responses: Vec::new() }
+        Effects {
+            sends: Vec::new(),
+            timers: Vec::new(),
+            responses: Vec::new(),
+        }
     }
 
     /// Queues a message `m` for processor `to`.
@@ -155,7 +159,12 @@ pub trait Protocol {
     fn on_invoke(&mut self, op: OpId, input: Self::Op, fx: &mut Effects<Self::Msg, Self::Resp>);
 
     /// A message `msg` from processor `from` was delivered to this node.
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, fx: &mut Effects<Self::Msg, Self::Resp>);
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        fx: &mut Effects<Self::Msg, Self::Resp>,
+    );
 
     /// Timer `key`, previously armed through [`Effects::set_timer`], fired.
     fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
@@ -179,7 +188,13 @@ mod tests {
         assert_eq!(fx.sends, vec![(ProcessId(0), 1), (ProcessId(2), 2)]);
         assert_eq!(
             fx.timers,
-            vec![TimerCmd::Set { key: TimerKey(9), after: 100 }, TimerCmd::Cancel { key: TimerKey(9) }]
+            vec![
+                TimerCmd::Set {
+                    key: TimerKey(9),
+                    after: 100
+                },
+                TimerCmd::Cancel { key: TimerKey(9) }
+            ]
         );
         assert!(!fx.is_empty());
     }

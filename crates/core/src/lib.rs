@@ -62,11 +62,12 @@
 //! | bounded timestamps | [`bounded`] |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
 
 pub mod bounded;
 pub mod byzantine;
+pub mod clock;
 pub mod context;
 pub mod msg;
 pub mod mwmr;

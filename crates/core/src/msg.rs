@@ -68,7 +68,10 @@ impl<L, V> RegisterMsg<L, V> {
 
     /// Whether this is a reply (consumes no replica state at the receiver).
     pub fn is_reply(&self) -> bool {
-        matches!(self, RegisterMsg::QueryReply { .. } | RegisterMsg::UpdateAck { .. })
+        matches!(
+            self,
+            RegisterMsg::QueryReply { .. } | RegisterMsg::UpdateAck { .. }
+        )
     }
 }
 
@@ -123,18 +126,37 @@ mod tests {
     fn uid_is_extracted_from_every_variant() {
         let msgs: Vec<RegisterMsg<u64, u8>> = vec![
             RegisterMsg::Query { uid: 1 },
-            RegisterMsg::QueryReply { uid: 2, label: 0, value: 9 },
-            RegisterMsg::Update { uid: 3, label: 1, value: 8 },
+            RegisterMsg::QueryReply {
+                uid: 2,
+                label: 0,
+                value: 9,
+            },
+            RegisterMsg::Update {
+                uid: 3,
+                label: 1,
+                value: 8,
+            },
             RegisterMsg::UpdateAck { uid: 4 },
         ];
-        assert_eq!(msgs.iter().map(RegisterMsg::uid).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(
+            msgs.iter().map(RegisterMsg::uid).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
     }
 
     #[test]
     fn reply_classification() {
         let q: RegisterMsg<u64, u8> = RegisterMsg::Query { uid: 0 };
-        let qr: RegisterMsg<u64, u8> = RegisterMsg::QueryReply { uid: 0, label: 0, value: 0 };
-        let u: RegisterMsg<u64, u8> = RegisterMsg::Update { uid: 0, label: 0, value: 0 };
+        let qr: RegisterMsg<u64, u8> = RegisterMsg::QueryReply {
+            uid: 0,
+            label: 0,
+            value: 0,
+        };
+        let u: RegisterMsg<u64, u8> = RegisterMsg::Update {
+            uid: 0,
+            label: 0,
+            value: 0,
+        };
         let ua: RegisterMsg<u64, u8> = RegisterMsg::UpdateAck { uid: 0 };
         assert!(!q.is_reply());
         assert!(qr.is_reply());

@@ -79,13 +79,33 @@ impl MwmrConfig {
 #[derive(Clone, Debug)]
 enum Pending<V> {
     /// Writer discovering the current maximum tag.
-    WriteQuery { op: OpId, ph: PhaseTracker, best: Tag, value: V },
+    WriteQuery {
+        op: OpId,
+        ph: PhaseTracker,
+        best: Tag,
+        value: V,
+    },
     /// Writer propagating its new `(tag, value)`.
-    WriteUpdate { op: OpId, ph: PhaseTracker, tag: Tag, value: V },
+    WriteUpdate {
+        op: OpId,
+        ph: PhaseTracker,
+        tag: Tag,
+        value: V,
+    },
     /// Reader collecting `(tag, value)` replies.
-    ReadQuery { op: OpId, ph: PhaseTracker, best_tag: Tag, best_value: V },
+    ReadQuery {
+        op: OpId,
+        ph: PhaseTracker,
+        best_tag: Tag,
+        best_value: V,
+    },
     /// Reader writing back the value it is about to return.
-    ReadWriteBack { op: OpId, ph: PhaseTracker, tag: Tag, value: V },
+    ReadWriteBack {
+        op: OpId,
+        ph: PhaseTracker,
+        tag: Tag,
+        value: V,
+    },
 }
 
 impl<V> Pending<V> {
@@ -129,7 +149,11 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
     /// Creates a node holding `initial` under [`Tag::initial`].
     pub fn new(cfg: MwmrConfig, initial: V) -> Self {
         assert!(cfg.me.index() < cfg.n, "node id out of range");
-        assert_eq!(cfg.quorum.n(), cfg.n, "quorum system sized for a different cluster");
+        assert_eq!(
+            cfg.quorum.n(),
+            cfg.n,
+            "quorum system sized for a different cluster"
+        );
         MwmrNode {
             cfg,
             replica: Replica::new(Tag::initial(), initial),
@@ -209,7 +233,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
                     self.enter_write_update(op, best, v, fx);
                     return;
                 }
-                self.pending = Some(Pending::WriteQuery { op, ph, best, value: v });
+                self.pending = Some(Pending::WriteQuery {
+                    op,
+                    ph,
+                    best,
+                    value: v,
+                });
                 self.broadcast(RegisterMsg::Query { uid }, fx);
                 self.arm_timer(uid, fx);
             }
@@ -221,7 +250,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
                     self.enter_read_write_back(op, best_tag, best_value, fx);
                     return;
                 }
-                self.pending = Some(Pending::ReadQuery { op, ph, best_tag, best_value });
+                self.pending = Some(Pending::ReadQuery {
+                    op,
+                    ph,
+                    best_tag,
+                    best_value,
+                });
                 self.broadcast(RegisterMsg::Query { uid }, fx);
                 self.arm_timer(uid, fx);
             }
@@ -245,8 +279,20 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
             self.finish(op, RegisterResp::WriteOk, fx);
             return;
         }
-        self.pending = Some(Pending::WriteUpdate { op, ph, tag, value: v.clone() });
-        self.broadcast(RegisterMsg::Update { uid, label: tag, value: v }, fx);
+        self.pending = Some(Pending::WriteUpdate {
+            op,
+            ph,
+            tag,
+            value: v.clone(),
+        });
+        self.broadcast(
+            RegisterMsg::Update {
+                uid,
+                label: tag,
+                value: v,
+            },
+            fx,
+        );
         self.arm_timer(uid, fx);
     }
 
@@ -270,8 +316,20 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
             self.finish(op, RegisterResp::ReadOk(value), fx);
             return;
         }
-        self.pending = Some(Pending::ReadWriteBack { op, ph, tag, value: value.clone() });
-        self.broadcast(RegisterMsg::Update { uid, label: tag, value }, fx);
+        self.pending = Some(Pending::ReadWriteBack {
+            op,
+            ph,
+            tag,
+            value: value.clone(),
+        });
+        self.broadcast(
+            RegisterMsg::Update {
+                uid,
+                label: tag,
+                value,
+            },
+            fx,
+        );
         self.arm_timer(uid, fx);
     }
 
@@ -299,7 +357,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
         self.cfg.me
     }
 
-    fn on_invoke(&mut self, op: OpId, input: RegisterOp<V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+    fn on_invoke(
+        &mut self,
+        op: OpId,
+        input: RegisterOp<V>,
+        fx: &mut Effects<Self::Msg, Self::Resp>,
+    ) {
         if self.pending.is_some() {
             self.queue.push_back((op, input));
         } else {
@@ -307,7 +370,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: MwmrMsg<V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: MwmrMsg<V>,
+        fx: &mut Effects<Self::Msg, Self::Resp>,
+    ) {
         match msg {
             // ---- replica role ----
             RegisterMsg::Query { uid } => {
@@ -325,7 +393,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
                     ReadWriteBack(OpId, Tag, V),
                 }
                 let next = match self.pending.as_mut() {
-                    Some(Pending::WriteQuery { op, ph, best, value: v }) => {
+                    Some(Pending::WriteQuery {
+                        op,
+                        ph,
+                        best,
+                        value: v,
+                    }) => {
                         if !ph.record(from, uid) {
                             return;
                         }
@@ -338,7 +411,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
                             None
                         }
                     }
-                    Some(Pending::ReadQuery { op, ph, best_tag, best_value }) => {
+                    Some(Pending::ReadQuery {
+                        op,
+                        ph,
+                        best_tag,
+                        best_value,
+                    }) => {
                         if !ph.record(from, uid) {
                             return;
                         }
@@ -371,14 +449,16 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
             RegisterMsg::UpdateAck { uid } => {
                 let done = match self.pending.as_mut() {
                     Some(Pending::WriteUpdate { op, ph, .. }) => {
-                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders()) {
+                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders())
+                        {
                             Some((*op, RegisterResp::WriteOk))
                         } else {
                             None
                         }
                     }
                     Some(Pending::ReadWriteBack { op, ph, value, .. }) => {
-                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders()) {
+                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders())
+                        {
                             Some((*op, RegisterResp::ReadOk(value.clone())))
                         } else {
                             None
@@ -395,7 +475,9 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
     }
 
     fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
-        let Some(pending) = self.pending.as_ref() else { return };
+        let Some(pending) = self.pending.as_ref() else {
+            return;
+        };
         if pending.phase().uid() != key.0 {
             return;
         }
@@ -530,7 +612,11 @@ mod tests {
         let mut fx = Effects::new();
         node.on_message(
             ProcessId(1),
-            RegisterMsg::QueryReply { uid: 42, label: Tag::new(9, ProcessId(1)), value: 5 },
+            RegisterMsg::QueryReply {
+                uid: 42,
+                label: Tag::new(9, ProcessId(1)),
+                value: 5,
+            },
             &mut fx,
         );
         node.on_message(ProcessId(1), RegisterMsg::UpdateAck { uid: 42 }, &mut fx);

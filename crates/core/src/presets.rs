@@ -32,7 +32,11 @@ pub fn regular_swmr(n: usize, me: ProcessId, writer: ProcessId) -> SwmrConfig {
 /// write may be invisible to a subsequent read.
 pub fn read_one_swmr(n: usize, me: ProcessId, writer: ProcessId) -> SwmrConfig {
     SwmrConfig::new(n, me, writer)
-        .with_quorum(Arc::new(Threshold::new(n, 1, Majority::new(n).quorum_size())))
+        .with_quorum(Arc::new(Threshold::new(
+            n,
+            1,
+            Majority::new(n).quorum_size(),
+        )))
         .with_read_write_back(false)
 }
 
@@ -60,9 +64,15 @@ mod tests {
 
     #[test]
     fn atomic_presets_validate() {
-        assert!(atomic_swmr(5, ProcessId(1), ProcessId(0)).quorum.validate(false).is_ok());
+        assert!(atomic_swmr(5, ProcessId(1), ProcessId(0))
+            .quorum
+            .validate(false)
+            .is_ok());
         assert!(atomic_mwmr(5, ProcessId(1)).quorum.validate(true).is_ok());
-        assert!(dynamo_style_mwmr(5, ProcessId(0), 3, 3).quorum.validate(true).is_ok());
+        assert!(dynamo_style_mwmr(5, ProcessId(0), 3, 3)
+            .quorum
+            .validate(true)
+            .is_ok());
     }
 
     #[test]

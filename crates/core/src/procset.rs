@@ -37,7 +37,10 @@ impl ProcSet {
     /// Creates an empty set able to hold ids `0..capacity`.
     pub fn new(capacity: usize) -> Self {
         let nwords = capacity.div_ceil(WORD_BITS).max(1);
-        ProcSet { words: vec![0; nwords], capacity }
+        ProcSet {
+            words: vec![0; nwords],
+            capacity,
+        }
     }
 
     /// Creates a set containing every id in `0..capacity`.
@@ -76,7 +79,11 @@ impl ProcSet {
     ///
     /// Panics if `p.index() >= capacity`.
     pub fn insert(&mut self, p: ProcessId) -> bool {
-        assert!(p.index() < self.capacity, "{p} out of range for capacity {}", self.capacity);
+        assert!(
+            p.index() < self.capacity,
+            "{p} out of range for capacity {}",
+            self.capacity
+        );
         let (w, b) = (p.index() / WORD_BITS, p.index() % WORD_BITS);
         let newly = self.words[w] & (1 << b) == 0;
         self.words[w] |= 1 << b;
@@ -246,7 +253,8 @@ mod tests {
 
     #[test]
     fn iter_ascending() {
-        let s = ProcSet::from_iter_with_capacity(130, [ProcessId(128), ProcessId(0), ProcessId(64)]);
+        let s =
+            ProcSet::from_iter_with_capacity(130, [ProcessId(128), ProcessId(0), ProcessId(64)]);
         let v: Vec<_> = s.iter().map(ProcessId::index).collect();
         assert_eq!(v, vec![0, 64, 128]);
     }

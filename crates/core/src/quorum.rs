@@ -21,6 +21,61 @@ use crate::procset::ProcSet;
 use crate::types::ProcessId;
 use std::fmt;
 
+/// The majority quorum cardinality for `n` processors: `⌊n/2⌋ + 1`.
+///
+/// This function is the **one place** in the workspace where the paper's
+/// majority arithmetic lives — every protocol and configuration that needs
+/// a crash-tolerant quorum size must call it (or go through [`Majority`])
+/// rather than re-deriving `n / 2 + 1` locally, so the `abd-lint`
+/// `raw-quorum-arith` rule can keep ad-hoc (and historically off-by-one)
+/// variants out of the codebase.
+///
+/// # Panics
+///
+/// Panics if `n == 0`: there is no quorum system over zero processors.
+///
+/// # Examples
+///
+/// ```
+/// use abd_core::quorum::majority_threshold;
+/// assert_eq!(majority_threshold(1), 1);
+/// assert_eq!(majority_threshold(4), 3);
+/// assert_eq!(majority_threshold(5), 3);
+/// ```
+pub fn majority_threshold(n: usize) -> usize {
+    assert!(n > 0, "no quorum system over zero processors");
+    n / 2 + 1
+}
+
+/// The masking quorum cardinality for `n` processors of which up to `b` may
+/// be Byzantine: `⌈(n + 2b + 1) / 2⌉`.
+///
+/// Any two such quorums intersect in at least `2b + 1` processors, so their
+/// intersection still holds a majority of correct ones — the bound behind
+/// the Byzantine-tolerant reader (Malkhi–Reiter masking quorums). With
+/// `b = 0` this degenerates to [`majority_threshold`].
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the threshold would exceed `n` (which happens when
+/// `n < 2b + 1` — no such quorum exists). Note protocols typically require
+/// the stronger `n ≥ 4b + 1` for liveness; that is their assertion to make.
+///
+/// # Examples
+///
+/// ```
+/// use abd_core::quorum::masking_threshold;
+/// assert_eq!(masking_threshold(5, 0), 3);
+/// assert_eq!(masking_threshold(5, 1), 4);
+/// assert_eq!(masking_threshold(9, 2), 7);
+/// ```
+pub fn masking_threshold(n: usize, b: usize) -> usize {
+    assert!(n > 0, "no quorum system over zero processors");
+    let q = (n + 2 * b + 1).div_ceil(2);
+    assert!(q <= n, "masking quorums need n >= 2b+1 (n={n}, b={b})");
+    q
+}
+
 /// A quorum system over processors `0..n`.
 ///
 /// Implementations answer, for an arbitrary set of responders, whether the
@@ -124,7 +179,7 @@ impl Majority {
 
     /// The quorum cardinality, `⌊n/2⌋ + 1`.
     pub fn quorum_size(&self) -> usize {
-        self.n / 2 + 1
+        majority_threshold(self.n)
     }
 
     /// Maximum number of crash failures tolerated, `⌈n/2⌉ − 1`.
@@ -176,7 +231,10 @@ impl Threshold {
     ///
     /// Panics if `r` or `w` is `0` or exceeds `n`.
     pub fn new(n: usize, r: usize, w: usize) -> Self {
-        assert!(n > 0 && (1..=n).contains(&r) && (1..=n).contains(&w), "need 1 <= r,w <= n");
+        assert!(
+            n > 0 && (1..=n).contains(&r) && (1..=n).contains(&w),
+            "need 1 <= r,w <= n"
+        );
         Threshold { n, r, w }
     }
 
@@ -251,7 +309,11 @@ impl Weighted {
             (1..=total).contains(&read_threshold) && (1..=total).contains(&write_threshold),
             "thresholds must be in 1..=total weight ({total})"
         );
-        Weighted { weights, read_threshold, write_threshold }
+        Weighted {
+            weights,
+            read_threshold,
+            write_threshold,
+        }
     }
 
     fn weight_of(&self, s: &ProcSet) -> u64 {
@@ -341,10 +403,10 @@ impl Grid {
         }
         let mut best = None;
         for r in 1..=n {
-            if n % r == 0 {
+            if n.is_multiple_of(r) {
                 let c = n / r;
                 let d = r.abs_diff(c);
-                if best.map_or(true, |(bd, _, _)| d < bd) {
+                if best.is_none_or(|(bd, _, _)| d < bd) {
                     best = Some((d, r, c));
                 }
             }
@@ -423,7 +485,7 @@ pub fn check_by_enumeration(q: &dyn QuorumSystem, multi_writer: bool) -> Result<
     let writes: Vec<&ProcSet> = sets.iter().filter(|s| q.is_write_quorum(s)).collect();
     for r in &reads {
         for w in &writes {
-            if !r.intersects(w) && !(r.is_empty() && w.is_empty()) {
+            if !(r.intersects(w) || r.is_empty() && w.is_empty()) {
                 return Err(QuorumError::ReadWriteDisjoint(format!("{r:?} vs {w:?}")));
             }
         }
@@ -431,7 +493,7 @@ pub fn check_by_enumeration(q: &dyn QuorumSystem, multi_writer: bool) -> Result<
     if multi_writer {
         for w1 in &writes {
             for w2 in &writes {
-                if !w1.intersects(w2) && !(w1.is_empty() && w2.is_empty()) {
+                if !(w1.intersects(w2) || w1.is_empty() && w2.is_empty()) {
                     return Err(QuorumError::WriteWriteDisjoint(format!("{w1:?} vs {w2:?}")));
                 }
             }
@@ -450,7 +512,14 @@ mod tests {
 
     #[test]
     fn majority_sizes() {
-        for (n, q, f) in [(1, 1, 0), (2, 2, 0), (3, 2, 1), (4, 3, 1), (5, 3, 2), (7, 4, 3)] {
+        for (n, q, f) in [
+            (1, 1, 0),
+            (2, 2, 0),
+            (3, 2, 1),
+            (4, 3, 1),
+            (5, 3, 2),
+            (7, 4, 3),
+        ] {
             let m = Majority::new(n);
             assert_eq!(m.quorum_size(), q, "n={n}");
             assert_eq!(m.max_failures(), f, "n={n}");
@@ -515,7 +584,10 @@ mod tests {
     #[test]
     fn weighted_detects_disjoint() {
         let q = Weighted::new(vec![1; 4], 2, 2);
-        assert!(matches!(q.validate(false), Err(QuorumError::ReadWriteDisjoint(_))));
+        assert!(matches!(
+            q.validate(false),
+            Err(QuorumError::ReadWriteDisjoint(_))
+        ));
         assert!(check_by_enumeration(&q, false).is_err());
     }
 
@@ -547,17 +619,28 @@ mod tests {
     #[test]
     fn grid_squarest() {
         assert_eq!(Grid::squarest(9), Some(Grid::new(3, 3)));
-        assert_eq!(Grid::squarest(12).map(|g| (g.rows(), g.cols())), Some((3, 4)));
-        assert_eq!(Grid::squarest(7).map(|g| (g.rows(), g.cols())), Some((1, 7)));
+        assert_eq!(
+            Grid::squarest(12).map(|g| (g.rows(), g.cols())),
+            Some((3, 4))
+        );
+        assert_eq!(
+            Grid::squarest(7).map(|g| (g.rows(), g.cols())),
+            Some((1, 7))
+        );
         assert_eq!(Grid::squarest(0), None);
     }
 
     #[test]
     fn describe_is_informative() {
         assert_eq!(Majority::new(5).describe(), "majority(n=5, q=3)");
-        assert_eq!(Threshold::new(5, 1, 5).describe(), "threshold(n=5, r=1, w=5)");
+        assert_eq!(
+            Threshold::new(5, 1, 5).describe(),
+            "threshold(n=5, r=1, w=5)"
+        );
         assert_eq!(Grid::new(3, 3).describe(), "grid(3x3)");
-        assert!(Weighted::new(vec![1, 2], 2, 2).describe().starts_with("weighted"));
+        assert!(Weighted::new(vec![1, 2], 2, 2)
+            .describe()
+            .starts_with("weighted"));
     }
 
     #[test]

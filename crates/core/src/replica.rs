@@ -31,7 +31,11 @@ impl<L: Ord + Clone, V: Clone> Replica<L, V> {
     /// Creates a replica holding the register's initial value under the
     /// smallest label.
     pub fn new(initial_label: L, initial_value: V) -> Self {
-        Replica { label: initial_label, value: initial_value, adoptions: 0 }
+        Replica {
+            label: initial_label,
+            value: initial_value,
+            adoptions: 0,
+        }
     }
 
     /// Adopts `(label, value)` if `label` is strictly larger than the stored

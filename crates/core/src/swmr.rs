@@ -97,11 +97,26 @@ impl SwmrConfig {
 #[derive(Clone, Debug)]
 enum Pending<V> {
     /// Writer waiting for update acknowledgements.
-    Write { op: OpId, ph: PhaseTracker, seq: SeqNo, value: V },
+    Write {
+        op: OpId,
+        ph: PhaseTracker,
+        seq: SeqNo,
+        value: V,
+    },
     /// Reader collecting query replies.
-    Query { op: OpId, ph: PhaseTracker, best_label: SeqNo, best_value: V },
+    Query {
+        op: OpId,
+        ph: PhaseTracker,
+        best_label: SeqNo,
+        best_value: V,
+    },
     /// Reader propagating the value it is about to return.
-    WriteBack { op: OpId, ph: PhaseTracker, label: SeqNo, value: V },
+    WriteBack {
+        op: OpId,
+        ph: PhaseTracker,
+        label: SeqNo,
+        value: V,
+    },
 }
 
 /// One processor of the SWMR emulation: replica role plus (on the designated
@@ -144,7 +159,11 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
     pub fn new(cfg: SwmrConfig, initial: V) -> Self {
         assert!(cfg.me.index() < cfg.n, "node id out of range");
         assert!(cfg.writer.index() < cfg.n, "writer id out of range");
-        assert_eq!(cfg.quorum.n(), cfg.n, "quorum system sized for a different cluster");
+        assert_eq!(
+            cfg.quorum.n(),
+            cfg.n,
+            "quorum system sized for a different cluster"
+        );
         SwmrNode {
             cfg,
             replica: Replica::new(0, initial),
@@ -182,7 +201,9 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
     }
 
     fn others(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        (0..self.cfg.n).map(ProcessId).filter(move |&p| p != self.cfg.me)
+        (0..self.cfg.n)
+            .map(ProcessId)
+            .filter(move |&p| p != self.cfg.me)
     }
 
     fn broadcast(&self, msg: SwmrMsg<V>, fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>) {
@@ -255,8 +276,20 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
             fx.respond(op, RegisterResp::WriteOk);
             return;
         }
-        self.pending = Some(Pending::Write { op, ph, seq, value: v.clone() });
-        self.broadcast(RegisterMsg::Update { uid, label: seq, value: v }, fx);
+        self.pending = Some(Pending::Write {
+            op,
+            ph,
+            seq,
+            value: v.clone(),
+        });
+        self.broadcast(
+            RegisterMsg::Update {
+                uid,
+                label: seq,
+                value: v,
+            },
+            fx,
+        );
         self.arm_timer(uid, fx);
     }
 
@@ -268,7 +301,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
             self.enter_write_back(op, best_label, best_value, fx);
             return;
         }
-        self.pending = Some(Pending::Query { op, ph, best_label, best_value });
+        self.pending = Some(Pending::Query {
+            op,
+            ph,
+            best_label,
+            best_value,
+        });
         self.broadcast(RegisterMsg::Query { uid }, fx);
         self.arm_timer(uid, fx);
     }
@@ -293,7 +331,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
             self.finish(op, RegisterResp::ReadOk(value), fx);
             return;
         }
-        self.pending = Some(Pending::WriteBack { op, ph, label, value: value.clone() });
+        self.pending = Some(Pending::WriteBack {
+            op,
+            ph,
+            label,
+            value: value.clone(),
+        });
         self.broadcast(RegisterMsg::Update { uid, label, value }, fx);
         self.arm_timer(uid, fx);
     }
@@ -307,7 +350,9 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
                 value: value.clone(),
             }),
             Pending::Query { ph, .. } => Some(RegisterMsg::Query { uid: ph.uid() }),
-            Pending::WriteBack { ph, label, value, .. } => Some(RegisterMsg::Update {
+            Pending::WriteBack {
+                ph, label, value, ..
+            } => Some(RegisterMsg::Update {
                 uid: ph.uid(),
                 label: *label,
                 value: value.clone(),
@@ -325,7 +370,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
         self.cfg.me
     }
 
-    fn on_invoke(&mut self, op: OpId, input: RegisterOp<V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+    fn on_invoke(
+        &mut self,
+        op: OpId,
+        input: RegisterOp<V>,
+        fx: &mut Effects<Self::Msg, Self::Resp>,
+    ) {
         if self.pending.is_some() {
             self.queue.push_back((op, input));
         } else {
@@ -333,7 +383,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: SwmrMsg<V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: SwmrMsg<V>,
+        fx: &mut Effects<Self::Msg, Self::Resp>,
+    ) {
         match msg {
             // ---- replica role ----
             RegisterMsg::Query { uid } => {
@@ -346,7 +401,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
             }
             // ---- client role ----
             RegisterMsg::QueryReply { uid, label, value } => {
-                let Some(Pending::Query { ph, best_label, best_value, op }) = self.pending.as_mut()
+                let Some(Pending::Query {
+                    ph,
+                    best_label,
+                    best_value,
+                    op,
+                }) = self.pending.as_mut()
                 else {
                     return;
                 };
@@ -367,14 +427,16 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
             RegisterMsg::UpdateAck { uid } => {
                 let done = match self.pending.as_mut() {
                     Some(Pending::Write { ph, op, .. }) => {
-                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders()) {
+                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders())
+                        {
                             Some((*op, RegisterResp::WriteOk))
                         } else {
                             None
                         }
                     }
                     Some(Pending::WriteBack { ph, op, value, .. }) => {
-                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders()) {
+                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders())
+                        {
                             Some((*op, RegisterResp::ReadOk(value.clone())))
                         } else {
                             None
@@ -391,9 +453,13 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
     }
 
     fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
-        let Some(pending) = self.pending.as_ref() else { return };
+        let Some(pending) = self.pending.as_ref() else {
+            return;
+        };
         let ph = match pending {
-            Pending::Write { ph, .. } | Pending::Query { ph, .. } | Pending::WriteBack { ph, .. } => ph,
+            Pending::Write { ph, .. }
+            | Pending::Query { ph, .. }
+            | Pending::WriteBack { ph, .. } => ph,
         };
         if ph.uid() != key.0 {
             return; // Timer from a phase that already completed.
@@ -417,8 +483,8 @@ mod tests {
     fn cluster(n: usize, write_back: bool) -> MiniNet<SwmrNode<u32>> {
         let nodes = (0..n)
             .map(|i| {
-                let cfg = SwmrConfig::new(n, ProcessId(i), ProcessId(0))
-                    .with_read_write_back(write_back);
+                let cfg =
+                    SwmrConfig::new(n, ProcessId(i), ProcessId(0)).with_read_write_back(write_back);
                 SwmrNode::new(cfg, 0u32)
             })
             .collect();
@@ -434,7 +500,10 @@ mod tests {
 
         net.invoke(2, RegisterOp::Read);
         net.run_to_quiescence();
-        assert_eq!(net.take_responses(), vec![(OpId(1), RegisterResp::ReadOk(42))]);
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(1), RegisterResp::ReadOk(42))]
+        );
     }
 
     #[test]
@@ -442,7 +511,10 @@ mod tests {
         let mut net = cluster(5, true);
         net.invoke(4, RegisterOp::Read);
         net.run_to_quiescence();
-        assert_eq!(net.take_responses(), vec![(OpId(0), RegisterResp::ReadOk(0))]);
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(0), RegisterResp::ReadOk(0))]
+        );
     }
 
     #[test]
@@ -509,7 +581,10 @@ mod tests {
         assert_eq!(net.take_responses(), vec![(OpId(0), RegisterResp::WriteOk)]);
         net.invoke(1, RegisterOp::Read);
         net.run_to_quiescence();
-        assert_eq!(net.take_responses(), vec![(OpId(1), RegisterResp::ReadOk(9))]);
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(1), RegisterResp::ReadOk(9))]
+        );
     }
 
     #[test]
@@ -520,7 +595,10 @@ mod tests {
         }
         net.invoke(0, RegisterOp::Write(9));
         net.run_to_quiescence();
-        assert!(net.take_responses().is_empty(), "op must block without a quorum");
+        assert!(
+            net.take_responses().is_empty(),
+            "op must block without a quorum"
+        );
         assert!(net.node(0).is_busy());
     }
 
@@ -534,7 +612,11 @@ mod tests {
         net.set_drop_filter(|_, to, _| to.index() >= 3);
         net.invoke(0, RegisterOp::Write(1));
         net.run_to_quiescence();
-        assert_eq!(net.take_responses().len(), 1, "write reached quorum {{0,1,2}}");
+        assert_eq!(
+            net.take_responses().len(),
+            1,
+            "write reached quorum {{0,1,2}}"
+        );
         net.clear_drop_filter();
         assert_eq!(net.node(3).replica_state().0, 0, "p3 stale before the read");
         assert_eq!(net.node(4).replica_state().0, 0, "p4 stale before the read");
@@ -544,7 +626,9 @@ mod tests {
         net.run_to_quiescence();
         let r = net.take_responses();
         assert_eq!(r[0].1, RegisterResp::ReadOk(1));
-        let fresh = (0..5).filter(|&i| net.node(i).replica_state().0 == 1).count();
+        let fresh = (0..5)
+            .filter(|&i| net.node(i).replica_state().0 == 1)
+            .count();
         assert_eq!(fresh, 5, "write-back must spread the value");
     }
 
@@ -587,7 +671,11 @@ mod tests {
         // Reply for a phase that does not exist.
         node.on_message(
             ProcessId(0),
-            RegisterMsg::QueryReply { uid: 99, label: 7, value: 1 },
+            RegisterMsg::QueryReply {
+                uid: 99,
+                label: 7,
+                value: 1,
+            },
             &mut fx,
         );
         node.on_message(ProcessId(0), RegisterMsg::UpdateAck { uid: 99 }, &mut fx);
@@ -642,7 +730,10 @@ mod tests {
         net.invoke(2, RegisterOp::Read);
         // Completes instantly: no messages at all.
         assert_eq!(net.messages_sent(), 0);
-        assert_eq!(net.take_responses(), vec![(OpId(0), RegisterResp::ReadOk(0))]);
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(0), RegisterResp::ReadOk(0))]
+        );
     }
 
     #[test]

@@ -107,13 +107,19 @@ impl Tag {
     /// The tag labelling the initial register value (smaller than every tag
     /// any writer produces).
     pub fn initial() -> Self {
-        Tag { seq: 0, writer: ProcessId(0) }
+        Tag {
+            seq: 0,
+            writer: ProcessId(0),
+        }
     }
 
     /// Returns the tag a writer `w` should use after observing `self` as the
     /// largest tag in its query phase.
     pub fn next(self, w: ProcessId) -> Self {
-        Tag { seq: self.seq + 1, writer: w }
+        Tag {
+            seq: self.seq + 1,
+            writer: w,
+        }
     }
 }
 
@@ -186,7 +192,10 @@ mod tests {
 
     #[test]
     fn register_error_display() {
-        let e = RegisterError::NotWriter { invoked_on: ProcessId(1), writer: ProcessId(0) };
+        let e = RegisterError::NotWriter {
+            invoked_on: ProcessId(1),
+            writer: ProcessId(0),
+        };
         assert!(e.to_string().contains("p1"));
         assert!(e.to_string().contains("p0"));
     }

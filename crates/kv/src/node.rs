@@ -103,7 +103,12 @@ pub struct KvConfig {
 impl KvConfig {
     /// Majority quorums, no retransmission.
     pub fn new(n: usize, me: ProcessId) -> Self {
-        KvConfig { n, me, quorum: Arc::new(Majority::new(n)), retransmit: None }
+        KvConfig {
+            n,
+            me,
+            quorum: Arc::new(Majority::new(n)),
+            retransmit: None,
+        }
     }
 
     /// Replaces the quorum system.
@@ -121,10 +126,33 @@ impl KvConfig {
 
 #[derive(Clone, Debug)]
 enum Pending<K, V> {
-    GetQuery { op: OpId, key: K, ph: PhaseTracker, best: (Tag, Option<V>) },
-    GetWriteBack { op: OpId, key: K, ph: PhaseTracker, tag: Tag, value: V },
-    PutQuery { op: OpId, key: K, ph: PhaseTracker, best: Tag, value: V },
-    PutUpdate { op: OpId, key: K, ph: PhaseTracker, tag: Tag, value: V },
+    GetQuery {
+        op: OpId,
+        key: K,
+        ph: PhaseTracker,
+        best: (Tag, Option<V>),
+    },
+    GetWriteBack {
+        op: OpId,
+        key: K,
+        ph: PhaseTracker,
+        tag: Tag,
+        value: V,
+    },
+    PutQuery {
+        op: OpId,
+        key: K,
+        ph: PhaseTracker,
+        best: Tag,
+        value: V,
+    },
+    PutUpdate {
+        op: OpId,
+        key: K,
+        ph: PhaseTracker,
+        tag: Tag,
+        value: V,
+    },
 }
 
 /// One node of the replicated key-value store.
@@ -161,8 +189,17 @@ where
     /// Creates an empty node.
     pub fn new(cfg: KvConfig) -> Self {
         assert!(cfg.me.index() < cfg.n, "node id out of range");
-        assert_eq!(cfg.quorum.n(), cfg.n, "quorum system sized for a different cluster");
-        KvNode { cfg, store: HashMap::new(), next_uid: 0, pending: HashMap::new() }
+        assert_eq!(
+            cfg.quorum.n(),
+            cfg.n,
+            "quorum system sized for a different cluster"
+        );
+        KvNode {
+            cfg,
+            store: HashMap::new(),
+            next_uid: 0,
+            pending: HashMap::new(),
+        }
     }
 
     /// The node's local `(tag, value)` for `key`, if present.
@@ -250,9 +287,25 @@ where
             fx.respond(op, KvResp::PutOk);
             return;
         }
-        self.pending
-            .insert(uid, Pending::PutUpdate { op, key: key.clone(), ph, tag, value: value.clone() });
-        self.broadcast(KvMsg::Update { uid, key, tag, value }, fx);
+        self.pending.insert(
+            uid,
+            Pending::PutUpdate {
+                op,
+                key: key.clone(),
+                ph,
+                tag,
+                value: value.clone(),
+            },
+        );
+        self.broadcast(
+            KvMsg::Update {
+                uid,
+                key,
+                tag,
+                value,
+            },
+            fx,
+        );
         self.arm_timer(uid, fx);
     }
 
@@ -280,19 +333,48 @@ where
         }
         self.pending.insert(
             uid,
-            Pending::GetWriteBack { op, key: key.clone(), ph, tag, value: value.clone() },
+            Pending::GetWriteBack {
+                op,
+                key: key.clone(),
+                ph,
+                tag,
+                value: value.clone(),
+            },
         );
-        self.broadcast(KvMsg::Update { uid, key, tag, value }, fx);
+        self.broadcast(
+            KvMsg::Update {
+                uid,
+                key,
+                tag,
+                value,
+            },
+            fx,
+        );
         self.arm_timer(uid, fx);
     }
 
     fn retransmit_message(&self, p: &Pending<K, V>) -> Option<KvMsg<K, V>> {
         match p {
             Pending::GetQuery { key, ph, .. } | Pending::PutQuery { key, ph, .. } => {
-                Some(KvMsg::Query { uid: ph.uid(), key: key.clone() })
+                Some(KvMsg::Query {
+                    uid: ph.uid(),
+                    key: key.clone(),
+                })
             }
-            Pending::GetWriteBack { key, ph, tag, value, .. }
-            | Pending::PutUpdate { key, ph, tag, value, .. } => Some(KvMsg::Update {
+            Pending::GetWriteBack {
+                key,
+                ph,
+                tag,
+                value,
+                ..
+            }
+            | Pending::PutUpdate {
+                key,
+                ph,
+                tag,
+                value,
+                ..
+            } => Some(KvMsg::Update {
                 uid: ph.uid(),
                 key: key.clone(),
                 tag: *tag,
@@ -325,8 +407,15 @@ where
                     self.enter_get_write_back(op, key, best, fx);
                     return;
                 }
-                self.broadcast(KvMsg::Query { uid, key: key.clone() }, fx);
-                self.pending.insert(uid, Pending::GetQuery { op, key, ph, best });
+                self.broadcast(
+                    KvMsg::Query {
+                        uid,
+                        key: key.clone(),
+                    },
+                    fx,
+                );
+                self.pending
+                    .insert(uid, Pending::GetQuery { op, key, ph, best });
                 self.arm_timer(uid, fx);
             }
             KvOp::Put(key, value) => {
@@ -337,25 +426,52 @@ where
                     self.enter_put_update(op, key, best, value, fx);
                     return;
                 }
-                self.broadcast(KvMsg::Query { uid, key: key.clone() }, fx);
-                self.pending.insert(uid, Pending::PutQuery { op, key, ph, best, value });
+                self.broadcast(
+                    KvMsg::Query {
+                        uid,
+                        key: key.clone(),
+                    },
+                    fx,
+                );
+                self.pending.insert(
+                    uid,
+                    Pending::PutQuery {
+                        op,
+                        key,
+                        ph,
+                        best,
+                        value,
+                    },
+                );
                 self.arm_timer(uid, fx);
             }
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: KvMsg<K, V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: KvMsg<K, V>,
+        fx: &mut Effects<Self::Msg, Self::Resp>,
+    ) {
         match msg {
             KvMsg::Query { uid, key } => {
                 let (tag, value) = self.snapshot(&key);
                 fx.send(from, KvMsg::QueryReply { uid, tag, value });
             }
-            KvMsg::Update { uid, key, tag, value } => {
+            KvMsg::Update {
+                uid,
+                key,
+                tag,
+                value,
+            } => {
                 self.adopt(key, tag, value);
                 fx.send(from, KvMsg::UpdateAck { uid });
             }
             KvMsg::QueryReply { uid, tag, value } => {
-                let Some(pending) = self.pending.get_mut(&uid) else { return };
+                let Some(pending) = self.pending.get_mut(&uid) else {
+                    return;
+                };
                 match pending {
                     Pending::GetQuery { ph, best, .. } => {
                         if !ph.record(from, uid) {
@@ -382,8 +498,13 @@ where
                             *best = tag;
                         }
                         if self.cfg.quorum.is_read_quorum(ph.responders()) {
-                            let Some(Pending::PutQuery { op, key, best, value, .. }) =
-                                self.pending.remove(&uid)
+                            let Some(Pending::PutQuery {
+                                op,
+                                key,
+                                best,
+                                value,
+                                ..
+                            }) = self.pending.remove(&uid)
                             else {
                                 unreachable!()
                             };
@@ -395,17 +516,21 @@ where
                 }
             }
             KvMsg::UpdateAck { uid } => {
-                let Some(pending) = self.pending.get_mut(&uid) else { return };
+                let Some(pending) = self.pending.get_mut(&uid) else {
+                    return;
+                };
                 let done = match pending {
                     Pending::PutUpdate { op, ph, .. } => {
-                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders()) {
+                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders())
+                        {
                             Some((*op, KvResp::PutOk))
                         } else {
                             None
                         }
                     }
                     Pending::GetWriteBack { op, ph, value, .. } => {
-                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders()) {
+                        if ph.record(from, uid) && self.cfg.quorum.is_write_quorum(ph.responders())
+                        {
                             Some((*op, KvResp::GetOk(Some(value.clone()))))
                         } else {
                             None
@@ -424,7 +549,9 @@ where
 
     fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
         let uid = key.0;
-        let Some(pending) = self.pending.get(&uid) else { return };
+        let Some(pending) = self.pending.get(&uid) else {
+            return;
+        };
         let targets = match pending {
             Pending::GetQuery { ph, .. }
             | Pending::PutQuery { ph, .. }
@@ -461,7 +588,9 @@ mod tests {
     {
         fn new(n: usize) -> Self {
             Net {
-                nodes: (0..n).map(|i| KvNode::new(KvConfig::new(n, ProcessId(i)))).collect(),
+                nodes: (0..n)
+                    .map(|i| KvNode::new(KvConfig::new(n, ProcessId(i))))
+                    .collect(),
                 queue: Default::default(),
                 responses: Vec::new(),
                 alive: vec![true; n],
@@ -603,10 +732,14 @@ mod tests {
         net.invoke(2, KvOp::Get("k"));
         net.run();
         let r = net.take();
-        let KvResp::GetOk(Some(winner)) = r[2].1 else { panic!("missing value") };
+        let KvResp::GetOk(Some(winner)) = r[2].1 else {
+            panic!("missing value")
+        };
         assert!(winner == 10 || winner == 20);
         // All replicas agree.
-        let tags: Vec<_> = (0..3).map(|i| net.nodes[i].local_entry(&"k").unwrap().0).collect();
+        let tags: Vec<_> = (0..3)
+            .map(|i| net.nodes[i].local_entry(&"k").unwrap().0)
+            .collect();
         assert_eq!(tags[0], tags[1]);
         assert_eq!(tags[1], tags[2]);
     }
@@ -626,7 +759,11 @@ mod tests {
         let mut fx = Effects::new();
         node.on_message(
             ProcessId(1),
-            KvMsg::QueryReply { uid: 77, tag: Tag::new(5, ProcessId(1)), value: Some(1) },
+            KvMsg::QueryReply {
+                uid: 77,
+                tag: Tag::new(5, ProcessId(1)),
+                value: Some(1),
+            },
             &mut fx,
         );
         node.on_message(ProcessId(1), KvMsg::UpdateAck { uid: 77 }, &mut fx);

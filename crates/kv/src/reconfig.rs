@@ -65,7 +65,7 @@ impl Config {
 
     /// Majority size of this configuration.
     pub fn quorum(&self) -> usize {
-        self.members.len() / 2 + 1
+        abd_core::quorum::majority_threshold(self.members.len())
     }
 
     /// Whether `p` is a member.
@@ -75,7 +75,11 @@ impl Config {
 
     /// Whether `responders ∩ members` reaches a majority of the members.
     fn quorum_met(&self, responders: &ProcSet) -> bool {
-        self.members.iter().filter(|&&m| responders.contains(m)).count() >= self.quorum()
+        self.members
+            .iter()
+            .filter(|&&m| responders.contains(m))
+            .count()
+            >= self.quorum()
     }
 }
 
@@ -222,12 +226,49 @@ impl RcNodeConfig {
 
 #[derive(Clone, Debug)]
 enum Pending<K, V> {
-    GetQuery { op: OpId, epoch: u64, key: K, ph: PhaseTracker, best: (Tag, Option<V>) },
-    GetWriteBack { op: OpId, epoch: u64, key: K, ph: PhaseTracker, tag: Tag, value: V },
-    PutQuery { op: OpId, epoch: u64, key: K, ph: PhaseTracker, best: Tag, value: V },
-    PutUpdate { op: OpId, epoch: u64, key: K, ph: PhaseTracker, tag: Tag, value: V },
-    Collect { op: OpId, epoch: u64, new_members: Vec<ProcessId>, ph: PhaseTracker, merged: HashMap<K, (Tag, V)> },
-    Install { op: OpId, new_config: Config, ph: PhaseTracker },
+    GetQuery {
+        op: OpId,
+        epoch: u64,
+        key: K,
+        ph: PhaseTracker,
+        best: (Tag, Option<V>),
+    },
+    GetWriteBack {
+        op: OpId,
+        epoch: u64,
+        key: K,
+        ph: PhaseTracker,
+        tag: Tag,
+        value: V,
+    },
+    PutQuery {
+        op: OpId,
+        epoch: u64,
+        key: K,
+        ph: PhaseTracker,
+        best: Tag,
+        value: V,
+    },
+    PutUpdate {
+        op: OpId,
+        epoch: u64,
+        key: K,
+        ph: PhaseTracker,
+        tag: Tag,
+        value: V,
+    },
+    Collect {
+        op: OpId,
+        epoch: u64,
+        new_members: Vec<ProcessId>,
+        ph: PhaseTracker,
+        merged: HashMap<K, (Tag, V)>,
+    },
+    Install {
+        op: OpId,
+        new_config: Config,
+        ph: PhaseTracker,
+    },
 }
 
 /// One node of the reconfigurable replicated key-value store.
@@ -325,7 +366,7 @@ where
     fn serves(&self, epoch: u64) -> bool {
         epoch == self.config.epoch
             && self.config.has(self.cfg.me)
-            && self.fenced.map_or(true, |f| epoch > f)
+            && self.fenced.is_none_or(|f| epoch > f)
     }
 
     fn send_to_members<'a, I: IntoIterator<Item = &'a ProcessId>>(
@@ -371,10 +412,23 @@ where
         }
         self.send_to_members(
             &self.config.members.clone(),
-            RcMsg::Query { uid, epoch, key: key.clone() },
+            RcMsg::Query {
+                uid,
+                epoch,
+                key: key.clone(),
+            },
             fx,
         );
-        self.pending.insert(uid, Pending::GetQuery { op, epoch, key, ph, best });
+        self.pending.insert(
+            uid,
+            Pending::GetQuery {
+                op,
+                epoch,
+                key,
+                ph,
+                best,
+            },
+        );
         fx.set_timer(TimerKey(uid), self.cfg.retry);
     }
 
@@ -393,10 +447,24 @@ where
         }
         self.send_to_members(
             &self.config.members.clone(),
-            RcMsg::Query { uid, epoch, key: key.clone() },
+            RcMsg::Query {
+                uid,
+                epoch,
+                key: key.clone(),
+            },
             fx,
         );
-        self.pending.insert(uid, Pending::PutQuery { op, epoch, key, ph, best, value });
+        self.pending.insert(
+            uid,
+            Pending::PutQuery {
+                op,
+                epoch,
+                key,
+                ph,
+                best,
+                value,
+            },
+        );
         fx.set_timer(TimerKey(uid), self.cfg.retry);
     }
 
@@ -411,7 +479,10 @@ where
             return;
         }
         if self.reconfig_in_flight {
-            fx.respond(op, RcResp::Rejected("reconfiguration already in flight".into()));
+            fx.respond(
+                op,
+                RcResp::Rejected("reconfiguration already in flight".into()),
+            );
             return;
         }
         self.reconfig_in_flight = true;
@@ -428,8 +499,21 @@ where
             self.enter_install(op, members, merged, fx);
             return;
         }
-        self.send_to_members(&self.config.members.clone(), RcMsg::StateRequest { uid, epoch }, fx);
-        self.pending.insert(uid, Pending::Collect { op, epoch, new_members: members, ph, merged });
+        self.send_to_members(
+            &self.config.members.clone(),
+            RcMsg::StateRequest { uid, epoch },
+            fx,
+        );
+        self.pending.insert(
+            uid,
+            Pending::Collect {
+                op,
+                epoch,
+                new_members: members,
+                ph,
+                merged,
+            },
+        );
         fx.set_timer(TimerKey(uid), self.cfg.retry);
     }
 
@@ -457,10 +541,26 @@ where
         }
         self.send_to_members(
             &self.config.members.clone(),
-            RcMsg::Update { uid, epoch, key: key.clone(), tag, value: value.clone() },
+            RcMsg::Update {
+                uid,
+                epoch,
+                key: key.clone(),
+                tag,
+                value: value.clone(),
+            },
             fx,
         );
-        self.pending.insert(uid, Pending::GetWriteBack { op, epoch, key, ph, tag, value });
+        self.pending.insert(
+            uid,
+            Pending::GetWriteBack {
+                op,
+                epoch,
+                key,
+                ph,
+                tag,
+                value,
+            },
+        );
         fx.set_timer(TimerKey(uid), self.cfg.retry);
     }
 
@@ -485,10 +585,26 @@ where
         }
         self.send_to_members(
             &self.config.members.clone(),
-            RcMsg::Update { uid, epoch, key: key.clone(), tag, value: value.clone() },
+            RcMsg::Update {
+                uid,
+                epoch,
+                key: key.clone(),
+                tag,
+                value: value.clone(),
+            },
             fx,
         );
-        self.pending.insert(uid, Pending::PutUpdate { op, epoch, key, ph, tag, value });
+        self.pending.insert(
+            uid,
+            Pending::PutUpdate {
+                op,
+                epoch,
+                key,
+                ph,
+                tag,
+                value,
+            },
+        );
         fx.set_timer(TimerKey(uid), self.cfg.retry);
     }
 
@@ -499,9 +615,11 @@ where
         merged: HashMap<K, (Tag, V)>,
         fx: &mut Effects<RcMsg<K, V>, RcResp<V>>,
     ) {
-        let new_config = Config { epoch: self.config.epoch + 1, members };
-        let store: Vec<(K, Tag, V)> =
-            merged.into_iter().map(|(k, (t, v))| (k, t, v)).collect();
+        let new_config = Config {
+            epoch: self.config.epoch + 1,
+            members,
+        };
+        let store: Vec<(K, Tag, V)> = merged.into_iter().map(|(k, (t, v))| (k, t, v)).collect();
         let uid = self.fresh_uid();
         let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
         if new_config.has(self.cfg.me) {
@@ -518,10 +636,15 @@ where
         }
         self.send_to_members(
             &new_config.members.clone(),
-            RcMsg::Install { uid, config: new_config.clone(), store },
+            RcMsg::Install {
+                uid,
+                config: new_config.clone(),
+                store,
+            },
             fx,
         );
-        self.pending.insert(uid, Pending::Install { op, new_config, ph });
+        self.pending
+            .insert(uid, Pending::Install { op, new_config, ph });
         fx.set_timer(TimerKey(uid), self.cfg.retry);
     }
 
@@ -540,22 +663,35 @@ where
         for i in 0..self.cfg.n {
             let p = ProcessId(i);
             if p != self.cfg.me {
-                fx.send(p, RcMsg::Announce { config: new_config.clone() });
+                fx.send(
+                    p,
+                    RcMsg::Announce {
+                        config: new_config.clone(),
+                    },
+                );
             }
         }
         self.reconfig_in_flight = false;
-        fx.respond(op, RcResp::ReconfigOk { epoch: new_config.epoch });
+        fx.respond(
+            op,
+            RcResp::ReconfigOk {
+                epoch: new_config.epoch,
+            },
+        );
     }
 
     /// Restart a pending client operation under the current configuration
     /// (its epoch moved on, or its quorum can no longer answer).
     fn restart(&mut self, uid: u64, fx: &mut Effects<RcMsg<K, V>, RcResp<V>>) {
-        let Some(pending) = self.pending.remove(&uid) else { return };
+        let Some(pending) = self.pending.remove(&uid) else {
+            return;
+        };
         match pending {
             Pending::GetQuery { op, key, .. } | Pending::GetWriteBack { op, key, .. } => {
                 self.begin_get(op, key, fx);
             }
-            Pending::PutQuery { op, key, value, .. } | Pending::PutUpdate { op, key, value, .. } => {
+            Pending::PutQuery { op, key, value, .. }
+            | Pending::PutUpdate { op, key, value, .. } => {
                 self.begin_put(op, key, value, fx);
             }
             // Reconfiguration phases retransmit rather than restart.
@@ -583,7 +719,12 @@ where
         self.begin(op, input, fx);
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: RcMsg<K, V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: RcMsg<K, V>,
+        fx: &mut Effects<Self::Msg, Self::Resp>,
+    ) {
         match msg {
             // ---- replica role ----
             RcMsg::Query { uid, epoch, key } => {
@@ -594,7 +735,13 @@ where
                 // Fenced or wrong epoch: stay silent; the client's retry
                 // timer will restart the operation under the new config.
             }
-            RcMsg::Update { uid, epoch, key, tag, value } => {
+            RcMsg::Update {
+                uid,
+                epoch,
+                key,
+                tag,
+                value,
+            } => {
                 if self.serves(epoch) {
                     self.adopt(key, tag, value);
                     fx.send(from, RcMsg::UpdateAck { uid });
@@ -603,8 +750,11 @@ where
             RcMsg::StateRequest { uid, epoch } => {
                 if epoch == self.config.epoch && self.config.has(self.cfg.me) {
                     self.fenced = Some(self.fenced.map_or(epoch, |f| f.max(epoch)));
-                    let store: Vec<(K, Tag, V)> =
-                        self.store.iter().map(|(k, (t, v))| (k.clone(), *t, v.clone())).collect();
+                    let store: Vec<(K, Tag, V)> = self
+                        .store
+                        .iter()
+                        .map(|(k, (t, v))| (k.clone(), *t, v.clone()))
+                        .collect();
                     fx.send(from, RcMsg::StateReply { uid, store });
                 }
             }
@@ -633,7 +783,13 @@ where
                     Put(OpId, u64, K, Tag, V),
                 }
                 let next = match self.pending.get_mut(&uid) {
-                    Some(Pending::GetQuery { op, epoch, key, ph, best }) => {
+                    Some(Pending::GetQuery {
+                        op,
+                        epoch,
+                        key,
+                        ph,
+                        best,
+                    }) => {
                         if !ph.record(from, uid) {
                             return;
                         }
@@ -646,7 +802,14 @@ where
                             None
                         }
                     }
-                    Some(Pending::PutQuery { op, epoch, key, ph, best, value: v }) => {
+                    Some(Pending::PutQuery {
+                        op,
+                        epoch,
+                        key,
+                        ph,
+                        best,
+                        value: v,
+                    }) => {
                         if !ph.record(from, uid) {
                             return;
                         }
@@ -724,8 +887,12 @@ where
                     _ => return,
                 };
                 if quorum_now {
-                    let Some(Pending::Collect { op, new_members, merged, .. }) =
-                        self.pending.remove(&uid)
+                    let Some(Pending::Collect {
+                        op,
+                        new_members,
+                        merged,
+                        ..
+                    }) = self.pending.remove(&uid)
                     else {
                         unreachable!()
                     };
@@ -755,7 +922,9 @@ where
 
     fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
         let uid = key.0;
-        let Some(pending) = self.pending.get(&uid) else { return };
+        let Some(pending) = self.pending.get(&uid) else {
+            return;
+        };
         let epoch_moved = match pending {
             Pending::GetQuery { epoch, .. }
             | Pending::GetWriteBack { epoch, .. }
@@ -795,23 +964,59 @@ where
         }
         // Same epoch: plain retransmission to non-responders.
         let (targets, msg): (Vec<ProcessId>, RcMsg<K, V>) = match pending {
-            Pending::GetQuery { epoch, key, ph, .. } | Pending::PutQuery { epoch, key, ph, .. } => (
+            Pending::GetQuery { epoch, key, ph, .. } | Pending::PutQuery { epoch, key, ph, .. } => {
+                (
+                    ph.missing(),
+                    RcMsg::Query {
+                        uid,
+                        epoch: *epoch,
+                        key: key.clone(),
+                    },
+                )
+            }
+            Pending::GetWriteBack {
+                epoch,
+                key,
+                ph,
+                tag,
+                value,
+                ..
+            }
+            | Pending::PutUpdate {
+                epoch,
+                key,
+                ph,
+                tag,
+                value,
+                ..
+            } => (
                 ph.missing(),
-                RcMsg::Query { uid, epoch: *epoch, key: key.clone() },
-            ),
-            Pending::GetWriteBack { epoch, key, ph, tag, value, .. }
-            | Pending::PutUpdate { epoch, key, ph, tag, value, .. } => (
-                ph.missing(),
-                RcMsg::Update { uid, epoch: *epoch, key: key.clone(), tag: *tag, value: value.clone() },
+                RcMsg::Update {
+                    uid,
+                    epoch: *epoch,
+                    key: key.clone(),
+                    tag: *tag,
+                    value: value.clone(),
+                },
             ),
             Pending::Collect { epoch, ph, .. } => {
                 (ph.missing(), RcMsg::StateRequest { uid, epoch: *epoch })
             }
             Pending::Install { new_config, ph, .. } => {
                 // Re-send the full install to stragglers.
-                let store: Vec<(K, Tag, V)> =
-                    self.store.iter().map(|(k, (t, v))| (k.clone(), *t, v.clone())).collect();
-                (ph.missing(), RcMsg::Install { uid, config: new_config.clone(), store })
+                let store: Vec<(K, Tag, V)> = self
+                    .store
+                    .iter()
+                    .map(|(k, (t, v))| (k.clone(), *t, v.clone()))
+                    .collect();
+                (
+                    ph.missing(),
+                    RcMsg::Install {
+                        uid,
+                        config: new_config.clone(),
+                        store,
+                    },
+                )
             }
         };
         let members: Vec<ProcessId> = match self.pending.get(&uid) {
@@ -871,7 +1076,11 @@ mod tests {
     fn rejects_concurrent_local_reconfig() {
         let mut node: RcNode<&str, u32> = RcNode::new(RcNodeConfig::new(3, ProcessId(0)));
         let mut fx = Effects::new();
-        node.on_invoke(OpId(0), RcOp::Reconfig(vec![ProcessId(0), ProcessId(1)]), &mut fx);
+        node.on_invoke(
+            OpId(0),
+            RcOp::Reconfig(vec![ProcessId(0), ProcessId(1)]),
+            &mut fx,
+        );
         // First reconfig is collecting; a second must be rejected.
         node.on_invoke(OpId(1), RcOp::Reconfig(vec![ProcessId(0)]), &mut fx);
         assert!(fx
@@ -885,13 +1094,23 @@ mod tests {
         let mut node: RcNode<&str, u32> = RcNode::new(RcNodeConfig::new(3, ProcessId(1)));
         let mut fx = Effects::new();
         // Fence via StateRequest for epoch 0.
-        node.on_message(ProcessId(0), RcMsg::StateRequest { uid: 1, epoch: 0 }, &mut fx);
+        node.on_message(
+            ProcessId(0),
+            RcMsg::StateRequest { uid: 1, epoch: 0 },
+            &mut fx,
+        );
         assert!(matches!(fx.sends[0].1, RcMsg::StateReply { .. }));
         // An old-epoch update is now ignored (no ack, no adoption).
         let mut fx = Effects::new();
         node.on_message(
             ProcessId(0),
-            RcMsg::Update { uid: 2, epoch: 0, key: "k", tag: Tag::new(1, ProcessId(0)), value: 9 },
+            RcMsg::Update {
+                uid: 2,
+                epoch: 0,
+                key: "k",
+                tag: Tag::new(1, ProcessId(0)),
+                value: 9,
+            },
             &mut fx,
         );
         assert!(fx.is_empty(), "fenced replica must stay silent");
@@ -902,7 +1121,10 @@ mod tests {
     fn install_adopts_config_and_state() {
         let mut node: RcNode<&str, u32> = RcNode::new(RcNodeConfig::new(3, ProcessId(2)));
         let mut fx = Effects::new();
-        let new_cfg = Config { epoch: 1, members: vec![ProcessId(1), ProcessId(2)] };
+        let new_cfg = Config {
+            epoch: 1,
+            members: vec![ProcessId(1), ProcessId(2)],
+        };
         node.on_message(
             ProcessId(0),
             RcMsg::Install {
@@ -919,7 +1141,11 @@ mod tests {
         let mut fx = Effects::new();
         node.on_message(
             ProcessId(0),
-            RcMsg::Install { uid: 7, config: new_cfg.clone(), store: vec![] },
+            RcMsg::Install {
+                uid: 7,
+                config: new_cfg.clone(),
+                store: vec![],
+            },
             &mut fx,
         );
         assert!(matches!(fx.sends[0].1, RcMsg::InstallAck { uid: 7 }));
@@ -929,10 +1155,22 @@ mod tests {
     #[test]
     fn announce_moves_epoch_forward_only() {
         let mut node: RcNode<&str, u32> = RcNode::new(RcNodeConfig::new(3, ProcessId(0)));
-        let newer = Config { epoch: 2, members: vec![ProcessId(0)] };
-        let older = Config { epoch: 1, members: vec![ProcessId(1)] };
+        let newer = Config {
+            epoch: 2,
+            members: vec![ProcessId(0)],
+        };
+        let older = Config {
+            epoch: 1,
+            members: vec![ProcessId(1)],
+        };
         let mut fx = Effects::new();
-        node.on_message(ProcessId(1), RcMsg::Announce { config: newer.clone() }, &mut fx);
+        node.on_message(
+            ProcessId(1),
+            RcMsg::Announce {
+                config: newer.clone(),
+            },
+            &mut fx,
+        );
         assert_eq!(node.current_config().epoch, 2);
         node.on_message(ProcessId(1), RcMsg::Announce { config: older }, &mut fx);
         assert_eq!(node.current_config(), &newer, "older announce ignored");

@@ -62,7 +62,11 @@ impl<V> History<V> {
     /// Creates an empty history over a register whose initial value is
     /// `initial`.
     pub fn new(initial: V) -> Self {
-        History { initial, ops: Vec::new(), pending_writes: Vec::new() }
+        History {
+            initial,
+            ops: Vec::new(),
+            pending_writes: Vec::new(),
+        }
     }
 
     /// The register's initial value.
@@ -77,7 +81,12 @@ impl<V> History<V> {
     /// Panics if `end < start`.
     pub fn push(&mut self, client: usize, action: RegAction<V>, start: u64, end: u64) {
         assert!(end >= start, "operation ends before it starts");
-        self.ops.push(CompletedOp { client, action, start, end });
+        self.ops.push(CompletedOp {
+            client,
+            action,
+            start,
+            end,
+        });
     }
 
     /// Records a write that was invoked at `start` but never completed.
@@ -120,7 +129,10 @@ impl<V> History<V> {
         let mut by_client: std::collections::BTreeMap<usize, Vec<(u64, u64)>> =
             std::collections::BTreeMap::new();
         for op in &self.ops {
-            by_client.entry(op.client).or_default().push((op.start, op.end));
+            by_client
+                .entry(op.client)
+                .or_default()
+                .push((op.start, op.end));
         }
         for (client, mut ivs) in by_client {
             ivs.sort_unstable();
@@ -154,7 +166,11 @@ impl<V: fmt::Display> fmt::Display for History<V> {
                 RegAction::Write(v) => ("W", v),
                 RegAction::Read(v) => ("R", v),
             };
-            writeln!(f, "  c{} {}({v}) [{}, {}]", op.client, kind, op.start, op.end)?;
+            writeln!(
+                f,
+                "  c{} {}({v}) [{}, {}]",
+                op.client, kind, op.start, op.end
+            )?;
         }
         for (c, v, s) in &self.pending_writes {
             writeln!(f, "  c{c} W({v}) [{s}, ∞) (pending)")?;

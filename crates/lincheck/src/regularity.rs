@@ -69,14 +69,26 @@ pub enum Anomaly {
 impl fmt::Display for Anomaly {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Anomaly::PhantomValue { read } => write!(f, "read #{read} returned a never-written value"),
-            Anomaly::StaleRead { read, overwritten_by, .. } => {
+            Anomaly::PhantomValue { read } => {
+                write!(f, "read #{read} returned a never-written value")
+            }
+            Anomaly::StaleRead {
+                read,
+                overwritten_by,
+                ..
+            } => {
                 write!(f, "read #{read} returned a value overwritten by write #{overwritten_by} before it started")
             }
-            Anomaly::FutureRead { read, returned_write } => {
+            Anomaly::FutureRead {
+                read,
+                returned_write,
+            } => {
                 write!(f, "read #{read} returned the value of write #{returned_write} which had not yet started")
             }
-            Anomaly::NewOldInversion { first_read, second_read } => {
+            Anomaly::NewOldInversion {
+                first_read,
+                second_read,
+            } => {
                 write!(f, "new/old inversion: read #{first_read} saw a newer write than later read #{second_read}")
             }
         }
@@ -103,8 +115,9 @@ fn precedes<V>(a: &CompletedOp<V>, b: &CompletedOp<V>) -> bool {
 
 fn index_history<V: Eq + Hash>(h: &History<V>) -> Indexed<'_, V> {
     let ops = h.ops();
-    let mut writes: Vec<usize> =
-        (0..ops.len()).filter(|&i| matches!(ops[i].action, RegAction::Write(_))).collect();
+    let mut writes: Vec<usize> = (0..ops.len())
+        .filter(|&i| matches!(ops[i].action, RegAction::Write(_)))
+        .collect();
     writes.sort_by_key(|&i| ops[i].start);
     let mut version_of = HashMap::new();
     version_of.insert(h.initial(), 0);
@@ -113,7 +126,11 @@ fn index_history<V: Eq + Hash>(h: &History<V>) -> Indexed<'_, V> {
             version_of.insert(v, rank + 1);
         }
     }
-    Indexed { ops, writes, version_of }
+    Indexed {
+        ops,
+        writes,
+        version_of,
+    }
 }
 
 /// Scans a single-writer unique-value history for **regularity** violations
@@ -123,7 +140,9 @@ pub fn check_regular_swmr<V: Eq + Hash>(h: &History<V>) -> Vec<Anomaly> {
     let ix = index_history(h);
     let mut anomalies = Vec::new();
     for (i, op) in ix.ops.iter().enumerate() {
-        let RegAction::Read(v) = &op.action else { continue };
+        let RegAction::Read(v) = &op.action else {
+            continue;
+        };
         let Some(&version) = ix.version_of.get(v) else {
             anomalies.push(Anomaly::PhantomValue { read: i });
             continue;
@@ -133,7 +152,10 @@ pub fn check_regular_swmr<V: Eq + Hash>(h: &History<V>) -> Vec<Anomaly> {
         // read ended.
         if let Some(w) = returned_write {
             if ix.ops[w].start > op.end {
-                anomalies.push(Anomaly::FutureRead { read: i, returned_write: w });
+                anomalies.push(Anomaly::FutureRead {
+                    read: i,
+                    returned_write: w,
+                });
                 continue;
             }
         }
@@ -143,7 +165,11 @@ pub fn check_regular_swmr<V: Eq + Hash>(h: &History<V>) -> Vec<Anomaly> {
             .iter()
             .find(|&&w| precedes(&ix.ops[w], op));
         if let Some(&w) = overwritten {
-            anomalies.push(Anomaly::StaleRead { read: i, returned_write, overwritten_by: w });
+            anomalies.push(Anomaly::StaleRead {
+                read: i,
+                returned_write,
+                overwritten_by: w,
+            });
         }
     }
     anomalies
@@ -167,7 +193,10 @@ pub fn find_new_old_inversions<V: Eq + Hash>(h: &History<V>) -> Vec<Anomaly> {
     for (a, (i, ver_i)) in reads.iter().enumerate() {
         for (j, ver_j) in reads[a + 1..].iter().chain(reads[..a].iter()) {
             if precedes(&ix.ops[*i], &ix.ops[*j]) && ver_i > ver_j {
-                anomalies.push(Anomaly::NewOldInversion { first_read: *i, second_read: *j });
+                anomalies.push(Anomaly::NewOldInversion {
+                    first_read: *i,
+                    second_read: *j,
+                });
             }
         }
     }
@@ -218,7 +247,17 @@ mod tests {
         hist.push(0, Write(2), 20, 30);
         hist.push(1, Read(1), 40, 50); // 2 completed at 30 — stale
         let a = check_regular_swmr(&hist);
-        assert!(matches!(a[0], Anomaly::StaleRead { read: 2, overwritten_by: 1, .. }), "{a:?}");
+        assert!(
+            matches!(
+                a[0],
+                Anomaly::StaleRead {
+                    read: 2,
+                    overwritten_by: 1,
+                    ..
+                }
+            ),
+            "{a:?}"
+        );
         assert!(!is_atomic_swmr(&hist));
     }
 
@@ -229,7 +268,14 @@ mod tests {
         hist.push(1, Read(0), 20, 30);
         let a = check_regular_swmr(&hist);
         assert!(
-            matches!(a[0], Anomaly::StaleRead { read: 1, returned_write: None, overwritten_by: 0 }),
+            matches!(
+                a[0],
+                Anomaly::StaleRead {
+                    read: 1,
+                    returned_write: None,
+                    overwritten_by: 0
+                }
+            ),
             "{a:?}"
         );
     }
@@ -249,7 +295,13 @@ mod tests {
         hist.push(1, Read(1), 0, 10); // write of 1 starts later
         hist.push(0, Write(1), 20, 30);
         let a = check_regular_swmr(&hist);
-        assert_eq!(a, vec![Anomaly::FutureRead { read: 0, returned_write: 1 }]);
+        assert_eq!(
+            a,
+            vec![Anomaly::FutureRead {
+                read: 0,
+                returned_write: 1
+            }]
+        );
     }
 
     #[test]
@@ -259,7 +311,13 @@ mod tests {
         hist.push(1, Read(1), 10, 20); // new
         hist.push(2, Read(0), 30, 40); // old, after the first read — inversion
         let inv = find_new_old_inversions(&hist);
-        assert_eq!(inv, vec![Anomaly::NewOldInversion { first_read: 1, second_read: 2 }]);
+        assert_eq!(
+            inv,
+            vec![Anomaly::NewOldInversion {
+                first_read: 1,
+                second_read: 2
+            }]
+        );
         // Regular (each read individually legal) but not atomic.
         assert!(check_regular_swmr(&hist).is_empty());
         assert!(!is_atomic_swmr(&hist));
@@ -278,9 +336,22 @@ mod tests {
     fn display_messages_are_informative() {
         let msgs = [
             Anomaly::PhantomValue { read: 3 }.to_string(),
-            Anomaly::StaleRead { read: 1, returned_write: None, overwritten_by: 0 }.to_string(),
-            Anomaly::FutureRead { read: 2, returned_write: 5 }.to_string(),
-            Anomaly::NewOldInversion { first_read: 1, second_read: 2 }.to_string(),
+            Anomaly::StaleRead {
+                read: 1,
+                returned_write: None,
+                overwritten_by: 0,
+            }
+            .to_string(),
+            Anomaly::FutureRead {
+                read: 2,
+                returned_write: 5,
+            }
+            .to_string(),
+            Anomaly::NewOldInversion {
+                first_read: 1,
+                second_read: 2,
+            }
+            .to_string(),
         ];
         assert!(msgs[0].contains("never-written"));
         assert!(msgs[1].contains("overwritten"));

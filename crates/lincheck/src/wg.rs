@@ -95,12 +95,22 @@ pub fn check_linearizable_with_limit<V: Eq + Hash + Clone>(
             RegAction::Write(v) => Kind::Write(idx(v, &mut dense)),
             RegAction::Read(v) => Kind::Read(idx(v, &mut dense)),
         };
-        ops.push(Op { client: c.client, start: c.start, end: Some(c.end), kind });
+        ops.push(Op {
+            client: c.client,
+            start: c.start,
+            end: Some(c.end),
+            kind,
+        });
     }
     let completed = ops.len();
     for (client, v, start) in h.pending_writes() {
         let kind = Kind::Write(idx(v, &mut dense));
-        ops.push(Op { client: *client, start: *start, end: None, kind });
+        ops.push(Op {
+            client: *client,
+            start: *start,
+            end: None,
+            kind,
+        });
     }
 
     let total = ops.len();
@@ -133,7 +143,10 @@ pub fn check_linearizable_with_limit<V: Eq + Hash + Clone>(
     };
 
     let mut visited: HashSet<StateKey> = HashSet::new();
-    let mut stack: Vec<StateKey> = vec![StateKey { done: vec![0u64; words], value: 0 }];
+    let mut stack: Vec<StateKey> = vec![StateKey {
+        done: vec![0u64; words],
+        value: 0,
+    }];
     visited.insert(stack[0].clone());
 
     let is_done = |done: &[u64], i: usize| done[i / 64] & (1 << (i % 64)) != 0;
@@ -169,7 +182,10 @@ pub fn check_linearizable_with_limit<V: Eq + Hash + Clone>(
             };
             let mut done = state.done.clone();
             done[i / 64] |= 1 << (i % 64);
-            let key = StateKey { done, value: next_value };
+            let key = StateKey {
+                done,
+                value: next_value,
+            };
             if visited.insert(key.clone()) {
                 stack.push(key);
             }
@@ -235,7 +251,10 @@ mod tests {
             let mut h = History::new(0);
             h.push(0, Write(1), 0, 100);
             h.push(1, Read(ret), 50, 60); // overlaps the write
-            assert!(lin(&h), "read returning {ret} concurrent with write is fine");
+            assert!(
+                lin(&h),
+                "read returning {ret} concurrent with write is fine"
+            );
         }
     }
 

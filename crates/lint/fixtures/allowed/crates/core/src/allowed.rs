@@ -1,0 +1,14 @@
+//! Fixture: justified allow directives suppress findings (never compiled).
+
+// abd-lint: allow(hash-collections): fixture exercising block-form allows;
+// the map is write-once and never iterated.
+use std::collections::HashMap;
+
+pub struct S {
+    at: Instant, // abd-lint: allow(wall-clock): fixture exercising trailing allows.
+}
+
+pub fn window(modulus: u64) -> u64 {
+    // abd-lint: allow(raw-quorum-arith): halving a label cycle, not a quorum.
+    modulus / 2 - 1
+}

@@ -1,0 +1,5 @@
+//! Fixture: malformed directives do not suppress (never compiled).
+
+use std::collections::HashMap; // abd-lint: allow(hash-collections)
+
+use std::time::SystemTime; // abd-lint: allow(no-such-rule): rule name is wrong

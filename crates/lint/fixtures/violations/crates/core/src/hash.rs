@@ -1,0 +1,21 @@
+//! Fixture: `hash-collections` positives (never compiled).
+
+use std::collections::HashMap;
+
+pub struct Registry {
+    seen: std::collections::HashSet<u64>,
+}
+
+pub fn build() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from hash-collections.
+    use std::collections::HashMap;
+
+    fn in_tests() -> HashMap<u64, u64> {
+        HashMap::new()
+    }
+}

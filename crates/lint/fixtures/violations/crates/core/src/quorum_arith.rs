@@ -1,0 +1,14 @@
+//! Fixture: `raw-quorum-arith` positives (never compiled).
+
+pub fn majority(n: usize) -> usize {
+    n / 2 + 1
+}
+
+pub fn masking(n: usize, b: usize) -> usize {
+    (n + 2 * b + 1).div_ceil(2)
+}
+
+pub fn unrelated(n: usize) -> usize {
+    // Division by other literals is not quorum arithmetic.
+    n / 16 + n / 20
+}

@@ -1,0 +1,17 @@
+//! Fixture: `wildcard-msg-match` positive (never compiled).
+
+impl Protocol for Node {
+    fn on_message(&mut self, from: ProcessId, msg: Msg, fx: &mut Effects) {
+        match msg {
+            Msg::Query { uid } => {
+                // A nested wildcard over non-message state is fine.
+                match self.pending.get(&uid) {
+                    Some(p) => fx.send(from, p.reply()),
+                    _ => {}
+                }
+            }
+            Msg::Update { uid, value } => self.adopt(uid, value),
+            _ => {}
+        }
+    }
+}

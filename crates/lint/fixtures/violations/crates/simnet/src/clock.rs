@@ -1,0 +1,17 @@
+//! Fixture: `wall-clock` positives (never compiled).
+
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    // wall-clock applies to tests too: real time makes tests flake.
+    use std::time::SystemTime;
+
+    fn t() -> SystemTime {
+        SystemTime::now()
+    }
+}

@@ -1,0 +1,34 @@
+//! `abd-lint` — workspace-local static analysis for the ABD emulation.
+//!
+//! The protocol crates promise two things the type system cannot state:
+//! executions are **deterministic** (same seed, same history) and message
+//! handlers are **total** (no input takes a replica down). This crate
+//! enforces the code-level proxies of those promises with five rules — see
+//! [`rules::RULES`] — over a comment- and string-stripped token scan of
+//! every workspace `.rs` file.
+//!
+//! Run it as a binary from the workspace root:
+//!
+//! ```text
+//! cargo run -p abd-lint            # human-readable file:line diagnostics
+//! cargo run -p abd-lint -- --json  # machine-readable report on stdout
+//! ```
+//!
+//! The process exits non-zero iff findings remain after applying
+//! `// abd-lint: allow(<rule>): <justification>` directives (see
+//! [`allow`]).
+//!
+//! The scanner is deliberately dependency-free (no `syn`): the rules only
+//! need identifier occurrences, brace matching and comment stripping, and
+//! the linter must build in the same offline environment as the workspace.
+
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod report;
+pub mod rules;
+pub mod scan;
+pub mod source;
+
+pub use report::Finding;
+pub use scan::{lint_source, scan_root};

@@ -1,0 +1,62 @@
+//! CLI entry point: `abd-lint [--json] [ROOT]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("abd-lint: unknown flag `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+            path => root = PathBuf::from(path),
+        }
+    }
+    let findings = match abd_lint::scan_root(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("abd-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        print!("{}", abd_lint::report::render_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        eprintln!(
+            "abd-lint: {} finding{} in {}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            root.display()
+        );
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_help() {
+    println!("abd-lint — protocol-invariant static analysis for this workspace");
+    println!();
+    println!("usage: abd-lint [--json] [ROOT]   (default ROOT: current directory)");
+    println!();
+    println!("rules:");
+    for r in abd_lint::rules::RULES {
+        println!("  {:<20} {}", r.id, r.summary);
+    }
+    println!();
+    println!("suppress one line with `// abd-lint: allow(<rule>): <justification>`");
+    println!("(trailing on the line, or in the comment block directly above it).");
+}

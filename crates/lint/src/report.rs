@@ -1,0 +1,104 @@
+//! Findings and their human/JSON renderings.
+
+use std::fmt::Write as _;
+
+/// One rule violation at a specific source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `wall-clock`.
+    pub rule: &'static str,
+    /// Path of the offending file, relative to the scan root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line: [rule] message` — the clickable one-line form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Renders all findings as a JSON document:
+/// `{"count": N, "findings": [{"rule": …, "file": …, "line": …, "message": …}]}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut s = String::from("{\n  \"count\": ");
+    let _ = write!(s, "{}", findings.len());
+    s.push_str(",\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {\"rule\": ");
+        json_string(&mut s, f.rule);
+        s.push_str(", \"file\": ");
+        json_string(&mut s, &f.file);
+        let _ = write!(s, ", \"line\": {}, \"message\": ", f.line);
+        json_string(&mut s, &f.message);
+        s.push('}');
+    }
+    if !findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Appends `v` as a JSON string literal (quotes, backslashes and control
+/// characters escaped).
+fn json_string(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_location_first() {
+        let f = Finding {
+            rule: "wall-clock",
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            message: "bad".into(),
+        };
+        assert_eq!(f.render(), "crates/core/src/x.rs:7: [wall-clock] bad");
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let f = vec![Finding {
+            rule: "hash-collections",
+            file: "a\"b.rs".into(),
+            line: 1,
+            message: "x\ny".into(),
+        }];
+        let j = render_json(&f);
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("x\\ny"));
+        let empty = render_json(&[]);
+        assert!(empty.contains("\"count\": 0"));
+        assert!(empty.contains("[]"));
+    }
+}

@@ -1,0 +1,462 @@
+//! The five protocol-invariant rules.
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | `hash-collections`   | no `HashMap`/`HashSet` in protocol or simulator code (iteration order would leak nondeterminism into executions) |
+//! | `wall-clock`         | no `Instant`/`SystemTime` in protocol, simulator, runtime or shmem crates — time flows through `abd_core::clock::Clock` |
+//! | `panic-in-handler`   | no `.unwrap()`/`.expect(…)`/`panic!` inside message-path handlers — a malformed or stale message must never take a replica down |
+//! | `wildcard-msg-match` | the top-level `match` on `msg` in every `on_message` enumerates variants without `_ =>`, so adding a message kind is a compile-time event |
+//! | `raw-quorum-arith`   | no open-coded `/ 2` or `div_ceil(2)` majorities outside `crates/core/src/quorum.rs` — quorum sizes come from the checked constructors |
+//!
+//! Rules operate on the cleaned source view (see [`crate::source`]), so
+//! comments and string literals never trigger them.
+
+use crate::report::Finding;
+use crate::source::{ident_occurrences, is_ident_at, is_ident_byte, match_brace, SourceFile};
+
+/// Static description of one rule, for `--help`-style listings and for
+/// validating `allow(...)` directives.
+#[derive(Debug)]
+pub struct RuleInfo {
+    /// Identifier used in findings and allow directives.
+    pub id: &'static str,
+    /// One-line summary of the invariant.
+    pub summary: &'static str,
+}
+
+/// Every enforced rule.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "hash-collections",
+        summary: "no HashMap/HashSet in abd-core or abd-simnet non-test code",
+    },
+    RuleInfo {
+        id: "wall-clock",
+        summary: "no Instant/SystemTime in core/simnet/runtime/shmem; use abd_core::clock::Clock",
+    },
+    RuleInfo {
+        id: "panic-in-handler",
+        summary: "no unwrap/expect/panic! inside protocol message handlers",
+    },
+    RuleInfo {
+        id: "wildcard-msg-match",
+        summary: "on_message must match every Msg variant without a `_ =>` arm",
+    },
+    RuleInfo {
+        id: "raw-quorum-arith",
+        summary: "no open-coded `/ 2` or `div_ceil(2)` outside crates/core/src/quorum.rs",
+    },
+];
+
+/// Handler functions whose bodies form the protocol message path.
+pub const HANDLER_FNS: &[&str] = &[
+    "on_start",
+    "on_invoke",
+    "on_message",
+    "on_timer",
+    "node_main",
+    "apply_effects",
+    "delayer_main",
+];
+
+/// Runs every rule over one file.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    hash_collections(file, &mut out);
+    wall_clock(file, &mut out);
+    panic_in_handler(file, &mut out);
+    wildcard_msg_match(file, &mut out);
+    raw_quorum_arith(file, &mut out);
+    out
+}
+
+/// Whether any rule applies to `rel` at all. Allow directives are only
+/// parsed (and mis-parses only reported) inside this scope, so prose *about*
+/// directives — in this crate's own docs, for instance — is not linted.
+pub fn in_lint_scope(rel: &str) -> bool {
+    in_crates(rel, &["core", "simnet", "runtime", "shmem", "kv"])
+}
+
+/// Whether `rel` lives in one of the named workspace crates.
+fn in_crates(rel: &str, names: &[&str]) -> bool {
+    names.iter().any(|n| {
+        rel.strip_prefix("crates/")
+            .and_then(|r| r.strip_prefix(n))
+            .is_some_and(|r| r.starts_with('/'))
+    })
+}
+
+fn finding(file: &SourceFile, rule: &'static str, offset: usize, message: String) -> Finding {
+    Finding {
+        rule,
+        file: file.rel.clone(),
+        line: file.line_of(offset),
+        message,
+    }
+}
+
+/// `hash-collections`: unordered maps/sets in deterministic code.
+fn hash_collections(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_crates(&file.rel, &["core", "simnet"]) {
+        return;
+    }
+    for word in ["HashMap", "HashSet"] {
+        for pos in ident_occurrences(&file.clean, word) {
+            if file.in_test_code(pos) {
+                continue;
+            }
+            out.push(finding(
+                file,
+                "hash-collections",
+                pos,
+                format!(
+                    "`{word}` iterates in arbitrary order, which leaks nondeterminism into \
+                     protocol executions; use `BTree{}` instead",
+                    &word[4..]
+                ),
+            ));
+        }
+    }
+}
+
+/// `wall-clock`: raw OS time sources. Applies to test code too — tests that
+/// read real time flake; they should drive a `ManualClock`.
+fn wall_clock(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_crates(&file.rel, &["core", "simnet", "runtime", "shmem"]) {
+        return;
+    }
+    for word in ["Instant", "SystemTime"] {
+        for pos in ident_occurrences(&file.clean, word) {
+            out.push(finding(
+                file,
+                "wall-clock",
+                pos,
+                format!(
+                    "`{word}` is a nondeterministic time source; inject an \
+                     `abd_core::clock::Clock` (ManualClock/TickClock in tests, \
+                     MonotonicClock at the runtime edge) instead"
+                ),
+            ));
+        }
+    }
+}
+
+/// Byte offset of the first non-whitespace byte at or after `from`.
+fn skip_ws(bytes: &[u8], mut from: usize) -> usize {
+    while from < bytes.len() && bytes[from].is_ascii_whitespace() {
+        from += 1;
+    }
+    from
+}
+
+/// Byte offset of the last non-whitespace byte strictly before `before`,
+/// if any.
+fn prev_non_ws(bytes: &[u8], before: usize) -> Option<usize> {
+    (0..before).rev().find(|&i| !bytes[i].is_ascii_whitespace())
+}
+
+/// `(name, open_brace, close_brace)` for every handler-function body in the
+/// file. Trait method *declarations* (`fn on_message(...);`) are skipped.
+fn handler_bodies(file: &SourceFile) -> Vec<(&'static str, usize, usize)> {
+    let bytes = file.clean.as_bytes();
+    let mut bodies = Vec::new();
+    for &name in HANDLER_FNS {
+        for pos in ident_occurrences(&file.clean, name) {
+            // The identifier must be introduced by `fn`.
+            let is_fn = prev_non_ws(bytes, pos).is_some_and(|e| {
+                e >= 1
+                    && bytes[e - 1] == b'f'
+                    && bytes[e] == b'n'
+                    && (e < 2 || !is_ident_byte(bytes[e - 2]))
+            });
+            if !is_fn {
+                continue;
+            }
+            let Some(open) = (pos..bytes.len()).find(|&i| bytes[i] == b'{' || bytes[i] == b';')
+            else {
+                continue;
+            };
+            if bytes[open] == b';' {
+                continue; // trait declaration, no body
+            }
+            bodies.push((name, open, match_brace(bytes, open)));
+        }
+    }
+    bodies
+}
+
+/// `panic-in-handler`: aborts on the message path.
+fn panic_in_handler(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_crates(&file.rel, &["core", "runtime", "kv"]) {
+        return;
+    }
+    let bytes = file.clean.as_bytes();
+    for (name, open, close) in handler_bodies(file) {
+        if file.in_test_code(open) {
+            continue;
+        }
+        let body = &file.clean[open..=close];
+        for word in ["unwrap", "expect"] {
+            for rel_pos in ident_occurrences(body, word) {
+                let pos = open + rel_pos;
+                let dotted = prev_non_ws(bytes, pos).is_some_and(|i| bytes[i] == b'.');
+                let called = bytes.get(skip_ws(bytes, pos + word.len())) == Some(&b'(');
+                if dotted && called {
+                    out.push(finding(
+                        file,
+                        "panic-in-handler",
+                        pos,
+                        format!(
+                            "`.{word}(…)` inside `{name}` can take a replica down on a \
+                             malformed or stale message; return early or propagate an error"
+                        ),
+                    ));
+                }
+            }
+        }
+        for rel_pos in ident_occurrences(body, "panic") {
+            let pos = open + rel_pos;
+            if bytes.get(pos + "panic".len()) == Some(&b'!') {
+                out.push(finding(
+                    file,
+                    "panic-in-handler",
+                    pos,
+                    format!(
+                        "`panic!` inside `{name}` turns a protocol-level surprise into a \
+                         crash; handle the case or drop the message"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `wildcard-msg-match`: a `_ =>` arm in the top-level `match` on `msg`
+/// inside `on_message` silently swallows new message variants.
+fn wildcard_msg_match(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_crates(&file.rel, &["core", "runtime", "kv", "simnet"]) {
+        return;
+    }
+    let bytes = file.clean.as_bytes();
+    for (name, open, close) in handler_bodies(file) {
+        if name != "on_message" || file.in_test_code(open) {
+            continue;
+        }
+        // Find `match` keywords at statement level of the body (depth 1
+        // relative to the body's own brace).
+        let mut depth = 0usize;
+        let mut i = open;
+        while i <= close {
+            match bytes[i] {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                b'm' if depth == 1
+                    && file.clean[i..].starts_with("match")
+                    && is_ident_at(&file.clean, i, "match") =>
+                {
+                    let Some(arms_open) =
+                        (i..=close).find(|&j| bytes[j] == b'{' && scrutinee_depth_ok(bytes, i, j))
+                    else {
+                        break;
+                    };
+                    let arms_close = match_brace(bytes, arms_open);
+                    let scrutinee = &file.clean[i + "match".len()..arms_open];
+                    if ident_occurrences(scrutinee, "msg").is_empty() {
+                        i = arms_open; // unrelated match; resume depth tracking at its brace
+                        continue;
+                    }
+                    if let Some(w) = wildcard_arm(bytes, &file.clean, arms_open, arms_close) {
+                        out.push(finding(
+                            file,
+                            "wildcard-msg-match",
+                            w,
+                            "`_ =>` in the top-level `match msg` of `on_message` swallows \
+                             message variants silently; enumerate every variant so new \
+                             messages fail to compile until handled"
+                                .to_string(),
+                        ));
+                    }
+                    // Skip past this match entirely; depth is unchanged
+                    // across a balanced region.
+                    i = arms_close + 1;
+                    continue;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+}
+
+/// The `{` at `open` belongs to the match whose keyword is at `kw` only if
+/// no *other* brace opened in between (e.g. a struct literal in the
+/// scrutinee, which cannot occur without parentheses in Rust).
+fn scrutinee_depth_ok(bytes: &[u8], kw: usize, open: usize) -> bool {
+    bytes[kw..open].iter().all(|&b| b != b'{' && b != b'}')
+}
+
+/// Offset of a bare `_ =>` arm at the arm level of the match braces.
+fn wildcard_arm(bytes: &[u8], clean: &str, arms_open: usize, arms_close: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for i in arms_open..=arms_close {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => depth -= 1,
+            b'_' if depth == 1 && is_ident_at(clean, i, "_") => {
+                let j = skip_ws(bytes, i + 1);
+                if bytes.get(j) == Some(&b'=') && bytes.get(j + 1) == Some(&b'>') {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `raw-quorum-arith`: open-coded majority arithmetic.
+fn raw_quorum_arith(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_crates(&file.rel, &["core", "kv"]) || file.rel == "crates/core/src/quorum.rs" {
+        return;
+    }
+    let bytes = file.clean.as_bytes();
+    const MSG: &str = "open-coded majority arithmetic; use \
+                       `abd_core::quorum::majority_threshold` or `masking_threshold` \
+                       (crates/core/src/quorum.rs) so the threshold is checked once";
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'/' {
+            continue;
+        }
+        // Division by the literal 2: `/ 2` with nothing making the 2 part of
+        // a longer number (20, 2.0) or an identifier.
+        let j = skip_ws(bytes, i + 1);
+        if bytes.get(j) == Some(&b'2')
+            && !bytes
+                .get(j + 1)
+                .is_some_and(|&n| is_ident_byte(n) || n == b'.')
+            && !file.in_test_code(i)
+        {
+            out.push(finding(
+                file,
+                "raw-quorum-arith",
+                i,
+                format!("`/ 2`: {MSG}"),
+            ));
+        }
+    }
+    for pos in ident_occurrences(&file.clean, "div_ceil") {
+        if file.in_test_code(pos) {
+            continue;
+        }
+        let mut j = skip_ws(bytes, pos + "div_ceil".len());
+        if bytes.get(j) == Some(&b'(') {
+            j = skip_ws(bytes, j + 1);
+            if bytes.get(j) == Some(&b'2') && bytes.get(skip_ws(bytes, j + 1)) == Some(&b')') {
+                out.push(finding(
+                    file,
+                    "raw-quorum-arith",
+                    pos,
+                    format!("`div_ceil(2)`: {MSG}"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(rel: &str, src: &str) -> Vec<Finding> {
+        check_file(&SourceFile::new(rel.into(), src))
+    }
+
+    #[test]
+    fn scope_is_path_prefix_exact() {
+        assert!(in_crates("crates/core/src/a.rs", &["core"]));
+        assert!(!in_crates("crates/core2/src/a.rs", &["core"]));
+        assert!(!in_crates("crates/lincheck/src/a.rs", &["core"]));
+    }
+
+    #[test]
+    fn hash_in_core_flagged_but_not_in_tests_or_elsewhere() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod tests { use std::collections::HashSet; fn t() {} }\n";
+        let f = check("crates/core/src/a.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "hash-collections").count(), 1);
+        assert_eq!(f[0].line, 1);
+        assert!(check("crates/lincheck/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_applies_to_tests_too() {
+        let src = "#[cfg(test)]\nmod tests { use std::time::Instant; }\n";
+        let f = check("crates/runtime/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn unwrap_in_handler_flagged_outside_not() {
+        let src =
+            "fn on_message(&mut self) { self.x.unwrap(); }\nfn helper() { self.x.unwrap(); }\n";
+        let f = check("crates/core/src/a.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "panic-in-handler").count(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_and_expect_err_do_not_count() {
+        let src = "fn on_timer(&mut self) { let a = x.unwrap_or(0); let b = y.expect_err(z); }\n";
+        assert!(check("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trait_declaration_has_no_body_to_flag() {
+        let src = "trait P { fn on_message(&mut self); }\nfn f() { x.unwrap(); }\n";
+        assert!(check("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wildcard_top_level_flagged_nested_allowed() {
+        let flagged = "fn on_message(&mut self, msg: M) { match msg { M::A => {} _ => {} } }\n";
+        let f = check("crates/core/src/a.rs", flagged);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wildcard-msg-match");
+        let nested = "fn on_message(&mut self, msg: M) { match msg { M::A => { match p { Some(x) => x, _ => 0 }; } M::B => {} } }\n";
+        assert!(check("crates/core/src/a.rs", nested).is_empty());
+    }
+
+    #[test]
+    fn tuple_wildcards_are_not_bare_arms() {
+        let src =
+            "fn on_message(&mut self, msg: M) { match msg { M::A(_, x) => {} M::B(_) => {} } }\n";
+        assert!(check("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn match_on_other_scrutinee_is_ignored() {
+        let src = "fn on_message(&mut self, msg: M) { match self.mode { Mode::X => {} _ => {} } match msg { M::A => {} } }\n";
+        assert!(check("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn quorum_arith_flagged_except_in_quorum_rs() {
+        let src =
+            "fn q(n: usize) -> usize { n / 2 + 1 }\nfn c(n: usize) -> usize { n.div_ceil(2) }\n";
+        let f = check("crates/kv/src/a.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "raw-quorum-arith").count(), 2);
+        assert!(check("crates/core/src/quorum.rs", src).is_empty());
+    }
+
+    #[test]
+    fn division_by_larger_literals_is_fine() {
+        let src = "fn f(n: usize) -> usize { n / 20 + n / 256 }\n";
+        assert!(check("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src = "// quorums are ceil((n+1) / 2)\nfn f() { let s = \"HashMap Instant / 2\"; }\n";
+        assert!(check("crates/core/src/a.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Directory walking and per-file orchestration.
+
+use crate::allow::Allows;
+use crate::report::Finding;
+use crate::rules::check_file;
+use crate::source::SourceFile;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, vendored stubs,
+/// lint fixtures (which are violations *on purpose*), and VCS metadata.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git"];
+
+/// Lints every `.rs` file under `root` and returns the surviving findings,
+/// sorted by `(file, line, rule)`. Allow directives with a justification
+/// suppress their findings; malformed directives are reported as
+/// `bad-allow`.
+pub fn scan_root(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let text = fs::read_to_string(&path)?;
+        findings.extend(lint_source(rel, &text));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Lints one file's text under its workspace-relative path. Exposed so
+/// tests can lint in-memory sources without touching the filesystem.
+pub fn lint_source(rel: String, text: &str) -> Vec<Finding> {
+    let file = SourceFile::new(rel, text);
+    let allows = Allows::collect(&file);
+    let mut findings: Vec<Finding> = check_file(&file)
+        .into_iter()
+        .filter(|f| !allows.suppresses(f.rule, f.line))
+        .collect();
+    findings.extend(allows.problems);
+    findings
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_with_justification_suppresses() {
+        let src = "// abd-lint: allow(hash-collections): deterministic seed, test-only cache.\nuse std::collections::HashMap;\n";
+        assert!(lint_source("crates/core/src/a.rs".into(), src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_reports_and_keeps_finding() {
+        let src = "use std::collections::HashMap; // abd-lint: allow(hash-collections)\n";
+        let f = lint_source("crates/core/src/a.rs".into(), src);
+        let rules: Vec<&str> = f.iter().map(|f| f.rule).collect();
+        assert!(
+            rules.contains(&"hash-collections"),
+            "original finding must survive: {rules:?}"
+        );
+        assert!(
+            rules.contains(&"bad-allow"),
+            "malformed allow must be reported: {rules:?}"
+        );
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src = "use std::collections::HashMap; // abd-lint: allow(wall-clock): wrong rule\n";
+        let f = lint_source("crates/core/src/a.rs".into(), src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "hash-collections");
+    }
+}

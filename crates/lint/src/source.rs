@@ -1,0 +1,370 @@
+//! Source loading and the comment/string-stripping scanner.
+//!
+//! The rules pattern-match over a **cleaned** view of each file in which
+//! every comment and every string/char literal has been replaced by spaces
+//! (newlines preserved), so `"HashMap"` in a doc comment or a format
+//! string never trips a rule. The raw text is kept alongside for parsing
+//! `abd-lint: allow(...)` directives, which live *in* comments.
+
+/// One Rust source file prepared for linting.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the scan root, with `/` separators.
+    pub rel: String,
+    /// Raw lines, exactly as on disk.
+    pub raw: Vec<String>,
+    /// Cleaned text as one flat string (comments/literals blanked).
+    pub clean: String,
+    /// Byte offset of the start of each line in `clean`.
+    pub line_starts: Vec<usize>,
+    /// Whether each line (0-based) is inside a `#[cfg(test)]` region.
+    pub test_lines: Vec<bool>,
+    /// Whether the whole file is test/bench/example code by location.
+    pub is_test_file: bool,
+}
+
+impl SourceFile {
+    /// Prepares a file for linting.
+    pub fn new(rel: String, text: &str) -> SourceFile {
+        let raw: Vec<String> = text.lines().map(str::to_owned).collect();
+        let clean = clean_source(text);
+        let mut line_starts = vec![0usize];
+        for (i, b) in clean.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let is_test_file = rel
+            .split('/')
+            .any(|c| c == "tests" || c == "benches" || c == "examples");
+        let test_lines = mark_test_regions(&clean, &line_starts, raw.len());
+        SourceFile {
+            rel,
+            raw,
+            clean,
+            line_starts,
+            test_lines,
+            is_test_file,
+        }
+    }
+
+    /// Maps a byte offset in `clean` to a 1-based line number.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i, // insertion point i means the offset is on line i (1-based)
+        }
+    }
+
+    /// Whether the byte offset falls in test code (a `#[cfg(test)]` region
+    /// or a tests/benches/examples file).
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        if self.is_test_file {
+            return true;
+        }
+        let line = self.line_of(offset);
+        self.test_lines.get(line - 1).copied().unwrap_or(false)
+    }
+}
+
+/// Replaces the contents of comments and string/char literals with spaces,
+/// preserving line structure. Handles line and (nested) block comments,
+/// ordinary and raw strings (`r"…"`, `r#"…"#`, byte variants), char
+/// literals, and distinguishes `'a` lifetimes from `'a'` literals.
+pub fn clean_source(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    // Pushes the blanked form of one source char.
+    fn blank(out: &mut String, c: char) {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+    while i < b.len() {
+        let c = b[i];
+        match st {
+            St::Code => {
+                let prev_ident = out
+                    .chars()
+                    .next_back()
+                    .is_some_and(|p| p.is_alphanumeric() || p == '_');
+                if c == '/' && b.get(i + 1) == Some(&'/') {
+                    st = St::Line;
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                    st = St::Block(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Str;
+                    out.push(' ');
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_ident {
+                    // Possible raw/byte string prefix: r"…", r#"…"#, b"…",
+                    // br#"…"#. Scan the candidate prefix.
+                    let mut j = i + 1;
+                    let mut is_raw = c == 'r';
+                    if c == 'b' && b.get(j) == Some(&'r') {
+                        is_raw = true;
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    if is_raw {
+                        while b.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                    }
+                    if b.get(j) == Some(&'"') {
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                        st = if is_raw { St::RawStr(hashes) } else { St::Str };
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    if b.get(i + 1) == Some(&'\\')
+                        || (b.get(i + 2) == Some(&'\'') && b.get(i + 1) != Some(&'\''))
+                    {
+                        st = St::Char;
+                        out.push(' ');
+                        i += 1;
+                    } else {
+                        out.push('\''); // lifetime
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            St::Line => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    blank(&mut out, c);
+                }
+                i += 1;
+            }
+            St::Block(depth) => {
+                if c == '/' && b.get(i + 1) == Some(&'*') {
+                    st = St::Block(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '*' && b.get(i + 1) == Some(&'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::Block(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    blank(&mut out, c);
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    blank(&mut out, c);
+                    if let Some(&e) = b.get(i + 1) {
+                        blank(&mut out, e);
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    blank(&mut out, c);
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' && (0..hashes).all(|k| b.get(i + 1 + k) == Some(&'#')) {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes;
+                    st = St::Code;
+                } else {
+                    blank(&mut out, c);
+                    i += 1;
+                }
+            }
+            St::Char => {
+                if c == '\\' {
+                    blank(&mut out, c);
+                    if let Some(&e) = b.get(i + 1) {
+                        blank(&mut out, e);
+                    }
+                    i += 2;
+                } else if c == '\'' {
+                    st = St::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    blank(&mut out, c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Marks every line covered by a `#[cfg(test)]` attribute's item (the
+/// following brace-delimited block) as test code.
+fn mark_test_regions(clean: &str, line_starts: &[usize], n_lines: usize) -> Vec<bool> {
+    let mut flags = vec![false; n_lines];
+    let bytes = clean.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = find_at(clean, "#[cfg(test)]", from) {
+        from = pos + 1;
+        let Some(open) = bytes[pos..]
+            .iter()
+            .position(|&b| b == b'{')
+            .map(|o| pos + o)
+        else {
+            continue;
+        };
+        let close = match_brace(bytes, open);
+        let (a, b) = (line_index(line_starts, pos), line_index(line_starts, close));
+        for f in flags.iter_mut().take((b + 1).min(n_lines)).skip(a) {
+            *f = true;
+        }
+    }
+    flags
+}
+
+/// 0-based line index of a byte offset.
+fn line_index(line_starts: &[usize], offset: usize) -> usize {
+    match line_starts.binary_search(&offset) {
+        Ok(i) => i,
+        Err(i) => i - 1,
+    }
+}
+
+/// `str::find` starting at `from`.
+fn find_at(hay: &str, needle: &str, from: usize) -> Option<usize> {
+    hay.get(from..)
+        .and_then(|h| h.find(needle))
+        .map(|p| p + from)
+}
+
+/// Byte offset of the `}` matching the `{` at `open` (or end of input if
+/// unbalanced). `bytes` must be cleaned text, so literal braces in strings
+/// cannot confuse the count.
+pub fn match_brace(bytes: &[u8], open: usize) -> usize {
+    debug_assert_eq!(bytes[open], b'{');
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    bytes.len().saturating_sub(1)
+}
+
+/// Whether the byte at `pos` starts a standalone identifier `word`
+/// (neighbours are not identifier characters).
+pub fn is_ident_at(clean: &str, pos: usize, word: &str) -> bool {
+    let bytes = clean.as_bytes();
+    let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+    let end = pos + word.len();
+    let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+    before_ok && after_ok
+}
+
+/// Identifier-character test for ASCII bytes.
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// All offsets where `word` occurs as a standalone identifier.
+pub fn ident_occurrences(clean: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find_at(clean, word, from) {
+        if is_ident_at(clean, pos, word) {
+            out.push(pos);
+        }
+        from = pos + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"HashMap\"; // HashMap here\nlet y = 1; /* Instant */\n";
+        let c = clean_source(src);
+        assert!(!c.contains("HashMap"));
+        assert!(!c.contains("Instant"));
+        assert!(c.contains("let x ="));
+        assert_eq!(c.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_lifetimes_survive() {
+        let src = "fn f<'a>(s: &'a str) { let r = r#\"Instant\"#; let c = '\\n'; let q = 'x'; }";
+        let c = clean_source(src);
+        assert!(!c.contains("Instant"));
+        assert!(c.contains("<'a>"), "lifetime was mangled: {c}");
+        assert!(!c.contains('x'), "char literal content leaked");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let c = clean_source(src);
+        assert!(c.contains('a') && c.contains('b'));
+        assert!(!c.contains("inner") && !c.contains("still"));
+    }
+
+    #[test]
+    fn test_region_marking() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = SourceFile::new("crates/core/src/x.rs".into(), src);
+        assert!(!f.test_lines[0]);
+        assert!(f.test_lines[1] && f.test_lines[2] && f.test_lines[3] && f.test_lines[4]);
+        assert!(!f.test_lines[5]);
+    }
+
+    #[test]
+    fn tests_dir_is_test_file() {
+        let f = SourceFile::new("crates/core/tests/x.rs".into(), "fn a() {}\n");
+        assert!(f.in_test_code(0));
+    }
+
+    #[test]
+    fn ident_occurrence_boundaries() {
+        let c = "HashMap HashMapX XHashMap my_HashMap HashMap";
+        let occ = ident_occurrences(c, "HashMap");
+        assert_eq!(occ.len(), 2);
+    }
+}

@@ -29,7 +29,9 @@ where
     V: Clone + Debug + Send + 'static,
 {
     Cluster::spawn(
-        (0..n).map(|i| KvNode::new(KvConfig::new(n, ProcessId(i)))).collect(),
+        (0..n)
+            .map(|i| KvNode::new(KvConfig::new(n, ProcessId(i))))
+            .collect(),
         jitter,
     )
 }
@@ -96,7 +98,10 @@ where
     /// `put` with a timeout. Returns `false` on timeout (the put may still
     /// take effect later).
     pub fn try_put_for(&self, key: K, value: V, timeout: Duration) -> bool {
-        matches!(self.inner.try_invoke_for(KvOp::Put(key, value), timeout), Some(KvResp::PutOk))
+        matches!(
+            self.inner.try_invoke_for(KvOp::Put(key, value), timeout),
+            Some(KvResp::PutOk)
+        )
     }
 
     /// The underlying untyped client.
@@ -129,7 +134,11 @@ where
     /// Views keys `0..len` of the store as registers initialized to
     /// `initial`.
     pub fn new(client: KvStoreClient<u64, V>, len: usize, initial: V) -> Self {
-        KvRegisterArray { client, len, initial }
+        KvRegisterArray {
+            client,
+            len,
+            initial,
+        }
     }
 }
 
@@ -143,7 +152,9 @@ where
 
     fn read(&mut self, i: usize) -> V {
         assert!(i < self.len, "register index {i} out of range");
-        self.client.get(i as u64).unwrap_or_else(|| self.initial.clone())
+        self.client
+            .get(i as u64)
+            .unwrap_or_else(|| self.initial.clone())
     }
 
     fn write(&mut self, i: usize, v: V) {
@@ -179,8 +190,7 @@ mod tests {
         let n_procs = 3;
         let mut joins = Vec::new();
         for p in 0..n_procs {
-            let arr =
-                KvRegisterArray::new(KvStoreClient::new(cluster.client(p)), n_procs, 0u64);
+            let arr = KvRegisterArray::new(KvStoreClient::new(cluster.client(p)), n_procs, 0u64);
             joins.push(std::thread::spawn(move || {
                 let mut c = Counter::new(p, arr);
                 for _ in 0..10 {
@@ -221,9 +231,8 @@ mod tests {
     #[test]
     fn shmem_maxreg_over_message_passing() {
         let cluster = spawn_kv_cluster::<u64, u64>(3, Jitter::None);
-        let mk = |node: usize| {
-            KvRegisterArray::new(KvStoreClient::new(cluster.client(node)), 3, 0u64)
-        };
+        let mk =
+            |node: usize| KvRegisterArray::new(KvStoreClient::new(cluster.client(node)), 3, 0u64);
         let mut a = MaxRegister::new(0, mk(0));
         let mut b = MaxRegister::new(1, mk(1));
         a.write_max(100);
@@ -236,6 +245,9 @@ mod tests {
         let cluster = spawn_kv_cluster::<String, u64>(3, Jitter::None);
         let kv = KvStoreClient::new(cluster.client(0));
         assert!(kv.try_put_for("k".into(), 1, Duration::from_secs(5)));
-        assert_eq!(kv.try_get_for("k".into(), Duration::from_secs(5)), Some(Some(1)));
+        assert_eq!(
+            kv.try_get_for("k".into(), Duration::from_secs(5)),
+            Some(Some(1))
+        );
     }
 }

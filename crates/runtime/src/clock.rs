@@ -1,0 +1,57 @@
+//! The runtime's wall-clock implementation of [`Clock`].
+//!
+//! This file is the **only** place in the workspace allowed to touch
+//! `std::time::Instant`: everything else in the runtime computes deadlines
+//! in `Nanos` through an injected `Arc<dyn Clock>`, so tests can substitute
+//! [`ManualClock`](abd_core::clock::ManualClock) and the `abd-lint`
+//! `wall-clock` rule can pin nondeterministic time to one audited site.
+
+pub use abd_core::clock::{Clock, ManualClock, TickClock};
+
+use abd_core::types::Nanos;
+// abd-lint: allow(wall-clock): MonotonicClock is the one sanctioned bridge
+// from OS time to the Clock abstraction; all other runtime code takes a
+// Clock and stays testable with ManualClock.
+use std::time::Instant;
+
+/// Real monotone time, anchored at the moment the clock was created.
+#[derive(Clone, Copy, Debug)]
+pub struct MonotonicClock {
+    epoch: Instant, // abd-lint: allow(wall-clock): see module header
+}
+
+impl MonotonicClock {
+    /// A wall clock whose epoch is "now".
+    pub fn new() -> Self {
+        // abd-lint: allow(wall-clock): the single Instant::now() read that
+        // anchors the runtime's timebase.
+        let epoch = Instant::now();
+        MonotonicClock { epoch }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Nanos {
+        self.epoch.elapsed().as_nanos() as Nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_moves_forward() {
+        let c = MonotonicClock::new();
+        let a = c.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = c.now();
+        assert!(b > a, "clock did not advance: {a} -> {b}");
+    }
+}

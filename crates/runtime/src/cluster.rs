@@ -7,6 +7,7 @@
 //! the demonstration that the sans-io core runs on a real concurrent
 //! transport, and it is what the wall-clock criterion benchmarks measure.
 
+use crate::clock::{Clock, MonotonicClock};
 use crate::delay::Delayer;
 use abd_core::context::{Effects, Protocol, TimerCmd, TimerKey};
 use abd_core::types::{Nanos, OpId, ProcessId};
@@ -16,7 +17,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Network latency injected by the runtime router.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -36,7 +37,11 @@ pub enum Jitter {
 
 /// Commands a node thread accepts besides network messages.
 enum Cmd<P: Protocol> {
-    Invoke { op: OpId, input: P::Op, reply: Sender<P::Resp> },
+    Invoke {
+        op: OpId,
+        input: P::Op,
+        reply: Sender<P::Resp>,
+    },
     Crash,
     Shutdown,
 }
@@ -67,7 +72,7 @@ pub struct Cluster<P: Protocol> {
     cmd_txs: Vec<Sender<Cmd<P>>>,
     handles: Vec<JoinHandle<()>>,
     next_op: Arc<AtomicU64>,
-    epoch: Instant,
+    clock: Arc<dyn Clock>,
     _delayer: Option<Delayer<(ProcessId, ProcessId, P::Msg)>>,
 }
 
@@ -98,12 +103,17 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
             Jitter::None => None,
             Jitter::Uniform { lo, hi } => {
                 let txs = net_txs.clone();
-                Some(Delayer::spawn(lo, hi, move |(from, to, msg): (ProcessId, ProcessId, P::Msg)| {
-                    let _ = txs[to.index()].send((from, msg));
-                }))
+                Some(Delayer::spawn(
+                    lo,
+                    hi,
+                    move |(from, to, msg): (ProcessId, ProcessId, P::Msg)| {
+                        let _ = txs[to.index()].send((from, msg));
+                    },
+                ))
             }
         };
 
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
         let mut handles = Vec::with_capacity(n);
         for (i, node) in nodes.into_iter().enumerate() {
             debug_assert_eq!(node.id(), ProcessId(i), "node {i} has wrong id");
@@ -111,10 +121,11 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
             let cmd_rx = cmd_rxs.remove(0);
             let net_txs = net_txs.clone();
             let delay_tx = delayer.as_ref().map(Delayer::sender);
+            let clock = Arc::clone(&clock);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("abd-node-{i}"))
-                    .spawn(move || node_main(node, net_rx, cmd_rx, net_txs, delay_tx))
+                    .spawn(move || node_main(node, net_rx, cmd_rx, net_txs, delay_tx, clock))
                     .expect("spawn node thread"),
             );
         }
@@ -122,7 +133,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
             cmd_txs,
             handles,
             next_op: Arc::new(AtomicU64::new(0)),
-            epoch: Instant::now(),
+            clock,
             _delayer: delayer,
         }
     }
@@ -132,9 +143,10 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
         self.cmd_txs.len()
     }
 
-    /// The instant all client timing measurements are relative to.
-    pub fn epoch(&self) -> Instant {
-        self.epoch
+    /// The clock all client timing measurements are read from; its epoch is
+    /// the moment the cluster was spawned.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// A blocking client bound to node `i`. Clients are cheap to create and
@@ -144,7 +156,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
             node: ProcessId(i),
             cmd_tx: self.cmd_txs[i].clone(),
             next_op: Arc::clone(&self.next_op),
-            epoch: self.epoch,
+            clock: Arc::clone(&self.clock),
         }
     }
 
@@ -173,7 +185,7 @@ pub struct Client<P: Protocol> {
     node: ProcessId,
     cmd_tx: Sender<Cmd<P>>,
     next_op: Arc<AtomicU64>,
-    epoch: Instant,
+    clock: Arc<dyn Clock>,
 }
 
 impl<P: Protocol> Clone for Client<P> {
@@ -182,7 +194,7 @@ impl<P: Protocol> Clone for Client<P> {
             node: self.node,
             cmd_tx: self.cmd_tx.clone(),
             next_op: Arc::clone(&self.next_op),
-            epoch: self.epoch,
+            clock: Arc::clone(&self.clock),
         }
     }
 }
@@ -210,7 +222,13 @@ impl<P: Protocol> Client<P> {
     pub fn try_invoke_for(&self, input: P::Op, timeout: Duration) -> Option<P::Resp> {
         let op = OpId(self.next_op.fetch_add(1, Ordering::Relaxed));
         let (reply_tx, reply_rx) = bounded(1);
-        self.cmd_tx.send(Cmd::Invoke { op, input, reply: reply_tx }).ok()?;
+        self.cmd_tx
+            .send(Cmd::Invoke {
+                op,
+                input,
+                reply: reply_tx,
+            })
+            .ok()?;
         reply_rx.recv_timeout(timeout).ok()
     }
 
@@ -218,9 +236,9 @@ impl<P: Protocol> Client<P> {
     /// `[start, end]` interval in nanoseconds since the cluster epoch — the
     /// format `abd-lincheck` histories use.
     pub fn invoke_timed(&self, input: P::Op) -> (P::Resp, u64, u64) {
-        let start = self.epoch.elapsed().as_nanos() as u64;
+        let start = self.clock.now();
         let resp = self.invoke(input);
-        let end = self.epoch.elapsed().as_nanos() as u64;
+        let end = self.clock.now();
         (resp, start, end)
     }
 }
@@ -232,24 +250,36 @@ fn node_main<P: Protocol>(
     cmd_rx: Receiver<Cmd<P>>,
     net_txs: Vec<Sender<(ProcessId, P::Msg)>>,
     delay_tx: Option<Sender<(ProcessId, ProcessId, P::Msg)>>,
+    clock: Arc<dyn Clock>,
 ) {
     let me = node.id();
     let mut waiting: HashMap<OpId, Sender<P::Resp>> = HashMap::new();
-    // Timer wheel: key -> deadline. Small (a handful of phases), so a map
-    // scan per iteration is fine.
-    let mut timers: HashMap<TimerKey, Instant> = HashMap::new();
+    // Timer wheel: key -> deadline in clock nanos. Small (a handful of
+    // phases), so a map scan per iteration is fine.
+    let mut timers: HashMap<TimerKey, Nanos> = HashMap::new();
     let mut crashed = false;
 
     let mut fx: Effects<P::Msg, P::Resp> = Effects::new();
     node.on_start(&mut fx);
-    apply_effects(me, &mut node, fx, &net_txs, &delay_tx, &mut timers, &mut waiting);
+    apply_effects(
+        me,
+        &mut node,
+        fx,
+        &net_txs,
+        &delay_tx,
+        &clock,
+        &mut timers,
+        &mut waiting,
+    );
 
     loop {
-        // Next timer deadline, if any.
-        let now = Instant::now();
+        // Next timer deadline, if any. Waits are capped so the loop re-reads
+        // the clock often enough even when it is a hand-advanced test clock.
         let next_deadline = timers.values().min().copied();
         let timeout = match next_deadline {
-            Some(d) if !crashed => d.saturating_duration_since(now),
+            Some(d) if !crashed => {
+                Duration::from_nanos(d.saturating_sub(clock.now())).min(Duration::from_millis(50))
+            }
             _ => Duration::from_millis(50),
         };
 
@@ -258,7 +288,7 @@ fn node_main<P: Protocol>(
                 Ok((from, m)) if !crashed => {
                     let mut fx = Effects::new();
                     node.on_message(from, m, &mut fx);
-                    apply_effects(me, &mut node, fx, &net_txs, &delay_tx, &mut timers, &mut waiting);
+                    apply_effects(me, &mut node, fx, &net_txs, &delay_tx, &clock, &mut timers, &mut waiting);
                 }
                 Ok(_) => {} // crashed: drop silently
                 Err(_) => return,
@@ -271,7 +301,7 @@ fn node_main<P: Protocol>(
                     waiting.insert(op, reply);
                     let mut fx = Effects::new();
                     node.on_invoke(op, input, &mut fx);
-                    apply_effects(me, &mut node, fx, &net_txs, &delay_tx, &mut timers, &mut waiting);
+                    apply_effects(me, &mut node, fx, &net_txs, &delay_tx, &clock, &mut timers, &mut waiting);
                 }
                 Ok(Cmd::Crash) => crashed = true,
                 Ok(Cmd::Shutdown) | Err(_) => return,
@@ -280,14 +310,14 @@ fn node_main<P: Protocol>(
                 if crashed {
                     continue;
                 }
-                let now = Instant::now();
+                let now = clock.now();
                 let due: Vec<TimerKey> =
                     timers.iter().filter(|(_, &d)| d <= now).map(|(&k, _)| k).collect();
                 for key in due {
                     timers.remove(&key);
                     let mut fx = Effects::new();
                     node.on_timer(key, &mut fx);
-                    apply_effects(me, &mut node, fx, &net_txs, &delay_tx, &mut timers, &mut waiting);
+                    apply_effects(me, &mut node, fx, &net_txs, &delay_tx, &clock, &mut timers, &mut waiting);
                 }
             }
         }
@@ -301,7 +331,8 @@ fn apply_effects<P: Protocol>(
     fx: Effects<P::Msg, P::Resp>,
     net_txs: &[Sender<(ProcessId, P::Msg)>],
     delay_tx: &Option<Sender<(ProcessId, ProcessId, P::Msg)>>,
-    timers: &mut HashMap<TimerKey, Instant>,
+    clock: &Arc<dyn Clock>,
+    timers: &mut HashMap<TimerKey, Nanos>,
     waiting: &mut HashMap<OpId, Sender<P::Resp>>,
 ) {
     // Effects can cascade (e.g. finishing an op starts the next queued
@@ -326,7 +357,7 @@ fn apply_effects<P: Protocol>(
     for cmd in fx.timers {
         match cmd {
             TimerCmd::Set { key, after } => {
-                timers.insert(key, Instant::now() + Duration::from_nanos(after));
+                timers.insert(key, clock.now() + after);
             }
             TimerCmd::Cancel { key } => {
                 timers.remove(&key);
@@ -340,18 +371,23 @@ fn apply_effects<P: Protocol>(
     }
 }
 
+/// One recorded operation: `(client, action, start, end)`.
+pub type TimedEvent<A> = (usize, A, u64, u64);
+
 /// A shared history recorder for multi-threaded linearizability tests on
 /// the real runtime: threads append timed operations, the test extracts an
 /// `abd-lincheck`-shaped record set.
 #[derive(Clone, Debug, Default)]
 pub struct HistoryRecorder<A> {
-    events: Arc<Mutex<Vec<(usize, A, u64, u64)>>>,
+    events: Arc<Mutex<Vec<TimedEvent<A>>>>,
 }
 
 impl<A> HistoryRecorder<A> {
     /// Creates an empty recorder.
     pub fn new() -> Self {
-        HistoryRecorder { events: Arc::new(Mutex::new(Vec::new())) }
+        HistoryRecorder {
+            events: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// Records one completed action by `client` spanning `[start, end]`.
@@ -360,7 +396,7 @@ impl<A> HistoryRecorder<A> {
     }
 
     /// Takes all recorded events.
-    pub fn take(&self) -> Vec<(usize, A, u64, u64)> {
+    pub fn take(&self) -> Vec<TimedEvent<A>> {
         std::mem::take(&mut self.events.lock())
     }
 }
@@ -374,7 +410,9 @@ mod tests {
 
     fn mwmr_cluster(n: usize) -> Cluster<MwmrNode<u64>> {
         Cluster::spawn(
-            (0..n).map(|i| MwmrNode::new(MwmrConfig::new(n, ProcessId(i)), 0u64)).collect(),
+            (0..n)
+                .map(|i| MwmrNode::new(MwmrConfig::new(n, ProcessId(i)), 0u64))
+                .collect(),
             Jitter::None,
         )
     }
@@ -398,7 +436,10 @@ mod tests {
                 for k in 0..50u64 {
                     let v = (i as u64) << 32 | k;
                     assert_eq!(c.invoke(RegisterOp::Write(v)), RegisterResp::WriteOk);
-                    assert!(matches!(c.invoke(RegisterOp::Read), RegisterResp::ReadOk(_)));
+                    assert!(matches!(
+                        c.invoke(RegisterOp::Read),
+                        RegisterResp::ReadOk(_)
+                    ));
                 }
             }));
         }
@@ -414,7 +455,10 @@ mod tests {
         cluster.crash(4);
         let c = cluster.client(0);
         assert_eq!(c.invoke(RegisterOp::Write(1)), RegisterResp::WriteOk);
-        assert_eq!(cluster.client(2).invoke(RegisterOp::Read), RegisterResp::ReadOk(1));
+        assert_eq!(
+            cluster.client(2).invoke(RegisterOp::Read),
+            RegisterResp::ReadOk(1)
+        );
     }
 
     #[test]
@@ -432,22 +476,36 @@ mod tests {
         let cluster = mwmr_cluster(3);
         cluster.crash(0);
         let c = cluster.client(0);
-        assert_eq!(c.try_invoke_for(RegisterOp::Read, Duration::from_millis(200)), None);
+        assert_eq!(
+            c.try_invoke_for(RegisterOp::Read, Duration::from_millis(200)),
+            None
+        );
         // The rest of the cluster is still functional.
-        assert_eq!(cluster.client(1).invoke(RegisterOp::Read), RegisterResp::ReadOk(0));
+        assert_eq!(
+            cluster.client(1).invoke(RegisterOp::Read),
+            RegisterResp::ReadOk(0)
+        );
     }
 
     #[test]
     fn jitter_delays_but_delivers() {
         let cluster: Cluster<MwmrNode<u64>> = Cluster::spawn(
-            (0..3).map(|i| MwmrNode::new(MwmrConfig::new(3, ProcessId(i)), 0u64)).collect(),
-            Jitter::Uniform { lo: 100_000, hi: 2_000_000 },
+            (0..3)
+                .map(|i| MwmrNode::new(MwmrConfig::new(3, ProcessId(i)), 0u64))
+                .collect(),
+            Jitter::Uniform {
+                lo: 100_000,
+                hi: 2_000_000,
+            },
         );
         let c = cluster.client(0);
         let (resp, start, end) = c.invoke_timed(RegisterOp::Write(3));
         assert_eq!(resp, RegisterResp::WriteOk);
         assert!(end - start >= 200_000, "two message hops of >= 100µs each");
-        assert_eq!(cluster.client(1).invoke(RegisterOp::Read), RegisterResp::ReadOk(3));
+        assert_eq!(
+            cluster.client(1).invoke(RegisterOp::Read),
+            RegisterResp::ReadOk(3)
+        );
     }
 
     #[test]
@@ -459,7 +517,10 @@ mod tests {
             Jitter::None,
         );
         let c1 = cluster.client(1);
-        assert!(matches!(c1.invoke(RegisterOp::Write(9)), RegisterResp::Err(_)));
+        assert!(matches!(
+            c1.invoke(RegisterOp::Write(9)),
+            RegisterResp::Err(_)
+        ));
         let c0 = cluster.client(0);
         assert_eq!(c0.invoke(RegisterOp::Write(9)), RegisterResp::WriteOk);
     }
@@ -471,10 +532,16 @@ mod tests {
         let cluster: Cluster<MwmrNode<u64>> = Cluster::spawn(
             (0..3)
                 .map(|i| {
-                    MwmrNode::new(MwmrConfig::new(3, ProcessId(i)).with_retransmit(1_000_000), 0u64)
+                    MwmrNode::new(
+                        MwmrConfig::new(3, ProcessId(i)).with_retransmit(1_000_000),
+                        0u64,
+                    )
                 })
                 .collect(),
-            Jitter::Uniform { lo: 10_000, hi: 3_000_000 },
+            Jitter::Uniform {
+                lo: 10_000,
+                hi: 3_000_000,
+            },
         );
         let c = cluster.client(2);
         for k in 0..10 {

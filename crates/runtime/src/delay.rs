@@ -1,14 +1,21 @@
 //! A latency-injection thread: messages check in, wait their randomly drawn
 //! delay on a timing heap, and are handed to a delivery callback.
+//!
+//! All deadline arithmetic goes through an injected
+//! [`Clock`](abd_core::clock::Clock) — the thread never reads OS time
+//! directly, so tests can drive it with a
+//! [`ManualClock`](abd_core::clock::ManualClock).
 
+use crate::clock::{Clock, MonotonicClock};
 use abd_core::types::Nanos;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Handle to a running delayer thread. Dropping it stops the thread (any
 /// still-buffered messages are dropped — acceptable, since an asynchronous
@@ -20,10 +27,19 @@ pub struct Delayer<T> {
 }
 
 impl<T: Send + 'static> Delayer<T> {
-    /// Spawns the delayer: each item sent to [`sender`](Self::sender) is
-    /// delivered via `deliver` after a uniformly random delay in
-    /// `[lo, hi]` nanoseconds.
+    /// Spawns the delayer on real time: each item sent to
+    /// [`sender`](Self::sender) is delivered via `deliver` after a uniformly
+    /// random delay in `[lo, hi]` nanoseconds.
     pub fn spawn<F>(lo: Nanos, hi: Nanos, deliver: F) -> Self
+    where
+        F: FnMut(T) + Send + 'static,
+    {
+        Self::spawn_with_clock(lo, hi, Arc::new(MonotonicClock::new()), deliver)
+    }
+
+    /// Like [`spawn`](Self::spawn), but deadlines are computed against the
+    /// given clock.
+    pub fn spawn_with_clock<F>(lo: Nanos, hi: Nanos, clock: Arc<dyn Clock>, deliver: F) -> Self
     where
         F: FnMut(T) + Send + 'static,
     {
@@ -31,9 +47,12 @@ impl<T: Send + 'static> Delayer<T> {
         let (tx, rx) = unbounded::<T>();
         let handle = std::thread::Builder::new()
             .name("abd-delayer".into())
-            .spawn(move || delayer_main(rx, lo, hi, deliver))
+            .spawn(move || delayer_main(rx, lo, hi, clock, deliver))
             .expect("spawn delayer thread");
-        Delayer { tx, handle: Some(handle) }
+        Delayer {
+            tx,
+            handle: Some(handle),
+        }
     }
 
     /// The channel producers push messages into.
@@ -54,7 +73,7 @@ impl<T> Drop for Delayer<T> {
 }
 
 struct Waiting<T> {
-    due: Instant,
+    due: Nanos,
     seq: u64,
     item: T,
 }
@@ -76,26 +95,44 @@ impl<T> Ord for Waiting<T> {
     }
 }
 
-fn delayer_main<T, F: FnMut(T)>(rx: Receiver<T>, lo: Nanos, hi: Nanos, mut deliver: F) {
+/// Pops the earliest entry iff it is due at `now`.
+fn pop_due<T>(heap: &mut BinaryHeap<Reverse<Waiting<T>>>, now: Nanos) -> Option<T> {
+    if heap.peek().is_some_and(|Reverse(w)| w.due <= now) {
+        heap.pop().map(|Reverse(w)| w.item)
+    } else {
+        None
+    }
+}
+
+fn delayer_main<T, F: FnMut(T)>(
+    rx: Receiver<T>,
+    lo: Nanos,
+    hi: Nanos,
+    clock: Arc<dyn Clock>,
+    mut deliver: F,
+) {
     let mut rng = SmallRng::from_entropy();
     let mut heap: BinaryHeap<Reverse<Waiting<T>>> = BinaryHeap::new();
     let mut seq = 0u64;
+    // Upper bound on one blocking wait. The loop re-reads the clock every
+    // iteration, so with a manual clock that never matches real time,
+    // delivery still happens within one poll interval of the advance.
+    const MAX_WAIT: Duration = Duration::from_millis(5);
     loop {
         // Deliver everything due.
-        let now = Instant::now();
-        while heap.peek().is_some_and(|Reverse(w)| w.due <= now) {
-            let Reverse(w) = heap.pop().expect("peeked");
-            deliver(w.item);
+        let now = clock.now();
+        while let Some(item) = pop_due(&mut heap, now) {
+            deliver(item);
         }
         let timeout = heap
             .peek()
-            .map(|Reverse(w)| w.due.saturating_duration_since(Instant::now()))
+            .map(|Reverse(w)| Duration::from_nanos(w.due.saturating_sub(clock.now())).min(MAX_WAIT))
             .unwrap_or(Duration::from_millis(25));
         match rx.recv_timeout(timeout) {
             Ok(item) => {
                 let delay = if hi == lo { lo } else { rng.gen_range(lo..=hi) };
                 heap.push(Reverse(Waiting {
-                    due: Instant::now() + Duration::from_nanos(delay),
+                    due: clock.now() + delay,
                     seq,
                     item,
                 }));
@@ -103,11 +140,11 @@ fn delayer_main<T, F: FnMut(T)>(rx: Receiver<T>, lo: Nanos, hi: Nanos, mut deliv
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => {
-                // Flush what remains, then exit.
+                // Flush what remains in due order, honouring residual waits.
                 while let Some(Reverse(w)) = heap.pop() {
-                    let wait = w.due.saturating_duration_since(Instant::now());
-                    if !wait.is_zero() {
-                        std::thread::sleep(wait);
+                    let wait = w.due.saturating_sub(clock.now());
+                    if wait > 0 {
+                        std::thread::sleep(Duration::from_nanos(wait).min(MAX_WAIT));
                     }
                     deliver(w.item);
                 }
@@ -120,6 +157,7 @@ fn delayer_main<T, F: FnMut(T)>(rx: Receiver<T>, lo: Nanos, hi: Nanos, mut deliv
 #[cfg(test)]
 mod tests {
     use super::*;
+    use abd_core::clock::ManualClock;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
@@ -127,7 +165,7 @@ mod tests {
     fn delivers_everything_with_delay() {
         let count = Arc::new(AtomicUsize::new(0));
         let c = Arc::clone(&count);
-        let start = Instant::now();
+        let wall = MonotonicClock::new();
         let delayer = Delayer::spawn(1_000_000, 2_000_000, move |_: u32| {
             c.fetch_add(1, Ordering::SeqCst);
         });
@@ -136,10 +174,10 @@ mod tests {
             tx.send(i).unwrap();
         }
         while count.load(Ordering::SeqCst) < 100 {
-            assert!(start.elapsed() < Duration::from_secs(10), "delayer stalled");
+            assert!(wall.now() < 10_000_000_000, "delayer stalled");
             std::thread::yield_now();
         }
-        assert!(start.elapsed() >= Duration::from_millis(1), "some delay was injected");
+        assert!(wall.now() >= 1_000_000, "some delay was injected");
     }
 
     #[test]
@@ -151,9 +189,9 @@ mod tests {
         for i in 0..50u32 {
             tx.send(i).unwrap();
         }
-        let start = Instant::now();
+        let wall = MonotonicClock::new();
         while seen.lock().len() < 50 {
-            assert!(start.elapsed() < Duration::from_secs(5));
+            assert!(wall.now() < 5_000_000_000);
             std::thread::yield_now();
         }
         let v = seen.lock().clone();
@@ -178,5 +216,40 @@ mod tests {
             // Dropping the handle joins the thread, which flushes.
         }
         assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn manual_clock_gates_delivery() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        let clock = Arc::new(ManualClock::new());
+        let delayer = Delayer::spawn_with_clock(
+            1_000_000_000_000, // far beyond any real test duration
+            1_000_000_000_000,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            move |_: u32| {
+                c.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        let tx = delayer.sender();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // Real time passes, logical time does not: nothing may be delivered.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            0,
+            "delivered before its logical due time"
+        );
+        // Jump logical time past the deadline; the poll loop picks it up.
+        clock.advance(2_000_000_000_000);
+        let wall = MonotonicClock::new();
+        while count.load(Ordering::SeqCst) < 2 {
+            assert!(
+                wall.now() < 5_000_000_000,
+                "delivery never happened after advance"
+            );
+            std::thread::yield_now();
+        }
     }
 }

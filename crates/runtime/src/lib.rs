@@ -12,7 +12,10 @@
 //! * [`client`] — typed clients for the replicated key-value store and
 //!   [`client::KvRegisterArray`], the adapter that lets every `abd-shmem`
 //!   algorithm run over the ABD emulation unchanged;
-//! * [`delay`] — the latency-injection thread.
+//! * [`delay`] — the latency-injection thread;
+//! * [`clock`] — the wall-clock [`Clock`](abd_core::clock::Clock)
+//!   implementation, the single `Instant` site the `abd-lint` `wall-clock`
+//!   rule permits.
 //!
 //! ```
 //! use abd_runtime::client::{spawn_kv_cluster, KvStoreClient};
@@ -30,8 +33,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod client;
+pub mod clock;
 pub mod cluster;
 pub mod delay;
 
 pub use client::{spawn_kv_cluster, KvRegisterArray, KvStoreClient};
+pub use clock::MonotonicClock;
 pub use cluster::{Client, Cluster, HistoryRecorder, Jitter};

@@ -71,7 +71,9 @@ pub struct LocalAtomicArray<V> {
 impl<V: Clone> LocalAtomicArray<V> {
     /// Creates `n` registers all holding `initial`.
     pub fn new(n: usize, initial: V) -> Self {
-        LocalAtomicArray { slots: Arc::new((0..n).map(|_| Mutex::new(initial.clone())).collect()) }
+        LocalAtomicArray {
+            slots: Arc::new((0..n).map(|_| Mutex::new(initial.clone())).collect()),
+        }
     }
 }
 

@@ -63,7 +63,8 @@ mod tests {
     #[test]
     fn tracks_global_maximum() {
         let regs = LocalAtomicArray::new(3, 0u64);
-        let mut h: Vec<MaxRegister<_>> = (0..3).map(|i| MaxRegister::new(i, regs.clone())).collect();
+        let mut h: Vec<MaxRegister<_>> =
+            (0..3).map(|i| MaxRegister::new(i, regs.clone())).collect();
         h[0].write_max(5);
         h[1].write_max(12);
         h[2].write_max(9);

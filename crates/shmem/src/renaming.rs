@@ -58,7 +58,12 @@ impl<R: RegisterArray<Segment<RenamingSlot>>> Renaming<R> {
     /// Creates process `me`'s handle; `original` is its distinct original
     /// name (any `u64`).
     pub fn new(me: usize, original: u64, regs: R) -> Self {
-        Renaming { snapshot: SnapshotObject::new(me, regs), me, original, decided: None }
+        Renaming {
+            snapshot: SnapshotObject::new(me, regs),
+            me,
+            original,
+            decided: None,
+        }
     }
 
     /// Acquires a new name. Idempotent: calling again returns the same
@@ -92,7 +97,11 @@ impl<R: RegisterArray<Segment<RenamingSlot>>> Renaming<R> {
                 let mut ids: Vec<u64> = others.iter().map(|(oid, _)| *oid).collect();
                 ids.push(self.original);
                 ids.sort_unstable();
-                let rank = ids.iter().position(|&x| x == self.original).expect("own id") + 1;
+                let rank = ids
+                    .iter()
+                    .position(|&x| x == self.original)
+                    .expect("own id")
+                    + 1;
                 let taken: Vec<usize> = others.iter().map(|(_, p)| *p).collect();
                 proposal = (1..)
                     .filter(|name| !taken.contains(name))
@@ -140,7 +149,10 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 4, "names must be distinct: {names:?}");
-        assert!(names.iter().all(|&n| (1..=7).contains(&n)), "2k-1 bound: {names:?}");
+        assert!(
+            names.iter().all(|&n| (1..=7).contains(&n)),
+            "2k-1 bound: {names:?}"
+        );
     }
 
     #[test]
@@ -162,7 +174,11 @@ mod tests {
             let mut sorted = names.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            assert_eq!(sorted.len(), n, "trial {trial}: duplicate names in {names:?}");
+            assert_eq!(
+                sorted.len(),
+                n,
+                "trial {trial}: duplicate names in {names:?}"
+            );
             assert!(
                 names.iter().all(|&nm| (1..=2 * n - 1).contains(&nm)),
                 "trial {trial}: name out of 2k-1 space: {names:?}"

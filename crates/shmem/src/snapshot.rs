@@ -37,7 +37,11 @@ pub struct Segment<V> {
 impl<V: Clone> Segment<V> {
     /// The segment every register starts with.
     pub fn initial(n: usize, initial: V) -> Self {
-        Segment { value: initial.clone(), seq: 0, embedded: vec![initial; n] }
+        Segment {
+            value: initial.clone(),
+            seq: 0,
+            embedded: vec![initial; n],
+        }
     }
 }
 
@@ -75,8 +79,16 @@ where
     ///
     /// Panics if `me` is out of range.
     pub fn new(me: usize, regs: R) -> Self {
-        assert!(me < regs.len(), "process id {me} out of range for {} segments", regs.len());
-        SnapshotObject { me, regs, _marker: std::marker::PhantomData }
+        assert!(
+            me < regs.len(),
+            "process id {me} out of range for {} segments",
+            regs.len()
+        );
+        SnapshotObject {
+            me,
+            regs,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Number of segments.
@@ -118,7 +130,14 @@ where
     pub fn update(&mut self, v: V) {
         let embedded = self.scan();
         let seq = self.regs.read(self.me).seq + 1;
-        self.regs.write(self.me, Segment { value: v, seq, embedded });
+        self.regs.write(
+            self.me,
+            Segment {
+                value: v,
+                seq,
+                embedded,
+            },
+        );
     }
 
     /// This process's current segment value (a single register read).

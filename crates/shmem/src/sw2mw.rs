@@ -39,7 +39,10 @@ pub struct MwCell<V> {
 impl<V: Clone> MwCell<V> {
     /// The initial cell (tag `(0, 0)`).
     pub fn initial(v: V) -> Self {
-        MwCell { tag: MwTag::default(), value: v }
+        MwCell {
+            tag: MwTag::default(),
+            value: v,
+        }
     }
 }
 
@@ -77,13 +80,24 @@ where
     /// Panics if `me` is out of range.
     pub fn new(me: usize, regs: R) -> Self {
         assert!(me < regs.len(), "process id {me} out of range");
-        MwRegister { me, regs, _marker: std::marker::PhantomData }
+        MwRegister {
+            me,
+            regs,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Writes `v` to the multi-writer register.
     pub fn write(&mut self, v: V) {
-        let max_tag = collect(&mut self.regs).into_iter().map(|c| c.tag).max().unwrap_or_default();
-        let tag = MwTag { seq: max_tag.seq + 1, pid: self.me };
+        let max_tag = collect(&mut self.regs)
+            .into_iter()
+            .map(|c| c.tag)
+            .max()
+            .unwrap_or_default();
+        let tag = MwTag {
+            seq: max_tag.seq + 1,
+            pid: self.me,
+        };
         self.regs.write(self.me, MwCell { tag, value: v });
     }
 
@@ -128,28 +142,31 @@ mod tests {
 
     #[test]
     fn concurrent_writers_histories_are_linearizable() {
+        use abd_core::clock::{Clock, TickClock};
         use abd_lincheck::history::{History, RegAction};
-        use std::time::Instant;
         let n = 4;
         let regs = LocalAtomicArray::new(n, MwCell::initial(0u64));
-        let epoch = Instant::now();
-        let rec: std::sync::Arc<parking_lot::Mutex<Vec<(usize, RegAction<u64>, u64, u64)>>> =
-            Default::default();
+        // A shared tick counter gives every event a globally unique,
+        // real-time-ordered timestamp without reading a wall clock.
+        let clock = std::sync::Arc::new(TickClock::new());
+        type Rec = Vec<(usize, RegAction<u64>, u64, u64)>;
+        let rec: std::sync::Arc<parking_lot::Mutex<Rec>> = Default::default();
         let mut joins = Vec::new();
         for p in 0..n {
             let regs = regs.clone();
             let rec = std::sync::Arc::clone(&rec);
+            let clock = std::sync::Arc::clone(&clock);
             joins.push(std::thread::spawn(move || {
                 let mut reg = MwRegister::new(p, regs);
                 for k in 0..50u64 {
                     let v = ((p as u64 + 1) << 32) | k;
-                    let s = epoch.elapsed().as_nanos() as u64;
+                    let s = clock.now();
                     reg.write(v);
-                    let e = epoch.elapsed().as_nanos() as u64;
+                    let e = clock.now();
                     rec.lock().push((p, RegAction::Write(v), s, e));
-                    let s = epoch.elapsed().as_nanos() as u64;
+                    let s = clock.now();
                     let got = reg.read();
-                    let e = epoch.elapsed().as_nanos() as u64;
+                    let e = clock.now();
                     rec.lock().push((p, RegAction::Read(got), s, e));
                 }
             }));

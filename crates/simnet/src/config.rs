@@ -42,7 +42,11 @@ impl LatencyModel {
                 assert!(lo <= hi, "uniform latency needs lo <= hi");
                 rng.gen_range(lo..=hi)
             }
-            LatencyModel::Bimodal { fast, slow, slow_prob } => {
+            LatencyModel::Bimodal {
+                fast,
+                slow,
+                slow_prob,
+            } => {
                 if rng.gen_bool(slow_prob.clamp(0.0, 1.0)) {
                     slow
                 } else {
@@ -87,7 +91,10 @@ impl SimConfig {
     pub fn new(seed: u64) -> Self {
         SimConfig {
             seed,
-            latency: LatencyModel::Uniform { lo: 1_000, hi: 10_000 },
+            latency: LatencyModel::Uniform {
+                lo: 1_000,
+                hi: 10_000,
+            },
             loss_prob: 0.0,
             dup_prob: 0.0,
             fifo: false,
@@ -117,7 +124,10 @@ impl SimConfig {
     ///
     /// Panics unless `p` is in `[0, 1)`.
     pub fn with_duplication(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "duplication probability must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "duplication probability must be in [0,1)"
+        );
         self.dup_prob = p;
         self
     }
@@ -159,16 +169,23 @@ mod tests {
     #[test]
     fn bimodal_mixes_fast_and_slow() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let m = LatencyModel::Bimodal { fast: 1, slow: 100, slow_prob: 0.5 };
+        let m = LatencyModel::Bimodal {
+            fast: 1,
+            slow: 100,
+            slow_prob: 0.5,
+        };
         let samples: Vec<Nanos> = (0..200).map(|_| m.sample(&mut rng)).collect();
-        assert!(samples.iter().any(|&d| d == 1));
-        assert!(samples.iter().any(|&d| d == 100));
+        assert!(samples.contains(&1));
+        assert!(samples.contains(&100));
         assert_eq!(m.max_delay(), 100);
     }
 
     #[test]
     fn same_seed_same_samples() {
-        let m = LatencyModel::Uniform { lo: 0, hi: 1_000_000 };
+        let m = LatencyModel::Uniform {
+            lo: 0,
+            hi: 1_000_000,
+        };
         let mut a = SmallRng::seed_from_u64(42);
         let mut b = SmallRng::seed_from_u64(42);
         for _ in 0..100 {

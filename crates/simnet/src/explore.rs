@@ -119,8 +119,10 @@ mod tests {
                     )
                 })
                 .collect();
-            let cfg = SimConfig::new(seed)
-                .with_latency(LatencyModel::Uniform { lo: 100, hi: 20_000 });
+            let cfg = SimConfig::new(seed).with_latency(LatencyModel::Uniform {
+                lo: 100,
+                hi: 20_000,
+            });
             let mut sim = Sim::new(cfg, nodes);
             let wl = WorkloadConfig::new(seed, 6, WriterMode::Single(ProcessId(0)));
             match run_workload(&mut sim, &wl, 0, 10_000_000_000, true) {

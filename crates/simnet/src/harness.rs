@@ -34,8 +34,7 @@ where
     P::Resp: Clone,
 {
     assert!(scripts.len() <= sim.n(), "more scripts than nodes");
-    let mut queues: Vec<VecDeque<P::Op>> =
-        scripts.into_iter().map(VecDeque::from).collect();
+    let mut queues: Vec<VecDeque<P::Op>> = scripts.into_iter().map(VecDeque::from).collect();
     let mut outstanding = 0usize;
     let base = sim.now();
     for (i, q) in queues.iter_mut().enumerate() {
@@ -81,8 +80,9 @@ mod tests {
 
     #[test]
     fn scripts_run_to_completion_in_order() {
-        let nodes: Vec<MwmrNode<u64>> =
-            (0..3).map(|i| MwmrNode::new(MwmrConfig::new(3, ProcessId(i)), 0)).collect();
+        let nodes: Vec<MwmrNode<u64>> = (0..3)
+            .map(|i| MwmrNode::new(MwmrConfig::new(3, ProcessId(i)), 0))
+            .collect();
         let mut sim = Sim::new(SimConfig::new(17), nodes);
         let scripts = vec![
             vec![RegisterOp::Write(1), RegisterOp::Write(2)],
@@ -102,8 +102,9 @@ mod tests {
 
     #[test]
     fn deadline_reports_failure() {
-        let nodes: Vec<MwmrNode<u64>> =
-            (0..3).map(|i| MwmrNode::new(MwmrConfig::new(3, ProcessId(i)), 0)).collect();
+        let nodes: Vec<MwmrNode<u64>> = (0..3)
+            .map(|i| MwmrNode::new(MwmrConfig::new(3, ProcessId(i)), 0))
+            .collect();
         let mut sim = Sim::new(SimConfig::new(17), nodes);
         sim.crash_at(0, ProcessId(1));
         sim.crash_at(0, ProcessId(2));
@@ -114,10 +115,17 @@ mod tests {
 
     #[test]
     fn empty_scripts_trivially_complete() {
-        let nodes: Vec<MwmrNode<u64>> =
-            (0..2).map(|i| MwmrNode::new(MwmrConfig::new(2, ProcessId(i)), 0)).collect();
+        let nodes: Vec<MwmrNode<u64>> = (0..2)
+            .map(|i| MwmrNode::new(MwmrConfig::new(2, ProcessId(i)), 0))
+            .collect();
         let mut sim = Sim::new(SimConfig::new(1), nodes);
-        assert!(run_scripts::<MwmrNode<u64>>(&mut sim, vec![vec![], vec![]], 0, 0, 1000));
+        assert!(run_scripts::<MwmrNode<u64>>(
+            &mut sim,
+            vec![vec![], vec![]],
+            0,
+            0,
+            1000
+        ));
         let _ = RegisterResp::<u64>::WriteOk; // keep import meaningful
     }
 }

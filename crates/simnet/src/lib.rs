@@ -45,6 +45,6 @@ pub mod sim;
 pub mod workload;
 
 pub use config::{LatencyModel, SimConfig};
-pub use metrics::Metrics;
 pub use explore::{sweep, SeedOutcome, SweepReport};
+pub use metrics::Metrics;
 pub use sim::{OpRecord, Sim};

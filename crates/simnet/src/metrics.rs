@@ -37,8 +37,7 @@ impl Metrics {
 
     /// Mean completed-operation latency in virtual nanoseconds.
     pub fn mean_op_latency(&self) -> Option<f64> {
-        (self.ops_completed > 0)
-            .then(|| self.total_op_latency as f64 / self.ops_completed as f64)
+        (self.ops_completed > 0).then(|| self.total_op_latency as f64 / self.ops_completed as f64)
     }
 }
 

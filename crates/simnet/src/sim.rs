@@ -14,7 +14,19 @@ use abd_core::types::{Nanos, OpId, ProcessId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Folds one 64-bit word into an FNV-1a digest, byte by byte.
+fn fnv_fold(mut h: u64, word: u64) -> u64 {
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
 
 /// What happens when an event is processed.
 #[derive(Debug)]
@@ -64,7 +76,7 @@ struct NodeSlot<P: Protocol> {
     alive: bool,
     /// Current generation per armed timer key; stale generations are
     /// cancelled timers.
-    timers: HashMap<TimerKey, u64>,
+    timers: BTreeMap<TimerKey, u64>,
     timer_gen: u64,
 }
 
@@ -125,11 +137,14 @@ where
     rng: SmallRng,
     partition: Option<Vec<u32>>,
     metrics: Metrics,
-    invoked: HashMap<OpId, (ProcessId, P::Op, Nanos)>,
+    invoked: BTreeMap<OpId, (ProcessId, P::Op, Nanos)>,
     completed: Vec<OpRecord<P::Op, P::Resp>>,
     drained: usize,
     /// Per-directed-link lower bound on the next delivery time (FIFO mode).
-    fifo_floor: HashMap<(usize, usize), Nanos>,
+    fifo_floor: BTreeMap<(usize, usize), Nanos>,
+    /// Running FNV-1a digest of every processed event — the determinism
+    /// gate's fingerprint of the execution.
+    digest: u64,
     /// Optional bounded event trace (newest last) for debugging.
     trace: Option<VecDeque<String>>,
     trace_cap: usize,
@@ -149,7 +164,12 @@ where
             cfg,
             nodes: nodes
                 .into_iter()
-                .map(|proto| NodeSlot { proto, alive: true, timers: HashMap::new(), timer_gen: 0 })
+                .map(|proto| NodeSlot {
+                    proto,
+                    alive: true,
+                    timers: BTreeMap::new(),
+                    timer_gen: 0,
+                })
                 .collect(),
             queue: BinaryHeap::new(),
             now: 0,
@@ -158,16 +178,21 @@ where
             rng,
             partition: None,
             metrics: Metrics::default(),
-            invoked: HashMap::new(),
+            invoked: BTreeMap::new(),
             completed: Vec::new(),
             drained: 0,
-            fifo_floor: HashMap::new(),
+            fifo_floor: BTreeMap::new(),
+            digest: FNV_OFFSET,
             trace: None,
             trace_cap: 512,
             queued_invokes: 0,
         };
         for i in 0..sim.nodes.len() {
-            debug_assert_eq!(sim.nodes[i].proto.id(), ProcessId(i), "node {i} has wrong id");
+            debug_assert_eq!(
+                sim.nodes[i].proto.id(),
+                ProcessId(i),
+                "node {i} has wrong id"
+            );
             let mut fx = Effects::new();
             sim.nodes[i].proto.on_start(&mut fx);
             sim.absorb(ProcessId(i), fx);
@@ -239,7 +264,12 @@ where
     fn push(&mut self, at: Nanos, target: ProcessId, kind: EventKind<P>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(QueuedEvent { at, seq, target, kind });
+        self.queue.push(QueuedEvent {
+            at,
+            seq,
+            target,
+            kind,
+        });
     }
 
     /// Schedules `input` on node `node` at time `at` (must not be in the
@@ -305,7 +335,18 @@ where
 
     /// The recorded trace lines (oldest first). Empty when tracing is off.
     pub fn trace(&self) -> Vec<String> {
-        self.trace.as_ref().map(|t| t.iter().cloned().collect()).unwrap_or_default()
+        self.trace
+            .as_ref()
+            .map(|t| t.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// FNV-1a digest of every event processed so far (time, queue order,
+    /// target, kind, sender). Always on — it costs a few arithmetic ops per
+    /// event — so any two same-seed runs can be compared for byte-identical
+    /// schedules: `assert_eq!(a.trace_digest(), b.trace_digest())`.
+    pub fn trace_digest(&self) -> u64 {
+        self.digest
     }
 
     fn record_trace(&mut self, line: String) {
@@ -320,16 +361,40 @@ where
     /// Processes the single earliest event. Returns `false` if the queue is
     /// empty.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else { return false };
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
         let t = ev.target.index();
+        // Fold the event's identity into the execution digest: time, queue
+        // order, target and kind (plus sender for deliveries). Two runs of
+        // the same seed must process byte-identical event sequences, so
+        // equal digests certify a deterministic replay.
+        let (tag, extra) = match &ev.kind {
+            EventKind::Deliver { from, .. } => (0u64, from.index() as u64),
+            EventKind::Timer { key, gen } => (1, key.0.wrapping_add(*gen << 16)),
+            EventKind::Invoke { op, .. } => (2, op.0),
+            EventKind::Crash => (3, 0),
+            EventKind::SetPartition { groups } => (
+                4,
+                groups
+                    .iter()
+                    .fold(FNV_OFFSET, |h, &g| fnv_fold(h, u64::from(g))),
+            ),
+            EventKind::Heal => (5, 0),
+        };
+        for word in [ev.at, ev.seq, t as u64, tag, extra] {
+            self.digest = fnv_fold(self.digest, word);
+        }
         if self.trace.is_some() {
             let desc = match &ev.kind {
                 EventKind::Deliver { from, msg } => {
                     format!("{:>12} deliver {from} -> {}: {msg:?}", ev.at, ev.target)
                 }
-                EventKind::Timer { key, .. } => format!("{:>12} timer {:?} @ {}", ev.at, key, ev.target),
+                EventKind::Timer { key, .. } => {
+                    format!("{:>12} timer {:?} @ {}", ev.at, key, ev.target)
+                }
                 EventKind::Invoke { op, input } => {
                     format!("{:>12} invoke {op} {input:?} @ {}", ev.at, ev.target)
                 }
@@ -373,7 +438,8 @@ where
                     return true; // invocation on a crashed node is lost
                 }
                 self.metrics.ops_invoked += 1;
-                self.invoked.insert(op, (ev.target, input.clone(), self.now));
+                self.invoked
+                    .insert(op, (ev.target, input.clone(), self.now));
                 let mut fx = Effects::new();
                 self.nodes[t].proto.on_invoke(op, input, &mut fx);
                 self.absorb(ev.target, fx);
@@ -494,16 +560,25 @@ where
         } else {
             1
         };
-        for c in 0..copies {
+        for _ in 0..copies {
             let delay = self.cfg.latency.sample(&mut self.rng);
             let mut at = self.now + delay;
             if self.cfg.fifo {
-                let floor = self.fifo_floor.entry((from.index(), to.index())).or_insert(0);
+                let floor = self
+                    .fifo_floor
+                    .entry((from.index(), to.index()))
+                    .or_insert(0);
                 at = at.max(*floor);
                 *floor = at;
             }
-            let m = if c + 1 == copies { msg.clone() } else { msg.clone() };
-            self.push(at, to, EventKind::Deliver { from, msg: m });
+            self.push(
+                at,
+                to,
+                EventKind::Deliver {
+                    from,
+                    msg: msg.clone(),
+                },
+            );
         }
     }
 }
@@ -556,7 +631,11 @@ mod tests {
             let mut sim = swmr_cluster(5, seed);
             for k in 0..10u64 {
                 sim.invoke_at(k * 5_000, ProcessId(0), RegisterOp::Write(k));
-                sim.invoke_at(k * 5_000 + 1, ProcessId((k as usize % 4) + 1), RegisterOp::Read);
+                sim.invoke_at(
+                    k * 5_000 + 1,
+                    ProcessId((k as usize % 4) + 1),
+                    RegisterOp::Read,
+                );
             }
             sim.run_until_quiet(10_000_000);
             (
@@ -568,7 +647,11 @@ mod tests {
             )
         };
         assert_eq!(run(99), run(99));
-        assert_ne!(run(99).1, run(100).1, "different seeds explore different schedules");
+        assert_ne!(
+            run(99).1,
+            run(100).1,
+            "different seeds explore different schedules"
+        );
     }
 
     #[test]
@@ -610,7 +693,10 @@ mod tests {
         sim.invoke_at(10, ProcessId(0), RegisterOp::Write(1));
         assert!(!sim.run_until_ops_complete(500_000), "2-2 split must block");
         sim.heal_at(600_000);
-        assert!(sim.run_until_ops_complete(5_000_000), "heal must release the write");
+        assert!(
+            sim.run_until_ops_complete(5_000_000),
+            "heal must release the write"
+        );
         assert!(sim.metrics().dropped_partition > 0);
     }
 
@@ -630,7 +716,10 @@ mod tests {
             sim.invoke_at(k, ProcessId(0), RegisterOp::Write(k));
         }
         assert!(sim.run_until_ops_complete(1_000_000_000));
-        assert!(sim.metrics().dropped_loss > 0, "40% loss must drop something");
+        assert!(
+            sim.metrics().dropped_loss > 0,
+            "40% loss must drop something"
+        );
         assert_eq!(sim.metrics().ops_completed, 20);
     }
 
@@ -657,7 +746,10 @@ mod tests {
         // fifo floors are monotone (enforced by construction), so just
         // assert the run is deterministic and completes.
         let cfg = SimConfig::new(13)
-            .with_latency(LatencyModel::Uniform { lo: 10, hi: 100_000 })
+            .with_latency(LatencyModel::Uniform {
+                lo: 10,
+                hi: 100_000,
+            })
             .with_fifo(true);
         let nodes = (0..3)
             .map(|i| SwmrNode::new(SwmrConfig::new(3, ProcessId(i), ProcessId(0)), 0u64))

@@ -43,7 +43,12 @@ impl WorkloadConfig {
     /// A mixed read/write workload: half the operations of eligible writers
     /// are writes.
     pub fn new(seed: u64, ops_per_client: usize, writers: WriterMode) -> Self {
-        WorkloadConfig { seed, ops_per_client, write_ratio: 0.5, writers }
+        WorkloadConfig {
+            seed,
+            ops_per_client,
+            write_ratio: 0.5,
+            writers,
+        }
     }
 
     /// Sets the write fraction.
@@ -104,10 +109,20 @@ pub fn history_from_records(
     for r in records {
         match (&r.input, &r.resp) {
             (RegisterOp::Write(v), RegisterResp::WriteOk) => {
-                h.push(r.client.index(), RegAction::Write(*v), r.invoked_at, r.completed_at);
+                h.push(
+                    r.client.index(),
+                    RegAction::Write(*v),
+                    r.invoked_at,
+                    r.completed_at,
+                );
             }
             (RegisterOp::Read, RegisterResp::ReadOk(v)) => {
-                h.push(r.client.index(), RegAction::Read(*v), r.invoked_at, r.completed_at);
+                h.push(
+                    r.client.index(),
+                    RegAction::Read(*v),
+                    r.invoked_at,
+                    r.completed_at,
+                );
             }
             _ => {}
         }
@@ -181,7 +196,10 @@ mod tests {
         let cfg = WorkloadConfig::new(9, 30, WriterMode::Single(ProcessId(2)));
         let scripts = cfg.generate(4);
         for (i, script) in scripts.iter().enumerate() {
-            let writes = script.iter().filter(|o| matches!(o, RegisterOp::Write(_))).count();
+            let writes = script
+                .iter()
+                .filter(|o| matches!(o, RegisterOp::Write(_)))
+                .count();
             if i == 2 {
                 assert!(writes > 0, "the writer must write sometimes");
             } else {
@@ -224,7 +242,7 @@ mod tests {
         let mut sim = Sim::new(SimConfig::new(23), nodes);
         let wl = WorkloadConfig::new(7, 20, WriterMode::Single(ProcessId(0)));
         let h = run_workload(&mut sim, &wl, 50, 1_000_000_000, true).expect("completes");
-        assert!(h.len() > 0);
+        assert!(!h.is_empty());
         assert_eq!(
             abd_lincheck::check_linearizable(&h),
             abd_lincheck::CheckResult::Linearizable

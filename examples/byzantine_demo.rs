@@ -29,7 +29,10 @@ fn run(b: usize, label: &str) -> (u64, u64) {
         })
         .collect();
     let mut sim: Sim<ByzNode<u64>> = Sim::new(
-        SimConfig::new(7).with_latency(LatencyModel::Uniform { lo: 1_000, hi: 20_000 }),
+        SimConfig::new(7).with_latency(LatencyModel::Uniform {
+            lo: 1_000,
+            hi: 20_000,
+        }),
         nodes,
     );
     let mut reads = 0;
@@ -59,7 +62,10 @@ fn main() {
     let (_, poisoned) = run(0, "plain majority (crash-tolerant ABD)");
     let (_, masked) = run(1, "masking quorums (n=4b+1, b+1 vouchers)");
     println!();
-    assert!(poisoned > 0, "the forger should poison the plain protocol in this schedule");
+    assert!(
+        poisoned > 0,
+        "the forger should poison the plain protocol in this schedule"
+    );
     assert_eq!(masked, 0, "masking quorums must mask the forger");
     println!("The crash-tolerant protocol trusts the highest label it hears; a liar forges");
     println!("one and wins. The masking protocol only believes a (label, value) pair that");

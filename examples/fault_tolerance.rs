@@ -36,7 +36,10 @@ fn run_and_check(name: &str, mut sim: Sim<SwmrNode<u64>>, crash: &[usize]) {
     assert!(ok, "{name}: all operations must complete");
     let h = history_from_sim(0, &sim);
     let atomic = lincheck::is_atomic_swmr(&h)
-        && matches!(lincheck::check_linearizable(&h), lincheck::CheckResult::Linearizable);
+        && matches!(
+            lincheck::check_linearizable(&h),
+            lincheck::CheckResult::Linearizable
+        );
     println!(
         "{name:<38} ops={:<4} msgs={:<6} lost={:<5} dup={:<4} atomic={}",
         sim.metrics().ops_completed,
@@ -55,7 +58,14 @@ fn main() {
 
     run_and_check(
         "adversarial delays (x500 variance)",
-        build(5, SimConfig::new(2).with_latency(LatencyModel::Uniform { lo: 100, hi: 50_000 }), None),
+        build(
+            5,
+            SimConfig::new(2).with_latency(LatencyModel::Uniform {
+                lo: 100,
+                hi: 50_000,
+            }),
+            None,
+        ),
         &[],
     );
 
@@ -82,7 +92,11 @@ fn main() {
         build(
             5,
             SimConfig::new(6)
-                .with_latency(LatencyModel::Bimodal { fast: 1_000, slow: 80_000, slow_prob: 0.2 })
+                .with_latency(LatencyModel::Bimodal {
+                    fast: 1_000,
+                    slow: 80_000,
+                    slow_prob: 0.2,
+                })
                 .with_loss(0.15)
                 .with_duplication(0.1),
             Some(50_000),

@@ -20,14 +20,20 @@ fn main() {
         (0..n)
             .map(|i| MwmrNode::new(MwmrConfig::new(n, ProcessId(i)), String::from("(initial)")))
             .collect(),
-        Jitter::Uniform { lo: 50_000, hi: 500_000 }, // 0.05–0.5 ms per message
+        Jitter::Uniform {
+            lo: 50_000,
+            hi: 500_000,
+        }, // 0.05–0.5 ms per message
     );
 
     // p0 writes.
     let p0 = cluster.client(0);
     let (resp, s, e) = p0.invoke_timed(RegisterOp::Write("hello from p0".to_string()));
     assert_eq!(resp, RegisterResp::WriteOk);
-    println!("p0: Write(\"hello from p0\")  -> ok in {:.2} ms", (e - s) as f64 / 1e6);
+    println!(
+        "p0: Write(\"hello from p0\")  -> ok in {:.2} ms",
+        (e - s) as f64 / 1e6
+    );
 
     // p1 reads — two round trips: query a majority, write back, return.
     let p1 = cluster.client(1);
@@ -43,7 +49,10 @@ fn main() {
     println!("\ncrashing p0 (a minority of n = 3)...");
     cluster.crash(0);
     let (resp, s, e) = p1.invoke_timed(RegisterOp::Read);
-    println!("p1: Read() -> {resp:?} in {:.2} ms (unaffected)", (e - s) as f64 / 1e6);
+    println!(
+        "p1: Read() -> {resp:?} in {:.2} ms (unaffected)",
+        (e - s) as f64 / 1e6
+    );
     match resp {
         RegisterResp::ReadOk(v) => assert_eq!(v, "p2 was here"),
         other => panic!("unexpected response {other:?}"),

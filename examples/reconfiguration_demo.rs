@@ -16,9 +16,14 @@ use abd_repro::simnet::{LatencyModel, Sim, SimConfig};
 fn main() {
     println!("Reconfigurable replicated store (universe of 6 nodes)\n");
     let n = 6;
-    let nodes = (0..n).map(|i| RcNode::new(RcNodeConfig::new(n, ProcessId(i)))).collect();
+    let nodes = (0..n)
+        .map(|i| RcNode::new(RcNodeConfig::new(n, ProcessId(i))))
+        .collect();
     let mut sim: Sim<RcNode<String, String>> = Sim::new(
-        SimConfig::new(7).with_latency(LatencyModel::Uniform { lo: 1_000, hi: 20_000 }),
+        SimConfig::new(7).with_latency(LatencyModel::Uniform {
+            lo: 1_000,
+            hi: 20_000,
+        }),
         nodes,
     );
 
@@ -36,7 +41,11 @@ fn main() {
     sim.crash_at(sim.now(), ProcessId(5));
 
     println!("reconfiguring to the survivors {{0,1,2,3}}...");
-    let r = run(&mut sim, 0, RcOp::Reconfig(vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)]));
+    let r = run(
+        &mut sim,
+        0,
+        RcOp::Reconfig(vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)]),
+    );
     println!("  -> {r:?}");
     assert_eq!(r, RcResp::ReconfigOk { epoch: 1 });
 
@@ -49,9 +58,17 @@ fn main() {
     assert_eq!(v, RcResp::GetOk(Some("ABD".into())));
 
     println!("\nshrinking once more to {{0,1,2}} and writing through epoch 2:");
-    let r = run(&mut sim, 0, RcOp::Reconfig(vec![ProcessId(0), ProcessId(1), ProcessId(2)]));
+    let r = run(
+        &mut sim,
+        0,
+        RcOp::Reconfig(vec![ProcessId(0), ProcessId(1), ProcessId(2)]),
+    );
     assert_eq!(r, RcResp::ReconfigOk { epoch: 2 });
-    run(&mut sim, 2, RcOp::Put("prize".into(), "Dijkstra 2011".into()));
+    run(
+        &mut sim,
+        2,
+        RcOp::Put("prize".into(), "Dijkstra 2011".into()),
+    );
     let v = run(&mut sim, 0, RcOp::Get("prize".into()));
     println!("  get prize -> {v:?}");
 

@@ -15,7 +15,10 @@ fn main() {
     println!("Replicated KV store on the multi-writer ABD emulation (n = 5)\n");
     let cluster = Arc::new(spawn_kv_cluster::<String, String>(
         5,
-        Jitter::Uniform { lo: 20_000, hi: 200_000 },
+        Jitter::Uniform {
+            lo: 20_000,
+            hi: 200_000,
+        },
     ));
 
     // Basic session.
@@ -24,7 +27,10 @@ fn main() {
     kv.put("user:2".into(), "emmy noether".into());
     println!("put user:1, user:2");
     println!("get user:1 -> {:?}", kv.get("user:1".into()));
-    println!("get user:3 -> {:?} (never written)", kv.get("user:3".into()));
+    println!(
+        "get user:3 -> {:?} (never written)",
+        kv.get("user:3".into())
+    );
 
     // Three writer threads race on the same key; tags decide the winner.
     let mut joins = Vec::new();
@@ -50,13 +56,19 @@ fn main() {
     cluster.crash(3);
     cluster.crash(4);
     kv.put("after-crash".into(), "still here".into());
-    println!("put/get after the crash -> {:?}", kv.get("after-crash".into()));
+    println!(
+        "put/get after the crash -> {:?}",
+        kv.get("after-crash".into())
+    );
     assert_eq!(kv.get("after-crash".into()), Some("still here".into()));
 
     // Reads from another surviving replica agree.
     let kv2 = KvStoreClient::new(cluster.client(2));
     assert_eq!(kv2.get("user:2".into()), Some("emmy noether".into()));
-    println!("replica 2 agrees on user:2 -> {:?}", kv2.get("user:2".into()));
+    println!(
+        "replica 2 agrees on user:2 -> {:?}",
+        kv2.get("user:2".into())
+    );
 
     println!("\nThe store lost 2 of 5 replicas and noticed nothing: majorities intersect.");
 }

@@ -21,7 +21,10 @@ fn main() {
     // Each snapshot segment holds a (value, value) pair written together;
     // an atomic scan must never observe a torn pair.
     let n_procs = 3;
-    let cluster = Arc::new(spawn_kv_cluster::<u64, Segment<(u64, u64)>>(5, Jitter::None));
+    let cluster = Arc::new(spawn_kv_cluster::<u64, Segment<(u64, u64)>>(
+        5,
+        Jitter::None,
+    ));
     cluster.crash(4); // a minority crash, before we even start
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -56,8 +59,14 @@ fn main() {
     for i in 0..scans {
         let snap = scanner.scan();
         for (p, &(a, b)) in snap.iter().enumerate() {
-            assert_eq!(a, b, "torn pair in segment {p}: ({a}, {b}) — snapshot not atomic!");
-            assert!(a >= last[p].0, "segment {p} went backwards — snapshot not atomic!");
+            assert_eq!(
+                a, b,
+                "torn pair in segment {p}: ({a}, {b}) — snapshot not atomic!"
+            );
+            assert!(
+                a >= last[p].0,
+                "segment {p} went backwards — snapshot not atomic!"
+            );
         }
         last = snap.clone();
         if i % 20 == 0 {
@@ -69,5 +78,7 @@ fn main() {
     let totals: Vec<u64> = joins.into_iter().map(|j| j.join().unwrap()).collect();
     println!("\nworkers performed {totals:?} updates each, one replica crashed the whole time;");
     println!("{scans} scans, zero torn pairs, zero regressions.");
-    println!("\nAn algorithm written for shared memory just ran on message passing — ABD's thesis.");
+    println!(
+        "\nAn algorithm written for shared memory just ran on message passing — ABD's thesis."
+    );
 }

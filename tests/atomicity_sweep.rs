@@ -14,7 +14,10 @@ const SEEDS: u64 = 120;
 
 fn adversarial(seed: u64) -> SimConfig {
     SimConfig::new(seed)
-        .with_latency(LatencyModel::Uniform { lo: 100, hi: 50_000 })
+        .with_latency(LatencyModel::Uniform {
+            lo: 100,
+            hi: 50_000,
+        })
         .with_duplication(0.1)
 }
 
@@ -24,7 +27,11 @@ fn adversarial(seed: u64) -> SimConfig {
 /// budget).
 fn straggly(seed: u64) -> SimConfig {
     SimConfig::new(seed)
-        .with_latency(LatencyModel::Bimodal { fast: 300, slow: 150_000, slow_prob: 0.4 })
+        .with_latency(LatencyModel::Bimodal {
+            fast: 300,
+            slow: 150_000,
+            slow_prob: 0.4,
+        })
         .with_duplication(0.05)
 }
 
@@ -89,13 +96,18 @@ fn regular_baseline_exhibits_inversions_somewhere_in_the_sweep() {
         let mut sim = Sim::new(straggly(seed), nodes);
         let wl = WorkloadConfig::new(seed ^ 0xabd, 14, WriterMode::Single(ProcessId(0)))
             .with_write_ratio(0.5);
-        let Some(h) = run_workload(&mut sim, &wl, 1_000, 60_000_000_000, true) else { continue };
+        let Some(h) = run_workload(&mut sim, &wl, 1_000, 60_000_000_000, true) else {
+            continue;
+        };
         // The regular protocol must still be *regular* — only inversions
         // (the regular-vs-atomic gap) may appear.
         total_stale += check_regular_swmr(&h).len() as u64;
         total_inversions += find_new_old_inversions(&h).len() as u64;
     }
-    assert_eq!(total_stale, 0, "the no-write-back baseline must still be regular");
+    assert_eq!(
+        total_stale, 0,
+        "the no-write-back baseline must still be regular"
+    );
     assert!(
         total_inversions > 0,
         "across {SEEDS} adversarial schedules the regular baseline should exhibit \
@@ -118,7 +130,9 @@ fn read_one_baseline_violates_regularity_somewhere_in_the_sweep() {
         let mut sim = Sim::new(straggly(seed), nodes);
         let wl = WorkloadConfig::new(seed ^ 0xabd, 14, WriterMode::Single(ProcessId(0)))
             .with_write_ratio(0.5);
-        let Some(h) = run_workload(&mut sim, &wl, 1_000, 60_000_000_000, true) else { continue };
+        let Some(h) = run_workload(&mut sim, &wl, 1_000, 60_000_000_000, true) else {
+            continue;
+        };
         stale += check_regular_swmr(&h).len() as u64;
     }
     assert!(

@@ -20,7 +20,10 @@ fn bounded_cluster(n: usize, modulus: u32, seed: u64) -> Sim<BoundedSwmrNode<u64
         })
         .collect();
     Sim::new(
-        SimConfig::new(seed).with_latency(LatencyModel::Uniform { lo: 100, hi: 10_000 }),
+        SimConfig::new(seed).with_latency(LatencyModel::Uniform {
+            lo: 100,
+            hi: 10_000,
+        }),
         nodes,
     )
 }
@@ -30,10 +33,20 @@ fn history_of(sim: &Sim<BoundedSwmrNode<u64>>) -> History<u64> {
     for r in sim.completed() {
         match (&r.input, &r.resp) {
             (RegisterOp::Write(v), RegisterResp::WriteOk) => {
-                h.push(r.client.index(), RegAction::Write(*v), r.invoked_at, r.completed_at);
+                h.push(
+                    r.client.index(),
+                    RegAction::Write(*v),
+                    r.invoked_at,
+                    r.completed_at,
+                );
             }
             (RegisterOp::Read, RegisterResp::ReadOk(v)) => {
-                h.push(r.client.index(), RegAction::Read(*v), r.invoked_at, r.completed_at);
+                h.push(
+                    r.client.index(),
+                    RegAction::Read(*v),
+                    r.invoked_at,
+                    r.completed_at,
+                );
             }
             _ => {}
         }
@@ -83,7 +96,11 @@ fn labels_lap_the_cycle_many_times_without_growing() {
     let last = sim.completed().last().unwrap();
     assert!(matches!(last.resp, RegisterResp::ReadOk(v) if v == writes));
     assert_eq!(sim.node(0).labels_issued(), writes);
-    assert_eq!(sim.node(0).label_bits(), 4, "4 bits forever, regardless of {writes} writes");
+    assert_eq!(
+        sim.node(0).label_bits(),
+        4,
+        "4 bits forever, regardless of {writes} writes"
+    );
     for i in 0..n {
         assert_eq!(sim.node(i).window_violations(), 0);
     }
@@ -99,7 +116,11 @@ fn bounded_message_complexity_matches_unbounded() {
     assert_eq!(sim.metrics().sent, 2 * (n as u64 - 1), "write: one round");
     sim.invoke(ProcessId(3), RegisterOp::Read);
     assert!(sim.run_until_quiet(u64::MAX / 2));
-    assert_eq!(sim.metrics().sent, 6 * (n as u64 - 1), "read adds two rounds");
+    assert_eq!(
+        sim.metrics().sent,
+        6 * (n as u64 - 1),
+        "read adds two rounds"
+    );
 }
 
 #[test]
@@ -114,7 +135,10 @@ fn bounded_protocol_tolerates_minority_crashes() {
     }
     sim.invoke(ProcessId(1), RegisterOp::Read);
     assert!(sim.run_until_ops_complete(u64::MAX / 2));
-    assert!(matches!(sim.completed().last().unwrap().resp, RegisterResp::ReadOk(50)));
+    assert!(matches!(
+        sim.completed().last().unwrap().resp,
+        RegisterResp::ReadOk(50)
+    ));
 }
 
 #[test]
@@ -134,7 +158,15 @@ fn zombie_beyond_window_is_detected_by_the_protocol() {
     let mut l = space.origin();
     for k in 1..=12u64 {
         l = space.successor(l);
-        node.on_message(ProcessId(0), RegisterMsg::Update { uid: k, label: l, value: k }, &mut fx);
+        node.on_message(
+            ProcessId(0),
+            RegisterMsg::Update {
+                uid: k,
+                label: l,
+                value: k,
+            },
+            &mut fx,
+        );
     }
     let before = node.replica_state();
     // With modulus 16 and window 7, the incomparable band is exactly
@@ -146,7 +178,11 @@ fn zombie_beyond_window_is_detected_by_the_protocol() {
     }
     node.on_message(
         ProcessId(2),
-        RegisterMsg::Update { uid: 99, label: zombie, value: 777 },
+        RegisterMsg::Update {
+            uid: 99,
+            label: zombie,
+            value: 777,
+        },
         &mut fx,
     );
     assert_eq!(node.window_violations(), 1);

@@ -5,14 +5,12 @@
 use abd_core::byzantine::{ByzConfig, ByzNode, LieStrategy};
 use abd_core::msg::{RegisterOp, RegisterResp};
 use abd_core::types::ProcessId;
-use abd_repro::lincheck::{check_linearizable_with_limit, is_atomic_swmr, CheckResult, History, RegAction};
+use abd_repro::lincheck::{
+    check_linearizable_with_limit, is_atomic_swmr, CheckResult, History, RegAction,
+};
 use abd_repro::simnet::{LatencyModel, Sim, SimConfig};
 
-fn byz_cluster(
-    b: usize,
-    liars: &[(usize, LieStrategy)],
-    seed: u64,
-) -> Sim<ByzNode<u64>> {
+fn byz_cluster(b: usize, liars: &[(usize, LieStrategy)], seed: u64) -> Sim<ByzNode<u64>> {
     let n = 4 * b + 1;
     let nodes = (0..n)
         .map(|i| {
@@ -24,7 +22,10 @@ fn byz_cluster(
         })
         .collect();
     Sim::new(
-        SimConfig::new(seed).with_latency(LatencyModel::Uniform { lo: 100, hi: 30_000 }),
+        SimConfig::new(seed).with_latency(LatencyModel::Uniform {
+            lo: 100,
+            hi: 30_000,
+        }),
         nodes,
     )
 }
@@ -37,10 +38,20 @@ fn honest_history(sim: &Sim<ByzNode<u64>>, liars: &[usize]) -> History<u64> {
         }
         match (&r.input, &r.resp) {
             (RegisterOp::Write(v), RegisterResp::WriteOk) => {
-                h.push(r.client.index(), RegAction::Write(*v), r.invoked_at, r.completed_at);
+                h.push(
+                    r.client.index(),
+                    RegAction::Write(*v),
+                    r.invoked_at,
+                    r.completed_at,
+                );
             }
             (RegisterOp::Read, RegisterResp::ReadOk(v)) => {
-                h.push(r.client.index(), RegAction::Read(*v), r.invoked_at, r.completed_at);
+                h.push(
+                    r.client.index(),
+                    RegAction::Read(*v),
+                    r.invoked_at,
+                    r.completed_at,
+                );
             }
             _ => {}
         }
@@ -50,8 +61,13 @@ fn honest_history(sim: &Sim<ByzNode<u64>>, liars: &[usize]) -> History<u64> {
 
 #[test]
 fn masked_reads_stay_linearizable_under_every_lie_strategy() {
-    for (li, lie) in
-        [LieStrategy::ReportStale, LieStrategy::ForgeLabel, LieStrategy::Silent].iter().enumerate()
+    for (li, lie) in [
+        LieStrategy::ReportStale,
+        LieStrategy::ForgeLabel,
+        LieStrategy::Silent,
+    ]
+    .iter()
+    .enumerate()
     {
         for seed in 0..40u64 {
             // Liar at node 1 (adjacent to the writer, always in quorums).
@@ -88,7 +104,8 @@ fn b2_masks_two_coordinated_liars() {
             &[(1, LieStrategy::ForgeLabel), (2, LieStrategy::ReportStale)],
             seed,
         );
-        let mut scripts: Vec<Vec<RegisterOp<u64>>> = vec![(1..=6u64).map(RegisterOp::Write).collect()];
+        let mut scripts: Vec<Vec<RegisterOp<u64>>> =
+            vec![(1..=6u64).map(RegisterOp::Write).collect()];
         scripts.push(vec![]); // liar
         scripts.push(vec![]); // liar
         for _ in 3..9 {
@@ -126,7 +143,10 @@ fn plain_majority_protocol_is_poisoned_by_a_forger() {
             })
             .collect();
         let mut sim: Sim<ByzNode<u64>> = Sim::new(
-            SimConfig::new(seed).with_latency(LatencyModel::Uniform { lo: 100, hi: 30_000 }),
+            SimConfig::new(seed).with_latency(LatencyModel::Uniform {
+                lo: 100,
+                hi: 30_000,
+            }),
             nodes,
         );
         sim.invoke_at(0, ProcessId(0), RegisterOp::Write(7));

@@ -46,7 +46,11 @@ fn swmr_read_is_two_round_trips_4n_minus_4_messages() {
         sim.invoke(ProcessId(n - 1), RegisterOp::Read);
         assert!(sim.run_until_quiet(u64::MAX / 2));
         assert_eq!(sim.metrics().sent, 4 * (n as u64 - 1), "n={n}: messages");
-        assert_eq!(sim.completed()[0].latency(), 4 * D, "n={n}: two round trips");
+        assert_eq!(
+            sim.completed()[0].latency(),
+            4 * D,
+            "n={n}: two round trips"
+        );
     }
 }
 
@@ -79,12 +83,20 @@ fn mwmr_ops_are_two_round_trips_each() {
         let mut sim = Sim::new(constant_delay(4), nodes);
         sim.invoke(ProcessId(1), RegisterOp::Write(1));
         assert!(sim.run_until_quiet(u64::MAX / 2));
-        assert_eq!(sim.metrics().sent, 4 * (n as u64 - 1), "n={n}: write messages");
+        assert_eq!(
+            sim.metrics().sent,
+            4 * (n as u64 - 1),
+            "n={n}: write messages"
+        );
         assert_eq!(sim.completed()[0].latency(), 4 * D, "n={n}: write rounds");
         let before = sim.metrics().sent;
         sim.invoke(ProcessId(2), RegisterOp::Read);
         assert!(sim.run_until_quiet(u64::MAX / 2));
-        assert_eq!(sim.metrics().sent - before, 4 * (n as u64 - 1), "n={n}: read messages");
+        assert_eq!(
+            sim.metrics().sent - before,
+            4 * (n as u64 - 1),
+            "n={n}: read messages"
+        );
         assert_eq!(sim.completed()[1].latency(), 4 * D, "n={n}: read rounds");
     }
 }
@@ -108,7 +120,10 @@ fn latency_is_independent_of_n_under_constant_delay() {
         assert!(sim.run_until_quiet(u64::MAX / 2));
         latencies.push(sim.completed()[0].latency());
     }
-    assert!(latencies.windows(2).all(|w| w[0] == w[1]), "latency varied with n: {latencies:?}");
+    assert!(
+        latencies.windows(2).all(|w| w[0] == w[1]),
+        "latency varied with n: {latencies:?}"
+    );
 }
 
 #[test]
@@ -124,6 +139,14 @@ fn retransmission_adds_no_messages_on_reliable_links() {
     let mut sim = Sim::new(constant_delay(6), nodes);
     sim.invoke(ProcessId(0), RegisterOp::Write(1));
     assert!(sim.run_until_ops_complete(u64::MAX / 2));
-    assert_eq!(sim.metrics().sent, 2 * (n as u64 - 1), "no spurious retransmissions");
-    assert_eq!(sim.metrics().timer_fires, 0, "timer cancelled on completion");
+    assert_eq!(
+        sim.metrics().sent,
+        2 * (n as u64 - 1),
+        "no spurious retransmissions"
+    );
+    assert_eq!(
+        sim.metrics().timer_fires,
+        0,
+        "timer cancelled on completion"
+    );
 }

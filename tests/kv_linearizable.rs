@@ -14,10 +14,15 @@ use std::collections::HashMap;
 type KvSim = Sim<KvNode<u32, u64>>;
 
 fn cluster(n: usize, seed: u64) -> KvSim {
-    let nodes = (0..n).map(|i| KvNode::new(KvConfig::new(n, ProcessId(i)))).collect();
+    let nodes = (0..n)
+        .map(|i| KvNode::new(KvConfig::new(n, ProcessId(i))))
+        .collect();
     Sim::new(
         SimConfig::new(seed)
-            .with_latency(LatencyModel::Uniform { lo: 100, hi: 40_000 })
+            .with_latency(LatencyModel::Uniform {
+                lo: 100,
+                hi: 40_000,
+            })
             .with_duplication(0.05),
         nodes,
     )
@@ -95,8 +100,16 @@ fn pipelined_invocations_stay_linearizable() {
             for node in 0..n {
                 // Two back-to-back invocations per node per round.
                 value += 1;
-                sim.invoke_at(sim.now() + round * 100_000, ProcessId(node), KvOp::Put(0, value));
-                sim.invoke_at(sim.now() + round * 100_000 + 10, ProcessId(node), KvOp::Get(0));
+                sim.invoke_at(
+                    sim.now() + round * 100_000,
+                    ProcessId(node),
+                    KvOp::Put(0, value),
+                );
+                sim.invoke_at(
+                    sim.now() + round * 100_000 + 10,
+                    ProcessId(node),
+                    KvOp::Get(0),
+                );
             }
         }
         assert!(sim.run_until_ops_complete(600_000_000_000), "seed {seed}");
@@ -129,7 +142,10 @@ fn keys_do_not_interfere() {
     let n = 3;
     let mut sim = cluster(n, 5);
     for k in 0..20u32 {
-        sim.invoke(ProcessId((k % 3) as usize), KvOp::Put(k, u64::from(k) + 1000));
+        sim.invoke(
+            ProcessId((k % 3) as usize),
+            KvOp::Put(k, u64::from(k) + 1000),
+        );
     }
     assert!(sim.run_until_ops_complete(60_000_000_000));
     for k in 0..20u32 {
@@ -170,8 +186,13 @@ fn concurrent_puts_to_same_key_from_all_nodes_converge() {
     }
     assert!(sim.run_until_ops_complete(60_000_000_000));
     // All replicas agree on one winner.
-    let entries: Vec<_> = (0..n).filter_map(|i| sim.node(i).local_entry(&7).map(|(t, v)| (t, *v))).collect();
+    let entries: Vec<_> = (0..n)
+        .filter_map(|i| sim.node(i).local_entry(&7).map(|(t, v)| (t, *v)))
+        .collect();
     assert_eq!(entries.len(), n);
-    assert!(entries.windows(2).all(|w| w[0] == w[1]), "replicas diverged: {entries:?}");
+    assert!(
+        entries.windows(2).all(|w| w[0] == w[1]),
+        "replicas diverged: {entries:?}"
+    );
     assert!((100..100 + n as u64).contains(&entries[0].1));
 }

@@ -11,24 +11,29 @@ use abd_repro::simnet::workload::{run_workload, WorkloadConfig, WriterMode};
 use abd_repro::simnet::{LatencyModel, Sim, SimConfig};
 use std::sync::Arc;
 
-fn mwmr_with_quorum(
-    n: usize,
-    q: Arc<dyn QuorumSystem>,
-    seed: u64,
-) -> Sim<MwmrNode<u64>> {
+fn mwmr_with_quorum(n: usize, q: Arc<dyn QuorumSystem>, seed: u64) -> Sim<MwmrNode<u64>> {
     let nodes = (0..n)
         .map(|i| {
-            MwmrNode::new(MwmrConfig::new(n, ProcessId(i)).with_quorum(Arc::clone(&q)), 0u64)
+            MwmrNode::new(
+                MwmrConfig::new(n, ProcessId(i)).with_quorum(Arc::clone(&q)),
+                0u64,
+            )
         })
         .collect();
     Sim::new(
-        SimConfig::new(seed).with_latency(LatencyModel::Uniform { lo: 100, hi: 30_000 }),
+        SimConfig::new(seed).with_latency(LatencyModel::Uniform {
+            lo: 100,
+            hi: 30_000,
+        }),
         nodes,
     )
 }
 
 fn check_atomic_sweep(n: usize, q: Arc<dyn QuorumSystem>, seeds: u64, label: &str) {
-    assert!(q.validate(true).is_ok(), "{label}: quorum system must be valid for MW");
+    assert!(
+        q.validate(true).is_ok(),
+        "{label}: quorum system must be valid for MW"
+    );
     for seed in 0..seeds {
         let mut sim = mwmr_with_quorum(n, Arc::clone(&q), seed);
         let wl = WorkloadConfig::new(seed ^ 0x9e37, 8, WriterMode::All).with_write_ratio(0.4);
@@ -70,12 +75,18 @@ fn non_intersecting_thresholds_break_atomicity_somewhere() {
     // come out non-linearizable, demonstrating the intersection property
     // is load-bearing, not decorative.
     let q: Arc<dyn QuorumSystem> = Arc::new(Threshold::new(7, 2, 3));
-    assert!(q.validate(true).is_err(), "this configuration is knowingly broken");
+    assert!(
+        q.validate(true).is_err(),
+        "this configuration is knowingly broken"
+    );
     let mut violations = 0u64;
     for seed in 0..60u64 {
         let nodes = (0..7)
             .map(|i| {
-                MwmrNode::new(MwmrConfig::new(7, ProcessId(i)).with_quorum(Arc::clone(&q)), 0u64)
+                MwmrNode::new(
+                    MwmrConfig::new(7, ProcessId(i)).with_quorum(Arc::clone(&q)),
+                    0u64,
+                )
             })
             .collect();
         let mut sim: Sim<MwmrNode<u64>> = Sim::new(
@@ -87,7 +98,9 @@ fn non_intersecting_thresholds_break_atomicity_somewhere() {
             nodes,
         );
         let wl = WorkloadConfig::new(seed ^ 0x51de, 10, WriterMode::All).with_write_ratio(0.5);
-        let Some(h) = run_workload(&mut sim, &wl, 1_000, 60_000_000_000, true) else { continue };
+        let Some(h) = run_workload(&mut sim, &wl, 1_000, 60_000_000_000, true) else {
+            continue;
+        };
         if check_linearizable_with_limit(&h, 500_000) == CheckResult::NotLinearizable {
             violations += 1;
         }

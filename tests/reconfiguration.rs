@@ -8,9 +8,14 @@ use abd_repro::lincheck::{check_linearizable_with_limit, CheckResult, History, R
 use abd_repro::simnet::{LatencyModel, Sim, SimConfig};
 
 fn cluster(n: usize, seed: u64) -> Sim<RcNode<u32, u64>> {
-    let nodes = (0..n).map(|i| RcNode::new(RcNodeConfig::new(n, ProcessId(i)))).collect();
+    let nodes = (0..n)
+        .map(|i| RcNode::new(RcNodeConfig::new(n, ProcessId(i))))
+        .collect();
     Sim::new(
-        SimConfig::new(seed).with_latency(LatencyModel::Uniform { lo: 100, hi: 20_000 }),
+        SimConfig::new(seed).with_latency(LatencyModel::Uniform {
+            lo: 100,
+            hi: 20_000,
+        }),
         nodes,
     )
 }
@@ -61,7 +66,10 @@ fn resilience_renews_against_the_new_member_set() {
 
     // Shrink the configuration to the three survivors.
     sim.invoke(ProcessId(0), RcOp::Reconfig(members(&[0, 1, 2])));
-    assert!(sim.run_until_ops_complete(240_000_000_000), "reconfig must survive the crashes");
+    assert!(
+        sim.run_until_ops_complete(240_000_000_000),
+        "reconfig must survive the crashes"
+    );
 
     // Now crash node 2 as well: 3 of the original 5 are gone — fatal for
     // the static protocol — but {0,1} is a majority of the *new* config.
@@ -98,7 +106,10 @@ fn writes_racing_the_reconfiguration_are_not_lost() {
         for key in [1u32, 2, 3] {
             sim.invoke(ProcessId(1), RcOp::Get(key));
         }
-        assert!(sim.run_until_ops_complete(sim.now() + 600_000_000_000), "seed {seed}");
+        assert!(
+            sim.run_until_ops_complete(sim.now() + 600_000_000_000),
+            "seed {seed}"
+        );
         let recs = sim.completed();
         let gets: Vec<_> = recs.iter().rev().take(3).collect();
         for g in gets {
@@ -123,24 +134,49 @@ fn per_key_histories_stay_linearizable_across_reconfigs() {
         for round in 0..4u64 {
             for node in 0..5usize {
                 value += 1;
-                sim.invoke_at(sim.now() + node as u64 * 100, ProcessId(node), RcOp::Put(0, value));
+                sim.invoke_at(
+                    sim.now() + node as u64 * 100,
+                    ProcessId(node),
+                    RcOp::Put(0, value),
+                );
             }
             if round == 1 {
-                sim.invoke_at(sim.now() + 1_000, ProcessId(0), RcOp::Reconfig(members(&[0, 1, 2])));
+                sim.invoke_at(
+                    sim.now() + 1_000,
+                    ProcessId(0),
+                    RcOp::Reconfig(members(&[0, 1, 2])),
+                );
             }
             if round == 2 {
-                sim.invoke_at(sim.now() + 1_000, ProcessId(1), RcOp::Reconfig(members(&[1, 2, 3, 4])));
+                sim.invoke_at(
+                    sim.now() + 1_000,
+                    ProcessId(1),
+                    RcOp::Reconfig(members(&[1, 2, 3, 4])),
+                );
             }
-            assert!(sim.run_until_ops_complete(sim.now() + 600_000_000_000), "seed {seed} round {round}");
+            assert!(
+                sim.run_until_ops_complete(sim.now() + 600_000_000_000),
+                "seed {seed} round {round}"
+            );
         }
         let mut h = History::new(0u64);
         for r in sim.completed() {
             match (&r.input, &r.resp) {
                 (RcOp::Put(0, v), RcResp::PutOk) => {
-                    h.push(r.client.index(), RegAction::Write(*v), r.invoked_at, r.completed_at);
+                    h.push(
+                        r.client.index(),
+                        RegAction::Write(*v),
+                        r.invoked_at,
+                        r.completed_at,
+                    );
                 }
                 (RcOp::Get(0), RcResp::GetOk(Some(v))) => {
-                    h.push(r.client.index(), RegAction::Read(*v), r.invoked_at, r.completed_at);
+                    h.push(
+                        r.client.index(),
+                        RegAction::Read(*v),
+                        r.invoked_at,
+                        r.completed_at,
+                    );
                 }
                 _ => {}
             }

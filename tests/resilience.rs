@@ -24,7 +24,11 @@ fn crash_boundary_is_exact_for_swmr() {
             }
             sim.invoke_at(10, ProcessId(0), RegisterOp::Write(1));
             let ok = sim.run_until_ops_complete(5_000_000_000);
-            assert_eq!(ok, f <= f_max, "n={n} f={f}: liveness must flip exactly at ceil(n/2)");
+            assert_eq!(
+                ok,
+                f <= f_max,
+                "n={n} f={f}: liveness must flip exactly at ceil(n/2)"
+            );
         }
     }
 }
@@ -36,7 +40,10 @@ fn crash_boundary_is_exact_for_mwmr() {
         for f in 0..n {
             let nodes = (0..n)
                 .map(|i| {
-                    abd_core::mwmr::MwmrNode::new(abd_core::presets::atomic_mwmr(n, ProcessId(i)), 0u64)
+                    abd_core::mwmr::MwmrNode::new(
+                        abd_core::presets::atomic_mwmr(n, ProcessId(i)),
+                        0u64,
+                    )
                 })
                 .collect();
             let mut sim = Sim::new(SimConfig::new(2), nodes);
@@ -74,7 +81,10 @@ fn crashes_during_an_operation_are_tolerated() {
     // Both crashes land inside the operation's first round trip.
     sim.crash_at(15_000, ProcessId(3));
     sim.crash_at(20_000, ProcessId(4));
-    assert!(sim.run_until_ops_complete(10_000_000_000), "write must survive mid-flight crashes");
+    assert!(
+        sim.run_until_ops_complete(10_000_000_000),
+        "write must survive mid-flight crashes"
+    );
     sim.invoke(ProcessId(1), RegisterOp::Read);
     assert!(sim.run_until_ops_complete(20_000_000_000));
     let last = sim.completed().last().unwrap();
@@ -95,9 +105,15 @@ fn even_split_blocks_and_heal_releases() {
         let groups: Vec<u32> = (0..n).map(|i| u32::from(i >= n / 2)).collect();
         sim.partition_at(0, groups);
         sim.invoke_at(10, ProcessId(0), RegisterOp::Write(5));
-        assert!(!sim.run_until_ops_complete(1_000_000_000), "n={n}: even split must block");
+        assert!(
+            !sim.run_until_ops_complete(1_000_000_000),
+            "n={n}: even split must block"
+        );
         sim.heal_at(sim.now() + 1);
-        assert!(sim.run_until_ops_complete(30_000_000_000), "n={n}: heal must release");
+        assert!(
+            sim.run_until_ops_complete(30_000_000_000),
+            "n={n}: heal must release"
+        );
     }
 }
 
@@ -113,10 +129,16 @@ fn majority_side_of_an_uneven_partition_stays_live() {
     // {p0,p1,p2} | {p3,p4}: the left side holds a majority.
     sim.partition_at(0, vec![0, 0, 0, 1, 1]);
     sim.invoke_at(10, ProcessId(1), RegisterOp::Write(9));
-    assert!(sim.run_until_ops_complete(5_000_000_000), "majority side must stay live");
+    assert!(
+        sim.run_until_ops_complete(5_000_000_000),
+        "majority side must stay live"
+    );
     // The minority side blocks.
     sim.invoke(ProcessId(4), RegisterOp::Read);
-    assert!(!sim.run_until_ops_complete(sim.now() + 1_000_000_000), "minority side must block");
+    assert!(
+        !sim.run_until_ops_complete(sim.now() + 1_000_000_000),
+        "minority side must block"
+    );
 }
 
 #[test]
@@ -138,7 +160,14 @@ fn reader_crash_does_not_disturb_others() {
     sim.invoke(ProcessId(2), RegisterOp::Read);
     sim.crash_at(sim.now() + 1_000, ProcessId(2));
     sim.run_until_quiet(5_000_000_000);
-    assert_eq!(sim.pending_ops().len(), 1, "the crashed reader's op stays pending");
+    assert_eq!(
+        sim.pending_ops().len(),
+        1,
+        "the crashed reader's op stays pending"
+    );
     sim.invoke(ProcessId(1), RegisterOp::Read);
-    assert!(sim.run_until_ops_complete(10_000_000_000), "others unaffected");
+    assert!(
+        sim.run_until_ops_complete(10_000_000_000),
+        "others unaffected"
+    );
 }

@@ -14,7 +14,9 @@ use std::sync::Arc;
 
 fn mwmr_cluster(n: usize, jitter: Jitter) -> Cluster<MwmrNode<u64>> {
     Cluster::spawn(
-        (0..n).map(|i| MwmrNode::new(MwmrConfig::new(n, ProcessId(i)), 0u64)).collect(),
+        (0..n)
+            .map(|i| MwmrNode::new(MwmrConfig::new(n, ProcessId(i)), 0u64))
+            .collect(),
         jitter,
     )
 }
@@ -22,7 +24,13 @@ fn mwmr_cluster(n: usize, jitter: Jitter) -> Cluster<MwmrNode<u64>> {
 #[test]
 fn threaded_history_is_linearizable() {
     let n = 3;
-    let cluster = Arc::new(mwmr_cluster(n, Jitter::Uniform { lo: 1_000, hi: 100_000 }));
+    let cluster = Arc::new(mwmr_cluster(
+        n,
+        Jitter::Uniform {
+            lo: 1_000,
+            hi: 100_000,
+        },
+    ));
     let recorder: HistoryRecorder<RegAction<u64>> = HistoryRecorder::new();
     let mut joins = Vec::new();
     for t in 0..n {
@@ -35,7 +43,9 @@ fn threaded_history_is_linearizable() {
                 assert_eq!(resp, RegisterResp::WriteOk);
                 rec.record(t, RegAction::Write(v), s, e);
                 let (resp, s, e) = client.invoke_timed(RegisterOp::Read);
-                let RegisterResp::ReadOk(got) = resp else { panic!("bad read") };
+                let RegisterResp::ReadOk(got) = resp else {
+                    panic!("bad read")
+                };
                 rec.record(t, RegAction::Read(got), s, e);
             }
         }));
@@ -48,7 +58,8 @@ fn threaded_history_is_linearizable() {
         h.push(c, a, s, e);
     }
     assert_eq!(h.len(), 240);
-    h.validate_sequential_clients().expect("per-client sequentiality");
+    h.validate_sequential_clients()
+        .expect("per-client sequentiality");
     assert_eq!(
         check_linearizable_with_limit(&h, 5_000_000),
         CheckResult::Linearizable,
@@ -76,7 +87,11 @@ fn kv_store_concurrent_sessions_agree() {
     let b = KvStoreClient::new(cluster.client(4));
     for i in 0..7 {
         let key = format!("k{i}");
-        assert_eq!(a.get(key.clone()), b.get(key.clone()), "nodes disagree on {key}");
+        assert_eq!(
+            a.get(key.clone()),
+            b.get(key.clone()),
+            "nodes disagree on {key}"
+        );
         assert!(a.get(key).is_some());
     }
 }
@@ -104,7 +119,10 @@ fn kv_survives_minority_crash_under_load() {
 #[test]
 fn snapshot_over_emulated_registers_never_tears() {
     let n_procs = 2;
-    let cluster = Arc::new(spawn_kv_cluster::<u64, Segment<(u64, u64)>>(3, Jitter::None));
+    let cluster = Arc::new(spawn_kv_cluster::<u64, Segment<(u64, u64)>>(
+        3,
+        Jitter::None,
+    ));
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let mut joins = Vec::new();
     for p in 0..n_procs {

@@ -1,7 +1,7 @@
 //! Property-based tests of the shared-memory algorithms against sequential
 //! models, plus cross-substrate agreement checks.
 
-use abd_repro::shmem::array::{LocalAtomicArray, RegisterArray};
+use abd_repro::shmem::array::LocalAtomicArray;
 use abd_repro::shmem::counter::Counter;
 use abd_repro::shmem::maxreg::MaxRegister;
 use abd_repro::shmem::renaming::Renaming;
@@ -47,11 +47,9 @@ proptest! {
         let regs = LocalAtomicArray::new(4, MwCell::initial(0u32));
         let mut handles: Vec<MwRegister<u32, _>> =
             (0..4).map(|i| MwRegister::new(i, regs.clone())).collect();
-        let mut last = 0u32;
         for (p, v) in ops {
             handles[p].write(v);
-            last = v;
-            prop_assert_eq!(handles[(p + 1) % 4].read(), last);
+            prop_assert_eq!(handles[(p + 1) % 4].read(), v);
         }
     }
 
@@ -99,8 +97,9 @@ proptest! {
 /// compare the full observable trace.
 #[test]
 fn deterministic_scripts_are_substrate_independent() {
-    let script: Vec<(usize, u64)> =
-        (0..60).map(|i| (i % 3, (i as u64).wrapping_mul(2654435761) % 1000)).collect();
+    let script: Vec<(usize, u64)> = (0..60)
+        .map(|i| (i % 3, (i as u64).wrapping_mul(2654435761) % 1000))
+        .collect();
     let run = || {
         let regs = LocalAtomicArray::new(3, 0u64);
         let mut maxes: Vec<MaxRegister<_>> =

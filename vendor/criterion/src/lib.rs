@@ -1,0 +1,230 @@
+//! Offline stub of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! Implements the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a deliberately simple measurement loop:
+//! each benchmark is warmed up once, timed over a fixed number of batches,
+//! and the median batch is reported as mean ns/iter on stdout. There is no
+//! statistical analysis, no HTML report, and no saved baselines.
+//!
+//! When the binary is invoked with `--test` (as `cargo test --benches`
+//! does), each benchmark body runs exactly once so test runs stay fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Prevents the compiler from optimising away a benchmarked value.
+///
+/// A portable `std::hint::black_box` re-export, kept for API parity.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Passed to each benchmark closure; drives the measured iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Iterations to run per measured batch.
+    batch: u64,
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `batch` times and recording the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        self.mean_ns = elapsed / self.batch as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs (or, in test mode, smoke-runs) one benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                batch: 1,
+                mean_ns: 0.0,
+            };
+            f(&mut b);
+            println!("test {full} ... ok");
+            return self;
+        }
+        // Warm-up batch, then `sample_size` measured batches; report the
+        // median so one noisy batch cannot skew the result.
+        let mut b = Bencher {
+            batch: self.criterion.batch_iters,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            samples.push(b.mean_ns);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 * 1e9 / median.max(1.0);
+                println!("{full:<40} {median:>12.1} ns/iter  ({per_sec:.0} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 * 1e9 / median.max(1.0);
+                println!("{full:<40} {median:>12.1} ns/iter  ({per_sec:.0} B/s)");
+            }
+            None => println!("{full:<40} {median:>12.1} ns/iter"),
+        }
+        self
+    }
+
+    /// Ends the group. (No-op beyond API parity; kept so callers drop the
+    /// mutable borrow of `Criterion` explicitly.)
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to every `criterion_group!` target function.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    batch_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            batch_iters: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Consumes CLI configuration; accepted for API parity, no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Registers and immediately runs a standalone benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let id: String = id.into();
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Bundles benchmark functions into a group runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each `criterion_group!` in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion {
+            test_mode: false,
+            batch_iters: 4,
+        };
+        let mut hits = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(2));
+            g.bench_function("count", |b| b.iter(|| hits += 1));
+            g.finish();
+        }
+        // 1 warm-up batch + 3 measured batches, 4 iters each.
+        assert_eq!(hits, 16);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            batch_iters: 10,
+        };
+        let mut hits = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("once", |b| b.iter(|| hits += 1));
+        assert_eq!(hits, 1);
+    }
+}

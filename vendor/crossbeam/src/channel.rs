@@ -1,0 +1,447 @@
+//! MPMC channels with crossbeam-compatible types and a `select!` macro.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when every receiver has been dropped.
+/// Carries the unsent message back to the caller.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender has been dropped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TryRecvError {
+    /// No message buffered right now.
+    Empty,
+    /// No message buffered and every sender is gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// Every sender is gone and the buffer is drained.
+    Disconnected,
+}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        // Poisoning cannot corrupt a VecDeque of already-enqueued messages.
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The sending half of a channel. Cheap to clone.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Creates a channel of unbounded capacity.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// Creates a bounded channel. This stub does not enforce the capacity
+/// (sends never block); the workspace only uses bounded channels as
+/// single-reply slots and disconnect sentinels, where that is equivalent.
+pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+    unbounded()
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender gone: wake receivers so they observe disconnection.
+            let _guard = self.shared.lock();
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`, failing if every receiver has been dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] carrying `msg` back when the channel is disconnected.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(SendError(msg));
+        }
+        let mut q = self.shared.lock();
+        q.push_back(msg);
+        drop(q);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is buffered,
+    /// [`TryRecvError::Disconnected`] when additionally no sender remains.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.shared.lock();
+        if let Some(v) = q.pop_front() {
+            return Ok(v);
+        }
+        if self.shared.senders.load(Ordering::SeqCst) == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] when the buffer is empty and every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.shared.lock();
+        loop {
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvError);
+            }
+            q = self
+                .shared
+                .ready
+                .wait(q)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Receive with a deadline of `timeout` from now.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] if nothing arrived in time,
+    /// [`RecvTimeoutError::Disconnected`] if the channel is drained and dead.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.lock();
+        loop {
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _res) = self
+                .shared
+                .ready
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            q = guard;
+        }
+    }
+}
+
+/// Polls one receiver inside [`select!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __select_poll_arm {
+    ($rx:expr, $slot:ident, $which:ident, $idx:expr) => {
+        match $rx.try_recv() {
+            Ok(__v) => {
+                $slot = Some(Ok(__v));
+                $which = $idx;
+                break;
+            }
+            Err($crate::channel::TryRecvError::Disconnected) => {
+                $slot = Some(Err($crate::channel::RecvError));
+                $which = $idx;
+                break;
+            }
+            Err($crate::channel::TryRecvError::Empty) => {}
+        }
+    };
+}
+
+/// Waits on several channel operations, like crossbeam's `select!`.
+///
+/// Supported subset (what the workspace uses): one or two
+/// `recv(receiver) -> result => body` arms plus a trailing
+/// `default(timeout) => body` arm. Receive arms bind
+/// `Result<T, RecvError>`. Implementation polls the receivers with a short
+/// sleep between rounds — coarser scheduling than real crossbeam's parked
+/// waiting, but the same observable semantics.
+///
+/// Arm bodies run *outside* the internal polling loop, so `return`,
+/// `break` and `continue` inside them target the caller's control flow,
+/// exactly as with real crossbeam.
+#[macro_export]
+macro_rules! select {
+    (
+        recv($rx0:expr) -> $res0:ident => $body0:expr ,
+        recv($rx1:expr) -> $res1:ident => $body1:expr ,
+        default($timeout:expr) => $dbody:expr $(,)?
+    ) => {{
+        let __deadline = ::std::time::Instant::now() + $timeout;
+        let __which: u8;
+        let mut __p0 = ::std::option::Option::None;
+        let mut __p1 = ::std::option::Option::None;
+        loop {
+            $crate::__select_poll_arm!($rx0, __p0, __which, 0);
+            $crate::__select_poll_arm!($rx1, __p1, __which, 1);
+            if ::std::time::Instant::now() >= __deadline {
+                __which = 2;
+                break;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(50));
+        }
+        if __which == 0 {
+            let $res0 = match __p0.take() {
+                ::std::option::Option::Some(__v) => __v,
+                ::std::option::Option::None => unreachable!(),
+            };
+            $body0
+        } else if __which == 1 {
+            let $res1 = match __p1.take() {
+                ::std::option::Option::Some(__v) => __v,
+                ::std::option::Option::None => unreachable!(),
+            };
+            $body1
+        } else {
+            $dbody
+        }
+    }};
+    (
+        recv($rx0:expr) -> $res0:ident => $body0:expr ,
+        default($timeout:expr) => $dbody:expr $(,)?
+    ) => {{
+        let __deadline = ::std::time::Instant::now() + $timeout;
+        let __which: u8;
+        let mut __p0 = ::std::option::Option::None;
+        loop {
+            $crate::__select_poll_arm!($rx0, __p0, __which, 0);
+            if ::std::time::Instant::now() >= __deadline {
+                __which = 1;
+                break;
+            }
+            ::std::thread::sleep(::std::time::Duration::from_micros(50));
+        }
+        if __which == 0 {
+            let $res0 = match __p0.take() {
+                ::std::option::Option::Some(__v) => __v,
+                ::std::option::Option::None => unreachable!(),
+            };
+            $body0
+        } else {
+            $dbody
+        }
+    }};
+}
+
+pub use crate::select;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn disconnect_drains_then_errors() {
+        let (tx, rx) = unbounded();
+        tx.send(1u8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = bounded(0);
+        drop(rx);
+        assert!(tx.send(5u8).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_succeeds() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.send(9).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_cross_thread_send() {
+        let (tx, rx) = unbounded();
+        let t = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(5));
+        tx.send(42u32).unwrap();
+        assert_eq!(t.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn dropping_last_sender_wakes_blocked_receiver() {
+        let (tx, rx) = unbounded::<u8>();
+        let t = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(5));
+        drop(tx);
+        assert_eq!(t.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn select_picks_ready_arm_and_default() {
+        let (tx_a, rx_a) = unbounded::<u8>();
+        let (_tx_b, rx_b) = unbounded::<u8>();
+        tx_a.send(7).unwrap();
+        let got = select! {
+            recv(rx_a) -> m => m.ok(),
+            recv(rx_b) -> m => m.ok(),
+            default(Duration::from_millis(50)) => None,
+        };
+        assert_eq!(got, Some(7));
+        let got = select! {
+            recv(rx_a) -> m => m.ok(),
+            recv(rx_b) -> m => m.ok(),
+            default(Duration::from_millis(10)) => Some(99),
+        };
+        assert_eq!(got, Some(99), "empty channels must fall through to default");
+    }
+
+    #[test]
+    fn multiple_producers_single_consumer() {
+        let (tx, rx) = unbounded();
+        let mut joins = Vec::new();
+        for p in 0..4u64 {
+            let tx = tx.clone();
+            joins.push(thread::spawn(move || {
+                for k in 0..100 {
+                    tx.send(p * 1000 + k).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(got.len(), 400);
+    }
+
+    #[test]
+    fn sender_usable_through_arc_shared_state() {
+        let (tx, rx) = unbounded::<usize>();
+        let tx = Arc::new(tx);
+        let t2 = Arc::clone(&tx);
+        thread::spawn(move || t2.send(1).unwrap()).join().unwrap();
+        tx.send(2).unwrap();
+        let mut both = [rx.recv().unwrap(), rx.recv().unwrap()];
+        both.sort_unstable();
+        assert_eq!(both, [1, 2]);
+    }
+}

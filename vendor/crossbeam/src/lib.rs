@@ -1,0 +1,16 @@
+//! Offline stub of the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, providing the `channel` API surface the workspace uses: MPMC
+//! channels (`unbounded`/`bounded`), blocking/timeout/non-blocking receives
+//! with proper disconnection semantics, and a polling [`select!`] macro.
+//!
+//! Implemented over `std::sync::{Mutex, Condvar}`. Throughput is lower than
+//! real crossbeam, but semantics match what the runtime crate relies on:
+//!
+//! * `send` fails once every receiver is gone;
+//! * `recv` drains buffered messages before reporting disconnection;
+//! * dropping the last sender wakes blocked receivers with `Disconnected`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;

@@ -1,0 +1,148 @@
+//! Offline stub of the [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! Supports the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig { cases, .. })]` header;
+//! * strategies: numeric ranges (`lo..hi`, `lo..=hi`), [`any`],
+//!   tuples of strategies, [`collection::vec`] and [`collection::hash_set`];
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from real proptest: failing cases are **not shrunk** (the
+//! panic reports the failing values via the assertion message instead), and
+//! case generation is seeded deterministically from the test's name, so a
+//! given binary runs the same cases every time — preferable for a CI gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_fns! { cfg = ($cfg) ; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default()) ; $($rest)*
+        }
+    };
+}
+
+/// Expands the function list inside [`proptest!`]; not part of the public
+/// API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( cfg = ($cfg:expr) ; ) => {};
+    (
+        cfg = ($cfg:expr) ;
+        $(#[$attr:meta])*
+        fn $name:ident( $($args:tt)* ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $crate::__proptest_bind!(__rng ; $($args)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($cfg) ; $($rest)* }
+    };
+}
+
+/// Binds `pat in strategy` argument lists; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ( $rng:ident ; ) => {};
+    ( $rng:ident ; $p:pat in $s:expr ) => {
+        let $p = $crate::strategy::Strategy::sample(&($s), &mut $rng);
+    };
+    ( $rng:ident ; $p:pat in $s:expr , $($rest:tt)* ) => {
+        let $p = $crate::strategy::Strategy::sample(&($s), &mut $rng);
+        $crate::__proptest_bind!( $rng ; $($rest)* );
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure; this stub
+/// does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 0usize..=4) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0u32..5, any::<bool>()), v in any::<u16>()) {
+            prop_assert!(pair.0 < 5);
+            let _: bool = pair.1;
+            let _: u16 = v;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+
+        #[test]
+        fn collections_obey_size_bounds(
+            xs in crate::collection::vec(0u8..10, 3..6),
+            mut set in crate::collection::hash_set(any::<u64>(), 2..5),
+        ) {
+            prop_assert!((3..6).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| x < 10));
+            prop_assert!((2..5).contains(&set.len()));
+            set.insert(0);
+            prop_assert!(!set.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::deterministic("t");
+        let mut b = crate::test_runner::TestRng::deterministic("t");
+        let s = 0u64..1000;
+        let va: Vec<u64> = (0..50).map(|_| s.sample(&mut a)).collect();
+        let vb: Vec<u64> = (0..50).map(|_| s.sample(&mut b)).collect();
+        assert_eq!(va, vb);
+    }
+}

@@ -16,6 +16,9 @@ cargo run -q -p abd-lint
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
+echo "==> nemesis smoke (fixed-seed fault campaign, replay-checked)"
+cargo test -q --test nemesis fixed_seed
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 

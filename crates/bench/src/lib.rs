@@ -189,7 +189,7 @@ pub mod clusters {
                     }
                     _ => panic!("{variant:?} is not a SWMR variant"),
                 };
-                cfg.retransmit = retransmit;
+                cfg.retransmit = retransmit.map(abd_core::retransmit::BackoffPolicy::new);
                 SwmrNode::new(cfg, 0u64)
             })
             .collect();
@@ -214,7 +214,7 @@ pub mod clusters {
                     Variant::RegularMwmr => abd_core::presets::regular_mwmr(n, ProcessId(i)),
                     _ => panic!("{variant:?} is not a MWMR variant"),
                 };
-                cfg.retransmit = retransmit;
+                cfg.retransmit = retransmit.map(abd_core::retransmit::BackoffPolicy::new);
                 MwmrNode::new(cfg, 0u64)
             })
             .collect();

@@ -24,6 +24,7 @@ use crate::context::{Effects, Protocol, TimerKey};
 use crate::msg::{RegisterMsg, RegisterOp, RegisterResp};
 use crate::phase::PhaseTracker;
 use crate::quorum::{Majority, QuorumSystem};
+use crate::retransmit::{BackoffPolicy, Retransmitter};
 use crate::types::{Nanos, OpId, ProcessId, RegisterError};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -44,8 +45,8 @@ pub struct BoundedSwmrConfig {
     pub quorum: Arc<dyn QuorumSystem>,
     /// The finite label cycle.
     pub space: LabelSpace,
-    /// Retransmission interval (`None` = reliable links).
-    pub retransmit: Option<Nanos>,
+    /// Retransmission policy (`None` = reliable links).
+    pub retransmit: Option<BackoffPolicy>,
 }
 
 impl BoundedSwmrConfig {
@@ -75,9 +76,16 @@ impl BoundedSwmrConfig {
         self
     }
 
-    /// Sets the retransmission interval for lossy links.
+    /// Enables adaptive retransmission for lossy links (exponential
+    /// backoff from `every`, capped, jittered; see [`BackoffPolicy::new`]).
     pub fn with_retransmit(mut self, every: Nanos) -> Self {
-        self.retransmit = Some(every);
+        self.retransmit = Some(BackoffPolicy::new(every));
+        self
+    }
+
+    /// Sets an explicit retransmission policy.
+    pub fn with_backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.retransmit = Some(policy);
         self
     }
 }
@@ -114,6 +122,15 @@ impl<V> Pending<V> {
     }
 }
 
+/// Post-restart catch-up query phase (stable-storage model; see
+/// [`crate::swmr`] module docs).
+#[derive(Clone, Debug)]
+struct Recovery<V> {
+    ph: PhaseTracker,
+    best_label: SerialLabel,
+    best_value: V,
+}
+
 /// One processor of the bounded single-writer emulation.
 ///
 /// # Examples
@@ -142,6 +159,8 @@ pub struct BoundedSwmrNode<V> {
     queue: VecDeque<(OpId, RegisterOp<V>)>,
     labels_issued: u64,
     window_violations: u64,
+    rtx: Retransmitter,
+    recovering: Option<Recovery<V>>,
 }
 
 impl<V: Clone + std::fmt::Debug + Send + 'static> BoundedSwmrNode<V> {
@@ -155,6 +174,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> BoundedSwmrNode<V> {
             "quorum system sized for a different cluster"
         );
         let origin = cfg.space.origin();
+        let rtx = Retransmitter::new(cfg.retransmit, cfg.me);
         BoundedSwmrNode {
             cfg,
             stored_label: origin,
@@ -164,6 +184,8 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> BoundedSwmrNode<V> {
             queue: VecDeque::new(),
             labels_issued: 0,
             window_violations: 0,
+            rtx,
+            recovering: None,
         }
     }
 
@@ -195,6 +217,16 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> BoundedSwmrNode<V> {
         self.pending.is_some()
     }
 
+    /// Whether the node is catching up after a restart.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering.is_some()
+    }
+
+    /// Messages this node has retransmitted over its lifetime.
+    pub fn retransmissions(&self) -> u64 {
+        self.rtx.retransmissions()
+    }
+
     fn fresh_uid(&mut self) -> u64 {
         self.next_uid += 1;
         self.next_uid
@@ -213,9 +245,27 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> BoundedSwmrNode<V> {
         }
     }
 
-    fn arm_timer(&self, uid: u64, fx: &mut Effects<BoundedSwmrMsg<V>, RegisterResp<V>>) {
-        if let Some(interval) = self.cfg.retransmit {
-            fx.set_timer(TimerKey(uid), interval);
+    fn arm_timer(&mut self, uid: u64, fx: &mut Effects<BoundedSwmrMsg<V>, RegisterResp<V>>) {
+        self.rtx.arm(uid, fx);
+    }
+
+    /// Completes the post-restart catch-up (adopt obeys the comparability
+    /// window, counting violations exactly like any other adoption).
+    fn finish_recovery(
+        &mut self,
+        label: SerialLabel,
+        value: V,
+        fx: &mut Effects<BoundedSwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        self.recovering = None;
+        // The writer needs no extra sequence catch-up: it issues labels as
+        // successors of its stored label, which persisted across the crash
+        // and (being part of the query quorum) dominates all issued labels.
+        self.adopt(label, value);
+        if self.pending.is_none() {
+            if let Some((next_op, next_input)) = self.queue.pop_front() {
+                self.begin(next_op, next_input, fx);
+            }
         }
     }
 
@@ -371,7 +421,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for BoundedSwmrNode<V
         input: RegisterOp<V>,
         fx: &mut Effects<Self::Msg, Self::Resp>,
     ) {
-        if self.pending.is_some() {
+        if self.pending.is_some() || self.recovering.is_some() {
             self.queue.push_back((op, input));
         } else {
             self.begin(op, input, fx);
@@ -395,6 +445,28 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for BoundedSwmrNode<V
             }
             RegisterMsg::QueryReply { uid, label, value } => {
                 let space = self.cfg.space;
+                if let Some(rec) = self.recovering.as_mut() {
+                    if !rec.ph.record(from, uid) {
+                        return;
+                    }
+                    if !space.comparable(label, rec.best_label) {
+                        self.window_violations += 1;
+                    } else if space.newer(label, rec.best_label) {
+                        rec.best_label = label;
+                        rec.best_value = value;
+                    }
+                    let quorum_met = self
+                        .recovering
+                        .as_ref()
+                        .is_some_and(|rec| self.cfg.quorum.is_read_quorum(rec.ph.responders()));
+                    if quorum_met {
+                        if let Some(rec) = self.recovering.take() {
+                            self.rtx.disarm(uid, fx);
+                            self.finish_recovery(rec.best_label, rec.best_value, fx);
+                        }
+                    }
+                    return;
+                }
                 let mut violation = false;
                 let next = match self.pending.as_mut() {
                     Some(Pending::Query {
@@ -425,9 +497,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for BoundedSwmrNode<V
                 }
                 if let Some((op, label, value)) = next {
                     self.pending = None;
-                    if self.cfg.retransmit.is_some() {
-                        fx.cancel_timer(TimerKey(uid));
-                    }
+                    self.rtx.disarm(uid, fx);
                     self.enter_write_back(op, label, value, fx);
                 }
             }
@@ -452,9 +522,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for BoundedSwmrNode<V
                     _ => None,
                 };
                 if let Some((op, resp)) = done {
-                    if self.cfg.retransmit.is_some() {
-                        fx.cancel_timer(TimerKey(uid));
-                    }
+                    self.rtx.disarm(uid, fx);
                     self.finish(op, resp, fx);
                 }
             }
@@ -462,6 +530,15 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for BoundedSwmrNode<V
     }
 
     fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        if let Some(rec) = self.recovering.as_ref() {
+            if rec.ph.uid() != key.0 {
+                return;
+            }
+            let (uid, missing) = (rec.ph.uid(), rec.ph.missing());
+            self.rtx
+                .fire(key.0, &missing, RegisterMsg::Query { uid }, fx);
+            return;
+        }
         let Some(pending) = self.pending.as_ref() else {
             return;
         };
@@ -470,11 +547,30 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for BoundedSwmrNode<V
         }
         let missing = pending.phase().missing();
         if let Some(msg) = self.phase_message() {
-            for p in missing {
-                fx.send(p, msg.clone());
-            }
+            self.rtx.fire(key.0, &missing, msg, fx);
         }
-        self.arm_timer(key.0, fx);
+    }
+
+    fn on_restart(&mut self, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        // Stable storage: the stored pair, the uid counter and the anomaly
+        // counters survive; in-flight operation state does not (see the
+        // crate::swmr module docs for the soundness argument).
+        self.pending = None;
+        self.queue.clear();
+        self.rtx.reset();
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        let (best_label, best_value) = (self.stored_label, self.stored_value.clone());
+        if self.cfg.quorum.is_read_quorum(ph.responders()) {
+            return; // Single-node cluster: nothing to catch up from.
+        }
+        self.recovering = Some(Recovery {
+            ph,
+            best_label,
+            best_value,
+        });
+        self.broadcast(RegisterMsg::Query { uid }, fx);
+        self.arm_timer(uid, fx);
     }
 }
 
@@ -593,6 +689,31 @@ mod tests {
         net.invoke(2, RegisterOp::Write(1));
         net.run_to_quiescence();
         assert!(matches!(net.take_responses()[0].1, RegisterResp::Err(_)));
+    }
+
+    #[test]
+    fn restart_catches_up_within_the_window() {
+        let mut net = cluster(3, 16);
+        net.invoke(0, RegisterOp::Write(7));
+        net.run_to_quiescence();
+        net.crash(2);
+        // A few more writes while node 2 is down — stays inside the window.
+        for v in 8..11u32 {
+            net.invoke(0, RegisterOp::Write(v));
+            net.run_to_quiescence();
+        }
+        net.restart(2);
+        net.run_to_quiescence();
+        assert!(!net.node(2).is_recovering());
+        assert_eq!(net.node(2).replica_state().1, 10);
+        assert_eq!(net.node(2).window_violations(), 0);
+        // The recovered replica serves reads normally.
+        net.invoke(2, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(
+            net.take_responses().last().unwrap().1,
+            RegisterResp::ReadOk(10)
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@
 use crate::context::{Effects, Protocol, TimerKey};
 use crate::msg::{RegisterMsg, RegisterOp, RegisterResp};
 use crate::phase::PhaseTracker;
+use crate::retransmit::{BackoffPolicy, Retransmitter};
 use crate::types::{Nanos, OpId, ProcessId, RegisterError, SeqNo};
 use std::collections::VecDeque;
 
@@ -61,8 +62,8 @@ pub struct ByzConfig {
     pub writer: ProcessId,
     /// Maximum number of Byzantine replicas tolerated.
     pub b: usize,
-    /// Retransmission interval (`None` = reliable links).
-    pub retransmit: Option<Nanos>,
+    /// Retransmission policy (`None` = reliable links).
+    pub retransmit: Option<BackoffPolicy>,
     /// When `Some`, this node's replica role lies per the strategy.
     pub lie: Option<LieStrategy>,
 }
@@ -91,9 +92,16 @@ impl ByzConfig {
         self
     }
 
-    /// Sets the retransmission interval.
+    /// Enables adaptive retransmission for lossy links (exponential
+    /// backoff from `every`, capped, jittered; see [`BackoffPolicy::new`]).
     pub fn with_retransmit(mut self, every: Nanos) -> Self {
-        self.retransmit = Some(every);
+        self.retransmit = Some(BackoffPolicy::new(every));
+        self
+    }
+
+    /// Sets an explicit retransmission policy.
+    pub fn with_backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.retransmit = Some(policy);
         self
     }
 
@@ -125,6 +133,16 @@ enum Pending<V> {
     },
 }
 
+/// Post-restart catch-up query phase. Recovery collects *votes* and picks
+/// the masked choice, exactly like a read's query round — catching up from
+/// raw max-label replies would let `b` liars poison the rebooted replica
+/// (stable-storage model; see [`crate::swmr`] module docs).
+#[derive(Clone, Debug)]
+struct Recovery<V> {
+    ph: PhaseTracker,
+    votes: Vec<(SeqNo, V, usize)>,
+}
+
 /// One node of the Byzantine-tolerant single-writer emulation.
 ///
 /// # Examples
@@ -153,12 +171,15 @@ pub struct ByzNode<V> {
     queue: VecDeque<(OpId, RegisterOp<V>)>,
     /// Fabrication counter for the `ForgeLabel` strategy.
     forged: u64,
+    rtx: Retransmitter,
+    recovering: Option<Recovery<V>>,
 }
 
 impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> ByzNode<V> {
     /// Creates a node holding `initial` under label 0.
     pub fn new(cfg: ByzConfig, initial: V) -> Self {
         assert!(cfg.me.index() < cfg.n, "node id out of range");
+        let rtx = Retransmitter::new(cfg.retransmit, cfg.me);
         ByzNode {
             cfg,
             label: 0,
@@ -168,6 +189,8 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> ByzNode<V> {
             pending: None,
             queue: VecDeque::new(),
             forged: 0,
+            rtx,
+            recovering: None,
         }
     }
 
@@ -179,6 +202,16 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> ByzNode<V> {
     /// Whether this node is configured to lie.
     pub fn is_byzantine(&self) -> bool {
         self.cfg.lie.is_some()
+    }
+
+    /// Whether the node is catching up after a restart.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering.is_some()
+    }
+
+    /// Messages this node has retransmitted over its lifetime.
+    pub fn retransmissions(&self) -> u64 {
+        self.rtx.retransmissions()
     }
 
     fn fresh_uid(&mut self) -> u64 {
@@ -199,9 +232,31 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> ByzNode<V> {
         }
     }
 
-    fn arm_timer(&self, uid: u64, fx: &mut Effects<ByzMsg<V>, RegisterResp<V>>) {
-        if let Some(interval) = self.cfg.retransmit {
-            fx.set_timer(TimerKey(uid), interval);
+    fn arm_timer(&mut self, uid: u64, fx: &mut Effects<ByzMsg<V>, RegisterResp<V>>) {
+        self.rtx.arm(uid, fx);
+    }
+
+    /// Completes the post-restart catch-up: adopt the masked choice (never
+    /// a raw max — `b` liars answered too) and, on the writer, re-anchor
+    /// the sequence counter so no label is ever reused.
+    fn finish_recovery(
+        &mut self,
+        votes: &[(SeqNo, V, usize)],
+        fx: &mut Effects<ByzMsg<V>, RegisterResp<V>>,
+    ) {
+        self.recovering = None;
+        let (label, value) = self.masked_choice(votes);
+        if label > self.label {
+            self.label = label;
+            self.value = value;
+        }
+        if self.cfg.me == self.cfg.writer {
+            self.seq = self.seq.max(self.label);
+        }
+        if self.pending.is_none() {
+            if let Some((next_op, next_input)) = self.queue.pop_front() {
+                self.begin(next_op, next_input, fx);
+            }
         }
     }
 
@@ -390,7 +445,7 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> Protocol for ByzNode<V> {
         input: RegisterOp<V>,
         fx: &mut Effects<Self::Msg, Self::Resp>,
     ) {
-        if self.pending.is_some() {
+        if self.pending.is_some() || self.recovering.is_some() {
             self.queue.push_back((op, input));
         } else {
             self.begin(op, input, fx);
@@ -428,6 +483,26 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> Protocol for ByzNode<V> {
             RegisterMsg::QueryReply { uid, label, value } => {
                 let b = self.cfg.b;
                 let q = self.cfg.quorum_size();
+                if let Some(rec) = self.recovering.as_mut() {
+                    if !rec.ph.record(from, uid) {
+                        return;
+                    }
+                    match rec
+                        .votes
+                        .iter_mut()
+                        .find(|(l, v, _)| *l == label && *v == value)
+                    {
+                        Some(entry) => entry.2 += 1,
+                        None => rec.votes.push((label, value, 1)),
+                    }
+                    if rec.ph.responders().len() >= q {
+                        if let Some(rec) = self.recovering.take() {
+                            self.rtx.disarm(uid, fx);
+                            self.finish_recovery(&rec.votes, fx);
+                        }
+                    }
+                    return;
+                }
                 let done = match self.pending.as_mut() {
                     Some(Pending::Query { op, ph, votes }) => {
                         if !ph.record(from, uid) {
@@ -453,9 +528,7 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> Protocol for ByzNode<V> {
                     let Some(Pending::Query { votes, .. }) = self.pending.take() else {
                         unreachable!()
                     };
-                    if self.cfg.retransmit.is_some() {
-                        fx.cancel_timer(TimerKey(uid));
-                    }
+                    self.rtx.disarm(uid, fx);
                     let (label, value) = self.masked_choice(&votes);
                     self.enter_write_back(op, label, value, fx);
                 }
@@ -480,9 +553,7 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> Protocol for ByzNode<V> {
                     _ => None,
                 };
                 if let Some((op, resp)) = done {
-                    if self.cfg.retransmit.is_some() {
-                        fx.cancel_timer(TimerKey(uid));
-                    }
+                    self.rtx.disarm(uid, fx);
                     self.finish(op, resp, fx);
                 }
             }
@@ -490,6 +561,15 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> Protocol for ByzNode<V> {
     }
 
     fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        if let Some(rec) = self.recovering.as_ref() {
+            if rec.ph.uid() != key.0 {
+                return;
+            }
+            let (uid, missing) = (rec.ph.uid(), rec.ph.missing());
+            self.rtx
+                .fire(key.0, &missing, RegisterMsg::Query { uid }, fx);
+            return;
+        }
         let Some(pending) = self.pending.as_ref() else {
             return;
         };
@@ -503,11 +583,28 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> Protocol for ByzNode<V> {
         }
         let missing = ph.missing();
         if let Some(msg) = self.phase_message() {
-            for p in missing {
-                fx.send(p, msg.clone());
-            }
+            self.rtx.fire(key.0, &missing, msg, fx);
         }
-        self.arm_timer(key.0, fx);
+    }
+
+    fn on_restart(&mut self, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        // Stable storage: the replica pair, the writer's sequence counter
+        // and the uid counter survive; in-flight operation state does not
+        // (see the crate::swmr module docs for the soundness argument).
+        // Liars restart too — their recovery is harmless noise since they
+        // answer from the lie strategy, not from adopted state.
+        self.pending = None;
+        self.queue.clear();
+        self.rtx.reset();
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        let votes = vec![(self.label, self.value.clone(), 1usize)];
+        if self.quorum_met(&ph) {
+            return; // Single-node cluster: nothing to catch up from.
+        }
+        self.recovering = Some(Recovery { ph, votes });
+        self.broadcast(RegisterMsg::Query { uid }, fx);
+        self.arm_timer(uid, fx);
     }
 }
 
@@ -654,5 +751,48 @@ mod tests {
     #[should_panic(expected = "n >= 4b+1")]
     fn undersized_cluster_rejected() {
         ByzConfig::new(4, ProcessId(0), ProcessId(0), 1);
+    }
+
+    #[test]
+    fn restart_recovery_is_not_poisoned_by_a_liar() {
+        // Node 2 crashes, misses a write, and restarts while replica 1
+        // forges sky-high labels. The catch-up query phase must adopt the
+        // masked choice — the real write — not the forgery.
+        let mut net = cluster(1, &[(1, LieStrategy::ForgeLabel)]);
+        net.invoke(0, RegisterOp::Write(42));
+        net.run_to_quiescence();
+        net.crash(2);
+        net.invoke(0, RegisterOp::Write(43));
+        net.run_to_quiescence();
+        net.restart(2);
+        net.run_to_quiescence();
+        assert!(!net.node(2).is_recovering());
+        assert_eq!(net.node(2).replica_state(), (2, 43));
+        net.invoke(2, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(
+            net.take_responses().last().unwrap().1,
+            RegisterResp::ReadOk(43)
+        );
+    }
+
+    #[test]
+    fn writer_restart_does_not_reuse_labels() {
+        let mut net = cluster(1, &[]);
+        net.invoke(0, RegisterOp::Write(5));
+        net.run_to_quiescence();
+        net.crash(0);
+        net.restart(0);
+        net.run_to_quiescence();
+        net.invoke(0, RegisterOp::Write(6));
+        net.run_to_quiescence();
+        // Label 1 was consumed pre-crash; the new write must use label 2.
+        assert_eq!(net.node(3).replica_state(), (2, 6));
+        net.invoke(2, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(
+            net.take_responses().last().unwrap().1,
+            RegisterResp::ReadOk(6)
+        );
     }
 }

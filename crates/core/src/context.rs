@@ -170,6 +170,22 @@ pub trait Protocol {
     fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
         let _ = (key, fx);
     }
+
+    /// The node crashed and has been rebooted by its host.
+    ///
+    /// Called in place of [`Protocol::on_start`] when a crashed node
+    /// rejoins. By the time this runs the host has already discarded every
+    /// armed timer; in-flight operations were lost with the crash (their
+    /// clients see them as aborted). Implementations must drop volatile
+    /// per-operation state and may emit messages to catch their replica up
+    /// (the protocols in this crate run their own query phase against a
+    /// read quorum before serving new invocations). State modelling stable
+    /// storage — the replica's `(label, value)` pair, the writer's sequence
+    /// number, the phase-uid counter — survives; see the crate docs for why
+    /// full amnesia would forfeit atomicity.
+    fn on_restart(&mut self, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        let _ = fx;
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,7 @@ pub mod presets;
 pub mod procset;
 pub mod quorum;
 pub mod replica;
+pub mod retransmit;
 pub mod swmr;
 pub mod types;
 
@@ -87,5 +88,6 @@ pub use msg::{RegisterMsg, RegisterOp, RegisterResp};
 pub use mwmr::{MwmrConfig, MwmrNode};
 pub use procset::ProcSet;
 pub use quorum::{Grid, Majority, QuorumSystem, Threshold, Weighted};
+pub use retransmit::{BackoffPolicy, Retransmitter};
 pub use swmr::{SwmrConfig, SwmrNode};
 pub use types::{Nanos, OpId, ProcessId, RegisterError, SeqNo, Tag};

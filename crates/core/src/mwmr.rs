@@ -18,6 +18,7 @@ use crate::msg::{RegisterMsg, RegisterOp, RegisterResp};
 use crate::phase::PhaseTracker;
 use crate::quorum::{Majority, QuorumSystem};
 use crate::replica::Replica;
+use crate::retransmit::{BackoffPolicy, Retransmitter};
 use crate::types::{Nanos, OpId, ProcessId, Tag};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -40,9 +41,9 @@ pub struct MwmrConfig {
     /// Whether reads perform the write-back phase (`true` = atomic,
     /// `false` = regular baseline).
     pub read_write_back: bool,
-    /// Retransmission interval for unfinished phases (`None` = reliable
+    /// Retransmission policy for unfinished phases (`None` = reliable
     /// links, no retransmission).
-    pub retransmit: Option<Nanos>,
+    pub retransmit: Option<BackoffPolicy>,
 }
 
 impl MwmrConfig {
@@ -69,9 +70,16 @@ impl MwmrConfig {
         self
     }
 
-    /// Sets the retransmission interval for lossy links.
+    /// Enables adaptive retransmission for lossy links (exponential
+    /// backoff from `every`, capped, jittered; see [`BackoffPolicy::new`]).
     pub fn with_retransmit(mut self, every: Nanos) -> Self {
-        self.retransmit = Some(every);
+        self.retransmit = Some(BackoffPolicy::new(every));
+        self
+    }
+
+    /// Sets an explicit retransmission policy.
+    pub fn with_backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.retransmit = Some(policy);
         self
     }
 }
@@ -119,6 +127,15 @@ impl<V> Pending<V> {
     }
 }
 
+/// Post-restart catch-up query phase (see [`crate::swmr`] module docs for
+/// the stable-storage model it completes).
+#[derive(Clone, Debug)]
+struct Recovery<V> {
+    ph: PhaseTracker,
+    best_tag: Tag,
+    best_value: V,
+}
+
 /// One processor of the MWMR emulation. Every processor may read and write.
 ///
 /// # Examples
@@ -143,6 +160,8 @@ pub struct MwmrNode<V> {
     next_uid: u64,
     pending: Option<Pending<V>>,
     queue: VecDeque<(OpId, RegisterOp<V>)>,
+    rtx: Retransmitter,
+    recovering: Option<Recovery<V>>,
 }
 
 impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
@@ -154,12 +173,15 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
             cfg.n,
             "quorum system sized for a different cluster"
         );
+        let rtx = Retransmitter::new(cfg.retransmit, cfg.me);
         MwmrNode {
             cfg,
             replica: Replica::new(Tag::initial(), initial),
             next_uid: 0,
             pending: None,
             queue: VecDeque::new(),
+            rtx,
+            recovering: None,
         }
     }
 
@@ -171,6 +193,16 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
     /// Whether an operation is currently in flight on this node.
     pub fn is_busy(&self) -> bool {
         self.pending.is_some()
+    }
+
+    /// Whether the node is catching up after a restart.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering.is_some()
+    }
+
+    /// Messages this node has retransmitted over its lifetime.
+    pub fn retransmissions(&self) -> u64 {
+        self.rtx.retransmissions()
     }
 
     /// The node's configuration.
@@ -192,15 +224,28 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
         }
     }
 
-    fn arm_timer(&self, uid: u64, fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>) {
-        if let Some(interval) = self.cfg.retransmit {
-            fx.set_timer(TimerKey(uid), interval);
-        }
+    fn arm_timer(&mut self, uid: u64, fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>) {
+        self.rtx.arm(uid, fx);
     }
 
-    fn disarm_timer(&self, uid: u64, fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>) {
-        if self.cfg.retransmit.is_some() {
-            fx.cancel_timer(TimerKey(uid));
+    fn disarm_timer(&mut self, uid: u64, fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>) {
+        self.rtx.disarm(uid, fx);
+    }
+
+    /// Completes the post-restart catch-up: adopt the freshest pair a read
+    /// quorum reported, then serve anything queued while recovering.
+    fn finish_recovery(
+        &mut self,
+        tag: Tag,
+        value: V,
+        fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        self.recovering = None;
+        self.replica.adopt(tag, value);
+        if self.pending.is_none() {
+            if let Some((next_op, next_input)) = self.queue.pop_front() {
+                self.begin(next_op, next_input, fx);
+            }
         }
     }
 
@@ -363,7 +408,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
         input: RegisterOp<V>,
         fx: &mut Effects<Self::Msg, Self::Resp>,
     ) {
-        if self.pending.is_some() {
+        if self.pending.is_some() || self.recovering.is_some() {
             self.queue.push_back((op, input));
         } else {
             self.begin(op, input, fx);
@@ -388,6 +433,22 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
             }
             // ---- client role ----
             RegisterMsg::QueryReply { uid, label, value } => {
+                if let Some(rec) = self.recovering.as_mut() {
+                    if !rec.ph.record(from, uid) {
+                        return;
+                    }
+                    if label > rec.best_tag {
+                        rec.best_tag = label;
+                        rec.best_value = value;
+                    }
+                    if self.cfg.quorum.is_read_quorum(rec.ph.responders()) {
+                        if let Some(rec) = self.recovering.take() {
+                            self.disarm_timer(uid, fx);
+                            self.finish_recovery(rec.best_tag, rec.best_value, fx);
+                        }
+                    }
+                    return;
+                }
                 enum Next<V> {
                     WriteUpdate(OpId, Tag, V),
                     ReadWriteBack(OpId, Tag, V),
@@ -475,6 +536,15 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
     }
 
     fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        if let Some(rec) = self.recovering.as_ref() {
+            if rec.ph.uid() != key.0 {
+                return;
+            }
+            let (uid, missing) = (rec.ph.uid(), rec.ph.missing());
+            self.rtx
+                .fire(key.0, &missing, RegisterMsg::Query { uid }, fx);
+            return;
+        }
         let Some(pending) = self.pending.as_ref() else {
             return;
         };
@@ -483,11 +553,31 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
         }
         let missing = pending.phase().missing();
         if let Some(msg) = self.phase_message() {
-            for p in missing {
-                fx.send(p, msg.clone());
-            }
+            self.rtx.fire(key.0, &missing, msg, fx);
         }
-        self.arm_timer(key.0, fx);
+    }
+
+    fn on_restart(&mut self, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        // Volatile state is wiped; the replica pair and uid counter model
+        // stable storage (see crate::swmr module docs). A writer needs no
+        // extra sequence catch-up here: every write starts with its own
+        // query phase and picks a tag above everything a read quorum knows.
+        self.pending = None;
+        self.queue.clear();
+        self.rtx.reset();
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        let (best_tag, best_value) = self.replica.snapshot();
+        if self.cfg.quorum.is_read_quorum(ph.responders()) {
+            return; // Single-node cluster: nothing to catch up from.
+        }
+        self.recovering = Some(Recovery {
+            ph,
+            best_tag,
+            best_value,
+        });
+        self.broadcast(RegisterMsg::Query { uid }, fx);
+        self.arm_timer(uid, fx);
     }
 }
 
@@ -622,6 +712,31 @@ mod tests {
         node.on_message(ProcessId(1), RegisterMsg::UpdateAck { uid: 42 }, &mut fx);
         assert!(fx.is_empty());
         assert_eq!(node.replica_state().0, Tag::initial());
+    }
+
+    #[test]
+    fn restart_catches_up_and_keeps_tags_monotone() {
+        let mut net = cluster(3);
+        net.invoke(1, RegisterOp::Write(100));
+        net.run_to_quiescence();
+        net.crash(2);
+        net.invoke(1, RegisterOp::Write(200));
+        net.run_to_quiescence();
+        net.take_responses();
+        net.restart(2);
+        assert!(net.node(2).is_recovering());
+        net.run_to_quiescence();
+        assert!(!net.node(2).is_recovering());
+        assert_eq!(net.node(2).replica_state().1, 200, "caught up");
+        // A post-restart write from the rejoined node dominates.
+        net.invoke(2, RegisterOp::Write(300));
+        net.run_to_quiescence();
+        net.invoke(0, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(
+            net.take_responses().last().unwrap().1,
+            RegisterResp::ReadOk(300)
+        );
     }
 
     #[test]

@@ -25,15 +25,35 @@
 //!
 //! The state machine is sans-io (see [`crate::context`]): hosts deliver
 //! messages and timer ticks, and carry out the recorded effects. With a
-//! retransmission interval configured, an unfinished phase periodically
-//! re-broadcasts to the processors that have not yet responded, which makes
-//! the emulation live over fair-lossy links (experiment **F3**).
+//! retransmission policy configured, an unfinished phase resends — with
+//! exponential backoff and deterministic jitter, only to the processors
+//! that have not yet responded ([`crate::retransmit`]) — which makes the
+//! emulation live over fair-lossy links (experiment **F3**).
+//!
+//! ## Crash recovery
+//!
+//! A restarted node ([`Protocol::on_restart`]) loses its volatile state —
+//! the in-flight operation, queued invocations, retry schedule — but its
+//! replica pair `(label, value)`, the writer's sequence number and the
+//! phase-uid counter model **stable storage** and survive. This is not an
+//! optimization but a soundness requirement: if an acknowledgement could
+//! outlive the replica state it acknowledged, a write quorum would no
+//! longer guarantee that its labels persist. Concretely, with full amnesia:
+//! the writer collects `p`'s ack for label 5, `p` crashes and rejoins
+//! having caught up from a stale majority at label 4, and a later read
+//! whose quorum intersects the write quorum only at `p` returns the old
+//! value — a new/old inversion. Persisting the pair (as a real deployment
+//! would, via an fsync before the ack) restores the quorum-intersection
+//! argument; the catch-up **query phase** the node runs before serving
+//! again is then purely a freshness optimization that lets it answer with
+//! recent labels immediately.
 
 use crate::context::{Effects, Protocol, TimerKey};
 use crate::msg::{RegisterMsg, RegisterOp, RegisterResp};
 use crate::phase::PhaseTracker;
 use crate::quorum::{Majority, QuorumSystem};
 use crate::replica::Replica;
+use crate::retransmit::{BackoffPolicy, Retransmitter};
 use crate::types::{Nanos, OpId, ProcessId, RegisterError, SeqNo};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -55,9 +75,9 @@ pub struct SwmrConfig {
     /// Whether reads perform the write-back phase (`true` = atomic ABD,
     /// `false` = regular-register baseline).
     pub read_write_back: bool,
-    /// Retransmission interval for unfinished phases; `None` disables
+    /// Retransmission policy for unfinished phases; `None` disables
     /// retransmission (appropriate for reliable links).
-    pub retransmit: Option<Nanos>,
+    pub retransmit: Option<BackoffPolicy>,
 }
 
 impl SwmrConfig {
@@ -86,9 +106,17 @@ impl SwmrConfig {
         self
     }
 
-    /// Sets the retransmission interval for lossy links.
+    /// Enables adaptive retransmission for lossy links: exponential backoff
+    /// starting at `every`, capped at `16 * every`, with deterministic
+    /// jitter (see [`BackoffPolicy::new`]).
     pub fn with_retransmit(mut self, every: Nanos) -> Self {
-        self.retransmit = Some(every);
+        self.retransmit = Some(BackoffPolicy::new(every));
+        self
+    }
+
+    /// Sets an explicit retransmission policy.
+    pub fn with_backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.retransmit = Some(policy);
         self
     }
 }
@@ -117,6 +145,15 @@ enum Pending<V> {
         label: SeqNo,
         value: V,
     },
+}
+
+/// Post-restart catch-up: a query phase run before serving clients, so the
+/// rejoining replica adopts the latest completed write it missed.
+#[derive(Clone, Debug)]
+struct Recovery<V> {
+    ph: PhaseTracker,
+    best_label: SeqNo,
+    best_value: V,
 }
 
 /// One processor of the SWMR emulation: replica role plus (on the designated
@@ -151,6 +188,8 @@ pub struct SwmrNode<V> {
     next_uid: u64,
     pending: Option<Pending<V>>,
     queue: VecDeque<(OpId, RegisterOp<V>)>,
+    rtx: Retransmitter,
+    recovering: Option<Recovery<V>>,
 }
 
 impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
@@ -164,6 +203,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
             cfg.n,
             "quorum system sized for a different cluster"
         );
+        let rtx = Retransmitter::new(cfg.retransmit, cfg.me);
         SwmrNode {
             cfg,
             replica: Replica::new(0, initial),
@@ -171,6 +211,8 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
             next_uid: 0,
             pending: None,
             queue: VecDeque::new(),
+            rtx,
+            recovering: None,
         }
     }
 
@@ -183,6 +225,17 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
     /// Whether an operation is currently in flight on this node.
     pub fn is_busy(&self) -> bool {
         self.pending.is_some()
+    }
+
+    /// Whether the node is catching up after a restart (invocations queue
+    /// until the catch-up read completes).
+    pub fn is_recovering(&self) -> bool {
+        self.recovering.is_some()
+    }
+
+    /// Messages this node has retransmitted over its lifetime.
+    pub fn retransmissions(&self) -> u64 {
+        self.rtx.retransmissions()
     }
 
     /// Number of invocations waiting behind the in-flight operation.
@@ -212,15 +265,34 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
         }
     }
 
-    fn arm_timer(&self, uid: u64, fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>) {
-        if let Some(interval) = self.cfg.retransmit {
-            fx.set_timer(TimerKey(uid), interval);
-        }
+    fn arm_timer(&mut self, uid: u64, fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>) {
+        self.rtx.arm(uid, fx);
     }
 
-    fn disarm_timer(&self, uid: u64, fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>) {
-        if self.cfg.retransmit.is_some() {
-            fx.cancel_timer(TimerKey(uid));
+    fn disarm_timer(&mut self, uid: u64, fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>) {
+        self.rtx.disarm(uid, fx);
+    }
+
+    /// Completes the post-restart catch-up: adopt the freshest pair a read
+    /// quorum reported, then serve anything that queued while recovering.
+    fn finish_recovery(
+        &mut self,
+        label: SeqNo,
+        value: V,
+        fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        self.recovering = None;
+        self.replica.adopt(label, value);
+        if self.cfg.me == self.cfg.writer {
+            // The writer's next label must exceed every label it ever
+            // issued; its own persisted replica is part of the quorum, so
+            // `label` already covers the pre-crash sequence number.
+            self.seq = self.seq.max(label);
+        }
+        if self.pending.is_none() {
+            if let Some((next_op, next_input)) = self.queue.pop_front() {
+                self.begin(next_op, next_input, fx);
+            }
         }
     }
 
@@ -376,7 +448,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
         input: RegisterOp<V>,
         fx: &mut Effects<Self::Msg, Self::Resp>,
     ) {
-        if self.pending.is_some() {
+        if self.pending.is_some() || self.recovering.is_some() {
             self.queue.push_back((op, input));
         } else {
             self.begin(op, input, fx);
@@ -401,6 +473,22 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
             }
             // ---- client role ----
             RegisterMsg::QueryReply { uid, label, value } => {
+                if let Some(rec) = self.recovering.as_mut() {
+                    if !rec.ph.record(from, uid) {
+                        return;
+                    }
+                    if label > rec.best_label {
+                        rec.best_label = label;
+                        rec.best_value = value;
+                    }
+                    if self.cfg.quorum.is_read_quorum(rec.ph.responders()) {
+                        if let Some(rec) = self.recovering.take() {
+                            self.disarm_timer(uid, fx);
+                            self.finish_recovery(rec.best_label, rec.best_value, fx);
+                        }
+                    }
+                    return;
+                }
                 let Some(Pending::Query {
                     ph,
                     best_label,
@@ -453,6 +541,15 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
     }
 
     fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        if let Some(rec) = self.recovering.as_ref() {
+            if rec.ph.uid() != key.0 {
+                return;
+            }
+            let (uid, missing) = (rec.ph.uid(), rec.ph.missing());
+            self.rtx
+                .fire(key.0, &missing, RegisterMsg::Query { uid }, fx);
+            return;
+        }
         let Some(pending) = self.pending.as_ref() else {
             return;
         };
@@ -466,11 +563,32 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
         }
         let missing = ph.missing();
         if let Some(msg) = self.phase_message() {
-            for p in missing {
-                fx.send(p, msg.clone());
-            }
+            self.rtx.fire(key.0, &missing, msg, fx);
         }
-        self.arm_timer(key.0, fx);
+    }
+
+    fn on_restart(&mut self, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        // Volatile state is gone: the in-flight operation (its client sees
+        // an aborted op), the invocation queue, and any retry schedule. The
+        // replica pair, the writer's sequence number and the phase-uid
+        // counter model stable storage and survive — see the module docs
+        // for why a fully amnesiac replica would break atomicity.
+        self.pending = None;
+        self.queue.clear();
+        self.rtx.reset();
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        let (best_label, best_value) = self.replica.snapshot();
+        if self.cfg.quorum.is_read_quorum(ph.responders()) {
+            return; // Single-node cluster: nothing to catch up from.
+        }
+        self.recovering = Some(Recovery {
+            ph,
+            best_label,
+            best_value,
+        });
+        self.broadcast(RegisterMsg::Query { uid }, fx);
+        self.arm_timer(uid, fx);
     }
 }
 
@@ -734,6 +852,74 @@ mod tests {
             net.take_responses(),
             vec![(OpId(0), RegisterResp::ReadOk(0))]
         );
+    }
+
+    #[test]
+    fn restart_catches_up_via_query_phase() {
+        let mut net = cluster(5, true);
+        net.invoke(0, RegisterOp::Write(1));
+        net.run_to_quiescence();
+        net.take_responses();
+        // p3 misses the second write entirely.
+        net.crash(3);
+        net.invoke(0, RegisterOp::Write(2));
+        net.run_to_quiescence();
+        net.take_responses();
+        assert_eq!(net.node(3).replica_state().0, 1, "p3 stale while down");
+        net.restart(3);
+        assert!(net.node(3).is_recovering());
+        net.run_to_quiescence();
+        assert!(!net.node(3).is_recovering());
+        assert_eq!(net.node(3).replica_state(), (2, 2), "catch-up adopted");
+    }
+
+    #[test]
+    fn invocations_queue_during_recovery_then_run() {
+        let mut net = cluster(3, true);
+        net.invoke(0, RegisterOp::Write(7));
+        net.run_to_quiescence();
+        net.take_responses();
+        net.crash(2);
+        net.restart(2);
+        assert!(net.node(2).is_recovering());
+        net.invoke(2, RegisterOp::Read);
+        assert_eq!(net.node(2).queue_len(), 1, "queued behind recovery");
+        net.run_to_quiescence();
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(1), RegisterResp::ReadOk(7))]
+        );
+    }
+
+    #[test]
+    fn writer_restart_does_not_reuse_labels() {
+        let mut net = cluster(3, true);
+        net.invoke(0, RegisterOp::Write(1));
+        net.run_to_quiescence();
+        net.take_responses();
+        net.crash(0);
+        net.restart(0);
+        net.run_to_quiescence();
+        net.invoke(0, RegisterOp::Write(2));
+        net.run_to_quiescence();
+        assert_eq!(net.node(1).replica_state(), (2, 2), "labels keep growing");
+    }
+
+    #[test]
+    fn restart_wipes_inflight_op_and_queue() {
+        let mut net = cluster(5, true);
+        net.set_drop_filter(|_, _, _| true); // strand the write
+        net.invoke(0, RegisterOp::Write(9));
+        net.invoke(0, RegisterOp::Read);
+        assert!(net.node(0).is_busy());
+        assert_eq!(net.node(0).queue_len(), 1);
+        net.crash(0);
+        net.clear_drop_filter();
+        net.restart(0);
+        net.run_to_quiescence();
+        assert!(!net.node(0).is_busy(), "in-flight op wiped");
+        assert_eq!(net.node(0).queue_len(), 0, "queue wiped");
+        assert!(net.take_responses().is_empty(), "lost ops never respond");
     }
 
     #[test]

@@ -62,6 +62,20 @@ impl<P: Protocol> MiniNet<P> {
         self.alive[i] = false;
     }
 
+    /// Reboots a crashed node: discards its armed timers and runs
+    /// `on_restart`, absorbing any catch-up traffic it emits.
+    #[allow(dead_code)]
+    pub fn restart(&mut self, i: usize) {
+        if self.alive[i] {
+            return;
+        }
+        self.alive[i] = true;
+        self.armed[i].clear();
+        let mut fx = Effects::new();
+        self.nodes[i].on_restart(&mut fx);
+        self.absorb(ProcessId(i), fx);
+    }
+
     /// Installs a filter that drops a message when it returns `true`.
     pub fn set_drop_filter<F>(&mut self, f: F)
     where

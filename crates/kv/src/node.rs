@@ -24,6 +24,7 @@
 use abd_core::context::{Effects, Protocol, TimerKey};
 use abd_core::phase::PhaseTracker;
 use abd_core::quorum::{Majority, QuorumSystem};
+use abd_core::retransmit::BackoffPolicy;
 use abd_core::types::{Nanos, OpId, ProcessId, Tag};
 use std::collections::HashMap;
 use std::fmt::Debug;
@@ -95,9 +96,9 @@ pub struct KvConfig {
     pub me: ProcessId,
     /// Quorum system (must satisfy multi-writer intersection).
     pub quorum: Arc<dyn QuorumSystem>,
-    /// Retransmission interval for unfinished phases (`None` = reliable
+    /// Retransmission policy for unfinished phases (`None` = reliable
     /// links).
-    pub retransmit: Option<Nanos>,
+    pub retransmit: Option<BackoffPolicy>,
 }
 
 impl KvConfig {
@@ -117,9 +118,16 @@ impl KvConfig {
         self
     }
 
-    /// Sets the retransmission interval.
+    /// Enables adaptive retransmission for lossy links (exponential
+    /// backoff from `every`, capped, jittered; see [`BackoffPolicy::new`]).
     pub fn with_retransmit(mut self, every: Nanos) -> Self {
-        self.retransmit = Some(every);
+        self.retransmit = Some(BackoffPolicy::new(every));
+        self
+    }
+
+    /// Sets an explicit retransmission policy.
+    pub fn with_backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.retransmit = Some(policy);
         self
     }
 }
@@ -179,6 +187,10 @@ pub struct KvNode<K, V> {
     store: HashMap<K, (Tag, V)>,
     next_uid: u64,
     pending: HashMap<u64, Pending<K, V>>,
+    /// Per-phase retransmission attempts (operations pipeline here, so each
+    /// phase backs off independently; cleared when its phase completes).
+    rtx_attempts: HashMap<u64, u32>,
+    retransmissions: u64,
 }
 
 impl<K, V> KvNode<K, V>
@@ -199,7 +211,14 @@ where
             store: HashMap::new(),
             next_uid: 0,
             pending: HashMap::new(),
+            rtx_attempts: HashMap::new(),
+            retransmissions: 0,
         }
+    }
+
+    /// Messages this node has retransmitted over its lifetime.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
     }
 
     /// The node's local `(tag, value)` for `key`, if present.
@@ -258,14 +277,17 @@ where
         }
     }
 
-    fn arm_timer(&self, uid: u64, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
-        if let Some(interval) = self.cfg.retransmit {
-            fx.set_timer(TimerKey(uid), interval);
+    fn arm_timer(&mut self, uid: u64, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
+        if let Some(policy) = self.cfg.retransmit {
+            let attempt = self.rtx_attempts.get(&uid).copied().unwrap_or(0);
+            let salt = (self.cfg.me.index() as u64 + 1) ^ uid;
+            fx.set_timer(TimerKey(uid), policy.delay(attempt, salt));
         }
     }
 
-    fn disarm_timer(&self, uid: u64, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
+    fn disarm_timer(&mut self, uid: u64, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
         if self.cfg.retransmit.is_some() {
+            self.rtx_attempts.remove(&uid);
             fx.cancel_timer(TimerKey(uid));
         }
     }
@@ -559,9 +581,11 @@ where
             | Pending::PutUpdate { ph, .. } => ph.missing(),
         };
         if let Some(msg) = self.retransmit_message(pending) {
+            self.retransmissions += targets.len() as u64;
             for p in targets {
                 fx.send(p, msg.clone());
             }
+            *self.rtx_attempts.entry(uid).or_insert(0) += 1;
             self.arm_timer(uid, fx);
         }
     }

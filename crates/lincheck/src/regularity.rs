@@ -23,6 +23,12 @@
 //!   earlier read returns a newer write than the later one — permitted by
 //!   regularity, forbidden by atomicity; it is exactly the anomaly the
 //!   paper's write-back eliminates.
+//!
+//! **Pending writes** ([`History::pending_writes`] — e.g. a writer crashed
+//! mid-flight under a nemesis campaign) are indexed as open-ended write
+//! intervals: their value may legally be observed by any read that starts
+//! after they do, and never counts as overwriting anything. Anomaly
+//! indices `>= h.ops().len()` refer to pending writes, in order.
 
 use crate::history::{CompletedOp, History, RegAction};
 use std::collections::HashMap;
@@ -96,35 +102,73 @@ impl fmt::Display for Anomaly {
 }
 
 /// Pre-indexed single-writer history.
+/// One interval in the indexed history: a completed operation, or a
+/// pending write (a write whose client crashed mid-flight) widened to an
+/// open-ended interval — the write may or may not have taken effect, and
+/// either outcome must be judged legal.
+struct Interval<'a, V> {
+    client: usize,
+    value: &'a V,
+    is_read: bool,
+    start: u64,
+    /// `u64::MAX` for pending writes: they never completed, so nothing is
+    /// ever ordered after them.
+    end: u64,
+}
+
 struct Indexed<'a, V> {
-    ops: &'a [CompletedOp<V>],
-    /// Indices of writes, sorted by start time (the writer is sequential).
+    /// Completed operations first (same indices as `History::ops`), then
+    /// one open-ended entry per pending write.
+    ops: Vec<Interval<'a, V>>,
+    /// Indices of writes, sorted by start time (the writer is sequential,
+    /// so start order is version order — including crash-aborted writes).
     writes: Vec<usize>,
     /// Map value → position in `writes` (version number, 1-based; 0 is the
     /// initial value).
     version_of: HashMap<&'a V, usize>,
 }
 
-/// Real-time (plus program-order) precedence between completed operations,
-/// matching the convention of the Wing–Gong checker: distinct clients are
-/// ordered only by strict interval separation; same-client operations are
-/// also ordered when their intervals merely touch.
-fn precedes<V>(a: &CompletedOp<V>, b: &CompletedOp<V>) -> bool {
+/// Real-time (plus program-order) precedence between operations, matching
+/// the convention of the Wing–Gong checker: distinct clients are ordered
+/// only by strict interval separation; same-client operations are also
+/// ordered when their intervals merely touch.
+fn precedes<V>(a: &Interval<'_, V>, b: &Interval<'_, V>) -> bool {
     a.end < b.start || (a.client == b.client && a.end <= b.start && a.start < b.start)
 }
 
 fn index_history<V: Eq + Hash>(h: &History<V>) -> Indexed<'_, V> {
-    let ops = h.ops();
-    let mut writes: Vec<usize> = (0..ops.len())
-        .filter(|&i| matches!(ops[i].action, RegAction::Write(_)))
+    let mut ops: Vec<Interval<'_, V>> = h
+        .ops()
+        .iter()
+        .map(|op: &CompletedOp<V>| {
+            let (value, is_read) = match &op.action {
+                RegAction::Read(v) => (v, true),
+                RegAction::Write(v) => (v, false),
+            };
+            Interval {
+                client: op.client,
+                value,
+                is_read,
+                start: op.start,
+                end: op.end,
+            }
+        })
         .collect();
+    for (client, value, start) in h.pending_writes() {
+        ops.push(Interval {
+            client: *client,
+            value,
+            is_read: false,
+            start: *start,
+            end: u64::MAX,
+        });
+    }
+    let mut writes: Vec<usize> = (0..ops.len()).filter(|&i| !ops[i].is_read).collect();
     writes.sort_by_key(|&i| ops[i].start);
     let mut version_of = HashMap::new();
     version_of.insert(h.initial(), 0);
     for (rank, &w) in writes.iter().enumerate() {
-        if let RegAction::Write(v) = &ops[w].action {
-            version_of.insert(v, rank + 1);
-        }
+        version_of.insert(ops[w].value, rank + 1);
     }
     Indexed {
         ops,
@@ -140,10 +184,10 @@ pub fn check_regular_swmr<V: Eq + Hash>(h: &History<V>) -> Vec<Anomaly> {
     let ix = index_history(h);
     let mut anomalies = Vec::new();
     for (i, op) in ix.ops.iter().enumerate() {
-        let RegAction::Read(v) = &op.action else {
+        if !op.is_read {
             continue;
-        };
-        let Some(&version) = ix.version_of.get(v) else {
+        }
+        let Some(&version) = ix.version_of.get(op.value) else {
             anomalies.push(Anomaly::PhantomValue { read: i });
             continue;
         };
@@ -184,10 +228,8 @@ pub fn find_new_old_inversions<V: Eq + Hash>(h: &History<V>) -> Vec<Anomaly> {
         .ops
         .iter()
         .enumerate()
-        .filter_map(|(i, op)| match &op.action {
-            RegAction::Read(v) => ix.version_of.get(v).map(|&ver| (i, ver)),
-            _ => None,
-        })
+        .filter(|(_, op)| op.is_read)
+        .filter_map(|(i, op)| ix.version_of.get(op.value).map(|&ver| (i, ver)))
         .collect();
     let mut anomalies = Vec::new();
     for (a, (i, ver_i)) in reads.iter().enumerate() {
@@ -229,6 +271,33 @@ mod tests {
         assert!(check_regular_swmr(&hist).is_empty());
         assert!(find_new_old_inversions(&hist).is_empty());
         assert!(is_atomic_swmr(&hist));
+    }
+
+    #[test]
+    fn pending_write_may_be_observed_but_not_foreseen() {
+        let mut hist = h();
+        hist.push(0, Write(1), 0, 10);
+        hist.push_pending_write(0, 2, 20); // writer crashed mid-write
+        hist.push(1, Read(2), 30, 40); // in-flight value observed — legal
+        hist.push(2, Read(2), 50, 60);
+        assert!(is_atomic_swmr(&hist));
+        // A read that ended before the pending write began cannot see it.
+        hist.push(3, Read(2), 5, 12);
+        assert!(
+            matches!(check_regular_swmr(&hist)[0], Anomaly::FutureRead { .. }),
+            "{:?}",
+            check_regular_swmr(&hist)
+        );
+        // And observing it then reverting to the old value is the classic
+        // new/old inversion, pending or not.
+        let mut hist2 = h();
+        hist2.push(0, Write(1), 0, 10);
+        hist2.push_pending_write(0, 2, 20);
+        hist2.push(1, Read(2), 30, 40);
+        hist2.push(2, Read(1), 50, 60);
+        assert!(check_regular_swmr(&hist2).is_empty());
+        assert!(!find_new_old_inversions(&hist2).is_empty());
+        assert!(!is_atomic_swmr(&hist2));
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub const HANDLER_FNS: &[&str] = &[
     "on_invoke",
     "on_message",
     "on_timer",
+    "on_restart",
     "node_main",
     "apply_effects",
     "delayer_main",

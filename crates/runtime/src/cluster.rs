@@ -14,7 +14,7 @@ use abd_core::types::{Nanos, OpId, ProcessId};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -43,6 +43,7 @@ enum Cmd<P: Protocol> {
         reply: Sender<P::Resp>,
     },
     Crash,
+    Restart,
     Shutdown,
 }
 
@@ -73,6 +74,9 @@ pub struct Cluster<P: Protocol> {
     handles: Vec<JoinHandle<()>>,
     next_op: Arc<AtomicU64>,
     clock: Arc<dyn Clock>,
+    /// Crash flags shared with every [`Client`], so invocations on a downed
+    /// node fail fast instead of waiting out their full timeout.
+    crashed: Arc<Vec<AtomicBool>>,
     _delayer: Option<Delayer<(ProcessId, ProcessId, P::Msg)>>,
 }
 
@@ -134,6 +138,7 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
             handles,
             next_op: Arc::new(AtomicU64::new(0)),
             clock,
+            crashed: Arc::new((0..n).map(|_| AtomicBool::new(false)).collect()),
             _delayer: delayer,
         }
     }
@@ -157,14 +162,33 @@ impl<P: Protocol + Send + 'static> Cluster<P> {
             cmd_tx: self.cmd_txs[i].clone(),
             next_op: Arc::clone(&self.next_op),
             clock: Arc::clone(&self.clock),
+            crashed: Arc::clone(&self.crashed),
         }
     }
 
-    /// Crashes node `i`: its thread stops processing permanently. Pending
-    /// and future operations on it never complete (their clients would
-    /// block forever — use [`Client::try_invoke_for`] around crashes).
+    /// Whether node `i` is currently crashed.
+    pub fn is_crashed(&self, i: usize) -> bool {
+        self.crashed[i].load(Ordering::Acquire)
+    }
+
+    /// Crashes node `i`: it stops processing until a [`restart`](Self::restart),
+    /// if any. In-flight invocations on it are abandoned (their clients get
+    /// `None`/a panic immediately, not after their full timeout), and new
+    /// invocations fail fast while the flag is up. The flag is advisory —
+    /// an invocation racing the crash can still wait out its timeout, which
+    /// is what [`Client::try_invoke_for`] is for.
     pub fn crash(&self, i: usize) {
+        self.crashed[i].store(true, Ordering::Release);
         let _ = self.cmd_txs[i].send(Cmd::Crash);
+    }
+
+    /// Reboots crashed node `i`: pending timers die with the old
+    /// incarnation, the protocol's `on_restart` runs (catching the replica
+    /// up from a read quorum before it serves), and clients may invoke on
+    /// it again. Restarting a live node is a no-op.
+    pub fn restart(&self, i: usize) {
+        let _ = self.cmd_txs[i].send(Cmd::Restart);
+        self.crashed[i].store(false, Ordering::Release);
     }
 }
 
@@ -186,6 +210,7 @@ pub struct Client<P: Protocol> {
     cmd_tx: Sender<Cmd<P>>,
     next_op: Arc<AtomicU64>,
     clock: Arc<dyn Clock>,
+    crashed: Arc<Vec<AtomicBool>>,
 }
 
 impl<P: Protocol> Clone for Client<P> {
@@ -195,6 +220,7 @@ impl<P: Protocol> Clone for Client<P> {
             cmd_tx: self.cmd_tx.clone(),
             next_op: Arc::clone(&self.next_op),
             clock: Arc::clone(&self.clock),
+            crashed: Arc::clone(&self.crashed),
         }
     }
 }
@@ -209,8 +235,10 @@ impl<P: Protocol> Client<P> {
     ///
     /// # Panics
     ///
-    /// Panics if the node has been crashed or shut down (the operation can
-    /// never complete).
+    /// Panics — immediately, not after a timeout — if the node is crashed
+    /// or shut down (the operation can never complete). For code that must
+    /// tolerate crashes without panicking, use
+    /// [`try_invoke_for`](Self::try_invoke_for).
     pub fn invoke(&self, input: P::Op) -> P::Resp {
         self.try_invoke_for(input, Duration::from_secs(60))
             .expect("operation did not complete (node crashed or overloaded?)")
@@ -219,7 +247,17 @@ impl<P: Protocol> Client<P> {
     /// Invokes `input`, giving up after `timeout`. Returns `None` on
     /// timeout — the operation may still take effect later (it is not
     /// cancelled), exactly like a real client timing out on a real store.
+    ///
+    /// This is the escape hatch for operating around crashes: a crashed
+    /// target fails fast with `None` (both for new invocations, via the
+    /// shared crash flag, and for in-flight ones, whose reply channels the
+    /// node drops when it crashes) instead of hanging until the timeout.
+    /// Only an invocation racing the crash itself can still wait out
+    /// `timeout` — never longer.
     pub fn try_invoke_for(&self, input: P::Op, timeout: Duration) -> Option<P::Resp> {
+        if self.crashed[self.node.index()].load(Ordering::Acquire) {
+            return None; // fail fast: the node cannot answer
+        }
         let op = OpId(self.next_op.fetch_add(1, Ordering::Relaxed));
         let (reply_tx, reply_rx) = bounded(1);
         self.cmd_tx
@@ -303,7 +341,23 @@ fn node_main<P: Protocol>(
                     node.on_invoke(op, input, &mut fx);
                     apply_effects(me, &mut node, fx, &net_txs, &delay_tx, &clock, &mut timers, &mut waiting);
                 }
-                Ok(Cmd::Crash) => crashed = true,
+                Ok(Cmd::Crash) => {
+                    crashed = true;
+                    timers.clear();
+                    // Dropping the reply senders wakes blocked clients with
+                    // a disconnect (-> fast `None`), instead of leaving
+                    // them to wait out their timeouts.
+                    waiting.clear();
+                }
+                Ok(Cmd::Restart) => {
+                    if crashed {
+                        crashed = false;
+                        timers.clear();
+                        let mut fx = Effects::new();
+                        node.on_restart(&mut fx);
+                        apply_effects(me, &mut node, fx, &net_txs, &delay_tx, &clock, &mut timers, &mut waiting);
+                    }
+                }
                 Ok(Cmd::Shutdown) | Err(_) => return,
             },
             default(timeout) => {
@@ -484,6 +538,85 @@ mod tests {
         assert_eq!(
             cluster.client(1).invoke(RegisterOp::Read),
             RegisterResp::ReadOk(0)
+        );
+    }
+
+    #[test]
+    fn crashed_node_fails_fast_not_after_timeout() {
+        let cluster = mwmr_cluster(3);
+        let c0 = cluster.client(0);
+        assert_eq!(c0.invoke(RegisterOp::Write(7)), RegisterResp::WriteOk);
+        cluster.crash(1);
+        assert!(cluster.is_crashed(1));
+        let clock = Arc::clone(cluster.clock());
+        let t0 = clock.now();
+        // A generous timeout that must NOT be consumed: the crash flag
+        // short-circuits the invocation.
+        let r = cluster
+            .client(1)
+            .try_invoke_for(RegisterOp::Read, Duration::from_secs(60));
+        assert_eq!(r, None);
+        assert!(
+            clock.now() - t0 < 5_000_000_000,
+            "fail-fast regression: crashed node consumed its timeout"
+        );
+    }
+
+    #[test]
+    fn crash_wakes_inflight_clients_quickly() {
+        // Majority down: node 0's write can never finish. Crashing node 0
+        // itself must then wake the blocked client immediately (dropped
+        // reply channel), not strand it until the timeout.
+        let cluster = mwmr_cluster(3);
+        cluster.crash(1);
+        cluster.crash(2);
+        let c0 = cluster.client(0);
+        let clock = Arc::clone(cluster.clock());
+        let t0 = clock.now();
+        let h = std::thread::spawn(move || {
+            c0.try_invoke_for(RegisterOp::Write(9), Duration::from_secs(60))
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        cluster.crash(0);
+        assert_eq!(h.join().unwrap(), None);
+        assert!(
+            clock.now() - t0 < 10_000_000_000,
+            "in-flight invocation must abort with the crash"
+        );
+    }
+
+    #[test]
+    fn restart_rejoins_with_caught_up_state() {
+        let cluster = mwmr_cluster(3);
+        assert_eq!(
+            cluster.client(0).invoke(RegisterOp::Write(5)),
+            RegisterResp::WriteOk
+        );
+        cluster.crash(1);
+        assert_eq!(
+            cluster
+                .client(1)
+                .try_invoke_for(RegisterOp::Read, Duration::from_millis(100)),
+            None
+        );
+        // More writes while node 1 is down.
+        assert_eq!(
+            cluster.client(0).invoke(RegisterOp::Write(6)),
+            RegisterResp::WriteOk
+        );
+        cluster.restart(1);
+        assert!(!cluster.is_crashed(1));
+        // The rejoined node catches up via its query phase (invocations
+        // queue behind recovery), then serves.
+        assert_eq!(
+            cluster.client(1).invoke(RegisterOp::Read),
+            RegisterResp::ReadOk(6)
+        );
+        // Restarting a live node is a no-op.
+        cluster.restart(1);
+        assert_eq!(
+            cluster.client(1).invoke(RegisterOp::Read),
+            RegisterResp::ReadOk(6)
         );
     }
 

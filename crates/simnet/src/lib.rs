@@ -41,10 +41,12 @@ pub mod config;
 pub mod explore;
 pub mod harness;
 pub mod metrics;
+pub mod nemesis;
 pub mod sim;
 pub mod workload;
 
 pub use config::{LatencyModel, SimConfig};
 pub use explore::{sweep, SeedOutcome, SweepReport};
 pub use metrics::Metrics;
+pub use nemesis::{run_campaign, NemesisConfig, NemesisSchedule, PlannedFault};
 pub use sim::{OpRecord, Sim};

@@ -20,10 +20,18 @@ pub struct Metrics {
     pub duplicated: u64,
     /// Timer events that actually fired (not superseded or cancelled).
     pub timer_fires: u64,
+    /// Messages emitted from timer callbacks — i.e. retransmissions (every
+    /// protocol in this workspace sends from a timer only to re-send a
+    /// phase message to laggards).
+    pub retransmissions: u64,
+    /// Crashed nodes rebooted via [`crate::Sim::restart_at`].
+    pub restarts: u64,
     /// Operations invoked.
     pub ops_invoked: u64,
     /// Operations completed.
     pub ops_completed: u64,
+    /// Operations aborted because their client crashed mid-flight.
+    pub ops_aborted: u64,
     /// Sum of completed-operation latencies (virtual nanoseconds).
     pub total_op_latency: Nanos,
 }

@@ -1,0 +1,604 @@
+//! Nemesis: seeded fault-injection campaigns.
+//!
+//! A *campaign* is a deterministic schedule of faults — crash→restart
+//! cycles, rolling minority partitions, loss bursts, gray failures
+//! (per-node latency inflation) — planned entirely from one seed, injected
+//! into a [`Sim`], and guaranteed to have healed by
+//! [`NemesisSchedule::heal_at`]. The planner maintains the paper's
+//! resilience envelope by construction: **at every instant at least
+//! [`NemesisConfig::min_alive`] nodes are up** (default: a majority), so
+//! the protocols are *required* to stay safe and, after healing, live.
+//! Setting [`NemesisConfig::violate_majority`] deliberately steps outside
+//! the envelope — the expected observation is blocked operations, which is
+//! itself a property worth testing.
+//!
+//! Campaigns compose with the closed-loop workload driver
+//! ([`run_campaign`]): clients whose node crashes lose their in-flight
+//! operation (aborted, kept for histories) and resume their script when the
+//! node rejoins via its catch-up query phase. After [`heal_at`] every
+//! remaining operation must finish within [`liveness_bound`] — a bound
+//! derived from the retransmission backoff cap, not a guess.
+//!
+//! [`heal_at`]: NemesisSchedule::heal_at
+
+use crate::sim::Sim;
+use abd_core::context::Protocol;
+use abd_core::quorum::majority_threshold;
+use abd_core::retransmit::BackoffPolicy;
+use abd_core::types::{Nanos, OpId, ProcessId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Domain-separation salt so a nemesis seed never collides with the
+/// simulator's own RNG stream for the same integer.
+const NEMESIS_SALT: u64 = 0x6e65_6d65_7369_7321; // "nemesis!"
+
+/// One planned fault. All instants are absolute virtual times, and every
+/// fault is cleared by its paired end event at or before the schedule's
+/// [`NemesisSchedule::heal_at`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum PlannedFault {
+    /// Crash `node` at `at`, reboot it (with protocol catch-up) at
+    /// `restart_at`.
+    Crash {
+        /// Crash instant.
+        at: Nanos,
+        /// Victim node.
+        node: ProcessId,
+        /// Reboot instant.
+        restart_at: Nanos,
+    },
+    /// Partition the cluster into `groups` at `at`, heal at `heal_at`. The
+    /// planner always leaves one group holding at least a majority.
+    Partition {
+        /// Partition instant.
+        at: Nanos,
+        /// Group number per node.
+        groups: Vec<u32>,
+        /// Heal instant.
+        heal_at: Nanos,
+    },
+    /// Raise the network loss probability to `prob` during `[at, until)`,
+    /// then restore `restore`.
+    LossBurst {
+        /// Burst start.
+        at: Nanos,
+        /// Loss probability during the burst.
+        prob: f64,
+        /// Burst end.
+        until: Nanos,
+        /// Probability restored at `until`.
+        restore: f64,
+    },
+    /// Gray-fail `node` (all its links run `factor`× slower) during
+    /// `[at, until)`.
+    Gray {
+        /// Onset instant.
+        at: Nanos,
+        /// Sick node.
+        node: ProcessId,
+        /// Latency multiplier while sick.
+        factor: u32,
+        /// Recovery instant.
+        until: Nanos,
+    },
+}
+
+/// Parameters of a fault campaign. Everything is derived deterministically
+/// from `seed`; two configs with equal fields plan identical schedules.
+#[derive(Clone, Debug)]
+pub struct NemesisConfig {
+    /// Seed for fault planning (independent of the simulator's seed).
+    pub seed: u64,
+    /// Cluster size.
+    pub n: usize,
+    /// Campaign start time.
+    pub start: Nanos,
+    /// Campaign length; every fault has healed by `start + duration`.
+    pub duration: Nanos,
+    /// Minimum nodes alive at every instant (default: majority). Protocols
+    /// with larger quorums — e.g. Byzantine masking quorums — should raise
+    /// this to their own liveness threshold.
+    pub min_alive: usize,
+    /// Deliberately crash one node *more* than `min_alive` permits for one
+    /// window, to observe blocked operations.
+    pub violate_majority: bool,
+    /// Guarantee every node is crashed (and restarted) at least once.
+    pub cover_all_nodes: bool,
+    /// Number of crash→restart waves.
+    pub crash_cycles: usize,
+    /// Number of rolling minority partitions.
+    pub partitions: usize,
+    /// Number of loss bursts.
+    pub loss_bursts: usize,
+    /// Number of gray-failure episodes.
+    pub gray_failures: usize,
+    /// Peak loss probability during a burst.
+    pub max_loss: f64,
+    /// Loss probability outside bursts (restored when a burst ends).
+    pub base_loss: f64,
+    /// Peak gray latency multiplier.
+    pub max_gray: u32,
+    /// Maximum per-client invocation skew (clock-skewed invokers).
+    pub max_skew: Nanos,
+}
+
+impl NemesisConfig {
+    /// A full-spectrum campaign over `n` nodes: crash waves covering every
+    /// node, rolling partitions, loss bursts and gray failures, majority
+    /// alive throughout.
+    pub fn new(seed: u64, n: usize) -> Self {
+        NemesisConfig {
+            seed,
+            n,
+            start: 0,
+            duration: 4_000_000, // 4ms of virtual mayhem
+            min_alive: majority_threshold(n),
+            violate_majority: false,
+            cover_all_nodes: true,
+            crash_cycles: 4,
+            partitions: 2,
+            loss_bursts: 2,
+            gray_failures: 1,
+            max_loss: 0.5,
+            base_loss: 0.0,
+            max_gray: 20,
+            max_skew: 50_000,
+        }
+    }
+
+    /// Raises the liveness floor (e.g. to a masking-quorum threshold).
+    pub fn with_min_alive(mut self, min_alive: usize) -> Self {
+        assert!(min_alive <= self.n, "cannot keep more nodes alive than n");
+        self.min_alive = min_alive;
+        self
+    }
+
+    /// Sets the campaign window.
+    pub fn with_window(mut self, start: Nanos, duration: Nanos) -> Self {
+        self.start = start;
+        self.duration = duration;
+        self
+    }
+
+    /// Enables the majority-violation window.
+    pub fn with_violate_majority(mut self, yes: bool) -> Self {
+        self.violate_majority = yes;
+        self
+    }
+
+    /// Plans the campaign. See [`NemesisSchedule::plan`].
+    pub fn plan(&self) -> NemesisSchedule {
+        NemesisSchedule::plan(self)
+    }
+}
+
+/// A concrete, inspectable fault schedule plus per-client invoker skews.
+#[derive(Clone, Debug)]
+pub struct NemesisSchedule {
+    faults: Vec<PlannedFault>,
+    heal_at: Nanos,
+    skews: Vec<Nanos>,
+    min_alive: usize,
+}
+
+impl NemesisSchedule {
+    /// Plans a schedule from `cfg`, deterministically. The planner slots
+    /// crash waves so victims of one wave restart strictly before the next
+    /// wave crashes anyone — the count of simultaneously-crashed nodes
+    /// never exceeds `n - min_alive` (plus one inside the explicit
+    /// violation window, if enabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is too short to slot the requested waves, or if
+    /// `min_alive > n`.
+    pub fn plan(cfg: &NemesisConfig) -> NemesisSchedule {
+        assert!(cfg.min_alive <= cfg.n, "min_alive > n");
+        let n = cfg.n;
+        let slots = cfg.crash_cycles.max(1) as u64;
+        let slot_len = cfg.duration / slots;
+        assert!(slot_len >= 4, "campaign window too short for crash waves");
+        let quarter = slot_len / 4;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ NEMESIS_SALT);
+        let mut faults = Vec::new();
+
+        // Seeded rotation over the nodes so coverage is a property of the
+        // plan, not luck.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+
+        let max_down = n.saturating_sub(cfg.min_alive);
+        let heal_at = cfg.start + cfg.duration;
+        let mut cursor = 0usize;
+        for s in 0..slots {
+            let slot_start = cfg.start + s * slot_len;
+            let last = s + 1 == slots;
+            let k = if cfg.violate_majority && last {
+                // One wave crashing one node too many: quorums vanish.
+                (max_down + 1).min(n)
+            } else if max_down == 0 {
+                0
+            } else {
+                let k = rng.gen_range(1..=max_down);
+                if cfg.cover_all_nodes {
+                    // Enough victims per remaining wave to finish the rotation.
+                    let remaining_nodes = n.saturating_sub(cursor);
+                    let remaining_slots = (slots - s) as usize;
+                    k.max(remaining_nodes.div_ceil(remaining_slots))
+                        .min(max_down)
+                } else {
+                    k
+                }
+            };
+            for _ in 0..k {
+                let node = ProcessId(order[cursor % n]);
+                cursor += 1;
+                let at = slot_start + rng.gen_range(0..=quarter);
+                // Violation-window victims stay down until the campaign
+                // heals; normal victims reboot in the slot's third quarter.
+                let restart_at = if cfg.violate_majority && last {
+                    heal_at
+                } else {
+                    slot_start + slot_len / 2 + rng.gen_range(0..=quarter)
+                };
+                faults.push(PlannedFault::Crash {
+                    at,
+                    node,
+                    restart_at,
+                });
+            }
+        }
+
+        // Rolling partitions: serialized (the simulator holds one partition
+        // at a time), each isolating a different random minority.
+        if cfg.partitions > 0 && n >= 2 {
+            let span = cfg.duration / cfg.partitions as u64;
+            let max_isolated = (n - majority_threshold(n)).max(1).min(n - 1);
+            for p in 0..cfg.partitions as u64 {
+                let base = cfg.start + p * span;
+                let isolated = rng.gen_range(1..=max_isolated);
+                let mut groups = vec![0u32; n];
+                let first = rng.gen_range(0..n);
+                for j in 0..isolated {
+                    groups[(first + j) % n] = 1;
+                }
+                faults.push(PlannedFault::Partition {
+                    at: base + span / 4,
+                    groups,
+                    heal_at: (base + 3 * span / 4).min(heal_at),
+                });
+            }
+        }
+
+        if cfg.loss_bursts > 0 {
+            let span = cfg.duration / cfg.loss_bursts as u64;
+            for p in 0..cfg.loss_bursts as u64 {
+                let base = cfg.start + p * span;
+                faults.push(PlannedFault::LossBurst {
+                    at: base + span / 8,
+                    prob: rng.gen_range(0.1..=cfg.max_loss),
+                    until: (base + 5 * span / 8).min(heal_at),
+                    restore: cfg.base_loss,
+                });
+            }
+        }
+
+        if cfg.gray_failures > 0 && cfg.max_gray >= 2 {
+            let span = cfg.duration / cfg.gray_failures as u64;
+            for p in 0..cfg.gray_failures as u64 {
+                let base = cfg.start + p * span;
+                faults.push(PlannedFault::Gray {
+                    at: base + span / 6,
+                    node: ProcessId(rng.gen_range(0..n)),
+                    factor: rng.gen_range(2..=cfg.max_gray),
+                    until: (base + 2 * span / 3).min(heal_at),
+                });
+            }
+        }
+
+        let skews = (0..n).map(|_| rng.gen_range(0..=cfg.max_skew)).collect();
+        NemesisSchedule {
+            faults,
+            heal_at,
+            skews,
+            min_alive: cfg.min_alive,
+        }
+    }
+
+    /// The planned faults (inspectable, e.g. for reporting).
+    pub fn faults(&self) -> &[PlannedFault] {
+        &self.faults
+    }
+
+    /// First instant with every fault cleared: crashes restarted,
+    /// partitions healed, loss restored, gray nodes recovered.
+    pub fn heal_at(&self) -> Nanos {
+        self.heal_at
+    }
+
+    /// Per-client invocation skew — campaign clients start their scripts
+    /// offset by these amounts, modelling skewed invoker clocks.
+    pub fn invoker_skew(&self, node: ProcessId) -> Nanos {
+        self.skews[node.index()]
+    }
+
+    /// Largest number of nodes simultaneously crashed anywhere in the
+    /// schedule (sweep over crash/restart endpoints).
+    pub fn max_simultaneous_down(&self) -> usize {
+        let mut edges: Vec<(Nanos, i64)> = Vec::new();
+        for f in &self.faults {
+            if let PlannedFault::Crash { at, restart_at, .. } = f {
+                edges.push((*at, 1));
+                edges.push((*restart_at, -1));
+            }
+        }
+        edges.sort(); // restart (-1) sorts before crash (+1) at equal times
+        let (mut down, mut worst) = (0i64, 0i64);
+        for (_, d) in edges {
+            down += d;
+            worst = worst.max(down);
+        }
+        worst as usize
+    }
+
+    /// Whether the schedule respects its configured liveness floor.
+    pub fn respects_min_alive(&self, n: usize) -> bool {
+        self.max_simultaneous_down() <= n - self.min_alive
+    }
+
+    /// Injects every planned fault into `sim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault instant is already in the past for `sim`.
+    pub fn apply<P>(&self, sim: &mut Sim<P>)
+    where
+        P: Protocol,
+        P::Op: Clone,
+    {
+        for f in &self.faults {
+            match f {
+                PlannedFault::Crash {
+                    at,
+                    node,
+                    restart_at,
+                } => {
+                    sim.crash_at(*at, *node);
+                    sim.restart_at(*restart_at, *node);
+                }
+                PlannedFault::Partition {
+                    at,
+                    groups,
+                    heal_at,
+                } => {
+                    sim.partition_at(*at, groups.clone());
+                    sim.heal_at(*heal_at);
+                }
+                PlannedFault::LossBurst {
+                    at,
+                    prob,
+                    until,
+                    restore,
+                } => {
+                    sim.set_loss_at(*at, *prob);
+                    sim.set_loss_at(*until, *restore);
+                }
+                PlannedFault::Gray {
+                    at,
+                    node,
+                    factor,
+                    until,
+                } => {
+                    sim.set_gray_at(*at, *node, *factor);
+                    sim.set_gray_at(*until, *node, 1);
+                }
+            }
+        }
+    }
+}
+
+/// How long, after the campaign heals, until every surviving operation must
+/// have completed — derived from the retransmission envelope, not guessed.
+///
+/// One phase stalls at most one full backed-off retransmission interval
+/// ([`BackoffPolicy::max_delay`]) before re-probing, then needs a round
+/// trip (`2 × max_latency`). An operation is at most two phases, a rebooted
+/// node prepends one catch-up phase, and queued invocations serialize — so
+/// the bound scales with the deepest per-client backlog.
+pub fn liveness_bound(policy: &BackoffPolicy, max_latency: Nanos, max_backlog: u64) -> Nanos {
+    let round = policy.max_delay() + 2 * max_latency;
+    (2 * max_backlog.max(1) + 1) * round
+}
+
+/// Runs one script per client under a nemesis campaign, closed-loop and
+/// crash-aware: an operation lost to a client crash is abandoned (it stays
+/// visible to histories via [`Sim::pending_details`]) and the client resumes
+/// the rest of its script once its node rejoins. Returns `true` if every
+/// surviving operation completed by `deadline`.
+///
+/// The schedule must already be [`apply`](NemesisSchedule::apply)-ed; this
+/// only honors the per-client invoker skews and drives the scripts.
+///
+/// # Panics
+///
+/// Panics if `scripts.len()` exceeds the cluster size.
+pub fn run_campaign<P>(
+    sim: &mut Sim<P>,
+    schedule: &NemesisSchedule,
+    scripts: Vec<Vec<P::Op>>,
+    think: Nanos,
+    deadline: Nanos,
+) -> bool
+where
+    P: Protocol,
+    P::Op: Clone,
+    P::Resp: Clone,
+{
+    assert!(scripts.len() <= sim.n(), "more scripts than nodes");
+    let mut queues: Vec<VecDeque<P::Op>> = scripts.into_iter().map(VecDeque::from).collect();
+    let mut outstanding: Vec<Option<OpId>> = vec![None; queues.len()];
+    let mut next_earliest: Vec<Nanos> = (0..queues.len())
+        .map(|i| sim.now() + schedule.invoker_skew(ProcessId(i)))
+        .collect();
+    let _ = sim.drain_new_completions();
+    let slice: Nanos = (think.max(1) * 4).max(10_000);
+    loop {
+        // Launch the next operation of every idle, live client.
+        for i in 0..queues.len() {
+            if outstanding[i].is_none()
+                && !queues[i].is_empty()
+                && sim.is_alive(i)
+                && sim.now() >= next_earliest[i]
+            {
+                let op = queues[i].pop_front().expect("checked non-empty");
+                outstanding[i] = Some(sim.invoke(ProcessId(i), op));
+            }
+        }
+        let drained = queues.iter().all(VecDeque::is_empty);
+        let idle = outstanding.iter().all(Option::is_none);
+        if drained && idle {
+            return true;
+        }
+        if sim.now() >= deadline {
+            return false;
+        }
+        let target = (sim.now() + slice).min(deadline);
+        sim.run_until(target);
+        // Reconcile: completions free their client; aborted or lost
+        // invocations (client crashed) free it too, without retry — the
+        // value may already have taken effect, so replaying it could forge
+        // a duplicate write.
+        for rec in sim.drain_new_completions() {
+            let c = rec.client.index();
+            if c < outstanding.len() && outstanding[c] == Some(rec.op) {
+                outstanding[c] = None;
+                next_earliest[c] = sim.now() + think;
+            }
+        }
+        let inflight: BTreeSet<OpId> = sim.pending_ops().into_iter().collect();
+        let aborted: BTreeSet<OpId> = sim
+            .aborted_details()
+            .iter()
+            .map(|(op, _, _, _)| *op)
+            .collect();
+        for (i, slot) in outstanding.iter_mut().enumerate() {
+            if let Some(op) = *slot {
+                if aborted.contains(&op) || (!sim.is_alive(i) && !inflight.contains(&op)) {
+                    *slot = None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::workload::history_from_sim;
+    use abd_core::msg::RegisterOp;
+    use abd_core::swmr::{SwmrConfig, SwmrNode};
+
+    #[test]
+    fn planning_is_deterministic() {
+        let cfg = NemesisConfig::new(7, 5);
+        let a = cfg.plan();
+        let b = cfg.plan();
+        assert_eq!(a.faults(), b.faults());
+        assert_ne!(
+            a.faults(),
+            NemesisConfig::new(8, 5).plan().faults(),
+            "different seeds plan different campaigns"
+        );
+    }
+
+    #[test]
+    fn majority_stays_alive_across_many_seeds() {
+        for seed in 0..200u64 {
+            let cfg = NemesisConfig::new(seed, 5);
+            let sched = cfg.plan();
+            assert!(
+                sched.respects_min_alive(5),
+                "seed {seed}: {} down with min_alive {}",
+                sched.max_simultaneous_down(),
+                cfg.min_alive
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_crashes_every_node() {
+        for seed in 0..50u64 {
+            let sched = NemesisConfig::new(seed, 5).plan();
+            let crashed: BTreeSet<usize> = sched
+                .faults()
+                .iter()
+                .filter_map(|f| match f {
+                    PlannedFault::Crash { node, .. } => Some(node.index()),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(crashed.len(), 5, "seed {seed} missed a node");
+        }
+    }
+
+    #[test]
+    fn violation_mode_exceeds_the_envelope() {
+        let sched = NemesisConfig::new(3, 5).with_violate_majority(true).plan();
+        assert!(sched.max_simultaneous_down() >= 3);
+        assert!(!sched.respects_min_alive(5));
+    }
+
+    #[test]
+    fn partitions_always_keep_a_majority_group() {
+        for seed in 0..50u64 {
+            let sched = NemesisConfig::new(seed, 5).plan();
+            for f in sched.faults() {
+                if let PlannedFault::Partition { groups, .. } = f {
+                    let majority_side = groups.iter().filter(|&&g| g == 0).count();
+                    assert!(majority_side >= 3, "seed {seed}: {groups:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_completes_and_stays_atomic() {
+        let backoff = BackoffPolicy::new(20_000);
+        let nodes: Vec<SwmrNode<u64>> = (0..5)
+            .map(|i| {
+                SwmrNode::new(
+                    SwmrConfig::new(5, ProcessId(i), ProcessId(0)).with_backoff(backoff),
+                    0,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(SimConfig::new(1234), nodes);
+        let sched = NemesisConfig::new(77, 5).plan();
+        sched.apply(&mut sim);
+        let scripts: Vec<Vec<RegisterOp<u64>>> = (0..5)
+            .map(|c| {
+                (0..6u64)
+                    .map(|k| {
+                        if c == 0 {
+                            RegisterOp::Write(6 * c as u64 + k + 1)
+                        } else {
+                            RegisterOp::Read
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let deadline = sched.heal_at() + liveness_bound(&backoff, 20_000, 8);
+        assert!(
+            run_campaign(&mut sim, &sched, scripts, 5_000, deadline),
+            "surviving ops must finish within the liveness bound"
+        );
+        let history = history_from_sim(0, &sim);
+        assert!(abd_lincheck::is_atomic_swmr(&history));
+    }
+}

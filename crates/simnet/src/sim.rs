@@ -37,13 +37,20 @@ enum EventKind<P: Protocol> {
     Timer { key: TimerKey, gen: u64 },
     /// Invoke a client operation on the target node.
     Invoke { op: OpId, input: P::Op },
-    /// Crash the target node permanently.
+    /// Crash the target node (until a later `Restart`, if any).
     Crash,
     /// Install a partition: node `i` joins group `groups[i]`; messages
     /// between groups are discarded. (Target node is ignored.)
     SetPartition { groups: Vec<u32> },
     /// Remove any partition. (Target node is ignored.)
     Heal,
+    /// Reboot the (crashed) target node via `Protocol::on_restart`.
+    Restart,
+    /// Change the network-wide loss probability. (Target node is ignored.)
+    SetLoss { prob: f64 },
+    /// Gray failure: multiply delivery latency to/from the target node by
+    /// `factor` (`1` restores normal service).
+    SetGray { factor: u32 },
 }
 
 struct QueuedEvent<P: Protocol> {
@@ -139,6 +146,11 @@ where
     metrics: Metrics,
     invoked: BTreeMap<OpId, (ProcessId, P::Op, Nanos)>,
     completed: Vec<OpRecord<P::Op, P::Resp>>,
+    /// Operations whose client crashed mid-flight: they can never complete,
+    /// but histories must still treat them as possibly-effective.
+    aborted: Vec<(OpId, ProcessId, P::Op, Nanos)>,
+    /// Per-node gray-failure latency multiplier (1 = healthy).
+    gray: Vec<u32>,
     drained: usize,
     /// Per-directed-link lower bound on the next delivery time (FIFO mode).
     fifo_floor: BTreeMap<(usize, usize), Nanos>,
@@ -160,6 +172,7 @@ where
     /// runs every node's `on_start` at time 0.
     pub fn new(cfg: SimConfig, nodes: Vec<P>) -> Self {
         let rng = SmallRng::seed_from_u64(cfg.seed);
+        let n = nodes.len();
         let mut sim = Sim {
             cfg,
             nodes: nodes
@@ -180,6 +193,8 @@ where
             metrics: Metrics::default(),
             invoked: BTreeMap::new(),
             completed: Vec::new(),
+            aborted: Vec::new(),
+            gray: vec![1; n],
             drained: 0,
             fifo_floor: BTreeMap::new(),
             digest: FNV_OFFSET,
@@ -248,17 +263,24 @@ where
         v
     }
 
-    /// Details of every pending operation: `(op, client, input, invoked_at)`,
-    /// sorted by op id. Used to close histories that end with in-flight
-    /// operations (e.g. crashed clients).
+    /// Details of every operation that may still take effect without ever
+    /// producing a response: in-flight operations plus operations aborted by
+    /// a client crash, as `(op, client, input, invoked_at)` sorted by op id.
+    /// Used to close histories that end with such operations.
     pub fn pending_details(&self) -> Vec<(OpId, ProcessId, P::Op, Nanos)> {
         let mut v: Vec<_> = self
             .invoked
             .iter()
             .map(|(&op, (client, input, at))| (op, *client, input.clone(), *at))
+            .chain(self.aborted.iter().cloned())
             .collect();
         v.sort_by_key(|e| e.0);
         v
+    }
+
+    /// Operations aborted by a client crash, in abort order.
+    pub fn aborted_details(&self) -> &[(OpId, ProcessId, P::Op, Nanos)] {
+        &self.aborted
     }
 
     fn push(&mut self, at: Nanos, target: ProcessId, kind: EventKind<P>) {
@@ -292,11 +314,37 @@ where
         self.invoke_at(self.now, node, input)
     }
 
-    /// Crashes node `node` at time `at`: it permanently stops processing
-    /// messages, timers and invocations.
+    /// Crashes node `node` at time `at`: it stops processing messages,
+    /// timers and invocations until a [`restart_at`](Self::restart_at), if
+    /// any. Its in-flight operations are aborted (their clients never get a
+    /// response; see [`pending_details`](Self::pending_details)).
     pub fn crash_at(&mut self, at: Nanos, node: ProcessId) {
         assert!(at >= self.now, "cannot schedule in the past");
         self.push(at, node, EventKind::Crash);
+    }
+
+    /// Reboots crashed node `node` at time `at`: armed timers stay dead,
+    /// `Protocol::on_restart` runs, and the node resumes receiving. A
+    /// restart of a live node is ignored.
+    pub fn restart_at(&mut self, at: Nanos, node: ProcessId) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(at, node, EventKind::Restart);
+    }
+
+    /// Changes the network-wide message-loss probability at time `at`
+    /// (e.g. a loss burst and its later repair).
+    pub fn set_loss_at(&mut self, at: Nanos, prob: f64) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.push(at, ProcessId(0), EventKind::SetLoss { prob });
+    }
+
+    /// Gray-fails node `node` at time `at`: every delivery to or from it
+    /// takes `factor`× the sampled latency. `factor = 1` heals it.
+    pub fn set_gray_at(&mut self, at: Nanos, node: ProcessId, factor: u32) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        assert!(factor >= 1, "gray factor must be >= 1");
+        self.push(at, node, EventKind::SetGray { factor });
     }
 
     /// Installs a partition at time `at`: nodes with equal group numbers can
@@ -383,6 +431,9 @@ where
                     .fold(FNV_OFFSET, |h, &g| fnv_fold(h, u64::from(g))),
             ),
             EventKind::Heal => (5, 0),
+            EventKind::Restart => (6, 0),
+            EventKind::SetLoss { prob } => (7, prob.to_bits()),
+            EventKind::SetGray { factor } => (8, u64::from(*factor)),
         };
         for word in [ev.at, ev.seq, t as u64, tag, extra] {
             self.digest = fnv_fold(self.digest, word);
@@ -401,6 +452,11 @@ where
                 EventKind::Crash => format!("{:>12} CRASH {}", ev.at, ev.target),
                 EventKind::SetPartition { groups } => format!("{:>12} PARTITION {groups:?}", ev.at),
                 EventKind::Heal => format!("{:>12} HEAL", ev.at),
+                EventKind::Restart => format!("{:>12} RESTART {}", ev.at, ev.target),
+                EventKind::SetLoss { prob } => format!("{:>12} LOSS {prob}", ev.at),
+                EventKind::SetGray { factor } => {
+                    format!("{:>12} GRAY {} x{factor}", ev.at, ev.target)
+                }
             };
             self.record_trace(desc);
         }
@@ -430,6 +486,7 @@ where
                 self.metrics.timer_fires += 1;
                 let mut fx = Effects::new();
                 self.nodes[t].proto.on_timer(key, &mut fx);
+                self.metrics.retransmissions += fx.sends.len() as u64;
                 self.absorb(ev.target, fx);
             }
             EventKind::Invoke { op, input } => {
@@ -447,12 +504,42 @@ where
             EventKind::Crash => {
                 self.nodes[t].alive = false;
                 self.nodes[t].timers.clear();
+                // The crash takes this client's in-flight operations with
+                // it: no response will ever be produced, but the operation
+                // may already have taken effect, so keep it for histories.
+                let doomed: Vec<OpId> = self
+                    .invoked
+                    .iter()
+                    .filter(|(_, (client, _, _))| *client == ev.target)
+                    .map(|(&op, _)| op)
+                    .collect();
+                for op in doomed {
+                    let (client, input, at) = self.invoked.remove(&op).expect("collected above");
+                    self.metrics.ops_aborted += 1;
+                    self.aborted.push((op, client, input, at));
+                }
             }
             EventKind::SetPartition { groups } => {
                 self.partition = Some(groups);
             }
             EventKind::Heal => {
                 self.partition = None;
+            }
+            EventKind::Restart => {
+                if !self.nodes[t].alive {
+                    self.nodes[t].alive = true;
+                    self.nodes[t].timers.clear();
+                    self.metrics.restarts += 1;
+                    let mut fx = Effects::new();
+                    self.nodes[t].proto.on_restart(&mut fx);
+                    self.absorb(ev.target, fx);
+                }
+            }
+            EventKind::SetLoss { prob } => {
+                self.cfg.loss_prob = prob;
+            }
+            EventKind::SetGray { factor } => {
+                self.gray[t] = factor;
             }
         }
         true
@@ -561,7 +648,13 @@ where
             1
         };
         for _ in 0..copies {
-            let delay = self.cfg.latency.sample(&mut self.rng);
+            let mut delay = self.cfg.latency.sample(&mut self.rng);
+            // Gray failure: a sick endpoint slows the link in both
+            // directions (the worse endpoint dominates).
+            let gray = self.gray[from.index()].max(self.gray[to.index()]);
+            if gray > 1 {
+                delay = delay.saturating_mul(u64::from(gray));
+            }
             let mut at = self.now + delay;
             if self.cfg.fifo {
                 let floor = self
@@ -814,6 +907,100 @@ mod tests {
         assert!(trace.iter().any(|l| l.contains("CRASH")), "{trace:#?}");
         sim.set_trace(false, 8);
         assert!(sim.trace().is_empty());
+    }
+
+    #[test]
+    fn restart_rejoins_and_catches_up() {
+        let nodes: Vec<SwmrNode<u64>> = (0..3)
+            .map(|i| {
+                SwmrNode::new(
+                    SwmrConfig::new(3, ProcessId(i), ProcessId(0)).with_retransmit(20_000),
+                    0,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(SimConfig::new(21), nodes);
+        sim.invoke_at(0, ProcessId(0), RegisterOp::Write(1));
+        sim.crash_at(100_000, ProcessId(2));
+        sim.invoke_at(150_000, ProcessId(0), RegisterOp::Write(2));
+        sim.restart_at(400_000, ProcessId(2));
+        assert!(sim.run_until_ops_complete(5_000_000));
+        sim.run_until_quiet(10_000_000);
+        assert!(sim.is_alive(2));
+        assert_eq!(sim.metrics().restarts, 1);
+        assert_eq!(sim.node(2).replica_state(), (2, 2), "must catch up");
+        // And the rejoined node serves reads again.
+        sim.invoke(ProcessId(2), RegisterOp::Read);
+        assert!(sim.run_until_ops_complete(sim.now() + 5_000_000));
+        assert!(matches!(
+            sim.completed().last().unwrap().resp,
+            RegisterResp::ReadOk(2)
+        ));
+    }
+
+    #[test]
+    fn restart_of_live_node_is_ignored() {
+        let mut sim = swmr_cluster(3, 4);
+        sim.restart_at(10, ProcessId(1));
+        sim.run_until_quiet(1_000_000);
+        assert_eq!(sim.metrics().restarts, 0);
+    }
+
+    #[test]
+    fn crash_aborts_inflight_client_ops() {
+        let mut sim = swmr_cluster(5, 9);
+        sim.invoke_at(0, ProcessId(0), RegisterOp::Write(3));
+        sim.crash_at(1, ProcessId(0)); // mid-flight: no reply can be in yet
+        sim.run_until_quiet(10_000_000);
+        assert_eq!(sim.metrics().ops_aborted, 1);
+        assert_eq!(sim.metrics().ops_completed, 0);
+        assert!(!sim.has_waiting_ops());
+        let pend = sim.pending_details();
+        assert_eq!(pend.len(), 1, "aborted op must stay visible to histories");
+        assert_eq!(pend[0].1, ProcessId(0));
+    }
+
+    #[test]
+    fn loss_burst_counts_retransmissions() {
+        let nodes: Vec<SwmrNode<u64>> = (0..3)
+            .map(|i| {
+                SwmrNode::new(
+                    SwmrConfig::new(3, ProcessId(i), ProcessId(0)).with_retransmit(15_000),
+                    0,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(SimConfig::new(17), nodes);
+        sim.set_loss_at(0, 0.9);
+        sim.set_loss_at(200_000, 0.0);
+        for k in 0..5u64 {
+            sim.invoke_at(k, ProcessId(0), RegisterOp::Write(k));
+        }
+        assert!(sim.run_until_ops_complete(100_000_000));
+        assert!(sim.metrics().dropped_loss > 0, "burst must drop messages");
+        assert!(
+            sim.metrics().retransmissions > 0,
+            "recovery needs retransmits"
+        );
+    }
+
+    #[test]
+    fn gray_node_slows_traffic_but_liveness_holds() {
+        let cfg = SimConfig::new(23).with_latency(LatencyModel::Constant(1_000));
+        let nodes = (0..3)
+            .map(|i| SwmrNode::new(SwmrConfig::new(3, ProcessId(i), ProcessId(0)), 0u64))
+            .collect();
+        let mut sim: Sim<SwmrNode<u64>> = Sim::new(cfg, nodes);
+        sim.set_gray_at(0, ProcessId(1), 50);
+        sim.invoke_at(0, ProcessId(0), RegisterOp::Write(6));
+        assert!(sim.run_until_ops_complete(10_000_000));
+        // The write quorum formed from the healthy replica (2-of-3), so
+        // latency stays one healthy round trip; the gray node's ack limps
+        // in much later.
+        assert_eq!(sim.completed()[0].latency(), 2_000);
+        sim.set_gray_at(sim.now(), ProcessId(1), 1);
+        sim.invoke(ProcessId(1), RegisterOp::Read);
+        assert!(sim.run_until_ops_complete(sim.now() + 10_000_000));
     }
 
     #[test]

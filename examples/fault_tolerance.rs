@@ -15,7 +15,7 @@ fn build(n: usize, cfg: SimConfig, retransmit: Option<u64>) -> Sim<SwmrNode<u64>
     let nodes = (0..n)
         .map(|i| {
             let mut c = abd_core::presets::atomic_swmr(n, ProcessId(i), ProcessId(0));
-            c.retransmit = retransmit;
+            c.retransmit = retransmit.map(abd_core::retransmit::BackoffPolicy::new);
             SwmrNode::new(c, 0)
         })
         .collect();

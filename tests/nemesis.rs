@@ -1,0 +1,283 @@
+//! Integration: nemesis fault campaigns end to end.
+//!
+//! The acceptance bar for the fault-injection work: a seeded campaign that
+//! crashes **and restarts every node at least once** — while a majority
+//! stays alive at every instant — must (a) let every surviving operation
+//! complete within the liveness bound derived from the retransmission
+//! backoff cap, (b) yield a history `abd-lincheck` certifies atomic, and
+//! (c) replay bit-identically from the same seed
+//! (`Sim::trace_digest`). A soak then drives randomized campaigns through
+//! all four register protocols, and a deliberate majority violation shows
+//! the flip side: outside the `f < n/2` envelope, operations block.
+
+use abd_core::bounded::{BoundedSwmrConfig, BoundedSwmrNode, LabelSpace};
+use abd_core::byzantine::{ByzConfig, ByzNode};
+use abd_core::msg::RegisterOp;
+use abd_core::mwmr::{MwmrConfig, MwmrNode};
+use abd_core::retransmit::BackoffPolicy;
+use abd_core::swmr::{SwmrConfig, SwmrNode};
+use abd_core::types::ProcessId;
+use abd_repro::lincheck::{check_linearizable_with_limit, is_atomic_swmr, CheckResult};
+use abd_repro::simnet::nemesis::liveness_bound;
+use abd_repro::simnet::workload::history_from_sim;
+use abd_repro::simnet::{run_campaign, NemesisConfig, PlannedFault, Sim, SimConfig};
+use std::collections::BTreeSet;
+
+const N: usize = 5;
+const BACKOFF_BASE: u64 = 20_000;
+const THINK: u64 = 5_000;
+
+fn backoff() -> BackoffPolicy {
+    BackoffPolicy::new(BACKOFF_BASE)
+}
+
+/// Single-writer scripts: client 0 writes unique values, the rest read.
+fn swmr_scripts(ops: u64) -> Vec<Vec<RegisterOp<u64>>> {
+    (0..N)
+        .map(|c| {
+            (0..ops)
+                .map(|k| {
+                    if c == 0 {
+                        RegisterOp::Write(k + 1)
+                    } else {
+                        RegisterOp::Read
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Multi-writer scripts: every client alternates unique writes and reads.
+fn mwmr_scripts(ops: u64) -> Vec<Vec<RegisterOp<u64>>> {
+    (0..N)
+        .map(|c| {
+            (0..ops)
+                .map(|k| {
+                    if k % 2 == 0 {
+                        RegisterOp::Write(100 * (c as u64 + 1) + k)
+                    } else {
+                        RegisterOp::Read
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One full SWMR campaign; returns the trace digest for replay checks.
+fn swmr_campaign(sim_seed: u64, nemesis_seed: u64) -> u64 {
+    let nodes: Vec<SwmrNode<u64>> = (0..N)
+        .map(|i| {
+            SwmrNode::new(
+                SwmrConfig::new(N, ProcessId(i), ProcessId(0)).with_backoff(backoff()),
+                0,
+            )
+        })
+        .collect();
+    let mut sim = Sim::new(SimConfig::new(sim_seed), nodes);
+    let sched = NemesisConfig::new(nemesis_seed, N).plan();
+    assert!(sched.respects_min_alive(N));
+    sched.apply(&mut sim);
+    let deadline = sched.heal_at() + liveness_bound(&backoff(), 20_000, 8);
+    assert!(
+        run_campaign(&mut sim, &sched, swmr_scripts(6), THINK, deadline),
+        "seed ({sim_seed},{nemesis_seed}): surviving ops must finish within the liveness bound"
+    );
+    let history = history_from_sim(0, &sim);
+    assert!(
+        is_atomic_swmr(&history),
+        "seed ({sim_seed},{nemesis_seed}): campaign history must stay atomic"
+    );
+    sim.trace_digest()
+}
+
+#[test]
+fn fixed_seed_campaign_restarts_every_node_and_stays_atomic() {
+    let sched = NemesisConfig::new(77, N).plan();
+
+    // Every node crashes (and restarts) at least once, yet the planner
+    // never drops below a live majority.
+    let mut crashed = BTreeSet::new();
+    for f in sched.faults() {
+        if let PlannedFault::Crash {
+            node, restart_at, ..
+        } = f
+        {
+            crashed.insert(node.index());
+            assert!(*restart_at <= sched.heal_at());
+        }
+    }
+    assert_eq!(crashed.len(), N, "campaign must cover every node");
+    assert!(sched.respects_min_alive(N));
+
+    let digest = swmr_campaign(1234, 77);
+    let replay = swmr_campaign(1234, 77);
+    assert_eq!(digest, replay, "same seeds must replay bit-identically");
+    assert_ne!(
+        digest,
+        swmr_campaign(1234, 78),
+        "a different campaign seed must produce a different trace"
+    );
+}
+
+#[test]
+fn fixed_seed_campaign_counts_restarts_and_retransmissions() {
+    let nodes: Vec<SwmrNode<u64>> = (0..N)
+        .map(|i| {
+            SwmrNode::new(
+                SwmrConfig::new(N, ProcessId(i), ProcessId(0)).with_backoff(backoff()),
+                0,
+            )
+        })
+        .collect();
+    let mut sim = Sim::new(SimConfig::new(9), nodes);
+    let sched = NemesisConfig::new(41, N).plan();
+    let planned_crashes = sched
+        .faults()
+        .iter()
+        .filter(|f| matches!(f, PlannedFault::Crash { .. }))
+        .count() as u64;
+    sched.apply(&mut sim);
+    let deadline = sched.heal_at() + liveness_bound(&backoff(), 20_000, 8);
+    assert!(run_campaign(
+        &mut sim,
+        &sched,
+        swmr_scripts(6),
+        THINK,
+        deadline
+    ));
+    // The campaign driver stops once all ops complete, which can be before
+    // the last planned faults fire — drive the sim through the whole
+    // schedule so every crash/restart is actually executed.
+    sim.run_until(sched.heal_at() + 1);
+    let m = sim.metrics();
+    assert_eq!(m.restarts, planned_crashes, "every crash wave reboots");
+    assert!(
+        m.retransmissions > 0,
+        "loss bursts and crashes must force retransmissions"
+    );
+}
+
+#[test]
+fn soak_swmr_and_mwmr_randomized_campaigns() {
+    for seed in [5u64, 6, 7] {
+        let d = swmr_campaign(seed, seed * 31 + 1);
+        assert_eq!(d, swmr_campaign(seed, seed * 31 + 1));
+
+        let run_mwmr = |sim_seed: u64| {
+            let nodes: Vec<MwmrNode<u64>> = (0..N)
+                .map(|i| MwmrNode::new(MwmrConfig::new(N, ProcessId(i)).with_backoff(backoff()), 0))
+                .collect();
+            let mut sim = Sim::new(SimConfig::new(sim_seed), nodes);
+            let sched = NemesisConfig::new(sim_seed * 31 + 2, N).plan();
+            sched.apply(&mut sim);
+            let deadline = sched.heal_at() + liveness_bound(&backoff(), 20_000, 8);
+            assert!(
+                run_campaign(&mut sim, &sched, mwmr_scripts(4), THINK, deadline),
+                "mwmr seed {sim_seed}: ops must finish after healing"
+            );
+            let h = history_from_sim(0, &sim);
+            assert_eq!(
+                check_linearizable_with_limit(&h, 1_000_000),
+                CheckResult::Linearizable,
+                "mwmr seed {sim_seed}: history must linearize"
+            );
+            sim.trace_digest()
+        };
+        assert_eq!(run_mwmr(seed), run_mwmr(seed));
+    }
+}
+
+#[test]
+fn soak_bounded_and_byzantine_randomized_campaigns() {
+    for seed in [11u64, 12] {
+        // Bounded labels: a modulus comfortably above the write count, so
+        // the campaign exercises wraparound-safe adoption, not overflow.
+        let run_bounded = |sim_seed: u64| {
+            let nodes: Vec<BoundedSwmrNode<u64>> = (0..N)
+                .map(|i| {
+                    let cfg = BoundedSwmrConfig::new(N, ProcessId(i), ProcessId(0))
+                        .with_space(LabelSpace::new(64))
+                        .with_backoff(backoff());
+                    BoundedSwmrNode::new(cfg, 0)
+                })
+                .collect();
+            let mut sim = Sim::new(SimConfig::new(sim_seed), nodes);
+            let sched = NemesisConfig::new(sim_seed * 37 + 3, N).plan();
+            sched.apply(&mut sim);
+            let deadline = sched.heal_at() + liveness_bound(&backoff(), 20_000, 8);
+            assert!(
+                run_campaign(&mut sim, &sched, swmr_scripts(5), THINK, deadline),
+                "bounded seed {sim_seed}: ops must finish after healing"
+            );
+            let h = history_from_sim(0, &sim);
+            assert!(is_atomic_swmr(&h), "bounded seed {sim_seed}");
+            for i in 0..N {
+                assert_eq!(
+                    sim.node(i).window_violations(),
+                    0,
+                    "bounded seed {sim_seed}"
+                );
+            }
+            sim.trace_digest()
+        };
+        assert_eq!(run_bounded(seed), run_bounded(seed));
+
+        // Byzantine masking quorums need q = 4 of n = 5 live (b = 1), so the
+        // campaign's liveness floor rises to 4 and waves go one at a time.
+        let run_byz = |sim_seed: u64| {
+            let nodes: Vec<ByzNode<u64>> = (0..N)
+                .map(|i| {
+                    ByzNode::new(
+                        ByzConfig::new(N, ProcessId(i), ProcessId(0), 1).with_backoff(backoff()),
+                        0,
+                    )
+                })
+                .collect();
+            let mut sim = Sim::new(SimConfig::new(sim_seed), nodes);
+            let mut cfg = NemesisConfig::new(sim_seed * 41 + 4, N).with_min_alive(4);
+            cfg.crash_cycles = 5; // one victim per wave still covers all five
+            let sched = cfg.plan();
+            assert!(sched.respects_min_alive(N));
+            sched.apply(&mut sim);
+            let deadline = sched.heal_at() + liveness_bound(&backoff(), 20_000, 8);
+            assert!(
+                run_campaign(&mut sim, &sched, swmr_scripts(4), THINK, deadline),
+                "byzantine seed {sim_seed}: ops must finish after healing"
+            );
+            let h = history_from_sim(0, &sim);
+            assert!(is_atomic_swmr(&h), "byzantine seed {sim_seed}");
+            sim.trace_digest()
+        };
+        assert_eq!(run_byz(seed), run_byz(seed));
+    }
+}
+
+#[test]
+fn violating_the_majority_envelope_blocks_operations() {
+    let nodes: Vec<SwmrNode<u64>> = (0..N)
+        .map(|i| {
+            SwmrNode::new(
+                SwmrConfig::new(N, ProcessId(i), ProcessId(0)).with_backoff(backoff()),
+                0,
+            )
+        })
+        .collect();
+    let mut sim = Sim::new(SimConfig::new(2), nodes);
+    let sched = NemesisConfig::new(55, N).with_violate_majority(true).plan();
+    assert!(
+        !sched.respects_min_alive(N),
+        "violation mode must exceed the envelope"
+    );
+    sched.apply(&mut sim);
+    // Scripts long enough that clients are still working when the violation
+    // window opens; the deadline lands *inside* that window, before the
+    // campaign heals — so progress must stall.
+    let scripts = swmr_scripts(12);
+    let blocked_deadline = sched.heal_at() - 1;
+    assert!(
+        !run_campaign(&mut sim, &sched, scripts, 300_000, blocked_deadline),
+        "without a live majority, operations must block until healing"
+    );
+}

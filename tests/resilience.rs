@@ -155,15 +155,21 @@ fn reader_crash_does_not_disturb_others() {
     let mut sim = Sim::new(SimConfig::new(5), nodes);
     sim.invoke_at(0, ProcessId(0), RegisterOp::Write(1));
     assert!(sim.run_until_ops_complete(1_000_000_000));
-    // p2 starts a read, then crashes mid-read; its op never completes but
-    // the system is unaffected.
+    // p2 starts a read, then crashes mid-read; its op never completes —
+    // it is recorded as aborted (and stays visible to history extraction
+    // via `pending_details`) — and the system is unaffected.
     sim.invoke(ProcessId(2), RegisterOp::Read);
     sim.crash_at(sim.now() + 1_000, ProcessId(2));
     sim.run_until_quiet(5_000_000_000);
     assert_eq!(
-        sim.pending_ops().len(),
+        sim.aborted_details().len(),
         1,
-        "the crashed reader's op stays pending"
+        "the crashed reader's op is aborted, not completed"
+    );
+    assert_eq!(
+        sim.pending_details().len(),
+        1,
+        "aborted ops stay visible to history extraction"
     );
     sim.invoke(ProcessId(1), RegisterOp::Read);
     assert!(

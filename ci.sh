@@ -22,4 +22,9 @@ cargo test -q --test nemesis fixed_seed
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> throughput bench smoke (fast-path + batching gates, regenerates BENCH_throughput.json)"
+cargo run -q --release -p abd-bench --bin fig_throughput -- --smoke
+git diff --exit-code -- BENCH_throughput.json \
+  || { echo "BENCH_throughput.json drifted from the checked-in artifact"; exit 1; }
+
 echo "ci.sh: all gates green"

@@ -1,0 +1,321 @@
+//! **F6 — fast-path reads + batched quorum messaging: throughput and
+//! per-operation cost.**
+//!
+//! A closed-loop multi-client, multi-key workload against the replicated
+//! key-value store, in three configurations on the deterministic simulator:
+//!
+//! * `baseline` — every `Get` runs both phases (query + write-back);
+//! * `fast` — `Get`s elide the write-back when the query quorum
+//!   unanimously reports the maximum tag (and forms a write quorum);
+//! * `fast+batched` — fast reads plus [`Batched`] transport wrapping:
+//!   same-window messages to the same peer coalesce into one envelope.
+//!
+//! Before the workload, the binary asserts the micro-costs the fast path
+//! claims: an uncontended fast read is **1 round / `2(n−1)` messages** on
+//! SWMR, MWMR, and the store (baseline atomic reads: 2 rounds /
+//! `4(n−1)`).
+//!
+//! Everything written to `BENCH_throughput.json` comes from the virtual
+//! clock and message counters, so the file is byte-reproducible.
+//! `--smoke` skips only the wall-clock thread-runtime section (stdout
+//! only), leaving the JSON unchanged.
+
+use abd_bench::clusters::{mwmr_sim, swmr_sim, Variant};
+use abd_bench::Table;
+use abd_core::batch::Batched;
+use abd_core::context::{Protocol, ReadPathStats};
+use abd_core::msg::RegisterOp;
+use abd_core::types::{Nanos, ProcessId};
+use abd_kv::{KvConfig, KvNode, KvOp, KvResp};
+use abd_runtime::cluster::{Cluster, Jitter};
+use abd_simnet::{LatencyModel, Metrics, Sim, SimConfig};
+
+const N: usize = 5;
+const DELAY: Nanos = 1_000; // constant 1µs per message
+const CLIENTS_PER_NODE: usize = 4;
+const OPS_PER_CLIENT: usize = 25;
+const KEYS: u64 = 8;
+const WRITE_PCT: u64 = 20;
+const BATCH_WINDOW: Nanos = 500;
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+fn gen_op(rng: &mut u64) -> KvOp<u64, u64> {
+    let key = xorshift(rng) % KEYS;
+    if xorshift(rng) % 100 < WRITE_PCT {
+        KvOp::Put(key, xorshift(rng) % 1_000)
+    } else {
+        KvOp::Get(key)
+    }
+}
+
+fn sim_cfg(seed: u64) -> SimConfig {
+    SimConfig::new(seed).with_latency(LatencyModel::Constant(DELAY))
+}
+
+fn kv_nodes(fast: bool) -> Vec<KvNode<u64, u64>> {
+    (0..N)
+        .map(|i| KvNode::new(KvConfig::new(N, ProcessId(i)).with_fast_reads(fast)))
+        .collect()
+}
+
+struct RunResult {
+    metrics: Metrics,
+    makespan: Nanos,
+}
+
+impl RunResult {
+    fn msgs_per_op(&self) -> f64 {
+        self.metrics.msgs_per_op().expect("ops completed")
+    }
+
+    fn rounds_per_op(&self) -> f64 {
+        self.metrics.mean_op_latency().expect("ops completed") / (2.0 * DELAY as f64)
+    }
+
+    fn kops_per_virtual_sec(&self) -> f64 {
+        self.metrics.ops_completed as f64 / (self.makespan as f64 / 1e9) / 1e3
+    }
+}
+
+/// Drives `CLIENTS_PER_NODE` closed-loop clients per node, each issuing
+/// `OPS_PER_CLIENT` operations over `KEYS` keys: a completion immediately
+/// triggers the next invocation on the same node, so operations overlap
+/// and same-window sends can coalesce.
+fn run_closed_loop<P>(sim: &mut Sim<P>) -> RunResult
+where
+    P: Protocol<Op = KvOp<u64, u64>, Resp = KvResp<u64>> + ReadPathStats,
+{
+    let per_node = CLIENTS_PER_NODE * OPS_PER_CLIENT;
+    let mut issued = [0usize; N];
+    let mut rng = 0x5eed_f00d_u64;
+    for (i, count) in issued.iter_mut().enumerate() {
+        for _ in 0..CLIENTS_PER_NODE {
+            sim.invoke(ProcessId(i), gen_op(&mut rng));
+            *count += 1;
+        }
+    }
+    loop {
+        assert!(sim.run_until_ops_complete(u64::MAX / 2), "workload stalled");
+        let done = sim.drain_new_completions();
+        if done.is_empty() {
+            break;
+        }
+        for rec in done {
+            let i = rec.client.index();
+            if issued[i] < per_node {
+                sim.invoke(ProcessId(i), gen_op(&mut rng));
+                issued[i] += 1;
+            }
+        }
+    }
+    let metrics = sim.read_path_metrics();
+    assert_eq!(
+        metrics.ops_completed,
+        (N * per_node) as u64,
+        "every client op completed"
+    );
+    RunResult {
+        metrics,
+        makespan: sim.now(),
+    }
+}
+
+/// The micro-costs the fast path claims, as exact assertions: after a
+/// completed write has settled, a fast read is one round trip of
+/// `2(n−1)` messages on every protocol that supports the flag.
+fn assert_uncontended_fast_reads() {
+    let peers = 2 * (N as u64 - 1);
+
+    let mut sim = swmr_sim(Variant::FastSwmr, N, sim_cfg(2), None);
+    sim.invoke(ProcessId(0), RegisterOp::Write(1));
+    assert!(sim.run_until_quiet(u64::MAX / 2));
+    let before = sim.metrics().sent;
+    sim.invoke(ProcessId(3), RegisterOp::Read);
+    assert!(sim.run_until_quiet(u64::MAX / 2));
+    assert_eq!(sim.metrics().sent - before, peers, "SWMR fast read msgs");
+    assert_eq!(sim.completed()[1].latency(), 2 * DELAY, "SWMR: 1 round");
+
+    let mut sim = mwmr_sim(Variant::FastMwmr, N, sim_cfg(3), None);
+    sim.invoke(ProcessId(1), RegisterOp::Write(1));
+    assert!(sim.run_until_quiet(u64::MAX / 2));
+    let before = sim.metrics().sent;
+    sim.invoke(ProcessId(2), RegisterOp::Read);
+    assert!(sim.run_until_quiet(u64::MAX / 2));
+    assert_eq!(sim.metrics().sent - before, peers, "MWMR fast read msgs");
+    assert_eq!(sim.completed()[1].latency(), 2 * DELAY, "MWMR: 1 round");
+
+    let mut sim = Sim::new(sim_cfg(4), kv_nodes(true));
+    sim.invoke(ProcessId(0), KvOp::Put(1, 9));
+    assert!(sim.run_until_quiet(u64::MAX / 2));
+    let before = sim.metrics().sent;
+    sim.invoke(ProcessId(3), KvOp::Get(1));
+    assert!(sim.run_until_quiet(u64::MAX / 2));
+    assert_eq!(sim.metrics().sent - before, peers, "KV fast get msgs");
+    assert_eq!(sim.completed()[1].latency(), 2 * DELAY, "KV get: 1 round");
+    assert_eq!(sim.read_path_metrics().fast_reads, 1);
+}
+
+fn variant_json(name: &str, r: &RunResult) -> String {
+    format!(
+        concat!(
+            "    {{\"name\": \"{}\", \"ops\": {}, \"sent\": {}, ",
+            "\"msgs_per_op\": {:.3}, \"rounds_per_op\": {:.3}, ",
+            "\"fast_reads\": {}, \"write_backs\": {}, ",
+            "\"makespan_ns\": {}, \"kops_per_virtual_sec\": {:.2}}}"
+        ),
+        name,
+        r.metrics.ops_completed,
+        r.metrics.sent,
+        r.msgs_per_op(),
+        r.rounds_per_op(),
+        r.metrics.fast_reads,
+        r.metrics.write_backs,
+        r.makespan,
+        r.kops_per_virtual_sec(),
+    )
+}
+
+/// Wall-clock sanity run on the thread runtime (stdout only — never part
+/// of the JSON, so `--smoke` can skip it without changing the artifact).
+fn wall_clock_section() {
+    use std::time::Instant;
+    let ops_per_client = 200usize;
+    for (name, fast) in [("baseline", false), ("fast", true)] {
+        let cluster: Cluster<KvNode<u64, u64>> = Cluster::spawn(
+            (0..3)
+                .map(|i| KvNode::new(KvConfig::new(3, ProcessId(i)).with_fast_reads(fast)))
+                .collect(),
+            Jitter::None,
+        );
+        let start = Instant::now();
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let client = cluster.client(i);
+                std::thread::spawn(move || {
+                    let mut rng = (i as u64 + 1) * 77;
+                    for _ in 0..ops_per_client {
+                        match gen_op(&mut rng) {
+                            op @ KvOp::Get(_) => {
+                                assert!(matches!(client.invoke(op), KvResp::GetOk(_)));
+                            }
+                            op @ KvOp::Put(..) => {
+                                assert_eq!(client.invoke(op), KvResp::PutOk);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "  thread runtime (n=3, 3 clients x {ops_per_client} ops), {name}: \
+             {:.0} ops/s wall-clock",
+            (3 * ops_per_client) as f64 / secs
+        );
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    assert_uncontended_fast_reads();
+    println!(
+        "micro-checks passed: uncontended fast read = 1 round / 2(n-1) msgs \
+         on SWMR, MWMR, KV (n={N})"
+    );
+
+    let mut base_sim = Sim::new(sim_cfg(1), kv_nodes(false));
+    let base = run_closed_loop(&mut base_sim);
+    let mut fast_sim = Sim::new(sim_cfg(1), kv_nodes(true));
+    let fast = run_closed_loop(&mut fast_sim);
+    let mut batched_sim = Sim::new(
+        sim_cfg(1),
+        kv_nodes(true)
+            .into_iter()
+            .map(|node| Batched::new(node, BATCH_WINDOW))
+            .collect::<Vec<_>>(),
+    );
+    let batched = run_closed_loop(&mut batched_sim);
+
+    let mut table = Table::new(
+        &format!(
+            "F6 — closed-loop KV workload (n={N}, {CLIENTS_PER_NODE} clients/node x \
+             {OPS_PER_CLIENT} ops, {KEYS} keys, {WRITE_PCT}% puts, delay {DELAY}ns)"
+        ),
+        &[
+            "variant",
+            "msgs/op",
+            "rounds/op",
+            "fast reads",
+            "write-backs",
+            "kops/virt-s",
+        ],
+    );
+    for (name, r) in [
+        ("baseline", &base),
+        ("fast", &fast),
+        ("fast+batched", &batched),
+    ] {
+        table.row(vec![
+            name.to_string(),
+            format!("{:.2}", r.msgs_per_op()),
+            format!("{:.2}", r.rounds_per_op()),
+            r.metrics.fast_reads.to_string(),
+            r.metrics.write_backs.to_string(),
+            format!("{:.1}", r.kops_per_virtual_sec()),
+        ]);
+    }
+    table.print();
+
+    assert!(base.metrics.fast_reads == 0, "baseline never elides");
+    assert!(fast.metrics.fast_reads > 0, "fast path must fire");
+    let reduction = (1.0 - batched.msgs_per_op() / base.msgs_per_op()) * 100.0;
+    println!(
+        "\nfast+batched sends {reduction:.1}% fewer messages per operation than \
+         baseline (gate: >= 20%)"
+    );
+    assert!(reduction >= 20.0, "msgs/op reduction gate failed");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"F6_throughput\",\n",
+            "  \"n\": {}, \"delay_ns\": {}, \"clients_per_node\": {}, ",
+            "\"ops_per_client\": {}, \"keys\": {}, \"write_pct\": {}, ",
+            "\"batch_window_ns\": {},\n",
+            "  \"uncontended_fast_read\": {{\"rounds\": 1, \"messages\": \"2(n-1)\"}},\n",
+            "  \"variants\": [\n{},\n{},\n{}\n  ],\n",
+            "  \"msgs_per_op_reduction_pct\": {:.1}\n",
+            "}}\n"
+        ),
+        N,
+        DELAY,
+        CLIENTS_PER_NODE,
+        OPS_PER_CLIENT,
+        KEYS,
+        WRITE_PCT,
+        BATCH_WINDOW,
+        variant_json("baseline", &base),
+        variant_json("fast", &fast),
+        variant_json("fast+batched", &batched),
+        reduction,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    std::fs::write(path, &json).expect("write BENCH_throughput.json");
+    println!("wrote BENCH_throughput.json");
+
+    if smoke {
+        println!("--smoke: skipping wall-clock thread-runtime section");
+    } else {
+        wall_clock_section();
+    }
+}

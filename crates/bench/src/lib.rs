@@ -133,12 +133,17 @@ pub mod clusters {
     pub enum Variant {
         /// Atomic single-writer ABD (majority quorums + read write-back).
         AtomicSwmr,
+        /// Atomic single-writer ABD with the one-round read fast path
+        /// (write-back elided on unanimous query quorums).
+        FastSwmr,
         /// Regular single-writer baseline (no write-back).
         RegularSwmr,
         /// Read-one/write-majority single-writer baseline (not even regular).
         ReadOneSwmr,
         /// Atomic multi-writer ABD.
         AtomicMwmr,
+        /// Atomic multi-writer ABD with the one-round read fast path.
+        FastMwmr,
         /// Regular multi-writer baseline (no write-back).
         RegularMwmr,
     }
@@ -148,9 +153,11 @@ pub mod clusters {
         pub fn name(&self) -> &'static str {
             match self {
                 Variant::AtomicSwmr => "ABD atomic (SWMR)",
+                Variant::FastSwmr => "ABD atomic, fast reads (SWMR)",
                 Variant::RegularSwmr => "regular, no write-back (SWMR)",
                 Variant::ReadOneSwmr => "read-one/write-majority (SWMR)",
                 Variant::AtomicMwmr => "ABD atomic (MWMR)",
+                Variant::FastMwmr => "ABD atomic, fast reads (MWMR)",
                 Variant::RegularMwmr => "regular, no write-back (MWMR)",
             }
         }
@@ -159,7 +166,10 @@ pub mod clusters {
         pub fn is_single_writer(&self) -> bool {
             matches!(
                 self,
-                Variant::AtomicSwmr | Variant::RegularSwmr | Variant::ReadOneSwmr
+                Variant::AtomicSwmr
+                    | Variant::FastSwmr
+                    | Variant::RegularSwmr
+                    | Variant::ReadOneSwmr
             )
         }
     }
@@ -180,6 +190,9 @@ pub mod clusters {
                 let mut cfg = match variant {
                     Variant::AtomicSwmr => {
                         abd_core::presets::atomic_swmr(n, ProcessId(i), ProcessId(0))
+                    }
+                    Variant::FastSwmr => {
+                        abd_core::presets::fast_swmr(n, ProcessId(i), ProcessId(0))
                     }
                     Variant::RegularSwmr => {
                         abd_core::presets::regular_swmr(n, ProcessId(i), ProcessId(0))
@@ -211,6 +224,7 @@ pub mod clusters {
             .map(|i| {
                 let mut cfg = match variant {
                     Variant::AtomicMwmr => abd_core::presets::atomic_mwmr(n, ProcessId(i)),
+                    Variant::FastMwmr => abd_core::presets::fast_mwmr(n, ProcessId(i)),
                     Variant::RegularMwmr => abd_core::presets::regular_mwmr(n, ProcessId(i)),
                     _ => panic!("{variant:?} is not a MWMR variant"),
                 };
@@ -300,5 +314,18 @@ mod tests {
         let (w, r) = measure_op_messages(&mut sim, 10, 0, 2);
         assert_eq!(w, 8.0, "write: 2(n-1)");
         assert_eq!(r, 16.0, "read: 4(n-1)");
+    }
+
+    #[test]
+    fn fast_variant_reads_cost_one_round_uncontended() {
+        use super::clusters::*;
+        let mut sim = swmr_sim(Variant::FastSwmr, 5, abd_simnet::SimConfig::new(1), None);
+        let (w, r) = measure_op_messages(&mut sim, 10, 0, 2);
+        assert_eq!(w, 8.0, "write unchanged: 2(n-1)");
+        assert_eq!(r, 8.0, "uncontended fast read: 2(n-1)");
+        let mut sim = mwmr_sim(Variant::FastMwmr, 5, abd_simnet::SimConfig::new(1), None);
+        let (w, r) = measure_op_messages(&mut sim, 10, 0, 2);
+        assert_eq!(w, 16.0, "MWMR write keeps both phases: 4(n-1)");
+        assert_eq!(r, 8.0, "uncontended fast read: 2(n-1)");
     }
 }

@@ -188,6 +188,19 @@ pub trait Protocol {
     }
 }
 
+/// Read-path counters exposed by protocols that support fast-path reads.
+///
+/// Implementors count, per node, how many of the reads *they issued*
+/// completed on the one-round fast path (write-back elided) versus how many
+/// ran the full two-phase protocol. Hosts can sum these across nodes — see
+/// `abd-simnet`'s `Sim::read_path_metrics`.
+pub trait ReadPathStats {
+    /// Reads issued by this node that skipped the write-back phase.
+    fn fast_reads(&self) -> u64;
+    /// Reads issued by this node that executed the write-back phase.
+    fn write_backs(&self) -> u64;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -65,6 +65,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod batch;
 pub mod bounded;
 pub mod byzantine;
 pub mod clock;
@@ -83,7 +84,8 @@ pub mod types;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use context::{Effects, Protocol, TimerCmd, TimerKey};
+pub use batch::{Batched, Envelope};
+pub use context::{Effects, Protocol, ReadPathStats, TimerCmd, TimerKey};
 pub use msg::{RegisterMsg, RegisterOp, RegisterResp};
 pub use mwmr::{MwmrConfig, MwmrNode};
 pub use procset::ProcSet;

@@ -11,12 +11,19 @@
 //!   `(max_seq + 1, writer_id)` to a write quorum. Both reads and writes
 //!   are therefore two round trips, `4(n−1)` messages with majorities.
 //!
-//! Reads are identical to the single-writer protocol, write-back included.
+//! Reads are identical to the single-writer protocol, write-back included
+//! — and so is the optional one-round fast path
+//! ([`fast_reads`](MwmrConfig::fast_reads)): a read whose query quorum was
+//! unanimous about the maximum tag and itself forms a write quorum skips
+//! the write-back, completing in `2(n−1)` messages (see
+//! [`fast_read_allowed`](crate::quorum::fast_read_allowed)). Writes always
+//! keep both phases: their query round is what orders concurrent writers.
 
-use crate::context::{Effects, Protocol, TimerKey};
+use crate::context::{Effects, Protocol, ReadPathStats, TimerKey};
 use crate::msg::{RegisterMsg, RegisterOp, RegisterResp};
-use crate::phase::PhaseTracker;
-use crate::quorum::{Majority, QuorumSystem};
+use crate::phase::{PhaseTracker, TagCensus};
+use crate::procset::ProcSet;
+use crate::quorum::{fast_read_allowed, Majority, QuorumSystem};
 use crate::replica::Replica;
 use crate::retransmit::{BackoffPolicy, Retransmitter};
 use crate::types::{Nanos, OpId, ProcessId, Tag};
@@ -41,6 +48,10 @@ pub struct MwmrConfig {
     /// Whether reads perform the write-back phase (`true` = atomic,
     /// `false` = regular baseline).
     pub read_write_back: bool,
+    /// Whether reads may elide the write-back when the query quorum was
+    /// unanimous about the maximum tag and forms a write quorum (see
+    /// [`fast_read_allowed`]). Off by default.
+    pub fast_reads: bool,
     /// Retransmission policy for unfinished phases (`None` = reliable
     /// links, no retransmission).
     pub retransmit: Option<BackoffPolicy>,
@@ -54,6 +65,7 @@ impl MwmrConfig {
             me,
             quorum: Arc::new(Majority::new(n)),
             read_write_back: true,
+            fast_reads: false,
             retransmit: None,
         }
     }
@@ -67,6 +79,12 @@ impl MwmrConfig {
     /// Enables or disables the read write-back phase.
     pub fn with_read_write_back(mut self, yes: bool) -> Self {
         self.read_write_back = yes;
+        self
+    }
+
+    /// Enables or disables the one-round fast path for reads.
+    pub fn with_fast_reads(mut self, yes: bool) -> Self {
+        self.fast_reads = yes;
         self
     }
 
@@ -100,12 +118,12 @@ enum Pending<V> {
         tag: Tag,
         value: V,
     },
-    /// Reader collecting `(tag, value)` replies.
+    /// Reader collecting `(tag, value)` replies; the census tracks the max
+    /// tag and whether the responders were unanimous about it (fast path).
     ReadQuery {
         op: OpId,
         ph: PhaseTracker,
-        best_tag: Tag,
-        best_value: V,
+        census: TagCensus<Tag, V>,
     },
     /// Reader writing back the value it is about to return.
     ReadWriteBack {
@@ -162,6 +180,8 @@ pub struct MwmrNode<V> {
     queue: VecDeque<(OpId, RegisterOp<V>)>,
     rtx: Retransmitter,
     recovering: Option<Recovery<V>>,
+    fast_reads: u64,
+    write_backs: u64,
 }
 
 impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
@@ -182,6 +202,8 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
             queue: VecDeque::new(),
             rtx,
             recovering: None,
+            fast_reads: 0,
+            write_backs: 0,
         }
     }
 
@@ -208,6 +230,16 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
     /// The node's configuration.
     pub fn config(&self) -> &MwmrConfig {
         &self.cfg
+    }
+
+    /// Reads issued here that completed on the one-round fast path.
+    pub fn fast_reads(&self) -> u64 {
+        self.fast_reads
+    }
+
+    /// Reads issued here that executed the write-back phase.
+    pub fn write_backs(&self) -> u64 {
+        self.write_backs
     }
 
     fn fresh_uid(&mut self) -> u64 {
@@ -290,21 +322,40 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
             RegisterOp::Read => {
                 let uid = self.fresh_uid();
                 let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
-                let (best_tag, best_value) = self.replica.snapshot();
+                let (tag, value) = self.replica.snapshot();
+                let census = TagCensus::new(tag, value);
                 if self.cfg.quorum.is_read_quorum(ph.responders()) {
-                    self.enter_read_write_back(op, best_tag, best_value, fx);
+                    self.complete_read_query(op, ph.responders(), census, fx);
                     return;
                 }
-                self.pending = Some(Pending::ReadQuery {
-                    op,
-                    ph,
-                    best_tag,
-                    best_value,
-                });
+                self.pending = Some(Pending::ReadQuery { op, ph, census });
                 self.broadcast(RegisterMsg::Query { uid }, fx);
                 self.arm_timer(uid, fx);
             }
         }
+    }
+
+    /// The read's query phase holds a read quorum: one-round fast path if
+    /// the responders were unanimous and form a write quorum, two-phase
+    /// slow path otherwise.
+    fn complete_read_query(
+        &mut self,
+        op: OpId,
+        responders: &ProcSet,
+        census: TagCensus<Tag, V>,
+        fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        if self.cfg.fast_reads
+            && self.cfg.read_write_back
+            && fast_read_allowed(self.cfg.quorum.as_ref(), responders, census.unanimous())
+        {
+            self.fast_reads += 1;
+            let (_, value) = census.into_best();
+            self.finish(op, RegisterResp::ReadOk(value), fx);
+            return;
+        }
+        let (tag, value) = census.into_best();
+        self.enter_read_write_back(op, tag, value, fx);
     }
 
     /// Second phase of a write: stamp the value with a tag strictly larger
@@ -354,6 +405,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
             self.finish(op, RegisterResp::ReadOk(value), fx);
             return;
         }
+        self.write_backs += 1;
         self.replica.adopt(tag, value.clone());
         let uid = self.fresh_uid();
         let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
@@ -451,7 +503,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
                 }
                 enum Next<V> {
                     WriteUpdate(OpId, Tag, V),
-                    ReadWriteBack(OpId, Tag, V),
+                    ReadDone(OpId, ProcSet, TagCensus<Tag, V>),
                 }
                 let next = match self.pending.as_mut() {
                     Some(Pending::WriteQuery {
@@ -472,21 +524,13 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
                             None
                         }
                     }
-                    Some(Pending::ReadQuery {
-                        op,
-                        ph,
-                        best_tag,
-                        best_value,
-                    }) => {
+                    Some(Pending::ReadQuery { op, ph, census }) => {
                         if !ph.record(from, uid) {
                             return;
                         }
-                        if label > *best_tag {
-                            *best_tag = label;
-                            *best_value = value;
-                        }
+                        census.observe(label, value);
                         if self.cfg.quorum.is_read_quorum(ph.responders()) {
-                            Some(Next::ReadWriteBack(*op, *best_tag, best_value.clone()))
+                            Some(Next::ReadDone(*op, ph.responders().clone(), census.clone()))
                         } else {
                             None
                         }
@@ -499,10 +543,10 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
                         self.disarm_timer(uid, fx);
                         self.enter_write_update(op, best, v, fx);
                     }
-                    Some(Next::ReadWriteBack(op, tag, v)) => {
+                    Some(Next::ReadDone(op, responders, census)) => {
                         self.pending = None;
                         self.disarm_timer(uid, fx);
-                        self.enter_read_write_back(op, tag, v, fx);
+                        self.complete_read_query(op, &responders, census, fx);
                     }
                     None => {}
                 }
@@ -578,6 +622,16 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
         });
         self.broadcast(RegisterMsg::Query { uid }, fx);
         self.arm_timer(uid, fx);
+    }
+}
+
+impl<V: Clone + std::fmt::Debug + Send + 'static> ReadPathStats for MwmrNode<V> {
+    fn fast_reads(&self) -> u64 {
+        self.fast_reads
+    }
+
+    fn write_backs(&self) -> u64 {
+        self.write_backs
     }
 }
 
@@ -737,6 +791,53 @@ mod tests {
             net.take_responses().last().unwrap().1,
             RegisterResp::ReadOk(300)
         );
+    }
+
+    fn fast_cluster(n: usize) -> MiniNet<MwmrNode<u32>> {
+        let nodes = (0..n)
+            .map(|i| MwmrNode::new(MwmrConfig::new(n, ProcessId(i)).with_fast_reads(true), 0u32))
+            .collect();
+        MiniNet::new(nodes)
+    }
+
+    #[test]
+    fn uncontended_fast_read_costs_one_round_trip() {
+        let mut net = fast_cluster(5);
+        net.invoke(1, RegisterOp::Write(8));
+        net.run_to_quiescence();
+        net.take_responses();
+        let before = net.messages_sent();
+        net.invoke(3, RegisterOp::Read);
+        net.run_to_quiescence();
+        // Unanimous quorum: query + replies only = 2(n-1).
+        assert_eq!(net.messages_sent() - before, 2 * (5 - 1));
+        assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(8));
+        assert_eq!(net.node(3).fast_reads(), 1);
+        assert_eq!(net.node(3).write_backs(), 0);
+        // Writes keep their two phases even with the flag on.
+        let before = net.messages_sent();
+        net.invoke(2, RegisterOp::Write(9));
+        net.run_to_quiescence();
+        assert_eq!(net.messages_sent() - before, 4 * (5 - 1));
+    }
+
+    #[test]
+    fn disagreeing_quorum_forces_mwmr_slow_path() {
+        let mut net = fast_cluster(5);
+        // Confine the write's update phase to {1,2,3} (writer 1 plus two).
+        net.set_drop_filter(|_, to, m: &MwmrMsg<u32>| {
+            matches!(m, RegisterMsg::Update { .. }) && to.index() != 2 && to.index() != 3
+        });
+        net.invoke(1, RegisterOp::Write(5));
+        net.run_to_quiescence();
+        net.take_responses();
+        net.clear_drop_filter();
+        // Stale reader 0's quorum mixes fresh and stale tags.
+        net.invoke(0, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(5));
+        assert_eq!(net.node(0).fast_reads(), 0, "disagreement must not elide");
+        assert_eq!(net.node(0).write_backs(), 1);
     }
 
     #[test]

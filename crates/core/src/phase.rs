@@ -51,6 +51,65 @@ impl PhaseTracker {
     }
 }
 
+/// Folds the `(label, value)` replies of a read query phase, tracking both
+/// the maximum label seen **and whether every reply agreed on it**.
+///
+/// The agreement bit is what the fast-path read needs: if all responders
+/// (seeded with the issuer's own replica) reported one identical maximum
+/// label, the value is already as replicated as a completed write-back
+/// would leave it. The final elision decision additionally requires the
+/// responder set to be a write quorum — pass
+/// [`unanimous`](TagCensus::unanimous) to
+/// [`fast_read_allowed`](crate::quorum::fast_read_allowed) rather than
+/// branching on it directly (the `abd-lint` `fast-path-helper` rule
+/// enforces this).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TagCensus<L, V> {
+    max_label: L,
+    value: V,
+    unanimous: bool,
+}
+
+impl<L: Ord, V> TagCensus<L, V> {
+    /// Starts a census from the issuer's own replica snapshot.
+    pub fn new(label: L, value: V) -> Self {
+        TagCensus {
+            max_label: label,
+            value,
+            unanimous: true,
+        }
+    }
+
+    /// Folds in one reply. Any reply that differs from the current maximum
+    /// — above *or* below it — destroys unanimity for good.
+    pub fn observe(&mut self, label: L, value: V) {
+        match label.cmp(&self.max_label) {
+            std::cmp::Ordering::Greater => {
+                self.unanimous = false;
+                self.max_label = label;
+                self.value = value;
+            }
+            std::cmp::Ordering::Less => self.unanimous = false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+
+    /// The maximum label observed so far.
+    pub fn max_label(&self) -> &L {
+        &self.max_label
+    }
+
+    /// `true` while every observation matched the running maximum.
+    pub fn unanimous(&self) -> bool {
+        self.unanimous
+    }
+
+    /// Consumes the census, yielding the `(max label, value)` pair.
+    pub fn into_best(self) -> (L, V) {
+        (self.max_label, self.value)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +132,32 @@ mod tests {
         let mut ph = PhaseTracker::new(1, 4, ProcessId(0));
         ph.record(ProcessId(3), 1);
         assert_eq!(ph.missing(), vec![ProcessId(1), ProcessId(2)]);
+    }
+
+    #[test]
+    fn census_stays_unanimous_on_identical_labels() {
+        let mut c = TagCensus::new(4u64, "v");
+        c.observe(4, "v");
+        c.observe(4, "v");
+        assert!(c.unanimous());
+        assert_eq!(*c.max_label(), 4);
+        assert_eq!(c.into_best(), (4, "v"));
+    }
+
+    #[test]
+    fn census_loses_unanimity_on_any_mismatch() {
+        // A lower label breaks agreement without changing the max.
+        let mut low = TagCensus::new(4u64, 40);
+        low.observe(3, 30);
+        assert!(!low.unanimous());
+        assert_eq!(low.into_best(), (4, 40));
+
+        // A higher label breaks agreement *and* updates the max; later
+        // matching replies never restore unanimity.
+        let mut high = TagCensus::new(4u64, 40);
+        high.observe(5, 50);
+        high.observe(5, 50);
+        assert!(!high.unanimous());
+        assert_eq!(high.into_best(), (5, 50));
     }
 }

@@ -6,6 +6,7 @@
 //! | preset | quorums | read write-back | semantics |
 //! |--------|---------|-----------------|-----------|
 //! | [`atomic_swmr`] / [`atomic_mwmr`] | majority | yes | atomic (the paper) |
+//! | [`fast_swmr`] / [`fast_mwmr`] | majority | elided when unanimous | atomic, 1-round reads uncontended |
 //! | [`regular_swmr`] / [`regular_mwmr`] | majority | no | regular (baseline) |
 //! | [`read_one_swmr`] | `R=1, W=majority` | no | *not even regular* |
 //! | [`dynamo_style_mwmr`] | `R`/`W` thresholds | yes | atomic iff `R+W>N`, `2W>N` |
@@ -19,6 +20,14 @@ use std::sync::Arc;
 /// The paper's single-writer protocol: majority quorums, reads write back.
 pub fn atomic_swmr(n: usize, me: ProcessId, writer: ProcessId) -> SwmrConfig {
     SwmrConfig::new(n, me, writer)
+}
+
+/// The paper's single-writer protocol with the one-round read fast path:
+/// a read whose query quorum unanimously reports the max label (and forms
+/// a write quorum) skips the write-back — still atomic, see
+/// [`fast_read_allowed`](crate::quorum::fast_read_allowed).
+pub fn fast_swmr(n: usize, me: ProcessId, writer: ProcessId) -> SwmrConfig {
+    SwmrConfig::new(n, me, writer).with_fast_reads(true)
 }
 
 /// Single-writer baseline that skips the read write-back: only *regular* —
@@ -43,6 +52,12 @@ pub fn read_one_swmr(n: usize, me: ProcessId, writer: ProcessId) -> SwmrConfig {
 /// The multi-writer protocol with majority quorums: atomic.
 pub fn atomic_mwmr(n: usize, me: ProcessId) -> MwmrConfig {
     MwmrConfig::new(n, me)
+}
+
+/// The multi-writer protocol with the one-round read fast path (writes
+/// keep both phases — their query round orders concurrent writers).
+pub fn fast_mwmr(n: usize, me: ProcessId) -> MwmrConfig {
+    MwmrConfig::new(n, me).with_fast_reads(true)
 }
 
 /// Multi-writer baseline without the read write-back: regular reads.
@@ -80,6 +95,15 @@ mod tests {
         let cfg = read_one_swmr(5, ProcessId(0), ProcessId(0));
         assert!(cfg.quorum.validate(false).is_err());
         assert!(!cfg.read_write_back);
+    }
+
+    #[test]
+    fn fast_presets_only_flip_the_fast_flag() {
+        let a = atomic_swmr(5, ProcessId(0), ProcessId(0));
+        let f = fast_swmr(5, ProcessId(0), ProcessId(0));
+        assert!(!a.fast_reads && f.fast_reads);
+        assert!(f.read_write_back, "fast path still needs the atomic base");
+        assert!(fast_mwmr(5, ProcessId(1)).fast_reads);
     }
 
     #[test]

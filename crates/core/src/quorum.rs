@@ -76,6 +76,56 @@ pub fn masking_threshold(n: usize, b: usize) -> usize {
     q
 }
 
+/// Whether a read may *elide its write-back phase* (the "fast path") given
+/// the responders of its query phase.
+///
+/// The write-back exists to push the max tag a read observed to a write
+/// quorum before returning, so every later read quorum intersects a
+/// processor holding it. Both conditions below make that push redundant:
+///
+/// * `unanimous` — every responder (including the issuer's own replica)
+///   reported the *same* maximum tag, so no responder needs catching up;
+/// * `q.is_write_quorum(responders)` — the responder set itself already
+///   constitutes a write quorum, so the tag is at a write quorum *now* and
+///   every subsequent read quorum is guaranteed to intersect it.
+///
+/// Under [`Majority`] quorums the second condition is implied by quorum
+/// collection (read quorums *are* write quorums), but for asymmetric
+/// systems such as [`Threshold`] with `R < W` a unanimous read quorum may
+/// still be smaller than a write quorum — eliding there would let a later
+/// read quorum miss the tag entirely. This function is the **one place**
+/// where the elision condition lives: the `abd-lint` `fast-path-helper`
+/// rule rejects ad-hoc unanimity checks in protocol handlers.
+///
+/// # Examples
+///
+/// ```
+/// use abd_core::procset::ProcSet;
+/// use abd_core::quorum::{fast_read_allowed, Majority, Threshold};
+/// use abd_core::types::ProcessId;
+///
+/// let majority = Majority::new(5);
+/// let mut q = ProcSet::new(5);
+/// for i in 0..3 {
+///     q.insert(ProcessId(i));
+/// }
+/// // A unanimous majority may skip the write-back...
+/// assert!(fast_read_allowed(&majority, &q, true));
+/// // ...a disagreeing one may not.
+/// assert!(!fast_read_allowed(&majority, &q, false));
+///
+/// // R = 2, W = 4: a unanimous read quorum is not a write quorum, so the
+/// // tag may still be missing from some future read quorum — no elision.
+/// let skewed = Threshold::new(5, 2, 4);
+/// let mut r = ProcSet::new(5);
+/// r.insert(ProcessId(0));
+/// r.insert(ProcessId(1));
+/// assert!(!fast_read_allowed(&skewed, &r, true));
+/// ```
+pub fn fast_read_allowed(q: &dyn QuorumSystem, responders: &ProcSet, unanimous: bool) -> bool {
+    unanimous && q.is_write_quorum(responders)
+}
+
 /// A quorum system over processors `0..n`.
 ///
 /// Implementations answer, for an arbitrary set of responders, whether the

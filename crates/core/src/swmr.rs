@@ -23,6 +23,15 @@
 //! exactly the regular-register baseline whose violations experiment **T5**
 //! exhibits.
 //!
+//! With [`fast_reads`](SwmrConfig::fast_reads) enabled, a read whose query
+//! quorum was **unanimous** about the maximum label *and* itself forms a
+//! write quorum skips the write-back — it would only re-install a label
+//! already held by a write quorum (see
+//! [`fast_read_allowed`](crate::quorum::fast_read_allowed)). On the
+//! uncontended common path this halves the read to one round, `2(n−1)`
+//! messages; any disagreement falls back to the two-phase path, so
+//! atomicity is unaffected (experiment **F6**).
+//!
 //! The state machine is sans-io (see [`crate::context`]): hosts deliver
 //! messages and timer ticks, and carry out the recorded effects. With a
 //! retransmission policy configured, an unfinished phase resends — with
@@ -48,10 +57,11 @@
 //! again is then purely a freshness optimization that lets it answer with
 //! recent labels immediately.
 
-use crate::context::{Effects, Protocol, TimerKey};
+use crate::context::{Effects, Protocol, ReadPathStats, TimerKey};
 use crate::msg::{RegisterMsg, RegisterOp, RegisterResp};
-use crate::phase::PhaseTracker;
-use crate::quorum::{Majority, QuorumSystem};
+use crate::phase::{PhaseTracker, TagCensus};
+use crate::procset::ProcSet;
+use crate::quorum::{fast_read_allowed, Majority, QuorumSystem};
 use crate::replica::Replica;
 use crate::retransmit::{BackoffPolicy, Retransmitter};
 use crate::types::{Nanos, OpId, ProcessId, RegisterError, SeqNo};
@@ -75,6 +85,13 @@ pub struct SwmrConfig {
     /// Whether reads perform the write-back phase (`true` = atomic ABD,
     /// `false` = regular-register baseline).
     pub read_write_back: bool,
+    /// Whether reads may *elide* the write-back when every query responder
+    /// reported the same maximum label and the responder set is a write
+    /// quorum (see [`fast_read_allowed`]). Off by default: the baseline
+    /// protocol always pays `2` rounds per read. Only meaningful with
+    /// [`read_write_back`](SwmrConfig::read_write_back) on — the regular
+    /// baseline has no write-back to elide.
+    pub fast_reads: bool,
     /// Retransmission policy for unfinished phases; `None` disables
     /// retransmission (appropriate for reliable links).
     pub retransmit: Option<BackoffPolicy>,
@@ -90,6 +107,7 @@ impl SwmrConfig {
             writer,
             quorum: Arc::new(Majority::new(n)),
             read_write_back: true,
+            fast_reads: false,
             retransmit: None,
         }
     }
@@ -103,6 +121,12 @@ impl SwmrConfig {
     /// Enables or disables the read write-back phase.
     pub fn with_read_write_back(mut self, yes: bool) -> Self {
         self.read_write_back = yes;
+        self
+    }
+
+    /// Enables or disables the one-round fast path for reads.
+    pub fn with_fast_reads(mut self, yes: bool) -> Self {
+        self.fast_reads = yes;
         self
     }
 
@@ -131,12 +155,12 @@ enum Pending<V> {
         seq: SeqNo,
         value: V,
     },
-    /// Reader collecting query replies.
+    /// Reader collecting query replies; the census tracks the max label
+    /// *and* whether the responders were unanimous about it (fast path).
     Query {
         op: OpId,
         ph: PhaseTracker,
-        best_label: SeqNo,
-        best_value: V,
+        census: TagCensus<SeqNo, V>,
     },
     /// Reader propagating the value it is about to return.
     WriteBack {
@@ -190,6 +214,8 @@ pub struct SwmrNode<V> {
     queue: VecDeque<(OpId, RegisterOp<V>)>,
     rtx: Retransmitter,
     recovering: Option<Recovery<V>>,
+    fast_reads: u64,
+    write_backs: u64,
 }
 
 impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
@@ -213,6 +239,8 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
             queue: VecDeque::new(),
             rtx,
             recovering: None,
+            fast_reads: 0,
+            write_backs: 0,
         }
     }
 
@@ -246,6 +274,16 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
     /// The node's configuration.
     pub fn config(&self) -> &SwmrConfig {
         &self.cfg
+    }
+
+    /// Reads issued here that completed on the one-round fast path.
+    pub fn fast_reads(&self) -> u64 {
+        self.fast_reads
+    }
+
+    /// Reads issued here that executed the write-back phase.
+    pub fn write_backs(&self) -> u64 {
+        self.write_backs
     }
 
     fn fresh_uid(&mut self) -> u64 {
@@ -368,19 +406,39 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
     fn begin_read(&mut self, op: OpId, fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>) {
         let uid = self.fresh_uid();
         let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
-        let (best_label, best_value) = self.replica.snapshot();
+        let (label, value) = self.replica.snapshot();
+        let census = TagCensus::new(label, value);
         if self.cfg.quorum.is_read_quorum(ph.responders()) {
-            self.enter_write_back(op, best_label, best_value, fx);
+            self.complete_read_query(op, ph.responders(), census, fx);
             return;
         }
-        self.pending = Some(Pending::Query {
-            op,
-            ph,
-            best_label,
-            best_value,
-        });
+        self.pending = Some(Pending::Query { op, ph, census });
         self.broadcast(RegisterMsg::Query { uid }, fx);
         self.arm_timer(uid, fx);
+    }
+
+    /// The read's query phase holds a read quorum: either take the
+    /// one-round fast path (unanimous responders that form a write quorum —
+    /// the max label is already durable, so the write-back is redundant) or
+    /// fall through to the two-phase slow path.
+    fn complete_read_query(
+        &mut self,
+        op: OpId,
+        responders: &ProcSet,
+        census: TagCensus<SeqNo, V>,
+        fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        if self.cfg.fast_reads
+            && self.cfg.read_write_back
+            && fast_read_allowed(self.cfg.quorum.as_ref(), responders, census.unanimous())
+        {
+            self.fast_reads += 1;
+            let (_, value) = census.into_best();
+            self.finish(op, RegisterResp::ReadOk(value), fx);
+            return;
+        }
+        let (label, value) = census.into_best();
+        self.enter_write_back(op, label, value, fx);
     }
 
     /// Second half of a read: either respond immediately (regular baseline)
@@ -396,6 +454,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
             self.finish(op, RegisterResp::ReadOk(value), fx);
             return;
         }
+        self.write_backs += 1;
         self.replica.adopt(label, value.clone());
         let uid = self.fresh_uid();
         let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
@@ -489,27 +548,18 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
                     }
                     return;
                 }
-                let Some(Pending::Query {
-                    ph,
-                    best_label,
-                    best_value,
-                    op,
-                }) = self.pending.as_mut()
-                else {
+                let Some(Pending::Query { ph, census, .. }) = self.pending.as_mut() else {
                     return;
                 };
                 if !ph.record(from, uid) {
                     return;
                 }
-                if label > *best_label {
-                    *best_label = label;
-                    *best_value = value;
-                }
+                census.observe(label, value);
                 if self.cfg.quorum.is_read_quorum(ph.responders()) {
-                    let (op, label, value) = (*op, *best_label, best_value.clone());
-                    self.pending = None;
-                    self.disarm_timer(uid, fx);
-                    self.enter_write_back(op, label, value, fx);
+                    if let Some(Pending::Query { op, ph, census }) = self.pending.take() {
+                        self.disarm_timer(uid, fx);
+                        self.complete_read_query(op, ph.responders(), census, fx);
+                    }
                 }
             }
             RegisterMsg::UpdateAck { uid } => {
@@ -589,6 +639,16 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
         });
         self.broadcast(RegisterMsg::Query { uid }, fx);
         self.arm_timer(uid, fx);
+    }
+}
+
+impl<V: Clone + std::fmt::Debug + Send + 'static> ReadPathStats for SwmrNode<V> {
+    fn fast_reads(&self) -> u64 {
+        self.fast_reads
+    }
+
+    fn write_backs(&self) -> u64 {
+        self.write_backs
     }
 }
 
@@ -920,6 +980,95 @@ mod tests {
         assert!(!net.node(0).is_busy(), "in-flight op wiped");
         assert_eq!(net.node(0).queue_len(), 0, "queue wiped");
         assert!(net.take_responses().is_empty(), "lost ops never respond");
+    }
+
+    fn fast_cluster(n: usize) -> MiniNet<SwmrNode<u32>> {
+        let nodes = (0..n)
+            .map(|i| {
+                let cfg = SwmrConfig::new(n, ProcessId(i), ProcessId(0)).with_fast_reads(true);
+                SwmrNode::new(cfg, 0u32)
+            })
+            .collect();
+        MiniNet::new(nodes)
+    }
+
+    #[test]
+    fn uncontended_fast_read_elides_write_back() {
+        let mut net = fast_cluster(5);
+        net.invoke(0, RegisterOp::Write(3));
+        net.run_to_quiescence();
+        net.take_responses();
+        let before = net.messages_sent();
+        // Every replica holds (1, 3): the query quorum is unanimous, so the
+        // read completes in one round — 2(n-1) messages, no write-back.
+        net.invoke(2, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(net.messages_sent() - before, 2 * (5 - 1));
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(1), RegisterResp::ReadOk(3))]
+        );
+        assert_eq!(net.node(2).fast_reads(), 1);
+        assert_eq!(net.node(2).write_backs(), 0);
+    }
+
+    #[test]
+    fn stale_quorum_disagreement_forces_slow_path() {
+        // The write reaches only {0,1,2}; stale reader 3's query quorum then
+        // mixes fresh and stale labels — no unanimity, no elision.
+        let mut net = fast_cluster(5);
+        net.set_drop_filter(|_, to, _| to.index() >= 3);
+        net.invoke(0, RegisterOp::Write(1));
+        net.run_to_quiescence();
+        net.take_responses();
+        net.clear_drop_filter();
+        net.invoke(3, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(1), RegisterResp::ReadOk(1))]
+        );
+        assert_eq!(net.node(3).fast_reads(), 0, "disagreement must not elide");
+        assert_eq!(net.node(3).write_backs(), 1, "slow path ran instead");
+        // And the write-back did its job: the value spread.
+        let fresh = (0..5)
+            .filter(|&i| net.node(i).replica_state().0 == 1)
+            .count();
+        assert_eq!(fresh, 5);
+    }
+
+    #[test]
+    fn fast_path_needs_a_write_quorum_of_responders() {
+        // R=1, W=majority: the reader alone is a read quorum, and even a
+        // unanimous one — but one replica is not a write quorum, so the
+        // elision must not fire (a later read quorum could miss the label).
+        let nodes: Vec<SwmrNode<u32>> = (0..5)
+            .map(|i| {
+                let cfg = SwmrConfig::new(5, ProcessId(i), ProcessId(0))
+                    .with_quorum(Arc::new(Threshold::new(5, 1, 3)))
+                    .with_fast_reads(true);
+                SwmrNode::new(cfg, 0)
+            })
+            .collect();
+        let mut net = MiniNet::new(nodes);
+        net.invoke(2, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(net.node(2).fast_reads(), 0);
+        assert_eq!(net.node(2).write_backs(), 1, "write-back still required");
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(0), RegisterResp::ReadOk(0))]
+        );
+    }
+
+    #[test]
+    fn fast_reads_off_keeps_two_phase_reads() {
+        let mut net = cluster(5, true);
+        net.invoke(3, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(net.messages_sent(), 4 * (5 - 1), "flag off: 2 rounds");
+        assert_eq!(net.node(3).fast_reads(), 0);
+        assert_eq!(net.node(3).write_backs(), 1);
     }
 
     #[test]

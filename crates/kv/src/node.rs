@@ -19,14 +19,30 @@
 //! A `Get` on a key that has a value performs the read write-back exactly
 //! like the register protocol; a `Get` that finds the key unwritten (the
 //! maximum tag is still the initial tag) skips the write-back — there is
-//! nothing to propagate.
+//! nothing to propagate. With [`fast_reads`](KvConfig::fast_reads) enabled,
+//! a `Get` whose query quorum was *unanimous* about the maximum tag (and
+//! forms a write quorum) also skips it, completing in one round (see
+//! [`fast_read_allowed`](abd_core::quorum::fast_read_allowed)).
+//!
+//! ## Crash recovery
+//!
+//! A restarted node keeps its store (stable storage, like the register
+//! replicas — see the `abd-core` SWMR module docs for why amnesia would
+//! break atomicity) but runs a **bulk state-transfer round** before serving
+//! clients: it broadcasts [`KvMsg::SyncPull`] and max-merges the
+//! [`KvMsg::SyncState`] snapshots of a read quorum into its store, so it
+//! rejoins with every key at least as fresh as the latest completed write.
+//! Invocations arriving meanwhile queue and run when the transfer finishes.
+//! One round recovers *all* keys — a per-key catch-up read would cost a
+//! round per key.
 
-use abd_core::context::{Effects, Protocol, TimerKey};
-use abd_core::phase::PhaseTracker;
-use abd_core::quorum::{Majority, QuorumSystem};
+use abd_core::context::{Effects, Protocol, ReadPathStats, TimerKey};
+use abd_core::phase::{PhaseTracker, TagCensus};
+use abd_core::procset::ProcSet;
+use abd_core::quorum::{fast_read_allowed, Majority, QuorumSystem};
 use abd_core::retransmit::BackoffPolicy;
 use abd_core::types::{Nanos, OpId, ProcessId, Tag};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt::Debug;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -67,6 +83,21 @@ pub enum KvMsg<K, V> {
         /// Phase id copied from the update.
         uid: u64,
     },
+    /// Post-restart catch-up: ask the receiver for its complete per-key
+    /// state.
+    SyncPull {
+        /// Phase id echoed by the reply.
+        uid: u64,
+    },
+    /// Reply to [`KvMsg::SyncPull`]: the sender's full `(key, tag, value)`
+    /// snapshot. Entry order is arbitrary — the receiver max-merges, which
+    /// is order-insensitive.
+    SyncState {
+        /// Phase id copied from the pull.
+        uid: u64,
+        /// Every key the sender stores, with its tag.
+        entries: Vec<(K, Tag, V)>,
+    },
 }
 
 /// A client operation on the store.
@@ -96,6 +127,10 @@ pub struct KvConfig {
     pub me: ProcessId,
     /// Quorum system (must satisfy multi-writer intersection).
     pub quorum: Arc<dyn QuorumSystem>,
+    /// Whether `Get`s may elide the write-back when the query quorum was
+    /// unanimous about the maximum tag and forms a write quorum (see
+    /// [`fast_read_allowed`]). Off by default.
+    pub fast_reads: bool,
     /// Retransmission policy for unfinished phases (`None` = reliable
     /// links).
     pub retransmit: Option<BackoffPolicy>,
@@ -108,6 +143,7 @@ impl KvConfig {
             n,
             me,
             quorum: Arc::new(Majority::new(n)),
+            fast_reads: false,
             retransmit: None,
         }
     }
@@ -115,6 +151,12 @@ impl KvConfig {
     /// Replaces the quorum system.
     pub fn with_quorum(mut self, q: Arc<dyn QuorumSystem>) -> Self {
         self.quorum = q;
+        self
+    }
+
+    /// Enables or disables the one-round fast path for `Get`s.
+    pub fn with_fast_reads(mut self, yes: bool) -> Self {
+        self.fast_reads = yes;
         self
     }
 
@@ -138,7 +180,7 @@ enum Pending<K, V> {
         op: OpId,
         key: K,
         ph: PhaseTracker,
-        best: (Tag, Option<V>),
+        census: TagCensus<Tag, Option<V>>,
     },
     GetWriteBack {
         op: OpId,
@@ -191,6 +233,12 @@ pub struct KvNode<K, V> {
     /// phase backs off independently; cleared when its phase completes).
     rtx_attempts: HashMap<u64, u32>,
     retransmissions: u64,
+    /// Post-restart bulk state transfer in progress; invocations queue
+    /// until it completes.
+    recovering: Option<PhaseTracker>,
+    queue: VecDeque<(OpId, KvOp<K, V>)>,
+    fast_reads: u64,
+    write_backs: u64,
 }
 
 impl<K, V> KvNode<K, V>
@@ -213,12 +261,37 @@ where
             pending: HashMap::new(),
             rtx_attempts: HashMap::new(),
             retransmissions: 0,
+            recovering: None,
+            queue: VecDeque::new(),
+            fast_reads: 0,
+            write_backs: 0,
         }
     }
 
     /// Messages this node has retransmitted over its lifetime.
     pub fn retransmissions(&self) -> u64 {
         self.retransmissions
+    }
+
+    /// `Get`s issued here that completed on the one-round fast path.
+    pub fn fast_reads(&self) -> u64 {
+        self.fast_reads
+    }
+
+    /// `Get`s issued here that executed the write-back phase.
+    pub fn write_backs(&self) -> u64 {
+        self.write_backs
+    }
+
+    /// Whether the node is running its post-restart state transfer
+    /// (invocations queue until it completes).
+    pub fn is_recovering(&self) -> bool {
+        self.recovering.is_some()
+    }
+
+    /// Invocations queued behind an in-progress recovery.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     /// The node's local `(tag, value)` for `key`, if present.
@@ -346,6 +419,7 @@ where
             fx.respond(op, KvResp::GetOk(None));
             return;
         };
+        self.write_backs += 1;
         self.adopt(key.clone(), tag, value.clone());
         let uid = self.fresh_uid();
         let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
@@ -373,6 +447,90 @@ where
             fx,
         );
         self.arm_timer(uid, fx);
+    }
+
+    /// The `Get`'s query phase holds a read quorum: respond right away on
+    /// the one-round fast path (unanimous responders forming a write
+    /// quorum), else fall through to the write-back.
+    fn complete_get_query(
+        &mut self,
+        op: OpId,
+        key: K,
+        responders: &ProcSet,
+        census: TagCensus<Tag, Option<V>>,
+        fx: &mut Effects<KvMsg<K, V>, KvResp<V>>,
+    ) {
+        if self.cfg.fast_reads
+            && fast_read_allowed(self.cfg.quorum.as_ref(), responders, census.unanimous())
+        {
+            self.fast_reads += 1;
+            let (_, value) = census.into_best();
+            fx.respond(op, KvResp::GetOk(value));
+            return;
+        }
+        let (tag, value) = census.into_best();
+        self.enter_get_write_back(op, key, (tag, value), fx);
+    }
+
+    /// Starts one invocation (the body of [`Protocol::on_invoke`] once the
+    /// node is past any post-restart recovery).
+    fn begin(&mut self, op: OpId, input: KvOp<K, V>, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
+        match input {
+            KvOp::Get(key) => {
+                let uid = self.fresh_uid();
+                let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+                let (tag, value) = self.snapshot(&key);
+                let census = TagCensus::new(tag, value);
+                if self.cfg.quorum.is_read_quorum(ph.responders()) {
+                    self.complete_get_query(op, key, ph.responders(), census, fx);
+                    return;
+                }
+                self.broadcast(
+                    KvMsg::Query {
+                        uid,
+                        key: key.clone(),
+                    },
+                    fx,
+                );
+                self.pending.insert(
+                    uid,
+                    Pending::GetQuery {
+                        op,
+                        key,
+                        ph,
+                        census,
+                    },
+                );
+                self.arm_timer(uid, fx);
+            }
+            KvOp::Put(key, value) => {
+                let uid = self.fresh_uid();
+                let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+                let best = self.snapshot(&key).0;
+                if self.cfg.quorum.is_read_quorum(ph.responders()) {
+                    self.enter_put_update(op, key, best, value, fx);
+                    return;
+                }
+                self.broadcast(
+                    KvMsg::Query {
+                        uid,
+                        key: key.clone(),
+                    },
+                    fx,
+                );
+                self.pending.insert(
+                    uid,
+                    Pending::PutQuery {
+                        op,
+                        key,
+                        ph,
+                        best,
+                        value,
+                    },
+                );
+                self.arm_timer(uid, fx);
+            }
+        }
     }
 
     fn retransmit_message(&self, p: &Pending<K, V>) -> Option<KvMsg<K, V>> {
@@ -420,54 +578,13 @@ where
     }
 
     fn on_invoke(&mut self, op: OpId, input: KvOp<K, V>, fx: &mut Effects<Self::Msg, Self::Resp>) {
-        match input {
-            KvOp::Get(key) => {
-                let uid = self.fresh_uid();
-                let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
-                let best = self.snapshot(&key);
-                if self.cfg.quorum.is_read_quorum(ph.responders()) {
-                    self.enter_get_write_back(op, key, best, fx);
-                    return;
-                }
-                self.broadcast(
-                    KvMsg::Query {
-                        uid,
-                        key: key.clone(),
-                    },
-                    fx,
-                );
-                self.pending
-                    .insert(uid, Pending::GetQuery { op, key, ph, best });
-                self.arm_timer(uid, fx);
-            }
-            KvOp::Put(key, value) => {
-                let uid = self.fresh_uid();
-                let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
-                let best = self.snapshot(&key).0;
-                if self.cfg.quorum.is_read_quorum(ph.responders()) {
-                    self.enter_put_update(op, key, best, value, fx);
-                    return;
-                }
-                self.broadcast(
-                    KvMsg::Query {
-                        uid,
-                        key: key.clone(),
-                    },
-                    fx,
-                );
-                self.pending.insert(
-                    uid,
-                    Pending::PutQuery {
-                        op,
-                        key,
-                        ph,
-                        best,
-                        value,
-                    },
-                );
-                self.arm_timer(uid, fx);
-            }
+        if self.recovering.is_some() {
+            // Serving before the catch-up quorum completes could return
+            // values staler than what this node acknowledged pre-crash.
+            self.queue.push_back((op, input));
+            return;
         }
+        self.begin(op, input, fx);
     }
 
     fn on_message(
@@ -495,21 +612,24 @@ where
                     return;
                 };
                 match pending {
-                    Pending::GetQuery { ph, best, .. } => {
+                    Pending::GetQuery { ph, census, .. } => {
                         if !ph.record(from, uid) {
                             return;
                         }
-                        if tag > best.0 {
-                            *best = (tag, value);
-                        }
+                        census.observe(tag, value);
                         if self.cfg.quorum.is_read_quorum(ph.responders()) {
-                            let Some(Pending::GetQuery { op, key, best, .. }) =
-                                self.pending.remove(&uid)
+                            let Some(Pending::GetQuery {
+                                op,
+                                key,
+                                ph,
+                                census,
+                                ..
+                            }) = self.pending.remove(&uid)
                             else {
                                 unreachable!()
                             };
                             self.disarm_timer(uid, fx);
-                            self.enter_get_write_back(op, key, best, fx);
+                            self.complete_get_query(op, key, ph.responders(), census, fx);
                         }
                     }
                     Pending::PutQuery { ph, best, .. } => {
@@ -566,11 +686,54 @@ where
                     fx.respond(op, resp);
                 }
             }
+            KvMsg::SyncPull { uid } => {
+                // HashMap iteration order is fine here: the receiver
+                // max-merges entry by entry (commutative), and the trace
+                // digest hashes event metadata, not payloads.
+                let entries: Vec<(K, Tag, V)> = self
+                    .store
+                    .iter()
+                    .map(|(k, (t, v))| (k.clone(), *t, v.clone()))
+                    .collect();
+                fx.send(from, KvMsg::SyncState { uid, entries });
+            }
+            KvMsg::SyncState { uid, entries } => {
+                let Some(ph) = self.recovering.as_mut() else {
+                    return;
+                };
+                if !ph.record(from, uid) {
+                    return;
+                }
+                let done = self.cfg.quorum.is_read_quorum(ph.responders());
+                for (k, t, v) in entries {
+                    self.adopt(k, t, v);
+                }
+                if done {
+                    self.recovering = None;
+                    self.disarm_timer(uid, fx);
+                    while let Some((op, input)) = self.queue.pop_front() {
+                        self.begin(op, input, fx);
+                    }
+                }
+            }
         }
     }
 
     fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
         let uid = key.0;
+        if let Some(ph) = self.recovering.as_ref() {
+            if ph.uid() != uid {
+                return;
+            }
+            let targets = ph.missing();
+            self.retransmissions += targets.len() as u64;
+            for p in targets {
+                fx.send(p, KvMsg::SyncPull { uid });
+            }
+            *self.rtx_attempts.entry(uid).or_insert(0) += 1;
+            self.arm_timer(uid, fx);
+            return;
+        }
         let Some(pending) = self.pending.get(&uid) else {
             return;
         };
@@ -588,6 +751,37 @@ where
             *self.rtx_attempts.entry(uid).or_insert(0) += 1;
             self.arm_timer(uid, fx);
         }
+    }
+
+    fn on_restart(&mut self, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        // In-flight operations died with the crash; the store is stable
+        // storage and survives, but may be stale. Catch up from a read
+        // quorum before serving anything.
+        self.pending.clear();
+        self.rtx_attempts.clear();
+        self.queue.clear();
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        if self.cfg.quorum.is_read_quorum(ph.responders()) {
+            return;
+        }
+        self.recovering = Some(ph);
+        self.broadcast(KvMsg::SyncPull { uid }, fx);
+        self.arm_timer(uid, fx);
+    }
+}
+
+impl<K, V> ReadPathStats for KvNode<K, V>
+where
+    K: Clone + Eq + Hash + Debug + Send + 'static,
+    V: Clone + Debug + Send + 'static,
+{
+    fn fast_reads(&self) -> u64 {
+        self.fast_reads
+    }
+
+    fn write_backs(&self) -> u64 {
+        self.write_backs
     }
 }
 
@@ -611,9 +805,13 @@ mod tests {
         V: Clone + Debug + Send + 'static,
     {
         fn new(n: usize) -> Self {
+            Net::with(n, |cfg| cfg)
+        }
+
+        fn with(n: usize, cfg_fn: impl Fn(KvConfig) -> KvConfig) -> Self {
             Net {
                 nodes: (0..n)
-                    .map(|i| KvNode::new(KvConfig::new(n, ProcessId(i))))
+                    .map(|i| KvNode::new(cfg_fn(KvConfig::new(n, ProcessId(i)))))
                     .collect(),
                 queue: Default::default(),
                 responses: Vec::new(),
@@ -621,6 +819,16 @@ mod tests {
                 next_op: 0,
                 sent: 0,
             }
+        }
+
+        /// Crash-and-restart node `i`: drop everything addressed to it that
+        /// is still in flight, then fire [`Protocol::on_restart`].
+        fn restart(&mut self, i: usize) {
+            self.queue.retain(|(_, to, _)| to.index() != i);
+            self.alive[i] = true;
+            let mut fx = Effects::new();
+            self.nodes[i].on_restart(&mut fx);
+            self.absorb(ProcessId(i), fx);
         }
 
         fn absorb(&mut self, from: ProcessId, fx: Effects<KvMsg<K, V>, KvResp<V>>) {
@@ -775,6 +983,66 @@ mod tests {
         net.invoke(0, KvOp::Put("b", 2));
         net.run();
         assert_eq!(net.nodes[1].local_len(), 2);
+    }
+
+    #[test]
+    fn uncontended_fast_get_skips_write_back() {
+        let mut net: Net<&str, u32> = Net::with(3, |cfg| cfg.with_fast_reads(true));
+        net.invoke(0, KvOp::Put("k", 7));
+        net.run();
+        let before = net.sent;
+        net.invoke(2, KvOp::Get("k"));
+        net.run();
+        assert_eq!(net.take().pop().unwrap().1, KvResp::GetOk(Some(7)));
+        // Query round only: 2(n-1) messages, no write-back round.
+        assert_eq!(net.sent - before, 4);
+        assert_eq!(net.nodes[2].fast_reads(), 1);
+        assert_eq!(net.nodes[2].write_backs(), 0);
+    }
+
+    #[test]
+    fn disagreeing_quorum_forces_get_slow_path() {
+        let mut net: Net<&str, u32> = Net::with(3, |cfg| cfg.with_fast_reads(true));
+        // Node 2 misses the put: its replica stays stale.
+        net.alive[2] = false;
+        net.invoke(0, KvOp::Put("k", 7));
+        net.run();
+        // Crash node 0 so the reader's query quorum must be {1, 2} and the
+        // stale reply from node 2 lands in it.
+        net.alive[2] = true;
+        net.alive[0] = false;
+        net.invoke(1, KvOp::Get("k"));
+        net.run();
+        assert_eq!(net.take().pop().unwrap().1, KvResp::GetOk(Some(7)));
+        assert_eq!(net.nodes[1].fast_reads(), 0);
+        assert_eq!(net.nodes[1].write_backs(), 1);
+        // The write-back repaired the stale replica.
+        assert_eq!(*net.nodes[2].local_entry(&"k").unwrap().1, 7);
+    }
+
+    #[test]
+    fn restart_catches_up_before_serving() {
+        let mut net: Net<&str, u32> = Net::new(3);
+        net.invoke(0, KvOp::Put("a", 1));
+        net.run();
+        // Node 2 crashes and misses a put.
+        net.alive[2] = false;
+        net.invoke(0, KvOp::Put("b", 2));
+        net.run();
+        net.take();
+        assert!(net.nodes[2].local_entry(&"b").is_none());
+        // On restart it pulls a read quorum's state before serving.
+        net.restart(2);
+        assert!(net.nodes[2].is_recovering());
+        // Invocations issued mid-recovery queue rather than run stale.
+        net.invoke(2, KvOp::Get("b"));
+        assert_eq!(net.nodes[2].queue_len(), 1);
+        assert!(net.take().is_empty());
+        net.run();
+        assert!(!net.nodes[2].is_recovering());
+        assert_eq!(*net.nodes[2].local_entry(&"b").unwrap().1, 2);
+        // The queued get drained and sees the caught-up state.
+        assert_eq!(net.take().pop().unwrap().1, KvResp::GetOk(Some(2)));
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! Fixture: ad-hoc write-back-elision conditions (never compiled).
+//!
+//! Unanimity of the query quorum is necessary but not sufficient — the
+//! responders must also form a write quorum. Both checks live in
+//! `fast_read_allowed`; open-coding either half is flagged.
+
+pub fn complete_read(&mut self) {
+    if self.census.unanimous() {
+        // elides on unanimity alone — misses the write-quorum half
+        self.finish_fast();
+    }
+}
+
+pub fn also_bad(&self) -> bool {
+    let unanimous = self.census.unanimous(); // binding + call: both flagged
+    unanimous && self.quorum.is_write_quorum(&self.responders)
+}
+
+pub fn compliant(&self) -> bool {
+    fast_read_allowed(self.quorum.as_ref(), &self.responders, self.census.unanimous())
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_code_is_exempt(c: &Census) {
+        assert!(c.unanimous());
+    }
+}

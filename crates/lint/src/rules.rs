@@ -7,6 +7,7 @@
 //! | `panic-in-handler`   | no `.unwrap()`/`.expect(…)`/`panic!` inside message-path handlers — a malformed or stale message must never take a replica down |
 //! | `wildcard-msg-match` | the top-level `match` on `msg` in every `on_message` enumerates variants without `_ =>`, so adding a message kind is a compile-time event |
 //! | `raw-quorum-arith`   | no open-coded `/ 2` or `div_ceil(2)` majorities outside `crates/core/src/quorum.rs` — quorum sizes come from the checked constructors |
+//! | `fast-path-helper`   | write-back elision decisions go through `abd_core::quorum::fast_read_allowed` — unanimity alone is not sufficient (the responders must also form a write quorum), so ad-hoc `unanimous` checks are banned outside the helper call |
 //!
 //! Rules operate on the cleaned source view (see [`crate::source`]), so
 //! comments and string literals never trigger them.
@@ -46,6 +47,11 @@ pub const RULES: &[RuleInfo] = &[
         id: "raw-quorum-arith",
         summary: "no open-coded `/ 2` or `div_ceil(2)` outside crates/core/src/quorum.rs",
     },
+    RuleInfo {
+        id: "fast-path-helper",
+        summary: "write-back elision must go through `fast_read_allowed`; \
+                  no ad-hoc `unanimous` checks outside that call",
+    },
 ];
 
 /// Handler functions whose bodies form the protocol message path.
@@ -68,6 +74,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     panic_in_handler(file, &mut out);
     wildcard_msg_match(file, &mut out);
     raw_quorum_arith(file, &mut out);
+    fast_path_helper(file, &mut out);
     out
 }
 
@@ -364,6 +371,67 @@ fn raw_quorum_arith(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Byte offset of the `)` matching the `(` at `open` (or end of input if
+/// unbalanced). Like [`match_brace`], assumes cleaned text.
+fn match_paren(bytes: &[u8], open: usize) -> usize {
+    debug_assert_eq!(bytes[open], b'(');
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    bytes.len().saturating_sub(1)
+}
+
+/// `fast-path-helper`: the write-back elision condition is easy to get
+/// subtly wrong — unanimity of the query quorum is *not* sufficient on its
+/// own (the responders must also form a write quorum, which majority
+/// systems imply but `R < W` thresholds do not). Any `unanimous` mention in
+/// protocol code must therefore appear as an argument to
+/// `abd_core::quorum::fast_read_allowed(...)`, where both halves of the
+/// condition are enforced together.
+fn fast_path_helper(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_crates(&file.rel, &["core", "kv"])
+        || file.rel == "crates/core/src/quorum.rs"
+        || file.rel == "crates/core/src/phase.rs"
+    {
+        return;
+    }
+    let bytes = file.clean.as_bytes();
+    let spans: Vec<(usize, usize)> = ident_occurrences(&file.clean, "fast_read_allowed")
+        .into_iter()
+        .filter_map(|pos| {
+            let open = skip_ws(bytes, pos + "fast_read_allowed".len());
+            (bytes.get(open) == Some(&b'(')).then(|| (open, match_paren(bytes, open)))
+        })
+        .collect();
+    for pos in ident_occurrences(&file.clean, "unanimous") {
+        if file.in_test_code(pos) {
+            continue;
+        }
+        if spans.iter().any(|&(open, close)| pos > open && pos < close) {
+            continue;
+        }
+        out.push(finding(
+            file,
+            "fast-path-helper",
+            pos,
+            "ad-hoc tag-agreement check: unanimity alone does not justify eliding the \
+             write-back (the responders must also form a write quorum); pass it to \
+             `abd_core::quorum::fast_read_allowed(quorum, responders, unanimous)` instead"
+                .to_string(),
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +521,32 @@ mod tests {
     fn division_by_larger_literals_is_fine() {
         let src = "fn f(n: usize) -> usize { n / 20 + n / 256 }\n";
         assert!(check("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ad_hoc_unanimity_check_flagged_helper_call_allowed() {
+        let bad = "fn f(&self) -> bool { self.census.unanimous() && true }\n";
+        let f = check("crates/core/src/swmr.rs", bad);
+        assert_eq!(f.iter().filter(|f| f.rule == "fast-path-helper").count(), 1);
+        let good =
+            "fn f(&self) -> bool { fast_read_allowed(self.q.as_ref(), r, census.unanimous()) }\n";
+        assert!(check("crates/core/src/swmr.rs", good).is_empty());
+        // The definition site and the census internals are exempt.
+        assert!(check("crates/core/src/quorum.rs", bad).is_empty());
+        assert!(check("crates/core/src/phase.rs", bad).is_empty());
+        // So is test code.
+        let in_test = "#[cfg(test)]\nmod tests { fn t(c: &C) { assert!(c.unanimous()); } }\n";
+        assert!(check("crates/core/src/swmr.rs", in_test).is_empty());
+        // Out-of-scope crates are untouched.
+        assert!(check("crates/simnet/src/sim.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn unanimity_outside_the_call_parens_still_flagged() {
+        let src =
+            "fn f(&self) -> bool { let u = census.unanimous(); fast_read_allowed(q, r, u) }\n";
+        let f = check("crates/kv/src/node.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "fast-path-helper").count(), 1);
     }
 
     #[test]

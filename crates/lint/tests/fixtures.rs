@@ -95,6 +95,22 @@ fn raw_quorum_arith_positive_and_negative() {
 }
 
 #[test]
+fn fast_path_helper_positive_and_negative() {
+    let f = scan("violations");
+    let fp: Vec<&Finding> = f.iter().filter(|f| f.rule == "fast-path-helper").collect();
+    // `if census.unanimous()`, the `let unanimous = census.unanimous()`
+    // binding (two idents on one line), and the binding's use — but never
+    // the compliant `fast_read_allowed(...)` call or the test module.
+    assert_eq!(fp.len(), 4, "{fp:?}");
+    assert!(fp.iter().all(|f| f.file == "crates/core/src/fastpath.rs"));
+    assert_eq!(
+        fp.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![8, 15, 15, 16],
+        "{fp:?}"
+    );
+}
+
+#[test]
 fn clean_fixture_has_no_findings() {
     let f = scan("clean");
     assert!(f.is_empty(), "clean fixture must pass every rule: {f:?}");

@@ -34,6 +34,14 @@ pub struct Metrics {
     pub ops_aborted: u64,
     /// Sum of completed-operation latencies (virtual nanoseconds).
     pub total_op_latency: Nanos,
+    /// Reads completed on the one-round fast path (write-back elided).
+    /// Stays zero in [`crate::Sim::metrics`] — the simulator cannot see
+    /// protocol-internal counters; use [`crate::Sim::read_path_metrics`]
+    /// to fold the per-node sums in.
+    pub fast_reads: u64,
+    /// Reads that actually ran the write-back phase. Same caveat as
+    /// [`Metrics::fast_reads`].
+    pub write_backs: u64,
 }
 
 impl Metrics {

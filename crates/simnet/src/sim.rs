@@ -9,7 +9,7 @@
 
 use crate::config::SimConfig;
 use crate::metrics::Metrics;
-use abd_core::context::{Effects, Protocol, TimerCmd, TimerKey};
+use abd_core::context::{Effects, Protocol, ReadPathStats, TimerCmd, TimerKey};
 use abd_core::types::{Nanos, OpId, ProcessId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -676,6 +676,23 @@ where
     }
 }
 
+impl<P: Protocol + ReadPathStats> Sim<P>
+where
+    P::Op: Clone,
+{
+    /// Accumulated counters with the per-node read-path counters folded
+    /// in: a copy of [`Sim::metrics`] whose
+    /// [`fast_reads`](Metrics::fast_reads) /
+    /// [`write_backs`](Metrics::write_backs) fields hold the sums across
+    /// all nodes.
+    pub fn read_path_metrics(&self) -> Metrics {
+        let mut m = self.metrics.clone();
+        m.fast_reads = self.nodes.iter().map(|n| n.proto.fast_reads()).sum();
+        m.write_backs = self.nodes.iter().map(|n| n.proto.write_backs()).sum();
+        m
+    }
+}
+
 impl<P: Protocol> std::fmt::Debug for Sim<P>
 where
     P::Op: Clone,
@@ -716,6 +733,29 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert!(matches!(recs[1].resp, RegisterResp::ReadOk(11)));
         assert!(recs[1].latency() > 0);
+    }
+
+    #[test]
+    fn read_path_metrics_folds_node_counters_in() {
+        let nodes = (0..5)
+            .map(|i| {
+                SwmrNode::new(
+                    SwmrConfig::new(5, ProcessId(i), ProcessId(0)).with_fast_reads(true),
+                    0u64,
+                )
+            })
+            .collect();
+        let mut sim: Sim<SwmrNode<u64>> = Sim::new(SimConfig::new(3), nodes);
+        sim.invoke(ProcessId(0), RegisterOp::Write(4));
+        assert!(sim.run_until_ops_complete(1_000_000));
+        sim.invoke(ProcessId(2), RegisterOp::Read);
+        assert!(sim.run_until_ops_complete(2_000_000));
+        // Plain metrics() cannot see the elision; the folded copy can.
+        assert_eq!(sim.metrics().fast_reads, 0);
+        let m = sim.read_path_metrics();
+        assert_eq!(m.fast_reads, 1);
+        assert_eq!(m.write_backs, 0);
+        assert_eq!(m.sent, sim.metrics().sent);
     }
 
     #[test]

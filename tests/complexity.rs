@@ -102,6 +102,75 @@ fn mwmr_ops_are_two_round_trips_each() {
 }
 
 #[test]
+fn fast_read_is_one_round_trip_2n_minus_2_messages_uncontended() {
+    for n in [3usize, 5, 9, 15] {
+        let nodes = (0..n)
+            .map(|i| {
+                abd_core::swmr::SwmrNode::new(
+                    abd_core::presets::fast_swmr(n, ProcessId(i), ProcessId(0)),
+                    0u64,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(constant_delay(7), nodes);
+        sim.invoke(ProcessId(0), RegisterOp::Write(9));
+        assert!(sim.run_until_quiet(u64::MAX / 2));
+        let before = sim.metrics().sent;
+        sim.invoke(ProcessId(n - 1), RegisterOp::Read);
+        assert!(sim.run_until_quiet(u64::MAX / 2));
+        assert_eq!(sim.metrics().sent - before, 2 * (n as u64 - 1), "n={n}");
+        assert_eq!(sim.completed()[1].latency(), 2 * D, "n={n}: one round");
+        assert_eq!(sim.read_path_metrics().fast_reads, 1, "n={n}");
+    }
+}
+
+#[test]
+fn fast_mwmr_read_is_one_round_trip_uncontended() {
+    for n in [3usize, 5, 9] {
+        let nodes = (0..n)
+            .map(|i| {
+                abd_core::mwmr::MwmrNode::new(abd_core::presets::fast_mwmr(n, ProcessId(i)), 0u64)
+            })
+            .collect();
+        let mut sim = Sim::new(constant_delay(8), nodes);
+        sim.invoke(ProcessId(1), RegisterOp::Write(9));
+        assert!(sim.run_until_quiet(u64::MAX / 2));
+        let before = sim.metrics().sent;
+        sim.invoke(ProcessId(2), RegisterOp::Read);
+        assert!(sim.run_until_quiet(u64::MAX / 2));
+        assert_eq!(sim.metrics().sent - before, 2 * (n as u64 - 1), "n={n}");
+        assert_eq!(sim.completed()[1].latency(), 2 * D, "n={n}: one round");
+    }
+}
+
+#[test]
+fn batched_transport_preserves_op_complexity_for_a_lone_client() {
+    // A single client's phase messages have no same-window company, so
+    // batching must not change the operation's message or round counts.
+    let n = 5;
+    let nodes = (0..n)
+        .map(|i| {
+            abd_core::batch::Batched::new(
+                abd_core::swmr::SwmrNode::new(
+                    abd_core::presets::atomic_swmr(n, ProcessId(i), ProcessId(0)),
+                    0u64,
+                ),
+                0,
+            )
+        })
+        .collect();
+    let mut sim = Sim::new(constant_delay(9), nodes);
+    sim.invoke(ProcessId(0), RegisterOp::Write(1));
+    assert!(sim.run_until_quiet(u64::MAX / 2));
+    assert_eq!(sim.metrics().sent, 2 * (n as u64 - 1));
+    assert_eq!(sim.completed()[0].latency(), 2 * D);
+    sim.invoke(ProcessId(3), RegisterOp::Read);
+    assert!(sim.run_until_quiet(u64::MAX / 2));
+    assert_eq!(sim.metrics().sent, 6 * (n as u64 - 1));
+    assert_eq!(sim.completed()[1].latency(), 4 * D);
+}
+
+#[test]
 fn latency_is_independent_of_n_under_constant_delay() {
     // The quorum structure means completion time depends on the delay, not
     // the cluster size (with constant delays, exactly).

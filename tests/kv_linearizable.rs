@@ -14,8 +14,12 @@ use std::collections::HashMap;
 type KvSim = Sim<KvNode<u32, u64>>;
 
 fn cluster(n: usize, seed: u64) -> KvSim {
+    cluster_cfg(n, seed, false)
+}
+
+fn cluster_cfg(n: usize, seed: u64, fast_reads: bool) -> KvSim {
     let nodes = (0..n)
-        .map(|i| KvNode::new(KvConfig::new(n, ProcessId(i))))
+        .map(|i| KvNode::new(KvConfig::new(n, ProcessId(i)).with_fast_reads(fast_reads)))
         .collect();
     Sim::new(
         SimConfig::new(seed)
@@ -85,6 +89,48 @@ fn per_key_histories_are_linearizable_across_seeds() {
             );
         }
     }
+}
+
+/// The write-back elision must be invisible to the checker: the same
+/// contended workload as above, with `fast_reads` on, stays linearizable
+/// per key — and the fast path actually fires somewhere in the sweep.
+#[test]
+fn fast_reads_keep_per_key_histories_linearizable() {
+    let mut total_fast = 0u64;
+    for seed in 0..40u64 {
+        let n = 5;
+        let mut sim = cluster_cfg(n, seed, true);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xfa57);
+        let mut value = 0u64;
+        let scripts: Vec<Vec<KvOp<u32, u64>>> = (0..n)
+            .map(|_| {
+                (0..15)
+                    .map(|_| {
+                        let key = rng.gen_range(0..4u32);
+                        if rng.gen_bool(0.5) {
+                            value += 1;
+                            KvOp::Put(key, value)
+                        } else {
+                            KvOp::Get(key)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        assert!(
+            abd_repro::simnet::harness::run_scripts(&mut sim, scripts, 500, 1, 600_000_000_000),
+            "seed {seed}"
+        );
+        for (key, h) in per_key_histories(&sim) {
+            assert_eq!(
+                check_linearizable_with_limit(&h, 2_000_000),
+                CheckResult::Linearizable,
+                "seed {seed}, key {key}: non-linearizable fast-read history\n{h}"
+            );
+        }
+        total_fast += sim.read_path_metrics().fast_reads;
+    }
+    assert!(total_fast > 0, "the fast path must fire during the sweep");
 }
 
 /// The kv node *does* pipeline concurrent invocations; this test exercises

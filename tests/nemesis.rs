@@ -10,6 +10,7 @@
 //! all four register protocols, and a deliberate majority violation shows
 //! the flip side: outside the `f < n/2` envelope, operations block.
 
+use abd_core::batch::Batched;
 use abd_core::bounded::{BoundedSwmrConfig, BoundedSwmrNode, LabelSpace};
 use abd_core::byzantine::{ByzConfig, ByzNode};
 use abd_core::msg::RegisterOp;
@@ -17,6 +18,7 @@ use abd_core::mwmr::{MwmrConfig, MwmrNode};
 use abd_core::retransmit::BackoffPolicy;
 use abd_core::swmr::{SwmrConfig, SwmrNode};
 use abd_core::types::ProcessId;
+use abd_kv::{KvConfig, KvNode, KvOp, KvResp};
 use abd_repro::lincheck::{check_linearizable_with_limit, is_atomic_swmr, CheckResult};
 use abd_repro::simnet::nemesis::liveness_bound;
 use abd_repro::simnet::workload::history_from_sim;
@@ -67,10 +69,17 @@ fn mwmr_scripts(ops: u64) -> Vec<Vec<RegisterOp<u64>>> {
 
 /// One full SWMR campaign; returns the trace digest for replay checks.
 fn swmr_campaign(sim_seed: u64, nemesis_seed: u64) -> u64 {
+    swmr_campaign_cfg(sim_seed, nemesis_seed, false)
+}
+
+/// SWMR campaign with the fast-read flag under test control.
+fn swmr_campaign_cfg(sim_seed: u64, nemesis_seed: u64, fast_reads: bool) -> u64 {
     let nodes: Vec<SwmrNode<u64>> = (0..N)
         .map(|i| {
             SwmrNode::new(
-                SwmrConfig::new(N, ProcessId(i), ProcessId(0)).with_backoff(backoff()),
+                SwmrConfig::new(N, ProcessId(i), ProcessId(0))
+                    .with_backoff(backoff())
+                    .with_fast_reads(fast_reads),
                 0,
             )
         })
@@ -252,6 +261,138 @@ fn soak_bounded_and_byzantine_randomized_campaigns() {
         };
         assert_eq!(run_byz(seed), run_byz(seed));
     }
+}
+
+#[test]
+fn fast_read_campaigns_stay_atomic_and_replay() {
+    // SWMR with the write-back elision on: crashes, restarts, and loss
+    // bursts must not let a stale fast read through, and the runs must
+    // replay bit-identically.
+    let d = swmr_campaign_cfg(21, 91, true);
+    assert_eq!(d, swmr_campaign_cfg(21, 91, true));
+    assert_ne!(
+        d,
+        swmr_campaign_cfg(21, 92, true),
+        "a different campaign seed must produce a different trace"
+    );
+
+    // MWMR with fast reads: concurrent writers make disagreement (and thus
+    // the slow path) common; the history must still linearize.
+    let run_fast_mwmr = |sim_seed: u64| {
+        let nodes: Vec<MwmrNode<u64>> = (0..N)
+            .map(|i| {
+                MwmrNode::new(
+                    MwmrConfig::new(N, ProcessId(i))
+                        .with_backoff(backoff())
+                        .with_fast_reads(true),
+                    0,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(SimConfig::new(sim_seed), nodes);
+        let sched = NemesisConfig::new(sim_seed * 31 + 2, N).plan();
+        sched.apply(&mut sim);
+        let deadline = sched.heal_at() + liveness_bound(&backoff(), 20_000, 8);
+        assert!(
+            run_campaign(&mut sim, &sched, mwmr_scripts(4), THINK, deadline),
+            "fast mwmr seed {sim_seed}: ops must finish after healing"
+        );
+        let h = history_from_sim(0, &sim);
+        assert_eq!(
+            check_linearizable_with_limit(&h, 1_000_000),
+            CheckResult::Linearizable,
+            "fast mwmr seed {sim_seed}: history must linearize"
+        );
+        sim.trace_digest()
+    };
+    assert_eq!(run_fast_mwmr(22), run_fast_mwmr(22));
+}
+
+#[test]
+fn batched_fast_campaign_stays_atomic_and_replays() {
+    // Fast reads *and* a Nagle-style batching window: coalescing must not
+    // reorder phase messages in a way the protocol can observe, even while
+    // the nemesis crashes nodes mid-window (buffered sends die with the
+    // node). Note: no retransmission assertions here — the flush timer's
+    // sends land in the same counter.
+    let run = |sim_seed: u64| {
+        let nodes: Vec<Batched<SwmrNode<u64>>> = (0..N)
+            .map(|i| {
+                Batched::new(
+                    SwmrNode::new(
+                        SwmrConfig::new(N, ProcessId(i), ProcessId(0))
+                            .with_backoff(backoff())
+                            .with_fast_reads(true),
+                        0,
+                    ),
+                    2_000,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(SimConfig::new(sim_seed), nodes);
+        let sched = NemesisConfig::new(sim_seed * 43 + 5, N).plan();
+        sched.apply(&mut sim);
+        let deadline = sched.heal_at() + liveness_bound(&backoff(), 20_000, 8);
+        assert!(
+            run_campaign(&mut sim, &sched, swmr_scripts(5), THINK, deadline),
+            "batched seed {sim_seed}: ops must finish after healing"
+        );
+        let h = history_from_sim(0, &sim);
+        assert!(is_atomic_swmr(&h), "batched seed {sim_seed}");
+        sim.trace_digest()
+    };
+    assert_eq!(run(31), run(31));
+    assert_eq!(run(32), run(32));
+}
+
+#[test]
+fn kv_recovery_campaign_catches_up_before_serving_and_replays() {
+    // Nodes 3 and 4 miss a batch of puts, then restart: the bulk
+    // state-transfer round must bring their stores up to date *before*
+    // they serve reads — proven by inspecting the stores directly, not by
+    // a quorum read that a fresh node could answer for them.
+    let run = |sim_seed: u64| {
+        let nodes: Vec<KvNode<u32, u64>> = (0..N)
+            .map(|i| KvNode::new(KvConfig::new(N, ProcessId(i)).with_retransmit(BACKOFF_BASE)))
+            .collect();
+        let mut sim = Sim::new(SimConfig::new(sim_seed), nodes);
+        sim.crash_at(0, ProcessId(3));
+        sim.crash_at(0, ProcessId(4));
+        for k in 0..4u32 {
+            sim.invoke_at(
+                1_000 + u64::from(k),
+                ProcessId(0),
+                KvOp::Put(k, 100 + u64::from(k)),
+            );
+        }
+        assert!(sim.run_until_ops_complete(60_000_000_000), "puts complete");
+        let restart_at = sim.now() + 1;
+        sim.restart_at(restart_at, ProcessId(3));
+        sim.restart_at(restart_at, ProcessId(4));
+        assert!(sim.run_until_quiet(restart_at + 60_000_000_000));
+        for i in [3usize, 4] {
+            assert!(!sim.node(i).is_recovering(), "node {i} finished catch-up");
+            for k in 0..4u32 {
+                assert_eq!(
+                    sim.node(i).local_entry(&k).map(|(_, v)| *v),
+                    Some(100 + u64::from(k)),
+                    "node {i} key {k}: store caught up via bulk transfer"
+                );
+            }
+        }
+        // The caught-up nodes can now carry a quorum on their own merits:
+        // crash both nodes that served the original puts besides node 2.
+        sim.crash_at(sim.now() + 1, ProcessId(0));
+        sim.crash_at(sim.now() + 1, ProcessId(1));
+        sim.invoke_at(sim.now() + 2, ProcessId(3), KvOp::Get(2));
+        assert!(sim.run_until_ops_complete(120_000_000_000), "get completes");
+        assert_eq!(
+            sim.completed().last().unwrap().resp,
+            KvResp::GetOk(Some(102))
+        );
+        sim.trace_digest()
+    };
+    assert_eq!(run(3), run(3), "same seed must replay bit-identically");
 }
 
 #[test]

@@ -22,6 +22,12 @@ cargo test -q --test nemesis fixed_seed
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> repro shrink gate (known-bad fixture must minimize to the committed golden)"
+cargo run -q --release -p abd-bench --bin abd_repro -- shrink \
+  crates/bench/fixtures/planted-campaign.ron -o target/planted-campaign.min.ron
+diff -u crates/bench/fixtures/planted-campaign.min.ron target/planted-campaign.min.ron \
+  || { echo "shrinker output drifted from the committed golden minimal artifact"; exit 1; }
+
 echo "==> throughput bench smoke (fast-path + batching gates, regenerates BENCH_throughput.json)"
 cargo run -q --release -p abd-bench --bin fig_throughput -- --smoke
 git diff --exit-code -- BENCH_throughput.json \

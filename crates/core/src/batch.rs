@@ -331,6 +331,76 @@ mod tests {
     }
 
     #[test]
+    fn windowed_flush_preserves_cross_callback_emission_order() {
+        // Two invocations land inside one window; the flushed envelope must
+        // carry both callbacks' messages in exact emission order, not
+        // regrouped or deduplicated.
+        let mut node = Batched::new(Chatty { me: ProcessId(0) }, 500);
+        let mut fx = Effects::new();
+        node.on_invoke(OpId(0), 2, &mut fx);
+        node.on_invoke(OpId(1), 3, &mut fx);
+        assert!(fx.sends.is_empty(), "both callbacks' sends held back");
+
+        let mut flush_fx = Effects::new();
+        node.on_timer(FLUSH_KEY, &mut flush_fx);
+        assert_eq!(flush_fx.sends.len(), 2);
+        assert_eq!(flush_fx.sends[0].0, ProcessId(1));
+        assert_eq!(flush_fx.sends[0].1, Envelope::Batch(vec![0, 1, 0, 1, 2]));
+        assert_eq!(flush_fx.sends[1].0, ProcessId(2));
+        assert_eq!(flush_fx.sends[1].1, Envelope::Batch(vec![0, 1, 0, 1, 2]));
+        assert_eq!(node.batches_sent(), 2);
+        assert_eq!(node.messages_coalesced(), 10);
+    }
+
+    #[test]
+    fn window_rearms_once_per_flush_cycle() {
+        let mut node = Batched::new(Chatty { me: ProcessId(0) }, 500);
+        let arm_count = |fx: &Effects<Envelope<u32>, ()>| {
+            fx.timers
+                .iter()
+                .filter(|t| matches!(t, TimerCmd::Set { key, .. } if *key == FLUSH_KEY))
+                .count()
+        };
+        let mut fx = Effects::new();
+        node.on_invoke(OpId(0), 1, &mut fx);
+        node.on_invoke(OpId(1), 1, &mut fx);
+        assert_eq!(arm_count(&fx), 1, "one timer per window, not per send");
+
+        let mut flush_fx = Effects::new();
+        node.on_timer(FLUSH_KEY, &mut flush_fx);
+        // The next buffered send after a flush opens a fresh window.
+        let mut fx2 = Effects::new();
+        node.on_invoke(OpId(2), 1, &mut fx2);
+        assert_eq!(arm_count(&fx2), 1, "flush re-enables arming");
+    }
+
+    /// An inner protocol must never use the reserved flush key: phase uids
+    /// count up from zero and cannot reach `u64::MAX`, and a wrapped timer
+    /// on that key would be swallowed by the batching layer as a flush.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "inner protocol used the flush key")]
+    fn inner_timer_on_the_reserved_flush_key_is_rejected() {
+        #[derive(Debug)]
+        struct Clash;
+        impl Protocol for Clash {
+            type Msg = u32;
+            type Op = ();
+            type Resp = ();
+            fn id(&self) -> ProcessId {
+                ProcessId(0)
+            }
+            fn on_invoke(&mut self, _op: OpId, _i: (), fx: &mut Effects<u32, ()>) {
+                fx.set_timer(FLUSH_KEY, 10);
+            }
+            fn on_message(&mut self, _from: ProcessId, _msg: u32, _fx: &mut Effects<u32, ()>) {}
+        }
+        let mut node = Batched::new(Clash, 0);
+        let mut fx = Effects::new();
+        node.on_invoke(OpId(0), (), &mut fx);
+    }
+
+    #[test]
     fn batch_delivery_unpacks_in_order() {
         #[derive(Debug, Default)]
         struct Recorder {
@@ -367,6 +437,21 @@ mod tests {
         let mut flush_fx = Effects::new();
         node.on_timer(FLUSH_KEY, &mut flush_fx);
         assert!(flush_fx.sends.is_empty(), "nothing left to flush");
+
+        // The arming flag was volatile too: post-restart traffic opens a
+        // fresh window instead of waiting on a timer the crash discarded.
+        let mut fx2 = Effects::new();
+        node.on_invoke(OpId(1), 1, &mut fx2);
+        assert!(
+            fx2.timers
+                .iter()
+                .any(|t| matches!(t, TimerCmd::Set { key, .. } if *key == FLUSH_KEY)),
+            "restart must reset the window arming"
+        );
+        let mut flush_fx = Effects::new();
+        node.on_timer(FLUSH_KEY, &mut flush_fx);
+        assert_eq!(flush_fx.sends.len(), 2, "only post-restart sends flush");
+        assert!(matches!(flush_fx.sends[0].1, Envelope::One(0)));
     }
 
     #[test]

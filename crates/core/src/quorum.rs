@@ -584,6 +584,46 @@ mod tests {
     }
 
     #[test]
+    fn fast_read_boundary_exactly_write_quorum_sized_sets() {
+        // R = 2, W = 4 over n = 5: elision flips exactly at the write
+        // threshold. A unanimous set of 3 (a read quorum and then some) is
+        // still one short of a write quorum; a unanimous set of exactly 4
+        // is the smallest that may skip the write-back.
+        let skewed = Threshold::new(5, 2, 4);
+        assert!(!fast_read_allowed(&skewed, &set(5, &[0, 1, 2]), true));
+        assert!(!fast_read_allowed(&skewed, &set(5, &[0, 1, 2]), false));
+        assert!(fast_read_allowed(&skewed, &set(5, &[0, 1, 2, 3]), true));
+        assert!(!fast_read_allowed(&skewed, &set(5, &[0, 1, 2, 3]), false));
+
+        // Majority quorums: the read quorum *is* a write quorum, so the
+        // boundary sits at ⌊n/2⌋+1 exactly.
+        let m = Majority::new(5);
+        assert!(!fast_read_allowed(&m, &set(5, &[0, 1]), true));
+        assert!(fast_read_allowed(&m, &set(5, &[0, 1, 2]), true));
+    }
+
+    #[test]
+    fn fast_read_boundary_even_n_majority_vs_write_quorum_split() {
+        // n = 6: exactly half the cluster is NOT a majority — a unanimous
+        // 3-of-6 set must never elide (its complement is another 3-set the
+        // tag may have missed entirely).
+        let m = Majority::new(6);
+        assert_eq!(m.quorum_size(), 4);
+        assert!(!fast_read_allowed(&m, &set(6, &[0, 1, 2]), true));
+        assert!(fast_read_allowed(&m, &set(6, &[0, 1, 2, 3]), true));
+
+        // Even n with split thresholds: R = 3 read quorums collect at the
+        // half-cluster mark, but the write threshold W = 4 still gates the
+        // fast path — a unanimous read quorum alone is not enough.
+        let split = Threshold::new(6, 3, 4);
+        assert!(split.validate(false).is_ok());
+        let read_quorum = set(6, &[0, 1, 2]);
+        assert!(split.is_read_quorum(&read_quorum));
+        assert!(!fast_read_allowed(&split, &read_quorum, true));
+        assert!(fast_read_allowed(&split, &set(6, &[0, 1, 2, 3]), true));
+    }
+
+    #[test]
     fn threshold_validates_intersection() {
         assert!(Threshold::new(5, 3, 3).validate(true).is_ok());
         assert!(Threshold::new(5, 2, 4).validate(false).is_ok());

@@ -10,7 +10,10 @@
 //!   arbitrary register histories (multi-writer, pending operations);
 //! * [`regularity`] — linear-time detectors for single-writer unique-value
 //!   histories: regularity/safeness violations and the *new/old inversion*
-//!   anomaly that separates regular from atomic registers.
+//!   anomaly that separates regular from atomic registers;
+//! * [`oracle`] — those checkers reified as pluggable pass/fail predicates
+//!   ([`HistoryOracle`]) so harnesses like the `abd-simnet` campaign
+//!   shrinker can re-apply one failure definition to many replays.
 //!
 //! ## Example
 //!
@@ -33,9 +36,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod history;
+pub mod oracle;
 pub mod regularity;
 pub mod wg;
 
 pub use history::{CompletedOp, History, RegAction};
+pub use oracle::{AtomicSwmrOracle, HistoryOracle, LinearizableOracle};
 pub use regularity::{check_regular_swmr, find_new_old_inversions, is_atomic_swmr, Anomaly};
 pub use wg::{check_linearizable, check_linearizable_with_limit, CheckResult};

@@ -1,0 +1,142 @@
+//! Failure oracles: pluggable pass/fail predicates over histories.
+//!
+//! The nemesis test fleet decides "did this run fail?" in more than one
+//! way — single-writer atomicity (linear-time checker), general
+//! linearizability (Wing–Gong search), or execution-digest divergence
+//! between two same-seed runs. The campaign **shrinker**
+//! (`abd-simnet::shrink`) needs that decision as a value it can re-apply to
+//! every shrunk candidate, so this module reifies it: a [`HistoryOracle`]
+//! inspects a replayed history and returns `None` (property holds) or
+//! `Some(reason)` (property violated, with a human-readable explanation).
+//!
+//! Digest divergence is not a history property — it is decided by the
+//! replay harness comparing two runs — so it has no oracle here; the
+//! harness layers it on top (see `abd-simnet::repro::OracleSpec`).
+
+use crate::history::History;
+use crate::regularity::{find_new_old_inversions, is_atomic_swmr};
+use crate::wg::{check_linearizable_with_limit, CheckResult};
+use std::hash::Hash;
+
+/// A pass/fail predicate over a register history.
+///
+/// Implementations must be **deterministic**: the shrinker replays a
+/// candidate schedule, asks the oracle once, and caches the verdict — a
+/// flaky oracle would make shrinking diverge.
+pub trait HistoryOracle<V> {
+    /// Short stable name, recorded in repro artifacts.
+    fn name(&self) -> &'static str;
+
+    /// `Some(reason)` if `h` violates the property this oracle checks.
+    fn violation(&self, h: &History<V>) -> Option<String>;
+}
+
+/// Single-writer atomicity via the linear-time unique-value checker
+/// ([`is_atomic_swmr`]). The violation message names the first new/old
+/// inversion found, when there is one.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct AtomicSwmrOracle;
+
+impl<V: Eq + Hash + std::fmt::Debug> HistoryOracle<V> for AtomicSwmrOracle {
+    fn name(&self) -> &'static str {
+        "atomic-swmr"
+    }
+
+    fn violation(&self, h: &History<V>) -> Option<String> {
+        if is_atomic_swmr(h) {
+            return None;
+        }
+        let detail = find_new_old_inversions(h)
+            .into_iter()
+            .next()
+            .map(|a| format!(": {a:?}"))
+            .unwrap_or_default();
+        Some(format!("history is not atomic (SWMR checker){detail}"))
+    }
+}
+
+/// General linearizability via the memoized Wing–Gong search, with a state
+/// budget so adversarial histories cannot hang the shrinker. A search that
+/// exhausts its budget counts as a **pass** (no violation proven) — the
+/// shrinker must never keep a candidate on an unproven verdict.
+#[derive(Clone, Copy, Debug)]
+pub struct LinearizableOracle {
+    /// Maximum number of memoized search states to explore.
+    pub state_limit: usize,
+}
+
+impl Default for LinearizableOracle {
+    fn default() -> Self {
+        LinearizableOracle {
+            state_limit: 1_000_000,
+        }
+    }
+}
+
+impl<V: Eq + Hash + Clone + std::fmt::Debug> HistoryOracle<V> for LinearizableOracle {
+    fn name(&self) -> &'static str {
+        "linearizable"
+    }
+
+    fn violation(&self, h: &History<V>) -> Option<String> {
+        match check_linearizable_with_limit(h, self.state_limit) {
+            CheckResult::Linearizable => None,
+            CheckResult::NotLinearizable => {
+                Some("history is not linearizable (Wing-Gong search)".to_string())
+            }
+            CheckResult::Unknown => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::RegAction;
+
+    fn stale_history() -> History<u32> {
+        let mut h = History::new(0u32);
+        h.push(0, RegAction::Write(1), 0, 10);
+        h.push(1, RegAction::Read(1), 20, 30);
+        h.push(2, RegAction::Read(0), 40, 50); // stale after a newer read
+        h
+    }
+
+    #[test]
+    fn atomic_oracle_passes_clean_history() {
+        let mut h = History::new(0u32);
+        h.push(0, RegAction::Write(1), 0, 10);
+        h.push(1, RegAction::Read(1), 20, 30);
+        assert_eq!(AtomicSwmrOracle.violation(&h), None);
+        assert_eq!(HistoryOracle::<u32>::name(&AtomicSwmrOracle), "atomic-swmr");
+    }
+
+    #[test]
+    fn atomic_oracle_flags_stale_read_with_reason() {
+        let v = AtomicSwmrOracle.violation(&stale_history());
+        assert!(v.is_some());
+        assert!(v.unwrap().contains("not atomic"));
+    }
+
+    #[test]
+    fn linearizable_oracle_agrees_on_both_verdicts() {
+        let o = LinearizableOracle::default();
+        assert!(o.violation(&stale_history()).is_some());
+        let mut h = History::new(0u32);
+        h.push(0, RegAction::Write(1), 0, 10);
+        h.push(1, RegAction::Read(1), 20, 30);
+        assert_eq!(o.violation(&h), None);
+    }
+
+    #[test]
+    fn exhausted_search_budget_is_not_a_violation() {
+        // A wide contended history with a 1-state budget: the search gives
+        // up immediately, which must read as "no violation proven".
+        let mut h = History::new(0u32);
+        for c in 0..6 {
+            h.push(c, RegAction::Write(c as u32 + 1), 0, 100);
+        }
+        let o = LinearizableOracle { state_limit: 1 };
+        assert_eq!(o.violation(&h), None);
+    }
+}

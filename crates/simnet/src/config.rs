@@ -67,7 +67,7 @@ impl LatencyModel {
 }
 
 /// Full simulator configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SimConfig {
     /// Seed for every random decision the simulator makes. Identical seeds
     /// (and identical command sequences) replay identical executions.

@@ -42,6 +42,9 @@ pub mod explore;
 pub mod harness;
 pub mod metrics;
 pub mod nemesis;
+pub mod planted;
+pub mod repro;
+pub mod shrink;
 pub mod sim;
 pub mod workload;
 
@@ -49,4 +52,7 @@ pub use config::{LatencyModel, SimConfig};
 pub use explore::{sweep, SeedOutcome, SweepReport};
 pub use metrics::Metrics;
 pub use nemesis::{run_campaign, NemesisConfig, NemesisSchedule, PlannedFault};
+pub use planted::PlantedSwmr;
+pub use repro::{Failure, OracleSpec, ProtocolSpec, ReplayOutcome, Repro};
+pub use shrink::{shrink, ShrinkOutcome};
 pub use sim::{OpRecord, Sim};

@@ -85,6 +85,82 @@ pub enum PlannedFault {
     },
 }
 
+impl PlannedFault {
+    /// The instant the fault is injected.
+    pub fn start(&self) -> Nanos {
+        match self {
+            PlannedFault::Crash { at, .. }
+            | PlannedFault::Partition { at, .. }
+            | PlannedFault::LossBurst { at, .. }
+            | PlannedFault::Gray { at, .. } => *at,
+        }
+    }
+
+    /// The instant the fault has cleared (restart, heal, restore, recover).
+    pub fn end(&self) -> Nanos {
+        match self {
+            PlannedFault::Crash { restart_at, .. } => *restart_at,
+            PlannedFault::Partition { heal_at, .. } => *heal_at,
+            PlannedFault::LossBurst { until, .. } => *until,
+            PlannedFault::Gray { until, .. } => *until,
+        }
+    }
+
+    /// A copy with its end instant moved to `end` (clamped to start at
+    /// least one nanosecond after the fault begins, so the injection and
+    /// its clearing stay distinct events).
+    pub fn with_end(&self, end: Nanos) -> PlannedFault {
+        let mut f = self.clone();
+        let end = end.max(self.start() + 1);
+        match &mut f {
+            PlannedFault::Crash { restart_at, .. } => *restart_at = end,
+            PlannedFault::Partition { heal_at, .. } => *heal_at = end,
+            PlannedFault::LossBurst { until, .. } => *until = end,
+            PlannedFault::Gray { until, .. } => *until = end,
+        }
+        f
+    }
+
+    /// One human-readable line for fault timelines.
+    pub fn describe(&self) -> String {
+        match self {
+            PlannedFault::Crash {
+                at,
+                node,
+                restart_at,
+            } => format!(
+                "t={at:>10}  crash {node} (restart at {restart_at}, down {})",
+                restart_at.saturating_sub(*at)
+            ),
+            PlannedFault::Partition {
+                at,
+                groups,
+                heal_at,
+            } => {
+                let isolated: Vec<usize> = groups
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &g)| g != 0)
+                    .map(|(i, _)| i)
+                    .collect();
+                format!("t={at:>10}  partition isolates {isolated:?} (heal at {heal_at})")
+            }
+            PlannedFault::LossBurst {
+                at,
+                prob,
+                until,
+                restore,
+            } => format!("t={at:>10}  loss burst p={prob} (until {until}, restore p={restore})"),
+            PlannedFault::Gray {
+                at,
+                node,
+                factor,
+                until,
+            } => format!("t={at:>10}  gray {node} x{factor} latency (until {until})"),
+        }
+    }
+}
+
 /// Parameters of a fault campaign. Everything is derived deterministically
 /// from `seed`; two configs with equal fields plan identical schedules.
 #[derive(Clone, Debug)]
@@ -149,6 +225,14 @@ impl NemesisConfig {
     }
 
     /// Raises the liveness floor (e.g. to a masking-quorum threshold).
+    ///
+    /// Lowering the floor *below* the majority threshold plans campaigns
+    /// outside the paper's `f < n/2` envelope, where safety holds but
+    /// liveness does not — exactly what
+    /// [`violate_majority`](NemesisConfig::violate_majority) expresses
+    /// explicitly. To keep the two modes from being confused,
+    /// [`plan`](NemesisConfig::plan) rejects `min_alive` below the majority
+    /// threshold unless `violate_majority` is set.
     pub fn with_min_alive(mut self, min_alive: usize) -> Self {
         assert!(min_alive <= self.n, "cannot keep more nodes alive than n");
         self.min_alive = min_alive;
@@ -175,7 +259,7 @@ impl NemesisConfig {
 }
 
 /// A concrete, inspectable fault schedule plus per-client invoker skews.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct NemesisSchedule {
     faults: Vec<PlannedFault>,
     heal_at: Nanos,
@@ -192,10 +276,20 @@ impl NemesisSchedule {
     ///
     /// # Panics
     ///
-    /// Panics if the window is too short to slot the requested waves, or if
-    /// `min_alive > n`.
+    /// Panics if the window is too short to slot the requested waves, if
+    /// `min_alive > n`, or if `min_alive` is below the majority threshold
+    /// without [`violate_majority`](NemesisConfig::violate_majority) — a
+    /// sub-majority floor silently steps outside the paper's resilience
+    /// envelope, which must be an explicit choice.
     pub fn plan(cfg: &NemesisConfig) -> NemesisSchedule {
         assert!(cfg.min_alive <= cfg.n, "min_alive > n");
+        assert!(
+            cfg.violate_majority || cfg.min_alive >= majority_threshold(cfg.n),
+            "min_alive = {} keeps fewer than a majority of n = {} alive; \
+             set violate_majority to step outside the envelope deliberately",
+            cfg.min_alive,
+            cfg.n
+        );
         let n = cfg.n;
         let slots = cfg.crash_cycles.max(1) as u64;
         let slot_len = cfg.duration / slots;
@@ -309,9 +403,140 @@ impl NemesisSchedule {
         }
     }
 
+    /// Builds a schedule from an **explicit** fault list — the constructor
+    /// the shrinker and repro artifacts use, bypassing the seeded planner.
+    /// `heal_at` is raised to cover the latest fault end, so the liveness
+    /// deadline derived from it stays sound for any fault subset.
+    pub fn from_faults(
+        faults: Vec<PlannedFault>,
+        heal_at: Nanos,
+        skews: Vec<Nanos>,
+        min_alive: usize,
+    ) -> NemesisSchedule {
+        let heal_at = faults
+            .iter()
+            .map(PlannedFault::end)
+            .fold(heal_at, Nanos::max);
+        NemesisSchedule {
+            faults,
+            heal_at,
+            skews,
+            min_alive,
+        }
+    }
+
+    /// A copy of this schedule with fault `idx` removed (`heal_at`, skews
+    /// and the liveness floor are preserved, so replays stay comparable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn without_fault(&self, idx: usize) -> NemesisSchedule {
+        let mut faults = self.faults.clone();
+        faults.remove(idx);
+        NemesisSchedule {
+            faults,
+            heal_at: self.heal_at,
+            skews: self.skews.clone(),
+            min_alive: self.min_alive,
+        }
+    }
+
+    /// Structural validity over a cluster of `n` nodes: every fault's
+    /// endpoints ordered and inside the healing horizon, node ids in range,
+    /// partition vectors correctly sized, one skew per node, and the
+    /// liveness floor respected. The shrinker re-validates every candidate
+    /// it derives, so a transformation bug surfaces as an error here rather
+    /// than as a confusing replay.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated property.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        if self.skews.len() != n {
+            return Err(format!("{} skews for {n} nodes", self.skews.len()));
+        }
+        if self.min_alive > n {
+            return Err(format!("min_alive {} > n {n}", self.min_alive));
+        }
+        for (i, f) in self.faults.iter().enumerate() {
+            if f.end() <= f.start() {
+                return Err(format!(
+                    "fault {i} ends at {} <= start {}",
+                    f.end(),
+                    f.start()
+                ));
+            }
+            if f.end() > self.heal_at {
+                return Err(format!(
+                    "fault {i} ends at {} after heal_at {}",
+                    f.end(),
+                    self.heal_at
+                ));
+            }
+            match f {
+                PlannedFault::Crash { node, .. } | PlannedFault::Gray { node, .. } => {
+                    if node.index() >= n {
+                        return Err(format!("fault {i} targets node {node} >= n {n}"));
+                    }
+                }
+                PlannedFault::Partition { groups, .. } => {
+                    if groups.len() != n {
+                        return Err(format!(
+                            "fault {i} has {} groups for {n} nodes",
+                            groups.len()
+                        ));
+                    }
+                }
+                PlannedFault::LossBurst { prob, restore, .. } => {
+                    if !(0.0..=1.0).contains(prob) || !(0.0..=1.0).contains(restore) {
+                        return Err(format!("fault {i} has a probability out of [0,1]"));
+                    }
+                }
+            }
+        }
+        if !self.respects_min_alive(n) {
+            return Err(format!(
+                "{} nodes simultaneously down exceeds floor min_alive={}",
+                self.max_simultaneous_down(),
+                self.min_alive
+            ));
+        }
+        Ok(())
+    }
+
+    /// The schedule as a human-readable timeline, one fault per line in
+    /// injection order.
+    pub fn timeline(&self) -> String {
+        let mut order: Vec<&PlannedFault> = self.faults.iter().collect();
+        order.sort_by_key(|f| (f.start(), f.end()));
+        let mut out = String::new();
+        for f in &order {
+            out.push_str(&f.describe());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "t={:>10}  campaign healed ({} faults, min_alive {})\n",
+            self.heal_at,
+            self.faults.len(),
+            self.min_alive
+        ));
+        out
+    }
+
     /// The planned faults (inspectable, e.g. for reporting).
     pub fn faults(&self) -> &[PlannedFault] {
         &self.faults
+    }
+
+    /// The configured liveness floor (minimum nodes alive at every instant).
+    pub fn min_alive(&self) -> usize {
+        self.min_alive
+    }
+
+    /// The per-client invocation skews, indexed by node.
+    pub fn skews(&self) -> &[Nanos] {
+        &self.skews
     }
 
     /// First instant with every fault cleared: crashes restarted,
@@ -544,6 +769,143 @@ mod tests {
                 .collect();
             assert_eq!(crashed.len(), 5, "seed {seed} missed a node");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than a majority")]
+    fn sub_majority_min_alive_is_rejected_without_violation_mode() {
+        // min_alive = 1 of 5 would let the planner crash four nodes while
+        // claiming to stay inside the envelope — an explicit opt-in is
+        // required (satellite fix: previously accepted silently).
+        NemesisConfig::new(1, 5).with_min_alive(1).plan();
+    }
+
+    #[test]
+    fn sub_majority_min_alive_is_allowed_with_violation_mode() {
+        let sched = NemesisConfig::new(1, 5)
+            .with_min_alive(2)
+            .with_violate_majority(true)
+            .plan();
+        assert!(sched.max_simultaneous_down() >= 1);
+    }
+
+    #[test]
+    fn without_fault_removes_exactly_one() {
+        let sched = NemesisConfig::new(7, 5).plan();
+        let total = sched.faults().len();
+        let shrunk = sched.without_fault(0);
+        assert_eq!(shrunk.faults().len(), total - 1);
+        assert_eq!(shrunk.faults(), &sched.faults()[1..]);
+        assert_eq!(shrunk.heal_at(), sched.heal_at());
+        assert_eq!(shrunk.skews(), sched.skews());
+        assert_eq!(shrunk.min_alive(), sched.min_alive());
+        assert!(shrunk.validate(5).is_ok());
+    }
+
+    #[test]
+    fn from_faults_raises_heal_at_to_cover_every_fault() {
+        let faults = vec![PlannedFault::Crash {
+            at: 100,
+            node: ProcessId(1),
+            restart_at: 9_000,
+        }];
+        let sched = NemesisSchedule::from_faults(faults, 5_000, vec![0; 3], 2);
+        assert_eq!(sched.heal_at(), 9_000, "heal_at covers the late restart");
+        assert!(sched.validate(3).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_malformed_schedules() {
+        let bad_end = NemesisSchedule::from_faults(
+            vec![PlannedFault::Gray {
+                at: 50,
+                node: ProcessId(0),
+                factor: 3,
+                until: 50,
+            }],
+            1_000,
+            vec![0; 3],
+            2,
+        );
+        // from_faults cannot repair an inverted interval; validate names it.
+        assert!(bad_end.validate(3).unwrap_err().contains("ends at"));
+
+        let bad_node = NemesisSchedule::from_faults(
+            vec![PlannedFault::Crash {
+                at: 1,
+                node: ProcessId(7),
+                restart_at: 10,
+            }],
+            1_000,
+            vec![0; 3],
+            2,
+        );
+        assert!(bad_node.validate(3).unwrap_err().contains("node"));
+
+        let bad_groups = NemesisSchedule::from_faults(
+            vec![PlannedFault::Partition {
+                at: 1,
+                groups: vec![0, 1],
+                heal_at: 10,
+            }],
+            1_000,
+            vec![0; 3],
+            2,
+        );
+        assert!(bad_groups.validate(3).unwrap_err().contains("groups"));
+
+        let floor_broken = NemesisSchedule::from_faults(
+            vec![
+                PlannedFault::Crash {
+                    at: 1,
+                    node: ProcessId(0),
+                    restart_at: 100,
+                },
+                PlannedFault::Crash {
+                    at: 2,
+                    node: ProcessId(1),
+                    restart_at: 100,
+                },
+            ],
+            1_000,
+            vec![0; 3],
+            2,
+        );
+        assert!(floor_broken.validate(3).unwrap_err().contains("floor"));
+
+        let wrong_skews = NemesisSchedule::from_faults(vec![], 1_000, vec![0; 2], 2);
+        assert!(wrong_skews.validate(3).is_err());
+    }
+
+    #[test]
+    fn with_end_clamps_to_a_distinct_instant() {
+        let f = PlannedFault::Crash {
+            at: 500,
+            node: ProcessId(2),
+            restart_at: 9_000,
+        };
+        assert_eq!(f.with_end(0).end(), 501, "end clamped past the start");
+        assert_eq!(f.with_end(4_000).end(), 4_000);
+        assert_eq!(f.with_end(4_000).start(), 500, "start untouched");
+    }
+
+    #[test]
+    fn timeline_orders_faults_and_reports_healing() {
+        let sched = NemesisConfig::new(7, 5).plan();
+        let tl = sched.timeline();
+        assert!(tl.contains("campaign healed"));
+        let starts: Vec<Nanos> = tl
+            .lines()
+            .filter_map(|l| {
+                l.strip_prefix("t=")?
+                    .split_whitespace()
+                    .next()?
+                    .parse()
+                    .ok()
+            })
+            .collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]), "{tl}");
+        assert_eq!(starts.len(), sched.faults().len() + 1);
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! Planted protocol bugs: deliberately broken wrappers that validate the
+//! test fleet itself.
+//!
+//! A checker that never fires and a shrinker that never shrinks are
+//! indistinguishable from broken ones. This module supplies known-bad
+//! protocol mutants — **for tests and fixtures only, never production
+//! configurations** — so the oracles and the campaign shrinker can be
+//! exercised end to end against a failure whose root cause is known by
+//! construction.
+//!
+//! [`PlantedSwmr`] wraps a [`SwmrNode`] and, on every `N`th read invoked at
+//! this node, *drops the read's write-back phase*: the outgoing `Update`
+//! broadcast is discarded and the wrapped node is fed synthetic
+//! acknowledgements instead, so the read returns its value without
+//! propagating the label to a write quorum. That is precisely the step the
+//! paper adds to upgrade regularity to atomicity — removing it
+//! intermittently yields a protocol whose histories exhibit **new/old
+//! inversions** once a fault schedule leaves replicas disagreeing (a write
+//! aborted mid-propagation by a writer crash is the canonical 1-fault
+//! cause). The shrinker's acceptance test plants this bug under a 20+-fault
+//! campaign and must recover a ≤2-fault schedule.
+
+use abd_core::context::{Effects, Protocol, TimerKey};
+use abd_core::msg::{RegisterMsg, RegisterOp, RegisterResp};
+use abd_core::swmr::{SwmrMsg, SwmrNode};
+use abd_core::types::{OpId, ProcessId};
+
+/// A [`SwmrNode`] whose every `N`th read skips its write-back phase.
+///
+/// Only reads invoked **on this node** count toward `N`; the replica and
+/// writer roles are untouched, so a cluster where only reader nodes wrap
+/// (or where the writer never reads) has exactly one planted defect. The
+/// wrapper is deterministic: sabotage depends only on the invocation
+/// sequence, so seeded campaigns replay bit-identically.
+///
+/// Use with [`fast_reads`](abd_core::swmr::SwmrConfig::fast_reads) **off**:
+/// an elided write-back has no broadcast to sabotage, which would silently
+/// shift the defect to a later read.
+#[derive(Clone, Debug)]
+pub struct PlantedSwmr<V> {
+    inner: SwmrNode<V>,
+    every: u64,
+    reads_invoked: u64,
+    sabotage_armed: bool,
+    dropped: u64,
+}
+
+impl<V: Clone + std::fmt::Debug + Send + 'static> PlantedSwmr<V> {
+    /// Wraps `inner`; every `every`th read invoked here loses its
+    /// write-back (`every = 0` disables the bug entirely).
+    pub fn new(inner: SwmrNode<V>, every: u64) -> Self {
+        PlantedSwmr {
+            inner,
+            every,
+            reads_invoked: 0,
+            sabotage_armed: false,
+            dropped: 0,
+        }
+    }
+
+    /// The wrapped node, for inspection.
+    pub fn inner(&self) -> &SwmrNode<V> {
+        &self.inner
+    }
+
+    /// Write-back phases dropped so far.
+    pub fn write_backs_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Moves one inner callback's effects out, sabotaging the first
+    /// `Update` broadcast while armed: its sends are discarded and the
+    /// inner node is fed one synthetic `UpdateAck` per suppressed
+    /// destination, completing the phase without any propagation.
+    fn absorb(
+        &mut self,
+        inner_fx: Effects<SwmrMsg<V>, RegisterResp<V>>,
+        fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        fx.timers.extend(inner_fx.timers);
+        for (op, r) in inner_fx.responses {
+            fx.respond(op, r);
+        }
+        let victim_uid = if self.sabotage_armed {
+            inner_fx.sends.iter().find_map(|(_, m)| match m {
+                RegisterMsg::Update { uid, .. } => Some(*uid),
+                _ => None,
+            })
+        } else {
+            None
+        };
+        let Some(uid) = victim_uid else {
+            fx.sends.extend(inner_fx.sends);
+            return;
+        };
+        self.sabotage_armed = false;
+        self.dropped += 1;
+        let mut victims = Vec::new();
+        for (to, m) in inner_fx.sends {
+            if matches!(m, RegisterMsg::Update { uid: u, .. } if u == uid) {
+                victims.push(to);
+            } else {
+                fx.send(to, m);
+            }
+        }
+        for peer in victims {
+            let mut ack_fx = Effects::new();
+            self.inner
+                .on_message(peer, RegisterMsg::UpdateAck { uid }, &mut ack_fx);
+            self.absorb(ack_fx, fx);
+        }
+    }
+}
+
+impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for PlantedSwmr<V> {
+    type Msg = SwmrMsg<V>;
+    type Op = RegisterOp<V>;
+    type Resp = RegisterResp<V>;
+
+    fn id(&self) -> ProcessId {
+        self.inner.id()
+    }
+
+    fn on_start(&mut self, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        let mut inner_fx = Effects::new();
+        self.inner.on_start(&mut inner_fx);
+        self.absorb(inner_fx, fx);
+    }
+
+    fn on_invoke(&mut self, op: OpId, input: Self::Op, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        if matches!(input, RegisterOp::Read) {
+            self.reads_invoked += 1;
+            if self.every > 0 && self.reads_invoked.is_multiple_of(self.every) {
+                self.sabotage_armed = true;
+            }
+        }
+        let mut inner_fx = Effects::new();
+        self.inner.on_invoke(op, input, &mut inner_fx);
+        self.absorb(inner_fx, fx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        fx: &mut Effects<Self::Msg, Self::Resp>,
+    ) {
+        let mut inner_fx = Effects::new();
+        self.inner.on_message(from, msg, &mut inner_fx);
+        self.absorb(inner_fx, fx);
+    }
+
+    fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        let mut inner_fx = Effects::new();
+        self.inner.on_timer(key, &mut inner_fx);
+        self.absorb(inner_fx, fx);
+    }
+
+    fn on_restart(&mut self, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        // The armed sabotage dies with the in-flight read it targeted.
+        self.sabotage_armed = false;
+        let mut inner_fx = Effects::new();
+        self.inner.on_restart(&mut inner_fx);
+        self.absorb(inner_fx, fx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abd_core::swmr::SwmrConfig;
+
+    fn node(i: usize, every: u64) -> PlantedSwmr<u64> {
+        PlantedSwmr::new(
+            SwmrNode::new(SwmrConfig::new(3, ProcessId(i), ProcessId(0)), 0),
+            every,
+        )
+    }
+
+    /// Drives one read on a wrapped reader by hand, replying to its query
+    /// phase, and returns the sends its completion produced.
+    fn drive_read(n: &mut PlantedSwmr<u64>, op: u64) -> Vec<(ProcessId, SwmrMsg<u64>)> {
+        let mut fx = Effects::new();
+        n.on_invoke(OpId(op), RegisterOp::Read, &mut fx);
+        let uid = fx
+            .sends
+            .iter()
+            .find_map(|(_, m)| match m {
+                RegisterMsg::Query { uid } => Some(*uid),
+                _ => None,
+            })
+            .expect("read starts with a query broadcast");
+        let mut fx = Effects::new();
+        n.on_message(
+            ProcessId(0),
+            RegisterMsg::QueryReply {
+                uid,
+                label: 1,
+                value: 7,
+            },
+            &mut fx,
+        );
+        fx.sends
+    }
+
+    #[test]
+    fn nth_read_drops_write_back_and_still_responds() {
+        let mut n = node(1, 2);
+        // First read: normal write-back broadcast.
+        let sends = drive_read(&mut n, 0);
+        assert!(
+            sends
+                .iter()
+                .any(|(_, m)| matches!(m, RegisterMsg::Update { .. })),
+            "read 1 keeps its write-back"
+        );
+        // Finish it so the node is idle again.
+        let uid = sends[0].1.uid();
+        let mut fx = Effects::new();
+        n.on_message(ProcessId(0), RegisterMsg::UpdateAck { uid }, &mut fx);
+        assert_eq!(fx.responses.len(), 1);
+
+        // Second read: write-back suppressed, response immediate.
+        let mut fx = Effects::new();
+        n.on_invoke(OpId(1), RegisterOp::Read, &mut fx);
+        let uid = fx.sends[0].1.uid();
+        let mut fx = Effects::new();
+        n.on_message(
+            ProcessId(0),
+            RegisterMsg::QueryReply {
+                uid,
+                label: 2,
+                value: 9,
+            },
+            &mut fx,
+        );
+        assert!(
+            !fx.sends
+                .iter()
+                .any(|(_, m)| matches!(m, RegisterMsg::Update { .. })),
+            "read 2's write-back must be dropped: {:?}",
+            fx.sends
+        );
+        assert_eq!(fx.responses, vec![(OpId(1), RegisterResp::ReadOk(9))]);
+        assert_eq!(n.write_backs_dropped(), 1);
+    }
+
+    #[test]
+    fn every_zero_plants_nothing() {
+        let mut n = node(1, 0);
+        for k in 0..4 {
+            let sends = drive_read(&mut n, k);
+            assert!(
+                sends
+                    .iter()
+                    .any(|(_, m)| matches!(m, RegisterMsg::Update { .. })),
+                "read {k} keeps its write-back"
+            );
+            let uid = sends[0].1.uid();
+            let mut fx = Effects::new();
+            n.on_message(ProcessId(0), RegisterMsg::UpdateAck { uid }, &mut fx);
+        }
+        assert_eq!(n.write_backs_dropped(), 0);
+    }
+
+    #[test]
+    fn replica_role_is_untouched() {
+        let mut n = node(1, 1);
+        let mut fx = Effects::new();
+        n.on_message(
+            ProcessId(2),
+            RegisterMsg::Update {
+                uid: 5,
+                label: 3,
+                value: 11,
+            },
+            &mut fx,
+        );
+        assert_eq!(n.inner().replica_state(), (3, 11));
+        assert!(
+            matches!(
+                fx.sends[..],
+                [(ProcessId(2), RegisterMsg::UpdateAck { uid: 5 })]
+            ),
+            "replica acks normally: {:?}",
+            fx.sends
+        );
+    }
+
+    #[test]
+    fn restart_disarms_pending_sabotage() {
+        let mut n = node(1, 3);
+        // Two completed reads bring the counter to 2.
+        for k in 0..2 {
+            let sends = drive_read(&mut n, k);
+            let uid = sends[0].1.uid();
+            let mut fx = Effects::new();
+            n.on_message(ProcessId(0), RegisterMsg::UpdateAck { uid }, &mut fx);
+        }
+        // The third read arms sabotage; the node crashes before its
+        // write-back exists.
+        let mut fx = Effects::new();
+        n.on_invoke(OpId(2), RegisterOp::Read, &mut fx);
+        let mut fx = Effects::new();
+        n.on_restart(&mut fx);
+        // Recovery runs a catch-up query phase; answer it so the node
+        // serves again. No Update broadcast exists to sabotage, and the
+        // armed flag must not leak into the next read.
+        let uid = fx
+            .sends
+            .iter()
+            .find_map(|(_, m)| match m {
+                RegisterMsg::Query { uid } => Some(*uid),
+                _ => None,
+            })
+            .expect("recovery starts with a query broadcast");
+        for peer in [0, 2] {
+            let mut fx = Effects::new();
+            n.on_message(
+                ProcessId(peer),
+                RegisterMsg::QueryReply {
+                    uid,
+                    label: 0,
+                    value: 0,
+                },
+                &mut fx,
+            );
+        }
+        let sends = drive_read(&mut n, 3);
+        assert!(
+            sends
+                .iter()
+                .any(|(_, m)| matches!(m, RegisterMsg::Update { .. })),
+            "post-restart read (4th, not a multiple of 3) keeps its write-back"
+        );
+        assert_eq!(n.write_backs_dropped(), 0);
+    }
+}

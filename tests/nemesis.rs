@@ -9,20 +9,25 @@
 //! (`Sim::trace_digest`). A soak then drives randomized campaigns through
 //! all four register protocols, and a deliberate majority violation shows
 //! the flip side: outside the `f < n/2` envelope, operations block.
+//!
+//! Register soaks run through [`Repro::check_or_emit`]: when a campaign
+//! fails, a self-contained artifact lands under `target/repro/` and the
+//! panic message names the `abd_repro` commands that replay and shrink it.
 
-use abd_core::batch::Batched;
 use abd_core::bounded::{BoundedSwmrConfig, BoundedSwmrNode, LabelSpace};
 use abd_core::byzantine::{ByzConfig, ByzNode};
 use abd_core::msg::RegisterOp;
-use abd_core::mwmr::{MwmrConfig, MwmrNode};
 use abd_core::retransmit::BackoffPolicy;
 use abd_core::swmr::{SwmrConfig, SwmrNode};
 use abd_core::types::ProcessId;
 use abd_kv::{KvConfig, KvNode, KvOp, KvResp};
-use abd_repro::lincheck::{check_linearizable_with_limit, is_atomic_swmr, CheckResult};
+use abd_repro::lincheck::is_atomic_swmr;
 use abd_repro::simnet::nemesis::liveness_bound;
 use abd_repro::simnet::workload::history_from_sim;
-use abd_repro::simnet::{run_campaign, NemesisConfig, PlannedFault, Sim, SimConfig};
+use abd_repro::simnet::{
+    run_campaign, NemesisConfig, NemesisSchedule, OracleSpec, PlannedFault, ProtocolSpec, Repro,
+    Sim, SimConfig,
+};
 use std::collections::BTreeSet;
 
 const N: usize = 5;
@@ -67,6 +72,33 @@ fn mwmr_scripts(ops: u64) -> Vec<Vec<RegisterOp<u64>>> {
         .collect()
 }
 
+/// A soak campaign as a repro artifact: failures are emitted to
+/// `target/repro/` (by [`Repro::check_or_emit`]) before the caller panics.
+fn soak_repro(
+    name: &str,
+    protocol: ProtocolSpec,
+    oracle: OracleSpec,
+    sim_seed: u64,
+    sched: NemesisSchedule,
+    scripts: Vec<Vec<RegisterOp<u64>>>,
+) -> Repro {
+    let deadline = sched.heal_at() + liveness_bound(&backoff(), 20_000, 8);
+    Repro {
+        name: name.to_string(),
+        protocol,
+        n: N,
+        backoff_base: Some(BACKOFF_BASE),
+        sim: SimConfig::new(sim_seed),
+        schedule: sched,
+        scripts,
+        think: THINK,
+        deadline,
+        oracle,
+        expected_digest: 0,
+        reason: String::new(),
+    }
+}
+
 /// One full SWMR campaign; returns the trace digest for replay checks.
 fn swmr_campaign(sim_seed: u64, nemesis_seed: u64) -> u64 {
     swmr_campaign_cfg(sim_seed, nemesis_seed, false)
@@ -74,31 +106,24 @@ fn swmr_campaign(sim_seed: u64, nemesis_seed: u64) -> u64 {
 
 /// SWMR campaign with the fast-read flag under test control.
 fn swmr_campaign_cfg(sim_seed: u64, nemesis_seed: u64, fast_reads: bool) -> u64 {
-    let nodes: Vec<SwmrNode<u64>> = (0..N)
-        .map(|i| {
-            SwmrNode::new(
-                SwmrConfig::new(N, ProcessId(i), ProcessId(0))
-                    .with_backoff(backoff())
-                    .with_fast_reads(fast_reads),
-                0,
-            )
-        })
-        .collect();
-    let mut sim = Sim::new(SimConfig::new(sim_seed), nodes);
     let sched = NemesisConfig::new(nemesis_seed, N).plan();
     assert!(sched.respects_min_alive(N));
-    sched.apply(&mut sim);
-    let deadline = sched.heal_at() + liveness_bound(&backoff(), 20_000, 8);
-    assert!(
-        run_campaign(&mut sim, &sched, swmr_scripts(6), THINK, deadline),
-        "seed ({sim_seed},{nemesis_seed}): surviving ops must finish within the liveness bound"
-    );
-    let history = history_from_sim(0, &sim);
-    assert!(
-        is_atomic_swmr(&history),
-        "seed ({sim_seed},{nemesis_seed}): campaign history must stay atomic"
-    );
-    sim.trace_digest()
+    let name = if fast_reads {
+        "nemesis-swmr-fast"
+    } else {
+        "nemesis-swmr"
+    };
+    soak_repro(
+        name,
+        ProtocolSpec::Swmr { fast_reads },
+        OracleSpec::AtomicSwmr,
+        sim_seed,
+        sched,
+        swmr_scripts(6),
+    )
+    .check_or_emit()
+    .unwrap_or_else(|e| panic!("seed ({sim_seed},{nemesis_seed}): {e}"))
+    .digest
 }
 
 #[test]
@@ -175,24 +200,18 @@ fn soak_swmr_and_mwmr_randomized_campaigns() {
         assert_eq!(d, swmr_campaign(seed, seed * 31 + 1));
 
         let run_mwmr = |sim_seed: u64| {
-            let nodes: Vec<MwmrNode<u64>> = (0..N)
-                .map(|i| MwmrNode::new(MwmrConfig::new(N, ProcessId(i)).with_backoff(backoff()), 0))
-                .collect();
-            let mut sim = Sim::new(SimConfig::new(sim_seed), nodes);
             let sched = NemesisConfig::new(sim_seed * 31 + 2, N).plan();
-            sched.apply(&mut sim);
-            let deadline = sched.heal_at() + liveness_bound(&backoff(), 20_000, 8);
-            assert!(
-                run_campaign(&mut sim, &sched, mwmr_scripts(4), THINK, deadline),
-                "mwmr seed {sim_seed}: ops must finish after healing"
-            );
-            let h = history_from_sim(0, &sim);
-            assert_eq!(
-                check_linearizable_with_limit(&h, 1_000_000),
-                CheckResult::Linearizable,
-                "mwmr seed {sim_seed}: history must linearize"
-            );
-            sim.trace_digest()
+            soak_repro(
+                "nemesis-mwmr",
+                ProtocolSpec::Mwmr { fast_reads: false },
+                OracleSpec::Linearizable,
+                sim_seed,
+                sched,
+                mwmr_scripts(4),
+            )
+            .check_or_emit()
+            .unwrap_or_else(|e| panic!("mwmr seed {sim_seed}: {e}"))
+            .digest
         };
         assert_eq!(run_mwmr(seed), run_mwmr(seed));
     }
@@ -279,31 +298,18 @@ fn fast_read_campaigns_stay_atomic_and_replay() {
     // MWMR with fast reads: concurrent writers make disagreement (and thus
     // the slow path) common; the history must still linearize.
     let run_fast_mwmr = |sim_seed: u64| {
-        let nodes: Vec<MwmrNode<u64>> = (0..N)
-            .map(|i| {
-                MwmrNode::new(
-                    MwmrConfig::new(N, ProcessId(i))
-                        .with_backoff(backoff())
-                        .with_fast_reads(true),
-                    0,
-                )
-            })
-            .collect();
-        let mut sim = Sim::new(SimConfig::new(sim_seed), nodes);
         let sched = NemesisConfig::new(sim_seed * 31 + 2, N).plan();
-        sched.apply(&mut sim);
-        let deadline = sched.heal_at() + liveness_bound(&backoff(), 20_000, 8);
-        assert!(
-            run_campaign(&mut sim, &sched, mwmr_scripts(4), THINK, deadline),
-            "fast mwmr seed {sim_seed}: ops must finish after healing"
-        );
-        let h = history_from_sim(0, &sim);
-        assert_eq!(
-            check_linearizable_with_limit(&h, 1_000_000),
-            CheckResult::Linearizable,
-            "fast mwmr seed {sim_seed}: history must linearize"
-        );
-        sim.trace_digest()
+        soak_repro(
+            "nemesis-mwmr-fast",
+            ProtocolSpec::Mwmr { fast_reads: true },
+            OracleSpec::Linearizable,
+            sim_seed,
+            sched,
+            mwmr_scripts(4),
+        )
+        .check_or_emit()
+        .unwrap_or_else(|e| panic!("fast mwmr seed {sim_seed}: {e}"))
+        .digest
     };
     assert_eq!(run_fast_mwmr(22), run_fast_mwmr(22));
 }
@@ -316,30 +322,21 @@ fn batched_fast_campaign_stays_atomic_and_replays() {
     // node). Note: no retransmission assertions here — the flush timer's
     // sends land in the same counter.
     let run = |sim_seed: u64| {
-        let nodes: Vec<Batched<SwmrNode<u64>>> = (0..N)
-            .map(|i| {
-                Batched::new(
-                    SwmrNode::new(
-                        SwmrConfig::new(N, ProcessId(i), ProcessId(0))
-                            .with_backoff(backoff())
-                            .with_fast_reads(true),
-                        0,
-                    ),
-                    2_000,
-                )
-            })
-            .collect();
-        let mut sim = Sim::new(SimConfig::new(sim_seed), nodes);
         let sched = NemesisConfig::new(sim_seed * 43 + 5, N).plan();
-        sched.apply(&mut sim);
-        let deadline = sched.heal_at() + liveness_bound(&backoff(), 20_000, 8);
-        assert!(
-            run_campaign(&mut sim, &sched, swmr_scripts(5), THINK, deadline),
-            "batched seed {sim_seed}: ops must finish after healing"
-        );
-        let h = history_from_sim(0, &sim);
-        assert!(is_atomic_swmr(&h), "batched seed {sim_seed}");
-        sim.trace_digest()
+        soak_repro(
+            "nemesis-batched",
+            ProtocolSpec::BatchedSwmr {
+                window: 2_000,
+                fast_reads: true,
+            },
+            OracleSpec::AtomicSwmr,
+            sim_seed,
+            sched,
+            swmr_scripts(5),
+        )
+        .check_or_emit()
+        .unwrap_or_else(|e| panic!("batched seed {sim_seed}: {e}"))
+        .digest
     };
     assert_eq!(run(31), run(31));
     assert_eq!(run(32), run(32));
@@ -420,5 +417,20 @@ fn violating_the_majority_envelope_blocks_operations() {
     assert!(
         !run_campaign(&mut sim, &sched, scripts, 300_000, blocked_deadline),
         "without a live majority, operations must block until healing"
+    );
+}
+
+#[test]
+fn flag_off_campaign_trace_digest_is_pinned() {
+    // Golden trace digest of the flag-off (fast_reads = false) fixed-seed
+    // SWMR campaign. The fast-read elision, batching, and repro layers are
+    // all opt-in: with every flag off, the protocol must execute the exact
+    // byte-for-byte event sequence it always has. If a refactor moves this
+    // digest, it changed flag-off behavior — that is a finding, not a
+    // reason to re-pin (re-derive only for deliberate protocol changes).
+    assert_eq!(
+        swmr_campaign_cfg(1234, 77, false),
+        0x17ee86c2e49634af,
+        "flag-off campaign trace drifted from the pinned golden digest"
     );
 }

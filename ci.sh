@@ -10,8 +10,19 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> abd-lint (protocol-invariant static analysis)"
-cargo run -q -p abd-lint
+echo "==> abd-lint (protocol-invariant static analysis, JSON artifact + phase graphs)"
+mkdir -p target/lint
+# The linter exits non-zero on findings; the gate below reports them with
+# a pointer to the artifact instead of dying silently on this line.
+cargo run -q -p abd-lint -- --json --dot-dir target/lint > target/lint/findings.json || true
+grep -q '"schema_version": 2' target/lint/findings.json \
+  || { echo "findings.json lost its schema_version field"; exit 1; }
+grep -q '"count": 0' target/lint/findings.json \
+  || { echo "unsuppressed lint findings — see target/lint/findings.json"; exit 1; }
+for g in swmr mwmr bounded-swmr byzantine; do
+  diff -u "crates/lint/goldens/$g.dot" "target/lint/$g.dot" \
+    || { echo "extracted phase graph '$g' drifted from the committed golden"; exit 1; }
+done
 
 echo "==> cargo test --workspace"
 cargo test -q --workspace

@@ -46,6 +46,10 @@ fn describe(r: &Repro) {
     println!("artifact:  {}", r.name);
     println!("protocol:  {:?}", r.protocol);
     println!(
+        "phases:    {g} (lint phase graph; `abd-lint --dot-dir target/lint` renders {g}.dot)",
+        g = r.protocol.phase_graph()
+    );
+    println!(
         "cluster:   n = {}, backoff_base = {:?}, think = {}, deadline = {}",
         r.n, r.backoff_base, r.think, r.deadline
     );

@@ -19,6 +19,15 @@
 //! their results. See [`crate::bounded`] for how this relates to the
 //! paper's fully-asynchronous handshake construction.
 
+// The declared phase graph (see the `phase-graph` lint rule) — the same
+// shape as the unbounded SWMR protocol: bounding the label space changes
+// comparisons, not phase structure.
+// abd-lint: phase-spec(bounded-swmr):
+//   Invoke -> Query, Invoke -> Write, Invoke -> WriteBack, Invoke -> Done,
+//   Query -> WriteBack, Query -> Done,
+//   Write -> Done, WriteBack -> Done,
+//   Restart -> Recovery, Recovery -> Idle
+
 use crate::bounded::label::{LabelSpace, SerialLabel};
 use crate::context::{Effects, Protocol, TimerKey};
 use crate::msg::{RegisterMsg, RegisterOp, RegisterResp};
@@ -321,6 +330,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> BoundedSwmrNode<V> {
                 }
                 let label = self.cfg.space.successor(self.stored_label);
                 self.labels_issued += 1;
+                // abd-lint: allow(tag-monotonicity): `label` is `successor(stored_label)`, strictly newer by construction of the serial label space — there is no incoming value to compare against.
                 self.stored_label = label;
                 self.stored_value = v.clone();
                 let uid = self.fresh_uid();

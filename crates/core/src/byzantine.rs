@@ -28,6 +28,15 @@
 //! notes) shows the crash-tolerant majority protocol returning fabricated
 //! values under the same liars that the masking protocol shrugs off.
 
+// The declared phase graph (see the `phase-graph` lint rule) — masking
+// quorums change thresholds and reply filtering, not phase structure, so
+// the graph matches the crash-tolerant SWMR protocol.
+// abd-lint: phase-spec(byzantine):
+//   Invoke -> Query, Invoke -> Write, Invoke -> WriteBack, Invoke -> Done,
+//   Query -> WriteBack, Query -> Done,
+//   Write -> Done, WriteBack -> Done,
+//   Restart -> Recovery, Recovery -> Idle
+
 use crate::context::{Effects, Protocol, TimerKey};
 use crate::msg::{RegisterMsg, RegisterOp, RegisterResp};
 use crate::phase::PhaseTracker;
@@ -298,6 +307,7 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> ByzNode<V> {
                 }
                 self.seq += 1;
                 let seq = self.seq;
+                // abd-lint: allow(tag-monotonicity): the single writer mints `seq` by incrementing its own counter on the line above, so the new label is strictly larger by construction.
                 self.label = seq;
                 self.value = v.clone();
                 let uid = self.fresh_uid();
@@ -469,6 +479,7 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> Protocol for ByzNode<V> {
                     Some(LieStrategy::Silent) => {} // no ack
                     Some(_) => {
                         // Liars ack but do not faithfully store.
+                        // abd-lint: allow(persist-before-ack): this is the *fault model*, not the protocol — a Byzantine replica acknowledging state it never stored is exactly the behavior masking quorums are sized to tolerate.
                         fx.send(from, RegisterMsg::UpdateAck { uid });
                     }
                     None => {

@@ -19,6 +19,18 @@
 //! [`fast_read_allowed`](crate::quorum::fast_read_allowed)). Writes always
 //! keep both phases: their query round is what orders concurrent writers.
 
+// The declared phase graph (see the `phase-graph` lint rule). Both reads
+// and writes query first: `WriteQuery -> WriteUpdate` and `ReadQuery ->
+// ReadWriteBack` keep the two-phase order, and the two kinds never cross.
+// `Invoke -> *` short-circuits are the instant-quorum paths.
+// abd-lint: phase-spec(mwmr):
+//   Invoke -> WriteQuery, Invoke -> ReadQuery, Invoke -> WriteUpdate,
+//   Invoke -> ReadWriteBack, Invoke -> Done,
+//   WriteQuery -> WriteUpdate, WriteQuery -> Done,
+//   ReadQuery -> ReadWriteBack, ReadQuery -> Done,
+//   WriteUpdate -> Done, ReadWriteBack -> Done,
+//   Restart -> Recovery, Recovery -> Idle
+
 use crate::context::{Effects, Protocol, ReadPathStats, TimerKey};
 use crate::msg::{RegisterMsg, RegisterOp, RegisterResp};
 use crate::phase::{PhaseTracker, TagCensus};
@@ -501,17 +513,11 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
                     }
                     return;
                 }
-                enum Next<V> {
-                    WriteUpdate(OpId, Tag, V),
-                    ReadDone(OpId, ProcSet, TagCensus<Tag, V>),
-                }
-                let next = match self.pending.as_mut() {
-                    Some(Pending::WriteQuery {
-                        op,
-                        ph,
-                        best,
-                        value: v,
-                    }) => {
+                // Completion takes the pending op inside its own arm (the
+                // same shape as the SWMR protocol) so each query kind
+                // advances only along its own phase edge.
+                match self.pending.as_mut() {
+                    Some(Pending::WriteQuery { ph, best, .. }) => {
                         if !ph.record(from, uid) {
                             return;
                         }
@@ -519,36 +525,29 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
                             *best = label;
                         }
                         if self.cfg.quorum.is_read_quorum(ph.responders()) {
-                            Some(Next::WriteUpdate(*op, *best, v.clone()))
-                        } else {
-                            None
+                            if let Some(Pending::WriteQuery {
+                                op, best, value: v, ..
+                            }) = self.pending.take()
+                            {
+                                self.disarm_timer(uid, fx);
+                                self.enter_write_update(op, best, v, fx);
+                            }
                         }
                     }
-                    Some(Pending::ReadQuery { op, ph, census }) => {
+                    Some(Pending::ReadQuery { ph, census, .. }) => {
                         if !ph.record(from, uid) {
                             return;
                         }
                         census.observe(label, value);
                         if self.cfg.quorum.is_read_quorum(ph.responders()) {
-                            Some(Next::ReadDone(*op, ph.responders().clone(), census.clone()))
-                        } else {
-                            None
+                            if let Some(Pending::ReadQuery { op, ph, census }) = self.pending.take()
+                            {
+                                self.disarm_timer(uid, fx);
+                                self.complete_read_query(op, ph.responders(), census, fx);
+                            }
                         }
                     }
-                    _ => None,
-                };
-                match next {
-                    Some(Next::WriteUpdate(op, best, v)) => {
-                        self.pending = None;
-                        self.disarm_timer(uid, fx);
-                        self.enter_write_update(op, best, v, fx);
-                    }
-                    Some(Next::ReadDone(op, responders, census)) => {
-                        self.pending = None;
-                        self.disarm_timer(uid, fx);
-                        self.complete_read_query(op, &responders, census, fx);
-                    }
-                    None => {}
+                    _ => {}
                 }
             }
             RegisterMsg::UpdateAck { uid } => {

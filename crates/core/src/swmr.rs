@@ -57,6 +57,18 @@
 //! again is then purely a freshness optimization that lets it answer with
 //! recent labels immediately.
 
+// The declared phase graph, checked by abd-lint's `phase-graph` rule
+// against the graph extracted from the handler bodies below. `Query ->
+// WriteBack` (never the reverse) encodes "query precedes write-back";
+// `Restart -> Recovery -> Idle` encodes "a restarted node re-enters the
+// catch-up query before serving". `Invoke -> Write/WriteBack/Done` are the
+// instant-quorum short-circuits (single-node clusters complete in place).
+// abd-lint: phase-spec(swmr):
+//   Invoke -> Query, Invoke -> Write, Invoke -> WriteBack, Invoke -> Done,
+//   Query -> WriteBack, Query -> Done,
+//   Write -> Done, WriteBack -> Done,
+//   Restart -> Recovery, Recovery -> Idle
+
 use crate::context::{Effects, Protocol, ReadPathStats, TimerKey};
 use crate::msg::{RegisterMsg, RegisterOp, RegisterResp};
 use crate::phase::{PhaseTracker, TagCensus};

@@ -1,0 +1,36 @@
+//! Fixture: the semantic rules' happy paths (never compiled).
+//!
+//! Persists before acking, guards its tag overwrite, declares a phase
+//! spec the handlers actually implement, and covers every variant of its
+//! message enum.
+
+// abd-lint: phase-spec(semantic-good): Invoke -> Write, Write -> Done
+
+pub enum WireMsg {
+    Update { uid: u64 },
+    UpdateAck { uid: u64 },
+}
+
+pub fn on_invoke(&mut self, op: OpId) {
+    self.pending = Some(Pending::Write { op });
+}
+
+pub fn on_message(&mut self, from: ProcessId, msg: WireMsg, fx: &mut Fx) {
+    match msg {
+        WireMsg::Update { uid } => {
+            self.replica.adopt(uid, uid); // persist first…
+            fx.send(from, WireMsg::UpdateAck { uid }); // …then ack
+        }
+        WireMsg::UpdateAck { uid } => {
+            if let Some(Pending::Write { op }) = self.pending.take() {
+                fx.respond(op, uid);
+            }
+        }
+    }
+}
+
+pub fn adopt(&mut self, label: u64) {
+    if label > self.label {
+        self.label = label;
+    }
+}

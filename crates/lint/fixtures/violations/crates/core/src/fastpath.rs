@@ -2,7 +2,9 @@
 //!
 //! Unanimity of the query quorum is necessary but not sufficient — the
 //! responders must also form a write quorum. Both checks live in
-//! `fast_read_allowed`; open-coding either half is flagged.
+//! `fast_read_allowed`; open-coding a `unanimous()` *call* outside that
+//! helper's argument list is flagged. Call `census.unanimous()` in a doc
+//! comment all you like — prose is not a call site.
 
 pub fn complete_read(&mut self) {
     if self.census.unanimous() {
@@ -12,8 +14,8 @@ pub fn complete_read(&mut self) {
 }
 
 pub fn also_bad(&self) -> bool {
-    let unanimous = self.census.unanimous(); // binding + call: both flagged
-    unanimous && self.quorum.is_write_quorum(&self.responders)
+    let unanimous = self.census.unanimous(); // the call is flagged once
+    unanimous && self.quorum.is_write_quorum(&self.responders) // bare ident: fine
 }
 
 pub fn compliant(&self) -> bool {

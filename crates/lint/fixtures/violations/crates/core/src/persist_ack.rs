@@ -1,0 +1,18 @@
+//! Fixture: acknowledgement ordering (never compiled).
+//!
+//! The Update arm acks before adopting — a crash between the two forgets
+//! acknowledged state. The Query arm replies without persisting anything,
+//! which is fine (a reply-only path acknowledges nothing new).
+
+pub fn on_message(&mut self, from: ProcessId, msg: Msg, fx: &mut Fx) {
+    match msg {
+        Msg::Query { uid } => {
+            let (label, value) = self.replica.snapshot();
+            fx.send(from, Msg::QueryReply { uid, label, value });
+        }
+        Msg::Update { uid, label, value } => {
+            fx.send(from, Msg::UpdateAck { uid }); // ack first: flagged
+            self.replica.adopt(label, value);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: a read that skips its write-back phase (never compiled).
+//!
+//! The spec promises the paper's two-phase read; the handler below
+//! responds straight out of the query phase. This is the static shape of
+//! the planted write-back-drop mutant in `crates/simnet/src/planted.rs`:
+//! the extracted graph gains an undeclared `Query -> Done` edge and loses
+//! the promised `Query -> WriteBack` and `WriteBack -> Done` edges.
+
+// abd-lint: phase-spec(phase-drop): Invoke -> Query, Query -> WriteBack, WriteBack -> Done
+
+pub fn on_invoke(&mut self, op: OpId, fx: &mut Fx) {
+    self.pending = Some(Pending::Query { op });
+}
+
+pub fn on_message(&mut self, from: ProcessId, fx: &mut Fx) {
+    if let Some(Pending::Query { op }) = self.pending.take() {
+        fx.respond(op, resp); // write-back dropped: flagged
+    }
+}

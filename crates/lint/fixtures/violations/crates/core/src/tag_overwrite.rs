@@ -1,0 +1,20 @@
+//! Fixture: unguarded tag overwrites (never compiled).
+//!
+//! Adopting a label without comparing it to the stored one can move the
+//! register backwards; only the first function below does that.
+
+pub fn adopt(&mut self, label: u64, value: V) {
+    self.label = label; // unguarded overwrite: flagged
+    self.value = value;
+}
+
+pub fn adopt_guarded(&mut self, label: u64, value: V) {
+    if label > self.label {
+        self.label = label; // dominated by the comparison: fine
+        self.value = value;
+    }
+}
+
+pub fn adopt_max(&mut self) {
+    self.seq = self.seq.max(self.label); // monotone by construction: fine
+}

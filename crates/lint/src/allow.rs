@@ -47,6 +47,14 @@ impl Allows {
         let mut directives = Vec::new();
         for (i, line) in file.raw.iter().enumerate() {
             if let Some(pos) = line.find("abd-lint:") {
+                // `phase-spec(...)` directives belong to rule 9 and are
+                // parsed by `crate::phasegraph`, not here.
+                if line[pos + "abd-lint:".len()..]
+                    .trim_start()
+                    .starts_with("phase-spec(")
+                {
+                    continue;
+                }
                 match parse_directive(&line[pos..]) {
                     Ok((rule, justification)) => directives.push(Directive {
                         line: i + 1,

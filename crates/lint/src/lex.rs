@@ -1,0 +1,186 @@
+//! Tokenizer over the cleaned source view.
+//!
+//! Lexing happens **after** [`crate::source::clean_source`] has blanked
+//! comments and string/char literals, so the token stream contains only
+//! code. Tokens carry byte offsets into the cleaned text (which line up
+//! with the raw text, since cleaning is length-preserving), so every
+//! downstream finding can be mapped back to a line.
+//!
+//! The lexer is deliberately small: identifiers (keywords are not
+//! distinguished here), numbers, lifetimes, and punctuation. A handful of
+//! two-character operators that the parser cares about (`::`, `=>`, `->`,
+//! comparison and compound-assignment operators) are fused into single
+//! tokens so that, for example, a lone `=` token *is* an assignment and
+//! `>` inside `=>` can never be mistaken for a comparison guard. `<` and
+//! `>` are never fused with each other, so generics like `Vec<Vec<u8>>`
+//! lex as individual angle brackets.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (also the lone `_`).
+    Ident,
+    /// Numeric literal (decimal/hex/binary, possibly with suffix).
+    Num,
+    /// Lifetime marker (`'a`); cleaning preserves lifetimes.
+    Lifetime,
+    /// Punctuation — one character, or one of the fused operators.
+    Punct,
+}
+
+/// One token: kind plus the byte span it occupies in the cleaned text.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Start byte offset (inclusive) in the cleaned text.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+/// Two-character operators fused into one token. Order matters only in
+/// that every entry is checked before falling back to one-char punct;
+/// three-character operators (`..=`, shift-assignments) are either fused
+/// via a second step or deliberately left split (shifts), see module docs.
+const TWO_CHAR: &[&str] = &[
+    "::", "=>", "->", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "&&",
+    "||", "..",
+];
+
+/// Tokenizes cleaned source text.
+pub fn lex(clean: &str) -> Vec<Token> {
+    let b = clean.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            // Digits plus anything identifier-like (suffixes, hex digits)
+            // and interior dots of float literals.
+            while i < b.len()
+                && (b[i].is_ascii_alphanumeric()
+                    || b[i] == b'_'
+                    || (b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit)))
+            {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Num,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        if c == b'\'' {
+            // Cleaning left this in place only for lifetimes.
+            let start = i;
+            i += 1;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Lifetime,
+                start,
+                end: i,
+            });
+            continue;
+        }
+        // `..=` first, then the two-char table, then single char.
+        if clean[i..].starts_with("..=") {
+            toks.push(Token {
+                kind: TokKind::Punct,
+                start: i,
+                end: i + 3,
+            });
+            i += 3;
+            continue;
+        }
+        if let Some(op) = TWO_CHAR.iter().find(|op| clean[i..].starts_with(**op)) {
+            toks.push(Token {
+                kind: TokKind::Punct,
+                start: i,
+                end: i + op.len(),
+            });
+            i += op.len();
+            continue;
+        }
+        toks.push(Token {
+            kind: TokKind::Punct,
+            start: i,
+            end: i + 1,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// The text of a token within `clean`.
+pub fn text<'a>(clean: &'a str, t: &Token) -> &'a str {
+    &clean[t.start..t.end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<String> {
+        let clean = crate::source::clean_source(src);
+        lex(&clean)
+            .iter()
+            .map(|t| text(&clean, t).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn operators_fuse_but_angles_do_not() {
+        assert_eq!(
+            kinds("a::b => c -> d >= e >> f"),
+            vec!["a", "::", "b", "=>", "c", "->", "d", ">=", "e", ">", ">", "f"]
+        );
+    }
+
+    #[test]
+    fn lone_equals_is_assignment_shaped() {
+        assert_eq!(kinds("x = y == z"), vec!["x", "=", "y", "==", "z"]);
+        assert_eq!(kinds("x += 1"), vec!["x", "+=", "1"]);
+    }
+
+    #[test]
+    fn lifetimes_numbers_idents() {
+        assert_eq!(
+            kinds("fn f<'a>(x: &'a u32) { 0x1f; 2.5; }"),
+            vec![
+                "fn", "f", "<", "'a", ">", "(", "x", ":", "&", "'a", "u32", ")", "{", "0x1f", ";",
+                "2.5", ";", "}"
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_already_blanked() {
+        assert_eq!(kinds("a /* b */ \"c\" d"), vec!["a", "d"]);
+    }
+
+    #[test]
+    fn range_ops() {
+        assert_eq!(kinds("a..b ..= c"), vec!["a", "..", "b", "..=", "c"]);
+    }
+}

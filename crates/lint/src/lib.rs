@@ -1,11 +1,16 @@
 //! `abd-lint` — workspace-local static analysis for the ABD emulation.
 //!
-//! The protocol crates promise two things the type system cannot state:
-//! executions are **deterministic** (same seed, same history) and message
-//! handlers are **total** (no input takes a replica down). This crate
-//! enforces the code-level proxies of those promises with five rules — see
-//! [`rules::RULES`] — over a comment- and string-stripped token scan of
-//! every workspace `.rs` file.
+//! The protocol crates promise things the type system cannot state:
+//! executions are **deterministic** (same seed, same history), message
+//! handlers are **total** (no input takes a replica down), and the ABD
+//! invariants hold at the code level (labels only increase, replicas ack
+//! only persisted state, every operation walks its quorum phases in
+//! order). This crate enforces code-level proxies of those promises with
+//! ten rules — see [`rules::RULES`] — over a small structural analysis of
+//! every workspace `.rs` file: comment/string blanking ([`source`]), a
+//! tokenizer ([`lex`]), an item/block parser ([`ast`]), flow facts and
+//! phase-graph extraction ([`flow`]), and declared phase specs
+//! ([`phasegraph`]).
 //!
 //! Run it as a binary from the workspace root:
 //!
@@ -18,17 +23,22 @@
 //! `// abd-lint: allow(<rule>): <justification>` directives (see
 //! [`allow`]).
 //!
-//! The scanner is deliberately dependency-free (no `syn`): the rules only
-//! need identifier occurrences, brace matching and comment stripping, and
-//! the linter must build in the same offline environment as the workspace.
+//! The analyzer is deliberately dependency-free (no `syn`): the rules only
+//! need item structure, call sites, assignments and match arms — a small
+//! recursive-descent parser covers that, and the linter must build in the
+//! same offline environment as the workspace.
 
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod ast;
+pub mod flow;
+pub mod lex;
+pub mod phasegraph;
 pub mod report;
 pub mod rules;
 pub mod scan;
 pub mod source;
 
 pub use report::Finding;
-pub use scan::{lint_source, scan_root};
+pub use scan::{lint_source, scan_root, scan_workspace, ScanOutcome};

@@ -1,14 +1,23 @@
-//! CLI entry point: `abd-lint [--json] [ROOT]`.
+//! CLI entry point: `abd-lint [--json] [--dot-dir DIR] [ROOT]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut dot_dir: Option<PathBuf> = None;
     let mut root = PathBuf::from(".");
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--dot-dir" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("abd-lint: --dot-dir needs a directory argument");
+                    return ExitCode::FAILURE;
+                };
+                dot_dir = Some(PathBuf::from(dir));
+            }
             "--help" | "-h" => {
                 print_help();
                 return ExitCode::SUCCESS;
@@ -20,13 +29,28 @@ fn main() -> ExitCode {
             path => root = PathBuf::from(path),
         }
     }
-    let findings = match abd_lint::scan_root(&root) {
-        Ok(f) => f,
+    let outcome = match abd_lint::scan::scan_workspace(&root) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("abd-lint: cannot scan {}: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
+    if let Some(dir) = &dot_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("abd-lint: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for (name, graph) in &outcome.graphs {
+            let path = dir.join(format!("{name}.dot"));
+            let dot = abd_lint::flow::render_dot(name, graph);
+            if let Err(e) = std::fs::write(&path, dot) {
+                eprintln!("abd-lint: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let findings = outcome.findings;
     if json {
         print!("{}", abd_lint::report::render_json(&findings));
     } else {
@@ -50,13 +74,20 @@ fn main() -> ExitCode {
 fn print_help() {
     println!("abd-lint — protocol-invariant static analysis for this workspace");
     println!();
-    println!("usage: abd-lint [--json] [ROOT]   (default ROOT: current directory)");
+    println!("usage: abd-lint [--json] [--dot-dir DIR] [ROOT]");
+    println!("  (default ROOT: current directory)");
+    println!();
+    println!("  --json         machine-readable findings document on stdout");
+    println!("  --dot-dir DIR  write extracted phase graphs as DIR/<name>.dot");
     println!();
     println!("rules:");
     for r in abd_lint::rules::RULES {
-        println!("  {:<20} {}", r.id, r.summary);
+        println!("  {:<24} {}", r.id, r.summary);
     }
     println!();
     println!("suppress one line with `// abd-lint: allow(<rule>): <justification>`");
     println!("(trailing on the line, or in the comment block directly above it).");
+    println!(
+        "declare a protocol's phase graph with `// abd-lint: phase-spec(<name>): A -> B, ...`"
+    );
 }

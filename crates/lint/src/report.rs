@@ -25,10 +25,16 @@ impl Finding {
     }
 }
 
+/// Version of the JSON findings schema. Bump when the shape of the
+/// document changes; CI greps for it to catch artifact/consumer drift.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// Renders all findings as a JSON document:
-/// `{"count": N, "findings": [{"rule": …, "file": …, "line": …, "message": …}]}`.
+/// `{"schema_version": V, "count": N, "findings": [{"rule": …, "file": …, "line": …, "message": …}]}`.
 pub fn render_json(findings: &[Finding]) -> String {
-    let mut s = String::from("{\n  \"count\": ");
+    let mut s = String::from("{\n  \"schema_version\": ");
+    let _ = write!(s, "{SCHEMA_VERSION}");
+    s.push_str(",\n  \"count\": ");
     let _ = write!(s, "{}", findings.len());
     s.push_str(",\n  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
@@ -94,6 +100,7 @@ mod tests {
             message: "x\ny".into(),
         }];
         let j = render_json(&f);
+        assert!(j.contains("\"schema_version\": 2"));
         assert!(j.contains("\"count\": 1"));
         assert!(j.contains("a\\\"b.rs"));
         assert!(j.contains("x\\ny"));

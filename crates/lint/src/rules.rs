@@ -1,4 +1,4 @@
-//! The five protocol-invariant rules.
+//! The ten protocol-invariant rules.
 //!
 //! | id | invariant |
 //! |----|-----------|
@@ -7,13 +7,26 @@
 //! | `panic-in-handler`   | no `.unwrap()`/`.expect(…)`/`panic!` inside message-path handlers — a malformed or stale message must never take a replica down |
 //! | `wildcard-msg-match` | the top-level `match` on `msg` in every `on_message` enumerates variants without `_ =>`, so adding a message kind is a compile-time event |
 //! | `raw-quorum-arith`   | no open-coded `/ 2` or `div_ceil(2)` majorities outside `crates/core/src/quorum.rs` — quorum sizes come from the checked constructors |
-//! | `fast-path-helper`   | write-back elision decisions go through `abd_core::quorum::fast_read_allowed` — unanimity alone is not sufficient (the responders must also form a write quorum), so ad-hoc `unanimous` checks are banned outside the helper call |
+//! | `fast-path-helper`   | write-back elision decisions go through `abd_core::quorum::fast_read_allowed` — unanimity alone is not sufficient (the responders must also form a write quorum), so ad-hoc `unanimous()` calls are banned outside the helper call |
+//! | `persist-before-ack` | inside a handler, an ack/reply send must not precede the persistent-state write it acknowledges — a crash after the ack would forget acknowledged state (PAPER.md §3: a replica answers only for state it will still hold) |
+//! | `tag-monotonicity`   | stored tag/label fields are only assigned under a comparison (or via `max`/`cmp`) against the incoming value — labels must never move backwards |
+//! | `phase-graph`        | each protocol file declares its handler→phase transition graph (`abd-lint: phase-spec(...)`); the graph extracted from the handler bodies must match it exactly |
+//! | `exhaustive-msg-handling` | the top-level `match msg` in `on_message` covers every variant of the message enum it matches on |
 //!
-//! Rules operate on the cleaned source view (see [`crate::source`]), so
-//! comments and string literals never trigger them.
+//! Rules 1–6 are line-anchored token/AST checks; rules 7–10 are semantic
+//! checks over flow facts (see [`crate::flow`]). All operate on the
+//! cleaned source view (see [`crate::source`]), so comments and string
+//! literals never trigger them.
 
+use crate::ast::{Ast, Stmt};
+use crate::flow::{
+    ack_events, assignments_with_guards, calls_in, handler_groups, AckEvent, PhaseGraph, PhaseWalk,
+    Toks,
+};
+use crate::phasegraph::{diff, parse_spec, REQUIRED_SPECS};
 use crate::report::Finding;
-use crate::source::{ident_occurrences, is_ident_at, is_ident_byte, match_brace, SourceFile};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Static description of one rule, for `--help`-style listings and for
 /// validating `allow(...)` directives.
@@ -50,7 +63,27 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "fast-path-helper",
         summary: "write-back elision must go through `fast_read_allowed`; \
-                  no ad-hoc `unanimous` checks outside that call",
+                  no ad-hoc `unanimous()` calls outside that call",
+    },
+    RuleInfo {
+        id: "persist-before-ack",
+        summary: "inside a handler, acks/replies must follow the persistent-state \
+                  write they acknowledge",
+    },
+    RuleInfo {
+        id: "tag-monotonicity",
+        summary: "stored tag/label fields are assigned only under a compare/max \
+                  guard against the incoming value",
+    },
+    RuleInfo {
+        id: "phase-graph",
+        summary: "extracted handler→phase transition graph must match the file's \
+                  declared `phase-spec(...)`",
+    },
+    RuleInfo {
+        id: "exhaustive-msg-handling",
+        summary: "the `match msg` in on_message covers every variant of its \
+                  message enum",
     },
 ];
 
@@ -66,16 +99,67 @@ pub const HANDLER_FNS: &[&str] = &[
     "delayer_main",
 ];
 
+/// Stored tag/label fields whose assignments rule 8 audits.
+pub const TAG_FIELDS: &[&str] = &[
+    "tag",
+    "label",
+    "max_label",
+    "stored_label",
+    "best_label",
+    "best_tag",
+    "seq",
+];
+
+/// Cross-file facts the per-file rules need: every enum declared anywhere
+/// in the workspace, by name. Built in a first pass over all files (see
+/// [`crate::scan::scan_root`]); file-local enums take precedence over the
+/// registry when a rule resolves a name.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Enum name → variant names, first declaration wins.
+    pub enums: BTreeMap<String, Vec<String>>,
+}
+
+impl Workspace {
+    /// Registers every enum declared in `file`.
+    pub fn add_file(&mut self, file: &SourceFile) {
+        let ast = Ast::parse(file);
+        for e in ast.all_enums() {
+            self.enums
+                .entry(e.name.clone())
+                .or_insert_with(|| e.variants.iter().map(|(v, _)| v.clone()).collect());
+        }
+    }
+}
+
+/// Everything one file's check produces: findings, plus the extracted
+/// phase graph when the file declares a `phase-spec` (for DOT emission).
+#[derive(Debug)]
+pub struct FileOutcome {
+    /// Rule findings, pre-allow-filtering.
+    pub findings: Vec<Finding>,
+    /// `(spec name, graph)` when the file declares a phase spec.
+    pub graph: Option<(String, PhaseGraph)>,
+}
+
 /// Runs every rule over one file.
-pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+pub fn check_file(file: &SourceFile, ws: &Workspace) -> FileOutcome {
+    let ast = Ast::parse(file);
+    let tk = Toks::new(&file.clean, &ast);
     let mut out = Vec::new();
-    hash_collections(file, &mut out);
-    wall_clock(file, &mut out);
-    panic_in_handler(file, &mut out);
-    wildcard_msg_match(file, &mut out);
-    raw_quorum_arith(file, &mut out);
-    fast_path_helper(file, &mut out);
-    out
+    hash_collections(file, &tk, &mut out);
+    wall_clock(file, &tk, &mut out);
+    panic_in_handler(file, &ast, &tk, &mut out);
+    wildcard_and_exhaustive(file, &ast, &tk, ws, &mut out);
+    raw_quorum_arith(file, &tk, &mut out);
+    fast_path_helper(file, &tk, &mut out);
+    persist_before_ack(file, &ast, &tk, &mut out);
+    tag_monotonicity(file, &ast, &tk, &mut out);
+    let graph = phase_graph(file, &ast, &mut out);
+    FileOutcome {
+        findings: out,
+        graph,
+    }
 }
 
 /// Whether any rule applies to `rel` at all. Allow directives are only
@@ -104,131 +188,93 @@ fn finding(file: &SourceFile, rule: &'static str, offset: usize, message: String
 }
 
 /// `hash-collections`: unordered maps/sets in deterministic code.
-fn hash_collections(file: &SourceFile, out: &mut Vec<Finding>) {
+fn hash_collections(file: &SourceFile, tk: &Toks, out: &mut Vec<Finding>) {
     if !in_crates(&file.rel, &["core", "simnet"]) {
         return;
     }
-    for word in ["HashMap", "HashSet"] {
-        for pos in ident_occurrences(&file.clean, word) {
-            if file.in_test_code(pos) {
-                continue;
-            }
-            out.push(finding(
-                file,
-                "hash-collections",
-                pos,
-                format!(
-                    "`{word}` iterates in arbitrary order, which leaks nondeterminism into \
-                     protocol executions; use `BTree{}` instead",
-                    &word[4..]
-                ),
-            ));
+    for i in 0..tk.toks.len() {
+        let word = tk.t(i);
+        if !matches!(word, "HashMap" | "HashSet") || file.in_test_code(tk.off(i)) {
+            continue;
         }
+        out.push(finding(
+            file,
+            "hash-collections",
+            tk.off(i),
+            format!(
+                "`{word}` iterates in arbitrary order, which leaks nondeterminism into \
+                 protocol executions; use `BTree{}` instead",
+                &word[4..]
+            ),
+        ));
     }
 }
 
 /// `wall-clock`: raw OS time sources. Applies to test code too — tests that
 /// read real time flake; they should drive a `ManualClock`.
-fn wall_clock(file: &SourceFile, out: &mut Vec<Finding>) {
+fn wall_clock(file: &SourceFile, tk: &Toks, out: &mut Vec<Finding>) {
     if !in_crates(&file.rel, &["core", "simnet", "runtime", "shmem"]) {
         return;
     }
-    for word in ["Instant", "SystemTime"] {
-        for pos in ident_occurrences(&file.clean, word) {
-            out.push(finding(
-                file,
-                "wall-clock",
-                pos,
-                format!(
-                    "`{word}` is a nondeterministic time source; inject an \
-                     `abd_core::clock::Clock` (ManualClock/TickClock in tests, \
-                     MonotonicClock at the runtime edge) instead"
-                ),
-            ));
+    for i in 0..tk.toks.len() {
+        let word = tk.t(i);
+        if !matches!(word, "Instant" | "SystemTime") || !tk.is_ident(i) {
+            continue;
         }
+        out.push(finding(
+            file,
+            "wall-clock",
+            tk.off(i),
+            format!(
+                "`{word}` is a nondeterministic time source; inject an \
+                 `abd_core::clock::Clock` (ManualClock/TickClock in tests, \
+                 MonotonicClock at the runtime edge) instead"
+            ),
+        ));
     }
 }
 
-/// Byte offset of the first non-whitespace byte at or after `from`.
-fn skip_ws(bytes: &[u8], mut from: usize) -> usize {
-    while from < bytes.len() && bytes[from].is_ascii_whitespace() {
-        from += 1;
-    }
-    from
-}
-
-/// Byte offset of the last non-whitespace byte strictly before `before`,
-/// if any.
-fn prev_non_ws(bytes: &[u8], before: usize) -> Option<usize> {
-    (0..before).rev().find(|&i| !bytes[i].is_ascii_whitespace())
-}
-
-/// `(name, open_brace, close_brace)` for every handler-function body in the
-/// file. Trait method *declarations* (`fn on_message(...);`) are skipped.
-fn handler_bodies(file: &SourceFile) -> Vec<(&'static str, usize, usize)> {
-    let bytes = file.clean.as_bytes();
-    let mut bodies = Vec::new();
-    for &name in HANDLER_FNS {
-        for pos in ident_occurrences(&file.clean, name) {
-            // The identifier must be introduced by `fn`.
-            let is_fn = prev_non_ws(bytes, pos).is_some_and(|e| {
-                e >= 1
-                    && bytes[e - 1] == b'f'
-                    && bytes[e] == b'n'
-                    && (e < 2 || !is_ident_byte(bytes[e - 2]))
-            });
-            if !is_fn {
-                continue;
-            }
-            let Some(open) = (pos..bytes.len()).find(|&i| bytes[i] == b'{' || bytes[i] == b';')
-            else {
-                continue;
-            };
-            if bytes[open] == b';' {
-                continue; // trait declaration, no body
-            }
-            bodies.push((name, open, match_brace(bytes, open)));
-        }
-    }
-    bodies
+/// Non-test handler-function bodies, via the AST.
+fn handler_fns<'a>(file: &SourceFile, ast: &'a Ast) -> Vec<&'a crate::ast::FnDef> {
+    ast.all_fns()
+        .into_iter()
+        .filter(|f| {
+            HANDLER_FNS.contains(&f.name.as_str())
+                && f.body.is_some()
+                && !file.in_test_code(f.offset)
+        })
+        .collect()
 }
 
 /// `panic-in-handler`: aborts on the message path.
-fn panic_in_handler(file: &SourceFile, out: &mut Vec<Finding>) {
+fn panic_in_handler(file: &SourceFile, ast: &Ast, tk: &Toks, out: &mut Vec<Finding>) {
     if !in_crates(&file.rel, &["core", "runtime", "kv"]) {
         return;
     }
-    let bytes = file.clean.as_bytes();
-    for (name, open, close) in handler_bodies(file) {
-        if file.in_test_code(open) {
-            continue;
-        }
-        let body = &file.clean[open..=close];
-        for word in ["unwrap", "expect"] {
-            for rel_pos in ident_occurrences(body, word) {
-                let pos = open + rel_pos;
-                let dotted = prev_non_ws(bytes, pos).is_some_and(|i| bytes[i] == b'.');
-                let called = bytes.get(skip_ws(bytes, pos + word.len())) == Some(&b'(');
-                if dotted && called {
-                    out.push(finding(
-                        file,
-                        "panic-in-handler",
-                        pos,
-                        format!(
-                            "`.{word}(…)` inside `{name}` can take a replica down on a \
-                             malformed or stale message; return early or propagate an error"
-                        ),
-                    ));
-                }
-            }
-        }
-        for rel_pos in ident_occurrences(body, "panic") {
-            let pos = open + rel_pos;
-            if bytes.get(pos + "panic".len()) == Some(&b'!') {
+    for f in handler_fns(file, ast) {
+        let body = f.body.as_ref().expect("handler_fns filters bodies");
+        let name = &f.name;
+        for c in calls_in(tk, body.open, body.close + 1) {
+            let dotted = c.tok > 0 && tk.t(c.tok - 1) == ".";
+            if dotted && matches!(c.name, "unwrap" | "expect") {
                 out.push(finding(
                     file,
                     "panic-in-handler",
-                    pos,
+                    tk.off(c.tok),
+                    format!(
+                        "`.{}(…)` inside `{name}` can take a replica down on a \
+                         malformed or stale message; return early or propagate an error",
+                        c.name
+                    ),
+                ));
+            }
+        }
+        for i in body.open..body.close.min(tk.toks.len()) {
+            if tk.t(i) == "panic" && tk.is_ident(i) && tk.t(i + 1) == "!" {
+                out.push(finding(
+                    file,
+                    "panic-in-handler",
+                    tk.off(i),
                     format!(
                         "`panic!` inside `{name}` turns a protocol-level surprise into a \
                          crash; handle the case or drop the message"
@@ -239,191 +285,189 @@ fn panic_in_handler(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
-/// `wildcard-msg-match`: a `_ =>` arm in the top-level `match` on `msg`
-/// inside `on_message` silently swallows new message variants.
-fn wildcard_msg_match(file: &SourceFile, out: &mut Vec<Finding>) {
+/// The top-level `match` statements of `on_message` whose scrutinee
+/// mentions the `msg` binding.
+fn msg_matches<'a>(
+    ast: &'a Ast,
+    tk: &Toks,
+    f: &'a crate::ast::FnDef,
+) -> Vec<&'a crate::ast::MatchStmt> {
+    let _ = ast;
+    let Some(body) = f.body.as_ref() else {
+        return Vec::new();
+    };
+    body.stmts
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::Match(m)
+                if (m.scrutinee.lo..m.scrutinee.hi).any(|i| tk.is_ident(i) && tk.t(i) == "msg") =>
+            {
+                Some(m)
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// `wildcard-msg-match` + `exhaustive-msg-handling`, which share the
+/// top-level-`match msg` discovery.
+fn wildcard_and_exhaustive(
+    file: &SourceFile,
+    ast: &Ast,
+    tk: &Toks,
+    ws: &Workspace,
+    out: &mut Vec<Finding>,
+) {
     if !in_crates(&file.rel, &["core", "runtime", "kv", "simnet"]) {
         return;
     }
-    let bytes = file.clean.as_bytes();
-    for (name, open, close) in handler_bodies(file) {
-        if name != "on_message" || file.in_test_code(open) {
+    let local: BTreeMap<&str, Vec<String>> = ast
+        .all_enums()
+        .iter()
+        .map(|e| {
+            (
+                e.name.as_str(),
+                e.variants.iter().map(|(v, _)| v.clone()).collect(),
+            )
+        })
+        .collect();
+    for f in handler_fns(file, ast) {
+        if f.name != "on_message" {
             continue;
         }
-        // Find `match` keywords at statement level of the body (depth 1
-        // relative to the body's own brace).
-        let mut depth = 0usize;
-        let mut i = open;
-        while i <= close {
-            match bytes[i] {
-                b'{' => depth += 1,
-                b'}' => depth -= 1,
-                b'm' if depth == 1
-                    && file.clean[i..].starts_with("match")
-                    && is_ident_at(&file.clean, i, "match") =>
-                {
-                    let Some(arms_open) =
-                        (i..=close).find(|&j| bytes[j] == b'{' && scrutinee_depth_ok(bytes, i, j))
-                    else {
-                        break;
-                    };
-                    let arms_close = match_brace(bytes, arms_open);
-                    let scrutinee = &file.clean[i + "match".len()..arms_open];
-                    if ident_occurrences(scrutinee, "msg").is_empty() {
-                        i = arms_open; // unrelated match; resume depth tracking at its brace
-                        continue;
-                    }
-                    if let Some(w) = wildcard_arm(bytes, &file.clean, arms_open, arms_close) {
-                        out.push(finding(
-                            file,
-                            "wildcard-msg-match",
-                            w,
-                            "`_ =>` in the top-level `match msg` of `on_message` swallows \
-                             message variants silently; enumerate every variant so new \
-                             messages fail to compile until handled"
-                                .to_string(),
-                        ));
-                    }
-                    // Skip past this match entirely; depth is unchanged
-                    // across a balanced region.
-                    i = arms_close + 1;
-                    continue;
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-    }
-}
-
-/// The `{` at `open` belongs to the match whose keyword is at `kw` only if
-/// no *other* brace opened in between (e.g. a struct literal in the
-/// scrutinee, which cannot occur without parentheses in Rust).
-fn scrutinee_depth_ok(bytes: &[u8], kw: usize, open: usize) -> bool {
-    bytes[kw..open].iter().all(|&b| b != b'{' && b != b'}')
-}
-
-/// Offset of a bare `_ =>` arm at the arm level of the match braces.
-fn wildcard_arm(bytes: &[u8], clean: &str, arms_open: usize, arms_close: usize) -> Option<usize> {
-    let mut depth = 0usize;
-    for i in arms_open..=arms_close {
-        match bytes[i] {
-            b'{' => depth += 1,
-            b'}' => depth -= 1,
-            b'_' if depth == 1 && is_ident_at(clean, i, "_") => {
-                let j = skip_ws(bytes, i + 1);
-                if bytes.get(j) == Some(&b'=') && bytes.get(j + 1) == Some(&b'>') {
-                    return Some(i);
+        for m in msg_matches(ast, tk, f) {
+            // Wildcard arms: a pattern that is exactly `_`.
+            let mut has_wildcard = false;
+            for a in &m.arms {
+                if a.pat.hi == a.pat.lo + 1 && tk.t(a.pat.lo) == "_" {
+                    has_wildcard = true;
+                    out.push(finding(
+                        file,
+                        "wildcard-msg-match",
+                        tk.off(a.pat.lo),
+                        "`_ =>` in the top-level `match msg` of `on_message` swallows \
+                         message variants silently; enumerate every variant so new \
+                         messages fail to compile until handled"
+                            .to_string(),
+                    ));
                 }
             }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// `raw-quorum-arith`: open-coded majority arithmetic.
-fn raw_quorum_arith(file: &SourceFile, out: &mut Vec<Finding>) {
-    if !in_crates(&file.rel, &["core", "kv"]) || file.rel == "crates/core/src/quorum.rs" {
-        return;
-    }
-    let bytes = file.clean.as_bytes();
-    const MSG: &str = "open-coded majority arithmetic; use \
-                       `abd_core::quorum::majority_threshold` or `masking_threshold` \
-                       (crates/core/src/quorum.rs) so the threshold is checked once";
-    for (i, &b) in bytes.iter().enumerate() {
-        if b != b'/' {
-            continue;
-        }
-        // Division by the literal 2: `/ 2` with nothing making the 2 part of
-        // a longer number (20, 2.0) or an identifier.
-        let j = skip_ws(bytes, i + 1);
-        if bytes.get(j) == Some(&b'2')
-            && !bytes
-                .get(j + 1)
-                .is_some_and(|&n| is_ident_byte(n) || n == b'.')
-            && !file.in_test_code(i)
-        {
-            out.push(finding(
-                file,
-                "raw-quorum-arith",
-                i,
-                format!("`/ 2`: {MSG}"),
-            ));
-        }
-    }
-    for pos in ident_occurrences(&file.clean, "div_ceil") {
-        if file.in_test_code(pos) {
-            continue;
-        }
-        let mut j = skip_ws(bytes, pos + "div_ceil".len());
-        if bytes.get(j) == Some(&b'(') {
-            j = skip_ws(bytes, j + 1);
-            if bytes.get(j) == Some(&b'2') && bytes.get(skip_ws(bytes, j + 1)) == Some(&b')') {
+            if has_wildcard {
+                continue; // dynamically exhaustive; rule 10 would double-report
+            }
+            // Exhaustiveness: collect `Enum::Variant` paths from the arm
+            // patterns, resolve the enum (file-local first, then the
+            // workspace registry), and require every variant covered.
+            let mut by_enum: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+            for a in &m.arms {
+                for i in a.pat.lo..a.pat.hi.min(tk.toks.len()).saturating_sub(2) {
+                    if tk.is_ident(i) && tk.t(i + 1) == "::" && tk.is_ident(i + 2) {
+                        by_enum.entry(tk.t(i)).or_default().insert(tk.t(i + 2));
+                    }
+                }
+            }
+            let resolved = by_enum
+                .iter()
+                .filter_map(|(name, covered)| {
+                    local
+                        .get(name)
+                        .or_else(|| ws.enums.get(*name))
+                        .map(|vars| (*name, covered, vars))
+                })
+                .max_by_key(|(_, covered, _)| covered.len());
+            let Some((enum_name, covered, variants)) = resolved else {
+                continue; // enum not declared anywhere we can see — skip
+            };
+            let missing: Vec<&str> = variants
+                .iter()
+                .map(String::as_str)
+                .filter(|v| !covered.contains(v))
+                .collect();
+            if !missing.is_empty() {
                 out.push(finding(
                     file,
-                    "raw-quorum-arith",
-                    pos,
-                    format!("`div_ceil(2)`: {MSG}"),
+                    "exhaustive-msg-handling",
+                    tk.off(m.scrutinee.lo),
+                    format!(
+                        "`match msg` in `on_message` covers {}/{} variants of \
+                         `{enum_name}`; missing: {}. Handle them (even if only to \
+                         ignore explicitly) or add a justified allow",
+                        covered.len(),
+                        variants.len(),
+                        missing.join(", ")
+                    ),
                 ));
             }
         }
     }
 }
 
-/// Byte offset of the `)` matching the `(` at `open` (or end of input if
-/// unbalanced). Like [`match_brace`], assumes cleaned text.
-fn match_paren(bytes: &[u8], open: usize) -> usize {
-    debug_assert_eq!(bytes[open], b'(');
-    let mut depth = 0usize;
-    for (i, &b) in bytes.iter().enumerate().skip(open) {
-        match b {
-            b'(' => depth += 1,
-            b')' => {
-                depth -= 1;
-                if depth == 0 {
-                    return i;
-                }
-            }
-            _ => {}
+/// `raw-quorum-arith`: open-coded majority arithmetic.
+fn raw_quorum_arith(file: &SourceFile, tk: &Toks, out: &mut Vec<Finding>) {
+    if !in_crates(&file.rel, &["core", "kv"]) || file.rel == "crates/core/src/quorum.rs" {
+        return;
+    }
+    const MSG: &str = "open-coded majority arithmetic; use \
+                       `abd_core::quorum::majority_threshold` or `masking_threshold` \
+                       (crates/core/src/quorum.rs) so the threshold is checked once";
+    for i in 0..tk.toks.len() {
+        if tk.t(i) == "/" && tk.t(i + 1) == "2" && !file.in_test_code(tk.off(i)) {
+            out.push(finding(
+                file,
+                "raw-quorum-arith",
+                tk.off(i),
+                format!("`/ 2`: {MSG}"),
+            ));
         }
     }
-    bytes.len().saturating_sub(1)
+    for c in calls_in(tk, 0, tk.toks.len()) {
+        if c.name == "div_ceil"
+            && c.args_close == c.args_open + 2
+            && tk.t(c.args_open + 1) == "2"
+            && !file.in_test_code(tk.off(c.tok))
+        {
+            out.push(finding(
+                file,
+                "raw-quorum-arith",
+                tk.off(c.tok),
+                format!("`div_ceil(2)`: {MSG}"),
+            ));
+        }
+    }
 }
 
 /// `fast-path-helper`: the write-back elision condition is easy to get
 /// subtly wrong — unanimity of the query quorum is *not* sufficient on its
 /// own (the responders must also form a write quorum, which majority
-/// systems imply but `R < W` thresholds do not). Any `unanimous` mention in
-/// protocol code must therefore appear as an argument to
+/// systems imply but `R < W` thresholds do not). Any call to `unanimous()`
+/// in protocol code must therefore appear inside the argument list of
 /// `abd_core::quorum::fast_read_allowed(...)`, where both halves of the
-/// condition are enforced together.
-fn fast_path_helper(file: &SourceFile, out: &mut Vec<Finding>) {
-    if !in_crates(&file.rel, &["core", "kv"])
-        || file.rel == "crates/core/src/quorum.rs"
-        || file.rel == "crates/core/src/phase.rs"
-    {
+/// condition are enforced together. The definition of `unanimous` and
+/// bare (non-call) mentions are fine — only call sites decide anything.
+fn fast_path_helper(file: &SourceFile, tk: &Toks, out: &mut Vec<Finding>) {
+    if !in_crates(&file.rel, &["core", "kv"]) {
         return;
     }
-    let bytes = file.clean.as_bytes();
-    let spans: Vec<(usize, usize)> = ident_occurrences(&file.clean, "fast_read_allowed")
-        .into_iter()
-        .filter_map(|pos| {
-            let open = skip_ws(bytes, pos + "fast_read_allowed".len());
-            (bytes.get(open) == Some(&b'(')).then(|| (open, match_paren(bytes, open)))
-        })
+    let calls = calls_in(tk, 0, tk.toks.len());
+    let helper_spans: Vec<(usize, usize)> = calls
+        .iter()
+        .filter(|c| c.name == "fast_read_allowed")
+        .map(|c| (c.args_open, c.args_close))
         .collect();
-    for pos in ident_occurrences(&file.clean, "unanimous") {
-        if file.in_test_code(pos) {
+    for c in &calls {
+        if c.name != "unanimous" || file.in_test_code(tk.off(c.tok)) {
             continue;
         }
-        if spans.iter().any(|&(open, close)| pos > open && pos < close) {
+        if helper_spans
+            .iter()
+            .any(|&(open, close)| c.tok > open && c.tok < close)
+        {
             continue;
         }
         out.push(finding(
             file,
             "fast-path-helper",
-            pos,
+            tk.off(c.tok),
             "ad-hoc tag-agreement check: unanimity alone does not justify eliding the \
              write-back (the responders must also form a write quorum); pass it to \
              `abd_core::quorum::fast_read_allowed(quorum, responders, unanimous)` instead"
@@ -432,12 +476,186 @@ fn fast_path_helper(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// `persist-before-ack`: within each linear group of a handler body (a
+/// top-level match arm, or a run of statements between matches), an
+/// ack/reply send must not precede the group's first persistent-state
+/// write. Groups with no persist at all are reply-only paths (serving a
+/// query) and are fine.
+fn persist_before_ack(file: &SourceFile, ast: &Ast, tk: &Toks, out: &mut Vec<Finding>) {
+    if !in_crates(&file.rel, &["core", "kv"]) {
+        return;
+    }
+    for f in handler_fns(file, ast) {
+        let body = f.body.as_ref().expect("handler_fns filters bodies");
+        for (lo, hi) in handler_groups(body) {
+            let events = ack_events(tk, lo, hi);
+            let first_persist = events.iter().find_map(|e| match e {
+                AckEvent::Persist(i) => Some(*i),
+                AckEvent::AckSend(_) => None,
+            });
+            let Some(persist_tok) = first_persist else {
+                continue;
+            };
+            for e in &events {
+                if let AckEvent::AckSend(i) = e {
+                    if *i < persist_tok {
+                        out.push(finding(
+                            file,
+                            "persist-before-ack",
+                            tk.off(*i),
+                            format!(
+                                "ack/reply sent in `{}` before the persistent state it \
+                                 covers is written (first persist is on line {}); a crash \
+                                 between the two forgets acknowledged state — persist \
+                                 first, then ack",
+                                f.name,
+                                file.line_of(tk.off(persist_tok)),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `tag-monotonicity`: assignments to stored tag/label fields must be
+/// guarded by a comparison against the incoming value (or compute via
+/// `max`/`cmp` on the right-hand side). An unguarded overwrite can move a
+/// label backwards, which breaks atomicity across crashes and retries.
+fn tag_monotonicity(file: &SourceFile, ast: &Ast, tk: &Toks, out: &mut Vec<Finding>) {
+    if !in_crates(&file.rel, &["core", "kv", "simnet"]) {
+        return;
+    }
+    const GUARD_MARKS: &[&str] = &[">", "<", "cmp", "max", "newer", "comparable"];
+    for f in ast.all_fns() {
+        let Some(body) = f.body.as_ref() else {
+            continue;
+        };
+        if file.in_test_code(f.offset) {
+            continue;
+        }
+        for a in assignments_with_guards(tk, body) {
+            if !a.is_place {
+                continue;
+            }
+            let Some(field) = a.lhs_idents.last() else {
+                continue;
+            };
+            if !TAG_FIELDS.contains(&field.as_str()) {
+                continue;
+            }
+            let rhs_guarded = (a.rhs.0..a.rhs.1.min(tk.toks.len()))
+                .any(|i| tk.is_ident(i) && matches!(tk.t(i), "max" | "cmp"));
+            let ctx_guarded = a
+                .guards
+                .iter()
+                .any(|g| GUARD_MARKS.iter().any(|m| g.contains(m)));
+            if rhs_guarded || ctx_guarded {
+                continue;
+            }
+            out.push(finding(
+                file,
+                "tag-monotonicity",
+                tk.off(a.eq_tok),
+                format!(
+                    "assignment to tag field `{field}` has no compare/max guard against \
+                     the incoming value; an unconditional overwrite can move the label \
+                     backwards — guard with `if incoming > stored` or use `max`",
+                ),
+            ));
+        }
+    }
+}
+
+/// `phase-graph`: extract the handler→phase transition graph and check it
+/// against the file's declared `phase-spec(...)`. Files listed in
+/// [`REQUIRED_SPECS`] must declare one; any other in-scope file that
+/// declares one is checked too.
+fn phase_graph(
+    file: &SourceFile,
+    ast: &Ast,
+    out: &mut Vec<Finding>,
+) -> Option<(String, PhaseGraph)> {
+    if !in_lint_scope(&file.rel) {
+        return None;
+    }
+    let required = REQUIRED_SPECS
+        .iter()
+        .find(|(rel, _)| *rel == file.rel)
+        .map(|(_, name)| *name);
+    let spec = parse_spec(&file.raw);
+    let Some(spec) = spec else {
+        if let Some(name) = required {
+            out.push(Finding {
+                rule: "phase-graph",
+                file: file.rel.clone(),
+                line: 1,
+                message: format!(
+                    "protocol file must declare its phase transitions: \
+                     `// abd-lint: phase-spec({name}): A -> B, ...`"
+                ),
+            });
+        }
+        return None;
+    };
+    if let Some(name) = required {
+        if spec.name != name {
+            out.push(Finding {
+                rule: "phase-graph",
+                file: file.rel.clone(),
+                line: spec.line,
+                message: format!(
+                    "phase-spec is named `{}` but this file's graph must be named `{name}`",
+                    spec.name
+                ),
+            });
+        }
+    }
+    for (line, msg) in &spec.problems {
+        out.push(Finding {
+            rule: "phase-graph",
+            file: file.rel.clone(),
+            line: *line,
+            message: msg.clone(),
+        });
+    }
+    let walk = PhaseWalk::extract(&file.clean, ast, &|off| !file.in_test_code(off));
+    for d in diff(&spec, &walk.graph) {
+        let (a, b) = &d.edge;
+        if d.undeclared {
+            out.push(finding(
+                file,
+                "phase-graph",
+                d.offset,
+                format!(
+                    "handler code produces phase transition `{a} -> {b}`, which \
+                     phase-spec({}) does not declare; fix the handler or extend the spec",
+                    spec.name
+                ),
+            ));
+        } else {
+            out.push(Finding {
+                rule: "phase-graph",
+                file: file.rel.clone(),
+                line: spec.line,
+                message: format!(
+                    "phase-spec({}) declares `{a} -> {b}` but no handler path \
+                     produces it; the protocol lost a transition the spec promises",
+                    spec.name
+                ),
+            });
+        }
+    }
+    Some((spec.name.clone(), walk.graph))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn check(rel: &str, src: &str) -> Vec<Finding> {
-        check_file(&SourceFile::new(rel.into(), src))
+        check_file(&SourceFile::new(rel.into(), src), &Workspace::default()).findings
     }
 
     #[test]
@@ -523,20 +741,36 @@ mod tests {
         assert!(check("crates/core/src/a.rs", src).is_empty());
     }
 
+    fn rule_count(rel: &str, src: &str, rule: &str) -> usize {
+        check(rel, src).iter().filter(|f| f.rule == rule).count()
+    }
+
     #[test]
-    fn ad_hoc_unanimity_check_flagged_helper_call_allowed() {
+    fn ad_hoc_unanimity_call_flagged_helper_args_allowed() {
+        // (swmr.rs is a REQUIRED_SPECS file, so count only rule-6 findings.)
         let bad = "fn f(&self) -> bool { self.census.unanimous() && true }\n";
-        let f = check("crates/core/src/swmr.rs", bad);
-        assert_eq!(f.iter().filter(|f| f.rule == "fast-path-helper").count(), 1);
+        assert_eq!(
+            rule_count("crates/core/src/swmr.rs", bad, "fast-path-helper"),
+            1
+        );
         let good =
             "fn f(&self) -> bool { fast_read_allowed(self.q.as_ref(), r, census.unanimous()) }\n";
-        assert!(check("crates/core/src/swmr.rs", good).is_empty());
-        // The definition site and the census internals are exempt.
-        assert!(check("crates/core/src/quorum.rs", bad).is_empty());
-        assert!(check("crates/core/src/phase.rs", bad).is_empty());
+        assert_eq!(
+            rule_count("crates/core/src/swmr.rs", good, "fast-path-helper"),
+            0
+        );
+        // Only *calls* decide anything: the definition site and bare
+        // mentions (a parameter named `unanimous`) are fine anywhere.
+        let def = "fn unanimous(&self) -> bool { self.n == self.total }\n";
+        assert!(check("crates/core/src/phase.rs", def).is_empty());
+        let param = "fn fast_read_allowed(q: &Q, r: &R, unanimous: bool) -> bool { unanimous && q.is_write_quorum(r) }\n";
+        assert!(check("crates/core/src/quorum.rs", param).is_empty());
         // So is test code.
         let in_test = "#[cfg(test)]\nmod tests { fn t(c: &C) { assert!(c.unanimous()); } }\n";
-        assert!(check("crates/core/src/swmr.rs", in_test).is_empty());
+        assert_eq!(
+            rule_count("crates/core/src/swmr.rs", in_test, "fast-path-helper"),
+            0
+        );
         // Out-of-scope crates are untouched.
         assert!(check("crates/simnet/src/sim.rs", bad).is_empty());
     }
@@ -552,6 +786,113 @@ mod tests {
     #[test]
     fn comments_and_strings_never_fire() {
         let src = "// quorums are ceil((n+1) / 2)\nfn f() { let s = \"HashMap Instant / 2\"; }\n";
+        assert!(check("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_unanimous_examples_do_not_fire() {
+        // The rule-6 false positive the AST port fixes: `unanimous()` in a
+        // doc-comment example is not a call site.
+        let src = "/// Call `census.unanimous()` to test agreement.\n/// ```\n/// let ok = c.unanimous();\n/// ```\nfn f() {}\n";
+        assert_eq!(
+            rule_count("crates/core/src/swmr.rs", src, "fast-path-helper"),
+            0
+        );
+    }
+
+    #[test]
+    fn ack_before_persist_flagged_persist_first_clean() {
+        let bad = "fn on_message(&mut self, fx: &mut F) { match msg { Msg::Update { uid, label, value } => { fx.send(from, Msg::UpdateAck { uid }); self.replica.adopt(label, value); } } }\n";
+        let f = check("crates/core/src/a.rs", bad);
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "persist-before-ack").count(),
+            1
+        );
+        let good = "fn on_message(&mut self, fx: &mut F) { match msg { Msg::Update { uid, label, value } => { self.replica.adopt(label, value); fx.send(from, Msg::UpdateAck { uid }); } } }\n";
+        assert!(check("crates/core/src/a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn reply_only_paths_and_sibling_arms_do_not_interact() {
+        // A query reply with no persist in its own arm is fine even though
+        // a sibling arm persists.
+        let src = "fn on_message(&mut self, fx: &mut F) { match msg { Msg::Query { uid } => { fx.send(from, Msg::QueryReply { uid }); } Msg::Update { uid, label, value } => { self.replica.adopt(label, value); fx.send(from, Msg::UpdateAck { uid }); } } }\n";
+        assert!(check("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unguarded_tag_overwrite_flagged_guarded_clean() {
+        let bad = "fn adopt(&mut self, label: u64) { self.label = label; }\n";
+        let f = check("crates/core/src/a.rs", bad);
+        assert_eq!(f.iter().filter(|f| f.rule == "tag-monotonicity").count(), 1);
+        let guarded =
+            "fn adopt(&mut self, label: u64) { if label > self.label { self.label = label; } }\n";
+        assert!(check("crates/core/src/a.rs", guarded).is_empty());
+        let via_max = "fn adopt(&mut self, label: u64) { self.label = self.label.max(label); }\n";
+        assert!(check("crates/core/src/a.rs", via_max).is_empty());
+    }
+
+    #[test]
+    fn let_bindings_and_compound_assigns_are_not_tag_overwrites() {
+        let src = "fn f(&mut self) { let label = 3; self.count += 1; }\n";
+        assert!(check("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn phase_graph_spec_mismatch_flagged() {
+        let src = "// abd-lint: phase-spec(t): Invoke -> Query\nimpl N { fn on_invoke(&mut self) { self.pending = Some(Pending::Write { op }); } }\n";
+        let f = check("crates/core/src/a.rs", src);
+        let pg: Vec<_> = f.iter().filter(|f| f.rule == "phase-graph").collect();
+        // One undeclared (Invoke -> Write) and one unproduced (Invoke -> Query).
+        assert_eq!(pg.len(), 2);
+        let matching = "// abd-lint: phase-spec(t): Invoke -> Write\nimpl N { fn on_invoke(&mut self) { self.pending = Some(Pending::Write { op }); } }\n";
+        assert!(check("crates/core/src/a.rs", matching).is_empty());
+    }
+
+    #[test]
+    fn required_files_must_declare_a_spec() {
+        let src = "fn on_invoke(&mut self) {}\n";
+        let f = check("crates/core/src/swmr.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "phase-graph").count(), 1);
+        assert!(f[0].message.contains("phase-spec(swmr)"));
+    }
+
+    #[test]
+    fn missing_enum_variant_flagged_full_coverage_clean() {
+        let bad = "enum Msg { A, B, C }\nimpl N { fn on_message(&mut self, msg: Msg) { match msg { Msg::A => {} Msg::B => {} } } }\n";
+        let f = check("crates/core/src/a.rs", bad);
+        let ex: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == "exhaustive-msg-handling")
+            .collect();
+        assert_eq!(ex.len(), 1);
+        assert!(ex[0].message.contains("missing: C"));
+        let good = "enum Msg { A, B }\nimpl N { fn on_message(&mut self, msg: Msg) { match msg { Msg::A => {} Msg::B => {} } } }\n";
+        assert!(check("crates/core/src/a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn enum_resolution_uses_workspace_registry() {
+        let mut ws = Workspace::default();
+        ws.add_file(&SourceFile::new(
+            "crates/core/src/msg.rs".into(),
+            "pub enum RegisterMsg { Query, QueryReply, Update, UpdateAck }\n",
+        ));
+        let src = "fn on_message(&mut self, msg: M) { match msg { RegisterMsg::Query { .. } => {} RegisterMsg::Update { .. } => {} } }\n";
+        let out = check_file(&SourceFile::new("crates/core/src/a.rs".into(), src), &ws);
+        let ex: Vec<_> = out
+            .findings
+            .iter()
+            .filter(|f| f.rule == "exhaustive-msg-handling")
+            .collect();
+        assert_eq!(ex.len(), 1);
+        assert!(ex[0].message.contains("QueryReply"));
+        assert!(ex[0].message.contains("UpdateAck"));
+    }
+
+    #[test]
+    fn unresolvable_enums_are_skipped() {
+        let src = "fn on_message(&mut self, msg: M) { match msg { M::A => {} } }\n";
         assert!(check("crates/core/src/a.rs", src).is_empty());
     }
 }

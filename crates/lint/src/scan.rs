@@ -1,9 +1,16 @@
 //! Directory walking and per-file orchestration.
+//!
+//! Scanning is two-pass: the first pass registers every enum in the
+//! workspace (so `exhaustive-msg-handling` can resolve message enums
+//! declared in sibling files), the second runs the rules. Extracted phase
+//! graphs ride along in [`ScanOutcome`] so the CLI can render them as DOT.
 
 use crate::allow::Allows;
+use crate::flow::PhaseGraph;
 use crate::report::Finding;
-use crate::rules::check_file;
+use crate::rules::{check_file, Workspace};
 use crate::source::SourceFile;
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -11,41 +18,78 @@ use std::path::{Path, PathBuf};
 /// lint fixtures (which are violations *on purpose*), and VCS metadata.
 const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git"];
 
+/// Everything a workspace scan produces.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// Surviving findings, sorted by `(file, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Phase graphs by spec name, from files declaring `phase-spec(...)`.
+    pub graphs: BTreeMap<String, PhaseGraph>,
+}
+
 /// Lints every `.rs` file under `root` and returns the surviving findings,
 /// sorted by `(file, line, rule)`. Allow directives with a justification
 /// suppress their findings; malformed directives are reported as
 /// `bad-allow`.
 pub fn scan_root(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut files = Vec::new();
-    collect_rs(root, &mut files)?;
-    files.sort();
-    let mut findings = Vec::new();
-    for path in files {
+    Ok(scan_workspace(root)?.findings)
+}
+
+/// Full two-pass scan: findings plus extracted phase graphs.
+pub fn scan_workspace(root: &Path) -> std::io::Result<ScanOutcome> {
+    let mut paths = Vec::new();
+    collect_rs(root, &mut paths)?;
+    paths.sort();
+    let mut sources = Vec::new();
+    let mut ws = Workspace::default();
+    for path in &paths {
         let rel = path
             .strip_prefix(root)
-            .unwrap_or(&path)
+            .unwrap_or(path)
             .components()
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        let text = fs::read_to_string(&path)?;
-        findings.extend(lint_source(rel, &text));
+        let text = fs::read_to_string(path)?;
+        let file = SourceFile::new(rel, &text);
+        ws.add_file(&file);
+        sources.push(file);
     }
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(findings)
+    let mut out = ScanOutcome::default();
+    for file in &sources {
+        let (findings, graph) = lint_file(file, &ws);
+        out.findings.extend(findings);
+        if let Some((name, graph)) = graph {
+            out.graphs.entry(name).or_insert(graph);
+        }
+    }
+    out.findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(out)
 }
 
 /// Lints one file's text under its workspace-relative path. Exposed so
-/// tests can lint in-memory sources without touching the filesystem.
+/// tests can lint in-memory sources without touching the filesystem; the
+/// enum registry is built from the file itself, so file-local message
+/// enums still resolve.
 pub fn lint_source(rel: String, text: &str) -> Vec<Finding> {
     let file = SourceFile::new(rel, text);
-    let allows = Allows::collect(&file);
-    let mut findings: Vec<Finding> = check_file(&file)
+    let mut ws = Workspace::default();
+    ws.add_file(&file);
+    lint_file(&file, &ws).0
+}
+
+/// Applies rules then allows to one parsed file.
+fn lint_file(file: &SourceFile, ws: &Workspace) -> (Vec<Finding>, Option<(String, PhaseGraph)>) {
+    let allows = Allows::collect(file);
+    let outcome = check_file(file, ws);
+    let mut findings: Vec<Finding> = outcome
+        .findings
         .into_iter()
         .filter(|f| !allows.suppresses(f.rule, f.line))
         .collect();
     findings.extend(allows.problems);
-    findings
+    (findings, outcome.graph)
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -96,5 +140,11 @@ mod tests {
         let f = lint_source("crates/core/src/a.rs".into(), src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "hash-collections");
+    }
+
+    #[test]
+    fn allow_suppresses_new_semantic_rules_too() {
+        let src = "fn adopt(&mut self, label: u64) {\n    // abd-lint: allow(tag-monotonicity): label is freshly minted by this writer.\n    self.label = label;\n}\n";
+        assert!(lint_source("crates/core/src/a.rs".into(), src).is_empty());
     }
 }

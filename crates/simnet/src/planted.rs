@@ -19,6 +19,20 @@
 //! aborted mid-propagation by a writer crash is the canonical 1-fault
 //! cause). The shrinker's acceptance test plants this bug under a 20+-fault
 //! campaign and must recover a ≤2-fault schedule.
+//!
+//! **Why `abd-lint`'s `phase-graph` rule does not catch this statically:**
+//! the mutant never changes the phase structure of the wrapped protocol —
+//! `SwmrNode` still walks `Query -> WriteBack -> Done`, and its extracted
+//! graph still matches its `phase-spec(swmr)` declaration. The sabotage
+//! happens one layer up, in the *effects space*: [`PlantedSwmr`] filters
+//! the already-emitted `Update` broadcast out of the effects buffer and
+//! substitutes synthetic acks, which is data flow through runtime values
+//! the phase extractor deliberately does not model. The structural analogue
+//! the rule *does* catch — a handler whose code path responds straight out
+//! of the query phase — is committed as the lint fixture
+//! `crates/lint/fixtures/violations/crates/core/src/phase_drop.rs`, where
+//! rule 9 reports the undeclared `Query -> Done` edge and the two lost
+//! write-back edges.
 
 use abd_core::context::{Effects, Protocol, TimerKey};
 use abd_core::msg::{RegisterMsg, RegisterOp, RegisterResp};

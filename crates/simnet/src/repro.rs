@@ -64,6 +64,24 @@ pub enum ProtocolSpec {
     },
 }
 
+impl ProtocolSpec {
+    /// Name of the `abd-lint` phase graph governing this protocol's
+    /// handlers — the `phase-spec(<name>)` declaration in the protocol
+    /// source, rendered by `abd-lint --dot-dir` as `<name>.dot`.
+    ///
+    /// Wrappers map to the protocol they wrap: batching reorders effects
+    /// and the planted mutant filters them, but neither changes which
+    /// phase structure the inner node walks.
+    pub fn phase_graph(&self) -> &'static str {
+        match self {
+            ProtocolSpec::Swmr { .. }
+            | ProtocolSpec::BatchedSwmr { .. }
+            | ProtocolSpec::PlantedSwmr { .. } => "swmr",
+            ProtocolSpec::Mwmr { .. } => "mwmr",
+        }
+    }
+}
+
 /// How the replay decides "did this run fail?".
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub enum OracleSpec {

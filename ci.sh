@@ -44,4 +44,9 @@ cargo run -q --release -p abd-bench --bin fig_throughput -- --smoke
 git diff --exit-code -- BENCH_throughput.json \
   || { echo "BENCH_throughput.json drifted from the checked-in artifact"; exit 1; }
 
+echo "==> search bench smoke (coverage-guided vs blind fitness gate, regenerates BENCH_search.json)"
+cargo run -q --release -p abd-bench --bin fig_search -- --smoke
+git diff --exit-code -- BENCH_search.json \
+  || { echo "BENCH_search.json drifted from the checked-in artifact"; exit 1; }
+
 echo "ci.sh: all gates green"

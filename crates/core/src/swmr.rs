@@ -56,6 +56,24 @@
 //! argument; the catch-up **query phase** the node runs before serving
 //! again is then purely a freshness optimization that lets it answer with
 //! recent labels immediately.
+//!
+//! ### The aborted-write epilogue
+//!
+//! A writer that crashes mid-write leaves its client's operation aborted:
+//! the update may sit at any subset of replicas, an open-ended interval a
+//! checker must treat as "possibly took effect". With
+//! [`write_epilogue`](SwmrConfig::write_epilogue) enabled, the writer also
+//! persists its *write intent* `(op, seq, value)` alongside the replica
+//! pair, and on restart — after the catch-up query completes — rolls the
+//! interrupted write forward: it re-broadcasts `Update(seq, value)` with a
+//! fresh phase uid and acknowledges the client once a write quorum holds
+//! the label. Roll-forward (rather than abort) is the only sound
+//! resolution for a SWMR register: the writer's own replica adopted
+//! `(seq, value)` *before* the broadcast, so the persisted pair already
+//! carries the label — the catch-up query can only confirm it, never
+//! exceed it, and re-propagating it is idempotent. The flag is off by
+//! default so the baseline abort semantics (and pinned simulation traces)
+//! are unchanged.
 
 // The declared phase graph, checked by abd-lint's `phase-graph` rule
 // against the graph extracted from the handler bodies below. `Query ->
@@ -63,11 +81,15 @@
 // `Restart -> Recovery -> Idle` encodes "a restarted node re-enters the
 // catch-up query before serving". `Invoke -> Write/WriteBack/Done` are the
 // instant-quorum short-circuits (single-node clusters complete in place).
+// `Idle -> Write` and `Restart -> Write` are the aborted-write epilogue:
+// once catch-up completes (or is unnecessary because the node alone forms
+// a read quorum), a crash-interrupted write resumes as a fresh Write phase.
 // abd-lint: phase-spec(swmr):
 //   Invoke -> Query, Invoke -> Write, Invoke -> WriteBack, Invoke -> Done,
 //   Query -> WriteBack, Query -> Done,
 //   Write -> Done, WriteBack -> Done,
-//   Restart -> Recovery, Recovery -> Idle
+//   Restart -> Recovery, Recovery -> Idle,
+//   Idle -> Write, Restart -> Write
 
 use crate::context::{Effects, Protocol, ReadPathStats, TimerKey};
 use crate::msg::{RegisterMsg, RegisterOp, RegisterResp};
@@ -107,6 +129,11 @@ pub struct SwmrConfig {
     /// Retransmission policy for unfinished phases; `None` disables
     /// retransmission (appropriate for reliable links).
     pub retransmit: Option<BackoffPolicy>,
+    /// Whether the writer persists its in-flight write intent and, after a
+    /// crash and recovery, rolls the interrupted write forward instead of
+    /// leaving it aborted (see the module docs). Off by default: the
+    /// baseline drops in-flight operations on restart.
+    pub write_epilogue: bool,
 }
 
 impl SwmrConfig {
@@ -121,6 +148,7 @@ impl SwmrConfig {
             read_write_back: true,
             fast_reads: false,
             retransmit: None,
+            write_epilogue: false,
         }
     }
 
@@ -139,6 +167,13 @@ impl SwmrConfig {
     /// Enables or disables the one-round fast path for reads.
     pub fn with_fast_reads(mut self, yes: bool) -> Self {
         self.fast_reads = yes;
+        self
+    }
+
+    /// Enables or disables the aborted-write epilogue (roll a
+    /// crash-interrupted write forward after recovery).
+    pub fn with_write_epilogue(mut self, yes: bool) -> Self {
+        self.write_epilogue = yes;
         self
     }
 
@@ -226,6 +261,12 @@ pub struct SwmrNode<V> {
     queue: VecDeque<(OpId, RegisterOp<V>)>,
     rtx: Retransmitter,
     recovering: Option<Recovery<V>>,
+    /// The writer's persisted in-flight write `(op, seq, value)` — stable
+    /// storage, like the replica pair. Set when a write goes pending (only
+    /// with [`SwmrConfig::write_epilogue`] on), cleared when that write's
+    /// `WriteOk` is issued; a crash in between leaves it for the
+    /// post-recovery epilogue to roll forward.
+    intent: Option<(OpId, SeqNo, V)>,
     fast_reads: u64,
     write_backs: u64,
 }
@@ -251,6 +292,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
             queue: VecDeque::new(),
             rtx,
             recovering: None,
+            intent: None,
             fast_reads: 0,
             write_backs: 0,
         }
@@ -338,12 +380,52 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
             // issued; its own persisted replica is part of the quorum, so
             // `label` already covers the pre-crash sequence number.
             self.seq = self.seq.max(label);
+            if self.cfg.write_epilogue && self.pending.is_none() {
+                if let Some((op, seq, v)) = self.intent.clone() {
+                    self.resume_write(op, seq, v, fx);
+                }
+            }
         }
         if self.pending.is_none() {
             if let Some((next_op, next_input)) = self.queue.pop_front() {
                 self.begin(next_op, next_input, fx);
             }
         }
+    }
+
+    /// The aborted-write epilogue: re-issue the crash-interrupted write as
+    /// a fresh phase. The persisted replica adopted `(seq, value)` before
+    /// the original broadcast, so re-propagating the pair is idempotent;
+    /// the client's `WriteOk` is issued once a write quorum holds it. The
+    /// intent stays set until then — a second crash rolls forward again.
+    fn resume_write(
+        &mut self,
+        op: OpId,
+        seq: SeqNo,
+        value: V,
+        fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        // Intent is only recorded when the writer alone is *not* a write
+        // quorum (`begin_write` completes in place otherwise), so the
+        // resumed phase always has peers to wait for.
+        debug_assert!(!self.cfg.quorum.is_write_quorum(ph.responders()));
+        self.pending = Some(Pending::Write {
+            op,
+            ph,
+            seq,
+            value: value.clone(),
+        });
+        self.broadcast(
+            RegisterMsg::Update {
+                uid,
+                label: seq,
+                value,
+            },
+            fx,
+        );
+        self.arm_timer(uid, fx);
     }
 
     fn finish(
@@ -353,6 +435,9 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
         fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
     ) {
         self.pending = None;
+        if self.intent.as_ref().is_some_and(|(o, _, _)| *o == op) {
+            self.intent = None;
+        }
         fx.respond(op, resp);
         if let Some((next_op, next_input)) = self.queue.pop_front() {
             self.begin(next_op, next_input, fx);
@@ -397,6 +482,9 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
         if self.cfg.quorum.is_write_quorum(ph.responders()) {
             fx.respond(op, RegisterResp::WriteOk);
             return;
+        }
+        if self.cfg.write_epilogue {
+            self.intent = Some((op, seq, v.clone()));
         }
         self.pending = Some(Pending::Write {
             op,
@@ -642,7 +730,15 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
         let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
         let (best_label, best_value) = self.replica.snapshot();
         if self.cfg.quorum.is_read_quorum(ph.responders()) {
-            return; // Single-node cluster: nothing to catch up from.
+            // Nothing to catch up from — but a crash-interrupted write
+            // (possible when this node is a read quorum yet not a write
+            // quorum, e.g. an R=1 threshold system) still rolls forward.
+            if self.cfg.me == self.cfg.writer && self.cfg.write_epilogue {
+                if let Some((op, seq, v)) = self.intent.clone() {
+                    self.resume_write(op, seq, v, fx);
+                }
+            }
+            return;
         }
         self.recovering = Some(Recovery {
             ph,
@@ -1081,6 +1177,87 @@ mod tests {
         assert_eq!(net.messages_sent(), 4 * (5 - 1), "flag off: 2 rounds");
         assert_eq!(net.node(3).fast_reads(), 0);
         assert_eq!(net.node(3).write_backs(), 1);
+    }
+
+    fn epilogue_cluster(n: usize) -> MiniNet<SwmrNode<u32>> {
+        let nodes = (0..n)
+            .map(|i| {
+                let cfg = SwmrConfig::new(n, ProcessId(i), ProcessId(0)).with_write_epilogue(true);
+                SwmrNode::new(cfg, 0u32)
+            })
+            .collect();
+        MiniNet::new(nodes)
+    }
+
+    #[test]
+    fn epilogue_resumes_crash_interrupted_write() {
+        let mut net = epilogue_cluster(5);
+        net.set_drop_filter(|_, _, _| true); // strand the write broadcast
+        net.invoke(0, RegisterOp::Write(9));
+        assert!(net.node(0).is_busy());
+        net.crash(0);
+        net.clear_drop_filter();
+        net.restart(0);
+        net.run_to_quiescence();
+        // The epilogue rolled the write forward: the client is acked and
+        // the value reached a write quorum.
+        assert_eq!(net.take_responses(), vec![(OpId(0), RegisterResp::WriteOk)]);
+        let fresh = (0..5)
+            .filter(|&i| net.node(i).replica_state() == (1, 9))
+            .count();
+        assert!(fresh >= 3, "write quorum holds the resumed write");
+    }
+
+    #[test]
+    fn epilogue_intent_clears_after_resolution() {
+        let mut net = epilogue_cluster(3);
+        net.set_drop_filter(|_, _, _| true);
+        net.invoke(0, RegisterOp::Write(4));
+        net.crash(0);
+        net.clear_drop_filter();
+        net.restart(0);
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses(), vec![(OpId(0), RegisterResp::WriteOk)]);
+        // A second crash/restart must not replay the already-resolved
+        // write: the intent was cleared with the WriteOk.
+        net.crash(0);
+        net.restart(0);
+        net.run_to_quiescence();
+        assert!(net.take_responses().is_empty(), "no double response");
+    }
+
+    #[test]
+    fn epilogue_survives_repeated_crashes() {
+        let mut net = epilogue_cluster(5);
+        net.set_drop_filter(|_, _, _| true);
+        net.invoke(0, RegisterOp::Write(6));
+        net.crash(0);
+        // First restart still can't reach anyone: the resumed write
+        // strands again, and a second crash re-persists nothing new —
+        // the intent simply survives.
+        net.restart(0);
+        net.run_to_quiescence();
+        assert!(net.take_responses().is_empty(), "still partitioned");
+        net.crash(0);
+        net.clear_drop_filter();
+        net.restart(0);
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses(), vec![(OpId(0), RegisterResp::WriteOk)]);
+    }
+
+    #[test]
+    fn epilogue_off_keeps_abort_semantics() {
+        let mut net = cluster(5, true);
+        net.set_drop_filter(|_, _, _| true);
+        net.invoke(0, RegisterOp::Write(9));
+        net.crash(0);
+        net.clear_drop_filter();
+        net.restart(0);
+        net.run_to_quiescence();
+        assert!(
+            net.take_responses().is_empty(),
+            "flag off: op stays aborted"
+        );
     }
 
     #[test]

@@ -73,6 +73,7 @@ fn swmr_phase_graph_extraction_matches_golden_edges() {
     assert_eq!(
         edges,
         vec![
+            "Idle -> Write",
             "Invoke -> Done",
             "Invoke -> Query",
             "Invoke -> Write",
@@ -81,6 +82,7 @@ fn swmr_phase_graph_extraction_matches_golden_edges() {
             "Query -> WriteBack",
             "Recovery -> Idle",
             "Restart -> Recovery",
+            "Restart -> Write",
             "Write -> Done",
             "WriteBack -> Done",
         ]

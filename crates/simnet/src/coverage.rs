@@ -1,0 +1,550 @@
+//! Coverage signals for the nemesis search.
+//!
+//! A fault schedule is interesting not because it is new but because the
+//! *protocol* does something new under it. This module extracts a small set
+//! of protocol-state features from a campaign — observed through the
+//! simulator's observation-only tap ([`crate::Sim::set_tap`]), so the
+//! extraction cannot perturb the execution or its digest — and folds them
+//! into [`Cell`]s:
+//!
+//! - **Phase-transition bigrams** — consecutive pairs of delivered message
+//!   kinds per node, split by writer/reader role. The ABD state machines are
+//!   message-driven, so the delivered-kind stream is a faithful projection
+//!   of each node's phase transitions; a bigram never seen before means the
+//!   schedule drove some node through a new local transition.
+//! - **Fast-read-under-partition** — a read completed while a partition was
+//!   installed without a single `UpdateAck` reaching the reader, i.e. the
+//!   read's write-back phase was elided (or sabotaged) exactly when quorum
+//!   intersection is under attack. This is the precondition for the
+//!   new/old-inversion failures the write-back exists to prevent.
+//! - **Write-back-while-crashed** — an `Update` addressed to a crashed
+//!   node: some propagation phase is counting on a replica that cannot
+//!   currently adopt.
+//! - **Recovery-interleaved-query** — a `Query` delivered to a node that is
+//!   still inside its restart catch-up phase: reads racing recovery.
+//! - **Retransmission-exhaustion** — log₂ bucket of the campaign's total
+//!   retransmissions: how hard the loss/partition plan starved phases.
+//! - **Trace-digest buckets** — 64 buckets of the execution digest, a crude
+//!   but free tiebreaker that distinguishes schedules whose feature sets
+//!   coincide.
+//!
+//! One campaign yields a [`CoverageSample`]; a search run accumulates
+//! samples into a [`CoverageMap`] whose novelty count ("how many cells did
+//! this schedule light first?") steers corpus admission.
+
+use crate::metrics::Metrics;
+use crate::sim::{DropReason, TapEvent, TapKind};
+use abd_core::batch::Envelope;
+use abd_core::msg::{RegisterMsg, RegisterOp};
+use abd_core::quorum::majority_threshold;
+use abd_core::types::{OpId, ProcessId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The message-kind alphabet bigram cells are built over.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum MsgKind {
+    /// A query-phase request.
+    Query,
+    /// A query-phase reply.
+    QueryReply,
+    /// A propagation request (write or write-back).
+    Update,
+    /// A propagation acknowledgement.
+    UpdateAck,
+    /// A coalesced envelope carrying several inner messages.
+    Batch,
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MsgKind::Query => "Query",
+            MsgKind::QueryReply => "QueryReply",
+            MsgKind::Update => "Update",
+            MsgKind::UpdateAck => "UpdateAck",
+            MsgKind::Batch => "Batch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Maps a wire message onto the coverage alphabet. Implemented for every
+/// message type the repro harness drives, so coverage extraction is
+/// protocol-agnostic.
+pub trait Classify {
+    /// The [`MsgKind`] of this message.
+    fn classify(&self) -> MsgKind;
+}
+
+impl<L, V> Classify for RegisterMsg<L, V> {
+    fn classify(&self) -> MsgKind {
+        match self {
+            RegisterMsg::Query { .. } => MsgKind::Query,
+            RegisterMsg::QueryReply { .. } => MsgKind::QueryReply,
+            RegisterMsg::Update { .. } => MsgKind::Update,
+            RegisterMsg::UpdateAck { .. } => MsgKind::UpdateAck,
+        }
+    }
+}
+
+impl<M: Classify> Classify for Envelope<M> {
+    fn classify(&self) -> MsgKind {
+        match self {
+            Envelope::One(m) => m.classify(),
+            Envelope::Batch(_) => MsgKind::Batch,
+        }
+    }
+}
+
+/// Maps a client operation onto read/write for the fast-read signal.
+pub trait ClassifyOp {
+    /// Whether this operation is a read.
+    fn is_read(&self) -> bool;
+}
+
+impl<V> ClassifyOp for RegisterOp<V> {
+    fn is_read(&self) -> bool {
+        matches!(self, RegisterOp::Read)
+    }
+}
+
+/// One coverage cell — a protocol-state feature a campaign either hits or
+/// does not.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Cell {
+    /// Node-local bigram of consecutively *delivered* message kinds,
+    /// split by whether the node is the designated writer.
+    Bigram {
+        /// Whether the observing node is the campaign's writer.
+        at_writer: bool,
+        /// Kind of the previously delivered message.
+        prev: MsgKind,
+        /// Kind of the current message.
+        cur: MsgKind,
+    },
+    /// A read completed during a partition with no `UpdateAck` delivered to
+    /// the reader while it was in flight (write-back elided or lost).
+    FastReadUnderPartition,
+    /// An `Update` arrived at a crashed node (propagation counting on a
+    /// replica that cannot adopt).
+    UpdateWhileCrashed,
+    /// A `Query` reached a node still inside its restart catch-up phase.
+    RecoveryInterleavedQuery,
+    /// log₂ bucket of total retransmissions over the campaign.
+    RetransmissionExhaustion(u8),
+    /// Trace digest modulo 64 — distinguishes executions whose feature
+    /// cells coincide.
+    DigestBucket(u8),
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Bigram {
+                at_writer,
+                prev,
+                cur,
+            } => {
+                let role = if *at_writer { "writer" } else { "reader" };
+                write!(f, "bigram/{role}: {prev} -> {cur}")
+            }
+            Cell::FastReadUnderPartition => f.write_str("fast-read-under-partition"),
+            Cell::UpdateWhileCrashed => f.write_str("write-back-while-crashed"),
+            Cell::RecoveryInterleavedQuery => f.write_str("recovery-interleaved-query"),
+            Cell::RetransmissionExhaustion(b) => write!(f, "retransmission-exhaustion/2^{b}"),
+            Cell::DigestBucket(b) => write!(f, "digest-bucket/{b}"),
+        }
+    }
+}
+
+/// The digest-bucket cell for a given trace digest.
+pub fn digest_bucket(digest: u64) -> Cell {
+    Cell::DigestBucket((digest % 64) as u8)
+}
+
+fn log2_bucket(x: u64) -> u8 {
+    if x == 0 {
+        0
+    } else {
+        (64 - x.leading_zeros()) as u8
+    }
+}
+
+/// The set of coverage cells one campaign hit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoverageSample {
+    cells: BTreeSet<Cell>,
+}
+
+impl CoverageSample {
+    /// The cells, in `Ord` order.
+    pub fn cells(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.iter()
+    }
+
+    /// Number of cells hit.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cell was hit (e.g. the campaign never ran).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Whether `cell` was hit.
+    pub fn contains(&self, cell: &Cell) -> bool {
+        self.cells.contains(cell)
+    }
+}
+
+/// Accumulated coverage over many campaigns — the search's novelty signal.
+#[derive(Clone, Debug, Default)]
+pub struct CoverageMap {
+    cells: BTreeSet<Cell>,
+}
+
+impl CoverageMap {
+    /// Folds `sample` in; returns how many of its cells were new. A positive
+    /// return is the admission signal: this schedule did something no
+    /// corpus member has done.
+    pub fn absorb(&mut self, sample: &CoverageSample) -> usize {
+        let mut novel = 0;
+        for cell in &sample.cells {
+            if self.cells.insert(*cell) {
+                novel += 1;
+            }
+        }
+        novel
+    }
+
+    /// Whether `cell` has been hit by any absorbed sample.
+    pub fn contains(&self, cell: &Cell) -> bool {
+        self.cells.contains(cell)
+    }
+
+    /// Whether the digest bucket of `digest` has been hit — lets blind-sweep
+    /// failures be deduplicated against search coverage.
+    pub fn covers_digest(&self, digest: u64) -> bool {
+        self.cells.contains(&digest_bucket(digest))
+    }
+
+    /// Number of distinct cells hit so far.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no sample has been absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Streaming extractor: feed it every [`TapEvent`] of one campaign, then
+/// [`finish`](CoverageCollector::finish) it with the campaign's metrics and
+/// trace digest to obtain the [`CoverageSample`].
+#[derive(Clone, Debug)]
+pub struct CoverageCollector {
+    writer: ProcessId,
+    /// Per node: kind of the last delivered message (bigram state).
+    last_kind: Vec<Option<MsgKind>>,
+    /// Per node: outstanding QueryReplies of the restart catch-up phase;
+    /// positive while the node is considered "in recovery".
+    recovering: Vec<u32>,
+    /// Majority threshold minus one: remote replies a catch-up needs.
+    catchup_replies: u32,
+    /// Per node: in-flight read `(op, saw_update_ack)`.
+    read_in_flight: Vec<Option<(OpId, bool)>>,
+    cells: BTreeSet<Cell>,
+}
+
+impl CoverageCollector {
+    /// A collector for an `n`-node cluster whose designated writer is
+    /// `writer` (node 0 in every campaign the repro harness builds).
+    pub fn new(n: usize, writer: ProcessId) -> Self {
+        CoverageCollector {
+            writer,
+            last_kind: vec![None; n],
+            recovering: vec![0; n],
+            catchup_replies: majority_threshold(n).saturating_sub(1) as u32,
+            read_in_flight: vec![None; n],
+            cells: BTreeSet::new(),
+        }
+    }
+
+    /// Consumes one observed simulator event.
+    pub fn observe<M: Classify, O: ClassifyOp>(&mut self, ev: &TapEvent<'_, M, O>) {
+        let t = ev.target.index();
+        match &ev.kind {
+            TapKind::Deliver { msg, dropped, .. } => {
+                let kind = msg.classify();
+                match dropped {
+                    Some(DropReason::Crashed) => {
+                        if kind == MsgKind::Update {
+                            self.cells.insert(Cell::UpdateWhileCrashed);
+                        }
+                    }
+                    Some(DropReason::Partitioned) => {}
+                    None => {
+                        if let Some(prev) = self.last_kind[t] {
+                            self.cells.insert(Cell::Bigram {
+                                at_writer: ev.target == self.writer,
+                                prev,
+                                cur: kind,
+                            });
+                        }
+                        self.last_kind[t] = Some(kind);
+                        match kind {
+                            MsgKind::Query if self.recovering[t] > 0 => {
+                                self.cells.insert(Cell::RecoveryInterleavedQuery);
+                            }
+                            MsgKind::QueryReply if self.recovering[t] > 0 => {
+                                self.recovering[t] -= 1;
+                            }
+                            MsgKind::UpdateAck => {
+                                if let Some((_, saw_ack)) = self.read_in_flight[t].as_mut() {
+                                    *saw_ack = true;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            TapKind::Invoke { op, input } => {
+                if input.is_read() {
+                    self.read_in_flight[t] = Some((*op, false));
+                } else {
+                    self.read_in_flight[t] = None;
+                }
+            }
+            TapKind::Complete { op } => {
+                if let Some((read_op, saw_ack)) = self.read_in_flight[t] {
+                    if read_op == *op {
+                        if !saw_ack && ev.partition_active {
+                            self.cells.insert(Cell::FastReadUnderPartition);
+                        }
+                        self.read_in_flight[t] = None;
+                    }
+                }
+            }
+            TapKind::Crash => {
+                self.last_kind[t] = None;
+                self.recovering[t] = 0;
+                self.read_in_flight[t] = None;
+            }
+            TapKind::Restart => {
+                self.recovering[t] = self.catchup_replies;
+            }
+            TapKind::TimerFire => {}
+        }
+    }
+
+    /// Folds in the end-of-run features and returns the sample.
+    pub fn finish(mut self, metrics: &Metrics, trace_digest: u64) -> CoverageSample {
+        self.cells
+            .insert(Cell::RetransmissionExhaustion(log2_bucket(
+                metrics.retransmissions,
+            )));
+        self.cells.insert(digest_bucket(trace_digest));
+        CoverageSample { cells: self.cells }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver<'a>(
+        at: u64,
+        target: usize,
+        msg: &'a RegisterMsg<u64, u64>,
+        dropped: Option<DropReason>,
+        partition_active: bool,
+    ) -> TapEvent<'a, RegisterMsg<u64, u64>, RegisterOp<u64>> {
+        TapEvent {
+            at,
+            target: ProcessId(target),
+            partition_active,
+            kind: TapKind::Deliver {
+                from: ProcessId(0),
+                msg,
+                dropped,
+            },
+        }
+    }
+
+    #[test]
+    fn bigrams_track_per_node_delivery_pairs() {
+        let mut c = CoverageCollector::new(3, ProcessId(0));
+        let q = RegisterMsg::Query { uid: 1 };
+        let u = RegisterMsg::Update {
+            uid: 2,
+            label: 1,
+            value: 9,
+        };
+        c.observe(&deliver(10, 1, &q, None, false));
+        c.observe(&deliver(20, 1, &u, None, false));
+        // Different node: no bigram yet.
+        c.observe(&deliver(30, 2, &u, None, false));
+        let s = c.finish(&Metrics::default(), 0);
+        assert!(s.contains(&Cell::Bigram {
+            at_writer: false,
+            prev: MsgKind::Query,
+            cur: MsgKind::Update
+        }));
+        assert_eq!(
+            s.cells()
+                .filter(|c| matches!(c, Cell::Bigram { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn update_to_crashed_node_lights_the_cell() {
+        let mut c = CoverageCollector::new(3, ProcessId(0));
+        let u = RegisterMsg::Update {
+            uid: 1,
+            label: 1,
+            value: 0,
+        };
+        c.observe(&deliver(5, 2, &u, Some(DropReason::Crashed), false));
+        let s = c.finish(&Metrics::default(), 0);
+        assert!(s.contains(&Cell::UpdateWhileCrashed));
+        // Dropped deliveries never feed bigrams.
+        assert_eq!(
+            s.cells()
+                .filter(|c| matches!(c, Cell::Bigram { .. }))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn read_without_acks_under_partition_is_flagged() {
+        let mut c = CoverageCollector::new(3, ProcessId(0));
+        let invoke: TapEvent<'_, RegisterMsg<u64, u64>, RegisterOp<u64>> = TapEvent {
+            at: 0,
+            target: ProcessId(1),
+            partition_active: true,
+            kind: TapKind::Invoke {
+                op: OpId(7),
+                input: &RegisterOp::Read,
+            },
+        };
+        c.observe(&invoke);
+        let complete: TapEvent<'_, RegisterMsg<u64, u64>, RegisterOp<u64>> = TapEvent {
+            at: 10,
+            target: ProcessId(1),
+            partition_active: true,
+            kind: TapKind::Complete { op: OpId(7) },
+        };
+        c.observe(&complete);
+        let s = c.finish(&Metrics::default(), 0);
+        assert!(s.contains(&Cell::FastReadUnderPartition));
+    }
+
+    #[test]
+    fn read_with_write_back_acks_is_not_flagged() {
+        let mut c = CoverageCollector::new(3, ProcessId(0));
+        let invoke: TapEvent<'_, RegisterMsg<u64, u64>, RegisterOp<u64>> = TapEvent {
+            at: 0,
+            target: ProcessId(1),
+            partition_active: true,
+            kind: TapKind::Invoke {
+                op: OpId(7),
+                input: &RegisterOp::Read,
+            },
+        };
+        c.observe(&invoke);
+        let ack = RegisterMsg::UpdateAck { uid: 3 };
+        c.observe(&deliver(5, 1, &ack, None, true));
+        let complete: TapEvent<'_, RegisterMsg<u64, u64>, RegisterOp<u64>> = TapEvent {
+            at: 10,
+            target: ProcessId(1),
+            partition_active: true,
+            kind: TapKind::Complete { op: OpId(7) },
+        };
+        c.observe(&complete);
+        let s = c.finish(&Metrics::default(), 0);
+        assert!(!s.contains(&Cell::FastReadUnderPartition));
+    }
+
+    #[test]
+    fn query_during_catchup_lights_recovery_interleaving() {
+        let mut c = CoverageCollector::new(5, ProcessId(0));
+        let restart: TapEvent<'_, RegisterMsg<u64, u64>, RegisterOp<u64>> = TapEvent {
+            at: 0,
+            target: ProcessId(2),
+            partition_active: false,
+            kind: TapKind::Restart,
+        };
+        c.observe(&restart);
+        let q = RegisterMsg::Query { uid: 9 };
+        c.observe(&deliver(5, 2, &q, None, false));
+        let s = c.finish(&Metrics::default(), 0);
+        assert!(s.contains(&Cell::RecoveryInterleavedQuery));
+
+        // After enough QueryReplies the node has caught up; later queries
+        // are ordinary.
+        let mut c = CoverageCollector::new(5, ProcessId(0));
+        c.observe(&restart);
+        let reply = RegisterMsg::QueryReply {
+            uid: 1,
+            label: 0,
+            value: 0,
+        };
+        for _ in 0..2 {
+            c.observe(&deliver(3, 2, &reply, None, false));
+        }
+        c.observe(&deliver(5, 2, &q, None, false));
+        let s = c.finish(&Metrics::default(), 0);
+        assert!(!s.contains(&Cell::RecoveryInterleavedQuery));
+    }
+
+    #[test]
+    fn finish_adds_retransmission_and_digest_buckets() {
+        let c = CoverageCollector::new(3, ProcessId(0));
+        let m = Metrics {
+            retransmissions: 9, // 2^3 < 9 <= 2^4 → bucket 4
+            ..Metrics::default()
+        };
+        let s = c.finish(&m, 130);
+        assert!(s.contains(&Cell::RetransmissionExhaustion(4)));
+        assert!(s.contains(&Cell::DigestBucket(2)));
+    }
+
+    #[test]
+    fn map_absorb_counts_only_novel_cells() {
+        let mut c = CoverageCollector::new(3, ProcessId(0));
+        let q = RegisterMsg::Query { uid: 1 };
+        let r = RegisterMsg::QueryReply {
+            uid: 1,
+            label: 0,
+            value: 0,
+        };
+        c.observe(&deliver(1, 1, &q, None, false));
+        c.observe(&deliver(2, 1, &r, None, false));
+        let s = c.finish(&Metrics::default(), 7);
+        let mut map = CoverageMap::default();
+        let first = map.absorb(&s);
+        assert_eq!(first, s.len());
+        assert_eq!(map.absorb(&s), 0, "re-absorbing the same sample is stale");
+        assert!(map.covers_digest(7));
+        assert!(!map.covers_digest(8));
+        assert_eq!(map.len(), s.len());
+    }
+
+    #[test]
+    fn envelope_classifies_via_inner_or_batch() {
+        let one: Envelope<RegisterMsg<u64, u64>> = Envelope::One(RegisterMsg::Query { uid: 1 });
+        assert_eq!(one.classify(), MsgKind::Query);
+        let batch: Envelope<RegisterMsg<u64, u64>> = Envelope::Batch(vec![
+            RegisterMsg::Query { uid: 1 },
+            RegisterMsg::UpdateAck { uid: 2 },
+        ]);
+        assert_eq!(batch.classify(), MsgKind::Batch);
+    }
+}

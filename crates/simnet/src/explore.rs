@@ -7,6 +7,17 @@
 //! back to the same builder and attach [`Sim::set_trace`] to dissect it).
 //! The integration tests and the T5 experiment are built on this shape;
 //! [`sweep`] packages it.
+//!
+//! Failing seeds optionally carry the execution's trace digest
+//! ([`Sim::trace_digest`]). Two failing seeds with the same digest are the
+//! *same* execution rediscovered, and a digest already inside a search's
+//! coverage map ([`CoverageMap::covers_digest`](crate::coverage::CoverageMap::covers_digest))
+//! is a corner the guided search has already explored — so sweeps and
+//! searches can deduplicate findings against each other instead of
+//! re-triaging the same counterexample.
+//!
+//! [`Sim::set_trace`]: crate::sim::Sim::set_trace
+//! [`Sim::trace_digest`]: crate::sim::Sim::trace_digest
 
 use std::fmt;
 
@@ -15,10 +26,46 @@ use std::fmt;
 pub enum SeedOutcome {
     /// The property held.
     Pass,
-    /// The property failed, with a description.
-    Fail(String),
+    /// The property failed.
+    Fail {
+        /// Human description of the violation.
+        why: String,
+        /// Trace digest of the failing execution, when the checker has a
+        /// simulator in hand ([`Sim::trace_digest`](crate::sim::Sim::trace_digest)) —
+        /// the dedup key against other sweeps and search coverage.
+        digest: Option<u64>,
+    },
     /// The check could not decide (e.g. a checker hit its state cap).
     Undecided(String),
+}
+
+impl SeedOutcome {
+    /// A failure without a trace digest.
+    pub fn fail(why: impl Into<String>) -> Self {
+        SeedOutcome::Fail {
+            why: why.into(),
+            digest: None,
+        }
+    }
+
+    /// A failure tagged with the failing execution's trace digest.
+    pub fn fail_with_digest(why: impl Into<String>, digest: u64) -> Self {
+        SeedOutcome::Fail {
+            why: why.into(),
+            digest: Some(digest),
+        }
+    }
+}
+
+/// One failing seed inside a [`SweepReport`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SweepFailure {
+    /// The seed that failed (replay with this!).
+    pub seed: u64,
+    /// Description of the violation.
+    pub why: String,
+    /// Trace digest of the failing execution, when available.
+    pub digest: Option<u64>,
 }
 
 /// Aggregated result of a seed sweep.
@@ -26,8 +73,9 @@ pub enum SeedOutcome {
 pub struct SweepReport {
     /// Seeds whose check passed.
     pub passed: u64,
-    /// Seeds that failed, with their descriptions (replay with these!).
-    pub failures: Vec<(u64, String)>,
+    /// Seeds that failed, with descriptions and (when available) trace
+    /// digests for deduplication.
+    pub failures: Vec<SweepFailure>,
     /// Seeds that were undecided.
     pub undecided: Vec<(u64, String)>,
 }
@@ -42,6 +90,14 @@ impl SweepReport {
     pub fn total(&self) -> u64 {
         self.passed + self.failures.len() as u64 + self.undecided.len() as u64
     }
+
+    /// Trace digests of the failing executions that reported one — the keys
+    /// to test against
+    /// [`CoverageMap::covers_digest`](crate::coverage::CoverageMap::covers_digest)
+    /// (or another sweep's digests) when deduplicating findings.
+    pub fn failure_digests(&self) -> impl Iterator<Item = u64> + '_ {
+        self.failures.iter().filter_map(|f| f.digest)
+    }
 }
 
 impl fmt::Display for SweepReport {
@@ -54,8 +110,11 @@ impl fmt::Display for SweepReport {
             self.failures.len(),
             self.undecided.len()
         )?;
-        for (seed, why) in self.failures.iter().take(5) {
-            write!(f, "\n  seed {seed}: {why}")?;
+        for fail in self.failures.iter().take(5) {
+            write!(f, "\n  seed {}: {}", fail.seed, fail.why)?;
+            if let Some(d) = fail.digest {
+                write!(f, " [trace {d:#018x}]")?;
+            }
         }
         Ok(())
     }
@@ -72,7 +131,9 @@ where
     for seed in seeds {
         match check(seed) {
             SeedOutcome::Pass => report.passed += 1,
-            SeedOutcome::Fail(why) => report.failures.push((seed, why)),
+            SeedOutcome::Fail { why, digest } => {
+                report.failures.push(SweepFailure { seed, why, digest })
+            }
             SeedOutcome::Undecided(why) => report.undecided.push((seed, why)),
         }
     }
@@ -92,20 +153,38 @@ mod tests {
     fn report_aggregates_and_displays() {
         let r = sweep(0..10u64, |seed| {
             if seed == 3 {
-                SeedOutcome::Fail("boom".into())
+                SeedOutcome::fail("boom")
+            } else if seed == 5 {
+                SeedOutcome::fail_with_digest("bang", 0xdead_beef)
             } else if seed == 7 {
                 SeedOutcome::Undecided("cap".into())
             } else {
                 SeedOutcome::Pass
             }
         });
-        assert_eq!(r.passed, 8);
-        assert_eq!(r.failures, vec![(3, "boom".into())]);
+        assert_eq!(r.passed, 7);
+        assert_eq!(
+            r.failures,
+            vec![
+                SweepFailure {
+                    seed: 3,
+                    why: "boom".into(),
+                    digest: None,
+                },
+                SweepFailure {
+                    seed: 5,
+                    why: "bang".into(),
+                    digest: Some(0xdead_beef),
+                },
+            ]
+        );
         assert_eq!(r.undecided.len(), 1);
         assert!(!r.all_passed());
         assert_eq!(r.total(), 10);
+        assert_eq!(r.failure_digests().collect::<Vec<_>>(), vec![0xdead_beef]);
         let s = r.to_string();
         assert!(s.contains("seed 3: boom"));
+        assert!(s.contains("seed 5: bang [trace 0x00000000deadbeef]"));
     }
 
     #[test]
@@ -127,11 +206,13 @@ mod tests {
             let wl = WorkloadConfig::new(seed, 6, WriterMode::Single(ProcessId(0)));
             match run_workload(&mut sim, &wl, 0, 10_000_000_000, true) {
                 Some(h) if abd_lincheck::is_atomic_swmr(&h) => SeedOutcome::Pass,
-                Some(_) => SeedOutcome::Fail("non-atomic history".into()),
-                None => SeedOutcome::Fail("did not complete".into()),
+                // A real failure would carry the replay key for dedup:
+                Some(_) => SeedOutcome::fail_with_digest("non-atomic history", sim.trace_digest()),
+                None => SeedOutcome::fail_with_digest("did not complete", sim.trace_digest()),
             }
         });
         assert!(report.all_passed(), "{report}");
         assert_eq!(report.total(), 10);
+        assert_eq!(report.failure_digests().count(), 0);
     }
 }

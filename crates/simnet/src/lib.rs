@@ -38,21 +38,25 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod coverage;
 pub mod explore;
 pub mod harness;
 pub mod metrics;
 pub mod nemesis;
 pub mod planted;
 pub mod repro;
+pub mod search;
 pub mod shrink;
 pub mod sim;
 pub mod workload;
 
 pub use config::{LatencyModel, SimConfig};
-pub use explore::{sweep, SeedOutcome, SweepReport};
+pub use coverage::{Cell, CoverageCollector, CoverageMap, CoverageSample};
+pub use explore::{sweep, SeedOutcome, SweepFailure, SweepReport};
 pub use metrics::Metrics;
 pub use nemesis::{run_campaign, NemesisConfig, NemesisSchedule, PlannedFault};
-pub use planted::PlantedSwmr;
+pub use planted::{MutantKind, MutantSwmr, PlantedSwmr};
 pub use repro::{Failure, OracleSpec, ProtocolSpec, ReplayOutcome, Repro};
+pub use search::{blind_search, guided_search, MutationOp, SearchOutcome, SearchSpec};
 pub use shrink::{shrink, ShrinkOutcome};
-pub use sim::{OpRecord, Sim};
+pub use sim::{OpRecord, Sim, TapEvent, TapKind};

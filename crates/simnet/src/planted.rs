@@ -36,8 +36,11 @@
 
 use abd_core::context::{Effects, Protocol, TimerKey};
 use abd_core::msg::{RegisterMsg, RegisterOp, RegisterResp};
+use abd_core::quorum::majority_threshold;
 use abd_core::swmr::{SwmrMsg, SwmrNode};
-use abd_core::types::{OpId, ProcessId};
+use abd_core::types::{OpId, ProcessId, SeqNo};
+use std::collections::BTreeSet;
+use std::fmt;
 
 /// A [`SwmrNode`] whose every `N`th read skips its write-back phase.
 ///
@@ -176,6 +179,346 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for PlantedSwmr<V> {
         let mut inner_fx = Effects::new();
         self.inner.on_restart(&mut inner_fx);
         self.absorb(inner_fx, fx);
+    }
+}
+
+/// Which deliberate defect a [`MutantSwmr`] carries. Each mutant breaks one
+/// load-bearing step of the paper's argument; see the variant docs for the
+/// invariant it attacks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum MutantKind {
+    /// Every `N`th received `Update` is acknowledged **without adopting**
+    /// the label: the ack outlives the state it vouches for, so a later
+    /// phase can count this replica in a quorum whose intersection member
+    /// is stale. Attacks the "a write quorum *stores* the label" premise of
+    /// quorum intersection.
+    StaleTagAck,
+    /// Every `N`th outgoing propagation phase (write or write-back) counts
+    /// one voter that was never sent the `Update`: the phase completes one
+    /// genuine ack early, modelling an off-by-one quorum threshold /
+    /// miscounted vote. Attacks `r + w > n` intersection directly.
+    OffByOneQuorum,
+    /// Restart skips the catch-up query phase *and* the replica answers
+    /// queries from its initial state until a fresh `Update` arrives
+    /// (amnesia). With stable storage the pure skip is benign — the paper's
+    /// catch-up is a freshness optimization — so this mutant models the
+    /// skip **combined with** volatile replica state, the configuration the
+    /// paper's recovery argument actually forbids. `every` is ignored
+    /// (always on).
+    RecoverySkipsQuery,
+    /// When a genuinely reordered (stale) `Update` arrives, the replica
+    /// serves *it* from then on instead of keeping its newer state:
+    /// non-monotonic tag adoption. Fires only under real network
+    /// reordering, so detection depends on the fault schedule. `every` is
+    /// ignored (always armed).
+    NonMonotonicTag,
+}
+
+impl MutantKind {
+    /// All mutants, in declaration order.
+    pub const ALL: [MutantKind; 4] = [
+        MutantKind::StaleTagAck,
+        MutantKind::OffByOneQuorum,
+        MutantKind::RecoverySkipsQuery,
+        MutantKind::NonMonotonicTag,
+    ];
+
+    /// Stable name used in `.ron` artifacts and bench reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutantKind::StaleTagAck => "StaleTagAck",
+            MutantKind::OffByOneQuorum => "OffByOneQuorum",
+            MutantKind::RecoverySkipsQuery => "RecoverySkipsQuery",
+            MutantKind::NonMonotonicTag => "NonMonotonicTag",
+        }
+    }
+
+    /// Inverse of [`name`](MutantKind::name).
+    pub fn from_name(s: &str) -> Option<MutantKind> {
+        MutantKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+impl fmt::Display for MutantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A [`SwmrNode`] carrying one planted defect from the [`MutantKind`] zoo.
+///
+/// Like [`PlantedSwmr`], the sabotage lives in the *effects space* — the
+/// wrapped node's phase structure is untouched, so `abd-lint`'s phase-graph
+/// rule cannot see it — and is a deterministic function of the delivered
+/// event sequence, so seeded campaigns replay bit-identically. **Test
+/// configurations only.**
+#[derive(Clone, Debug)]
+pub struct MutantSwmr<V> {
+    inner: SwmrNode<V>,
+    kind: MutantKind,
+    every: u64,
+    /// The node's initial value — what an amnesiac replica "remembers".
+    initial: V,
+    /// [`MutantKind::StaleTagAck`]: updates received so far.
+    updates_seen: u64,
+    /// [`MutantKind::OffByOneQuorum`]: propagation phases started so far.
+    phases_seen: u64,
+    /// [`MutantKind::OffByOneQuorum`]: phase uids already counted, so
+    /// retransmissions of the same phase are not double-counted.
+    seen_uids: BTreeSet<u64>,
+    /// [`MutantKind::NonMonotonicTag`]: highest label delivered so far.
+    max_seen: SeqNo,
+    /// [`MutantKind::NonMonotonicTag`]: the stale pair currently served.
+    shadow: Option<(SeqNo, V)>,
+    /// [`MutantKind::RecoverySkipsQuery`]: replica answers from `initial`.
+    amnesia: bool,
+    sabotaged: u64,
+}
+
+impl<V: Clone + std::fmt::Debug + Send + 'static> MutantSwmr<V> {
+    /// Wraps `inner` with defect `kind`. `every` tunes the trigger rate for
+    /// the counted mutants ([`MutantKind::StaleTagAck`],
+    /// [`MutantKind::OffByOneQuorum`]; `0` disables them); the remaining
+    /// mutants are state-triggered and ignore it.
+    pub fn new(inner: SwmrNode<V>, kind: MutantKind, every: u64) -> Self {
+        let initial = inner.replica_state().1;
+        MutantSwmr {
+            inner,
+            kind,
+            every,
+            initial,
+            updates_seen: 0,
+            phases_seen: 0,
+            seen_uids: BTreeSet::new(),
+            max_seen: 0,
+            shadow: None,
+            amnesia: false,
+            sabotaged: 0,
+        }
+    }
+
+    /// The wrapped node, for inspection.
+    pub fn inner(&self) -> &SwmrNode<V> {
+        &self.inner
+    }
+
+    /// Which defect this node carries.
+    pub fn kind(&self) -> MutantKind {
+        self.kind
+    }
+
+    /// How many times the defect has fired.
+    pub fn sabotage_count(&self) -> u64 {
+        self.sabotaged
+    }
+
+    /// Applies the active state-masking rewrites (amnesia / stale shadow)
+    /// to one outgoing message. Identity for all other kinds and messages.
+    fn rewrite(&self, m: SwmrMsg<V>) -> SwmrMsg<V> {
+        if let RegisterMsg::QueryReply { uid, label, value } = m {
+            if self.amnesia {
+                return RegisterMsg::QueryReply {
+                    uid,
+                    label: 0,
+                    value: self.initial.clone(),
+                };
+            }
+            if let Some((sl, sv)) = &self.shadow {
+                return RegisterMsg::QueryReply {
+                    uid,
+                    label: *sl,
+                    value: sv.clone(),
+                };
+            }
+            return RegisterMsg::QueryReply { uid, label, value };
+        }
+        m
+    }
+
+    /// Moves one inner callback's effects out, applying the defect.
+    fn absorb(
+        &mut self,
+        inner_fx: Effects<SwmrMsg<V>, RegisterResp<V>>,
+        fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        fx.timers.extend(inner_fx.timers);
+        for (op, r) in inner_fx.responses {
+            fx.respond(op, r);
+        }
+        if self.kind == MutantKind::OffByOneQuorum {
+            self.absorb_phantom(inner_fx.sends, fx);
+        } else {
+            for (to, m) in inner_fx.sends {
+                let m = self.rewrite(m);
+                fx.send(to, m);
+            }
+        }
+    }
+
+    /// [`MutantKind::OffByOneQuorum`]: when a *new* propagation phase
+    /// starts in `sends` and the trigger fires, its last destination
+    /// becomes a phantom voter — the `Update` to it is discarded and the
+    /// inner node is fed its acknowledgement immediately, so the phase
+    /// completes one genuine vote early.
+    fn absorb_phantom(
+        &mut self,
+        sends: Vec<(ProcessId, SwmrMsg<V>)>,
+        fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        let new_uid = sends.iter().find_map(|(_, m)| match m {
+            RegisterMsg::Update { uid, .. } if !self.seen_uids.contains(uid) => Some(*uid),
+            _ => None,
+        });
+        let mut phantom: Option<(u64, ProcessId)> = None;
+        if let Some(uid) = new_uid {
+            self.seen_uids.insert(uid);
+            self.phases_seen += 1;
+            if self.every > 0 && self.phases_seen.is_multiple_of(self.every) {
+                phantom = sends
+                    .iter()
+                    .rev()
+                    .find(|(_, m)| matches!(m, RegisterMsg::Update { uid: u, .. } if *u == uid))
+                    .map(|(to, _)| (uid, *to));
+            }
+        }
+        let Some((uid, victim)) = phantom else {
+            for (to, m) in sends {
+                fx.send(to, m);
+            }
+            return;
+        };
+        self.sabotaged += 1;
+        for (to, m) in sends {
+            if to == victim && matches!(m, RegisterMsg::Update { uid: u, .. } if u == uid) {
+                continue; // the phantom voter never hears the update
+            }
+            fx.send(to, m);
+        }
+        let mut ack_fx = Effects::new();
+        self.inner
+            .on_message(victim, RegisterMsg::UpdateAck { uid }, &mut ack_fx);
+        self.absorb(ack_fx, fx);
+    }
+}
+
+impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MutantSwmr<V> {
+    type Msg = SwmrMsg<V>;
+    type Op = RegisterOp<V>;
+    type Resp = RegisterResp<V>;
+
+    fn id(&self) -> ProcessId {
+        self.inner.id()
+    }
+
+    fn on_start(&mut self, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        let mut inner_fx = Effects::new();
+        self.inner.on_start(&mut inner_fx);
+        self.absorb(inner_fx, fx);
+    }
+
+    fn on_invoke(&mut self, op: OpId, input: Self::Op, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        let mut inner_fx = Effects::new();
+        self.inner.on_invoke(op, input, &mut inner_fx);
+        self.absorb(inner_fx, fx);
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        fx: &mut Effects<Self::Msg, Self::Resp>,
+    ) {
+        match self.kind {
+            MutantKind::StaleTagAck => {
+                if let RegisterMsg::Update { uid, .. } = &msg {
+                    self.updates_seen += 1;
+                    if self.every > 0 && self.updates_seen.is_multiple_of(self.every) {
+                        self.sabotaged += 1;
+                        // Vouch for a label this replica never stored.
+                        fx.send(from, RegisterMsg::UpdateAck { uid: *uid });
+                        return;
+                    }
+                }
+            }
+            MutantKind::NonMonotonicTag => {
+                if let RegisterMsg::Update { label, value, .. } = &msg {
+                    if *label >= self.max_seen {
+                        self.max_seen = *label;
+                        self.shadow = None;
+                    } else {
+                        // A genuinely reordered stale update: adopt it
+                        // "last", shadowing the newer state.
+                        self.shadow = Some((*label, value.clone()));
+                        self.sabotaged += 1;
+                    }
+                }
+            }
+            MutantKind::RecoverySkipsQuery => {
+                if matches!(msg, RegisterMsg::Update { .. }) {
+                    // A fresh propagation re-syncs the amnesiac replica.
+                    self.amnesia = false;
+                }
+            }
+            MutantKind::OffByOneQuorum => {}
+        }
+        let mut inner_fx = Effects::new();
+        self.inner.on_message(from, msg, &mut inner_fx);
+        self.absorb(inner_fx, fx);
+    }
+
+    fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        let mut inner_fx = Effects::new();
+        self.inner.on_timer(key, &mut inner_fx);
+        self.absorb(inner_fx, fx);
+    }
+
+    fn on_restart(&mut self, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        let mut inner_fx = Effects::new();
+        self.inner.on_restart(&mut inner_fx);
+        if self.kind != MutantKind::RecoverySkipsQuery {
+            self.absorb(inner_fx, fx);
+            return;
+        }
+        // Skip the catch-up query: discard the recovery broadcast and feed
+        // the inner node enough forged "nothing newer" replies to finish
+        // recovery instantly. Until a fresh Update arrives, this replica
+        // answers queries from its initial state (amnesia).
+        self.sabotaged += 1;
+        self.amnesia = true;
+        fx.timers.extend(inner_fx.timers);
+        for (op, r) in inner_fx.responses {
+            fx.respond(op, r);
+        }
+        let mut peers = Vec::new();
+        let mut query_uid = None;
+        for (to, m) in inner_fx.sends {
+            match m {
+                RegisterMsg::Query { uid } => {
+                    query_uid = Some(uid);
+                    peers.push(to);
+                }
+                other => {
+                    let other = self.rewrite(other);
+                    fx.send(to, other);
+                }
+            }
+        }
+        if let Some(uid) = query_uid {
+            let needed = majority_threshold(self.inner.config().n).saturating_sub(1);
+            for peer in peers.into_iter().take(needed) {
+                let mut reply_fx = Effects::new();
+                self.inner.on_message(
+                    peer,
+                    RegisterMsg::QueryReply {
+                        uid,
+                        label: 0,
+                        value: self.initial.clone(),
+                    },
+                    &mut reply_fx,
+                );
+                self.absorb(reply_fx, fx);
+            }
+        }
     }
 }
 
@@ -348,5 +691,214 @@ mod tests {
             "post-restart read (4th, not a multiple of 3) keeps its write-back"
         );
         assert_eq!(n.write_backs_dropped(), 0);
+    }
+
+    fn mutant(i: usize, kind: MutantKind, every: u64) -> MutantSwmr<u64> {
+        MutantSwmr::new(
+            SwmrNode::new(SwmrConfig::new(3, ProcessId(i), ProcessId(0)), 0),
+            kind,
+            every,
+        )
+    }
+
+    #[test]
+    fn mutant_kind_names_round_trip() {
+        for k in MutantKind::ALL {
+            assert_eq!(MutantKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(MutantKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn stale_tag_ack_acks_without_adopting() {
+        let mut n = mutant(1, MutantKind::StaleTagAck, 2);
+        let update = |label, value| RegisterMsg::Update {
+            uid: label,
+            label,
+            value,
+        };
+        let mut fx = Effects::new();
+        n.on_message(ProcessId(0), update(1, 7), &mut fx);
+        assert_eq!(n.inner().replica_state(), (1, 7), "1st update adopts");
+        let mut fx = Effects::new();
+        n.on_message(ProcessId(0), update(2, 9), &mut fx);
+        assert_eq!(
+            n.inner().replica_state(),
+            (1, 7),
+            "2nd update must NOT adopt"
+        );
+        assert!(
+            matches!(
+                fx.sends[..],
+                [(ProcessId(0), RegisterMsg::UpdateAck { uid: 2 })]
+            ),
+            "but it is acknowledged anyway: {:?}",
+            fx.sends
+        );
+        assert_eq!(n.sabotage_count(), 1);
+    }
+
+    #[test]
+    fn off_by_one_counts_a_phantom_voter() {
+        // Writer node, every=1: its first write phase completes one real
+        // ack early and never sends the update to the phantom peer.
+        let mut n = mutant(0, MutantKind::OffByOneQuorum, 1);
+        let mut fx = Effects::new();
+        n.on_invoke(OpId(0), RegisterOp::Write(5), &mut fx);
+        let update_dests: Vec<ProcessId> = fx
+            .sends
+            .iter()
+            .filter(|(_, m)| matches!(m, RegisterMsg::Update { .. }))
+            .map(|(to, _)| *to)
+            .collect();
+        assert_eq!(
+            update_dests,
+            vec![ProcessId(1)],
+            "one of the two peers was dropped from the broadcast: {:?}",
+            fx.sends
+        );
+        assert_eq!(n.sabotage_count(), 1);
+        // The phantom vote plus the writer's own replica already reach
+        // majority(3) = 2: the write completes with ZERO genuine acks —
+        // one fewer than the honest protocol requires.
+        assert_eq!(fx.responses, vec![(OpId(0), RegisterResp::WriteOk)]);
+        // The genuine ack that eventually arrives is stale and ignored.
+        let uid = fx
+            .sends
+            .iter()
+            .find_map(|(_, m)| match m {
+                RegisterMsg::Update { uid, .. } => Some(*uid),
+                _ => None,
+            })
+            .unwrap();
+        let mut fx = Effects::new();
+        n.on_message(ProcessId(1), RegisterMsg::UpdateAck { uid }, &mut fx);
+        assert!(fx.responses.is_empty(), "{:?}", fx.responses);
+    }
+
+    #[test]
+    fn recovery_skip_forges_amnesiac_replies() {
+        let mut n = mutant(1, MutantKind::RecoverySkipsQuery, 0);
+        // The replica learns label 4 before crashing.
+        let mut fx = Effects::new();
+        n.on_message(
+            ProcessId(0),
+            RegisterMsg::Update {
+                uid: 1,
+                label: 4,
+                value: 44,
+            },
+            &mut fx,
+        );
+        let mut fx = Effects::new();
+        n.on_restart(&mut fx);
+        assert!(
+            !fx.sends
+                .iter()
+                .any(|(_, m)| matches!(m, RegisterMsg::Query { .. })),
+            "the catch-up query broadcast must be suppressed: {:?}",
+            fx.sends
+        );
+        assert!(!n.inner().is_recovering(), "recovery finished instantly");
+        // Until refreshed, the replica answers queries from its initial
+        // state even though stable storage still holds label 4.
+        let mut fx = Effects::new();
+        n.on_message(ProcessId(2), RegisterMsg::Query { uid: 9 }, &mut fx);
+        assert!(
+            matches!(
+                fx.sends[..],
+                [(
+                    ProcessId(2),
+                    RegisterMsg::QueryReply {
+                        uid: 9,
+                        label: 0,
+                        value: 0
+                    }
+                )]
+            ),
+            "amnesiac reply expected: {:?}",
+            fx.sends
+        );
+        // A fresh update re-syncs it.
+        let mut fx = Effects::new();
+        n.on_message(
+            ProcessId(0),
+            RegisterMsg::Update {
+                uid: 2,
+                label: 5,
+                value: 55,
+            },
+            &mut fx,
+        );
+        let mut fx = Effects::new();
+        n.on_message(ProcessId(2), RegisterMsg::Query { uid: 10 }, &mut fx);
+        assert!(
+            matches!(
+                fx.sends[..],
+                [(
+                    ProcessId(2),
+                    RegisterMsg::QueryReply {
+                        uid: 10,
+                        label: 5,
+                        value: 55
+                    }
+                )]
+            ),
+            "post-refresh reply must be honest: {:?}",
+            fx.sends
+        );
+    }
+
+    #[test]
+    fn non_monotonic_tag_serves_reordered_stale_update() {
+        let mut n = mutant(1, MutantKind::NonMonotonicTag, 0);
+        let update = |uid, label, value| RegisterMsg::Update { uid, label, value };
+        // In-order updates: honest behavior, no sabotage.
+        let mut fx = Effects::new();
+        n.on_message(ProcessId(0), update(1, 1, 11), &mut fx);
+        let mut fx = Effects::new();
+        n.on_message(ProcessId(0), update(3, 3, 33), &mut fx);
+        assert_eq!(n.sabotage_count(), 0);
+        // A reordered stale update (label 2 after 3) shadows the state.
+        let mut fx = Effects::new();
+        n.on_message(ProcessId(0), update(2, 2, 22), &mut fx);
+        assert_eq!(n.sabotage_count(), 1);
+        let mut fx = Effects::new();
+        n.on_message(ProcessId(2), RegisterMsg::Query { uid: 9 }, &mut fx);
+        assert!(
+            matches!(
+                fx.sends[..],
+                [(
+                    ProcessId(2),
+                    RegisterMsg::QueryReply {
+                        uid: 9,
+                        label: 2,
+                        value: 22
+                    }
+                )]
+            ),
+            "the stale pair must be served: {:?}",
+            fx.sends
+        );
+        // A fresh update clears the shadow.
+        let mut fx = Effects::new();
+        n.on_message(ProcessId(0), update(4, 4, 44), &mut fx);
+        let mut fx = Effects::new();
+        n.on_message(ProcessId(2), RegisterMsg::Query { uid: 10 }, &mut fx);
+        assert!(
+            matches!(
+                fx.sends[..],
+                [(
+                    ProcessId(2),
+                    RegisterMsg::QueryReply {
+                        uid: 10,
+                        label: 4,
+                        value: 44
+                    }
+                )]
+            ),
+            "shadow must clear on a fresh update: {:?}",
+            fx.sends
+        );
     }
 }

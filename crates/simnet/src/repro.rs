@@ -20,8 +20,9 @@
 //! accepted and used for digests.
 
 use crate::config::{LatencyModel, SimConfig};
+use crate::coverage::{Classify, ClassifyOp, CoverageCollector, CoverageSample};
 use crate::nemesis::{run_campaign, NemesisSchedule, PlannedFault};
-use crate::planted::PlantedSwmr;
+use crate::planted::{MutantKind, MutantSwmr, PlantedSwmr};
 use crate::sim::Sim;
 use crate::workload::history_from_sim;
 use abd_core::batch::Batched;
@@ -43,6 +44,9 @@ pub enum ProtocolSpec {
     Swmr {
         /// Write-back elision on unanimous write-quorum reads.
         fast_reads: bool,
+        /// Whether a restarted writer rolls its crash-interrupted write
+        /// forward (see [`SwmrConfig::with_write_epilogue`]).
+        write_epilogue: bool,
     },
     /// Multi-writer nodes ([`MwmrNode`]).
     Mwmr {
@@ -62,6 +66,14 @@ pub enum ProtocolSpec {
         /// Every `every`th read per node drops its write-back.
         every: u64,
     },
+    /// Single-writer nodes carrying one planted defect from the
+    /// [`MutantSwmr`] zoo — test fixtures only.
+    MutantSwmr {
+        /// Which defect every node carries.
+        mutant: MutantKind,
+        /// Trigger rate for the counted mutants (see [`MutantSwmr::new`]).
+        every: u64,
+    },
 }
 
 impl ProtocolSpec {
@@ -76,7 +88,8 @@ impl ProtocolSpec {
         match self {
             ProtocolSpec::Swmr { .. }
             | ProtocolSpec::BatchedSwmr { .. }
-            | ProtocolSpec::PlantedSwmr { .. } => "swmr",
+            | ProtocolSpec::PlantedSwmr { .. }
+            | ProtocolSpec::MutantSwmr { .. } => "swmr",
             ProtocolSpec::Mwmr { .. } => "mwmr",
         }
     }
@@ -187,30 +200,50 @@ impl Repro {
     /// and applies its oracle.
     pub fn run(&self) -> ReplayOutcome {
         let (digest, completed, history) = self.run_once();
-        let failure = if !completed {
-            Some(Failure::Liveness)
-        } else {
-            match self.oracle {
-                OracleSpec::AtomicSwmr => {
-                    AtomicSwmrOracle.violation(&history).map(Failure::Violation)
-                }
-                OracleSpec::Linearizable => LinearizableOracle::default()
-                    .violation(&history)
-                    .map(Failure::Violation),
-                OracleSpec::DigestDivergence => {
-                    let (second, _, _) = self.run_once();
-                    (second != digest).then_some(Failure::Divergence {
-                        first: digest,
-                        second,
-                    })
-                }
-            }
-        };
+        let failure = self.judge(digest, completed, &history);
         ReplayOutcome {
             digest,
             completed,
             failure,
             history,
+        }
+    }
+
+    /// Like [`Repro::run`], but also extracts the campaign's
+    /// [`CoverageSample`] through the simulator's observation-only tap —
+    /// the replay stays bit-identical to an untapped one.
+    pub fn run_with_coverage(&self) -> (ReplayOutcome, CoverageSample) {
+        let mut cov = CoverageSample::default();
+        let (digest, completed, history) = self.run_once_cov(Some(&mut cov));
+        let failure = self.judge(digest, completed, &history);
+        (
+            ReplayOutcome {
+                digest,
+                completed,
+                failure,
+                history,
+            },
+            cov,
+        )
+    }
+
+    /// Applies this artifact's oracle to one finished run.
+    fn judge(&self, digest: u64, completed: bool, history: &History<u64>) -> Option<Failure> {
+        if !completed {
+            return Some(Failure::Liveness);
+        }
+        match self.oracle {
+            OracleSpec::AtomicSwmr => AtomicSwmrOracle.violation(history).map(Failure::Violation),
+            OracleSpec::Linearizable => LinearizableOracle::default()
+                .violation(history)
+                .map(Failure::Violation),
+            OracleSpec::DigestDivergence => {
+                let (second, _, _) = self.run_once();
+                (second != digest).then_some(Failure::Divergence {
+                    first: digest,
+                    second,
+                })
+            }
         }
     }
 
@@ -277,11 +310,27 @@ impl Repro {
     /// One deterministic execution: build nodes, apply the schedule, drive
     /// the scripts, extract (digest, completed, history).
     fn run_once(&self) -> (u64, bool, History<u64>) {
+        self.run_once_cov(None)
+    }
+
+    /// [`run_once`](Repro::run_once) with an optional coverage slot filled
+    /// through the simulator tap.
+    fn run_once_cov(&self, coverage: Option<&mut CoverageSample>) -> (u64, bool, History<u64>) {
         match self.protocol {
-            ProtocolSpec::Swmr { fast_reads } => self.drive(
+            ProtocolSpec::Swmr {
+                fast_reads,
+                write_epilogue,
+            } => self.drive(
                 (0..self.n)
-                    .map(|i| SwmrNode::new(self.swmr_cfg(i, fast_reads), 0u64))
+                    .map(|i| {
+                        SwmrNode::new(
+                            self.swmr_cfg(i, fast_reads)
+                                .with_write_epilogue(write_epilogue),
+                            0u64,
+                        )
+                    })
                     .collect(),
+                coverage,
             ),
             ProtocolSpec::Mwmr { fast_reads } => self.drive(
                 (0..self.n)
@@ -294,6 +343,7 @@ impl Repro {
                         MwmrNode::new(cfg, 0u64)
                     })
                     .collect(),
+                coverage,
             ),
             ProtocolSpec::BatchedSwmr { window, fast_reads } => self.drive(
                 (0..self.n)
@@ -301,20 +351,46 @@ impl Repro {
                         Batched::new(SwmrNode::new(self.swmr_cfg(i, fast_reads), 0u64), window)
                     })
                     .collect(),
+                coverage,
             ),
             ProtocolSpec::PlantedSwmr { every } => self.drive(
                 (0..self.n)
                     .map(|i| PlantedSwmr::new(SwmrNode::new(self.swmr_cfg(i, false), 0u64), every))
                     .collect(),
+                coverage,
+            ),
+            ProtocolSpec::MutantSwmr { mutant, every } => self.drive(
+                (0..self.n)
+                    .map(|i| {
+                        MutantSwmr::new(SwmrNode::new(self.swmr_cfg(i, false), 0u64), mutant, every)
+                    })
+                    .collect(),
+                coverage,
             ),
         }
     }
 
-    fn drive<P>(&self, nodes: Vec<P>) -> (u64, bool, History<u64>)
+    fn drive<P>(
+        &self,
+        nodes: Vec<P>,
+        coverage: Option<&mut CoverageSample>,
+    ) -> (u64, bool, History<u64>)
     where
         P: Protocol<Op = RegisterOp<u64>, Resp = RegisterResp<u64>>,
+        P::Msg: Classify,
+        P::Op: ClassifyOp,
     {
         let mut sim = Sim::new(self.sim.clone(), nodes);
+        let collector = coverage.is_some().then(|| {
+            std::rc::Rc::new(std::cell::RefCell::new(CoverageCollector::new(
+                self.n,
+                ProcessId(0),
+            )))
+        });
+        if let Some(c) = &collector {
+            let c2 = std::rc::Rc::clone(c);
+            sim.set_tap(Box::new(move |ev| c2.borrow_mut().observe(&ev)));
+        }
         self.schedule.apply(&mut sim);
         let completed = run_campaign(
             &mut sim,
@@ -324,6 +400,9 @@ impl Repro {
             self.deadline,
         );
         let history = history_from_sim(0, &sim);
+        if let (Some(slot), Some(c)) = (coverage, collector) {
+            *slot = c.borrow().clone().finish(sim.metrics(), sim.trace_digest());
+        }
         (sim.trace_digest(), completed, history)
     }
 }
@@ -391,12 +470,24 @@ impl Repro {
         s.push_str("Repro(\n");
         s.push_str(&format!("    name: \"{}\",\n", esc(&self.name)));
         let proto = match self.protocol {
-            ProtocolSpec::Swmr { fast_reads } => format!("Swmr(fast_reads: {fast_reads})"),
+            // `write_epilogue` serializes only when set, so artifacts
+            // written before the flag existed keep their canonical form.
+            ProtocolSpec::Swmr {
+                fast_reads,
+                write_epilogue: false,
+            } => format!("Swmr(fast_reads: {fast_reads})"),
+            ProtocolSpec::Swmr {
+                fast_reads,
+                write_epilogue: true,
+            } => format!("Swmr(fast_reads: {fast_reads}, write_epilogue: true)"),
             ProtocolSpec::Mwmr { fast_reads } => format!("Mwmr(fast_reads: {fast_reads})"),
             ProtocolSpec::BatchedSwmr { window, fast_reads } => {
                 format!("BatchedSwmr(window: {window}, fast_reads: {fast_reads})")
             }
             ProtocolSpec::PlantedSwmr { every } => format!("PlantedSwmr(every: {every})"),
+            ProtocolSpec::MutantSwmr { mutant, every } => {
+                format!("MutantSwmr(mutant: {mutant}, every: {every})")
+            }
         };
         s.push_str(&format!("    protocol: {proto},\n"));
         s.push_str(&format!("    n: {},\n", self.n));
@@ -831,6 +922,11 @@ fn repro_from_val(v: &Val) -> Result<Repro, String> {
         match name {
             "Swmr" => ProtocolSpec::Swmr {
                 fast_reads: p.field("fast_reads")?.as_bool()?,
+                // Absent in artifacts written before the flag existed.
+                write_epilogue: match p.field("write_epilogue") {
+                    Ok(v) => v.as_bool()?,
+                    Err(_) => false,
+                },
             },
             "Mwmr" => ProtocolSpec::Mwmr {
                 fast_reads: p.field("fast_reads")?.as_bool()?,
@@ -842,6 +938,14 @@ fn repro_from_val(v: &Val) -> Result<Repro, String> {
             "PlantedSwmr" => ProtocolSpec::PlantedSwmr {
                 every: p.field("every")?.as_u64()?,
             },
+            "MutantSwmr" => {
+                let (kind_name, _, _) = p.field("mutant")?.as_call(None)?;
+                ProtocolSpec::MutantSwmr {
+                    mutant: MutantKind::from_name(kind_name)
+                        .ok_or_else(|| format!("unknown mutant `{kind_name}`"))?,
+                    every: p.field("every")?.as_u64()?,
+                }
+            }
             other => Err(format!("unknown protocol `{other}`"))?,
         }
     };
@@ -1087,6 +1191,94 @@ mod tests {
     }
 
     #[test]
+    fn new_protocol_variants_round_trip() {
+        for proto in [
+            ProtocolSpec::Swmr {
+                fast_reads: false,
+                write_epilogue: true,
+            },
+            ProtocolSpec::MutantSwmr {
+                mutant: MutantKind::StaleTagAck,
+                every: 2,
+            },
+            ProtocolSpec::MutantSwmr {
+                mutant: MutantKind::NonMonotonicTag,
+                every: 0,
+            },
+        ] {
+            let mut r = sample();
+            r.protocol = proto;
+            let text = r.to_ron();
+            let back = Repro::from_ron(&text).expect("roundtrip parses");
+            assert_eq!(back.protocol, proto);
+            assert_eq!(back.to_ron(), text, "canonical form is stable");
+        }
+        // A pre-flag artifact (no write_epilogue field) parses as false.
+        let r = sample();
+        assert!(r.to_ron().contains("BatchedSwmr"));
+        let legacy = r.to_ron().replace(
+            "BatchedSwmr(window: 2000, fast_reads: true)",
+            "Swmr(fast_reads: true)",
+        );
+        let back = Repro::from_ron(&legacy).expect("legacy Swmr artifact parses");
+        assert_eq!(
+            back.protocol,
+            ProtocolSpec::Swmr {
+                fast_reads: true,
+                write_epilogue: false
+            }
+        );
+    }
+
+    #[test]
+    fn run_with_coverage_matches_untapped_digest() {
+        let sched = NemesisConfig::new(7, 5).plan();
+        let scripts: Vec<Vec<RegisterOp<u64>>> = (0..5)
+            .map(|c| {
+                (0..3u64)
+                    .map(|k| {
+                        if c == 0 {
+                            RegisterOp::Write(k + 1)
+                        } else {
+                            RegisterOp::Read
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let r = Repro {
+            name: "coverage".to_string(),
+            protocol: ProtocolSpec::Swmr {
+                fast_reads: false,
+                write_epilogue: false,
+            },
+            n: 5,
+            backoff_base: Some(20_000),
+            sim: SimConfig::new(99),
+            deadline: sched.heal_at() + 200_000_000,
+            schedule: sched,
+            scripts,
+            think: 5_000,
+            oracle: OracleSpec::AtomicSwmr,
+            expected_digest: 0,
+            reason: String::new(),
+        };
+        let plain = r.run();
+        let (tapped, cov) = r.run_with_coverage();
+        assert_eq!(
+            plain.digest, tapped.digest,
+            "observation must not perturb the execution"
+        );
+        assert!(
+            !cov.is_empty(),
+            "a fault campaign must light some coverage cells"
+        );
+        // Deterministic extraction too.
+        let (_, cov2) = r.run_with_coverage();
+        assert_eq!(cov, cov2);
+    }
+
+    #[test]
     fn hex_and_comments_parse() {
         let r = sample();
         let text = format!("// an emitted artifact\n{}", r.to_ron());
@@ -1116,7 +1308,10 @@ mod tests {
             .collect();
         let r = Repro {
             name: "healthy".to_string(),
-            protocol: ProtocolSpec::Swmr { fast_reads: false },
+            protocol: ProtocolSpec::Swmr {
+                fast_reads: false,
+                write_epilogue: false,
+            },
             n: 5,
             backoff_base: Some(20_000),
             sim: SimConfig::new(99),

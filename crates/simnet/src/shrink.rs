@@ -269,7 +269,10 @@ mod tests {
         let sched = NemesisConfig::new(7, 5).plan();
         Repro {
             name: "healthy".to_string(),
-            protocol: ProtocolSpec::Swmr { fast_reads: false },
+            protocol: ProtocolSpec::Swmr {
+                fast_reads: false,
+                write_epilogue: false,
+            },
             n: 5,
             backoff_base: Some(20_000),
             sim: SimConfig::new(99),

@@ -28,6 +28,68 @@ fn fnv_fold(mut h: u64, word: u64) -> u64 {
     h
 }
 
+/// Why a delivery was discarded instead of handed to the target protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// The target node was crashed at delivery time.
+    Crashed,
+    /// Sender and target were in different partition groups.
+    Partitioned,
+}
+
+/// The observable part of one processed simulator event, as seen by a tap
+/// installed with [`Sim::set_tap`]. Borrows message/op payloads in place so
+/// observation allocates nothing.
+#[derive(Debug)]
+pub enum TapKind<'a, M, O> {
+    /// A message arrived at `target` (delivered, or discarded for `dropped`).
+    Deliver {
+        /// Sending node.
+        from: ProcessId,
+        /// The message payload.
+        msg: &'a M,
+        /// `None` if the message was handed to the protocol; otherwise why
+        /// it was discarded.
+        dropped: Option<DropReason>,
+    },
+    /// A live timer fired on `target` (cancelled/superseded timers are not
+    /// reported).
+    TimerFire,
+    /// A client operation was invoked on `target`.
+    Invoke {
+        /// Operation id.
+        op: OpId,
+        /// The invocation payload.
+        input: &'a O,
+    },
+    /// Operation `op`, invoked on `target`, produced its response.
+    Complete {
+        /// Operation id.
+        op: OpId,
+    },
+    /// `target` crashed.
+    Crash,
+    /// `target` rebooted via `Protocol::on_restart`.
+    Restart,
+}
+
+/// One observed simulator event: the [`TapKind`] plus ambient context a
+/// coverage signal needs (time, target, whether a partition is installed).
+#[derive(Debug)]
+pub struct TapEvent<'a, M, O> {
+    /// Virtual time of the event.
+    pub at: Nanos,
+    /// The node the event applies to.
+    pub target: ProcessId,
+    /// Whether a partition is installed at this instant.
+    pub partition_active: bool,
+    /// What happened.
+    pub kind: TapKind<'a, M, O>,
+}
+
+/// Boxed observation callback installed with [`Sim::set_tap`].
+pub type Tap<M, O> = Box<dyn FnMut(TapEvent<'_, M, O>)>;
+
 /// What happens when an event is processed.
 #[derive(Debug)]
 enum EventKind<P: Protocol> {
@@ -162,6 +224,10 @@ where
     trace_cap: usize,
     /// Invoke events scheduled but not yet processed.
     queued_invokes: u64,
+    /// Optional observation-only event tap (coverage extraction). Never
+    /// consulted for scheduling decisions, so installing one cannot perturb
+    /// the execution or its digest.
+    tap: Option<Tap<P::Msg, P::Op>>,
 }
 
 impl<P: Protocol> Sim<P>
@@ -201,6 +267,7 @@ where
             trace: None,
             trace_cap: 512,
             queued_invokes: 0,
+            tap: None,
         };
         for i in 0..sim.nodes.len() {
             debug_assert_eq!(
@@ -381,6 +448,21 @@ where
         self.trace_cap = cap.max(1);
     }
 
+    /// Installs an observation-only event tap: the callback sees every
+    /// processed delivery (including drops, with the [`DropReason`]), timer
+    /// fire, invocation, completion, crash and restart. The tap cannot
+    /// influence the simulation — scheduling, metrics and the trace digest
+    /// are computed before and independently of it — so a tapped run is
+    /// bit-for-bit identical to an untapped one.
+    pub fn set_tap(&mut self, tap: Tap<P::Msg, P::Op>) {
+        self.tap = Some(tap);
+    }
+
+    /// Removes any installed event tap.
+    pub fn clear_tap(&mut self) {
+        self.tap = None;
+    }
+
     /// The recorded trace lines (oldest first). Empty when tracing is off.
     pub fn trace(&self) -> Vec<String> {
         self.trace
@@ -462,13 +544,35 @@ where
         }
         match ev.kind {
             EventKind::Deliver { from, msg } => {
-                if !self.nodes[t].alive {
-                    self.metrics.dropped_crash += 1;
-                    return true;
+                let dropped = if !self.nodes[t].alive {
+                    Some(DropReason::Crashed)
+                } else if self.partitioned(from, ev.target) {
+                    Some(DropReason::Partitioned)
+                } else {
+                    None
+                };
+                if let Some(tap) = self.tap.as_mut() {
+                    tap(TapEvent {
+                        at: ev.at,
+                        target: ev.target,
+                        partition_active: self.partition.is_some(),
+                        kind: TapKind::Deliver {
+                            from,
+                            msg: &msg,
+                            dropped,
+                        },
+                    });
                 }
-                if self.partitioned(from, ev.target) {
-                    self.metrics.dropped_partition += 1;
-                    return true;
+                match dropped {
+                    Some(DropReason::Crashed) => {
+                        self.metrics.dropped_crash += 1;
+                        return true;
+                    }
+                    Some(DropReason::Partitioned) => {
+                        self.metrics.dropped_partition += 1;
+                        return true;
+                    }
+                    None => {}
                 }
                 self.metrics.delivered += 1;
                 let mut fx = Effects::new();
@@ -484,6 +588,14 @@ where
                 }
                 self.nodes[t].timers.remove(&key);
                 self.metrics.timer_fires += 1;
+                if let Some(tap) = self.tap.as_mut() {
+                    tap(TapEvent {
+                        at: ev.at,
+                        target: ev.target,
+                        partition_active: self.partition.is_some(),
+                        kind: TapKind::TimerFire,
+                    });
+                }
                 let mut fx = Effects::new();
                 self.nodes[t].proto.on_timer(key, &mut fx);
                 self.metrics.retransmissions += fx.sends.len() as u64;
@@ -495,6 +607,14 @@ where
                     return true; // invocation on a crashed node is lost
                 }
                 self.metrics.ops_invoked += 1;
+                if let Some(tap) = self.tap.as_mut() {
+                    tap(TapEvent {
+                        at: ev.at,
+                        target: ev.target,
+                        partition_active: self.partition.is_some(),
+                        kind: TapKind::Invoke { op, input: &input },
+                    });
+                }
                 self.invoked
                     .insert(op, (ev.target, input.clone(), self.now));
                 let mut fx = Effects::new();
@@ -502,6 +622,14 @@ where
                 self.absorb(ev.target, fx);
             }
             EventKind::Crash => {
+                if let Some(tap) = self.tap.as_mut() {
+                    tap(TapEvent {
+                        at: ev.at,
+                        target: ev.target,
+                        partition_active: self.partition.is_some(),
+                        kind: TapKind::Crash,
+                    });
+                }
                 self.nodes[t].alive = false;
                 self.nodes[t].timers.clear();
                 // The crash takes this client's in-flight operations with
@@ -527,6 +655,14 @@ where
             }
             EventKind::Restart => {
                 if !self.nodes[t].alive {
+                    if let Some(tap) = self.tap.as_mut() {
+                        tap(TapEvent {
+                            at: ev.at,
+                            target: ev.target,
+                            partition_active: self.partition.is_some(),
+                            kind: TapKind::Restart,
+                        });
+                    }
                     self.nodes[t].alive = true;
                     self.nodes[t].timers.clear();
                     self.metrics.restarts += 1;
@@ -619,6 +755,39 @@ where
             if let Some((client, input, invoked_at)) = self.invoked.remove(&op) {
                 self.metrics.ops_completed += 1;
                 self.metrics.total_op_latency += self.now - invoked_at;
+                if let Some(tap) = self.tap.as_mut() {
+                    tap(TapEvent {
+                        at: self.now,
+                        target: client,
+                        partition_active: self.partition.is_some(),
+                        kind: TapKind::Complete { op },
+                    });
+                }
+                self.completed.push(OpRecord {
+                    op,
+                    client,
+                    input,
+                    resp,
+                    invoked_at,
+                    completed_at: self.now,
+                });
+            } else if let Some(i) = self.aborted.iter().position(|(o, _, _, _)| *o == op) {
+                // A recovery epilogue resolved an operation its client's
+                // crash had aborted: close the interval. The operation keeps
+                // its original invocation time, so the history checkers see
+                // one long completed operation instead of an open-ended one.
+                let (op, client, input, invoked_at) = self.aborted.remove(i);
+                self.metrics.ops_resolved += 1;
+                self.metrics.ops_completed += 1;
+                self.metrics.total_op_latency += self.now - invoked_at;
+                if let Some(tap) = self.tap.as_mut() {
+                    tap(TapEvent {
+                        at: self.now,
+                        target: client,
+                        partition_active: self.partition.is_some(),
+                        kind: TapKind::Complete { op },
+                    });
+                }
                 self.completed.push(OpRecord {
                     op,
                     client,

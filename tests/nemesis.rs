@@ -115,7 +115,10 @@ fn swmr_campaign_cfg(sim_seed: u64, nemesis_seed: u64, fast_reads: bool) -> u64 
     };
     soak_repro(
         name,
-        ProtocolSpec::Swmr { fast_reads },
+        ProtocolSpec::Swmr {
+            fast_reads,
+            write_epilogue: false,
+        },
         OracleSpec::AtomicSwmr,
         sim_seed,
         sched,
@@ -315,6 +318,46 @@ fn fast_read_campaigns_stay_atomic_and_replay() {
 }
 
 #[test]
+fn write_epilogue_campaigns_stay_atomic_and_replay() {
+    // SWMR with the aborted-write epilogue on: the writer crashes mid-write
+    // (the planner's crash waves cover every node, writer included), and on
+    // restart re-probes its persisted intent and rolls the write forward.
+    // The histories must still certify atomic and replay bit-identically,
+    // and flipping the flag must actually change the execution.
+    let run = |sim_seed: u64, nemesis_seed: u64, epilogue: bool| {
+        let sched = NemesisConfig::new(nemesis_seed, N).plan();
+        soak_repro(
+            "nemesis-swmr-epilogue",
+            ProtocolSpec::Swmr {
+                fast_reads: false,
+                write_epilogue: epilogue,
+            },
+            OracleSpec::AtomicSwmr,
+            sim_seed,
+            sched,
+            swmr_scripts(6),
+        )
+        .check_or_emit()
+        .unwrap_or_else(|e| panic!("epilogue seed ({sim_seed},{nemesis_seed}): {e}"))
+        .digest
+    };
+    // Nemesis seed 88 crashes the writer while a write is in flight, so the
+    // epilogue actually fires (probed: flag-on and flag-off traces differ).
+    let d = run(1234, 88, true);
+    assert_eq!(
+        d,
+        run(1234, 88, true),
+        "epilogue runs replay bit-identically"
+    );
+    assert_ne!(
+        d,
+        run(1234, 88, false),
+        "the writer crashes mid-write, so the epilogue's resumed write \
+         must alter the trace"
+    );
+}
+
+#[test]
 fn batched_fast_campaign_stays_atomic_and_replays() {
     // Fast reads *and* a Nagle-style batching window: coalescing must not
     // reorder phase messages in a way the protocol can observe, even while
@@ -433,4 +476,31 @@ fn flag_off_campaign_trace_digest_is_pinned() {
         0x17ee86c2e49634af,
         "flag-off campaign trace drifted from the pinned golden digest"
     );
+}
+
+#[test]
+#[ignore = "manual tuning probe"]
+fn probe_epilogue_seeds() {
+    let run = |sim_seed: u64, nemesis_seed: u64, epilogue: bool| {
+        let sched = NemesisConfig::new(nemesis_seed, N).plan();
+        soak_repro(
+            "probe-epilogue",
+            ProtocolSpec::Swmr {
+                fast_reads: false,
+                write_epilogue: epilogue,
+            },
+            OracleSpec::AtomicSwmr,
+            sim_seed,
+            sched,
+            swmr_scripts(6),
+        )
+        .check_or_emit()
+        .unwrap_or_else(|e| panic!("epilogue seed ({sim_seed},{nemesis_seed}): {e}"))
+        .digest
+    };
+    for s in 70..110u64 {
+        let on = run(1234, s, true);
+        let off = run(1234, s, false);
+        println!("nemesis seed {s}: differs {}", on != off);
+    }
 }

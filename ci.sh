@@ -30,6 +30,9 @@ cargo test -q --workspace
 echo "==> nemesis smoke (fixed-seed fault campaign, replay-checked)"
 cargo test -q --test nemesis fixed_seed
 
+echo "==> relay nemesis smoke (relay read mode under crash waves and partitions)"
+cargo test -q --test nemesis relay_
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -38,6 +41,12 @@ cargo run -q --release -p abd-bench --bin abd_repro -- shrink \
   crates/bench/fixtures/planted-campaign.ron -o target/planted-campaign.min.ron
 diff -u crates/bench/fixtures/planted-campaign.min.ron target/planted-campaign.min.ron \
   || { echo "shrinker output drifted from the committed golden minimal artifact"; exit 1; }
+
+echo "==> repro explain gate (relay artifacts must name the relay read path)"
+cargo run -q --release -p abd-bench --bin abd_repro -- explain \
+  crates/bench/fixtures/relay-campaign.ron > target/relay-explain.txt
+grep -q 'Invoke -> RelayRead -> Done' target/relay-explain.txt \
+  || { echo "abd_repro explain lost the relay read-path line"; exit 1; }
 
 echo "==> throughput bench smoke (fast-path + batching gates, regenerates BENCH_throughput.json)"
 cargo run -q --release -p abd-bench --bin fig_throughput -- --smoke

@@ -20,6 +20,7 @@
 //! lights — the same cells `abd_simnet::search` steers by, so an
 //! artifact's cells can be compared against a search corpus directly.
 
+use abd_core::types::ReadMode;
 use abd_simnet::repro::Repro;
 use abd_simnet::shrink::shrink;
 use std::path::{Path, PathBuf};
@@ -49,10 +50,14 @@ fn load(path: &Path) -> Result<Repro, String> {
 fn describe(r: &Repro) {
     println!("artifact:  {}", r.name);
     println!("protocol:  {:?}", r.protocol);
-    println!(
-        "phases:    {g} (lint phase graph; `abd-lint --dot-dir target/lint` renders {g}.dot)",
-        g = r.protocol.phase_graph()
-    );
+    let g = r.protocol.phase_graph();
+    println!("phases:    {g} (lint phase graph; `abd-lint --dot-dir target/lint` renders {g}.dot)");
+    if r.protocol.read_mode() == ReadMode::Relay {
+        println!(
+            "read path: relay — reads walk `Invoke -> RelayRead -> Done` in {g}.dot \
+             (server-to-server forwarding; atomicity argument in DESIGN.md §13)"
+        );
+    }
     println!(
         "cluster:   n = {}, backoff_base = {:?}, think = {}, deadline = {}",
         r.n, r.backoff_base, r.think, r.deadline

@@ -2,18 +2,32 @@
 //! per-operation cost.**
 //!
 //! A closed-loop multi-client, multi-key workload against the replicated
-//! key-value store, in three configurations on the deterministic simulator:
+//! key-value store, in six configurations on the deterministic simulator:
 //!
 //! * `baseline` — every `Get` runs both phases (query + write-back);
 //! * `fast` — `Get`s elide the write-back when the query quorum
 //!   unanimously reports the maximum tag (and forms a write quorum);
 //! * `fast+batched` — fast reads plus [`Batched`] transport wrapping:
-//!   same-window messages to the same peer coalesce into one envelope.
+//!   same-window messages to the same peer coalesce into one envelope;
+//! * `fast+adaptive-batch` — fast reads plus the load-adaptive window
+//!   ([`Batched::adaptive`]): same-tick flushing while idle, windows
+//!   growing under pipelined fan-out;
+//! * `relay` — `Get`s run the one-and-a-half-round relay read (servers
+//!   forward tags to each other and reply to the reader directly);
+//! * `relay+batched` — relay reads plus windowed [`Batched`] transport,
+//!   which is what absorbs the relay's O(n²) server-to-server fan-out.
 //!
 //! Before the workload, the binary asserts the micro-costs the fast path
 //! claims: an uncontended fast read is **1 round / `2(n−1)` messages** on
 //! SWMR, MWMR, and the store (baseline atomic reads: 2 rounds /
 //! `4(n−1)`).
+//!
+//! A **contended-writer section** then measures the read modes where they
+//! differ: reads staged to overlap an in-flight write. `FastUnanimous`
+//! loses its unanimity precondition there and degrades to the full
+//! two-round read, while `Relay` completes in 1.5 rounds regardless —
+//! the table and JSON carry rounds-per-read for both, gated at
+//! `relay <= 1.6` and `fast >= 1.9`.
 //!
 //! Everything written to `BENCH_throughput.json` comes from the virtual
 //! clock and message counters, so the file is byte-reproducible.
@@ -25,7 +39,7 @@ use abd_bench::Table;
 use abd_core::batch::Batched;
 use abd_core::context::{Protocol, ReadPathStats};
 use abd_core::msg::RegisterOp;
-use abd_core::types::{Nanos, ProcessId};
+use abd_core::types::{Nanos, ProcessId, ReadMode};
 use abd_kv::{KvConfig, KvNode, KvOp, KvResp};
 use abd_runtime::cluster::{Cluster, Jitter};
 use abd_simnet::{LatencyModel, Metrics, Sim, SimConfig};
@@ -58,9 +72,9 @@ fn sim_cfg(seed: u64) -> SimConfig {
     SimConfig::new(seed).with_latency(LatencyModel::Constant(DELAY))
 }
 
-fn kv_nodes(fast: bool) -> Vec<KvNode<u64, u64>> {
+fn kv_nodes(mode: ReadMode) -> Vec<KvNode<u64, u64>> {
     (0..N)
-        .map(|i| KvNode::new(KvConfig::new(N, ProcessId(i)).with_fast_reads(fast)))
+        .map(|i| KvNode::new(KvConfig::new(N, ProcessId(i)).with_read_mode(mode)))
         .collect()
 }
 
@@ -150,7 +164,7 @@ fn assert_uncontended_fast_reads() {
     assert_eq!(sim.metrics().sent - before, peers, "MWMR fast read msgs");
     assert_eq!(sim.completed()[1].latency(), 2 * DELAY, "MWMR: 1 round");
 
-    let mut sim = Sim::new(sim_cfg(4), kv_nodes(true));
+    let mut sim = Sim::new(sim_cfg(4), kv_nodes(ReadMode::FastUnanimous));
     sim.invoke(ProcessId(0), KvOp::Put(1, 9));
     assert!(sim.run_until_quiet(u64::MAX / 2));
     let before = sim.metrics().sent;
@@ -166,7 +180,7 @@ fn variant_json(name: &str, r: &RunResult) -> String {
         concat!(
             "    {{\"name\": \"{}\", \"ops\": {}, \"sent\": {}, ",
             "\"msgs_per_op\": {:.3}, \"rounds_per_op\": {:.3}, ",
-            "\"fast_reads\": {}, \"write_backs\": {}, ",
+            "\"fast_reads\": {}, \"write_backs\": {}, \"relay_reads\": {}, ",
             "\"makespan_ns\": {}, \"kops_per_virtual_sec\": {:.2}}}"
         ),
         name,
@@ -176,9 +190,38 @@ fn variant_json(name: &str, r: &RunResult) -> String {
         r.rounds_per_op(),
         r.metrics.fast_reads,
         r.metrics.write_backs,
+        r.metrics.relay_reads,
         r.makespan,
         r.kops_per_virtual_sec(),
     )
+}
+
+/// Mean rounds per read when every read overlaps an in-flight write.
+///
+/// The staging is exact and deterministic: a settled write `W1`, then the
+/// writer invokes `W2` at `t = 2·DELAY` (adopting the new tag locally the
+/// moment it is invoked, a full `DELAY` before any server hears of it).
+/// Each measured read is invoked so its queries arrive strictly inside
+/// that disagreement window — the writer answers with `W2`'s tag, every
+/// other server with `W1`'s. `FastUnanimous` thereby loses its unanimity
+/// precondition and pays the write-back round; `Relay` never needed it.
+fn contended_read_rounds(variant: Variant) -> f64 {
+    let offsets = [1_200, 1_400, 1_600, 1_800];
+    let mut total: Nanos = 0;
+    for (i, off) in offsets.into_iter().enumerate() {
+        let mut sim = swmr_sim(variant, N, sim_cfg(10 + i as u64), None);
+        sim.invoke(ProcessId(0), RegisterOp::Write(1));
+        sim.invoke_at(2 * DELAY, ProcessId(0), RegisterOp::Write(2));
+        let read = sim.invoke_at(off, ProcessId(3), RegisterOp::Read);
+        assert!(sim.run_until_quiet(u64::MAX / 2));
+        let rec = sim
+            .completed()
+            .iter()
+            .find(|r| r.op == read)
+            .expect("contended read completed");
+        total += rec.latency();
+    }
+    total as f64 / offsets.len() as f64 / (2.0 * DELAY as f64)
 }
 
 /// Wall-clock sanity run on the thread runtime (stdout only — never part
@@ -233,18 +276,52 @@ fn main() {
          on SWMR, MWMR, KV (n={N})"
     );
 
-    let mut base_sim = Sim::new(sim_cfg(1), kv_nodes(false));
+    let fast_contended = contended_read_rounds(Variant::FastSwmr);
+    let relay_contended = contended_read_rounds(Variant::RelaySwmr);
+    println!(
+        "contended-writer reads (SWMR, n={N}): FastUnanimous {fast_contended:.2} \
+         rounds/read, Relay {relay_contended:.2} rounds/read \
+         (gates: fast >= 1.9, relay <= 1.6)"
+    );
+    assert!(
+        fast_contended >= 1.9,
+        "FastUnanimous must degrade to ~2 rounds under a contended writer"
+    );
+    assert!(
+        relay_contended <= 1.6,
+        "Relay must hold ~1.5 rounds under a contended writer"
+    );
+
+    let mut base_sim = Sim::new(sim_cfg(1), kv_nodes(ReadMode::TwoRound));
     let base = run_closed_loop(&mut base_sim);
-    let mut fast_sim = Sim::new(sim_cfg(1), kv_nodes(true));
+    let mut fast_sim = Sim::new(sim_cfg(1), kv_nodes(ReadMode::FastUnanimous));
     let fast = run_closed_loop(&mut fast_sim);
     let mut batched_sim = Sim::new(
         sim_cfg(1),
-        kv_nodes(true)
+        kv_nodes(ReadMode::FastUnanimous)
             .into_iter()
             .map(|node| Batched::new(node, BATCH_WINDOW))
             .collect::<Vec<_>>(),
     );
     let batched = run_closed_loop(&mut batched_sim);
+    let mut adaptive_sim = Sim::new(
+        sim_cfg(1),
+        kv_nodes(ReadMode::FastUnanimous)
+            .into_iter()
+            .map(|node| Batched::adaptive(node, BATCH_WINDOW))
+            .collect::<Vec<_>>(),
+    );
+    let adaptive = run_closed_loop(&mut adaptive_sim);
+    let mut relay_sim = Sim::new(sim_cfg(1), kv_nodes(ReadMode::Relay));
+    let relay = run_closed_loop(&mut relay_sim);
+    let mut relay_batched_sim = Sim::new(
+        sim_cfg(1),
+        kv_nodes(ReadMode::Relay)
+            .into_iter()
+            .map(|node| Batched::new(node, BATCH_WINDOW))
+            .collect::<Vec<_>>(),
+    );
+    let relay_batched = run_closed_loop(&mut relay_batched_sim);
 
     let mut table = Table::new(
         &format!(
@@ -256,6 +333,7 @@ fn main() {
             "msgs/op",
             "rounds/op",
             "fast reads",
+            "relay reads",
             "write-backs",
             "kops/virt-s",
         ],
@@ -264,12 +342,16 @@ fn main() {
         ("baseline", &base),
         ("fast", &fast),
         ("fast+batched", &batched),
+        ("fast+adaptive-batch", &adaptive),
+        ("relay", &relay),
+        ("relay+batched", &relay_batched),
     ] {
         table.row(vec![
             name.to_string(),
             format!("{:.2}", r.msgs_per_op()),
             format!("{:.2}", r.rounds_per_op()),
             r.metrics.fast_reads.to_string(),
+            r.metrics.relay_reads.to_string(),
             r.metrics.write_backs.to_string(),
             format!("{:.1}", r.kops_per_virtual_sec()),
         ]);
@@ -278,12 +360,35 @@ fn main() {
 
     assert!(base.metrics.fast_reads == 0, "baseline never elides");
     assert!(fast.metrics.fast_reads > 0, "fast path must fire");
+    assert!(relay.metrics.relay_reads > 0, "relay path must fire");
+    assert!(
+        relay.metrics.write_backs == 0,
+        "relay reads never write back"
+    );
     let reduction = (1.0 - batched.msgs_per_op() / base.msgs_per_op()) * 100.0;
     println!(
         "\nfast+batched sends {reduction:.1}% fewer messages per operation than \
          baseline (gate: >= 20%)"
     );
     assert!(reduction >= 20.0, "msgs/op reduction gate failed");
+    let adaptive_reduction = (1.0 - adaptive.msgs_per_op() / base.msgs_per_op()) * 100.0;
+    println!(
+        "fast+adaptive-batch sends {adaptive_reduction:.1}% fewer messages per \
+         operation than baseline (gate: >= 20%)"
+    );
+    assert!(
+        adaptive_reduction >= 20.0,
+        "adaptive msgs/op reduction gate failed"
+    );
+    let relay_absorbed = (1.0 - relay_batched.msgs_per_op() / relay.msgs_per_op()) * 100.0;
+    println!(
+        "relay+batched absorbs {relay_absorbed:.1}% of the relay fan-out's \
+         messages (gate: >= 20%)"
+    );
+    assert!(
+        relay_absorbed >= 20.0,
+        "batching must absorb the relay fan-out"
+    );
 
     let json = format!(
         concat!(
@@ -293,8 +398,12 @@ fn main() {
             "\"ops_per_client\": {}, \"keys\": {}, \"write_pct\": {}, ",
             "\"batch_window_ns\": {},\n",
             "  \"uncontended_fast_read\": {{\"rounds\": 1, \"messages\": \"2(n-1)\"}},\n",
-            "  \"variants\": [\n{},\n{},\n{}\n  ],\n",
-            "  \"msgs_per_op_reduction_pct\": {:.1}\n",
+            "  \"contended_writer\": {{\"fast_unanimous_rounds_per_read\": {:.3}, ",
+            "\"relay_rounds_per_read\": {:.3}}},\n",
+            "  \"variants\": [\n{},\n{},\n{},\n{},\n{},\n{}\n  ],\n",
+            "  \"msgs_per_op_reduction_pct\": {:.1},\n",
+            "  \"adaptive_msgs_per_op_reduction_pct\": {:.1},\n",
+            "  \"relay_batched_absorption_pct\": {:.1}\n",
             "}}\n"
         ),
         N,
@@ -304,10 +413,17 @@ fn main() {
         KEYS,
         WRITE_PCT,
         BATCH_WINDOW,
+        fast_contended,
+        relay_contended,
         variant_json("baseline", &base),
         variant_json("fast", &fast),
         variant_json("fast+batched", &batched),
+        variant_json("fast+adaptive-batch", &adaptive),
+        variant_json("relay", &relay),
+        variant_json("relay+batched", &relay_batched),
         reduction,
+        adaptive_reduction,
+        relay_absorbed,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     std::fs::write(path, &json).expect("write BENCH_throughput.json");

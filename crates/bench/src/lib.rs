@@ -136,6 +136,8 @@ pub mod clusters {
         /// Atomic single-writer ABD with the one-round read fast path
         /// (write-back elided on unanimous query quorums).
         FastSwmr,
+        /// Atomic single-writer ABD with relay (1.5-round) reads.
+        RelaySwmr,
         /// Regular single-writer baseline (no write-back).
         RegularSwmr,
         /// Read-one/write-majority single-writer baseline (not even regular).
@@ -144,6 +146,8 @@ pub mod clusters {
         AtomicMwmr,
         /// Atomic multi-writer ABD with the one-round read fast path.
         FastMwmr,
+        /// Atomic multi-writer ABD with relay (1.5-round) reads.
+        RelayMwmr,
         /// Regular multi-writer baseline (no write-back).
         RegularMwmr,
     }
@@ -154,10 +158,12 @@ pub mod clusters {
             match self {
                 Variant::AtomicSwmr => "ABD atomic (SWMR)",
                 Variant::FastSwmr => "ABD atomic, fast reads (SWMR)",
+                Variant::RelaySwmr => "ABD atomic, relay reads (SWMR)",
                 Variant::RegularSwmr => "regular, no write-back (SWMR)",
                 Variant::ReadOneSwmr => "read-one/write-majority (SWMR)",
                 Variant::AtomicMwmr => "ABD atomic (MWMR)",
                 Variant::FastMwmr => "ABD atomic, fast reads (MWMR)",
+                Variant::RelayMwmr => "ABD atomic, relay reads (MWMR)",
                 Variant::RegularMwmr => "regular, no write-back (MWMR)",
             }
         }
@@ -168,6 +174,7 @@ pub mod clusters {
                 self,
                 Variant::AtomicSwmr
                     | Variant::FastSwmr
+                    | Variant::RelaySwmr
                     | Variant::RegularSwmr
                     | Variant::ReadOneSwmr
             )
@@ -193,6 +200,9 @@ pub mod clusters {
                     }
                     Variant::FastSwmr => {
                         abd_core::presets::fast_swmr(n, ProcessId(i), ProcessId(0))
+                    }
+                    Variant::RelaySwmr => {
+                        abd_core::presets::relay_swmr(n, ProcessId(i), ProcessId(0))
                     }
                     Variant::RegularSwmr => {
                         abd_core::presets::regular_swmr(n, ProcessId(i), ProcessId(0))
@@ -225,6 +235,7 @@ pub mod clusters {
                 let mut cfg = match variant {
                     Variant::AtomicMwmr => abd_core::presets::atomic_mwmr(n, ProcessId(i)),
                     Variant::FastMwmr => abd_core::presets::fast_mwmr(n, ProcessId(i)),
+                    Variant::RelayMwmr => abd_core::presets::relay_mwmr(n, ProcessId(i)),
                     Variant::RegularMwmr => abd_core::presets::regular_mwmr(n, ProcessId(i)),
                     _ => panic!("{variant:?} is not a MWMR variant"),
                 };

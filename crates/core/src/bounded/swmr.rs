@@ -536,6 +536,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for BoundedSwmrNode<V
                     self.finish(op, resp, fx);
                 }
             }
+            // The bounded protocol has no relay read mode: a relay round
+            // would need the total order on labels the sequential space
+            // deliberately lacks. Ignore strays rather than corrupt state.
+            RegisterMsg::RelayQuery { .. }
+            | RegisterMsg::RelayFwd { .. }
+            | RegisterMsg::RelayReply { .. } => {}
         }
     }
 

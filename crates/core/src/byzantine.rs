@@ -568,6 +568,11 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> Protocol for ByzNode<V> {
                     self.finish(op, resp, fx);
                 }
             }
+            // No relay read mode under Byzantine faults: a liar's forward
+            // could poison every reply in the round. Ignore strays.
+            RegisterMsg::RelayQuery { .. }
+            | RegisterMsg::RelayFwd { .. }
+            | RegisterMsg::RelayReply { .. } => {}
         }
     }
 

@@ -199,6 +199,11 @@ pub trait ReadPathStats {
     fn fast_reads(&self) -> u64;
     /// Reads issued by this node that executed the write-back phase.
     fn write_backs(&self) -> u64;
+    /// Reads issued by this node that completed via server-to-server relay
+    /// (`ReadMode::Relay`); `0` for protocols without a relay path.
+    fn relay_reads(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

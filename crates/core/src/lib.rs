@@ -92,4 +92,4 @@ pub use procset::ProcSet;
 pub use quorum::{Grid, Majority, QuorumSystem, Threshold, Weighted};
 pub use retransmit::{BackoffPolicy, Retransmitter};
 pub use swmr::{SwmrConfig, SwmrNode};
-pub use types::{Nanos, OpId, ProcessId, RegisterError, SeqNo, Tag};
+pub use types::{Nanos, OpId, ProcessId, ReadMode, RegisterError, SeqNo, Tag};

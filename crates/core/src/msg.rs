@@ -11,12 +11,22 @@
 //! * `Update` / `UpdateAck` — the propagation phase: "adopt this
 //!   `(label, value)` if it is newer than yours, then acknowledge".
 //!
+//! With [`ReadMode::Relay`](crate::types::ReadMode) three more shapes join
+//! the set:
+//!
+//! * `RelayQuery` — the reader opens a relay round, carrying its own replica
+//!   snapshot (which doubles as the reader's server-role forward);
+//! * `RelayFwd` — server-to-server: each server forwards its snapshot for
+//!   the round to every other server;
+//! * `RelayReply` — a server that has collected forwards from a read quorum
+//!   replies to the reader directly.
+//!
 //! Every phase carries a node-local unique id `uid`; replies echo it so a
 //! client can discard stragglers from phases it has already completed. The
 //! protocols are idempotent in `uid`, which is what makes blind
 //! retransmission over lossy links safe.
 
-use crate::types::RegisterError;
+use crate::types::{ProcessId, RegisterError};
 
 /// Message exchanged by the register emulation, generic over the label type
 /// `L` and the register value type `V`.
@@ -53,6 +63,40 @@ pub enum RegisterMsg<L, V> {
         /// Phase id copied from the update.
         uid: u64,
     },
+    /// Open a relay-read round: the reader broadcasts its own replica
+    /// snapshot, which also serves as the reader's server-role forward.
+    RelayQuery {
+        /// Relay round id, echoed in forwards and the final reply.
+        uid: u64,
+        /// The reader's current replica label.
+        label: L,
+        /// The reader's current replica value.
+        value: V,
+    },
+    /// Server-to-server forward of a replica snapshot for a relay round.
+    RelayFwd {
+        /// Relay round id copied from the query.
+        uid: u64,
+        /// The reader whose round this forward belongs to.
+        reader: ProcessId,
+        /// The forwarding server's replica label.
+        label: L,
+        /// The forwarding server's replica value.
+        value: V,
+        /// `true` when this forward answers a duplicate (it must never be
+        /// answered itself, which is what keeps loss healing ping-pong-free).
+        echo: bool,
+    },
+    /// A server's direct reply to the reader, sent once its relay round has
+    /// collected forwards from a read quorum.
+    RelayReply {
+        /// Relay round id copied from the query.
+        uid: u64,
+        /// The replying server's replica label at reply time.
+        label: L,
+        /// The replying server's replica value at reply time.
+        value: V,
+    },
 }
 
 impl<L, V> RegisterMsg<L, V> {
@@ -62,7 +106,10 @@ impl<L, V> RegisterMsg<L, V> {
             RegisterMsg::Query { uid }
             | RegisterMsg::QueryReply { uid, .. }
             | RegisterMsg::Update { uid, .. }
-            | RegisterMsg::UpdateAck { uid } => *uid,
+            | RegisterMsg::UpdateAck { uid }
+            | RegisterMsg::RelayQuery { uid, .. }
+            | RegisterMsg::RelayFwd { uid, .. }
+            | RegisterMsg::RelayReply { uid, .. } => *uid,
         }
     }
 
@@ -70,7 +117,9 @@ impl<L, V> RegisterMsg<L, V> {
     pub fn is_reply(&self) -> bool {
         matches!(
             self,
-            RegisterMsg::QueryReply { .. } | RegisterMsg::UpdateAck { .. }
+            RegisterMsg::QueryReply { .. }
+                | RegisterMsg::UpdateAck { .. }
+                | RegisterMsg::RelayReply { .. }
         )
     }
 }
@@ -137,10 +186,27 @@ mod tests {
                 value: 8,
             },
             RegisterMsg::UpdateAck { uid: 4 },
+            RegisterMsg::RelayQuery {
+                uid: 5,
+                label: 2,
+                value: 7,
+            },
+            RegisterMsg::RelayFwd {
+                uid: 6,
+                reader: ProcessId(1),
+                label: 2,
+                value: 7,
+                echo: false,
+            },
+            RegisterMsg::RelayReply {
+                uid: 7,
+                label: 2,
+                value: 7,
+            },
         ];
         assert_eq!(
             msgs.iter().map(RegisterMsg::uid).collect::<Vec<_>>(),
-            vec![1, 2, 3, 4]
+            vec![1, 2, 3, 4, 5, 6, 7]
         );
     }
 
@@ -162,6 +228,26 @@ mod tests {
         assert!(qr.is_reply());
         assert!(!u.is_reply());
         assert!(ua.is_reply());
+        let rq: RegisterMsg<u64, u8> = RegisterMsg::RelayQuery {
+            uid: 0,
+            label: 0,
+            value: 0,
+        };
+        let rf: RegisterMsg<u64, u8> = RegisterMsg::RelayFwd {
+            uid: 0,
+            reader: ProcessId(0),
+            label: 0,
+            value: 0,
+            echo: false,
+        };
+        let rr: RegisterMsg<u64, u8> = RegisterMsg::RelayReply {
+            uid: 0,
+            label: 0,
+            value: 0,
+        };
+        assert!(!rq.is_reply());
+        assert!(!rf.is_reply());
+        assert!(rr.is_reply());
     }
 
     #[test]

@@ -12,20 +12,30 @@
 //!   are therefore two round trips, `4(n−1)` messages with majorities.
 //!
 //! Reads are identical to the single-writer protocol, write-back included
-//! — and so is the optional one-round fast path
-//! ([`fast_reads`](MwmrConfig::fast_reads)): a read whose query quorum was
-//! unanimous about the maximum tag and itself forms a write quorum skips
-//! the write-back, completing in `2(n−1)` messages (see
-//! [`fast_read_allowed`](crate::quorum::fast_read_allowed)). Writes always
-//! keep both phases: their query round is what orders concurrent writers.
+//! — and so are the optional read modes
+//! ([`read_mode`](MwmrConfig::read_mode)):
+//! [`ReadMode::FastUnanimous`](crate::types::ReadMode) elides the
+//! write-back when the query quorum was unanimous about the maximum tag and
+//! itself forms a write quorum, completing in `2(n−1)` messages (see
+//! [`fast_read_allowed`](crate::quorum::fast_read_allowed)), and
+//! [`ReadMode::Relay`](crate::types::ReadMode) runs the server-to-server
+//! relay read of the SWMR protocol verbatim with tags as labels — 1.5
+//! rounds for *every* read at `n² − 1` messages (see [`crate::swmr`]'s
+//! "Relay reads" section for the protocol and its safety argument; tag
+//! comparison is the only difference). Writes always keep both phases:
+//! their query round is what orders concurrent writers.
 
 // The declared phase graph (see the `phase-graph` lint rule). Both reads
 // and writes query first: `WriteQuery -> WriteUpdate` and `ReadQuery ->
 // ReadWriteBack` keep the two-phase order, and the two kinds never cross.
 // `Invoke -> *` short-circuits are the instant-quorum paths.
+// `Invoke -> RelayRead -> Done` is the relay read mode: the reader parks
+// in a single RelayRead phase and completes on a write quorum of direct
+// server replies.
 // abd-lint: phase-spec(mwmr):
 //   Invoke -> WriteQuery, Invoke -> ReadQuery, Invoke -> WriteUpdate,
 //   Invoke -> ReadWriteBack, Invoke -> Done,
+//   Invoke -> RelayRead, RelayRead -> Done,
 //   WriteQuery -> WriteUpdate, WriteQuery -> Done,
 //   ReadQuery -> ReadWriteBack, ReadQuery -> Done,
 //   WriteUpdate -> Done, ReadWriteBack -> Done,
@@ -33,13 +43,13 @@
 
 use crate::context::{Effects, Protocol, ReadPathStats, TimerKey};
 use crate::msg::{RegisterMsg, RegisterOp, RegisterResp};
-use crate::phase::{PhaseTracker, TagCensus};
+use crate::phase::{PhaseTracker, RelayCensus, TagCensus};
 use crate::procset::ProcSet;
 use crate::quorum::{fast_read_allowed, Majority, QuorumSystem};
 use crate::replica::Replica;
 use crate::retransmit::{BackoffPolicy, Retransmitter};
-use crate::types::{Nanos, OpId, ProcessId, Tag};
-use std::collections::VecDeque;
+use crate::types::{Nanos, OpId, ProcessId, ReadMode, Tag};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Wire message of the MWMR protocol.
@@ -60,10 +70,10 @@ pub struct MwmrConfig {
     /// Whether reads perform the write-back phase (`true` = atomic,
     /// `false` = regular baseline).
     pub read_write_back: bool,
-    /// Whether reads may elide the write-back when the query quorum was
-    /// unanimous about the maximum tag and forms a write quorum (see
-    /// [`fast_read_allowed`]). Off by default.
-    pub fast_reads: bool,
+    /// How reads complete: the two-round baseline, the unanimity fast path
+    /// (see [`fast_read_allowed`]), or server-to-server relay.
+    /// [`ReadMode::TwoRound`] by default.
+    pub read_mode: ReadMode,
     /// Retransmission policy for unfinished phases (`None` = reliable
     /// links, no retransmission).
     pub retransmit: Option<BackoffPolicy>,
@@ -77,7 +87,7 @@ impl MwmrConfig {
             me,
             quorum: Arc::new(Majority::new(n)),
             read_write_back: true,
-            fast_reads: false,
+            read_mode: ReadMode::TwoRound,
             retransmit: None,
         }
     }
@@ -95,8 +105,21 @@ impl MwmrConfig {
     }
 
     /// Enables or disables the one-round fast path for reads.
+    ///
+    /// Back-compat shim for the pre-[`ReadMode`] boolean: `true` selects
+    /// [`ReadMode::FastUnanimous`], `false` [`ReadMode::TwoRound`].
     pub fn with_fast_reads(mut self, yes: bool) -> Self {
-        self.fast_reads = yes;
+        self.read_mode = if yes {
+            ReadMode::FastUnanimous
+        } else {
+            ReadMode::TwoRound
+        };
+        self
+    }
+
+    /// Selects how reads complete (see [`ReadMode`]).
+    pub fn with_read_mode(mut self, mode: ReadMode) -> Self {
+        self.read_mode = mode;
         self
     }
 
@@ -144,6 +167,15 @@ enum Pending<V> {
         tag: Tag,
         value: V,
     },
+    /// Relay-mode reader collecting direct server replies; completes on a
+    /// write quorum of them, returning the census's minimum pair. The
+    /// tracker starts empty: even this node's own reply only counts once
+    /// its server-side round completes.
+    RelayRead {
+        op: OpId,
+        ph: PhaseTracker,
+        census: RelayCensus<Tag, V>,
+    },
 }
 
 impl<V> Pending<V> {
@@ -152,7 +184,8 @@ impl<V> Pending<V> {
             Pending::WriteQuery { ph, .. }
             | Pending::WriteUpdate { ph, .. }
             | Pending::ReadQuery { ph, .. }
-            | Pending::ReadWriteBack { ph, .. } => ph,
+            | Pending::ReadWriteBack { ph, .. }
+            | Pending::RelayRead { ph, .. } => ph,
         }
     }
 }
@@ -192,8 +225,14 @@ pub struct MwmrNode<V> {
     queue: VecDeque<(OpId, RegisterOp<V>)>,
     rtx: Retransmitter,
     recovering: Option<Recovery<V>>,
+    /// Server-side relay rounds in progress, keyed by `(reader, uid)` —
+    /// see [`crate::swmr`]. Volatile, cleared on restart.
+    relays: BTreeMap<(ProcessId, u64), PhaseTracker>,
+    /// Highest relay round uid completed here per reader. Volatile.
+    relay_done: BTreeMap<ProcessId, u64>,
     fast_reads: u64,
     write_backs: u64,
+    relay_reads: u64,
 }
 
 impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
@@ -214,8 +253,11 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
             queue: VecDeque::new(),
             rtx,
             recovering: None,
+            relays: BTreeMap::new(),
+            relay_done: BTreeMap::new(),
             fast_reads: 0,
             write_backs: 0,
+            relay_reads: 0,
         }
     }
 
@@ -254,17 +296,25 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
         self.write_backs
     }
 
+    /// Reads issued here that completed via server-to-server relay.
+    pub fn relay_reads(&self) -> u64 {
+        self.relay_reads
+    }
+
     fn fresh_uid(&mut self) -> u64 {
         self.next_uid += 1;
         self.next_uid
     }
 
+    fn others(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.cfg.n)
+            .map(ProcessId)
+            .filter(move |&p| p != self.cfg.me)
+    }
+
     fn broadcast(&self, msg: MwmrMsg<V>, fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>) {
-        for i in 0..self.cfg.n {
-            let p = ProcessId(i);
-            if p != self.cfg.me {
-                fx.send(p, msg.clone());
-            }
+        for p in self.others() {
+            fx.send(p, msg.clone());
         }
     }
 
@@ -332,6 +382,10 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
                 self.arm_timer(uid, fx);
             }
             RegisterOp::Read => {
+                if self.cfg.read_mode == ReadMode::Relay {
+                    self.begin_relay_read(op, fx);
+                    return;
+                }
                 let uid = self.fresh_uid();
                 let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
                 let (tag, value) = self.replica.snapshot();
@@ -357,7 +411,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
         census: TagCensus<Tag, V>,
         fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>,
     ) {
-        if self.cfg.fast_reads
+        if self.cfg.read_mode == ReadMode::FastUnanimous
             && self.cfg.read_write_back
             && fast_read_allowed(self.cfg.quorum.as_ref(), responders, census.unanimous())
         {
@@ -442,6 +496,132 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
         self.arm_timer(uid, fx);
     }
 
+    /// Opens a relay read — identical to the SWMR version (see
+    /// [`crate::swmr`]), with tags as labels.
+    fn begin_relay_read(&mut self, op: OpId, fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>) {
+        let uid = self.fresh_uid();
+        self.pending = Some(Pending::RelayRead {
+            op,
+            ph: PhaseTracker::new_empty(uid, self.cfg.n),
+            census: RelayCensus::new(),
+        });
+        let (label, value) = self.replica.snapshot();
+        self.broadcast(RegisterMsg::RelayQuery { uid, label, value }, fx);
+        self.arm_timer(uid, fx);
+        self.relay_observe(self.cfg.me, uid, self.cfg.me, fx);
+    }
+
+    /// Whether relay round `(reader, uid)` has already completed here.
+    fn relay_round_done(&self, reader: ProcessId, uid: u64) -> bool {
+        self.relay_done
+            .get(&reader)
+            .is_some_and(|&done| done >= uid)
+    }
+
+    /// Sends this server's forward for round `(reader, uid)` to `targets`.
+    fn relay_fwd_to(
+        &self,
+        targets: &[ProcessId],
+        reader: ProcessId,
+        uid: u64,
+        echo: bool,
+        fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        let (label, value) = self.replica.snapshot();
+        for &p in targets {
+            fx.send(
+                p,
+                RegisterMsg::RelayFwd {
+                    uid,
+                    reader,
+                    label,
+                    value: value.clone(),
+                    echo,
+                },
+            );
+        }
+    }
+
+    /// Records `from`'s forward in server round `(reader, uid)`, creating
+    /// the round (and broadcasting our own forward) on first contact; once
+    /// the forwards cover a read quorum, the done floor advances and our
+    /// replica snapshot goes to the reader as its direct reply.
+    fn relay_observe(
+        &mut self,
+        reader: ProcessId,
+        uid: u64,
+        from: ProcessId,
+        fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        let (n, me) = (self.cfg.n, self.cfg.me);
+        let created = !self.relays.contains_key(&(reader, uid));
+        if created {
+            // Readers are sequential and uids increase: contact for round
+            // `uid` means earlier rounds from this reader are abandoned.
+            self.relays.retain(|&(r, u), _| r != reader || u >= uid);
+            self.relays
+                .insert((reader, uid), PhaseTracker::new(uid, n, me));
+        }
+        let complete = match self.relays.get_mut(&(reader, uid)) {
+            Some(ph) => {
+                ph.record(from, uid);
+                self.cfg.quorum.is_read_quorum(ph.responders())
+            }
+            None => false,
+        };
+        if !complete {
+            if created && reader != me {
+                let targets: Vec<ProcessId> = self.others().collect();
+                self.relay_fwd_to(&targets, reader, uid, false, fx);
+            }
+            return;
+        }
+        // The tracker stays behind (pruned when the reader's next round
+        // arrives) so stragglers are told apart from true duplicates.
+        let floor = self.relay_done.entry(reader).or_insert(0);
+        *floor = (*floor).max(uid);
+        let (label, value) = self.replica.snapshot();
+        if reader == me {
+            self.relay_reply_in(me, uid, label, value, fx);
+        } else {
+            fx.send(reader, RegisterMsg::RelayReply { uid, label, value });
+        }
+    }
+
+    /// Reader-side processing of one direct server reply; completes the
+    /// read on a write quorum of replies with the census's minimum pair —
+    /// see [`crate::swmr`] for why the minimum is the safe choice.
+    fn relay_reply_in(
+        &mut self,
+        from: ProcessId,
+        uid: u64,
+        label: Tag,
+        value: V,
+        fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        let Some(Pending::RelayRead { ph, census, .. }) = self.pending.as_mut() else {
+            return;
+        };
+        if !ph.record(from, uid) {
+            return;
+        }
+        census.observe(label, value);
+        if !self.cfg.quorum.is_write_quorum(ph.responders()) {
+            return;
+        }
+        if let Some(Pending::RelayRead { op, census, .. }) = self.pending.take() {
+            self.disarm_timer(uid, fx);
+            self.relay_reads += 1;
+            let (label, value) = match census.into_min() {
+                Some(best) => best,
+                // Unreachable — a write quorum is never empty — but total.
+                None => self.replica.snapshot(),
+            };
+            self.replica.adopt(label, value.clone());
+            self.finish(op, RegisterResp::ReadOk(value), fx);
+        }
+    }
+
     fn phase_message(&self) -> Option<MwmrMsg<V>> {
         match self.pending.as_ref()? {
             Pending::WriteQuery { ph, .. } | Pending::ReadQuery { ph, .. } => {
@@ -453,6 +633,16 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
                 label: *tag,
                 value: value.clone(),
             }),
+            Pending::RelayRead { ph, .. } => {
+                // Retransmit the query with the *current* snapshot —
+                // monotone above the original.
+                let (label, value) = self.replica.snapshot();
+                Some(RegisterMsg::RelayQuery {
+                    uid: ph.uid(),
+                    label,
+                    value,
+                })
+            }
         }
     }
 }
@@ -550,6 +740,67 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
                     _ => {}
                 }
             }
+            // ---- relay read: server and reader roles ----
+            RegisterMsg::RelayQuery { uid, label, value } => {
+                self.replica.adopt(label, value);
+                if self.relay_round_done(from, uid) {
+                    // Reader retransmission after our round completed: both
+                    // our forward and our reply may have been lost.
+                    self.relay_fwd_to(&[from], from, uid, true, fx);
+                    let (label, value) = self.replica.snapshot();
+                    fx.send(from, RegisterMsg::RelayReply { uid, label, value });
+                    return;
+                }
+                let repeat = self
+                    .relays
+                    .get(&(from, uid))
+                    .is_some_and(|ph| ph.responders().contains(from));
+                if repeat {
+                    // Duplicate query while still gathering: re-send our
+                    // forward to unheard peers and the stuck reader.
+                    let mut targets = Vec::new();
+                    if let Some(ph) = self.relays.get(&(from, uid)) {
+                        targets = ph.missing();
+                    }
+                    targets.push(from);
+                    self.relay_fwd_to(&targets, from, uid, false, fx);
+                    return;
+                }
+                self.relay_observe(from, uid, from, fx);
+            }
+            RegisterMsg::RelayFwd {
+                uid,
+                reader,
+                label,
+                value,
+                echo,
+            } => {
+                self.replica.adopt(label, value);
+                let repeat = self
+                    .relays
+                    .get(&(reader, uid))
+                    .is_some_and(|ph| ph.responders().contains(from));
+                if repeat {
+                    if !echo {
+                        // Echo our snapshot so the stuck sender's tracker
+                        // can count us; echoes are never answered.
+                        self.relay_fwd_to(&[from], reader, uid, true, fx);
+                    }
+                    return;
+                }
+                if self.relay_round_done(reader, uid) {
+                    // Straggler for a completed round: record it silently.
+                    if let Some(ph) = self.relays.get_mut(&(reader, uid)) {
+                        ph.record(from, uid);
+                    }
+                    return;
+                }
+                self.relay_observe(reader, uid, from, fx);
+            }
+            RegisterMsg::RelayReply { uid, label, value } => {
+                self.replica.adopt(label, value.clone());
+                self.relay_reply_in(from, uid, label, value, fx);
+            }
             RegisterMsg::UpdateAck { uid } => {
                 let done = match self.pending.as_mut() {
                     Some(Pending::WriteUpdate { op, ph, .. }) => {
@@ -594,7 +845,21 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
         if pending.phase().uid() != key.0 {
             return;
         }
-        let missing = pending.phase().missing();
+        let mut missing = pending.phase().missing();
+        if matches!(pending, Pending::RelayRead { .. }) {
+            // A relay reader can be stuck on replies *or* on forwards for
+            // its own server round; re-query both sets. The empty-seeded
+            // reply tracker lists `me` as missing — never send to self.
+            if let Some(rph) = self.relays.get(&(self.cfg.me, key.0)) {
+                for p in rph.missing() {
+                    if !missing.contains(&p) {
+                        missing.push(p);
+                    }
+                }
+                missing.sort();
+            }
+            missing.retain(|&p| p != self.cfg.me);
+        }
         if let Some(msg) = self.phase_message() {
             self.rtx.fire(key.0, &missing, msg, fx);
         }
@@ -608,6 +873,9 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
         self.pending = None;
         self.queue.clear();
         self.rtx.reset();
+        // Relay bookkeeping is volatile too (see crate::swmr::on_restart).
+        self.relays.clear();
+        self.relay_done.clear();
         let uid = self.fresh_uid();
         let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
         let (best_tag, best_value) = self.replica.snapshot();
@@ -631,6 +899,10 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> ReadPathStats for MwmrNode<V> 
 
     fn write_backs(&self) -> u64 {
         self.write_backs
+    }
+
+    fn relay_reads(&self) -> u64 {
+        self.relay_reads
     }
 }
 
@@ -837,6 +1109,77 @@ mod tests {
         assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(5));
         assert_eq!(net.node(0).fast_reads(), 0, "disagreement must not elide");
         assert_eq!(net.node(0).write_backs(), 1);
+    }
+
+    fn relay_cluster(n: usize) -> MiniNet<MwmrNode<u32>> {
+        let nodes = (0..n)
+            .map(|i| {
+                MwmrNode::new(
+                    MwmrConfig::new(n, ProcessId(i)).with_read_mode(ReadMode::Relay),
+                    0u32,
+                )
+            })
+            .collect();
+        MiniNet::new(nodes)
+    }
+
+    #[test]
+    fn relay_read_returns_latest_write_across_writers() {
+        let mut net = relay_cluster(5);
+        net.invoke(1, RegisterOp::Write(10));
+        net.run_to_quiescence();
+        net.invoke(2, RegisterOp::Write(20));
+        net.run_to_quiescence();
+        net.take_responses();
+        net.invoke(4, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(2), RegisterResp::ReadOk(20))]
+        );
+        assert_eq!(net.node(4).relay_reads(), 1);
+        assert_eq!(net.node(4).write_backs(), 0);
+    }
+
+    #[test]
+    fn relay_read_costs_n_squared_minus_one_messages() {
+        let mut net = relay_cluster(5);
+        net.invoke(3, RegisterOp::Read);
+        net.run_to_quiescence();
+        // query (n-1) + forwards (n-1)² + replies (n-1) = n² - 1.
+        assert_eq!(net.messages_sent(), 5 * 5 - 1);
+        assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(0));
+    }
+
+    #[test]
+    fn relay_read_spreads_a_partially_propagated_write() {
+        let mut net = relay_cluster(5);
+        // Writer 1's update reaches only {1,2} plus its query round;
+        // replicas 3 and 4 stay stale.
+        net.set_drop_filter(|_, to, m: &MwmrMsg<u32>| {
+            matches!(m, RegisterMsg::Update { .. }) && to.index() >= 3
+        });
+        net.invoke(1, RegisterOp::Write(7));
+        net.run_to_quiescence();
+        net.take_responses();
+        net.clear_drop_filter();
+        // A stale node's relay read must still return the completed write.
+        net.invoke(4, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(7));
+    }
+
+    #[test]
+    fn relay_read_completes_with_minority_crashed() {
+        let mut net = relay_cluster(5);
+        net.invoke(1, RegisterOp::Write(3));
+        net.run_to_quiescence();
+        net.take_responses();
+        net.crash(0);
+        net.crash(2);
+        net.invoke(3, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(3));
     }
 
     #[test]

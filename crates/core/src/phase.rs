@@ -28,6 +28,17 @@ impl PhaseTracker {
         PhaseTracker { uid, responders }
     }
 
+    /// Starts a phase with **no** responder pre-seeded. Relay reads use
+    /// this for the reply-collection phase: the issuer's own reply only
+    /// counts once its own server-side relay round has completed, so even
+    /// `me` must be recorded explicitly.
+    pub fn new_empty(uid: u64, n: usize) -> Self {
+        PhaseTracker {
+            uid,
+            responders: ProcSet::new(n),
+        }
+    }
+
     /// The phase id replies must carry.
     pub fn uid(&self) -> u64 {
         self.uid
@@ -110,6 +121,49 @@ impl<L: Ord, V> TagCensus<L, V> {
     }
 }
 
+/// Folds the `(label, value)` replies of a relay read, keeping the pair
+/// with the **minimum** label.
+///
+/// Each relay reply carries a label every *completed* write's label is ≤ of
+/// (the replier adopted the maximum of a read quorum of forwards before
+/// replying), so the minimum over a write quorum of replies is still fresh
+/// enough to return — and unlike the maximum, it is held by *every* replier
+/// in that write quorum, which is what lets the reader skip the write-back:
+/// any later read's forwards intersect the quorum and can only report
+/// labels ≥ it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RelayCensus<L, V> {
+    min: Option<(L, V)>,
+}
+
+impl<L: Ord, V> RelayCensus<L, V> {
+    /// Starts an empty census (the issuer's replica does not count until
+    /// its own relay round completes).
+    pub fn new() -> Self {
+        RelayCensus { min: None }
+    }
+
+    /// Folds in one reply, keeping the smaller label (first seen wins ties).
+    pub fn observe(&mut self, label: L, value: V) {
+        match &self.min {
+            Some((cur, _)) if *cur <= label => {}
+            _ => self.min = Some((label, value)),
+        }
+    }
+
+    /// Consumes the census, yielding the minimum `(label, value)` pair, or
+    /// `None` if nothing was observed.
+    pub fn into_min(self) -> Option<(L, V)> {
+        self.min
+    }
+}
+
+impl<L: Ord, V> Default for RelayCensus<L, V> {
+    fn default() -> Self {
+        RelayCensus::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +179,27 @@ mod tests {
         assert!(!ph.record(ProcessId(0), 7), "duplicate response ignored");
         assert!(!ph.record(ProcessId(1), 6), "stale phase id ignored");
         assert_eq!(ph.responders().len(), 2);
+    }
+
+    #[test]
+    fn empty_tracker_counts_nobody_until_recorded() {
+        let mut ph = PhaseTracker::new_empty(3, 3);
+        assert_eq!(ph.responders().len(), 0);
+        assert_eq!(ph.missing().len(), 3, "even the issuer is missing");
+        assert!(ph.record(ProcessId(1), 3));
+        assert!(!ph.record(ProcessId(1), 3));
+        assert_eq!(ph.responders().len(), 1);
+    }
+
+    #[test]
+    fn relay_census_keeps_the_minimum_pair() {
+        let mut c = RelayCensus::new();
+        assert_eq!(c.clone().into_min(), None);
+        c.observe(5u64, "e");
+        c.observe(3, "c");
+        c.observe(4, "d");
+        c.observe(3, "c2"); // ties keep the first pair seen
+        assert_eq!(c.into_min(), Some((3, "c")));
     }
 
     #[test]

@@ -23,14 +23,37 @@
 //! exactly the regular-register baseline whose violations experiment **T5**
 //! exhibits.
 //!
-//! With [`fast_reads`](SwmrConfig::fast_reads) enabled, a read whose query
-//! quorum was **unanimous** about the maximum label *and* itself forms a
-//! write quorum skips the write-back — it would only re-install a label
-//! already held by a write quorum (see
+//! With [`ReadMode::FastUnanimous`](crate::types::ReadMode) selected, a
+//! read whose query quorum was **unanimous** about the maximum label *and*
+//! itself forms a write quorum skips the write-back — it would only
+//! re-install a label already held by a write quorum (see
 //! [`fast_read_allowed`](crate::quorum::fast_read_allowed)). On the
 //! uncontended common path this halves the read to one round, `2(n−1)`
 //! messages; any disagreement falls back to the two-phase path, so
 //! atomicity is unaffected (experiment **F6**).
+//!
+//! ## Relay reads
+//!
+//! With [`ReadMode::Relay`](crate::types::ReadMode) the read path changes
+//! shape entirely (after "Oh-RAM! One and a Half Round Atomic Memory",
+//! Hadjistasi–Nicolaou–Schwarzmann): the reader broadcasts `RelayQuery`
+//! carrying its own replica snapshot; every server forwards its snapshot to
+//! every other server (`RelayFwd`, adopting the maxima it sees along the
+//! way); once a server's forwards cover a **read quorum** it sends its
+//! replica directly to the reader (`RelayReply`); the reader completes when
+//! a **write quorum** of servers has replied, returning the value of the
+//! **minimum** reply label — no write-back. Three one-way message delays
+//! (query → forward → reply) instead of four, for every read, contended or
+//! not, at a cost of `n² − 1` messages per read.
+//!
+//! Why the *minimum* is the safe choice: a replier adopts the maximum of a
+//! read quorum of forwards — all sent after the read began — before
+//! replying, so every reply label is ≥ every previously completed write's
+//! label; and unlike the maximum, the minimum is *persisted at every
+//! replier* (a write quorum) before any reply is sent, so a later read's
+//! forward quorums intersect it and can only report labels ≥ it. Returning
+//! the maximum instead would be unsound: that label may sit on a single
+//! server, and a later read could miss it — a new/old inversion.
 //!
 //! The state machine is sans-io (see [`crate::context`]): hosts deliver
 //! messages and timer ticks, and carry out the recorded effects. With a
@@ -84,8 +107,12 @@
 // `Idle -> Write` and `Restart -> Write` are the aborted-write epilogue:
 // once catch-up completes (or is unnecessary because the node alone forms
 // a read quorum), a crash-interrupted write resumes as a fresh Write phase.
+// `Invoke -> RelayRead` and `RelayRead -> Done` are the relay read mode:
+// the reader parks in a single RelayRead phase and completes on a write
+// quorum of direct server replies.
 // abd-lint: phase-spec(swmr):
 //   Invoke -> Query, Invoke -> Write, Invoke -> WriteBack, Invoke -> Done,
+//   Invoke -> RelayRead, RelayRead -> Done,
 //   Query -> WriteBack, Query -> Done,
 //   Write -> Done, WriteBack -> Done,
 //   Restart -> Recovery, Recovery -> Idle,
@@ -93,13 +120,13 @@
 
 use crate::context::{Effects, Protocol, ReadPathStats, TimerKey};
 use crate::msg::{RegisterMsg, RegisterOp, RegisterResp};
-use crate::phase::{PhaseTracker, TagCensus};
+use crate::phase::{PhaseTracker, RelayCensus, TagCensus};
 use crate::procset::ProcSet;
 use crate::quorum::{fast_read_allowed, Majority, QuorumSystem};
 use crate::replica::Replica;
 use crate::retransmit::{BackoffPolicy, Retransmitter};
-use crate::types::{Nanos, OpId, ProcessId, RegisterError, SeqNo};
-use std::collections::VecDeque;
+use crate::types::{Nanos, OpId, ProcessId, ReadMode, RegisterError, SeqNo};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Wire message of the SWMR protocol.
@@ -119,13 +146,14 @@ pub struct SwmrConfig {
     /// Whether reads perform the write-back phase (`true` = atomic ABD,
     /// `false` = regular-register baseline).
     pub read_write_back: bool,
-    /// Whether reads may *elide* the write-back when every query responder
-    /// reported the same maximum label and the responder set is a write
-    /// quorum (see [`fast_read_allowed`]). Off by default: the baseline
-    /// protocol always pays `2` rounds per read. Only meaningful with
+    /// How reads complete: the two-round baseline, the unanimity fast path
+    /// (see [`fast_read_allowed`]), or server-to-server relay. `TwoRound`
+    /// by default: the baseline protocol always pays `2` rounds per read.
+    /// `FastUnanimous` is only meaningful with
     /// [`read_write_back`](SwmrConfig::read_write_back) on — the regular
-    /// baseline has no write-back to elide.
-    pub fast_reads: bool,
+    /// baseline has no write-back to elide; `Relay` replaces the write-back
+    /// entirely and ignores that flag.
+    pub read_mode: ReadMode,
     /// Retransmission policy for unfinished phases; `None` disables
     /// retransmission (appropriate for reliable links).
     pub retransmit: Option<BackoffPolicy>,
@@ -146,7 +174,7 @@ impl SwmrConfig {
             writer,
             quorum: Arc::new(Majority::new(n)),
             read_write_back: true,
-            fast_reads: false,
+            read_mode: ReadMode::TwoRound,
             retransmit: None,
             write_epilogue: false,
         }
@@ -165,8 +193,21 @@ impl SwmrConfig {
     }
 
     /// Enables or disables the one-round fast path for reads.
+    ///
+    /// Back-compat shim for the pre-[`ReadMode`] boolean: `true` selects
+    /// [`ReadMode::FastUnanimous`], `false` [`ReadMode::TwoRound`].
     pub fn with_fast_reads(mut self, yes: bool) -> Self {
-        self.fast_reads = yes;
+        self.read_mode = if yes {
+            ReadMode::FastUnanimous
+        } else {
+            ReadMode::TwoRound
+        };
+        self
+    }
+
+    /// Selects how reads complete (see [`ReadMode`]).
+    pub fn with_read_mode(mut self, mode: ReadMode) -> Self {
+        self.read_mode = mode;
         self
     }
 
@@ -215,6 +256,15 @@ enum Pending<V> {
         ph: PhaseTracker,
         label: SeqNo,
         value: V,
+    },
+    /// Relay-mode reader collecting direct server replies; completes on a
+    /// write quorum of them, returning the census's minimum pair. The
+    /// tracker starts empty: even this node's own reply only counts once
+    /// its server-side round completes.
+    RelayRead {
+        op: OpId,
+        ph: PhaseTracker,
+        census: RelayCensus<SeqNo, V>,
     },
 }
 
@@ -267,8 +317,16 @@ pub struct SwmrNode<V> {
     /// `WriteOk` is issued; a crash in between leaves it for the
     /// post-recovery epilogue to roll forward.
     intent: Option<(OpId, SeqNo, V)>,
+    /// Server-side relay rounds in progress, keyed by `(reader, uid)`: the
+    /// tracker records whose forwards (or, for the reader itself, whose
+    /// query) this server has seen. Volatile — cleared on restart.
+    relays: BTreeMap<(ProcessId, u64), PhaseTracker>,
+    /// Highest relay round uid completed here per reader, so duplicate
+    /// queries re-send the reply instead of reopening the round. Volatile.
+    relay_done: BTreeMap<ProcessId, u64>,
     fast_reads: u64,
     write_backs: u64,
+    relay_reads: u64,
 }
 
 impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
@@ -293,8 +351,11 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
             rtx,
             recovering: None,
             intent: None,
+            relays: BTreeMap::new(),
+            relay_done: BTreeMap::new(),
             fast_reads: 0,
             write_backs: 0,
+            relay_reads: 0,
         }
     }
 
@@ -338,6 +399,11 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
     /// Reads issued here that executed the write-back phase.
     pub fn write_backs(&self) -> u64 {
         self.write_backs
+    }
+
+    /// Reads issued here that completed via server-to-server relay.
+    pub fn relay_reads(&self) -> u64 {
+        self.relay_reads
     }
 
     fn fresh_uid(&mut self) -> u64 {
@@ -504,6 +570,10 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
     }
 
     fn begin_read(&mut self, op: OpId, fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>) {
+        if self.cfg.read_mode == ReadMode::Relay {
+            self.begin_relay_read(op, fx);
+            return;
+        }
         let uid = self.fresh_uid();
         let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
         let (label, value) = self.replica.snapshot();
@@ -528,7 +598,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
         census: TagCensus<SeqNo, V>,
         fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
     ) {
-        if self.cfg.fast_reads
+        if self.cfg.read_mode == ReadMode::FastUnanimous
             && self.cfg.read_write_back
             && fast_read_allowed(self.cfg.quorum.as_ref(), responders, census.unanimous())
         {
@@ -572,6 +642,141 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
         self.arm_timer(uid, fx);
     }
 
+    /// Opens a relay read: broadcast our replica snapshot as the round's
+    /// query (it doubles as our server-role forward) and join our own
+    /// server round. With a single-node cluster both the round and the read
+    /// complete in place, without messages.
+    fn begin_relay_read(&mut self, op: OpId, fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>) {
+        let uid = self.fresh_uid();
+        self.pending = Some(Pending::RelayRead {
+            op,
+            ph: PhaseTracker::new_empty(uid, self.cfg.n),
+            census: RelayCensus::new(),
+        });
+        let (label, value) = self.replica.snapshot();
+        self.broadcast(RegisterMsg::RelayQuery { uid, label, value }, fx);
+        self.arm_timer(uid, fx);
+        self.relay_observe(self.cfg.me, uid, self.cfg.me, fx);
+    }
+
+    /// Whether relay round `(reader, uid)` has already completed here.
+    fn relay_round_done(&self, reader: ProcessId, uid: u64) -> bool {
+        self.relay_done
+            .get(&reader)
+            .is_some_and(|&done| done >= uid)
+    }
+
+    /// Sends this server's forward for round `(reader, uid)` to `targets`.
+    fn relay_fwd_to(
+        &self,
+        targets: &[ProcessId],
+        reader: ProcessId,
+        uid: u64,
+        echo: bool,
+        fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        let (label, value) = self.replica.snapshot();
+        for &p in targets {
+            fx.send(
+                p,
+                RegisterMsg::RelayFwd {
+                    uid,
+                    reader,
+                    label,
+                    value: value.clone(),
+                    echo,
+                },
+            );
+        }
+    }
+
+    /// Records `from`'s forward (the reader's query doubles as its forward)
+    /// in server round `(reader, uid)`, creating the round — and
+    /// broadcasting our own forward — on first contact. Once the round's
+    /// forwards cover a read quorum it is retired: the done floor advances
+    /// and our replica snapshot goes to the reader as its direct reply
+    /// (fed straight into our own pending read when we are the reader).
+    fn relay_observe(
+        &mut self,
+        reader: ProcessId,
+        uid: u64,
+        from: ProcessId,
+        fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        let (n, me) = (self.cfg.n, self.cfg.me);
+        let created = !self.relays.contains_key(&(reader, uid));
+        if created {
+            // Contact for round `uid` implies the reader is past any
+            // earlier round: readers are sequential and uids increase, so
+            // stale abandoned rounds for this reader can be dropped.
+            self.relays.retain(|&(r, u), _| r != reader || u >= uid);
+            self.relays
+                .insert((reader, uid), PhaseTracker::new(uid, n, me));
+        }
+        let complete = match self.relays.get_mut(&(reader, uid)) {
+            Some(ph) => {
+                ph.record(from, uid);
+                self.cfg.quorum.is_read_quorum(ph.responders())
+            }
+            None => false,
+        };
+        if !complete {
+            if created && reader != me {
+                // First contact: forward our snapshot to every other server
+                // (the reader included — its own round needs ours too). The
+                // reader's snapshot already travelled in its query.
+                let targets: Vec<ProcessId> = self.others().collect();
+                self.relay_fwd_to(&targets, reader, uid, false, fx);
+            }
+            return;
+        }
+        // The tracker stays behind (pruned when the reader's next round
+        // arrives) so stragglers are told apart from true duplicates.
+        let floor = self.relay_done.entry(reader).or_insert(0);
+        *floor = (*floor).max(uid);
+        let (label, value) = self.replica.snapshot();
+        if reader == me {
+            self.relay_reply_in(me, uid, label, value, fx);
+        } else {
+            fx.send(reader, RegisterMsg::RelayReply { uid, label, value });
+        }
+    }
+
+    /// Reader-side processing of one direct server reply (our own arrives
+    /// here straight from [`SwmrNode::relay_observe`] when our server round
+    /// completes). Completes the read on a write quorum of replies with the
+    /// census's minimum pair — see the module docs for why the minimum.
+    fn relay_reply_in(
+        &mut self,
+        from: ProcessId,
+        uid: u64,
+        label: SeqNo,
+        value: V,
+        fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        let Some(Pending::RelayRead { ph, census, .. }) = self.pending.as_mut() else {
+            return;
+        };
+        if !ph.record(from, uid) {
+            return;
+        }
+        census.observe(label, value);
+        if !self.cfg.quorum.is_write_quorum(ph.responders()) {
+            return;
+        }
+        if let Some(Pending::RelayRead { op, census, .. }) = self.pending.take() {
+            self.disarm_timer(uid, fx);
+            self.relay_reads += 1;
+            let (label, value) = match census.into_min() {
+                Some(best) => best,
+                // Unreachable — a write quorum is never empty — but total.
+                None => self.replica.snapshot(),
+            };
+            self.replica.adopt(label, value.clone());
+            self.finish(op, RegisterResp::ReadOk(value), fx);
+        }
+    }
+
     /// Message a phase (re)transmits to processors that have not responded.
     fn phase_message(&self) -> Option<SwmrMsg<V>> {
         match self.pending.as_ref()? {
@@ -588,6 +793,17 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
                 label: *label,
                 value: value.clone(),
             }),
+            Pending::RelayRead { ph, .. } => {
+                // Retransmit the query with the *current* snapshot —
+                // monotone above the original, so receivers only move
+                // forward.
+                let (label, value) = self.replica.snapshot();
+                Some(RegisterMsg::RelayQuery {
+                    uid: ph.uid(),
+                    label,
+                    value,
+                })
+            }
         }
     }
 }
@@ -662,6 +878,75 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
                     }
                 }
             }
+            // ---- relay read: server and reader roles ----
+            RegisterMsg::RelayQuery { uid, label, value } => {
+                self.replica.adopt(label, value);
+                if self.relay_round_done(from, uid) {
+                    // Reader retransmission after our round completed: both
+                    // our forward (for the reader's own round) and our
+                    // reply may have been lost — re-send the current
+                    // snapshot, which is monotone above the originals.
+                    self.relay_fwd_to(&[from], from, uid, true, fx);
+                    let (label, value) = self.replica.snapshot();
+                    fx.send(from, RegisterMsg::RelayReply { uid, label, value });
+                    return;
+                }
+                let repeat = self
+                    .relays
+                    .get(&(from, uid))
+                    .is_some_and(|ph| ph.responders().contains(from));
+                if repeat {
+                    // Duplicate query while we are still gathering: our
+                    // forwards may have been lost — re-send to the peers we
+                    // have not heard from (completed peers echo back) and
+                    // to the stuck reader itself.
+                    let mut targets = Vec::new();
+                    if let Some(ph) = self.relays.get(&(from, uid)) {
+                        targets = ph.missing();
+                    }
+                    targets.push(from);
+                    self.relay_fwd_to(&targets, from, uid, false, fx);
+                    return;
+                }
+                self.relay_observe(from, uid, from, fx);
+            }
+            RegisterMsg::RelayFwd {
+                uid,
+                reader,
+                label,
+                value,
+                echo,
+            } => {
+                self.replica.adopt(label, value);
+                let repeat = self
+                    .relays
+                    .get(&(reader, uid))
+                    .is_some_and(|ph| ph.responders().contains(from));
+                if repeat {
+                    if !echo {
+                        // A re-sent forward means the sender is stuck and
+                        // may have lost ours — echo our snapshot so its
+                        // tracker can count us. Echoes are never answered,
+                        // so healing can't ping-pong.
+                        self.relay_fwd_to(&[from], reader, uid, true, fx);
+                    }
+                    return;
+                }
+                if self.relay_round_done(reader, uid) {
+                    // Straggler forward for a round already completed here:
+                    // record it so a later duplicate is recognized as such;
+                    // nothing to send.
+                    if let Some(ph) = self.relays.get_mut(&(reader, uid)) {
+                        ph.record(from, uid);
+                    }
+                    return;
+                }
+                self.relay_observe(reader, uid, from, fx);
+            }
+            RegisterMsg::RelayReply { uid, label, value } => {
+                self.replica.adopt(label, value.clone());
+                self.relay_reply_in(from, uid, label, value, fx);
+            }
             RegisterMsg::UpdateAck { uid } => {
                 let done = match self.pending.as_mut() {
                     Some(Pending::Write { ph, op, .. }) => {
@@ -706,12 +991,27 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
         let ph = match pending {
             Pending::Write { ph, .. }
             | Pending::Query { ph, .. }
-            | Pending::WriteBack { ph, .. } => ph,
+            | Pending::WriteBack { ph, .. }
+            | Pending::RelayRead { ph, .. } => ph,
         };
         if ph.uid() != key.0 {
             return; // Timer from a phase that already completed.
         }
-        let missing = ph.missing();
+        let mut missing = ph.missing();
+        if matches!(pending, Pending::RelayRead { .. }) {
+            // A relay reader can be stuck on replies *or* on forwards for
+            // its own server round; re-query both sets. The empty-seeded
+            // reply tracker lists `me` as missing — never send to self.
+            if let Some(rph) = self.relays.get(&(self.cfg.me, key.0)) {
+                for p in rph.missing() {
+                    if !missing.contains(&p) {
+                        missing.push(p);
+                    }
+                }
+                missing.sort();
+            }
+            missing.retain(|&p| p != self.cfg.me);
+        }
         if let Some(msg) = self.phase_message() {
             self.rtx.fire(key.0, &missing, msg, fx);
         }
@@ -726,6 +1026,12 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
         self.pending = None;
         self.queue.clear();
         self.rtx.reset();
+        // Relay bookkeeping is volatile too: rounds this server was
+        // gathering and the done floors vanish with the crash. Safe, because
+        // a post-restart reply still carries the *persisted* replica — the
+        // quorum-intersection argument never depended on round state.
+        self.relays.clear();
+        self.relay_done.clear();
         let uid = self.fresh_uid();
         let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
         let (best_label, best_value) = self.replica.snapshot();
@@ -757,6 +1063,10 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> ReadPathStats for SwmrNode<V> 
 
     fn write_backs(&self) -> u64 {
         self.write_backs
+    }
+
+    fn relay_reads(&self) -> u64 {
+        self.relay_reads
     }
 }
 
@@ -1177,6 +1487,170 @@ mod tests {
         assert_eq!(net.messages_sent(), 4 * (5 - 1), "flag off: 2 rounds");
         assert_eq!(net.node(3).fast_reads(), 0);
         assert_eq!(net.node(3).write_backs(), 1);
+    }
+
+    fn relay_cluster(n: usize) -> MiniNet<SwmrNode<u32>> {
+        let nodes = (0..n)
+            .map(|i| {
+                let cfg =
+                    SwmrConfig::new(n, ProcessId(i), ProcessId(0)).with_read_mode(ReadMode::Relay);
+                SwmrNode::new(cfg, 0u32)
+            })
+            .collect();
+        MiniNet::new(nodes)
+    }
+
+    #[test]
+    fn relay_read_returns_written_value() {
+        let mut net = relay_cluster(5);
+        net.invoke(0, RegisterOp::Write(8));
+        net.run_to_quiescence();
+        net.take_responses();
+        net.invoke(2, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(1), RegisterResp::ReadOk(8))]
+        );
+        assert_eq!(net.node(2).relay_reads(), 1);
+        assert_eq!(net.node(2).write_backs(), 0, "relay never writes back");
+        assert_eq!(net.node(2).fast_reads(), 0);
+    }
+
+    #[test]
+    fn relay_read_costs_n_squared_minus_one_messages() {
+        let mut net = relay_cluster(5);
+        net.invoke(3, RegisterOp::Read);
+        net.run_to_quiescence();
+        // query (n−1) + forwards (n−1)² + replies (n−1) = n² − 1; the
+        // straggler forwards past a completed round are recorded silently,
+        // so the loss-free run has no echoes.
+        assert_eq!(net.messages_sent(), 5 * 5 - 1);
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(0), RegisterResp::ReadOk(0))]
+        );
+    }
+
+    #[test]
+    fn relay_single_node_read_completes_without_messages() {
+        let mut net = relay_cluster(1);
+        net.invoke(0, RegisterOp::Write(5));
+        net.invoke(0, RegisterOp::Read);
+        assert_eq!(net.messages_sent(), 0);
+        assert_eq!(
+            net.take_responses(),
+            vec![
+                (OpId(0), RegisterResp::WriteOk),
+                (OpId(1), RegisterResp::ReadOk(5)),
+            ]
+        );
+        assert_eq!(net.node(0).relay_reads(), 1);
+    }
+
+    #[test]
+    fn relay_read_spreads_a_partially_propagated_write() {
+        // The write reached only {0,1,2}; a relay read from stale p3 must
+        // still return it: every reply quorum's forwards intersect the
+        // write quorum, so every reply label is ≥ the completed write's.
+        let mut net = relay_cluster(5);
+        net.set_drop_filter(|_, to, _| to.index() >= 3);
+        net.invoke(0, RegisterOp::Write(1));
+        net.run_to_quiescence();
+        net.take_responses();
+        net.clear_drop_filter();
+        net.invoke(3, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(1), RegisterResp::ReadOk(1))]
+        );
+        assert_eq!(net.node(3).relay_reads(), 1);
+    }
+
+    #[test]
+    fn relay_read_completes_with_minority_crashed() {
+        let mut net = relay_cluster(5);
+        net.invoke(0, RegisterOp::Write(4));
+        net.run_to_quiescence();
+        net.take_responses();
+        net.crash(3);
+        net.crash(4);
+        net.invoke(1, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(1), RegisterResp::ReadOk(4))]
+        );
+    }
+
+    #[test]
+    fn relay_read_survives_lossy_links_via_retransmission() {
+        let nodes: Vec<SwmrNode<u32>> = (0..3)
+            .map(|i| {
+                let cfg = SwmrConfig::new(3, ProcessId(i), ProcessId(0))
+                    .with_read_mode(ReadMode::Relay)
+                    .with_retransmit(1_000);
+                SwmrNode::new(cfg, 0)
+            })
+            .collect();
+        let mut net = MiniNet::new(nodes);
+        // Lose the first copy of every (from, to) pair; reader-driven
+        // retransmission plus forward echoes must heal every round.
+        net.set_drop_filter({
+            let mut dropped = std::collections::HashSet::new();
+            move |from, to, _| dropped.insert((from, to))
+        });
+        net.invoke(1, RegisterOp::Read);
+        net.run_to_quiescence();
+        for _ in 0..6 {
+            net.fire_timers(1);
+            net.run_to_quiescence();
+        }
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(0), RegisterResp::ReadOk(0))]
+        );
+    }
+
+    #[test]
+    fn relay_restart_clears_round_state_and_read_still_completes() {
+        let mut net = relay_cluster(5);
+        net.invoke(0, RegisterOp::Write(6));
+        net.run_to_quiescence();
+        net.take_responses();
+        // p4 crashes and rejoins mid-fleet; its relay bookkeeping is gone
+        // but its persisted replica still answers rounds correctly.
+        net.crash(4);
+        net.restart(4);
+        net.run_to_quiescence();
+        net.invoke(2, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(1), RegisterResp::ReadOk(6))]
+        );
+    }
+
+    #[test]
+    fn relay_reader_restart_aborts_the_read() {
+        let mut net = relay_cluster(5);
+        net.set_drop_filter(|_, _, _| true); // strand the relay round
+        net.invoke(2, RegisterOp::Read);
+        assert!(net.node(2).is_busy());
+        net.crash(2);
+        net.clear_drop_filter();
+        net.restart(2);
+        net.run_to_quiescence();
+        assert!(!net.node(2).is_busy());
+        assert!(net.take_responses().is_empty(), "lost ops never respond");
+        // The node still serves fresh reads afterwards.
+        net.invoke(2, RegisterOp::Read);
+        net.run_to_quiescence();
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(1), RegisterResp::ReadOk(0))]
+        );
     }
 
     fn epilogue_cluster(n: usize) -> MiniNet<SwmrNode<u32>> {

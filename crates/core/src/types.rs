@@ -129,6 +129,35 @@ impl fmt::Display for Tag {
     }
 }
 
+/// How a reader completes, chosen per node via `with_read_mode` on the
+/// protocol configs.
+///
+/// The three modes trade message count against latency under contention:
+///
+/// * [`TwoRound`](ReadMode::TwoRound) — the paper's protocol: query a read
+///   quorum, then write the chosen pair back to a write quorum. Always two
+///   round trips.
+/// * [`FastUnanimous`](ReadMode::FastUnanimous) — elide the write-back when
+///   the query quorum unanimously reported one maximum label *and* forms a
+///   write quorum (see `abd_core::quorum::fast_read_allowed`). One round
+///   when uncontended, but any concurrent write destroys unanimity and the
+///   read degrades back to two rounds.
+/// * [`Relay`](ReadMode::Relay) — servers forward their `(label, value)`
+///   to each other and reply to the reader directly once their forwards
+///   cover a read quorum ("Oh-RAM!", Hadjistasi–Nicolaou–Schwarzmann).
+///   Every read — contended or not — completes in one and a half message
+///   delays, at the cost of `O(n²)` server messages.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum ReadMode {
+    /// Query + write-back: the paper's always-atomic baseline.
+    #[default]
+    TwoRound,
+    /// One-round reads when a unanimous query quorum is a write quorum.
+    FastUnanimous,
+    /// Server-to-server relay: 1.5 message delays for every read.
+    Relay,
+}
+
 /// Errors surfaced by protocol nodes through their responses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RegisterError {

@@ -19,10 +19,18 @@
 //! A `Get` on a key that has a value performs the read write-back exactly
 //! like the register protocol; a `Get` that finds the key unwritten (the
 //! maximum tag is still the initial tag) skips the write-back — there is
-//! nothing to propagate. With [`fast_reads`](KvConfig::fast_reads) enabled,
-//! a `Get` whose query quorum was *unanimous* about the maximum tag (and
-//! forms a write quorum) also skips it, completing in one round (see
-//! [`fast_read_allowed`](abd_core::quorum::fast_read_allowed)).
+//! nothing to propagate. With
+//! [`ReadMode::FastUnanimous`](abd_core::types::ReadMode) selected, a `Get`
+//! whose query quorum was *unanimous* about the maximum tag (and forms a
+//! write quorum) also skips it, completing in one round (see
+//! [`fast_read_allowed`](abd_core::quorum::fast_read_allowed)); with
+//! [`ReadMode::Relay`](abd_core::types::ReadMode) every `Get` runs the
+//! server-to-server relay read of the register protocols per key — 1.5
+//! message delays at `n² − 1` messages (see the `abd-core` SWMR module docs
+//! for the protocol and its safety argument). One KV-specific difference:
+//! because operations pipeline here, a reader may have several relay rounds
+//! open at once, so servers track each round's completion individually
+//! instead of keeping a per-reader uid floor.
 //!
 //! ## Crash recovery
 //!
@@ -37,11 +45,11 @@
 //! round per key.
 
 use abd_core::context::{Effects, Protocol, ReadPathStats, TimerKey};
-use abd_core::phase::{PhaseTracker, TagCensus};
+use abd_core::phase::{PhaseTracker, RelayCensus, TagCensus};
 use abd_core::procset::ProcSet;
 use abd_core::quorum::{fast_read_allowed, Majority, QuorumSystem};
 use abd_core::retransmit::BackoffPolicy;
-use abd_core::types::{Nanos, OpId, ProcessId, Tag};
+use abd_core::types::{Nanos, OpId, ProcessId, ReadMode, Tag};
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -98,6 +106,45 @@ pub enum KvMsg<K, V> {
         /// Every key the sender stores, with its tag.
         entries: Vec<(K, Tag, V)>,
     },
+    /// Open a relay `Get` round: the reader broadcasts its own replica
+    /// snapshot for `key` (`None` when the key is unwritten locally), which
+    /// also serves as the reader's server-role forward.
+    RelayQuery {
+        /// Relay round id, echoed in forwards and the final reply.
+        uid: u64,
+        /// Key being read.
+        key: K,
+        /// The reader's tag for the key.
+        tag: Tag,
+        /// The reader's value for the key, if any.
+        value: Option<V>,
+    },
+    /// Server-to-server forward of a replica snapshot for a relay round.
+    RelayFwd {
+        /// Relay round id copied from the query.
+        uid: u64,
+        /// The reader whose round this forward belongs to.
+        reader: ProcessId,
+        /// Key being read.
+        key: K,
+        /// The forwarding server's tag for the key.
+        tag: Tag,
+        /// The forwarding server's value for the key, if any.
+        value: Option<V>,
+        /// `true` when this forward answers a duplicate (echoes are never
+        /// answered, which keeps loss healing ping-pong-free).
+        echo: bool,
+    },
+    /// A server's direct reply to the reader, sent once its relay round has
+    /// collected forwards from a read quorum.
+    RelayReply {
+        /// Relay round id copied from the query.
+        uid: u64,
+        /// The replying server's tag for the key at reply time.
+        tag: Tag,
+        /// The replying server's value for the key, if any.
+        value: Option<V>,
+    },
 }
 
 /// A client operation on the store.
@@ -127,10 +174,10 @@ pub struct KvConfig {
     pub me: ProcessId,
     /// Quorum system (must satisfy multi-writer intersection).
     pub quorum: Arc<dyn QuorumSystem>,
-    /// Whether `Get`s may elide the write-back when the query quorum was
-    /// unanimous about the maximum tag and forms a write quorum (see
-    /// [`fast_read_allowed`]). Off by default.
-    pub fast_reads: bool,
+    /// How `Get`s complete: the two-round baseline, the unanimity fast path
+    /// (see [`fast_read_allowed`]), or server-to-server relay.
+    /// [`ReadMode::TwoRound`] by default.
+    pub read_mode: ReadMode,
     /// Retransmission policy for unfinished phases (`None` = reliable
     /// links).
     pub retransmit: Option<BackoffPolicy>,
@@ -143,7 +190,7 @@ impl KvConfig {
             n,
             me,
             quorum: Arc::new(Majority::new(n)),
-            fast_reads: false,
+            read_mode: ReadMode::TwoRound,
             retransmit: None,
         }
     }
@@ -155,8 +202,21 @@ impl KvConfig {
     }
 
     /// Enables or disables the one-round fast path for `Get`s.
+    ///
+    /// Back-compat shim for the pre-[`ReadMode`] boolean: `true` selects
+    /// [`ReadMode::FastUnanimous`], `false` [`ReadMode::TwoRound`].
     pub fn with_fast_reads(mut self, yes: bool) -> Self {
-        self.fast_reads = yes;
+        self.read_mode = if yes {
+            ReadMode::FastUnanimous
+        } else {
+            ReadMode::TwoRound
+        };
+        self
+    }
+
+    /// Selects how `Get`s complete (see [`ReadMode`]).
+    pub fn with_read_mode(mut self, mode: ReadMode) -> Self {
+        self.read_mode = mode;
         self
     }
 
@@ -203,6 +263,28 @@ enum Pending<K, V> {
         tag: Tag,
         value: V,
     },
+    /// Relay-mode `Get` collecting direct server replies; completes on a
+    /// write quorum of them with the census's minimum pair. The tracker
+    /// starts empty: even this node's own reply only counts once its
+    /// server-side round completes.
+    RelayGet {
+        op: OpId,
+        key: K,
+        ph: PhaseTracker,
+        census: RelayCensus<Tag, Option<V>>,
+    },
+}
+
+/// One server-side relay round: which peers' forwards we have seen for
+/// `(reader, uid)`, and whether we already replied. The round's key always
+/// travels in the messages themselves, so it is not stored here. Unlike
+/// the register protocols' per-reader uid floor, completion is tracked per
+/// round — KV operations pipeline, so one reader may have several rounds
+/// open at once and they can complete out of uid order.
+#[derive(Clone, Debug)]
+struct RelayRound {
+    ph: PhaseTracker,
+    done: bool,
 }
 
 /// One node of the replicated key-value store.
@@ -237,8 +319,13 @@ pub struct KvNode<K, V> {
     /// until it completes.
     recovering: Option<PhaseTracker>,
     queue: VecDeque<(OpId, KvOp<K, V>)>,
+    /// Server-side relay rounds, keyed by `(reader, uid)`. Volatile —
+    /// cleared on restart; completed rounds are pruned when the same reader
+    /// opens a strictly newer round.
+    relays: HashMap<(ProcessId, u64), RelayRound>,
     fast_reads: u64,
     write_backs: u64,
+    relay_reads: u64,
 }
 
 impl<K, V> KvNode<K, V>
@@ -263,8 +350,10 @@ where
             retransmissions: 0,
             recovering: None,
             queue: VecDeque::new(),
+            relays: HashMap::new(),
             fast_reads: 0,
             write_backs: 0,
+            relay_reads: 0,
         }
     }
 
@@ -281,6 +370,11 @@ where
     /// `Get`s issued here that executed the write-back phase.
     pub fn write_backs(&self) -> u64 {
         self.write_backs
+    }
+
+    /// `Get`s issued here that completed via server-to-server relay.
+    pub fn relay_reads(&self) -> u64 {
+        self.relay_reads
     }
 
     /// Whether the node is running its post-restart state transfer
@@ -338,6 +432,14 @@ where
                     self.store.insert(key, (tag, value));
                 }
             }
+        }
+    }
+
+    /// [`KvNode::adopt`] for snapshot-shaped pairs, where `None` means the
+    /// sender has never written the key (nothing to adopt).
+    fn adopt_opt(&mut self, key: K, tag: Tag, value: Option<V>) {
+        if let Some(v) = value {
+            self.adopt(key, tag, v);
         }
     }
 
@@ -460,7 +562,7 @@ where
         census: TagCensus<Tag, Option<V>>,
         fx: &mut Effects<KvMsg<K, V>, KvResp<V>>,
     ) {
-        if self.cfg.fast_reads
+        if self.cfg.read_mode == ReadMode::FastUnanimous
             && fast_read_allowed(self.cfg.quorum.as_ref(), responders, census.unanimous())
         {
             self.fast_reads += 1;
@@ -477,6 +579,10 @@ where
     fn begin(&mut self, op: OpId, input: KvOp<K, V>, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
         match input {
             KvOp::Get(key) => {
+                if self.cfg.read_mode == ReadMode::Relay {
+                    self.begin_relay_get(op, key, fx);
+                    return;
+                }
                 let uid = self.fresh_uid();
                 let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
                 let (tag, value) = self.snapshot(&key);
@@ -533,6 +639,152 @@ where
         }
     }
 
+    /// Opens a relay `Get`: broadcast our snapshot for `key` as the round's
+    /// query (it doubles as our server-role forward) and join our own
+    /// server round. Single-node clusters complete in place.
+    fn begin_relay_get(&mut self, op: OpId, key: K, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
+        let uid = self.fresh_uid();
+        self.pending.insert(
+            uid,
+            Pending::RelayGet {
+                op,
+                key: key.clone(),
+                ph: PhaseTracker::new_empty(uid, self.cfg.n),
+                census: RelayCensus::new(),
+            },
+        );
+        let (tag, value) = self.snapshot(&key);
+        self.broadcast(
+            KvMsg::RelayQuery {
+                uid,
+                key: key.clone(),
+                tag,
+                value,
+            },
+            fx,
+        );
+        self.arm_timer(uid, fx);
+        self.relay_observe(self.cfg.me, uid, key, self.cfg.me, fx);
+    }
+
+    /// Sends this server's forward for round `(reader, uid)` to `targets`.
+    fn relay_fwd_to(
+        &self,
+        targets: &[ProcessId],
+        reader: ProcessId,
+        uid: u64,
+        key: &K,
+        echo: bool,
+        fx: &mut Effects<KvMsg<K, V>, KvResp<V>>,
+    ) {
+        let (tag, value) = self.snapshot(key);
+        for &p in targets {
+            fx.send(
+                p,
+                KvMsg::RelayFwd {
+                    uid,
+                    reader,
+                    key: key.clone(),
+                    tag,
+                    value: value.clone(),
+                    echo,
+                },
+            );
+        }
+    }
+
+    /// Records `from`'s forward in server round `(reader, uid)`, creating
+    /// the round (and broadcasting our own forward) on first contact. Once
+    /// the forwards cover a read quorum the round is marked done and our
+    /// snapshot goes to the reader as its direct reply (fed straight into
+    /// our own pending `Get` when we are the reader).
+    fn relay_observe(
+        &mut self,
+        reader: ProcessId,
+        uid: u64,
+        key: K,
+        from: ProcessId,
+        fx: &mut Effects<KvMsg<K, V>, KvResp<V>>,
+    ) {
+        let (n, me) = (self.cfg.n, self.cfg.me);
+        let created = !self.relays.contains_key(&(reader, uid));
+        if created {
+            // GC: a strictly newer round from this reader retires its
+            // *completed* older rounds. In-progress ones stay — pipelined
+            // readers legitimately keep several rounds open at once.
+            self.relays
+                .retain(|&(r, u), round| r != reader || u >= uid || !round.done);
+            self.relays.insert(
+                (reader, uid),
+                RelayRound {
+                    ph: PhaseTracker::new(uid, n, me),
+                    done: false,
+                },
+            );
+        }
+        let complete = match self.relays.get_mut(&(reader, uid)) {
+            Some(round) => {
+                round.ph.record(from, uid);
+                !round.done && self.cfg.quorum.is_read_quorum(round.ph.responders())
+            }
+            None => false,
+        };
+        if !complete {
+            if created && reader != me {
+                let targets: Vec<ProcessId> = (0..n).map(ProcessId).filter(|&p| p != me).collect();
+                self.relay_fwd_to(&targets, reader, uid, &key, false, fx);
+            }
+            return;
+        }
+        if let Some(round) = self.relays.get_mut(&(reader, uid)) {
+            round.done = true;
+        }
+        let (tag, value) = self.snapshot(&key);
+        if reader == me {
+            self.relay_reply_in(me, uid, tag, value, fx);
+        } else {
+            fx.send(reader, KvMsg::RelayReply { uid, tag, value });
+        }
+    }
+
+    /// Reader-side processing of one direct server reply. Completes the
+    /// `Get` on a write quorum of replies with the census's minimum pair —
+    /// see the `abd-core` SWMR module docs for why the minimum is safe.
+    fn relay_reply_in(
+        &mut self,
+        from: ProcessId,
+        uid: u64,
+        tag: Tag,
+        value: Option<V>,
+        fx: &mut Effects<KvMsg<K, V>, KvResp<V>>,
+    ) {
+        let Some(Pending::RelayGet { ph, census, .. }) = self.pending.get_mut(&uid) else {
+            return;
+        };
+        if !ph.record(from, uid) {
+            return;
+        }
+        census.observe(tag, value);
+        if !self.cfg.quorum.is_write_quorum(ph.responders()) {
+            return;
+        }
+        let Some(Pending::RelayGet {
+            op, key, census, ..
+        }) = self.pending.remove(&uid)
+        else {
+            unreachable!()
+        };
+        self.disarm_timer(uid, fx);
+        self.relay_reads += 1;
+        let (tag, value) = match census.into_min() {
+            Some(best) => best,
+            // Unreachable — a write quorum is never empty — but total.
+            None => self.snapshot(&key),
+        };
+        self.adopt_opt(key, tag, value.clone());
+        fx.respond(op, KvResp::GetOk(value));
+    }
+
     fn retransmit_message(&self, p: &Pending<K, V>) -> Option<KvMsg<K, V>> {
         match p {
             Pending::GetQuery { key, ph, .. } | Pending::PutQuery { key, ph, .. } => {
@@ -560,6 +812,17 @@ where
                 tag: *tag,
                 value: value.clone(),
             }),
+            Pending::RelayGet { key, ph, .. } => {
+                // Retransmit the query with the *current* snapshot —
+                // monotone above the original.
+                let (tag, value) = self.snapshot(key);
+                Some(KvMsg::RelayQuery {
+                    uid: ph.uid(),
+                    key: key.clone(),
+                    tag,
+                    value,
+                })
+            }
         }
     }
 }
@@ -716,6 +979,70 @@ where
                     }
                 }
             }
+            // ---- relay read: server and reader roles ----
+            KvMsg::RelayQuery {
+                uid,
+                key,
+                tag,
+                value,
+            } => {
+                self.adopt_opt(key.clone(), tag, value);
+                let round = self.relays.get(&(from, uid));
+                if round.is_some_and(|r| r.done) {
+                    // Reader retransmission after our round completed: both
+                    // our forward and our reply may have been lost.
+                    self.relay_fwd_to(&[from], from, uid, &key, true, fx);
+                    let (tag, value) = self.snapshot(&key);
+                    fx.send(from, KvMsg::RelayReply { uid, tag, value });
+                    return;
+                }
+                let repeat = round.is_some_and(|r| r.ph.responders().contains(from));
+                if repeat {
+                    // Duplicate query while still gathering: re-send our
+                    // forward to unheard peers and the stuck reader.
+                    let mut targets = Vec::new();
+                    if let Some(r) = self.relays.get(&(from, uid)) {
+                        targets = r.ph.missing();
+                    }
+                    targets.push(from);
+                    self.relay_fwd_to(&targets, from, uid, &key, false, fx);
+                    return;
+                }
+                self.relay_observe(from, uid, key, from, fx);
+            }
+            KvMsg::RelayFwd {
+                uid,
+                reader,
+                key,
+                tag,
+                value,
+                echo,
+            } => {
+                self.adopt_opt(key.clone(), tag, value);
+                let round = self.relays.get(&(reader, uid));
+                let repeat = round.is_some_and(|r| r.ph.responders().contains(from));
+                if repeat {
+                    if !echo {
+                        // Echo our snapshot so the stuck sender's tracker
+                        // can count us; echoes are never answered.
+                        self.relay_fwd_to(&[from], reader, uid, &key, true, fx);
+                    }
+                    return;
+                }
+                if round.is_some_and(|r| r.done) {
+                    // Straggler for a completed round: record it silently.
+                    if let Some(r) = self.relays.get_mut(&(reader, uid)) {
+                        r.ph.record(from, uid);
+                    }
+                    return;
+                }
+                self.relay_observe(reader, uid, key, from, fx);
+            }
+            KvMsg::RelayReply { uid, tag, value } => {
+                // The pending entry (if any) knows the key; adopt happens in
+                // relay_reply_in via the census minimum.
+                self.relay_reply_in(from, uid, tag, value, fx);
+            }
         }
     }
 
@@ -737,12 +1064,27 @@ where
         let Some(pending) = self.pending.get(&uid) else {
             return;
         };
-        let targets = match pending {
+        let mut targets = match pending {
             Pending::GetQuery { ph, .. }
             | Pending::PutQuery { ph, .. }
             | Pending::GetWriteBack { ph, .. }
-            | Pending::PutUpdate { ph, .. } => ph.missing(),
+            | Pending::PutUpdate { ph, .. }
+            | Pending::RelayGet { ph, .. } => ph.missing(),
         };
+        if matches!(pending, Pending::RelayGet { .. }) {
+            // A relay reader can be stuck on replies *or* on forwards for
+            // its own server round; re-query both sets. The empty-seeded
+            // reply tracker lists `me` as missing — never send to self.
+            if let Some(round) = self.relays.get(&(self.cfg.me, uid)) {
+                for p in round.ph.missing() {
+                    if !targets.contains(&p) {
+                        targets.push(p);
+                    }
+                }
+                targets.sort();
+            }
+            targets.retain(|&p| p != self.cfg.me);
+        }
         if let Some(msg) = self.retransmit_message(pending) {
             self.retransmissions += targets.len() as u64;
             for p in targets {
@@ -760,6 +1102,10 @@ where
         self.pending.clear();
         self.rtx_attempts.clear();
         self.queue.clear();
+        // Relay bookkeeping is volatile too: a post-restart reply still
+        // carries the persisted store, which is all the safety argument
+        // needs (see the abd-core SWMR module docs).
+        self.relays.clear();
         let uid = self.fresh_uid();
         let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
         if self.cfg.quorum.is_read_quorum(ph.responders()) {
@@ -782,6 +1128,10 @@ where
 
     fn write_backs(&self) -> u64 {
         self.write_backs
+    }
+
+    fn relay_reads(&self) -> u64 {
+        self.relay_reads
     }
 }
 
@@ -1018,6 +1368,59 @@ mod tests {
         assert_eq!(net.nodes[1].write_backs(), 1);
         // The write-back repaired the stale replica.
         assert_eq!(*net.nodes[2].local_entry(&"k").unwrap().1, 7);
+    }
+
+    #[test]
+    fn relay_get_returns_put_value_in_one_and_a_half_rounds() {
+        let mut net: Net<&str, u32> = Net::with(5, |cfg| cfg.with_read_mode(ReadMode::Relay));
+        net.invoke(0, KvOp::Put("k", 7));
+        net.run();
+        let before = net.sent;
+        net.invoke(3, KvOp::Get("k"));
+        net.run();
+        assert_eq!(net.take().pop().unwrap().1, KvResp::GetOk(Some(7)));
+        // query (n-1) + forwards (n-1)² + replies (n-1) = n² - 1.
+        assert_eq!(net.sent - before, 5 * 5 - 1);
+        assert_eq!(net.nodes[3].relay_reads(), 1);
+        assert_eq!(net.nodes[3].write_backs(), 0);
+    }
+
+    #[test]
+    fn relay_get_of_missing_key_returns_none() {
+        let mut net: Net<&str, u32> = Net::with(3, |cfg| cfg.with_read_mode(ReadMode::Relay));
+        net.invoke(1, KvOp::Get("nope"));
+        net.run();
+        assert_eq!(net.take()[0].1, KvResp::GetOk(None));
+    }
+
+    #[test]
+    fn pipelined_relay_gets_on_distinct_keys_complete() {
+        let mut net: Net<&str, u32> = Net::with(3, |cfg| cfg.with_read_mode(ReadMode::Relay));
+        net.invoke(0, KvOp::Put("x", 1));
+        net.invoke(0, KvOp::Put("y", 2));
+        net.run();
+        net.take();
+        // Two relay rounds in flight on the same reader at once.
+        net.invoke(2, KvOp::Get("x"));
+        net.invoke(2, KvOp::Get("y"));
+        assert_eq!(net.nodes[2].in_flight(), 2);
+        net.run();
+        let r = net.take();
+        assert_eq!(r[0].1, KvResp::GetOk(Some(1)));
+        assert_eq!(r[1].1, KvResp::GetOk(Some(2)));
+        assert_eq!(net.nodes[2].relay_reads(), 2);
+    }
+
+    #[test]
+    fn relay_get_tolerates_minority_crash() {
+        let mut net: Net<&str, u32> = Net::with(5, |cfg| cfg.with_read_mode(ReadMode::Relay));
+        net.invoke(0, KvOp::Put("k", 9));
+        net.run();
+        net.alive[1] = false;
+        net.alive[4] = false;
+        net.invoke(2, KvOp::Get("k"));
+        net.run();
+        assert_eq!(net.take().pop().unwrap().1, KvResp::GetOk(Some(9)));
     }
 
     #[test]

@@ -794,15 +794,23 @@ impl<'a> Parser<'a> {
     }
 
     /// Scans an `if`/`while`/`for`/`match` header up to the body `{`.
+    ///
+    /// A depth-0 `Path::Seg {` is a struct *pattern* brace only on the
+    /// pattern side of a `let` header (before the depth-0 `=`); Rust
+    /// forbids struct literals in header expression position, so
+    /// everywhere else the brace opens the body.
     fn scan_header(&mut self) -> Span {
         let lo = self.cur;
+        let is_let = self.txt(self.cur) == "let";
+        let mut in_pattern = is_let;
         let mut depth = 0usize;
         while self.cur < self.toks.len() {
             match self.txt(self.cur) {
                 "(" | "[" => depth += 1,
                 ")" | "]" => depth = depth.saturating_sub(1),
+                "=" if depth == 0 => in_pattern = false,
                 "{" if depth == 0 => {
-                    if self.prev_is_path_segment(self.cur) {
+                    if in_pattern && self.prev_is_path_segment(self.cur) {
                         self.skip_balanced();
                         continue;
                     }

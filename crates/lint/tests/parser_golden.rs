@@ -52,7 +52,15 @@ fn register_msg_enum_variants_are_complete() {
     let variants: Vec<&str> = wire.variants.iter().map(|(n, _)| n.as_str()).collect();
     assert_eq!(
         variants,
-        vec!["Query", "QueryReply", "Update", "UpdateAck"],
+        vec![
+            "Query",
+            "QueryReply",
+            "Update",
+            "UpdateAck",
+            "RelayQuery",
+            "RelayFwd",
+            "RelayReply"
+        ],
         "rule 10's coverage check keys on this exact variant list"
     );
 }
@@ -76,11 +84,13 @@ fn swmr_phase_graph_extraction_matches_golden_edges() {
             "Idle -> Write",
             "Invoke -> Done",
             "Invoke -> Query",
+            "Invoke -> RelayRead",
             "Invoke -> Write",
             "Invoke -> WriteBack",
             "Query -> Done",
             "Query -> WriteBack",
             "Recovery -> Idle",
+            "RelayRead -> Done",
             "Restart -> Recovery",
             "Restart -> Write",
             "Write -> Done",

@@ -17,6 +17,11 @@
 //!   read's write-back phase was elided (or sabotaged) exactly when quorum
 //!   intersection is under attack. This is the precondition for the
 //!   new/old-inversion failures the write-back exists to prevent.
+//! - **Relay-read-under-partition** — a read completed on direct
+//!   `RelayReply`s while a partition was installed: the one-and-a-half-round
+//!   path finished exactly when server-to-server forwarding was under
+//!   attack, the precondition for a relay round completing on a stale
+//!   minimum.
 //! - **Write-back-while-crashed** — an `Update` addressed to a crashed
 //!   node: some propagation phase is counting on a replica that cannot
 //!   currently adopt.
@@ -52,6 +57,12 @@ pub enum MsgKind {
     Update,
     /// A propagation acknowledgement.
     UpdateAck,
+    /// A relay-read opening broadcast (reader snapshot).
+    RelayQuery,
+    /// A server-to-server relay forward.
+    RelayFwd,
+    /// A server's direct reply to a relaying reader.
+    RelayReply,
     /// A coalesced envelope carrying several inner messages.
     Batch,
 }
@@ -63,6 +74,9 @@ impl fmt::Display for MsgKind {
             MsgKind::QueryReply => "QueryReply",
             MsgKind::Update => "Update",
             MsgKind::UpdateAck => "UpdateAck",
+            MsgKind::RelayQuery => "RelayQuery",
+            MsgKind::RelayFwd => "RelayFwd",
+            MsgKind::RelayReply => "RelayReply",
             MsgKind::Batch => "Batch",
         };
         f.write_str(s)
@@ -84,6 +98,9 @@ impl<L, V> Classify for RegisterMsg<L, V> {
             RegisterMsg::QueryReply { .. } => MsgKind::QueryReply,
             RegisterMsg::Update { .. } => MsgKind::Update,
             RegisterMsg::UpdateAck { .. } => MsgKind::UpdateAck,
+            RegisterMsg::RelayQuery { .. } => MsgKind::RelayQuery,
+            RegisterMsg::RelayFwd { .. } => MsgKind::RelayFwd,
+            RegisterMsg::RelayReply { .. } => MsgKind::RelayReply,
         }
     }
 }
@@ -126,6 +143,9 @@ pub enum Cell {
     /// A read completed during a partition with no `UpdateAck` delivered to
     /// the reader while it was in flight (write-back elided or lost).
     FastReadUnderPartition,
+    /// A read completed on direct `RelayReply`s while a partition was
+    /// installed — the relay fast path finishing under quorum attack.
+    RelayReadUnderPartition,
     /// An `Update` arrived at a crashed node (propagation counting on a
     /// replica that cannot adopt).
     UpdateWhileCrashed,
@@ -150,6 +170,7 @@ impl fmt::Display for Cell {
                 write!(f, "bigram/{role}: {prev} -> {cur}")
             }
             Cell::FastReadUnderPartition => f.write_str("fast-read-under-partition"),
+            Cell::RelayReadUnderPartition => f.write_str("relay-read-under-partition"),
             Cell::UpdateWhileCrashed => f.write_str("write-back-while-crashed"),
             Cell::RecoveryInterleavedQuery => f.write_str("recovery-interleaved-query"),
             Cell::RetransmissionExhaustion(b) => write!(f, "retransmission-exhaustion/2^{b}"),
@@ -254,8 +275,8 @@ pub struct CoverageCollector {
     recovering: Vec<u32>,
     /// Majority threshold minus one: remote replies a catch-up needs.
     catchup_replies: u32,
-    /// Per node: in-flight read `(op, saw_update_ack)`.
-    read_in_flight: Vec<Option<(OpId, bool)>>,
+    /// Per node: in-flight read `(op, saw_update_ack, saw_relay_reply)`.
+    read_in_flight: Vec<Option<(OpId, bool, bool)>>,
     cells: BTreeSet<Cell>,
 }
 
@@ -303,8 +324,13 @@ impl CoverageCollector {
                                 self.recovering[t] -= 1;
                             }
                             MsgKind::UpdateAck => {
-                                if let Some((_, saw_ack)) = self.read_in_flight[t].as_mut() {
+                                if let Some((_, saw_ack, _)) = self.read_in_flight[t].as_mut() {
                                     *saw_ack = true;
+                                }
+                            }
+                            MsgKind::RelayReply => {
+                                if let Some((_, _, saw_relay)) = self.read_in_flight[t].as_mut() {
+                                    *saw_relay = true;
                                 }
                             }
                             _ => {}
@@ -314,15 +340,17 @@ impl CoverageCollector {
             }
             TapKind::Invoke { op, input } => {
                 if input.is_read() {
-                    self.read_in_flight[t] = Some((*op, false));
+                    self.read_in_flight[t] = Some((*op, false, false));
                 } else {
                     self.read_in_flight[t] = None;
                 }
             }
             TapKind::Complete { op } => {
-                if let Some((read_op, saw_ack)) = self.read_in_flight[t] {
+                if let Some((read_op, saw_ack, saw_relay)) = self.read_in_flight[t] {
                     if read_op == *op {
-                        if !saw_ack && ev.partition_active {
+                        if saw_relay && ev.partition_active {
+                            self.cells.insert(Cell::RelayReadUnderPartition);
+                        } else if !saw_ack && ev.partition_active {
                             self.cells.insert(Cell::FastReadUnderPartition);
                         }
                         self.read_in_flight[t] = None;
@@ -469,6 +497,38 @@ mod tests {
         };
         c.observe(&complete);
         let s = c.finish(&Metrics::default(), 0);
+        assert!(!s.contains(&Cell::FastReadUnderPartition));
+    }
+
+    #[test]
+    fn relay_read_under_partition_is_flagged_separately() {
+        let mut c = CoverageCollector::new(5, ProcessId(0));
+        let invoke: TapEvent<'_, RegisterMsg<u64, u64>, RegisterOp<u64>> = TapEvent {
+            at: 0,
+            target: ProcessId(1),
+            partition_active: true,
+            kind: TapKind::Invoke {
+                op: OpId(7),
+                input: &RegisterOp::Read,
+            },
+        };
+        c.observe(&invoke);
+        let reply = RegisterMsg::RelayReply {
+            uid: 3,
+            label: 1,
+            value: 4,
+        };
+        c.observe(&deliver(5, 1, &reply, None, true));
+        let complete: TapEvent<'_, RegisterMsg<u64, u64>, RegisterOp<u64>> = TapEvent {
+            at: 10,
+            target: ProcessId(1),
+            partition_active: true,
+            kind: TapKind::Complete { op: OpId(7) },
+        };
+        c.observe(&complete);
+        let s = c.finish(&Metrics::default(), 0);
+        assert!(s.contains(&Cell::RelayReadUnderPartition));
+        // A relay completion is not mistaken for an elided write-back.
         assert!(!s.contains(&Cell::FastReadUnderPartition));
     }
 

@@ -49,6 +49,9 @@ pub struct Metrics {
     /// Reads that actually ran the write-back phase. Same caveat as
     /// [`Metrics::fast_reads`].
     pub write_backs: u64,
+    /// Reads completed through the relay (one-and-a-half-round) path.
+    /// Same caveat as [`Metrics::fast_reads`].
+    pub relay_reads: u64,
 }
 
 impl Metrics {

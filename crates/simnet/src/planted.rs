@@ -50,9 +50,9 @@ use std::fmt;
 /// wrapper is deterministic: sabotage depends only on the invocation
 /// sequence, so seeded campaigns replay bit-identically.
 ///
-/// Use with [`fast_reads`](abd_core::swmr::SwmrConfig::fast_reads) **off**:
-/// an elided write-back has no broadcast to sabotage, which would silently
-/// shift the defect to a later read.
+/// Use with the two-round [`read_mode`](abd_core::swmr::SwmrConfig::read_mode):
+/// an elided (or relayed-away) write-back has no broadcast to sabotage,
+/// which would silently shift the defect to a later read.
 #[derive(Clone, Debug)]
 pub struct PlantedSwmr<V> {
     inner: SwmrNode<V>,

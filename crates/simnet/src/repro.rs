@@ -31,7 +31,7 @@ use abd_core::msg::{RegisterOp, RegisterResp};
 use abd_core::mwmr::{MwmrConfig, MwmrNode};
 use abd_core::retransmit::BackoffPolicy;
 use abd_core::swmr::{SwmrConfig, SwmrNode};
-use abd_core::types::{Nanos, ProcessId};
+use abd_core::types::{Nanos, ProcessId, ReadMode};
 use abd_lincheck::history::History;
 use abd_lincheck::oracle::{AtomicSwmrOracle, HistoryOracle, LinearizableOracle};
 use std::fmt;
@@ -42,23 +42,23 @@ use std::path::{Path, PathBuf};
 pub enum ProtocolSpec {
     /// Single-writer nodes ([`SwmrNode`]); writer is node 0.
     Swmr {
-        /// Write-back elision on unanimous write-quorum reads.
-        fast_reads: bool,
+        /// Read path: two-round, fast-unanimous, or relay.
+        read_mode: ReadMode,
         /// Whether a restarted writer rolls its crash-interrupted write
         /// forward (see [`SwmrConfig::with_write_epilogue`]).
         write_epilogue: bool,
     },
     /// Multi-writer nodes ([`MwmrNode`]).
     Mwmr {
-        /// Write-back elision on unanimous write-quorum reads.
-        fast_reads: bool,
+        /// Read path: two-round, fast-unanimous, or relay.
+        read_mode: ReadMode,
     },
     /// Single-writer nodes under a [`Batched`] coalescing wrapper.
     BatchedSwmr {
         /// Nagle-style flush window in nanoseconds (0 = flush immediately).
         window: Nanos,
-        /// Write-back elision on unanimous write-quorum reads.
-        fast_reads: bool,
+        /// Read path: two-round, fast-unanimous, or relay.
+        read_mode: ReadMode,
     },
     /// Single-writer nodes with the **planted** write-back-dropping bug
     /// ([`PlantedSwmr`]) — test fixtures only.
@@ -91,6 +91,20 @@ impl ProtocolSpec {
             | ProtocolSpec::PlantedSwmr { .. }
             | ProtocolSpec::MutantSwmr { .. } => "swmr",
             ProtocolSpec::Mwmr { .. } => "mwmr",
+        }
+    }
+
+    /// The read path the campaign's clients walk, where the spec makes it
+    /// configurable. The planted/mutant fixtures are pinned to `TwoRound`
+    /// so their known-bad goldens never shift under read-mode changes.
+    pub fn read_mode(&self) -> ReadMode {
+        match *self {
+            ProtocolSpec::Swmr { read_mode, .. }
+            | ProtocolSpec::Mwmr { read_mode }
+            | ProtocolSpec::BatchedSwmr { read_mode, .. } => read_mode,
+            ProtocolSpec::PlantedSwmr { .. } | ProtocolSpec::MutantSwmr { .. } => {
+                ReadMode::TwoRound
+            }
         }
     }
 }
@@ -298,9 +312,9 @@ impl Repro {
         Ok(path)
     }
 
-    fn swmr_cfg(&self, i: usize, fast_reads: bool) -> SwmrConfig {
+    fn swmr_cfg(&self, i: usize, read_mode: ReadMode) -> SwmrConfig {
         let mut cfg = SwmrConfig::new(self.n, ProcessId(i), ProcessId(0));
-        cfg = cfg.with_fast_reads(fast_reads);
+        cfg = cfg.with_read_mode(read_mode);
         if let Some(base) = self.backoff_base {
             cfg = cfg.with_backoff(BackoffPolicy::new(base));
         }
@@ -318,13 +332,13 @@ impl Repro {
     fn run_once_cov(&self, coverage: Option<&mut CoverageSample>) -> (u64, bool, History<u64>) {
         match self.protocol {
             ProtocolSpec::Swmr {
-                fast_reads,
+                read_mode,
                 write_epilogue,
             } => self.drive(
                 (0..self.n)
                     .map(|i| {
                         SwmrNode::new(
-                            self.swmr_cfg(i, fast_reads)
+                            self.swmr_cfg(i, read_mode)
                                 .with_write_epilogue(write_epilogue),
                             0u64,
                         )
@@ -332,11 +346,11 @@ impl Repro {
                     .collect(),
                 coverage,
             ),
-            ProtocolSpec::Mwmr { fast_reads } => self.drive(
+            ProtocolSpec::Mwmr { read_mode } => self.drive(
                 (0..self.n)
                     .map(|i| {
                         let mut cfg =
-                            MwmrConfig::new(self.n, ProcessId(i)).with_fast_reads(fast_reads);
+                            MwmrConfig::new(self.n, ProcessId(i)).with_read_mode(read_mode);
                         if let Some(base) = self.backoff_base {
                             cfg = cfg.with_backoff(BackoffPolicy::new(base));
                         }
@@ -345,24 +359,31 @@ impl Repro {
                     .collect(),
                 coverage,
             ),
-            ProtocolSpec::BatchedSwmr { window, fast_reads } => self.drive(
+            ProtocolSpec::BatchedSwmr { window, read_mode } => self.drive(
                 (0..self.n)
-                    .map(|i| {
-                        Batched::new(SwmrNode::new(self.swmr_cfg(i, fast_reads), 0u64), window)
-                    })
+                    .map(|i| Batched::new(SwmrNode::new(self.swmr_cfg(i, read_mode), 0u64), window))
                     .collect(),
                 coverage,
             ),
             ProtocolSpec::PlantedSwmr { every } => self.drive(
                 (0..self.n)
-                    .map(|i| PlantedSwmr::new(SwmrNode::new(self.swmr_cfg(i, false), 0u64), every))
+                    .map(|i| {
+                        PlantedSwmr::new(
+                            SwmrNode::new(self.swmr_cfg(i, ReadMode::TwoRound), 0u64),
+                            every,
+                        )
+                    })
                     .collect(),
                 coverage,
             ),
             ProtocolSpec::MutantSwmr { mutant, every } => self.drive(
                 (0..self.n)
                     .map(|i| {
-                        MutantSwmr::new(SwmrNode::new(self.swmr_cfg(i, false), 0u64), mutant, every)
+                        MutantSwmr::new(
+                            SwmrNode::new(self.swmr_cfg(i, ReadMode::TwoRound), 0u64),
+                            mutant,
+                            every,
+                        )
                     })
                     .collect(),
                 coverage,
@@ -469,20 +490,29 @@ impl Repro {
         let mut s = String::new();
         s.push_str("Repro(\n");
         s.push_str(&format!("    name: \"{}\",\n", esc(&self.name)));
+        // The non-relay modes keep serializing through the legacy
+        // `fast_reads` bool so artifacts written before `ReadMode` existed
+        // keep their canonical form byte-for-byte; only `Relay` — which has
+        // no pre-existing encoding — uses the `read_mode` field.
+        let mode_field = |m: ReadMode| match m {
+            ReadMode::TwoRound => "fast_reads: false".to_string(),
+            ReadMode::FastUnanimous => "fast_reads: true".to_string(),
+            ReadMode::Relay => "read_mode: Relay".to_string(),
+        };
         let proto = match self.protocol {
             // `write_epilogue` serializes only when set, so artifacts
             // written before the flag existed keep their canonical form.
             ProtocolSpec::Swmr {
-                fast_reads,
+                read_mode,
                 write_epilogue: false,
-            } => format!("Swmr(fast_reads: {fast_reads})"),
+            } => format!("Swmr({})", mode_field(read_mode)),
             ProtocolSpec::Swmr {
-                fast_reads,
+                read_mode,
                 write_epilogue: true,
-            } => format!("Swmr(fast_reads: {fast_reads}, write_epilogue: true)"),
-            ProtocolSpec::Mwmr { fast_reads } => format!("Mwmr(fast_reads: {fast_reads})"),
-            ProtocolSpec::BatchedSwmr { window, fast_reads } => {
-                format!("BatchedSwmr(window: {window}, fast_reads: {fast_reads})")
+            } => format!("Swmr({}, write_epilogue: true)", mode_field(read_mode)),
+            ProtocolSpec::Mwmr { read_mode } => format!("Mwmr({})", mode_field(read_mode)),
+            ProtocolSpec::BatchedSwmr { window, read_mode } => {
+                format!("BatchedSwmr(window: {window}, {})", mode_field(read_mode))
             }
             ProtocolSpec::PlantedSwmr { every } => format!("PlantedSwmr(every: {every})"),
             ProtocolSpec::MutantSwmr { mutant, every } => {
@@ -913,6 +943,24 @@ fn fault_from_val(v: &Val) -> Result<PlannedFault, String> {
     }
 }
 
+/// Reads a protocol's read mode: a `read_mode` ident field when present,
+/// else the legacy `fast_reads` bool (pre-`ReadMode` artifacts).
+fn read_mode_from(p: &Val) -> Result<ReadMode, String> {
+    if let Ok(m) = p.field("read_mode") {
+        let (name, _, _) = m.as_call(None)?;
+        match name {
+            "TwoRound" => Ok(ReadMode::TwoRound),
+            "FastUnanimous" => Ok(ReadMode::FastUnanimous),
+            "Relay" => Ok(ReadMode::Relay),
+            other => Err(format!("unknown read mode `{other}`")),
+        }
+    } else if p.field("fast_reads")?.as_bool()? {
+        Ok(ReadMode::FastUnanimous)
+    } else {
+        Ok(ReadMode::TwoRound)
+    }
+}
+
 fn repro_from_val(v: &Val) -> Result<Repro, String> {
     v.as_call(Some("Repro"))?;
 
@@ -921,7 +969,7 @@ fn repro_from_val(v: &Val) -> Result<Repro, String> {
         let (name, _, _) = p.as_call(None)?;
         match name {
             "Swmr" => ProtocolSpec::Swmr {
-                fast_reads: p.field("fast_reads")?.as_bool()?,
+                read_mode: read_mode_from(p)?,
                 // Absent in artifacts written before the flag existed.
                 write_epilogue: match p.field("write_epilogue") {
                     Ok(v) => v.as_bool()?,
@@ -929,11 +977,11 @@ fn repro_from_val(v: &Val) -> Result<Repro, String> {
                 },
             },
             "Mwmr" => ProtocolSpec::Mwmr {
-                fast_reads: p.field("fast_reads")?.as_bool()?,
+                read_mode: read_mode_from(p)?,
             },
             "BatchedSwmr" => ProtocolSpec::BatchedSwmr {
                 window: p.field("window")?.as_u64()?,
-                fast_reads: p.field("fast_reads")?.as_bool()?,
+                read_mode: read_mode_from(p)?,
             },
             "PlantedSwmr" => ProtocolSpec::PlantedSwmr {
                 every: p.field("every")?.as_u64()?,
@@ -1114,7 +1162,7 @@ mod tests {
             name: "sample \"quoted\"".to_string(),
             protocol: ProtocolSpec::BatchedSwmr {
                 window: 2_000,
-                fast_reads: true,
+                read_mode: ReadMode::FastUnanimous,
             },
             n: 5,
             backoff_base: Some(20_000),
@@ -1194,8 +1242,19 @@ mod tests {
     fn new_protocol_variants_round_trip() {
         for proto in [
             ProtocolSpec::Swmr {
-                fast_reads: false,
+                read_mode: ReadMode::TwoRound,
                 write_epilogue: true,
+            },
+            ProtocolSpec::Swmr {
+                read_mode: ReadMode::Relay,
+                write_epilogue: false,
+            },
+            ProtocolSpec::Mwmr {
+                read_mode: ReadMode::Relay,
+            },
+            ProtocolSpec::BatchedSwmr {
+                window: 1_500,
+                read_mode: ReadMode::Relay,
             },
             ProtocolSpec::MutantSwmr {
                 mutant: MutantKind::StaleTagAck,
@@ -1224,10 +1283,21 @@ mod tests {
         assert_eq!(
             back.protocol,
             ProtocolSpec::Swmr {
-                fast_reads: true,
+                read_mode: ReadMode::FastUnanimous,
                 write_epilogue: false
             }
         );
+        // Non-relay modes keep the legacy `fast_reads` encoding, so old
+        // artifacts stay canonical; relay gets the new field.
+        let mut r = sample();
+        r.protocol = ProtocolSpec::Mwmr {
+            read_mode: ReadMode::TwoRound,
+        };
+        assert!(r.to_ron().contains("Mwmr(fast_reads: false)"));
+        r.protocol = ProtocolSpec::Mwmr {
+            read_mode: ReadMode::Relay,
+        };
+        assert!(r.to_ron().contains("Mwmr(read_mode: Relay)"));
     }
 
     #[test]
@@ -1249,7 +1319,7 @@ mod tests {
         let r = Repro {
             name: "coverage".to_string(),
             protocol: ProtocolSpec::Swmr {
-                fast_reads: false,
+                read_mode: ReadMode::TwoRound,
                 write_epilogue: false,
             },
             n: 5,
@@ -1309,7 +1379,7 @@ mod tests {
         let r = Repro {
             name: "healthy".to_string(),
             protocol: ProtocolSpec::Swmr {
-                fast_reads: false,
+                read_mode: ReadMode::TwoRound,
                 write_epilogue: false,
             },
             n: 5,

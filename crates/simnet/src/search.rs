@@ -125,11 +125,22 @@ pub enum MutationOp {
     /// drain provoke nothing, so time-compression is how the search turns
     /// a sparse planner schedule into a dense ambush.
     Compress,
+    /// Insert a brand-new crash/restart pair on a random node. The only
+    /// operator that *creates* a crash: a corpus whose planner draws held
+    /// no crashes could otherwise never reach recovery-path coverage, no
+    /// matter how much it shifts and splices.
+    InsertCrashRestart,
+    /// Re-draw one crash's restart instant independently of its crash
+    /// instant (and of the original outage length). Restart placement is
+    /// what arms recovery-shaped triggers — e.g. a reboot landing inside
+    /// an in-flight write's update round — and [`MutationOp::Stretch`]
+    /// only nudges the end relative to where it already is.
+    RetargetRestart,
 }
 
 impl MutationOp {
     /// Every operator, for uniform drawing.
-    pub const ALL: [MutationOp; 9] = [
+    pub const ALL: [MutationOp; 11] = [
         MutationOp::Shift,
         MutationOp::Stretch,
         MutationOp::Duplicate,
@@ -139,6 +150,8 @@ impl MutationOp {
         MutationOp::TightenHeal,
         MutationOp::Splice,
         MutationOp::Compress,
+        MutationOp::InsertCrashRestart,
+        MutationOp::RetargetRestart,
     ];
 }
 
@@ -329,6 +342,60 @@ pub fn mutate(
             NemesisSchedule::from_faults(
                 fs,
                 scale(sched.heal_at()),
+                sched.skews().to_vec(),
+                sched.min_alive(),
+            )
+        }
+        MutationOp::InsertCrashRestart => {
+            // Crash inside the first half of the horizon: the workload is
+            // still issuing there, so the reboot's recovery races live
+            // operations instead of an idle cluster. Half the draws target
+            // node 0 — the canonical writer/invoker in every campaign
+            // frame this workspace runs, and the only node whose restart
+            // exercises a write-recovery epilogue in SWMR.
+            let at = rng.gen_range(0..=(horizon / 2).max(1));
+            let outage = rng.gen_range(1..=(horizon / 4).max(1));
+            let node = if rng.gen_bool(0.5) {
+                ProcessId(0)
+            } else {
+                ProcessId(rng.gen_range(0..n))
+            };
+            let mut fs = faults.to_vec();
+            fs.push(PlannedFault::Crash {
+                at,
+                node,
+                restart_at: at.saturating_add(outage),
+            });
+            NemesisSchedule::from_faults(
+                fs,
+                sched.heal_at(),
+                sched.skews().to_vec(),
+                sched.min_alive(),
+            )
+        }
+        MutationOp::RetargetRestart => {
+            let crashes: Vec<usize> = faults
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| matches!(f, PlannedFault::Crash { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            if crashes.is_empty() {
+                return None;
+            }
+            let i = crashes[rng.gen_range(0..crashes.len())];
+            let f = &faults[i];
+            // Re-drawn from scratch over half the horizon past the crash,
+            // not relative to the current restart: the reboot can land
+            // anywhere from "immediately" to deep into the campaign while
+            // clients are still active (`from_faults` raises `heal_at` if
+            // the outage outgrows it).
+            let restart = f.start() + rng.gen_range(1..=(horizon / 2).max(1));
+            let mut fs = faults.to_vec();
+            fs[i] = f.with_end(restart);
+            NemesisSchedule::from_faults(
+                fs,
+                sched.heal_at(),
                 sched.skews().to_vec(),
                 sched.min_alive(),
             )
@@ -569,6 +636,7 @@ mod tests {
     use super::*;
     use crate::nemesis::NemesisConfig;
     use crate::MutantKind;
+    use abd_core::types::ReadMode;
 
     fn sched(seed: u64, n: usize) -> NemesisSchedule {
         NemesisConfig::new(seed, n).plan()
@@ -637,6 +705,91 @@ mod tests {
     }
 
     #[test]
+    fn insert_crash_restart_creates_recovery_pressure_from_nothing() {
+        // A schedule with no faults at all: only the new operator can give
+        // it a crash, which is exactly why it exists.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let empty = NemesisSchedule::from_faults(vec![], 100_000, vec![0; 5], 3);
+        let partner = sched(3, 5);
+        let mut produced = 0;
+        for _ in 0..20 {
+            if let Some(m) = mutate(
+                &mut rng,
+                &empty,
+                &partner,
+                MutationOp::InsertCrashRestart,
+                5,
+            ) {
+                assert!(m
+                    .faults()
+                    .iter()
+                    .any(|f| matches!(f, PlannedFault::Crash { .. })));
+                assert!(m.validate(5).is_ok());
+                produced += 1;
+            }
+        }
+        assert!(produced > 0, "insertion must succeed on an empty schedule");
+    }
+
+    #[test]
+    fn retarget_restart_moves_the_reboot_but_not_the_crash() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let base = NemesisSchedule::from_faults(
+            vec![PlannedFault::Crash {
+                at: 10_000,
+                node: ProcessId(2),
+                restart_at: 20_000,
+            }],
+            200_000,
+            vec![0; 5],
+            3,
+        );
+        let partner = sched(3, 5);
+        let mut moved = 0;
+        for _ in 0..20 {
+            let Some(m) = mutate(&mut rng, &base, &partner, MutationOp::RetargetRestart, 5) else {
+                continue;
+            };
+            let crash = m
+                .faults()
+                .iter()
+                .find(|f| matches!(f, PlannedFault::Crash { .. }))
+                .expect("crash preserved");
+            assert_eq!(crash.start(), 10_000, "crash instant untouched");
+            assert!(crash.end() > crash.start());
+            if crash.end() != 20_000 {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "restart must actually move across draws");
+    }
+
+    #[test]
+    fn retarget_restart_needs_a_crash_to_work_on() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let no_crash = NemesisSchedule::from_faults(
+            vec![PlannedFault::LossBurst {
+                at: 1_000,
+                prob: 0.5,
+                until: 2_000,
+                restore: 0.0,
+            }],
+            100_000,
+            vec![0; 5],
+            3,
+        );
+        let partner = sched(3, 5);
+        assert!(mutate(
+            &mut rng,
+            &no_crash,
+            &partner,
+            MutationOp::RetargetRestart,
+            5
+        )
+        .is_none());
+    }
+
+    #[test]
     fn schedule_digest_separates_schedules() {
         let a = sched(1, 5);
         let b = sched(2, 5);
@@ -647,7 +800,7 @@ mod tests {
     #[test]
     fn guided_search_is_deterministic() {
         let s = spec(ProtocolSpec::Swmr {
-            fast_reads: false,
+            read_mode: ReadMode::TwoRound,
             write_epilogue: false,
         });
         let a = guided_search(&s, 42, 6);
@@ -661,7 +814,7 @@ mod tests {
     #[test]
     fn guided_search_finds_the_planted_write_back_drop() {
         let s = spec(ProtocolSpec::PlantedSwmr { every: 1 });
-        let out = guided_search(&s, 2, 24);
+        let out = guided_search(&s, 0, 24);
         let detection = out.detection.expect("planted bug must be detected");
         assert!(out.failure.is_some());
         assert!(out.campaigns <= 24);
@@ -673,7 +826,7 @@ mod tests {
     #[test]
     fn healthy_protocol_exhausts_budget_without_detection() {
         let s = spec(ProtocolSpec::Swmr {
-            fast_reads: false,
+            read_mode: ReadMode::TwoRound,
             write_epilogue: false,
         });
         let out = guided_search(&s, 7, 5);
@@ -686,7 +839,7 @@ mod tests {
     #[test]
     fn blind_search_matches_planner_per_seed() {
         let s = spec(ProtocolSpec::Swmr {
-            fast_reads: false,
+            read_mode: ReadMode::TwoRound,
             write_epilogue: false,
         });
         let out = blind_search(&s, 7, 3);

@@ -264,13 +264,14 @@ mod tests {
     use crate::nemesis::NemesisConfig;
     use crate::repro::{OracleSpec, ProtocolSpec};
     use abd_core::msg::RegisterOp;
+    use abd_core::types::ReadMode;
 
     fn healthy() -> Repro {
         let sched = NemesisConfig::new(7, 5).plan();
         Repro {
             name: "healthy".to_string(),
             protocol: ProtocolSpec::Swmr {
-                fast_reads: false,
+                read_mode: ReadMode::TwoRound,
                 write_epilogue: false,
             },
             n: 5,

@@ -858,6 +858,7 @@ where
         let mut m = self.metrics.clone();
         m.fast_reads = self.nodes.iter().map(|n| n.proto.fast_reads()).sum();
         m.write_backs = self.nodes.iter().map(|n| n.proto.write_backs()).sum();
+        m.relay_reads = self.nodes.iter().map(|n| n.proto.relay_reads()).sum();
         m
     }
 }
@@ -924,7 +925,30 @@ mod tests {
         let m = sim.read_path_metrics();
         assert_eq!(m.fast_reads, 1);
         assert_eq!(m.write_backs, 0);
+        assert_eq!(m.relay_reads, 0);
         assert_eq!(m.sent, sim.metrics().sent);
+    }
+
+    #[test]
+    fn read_path_metrics_counts_relay_reads() {
+        let nodes = (0..5)
+            .map(|i| {
+                SwmrNode::new(
+                    SwmrConfig::new(5, ProcessId(i), ProcessId(0))
+                        .with_read_mode(abd_core::types::ReadMode::Relay),
+                    0u64,
+                )
+            })
+            .collect();
+        let mut sim: Sim<SwmrNode<u64>> = Sim::new(SimConfig::new(3), nodes);
+        sim.invoke(ProcessId(0), RegisterOp::Write(4));
+        assert!(sim.run_until_ops_complete(1_000_000));
+        sim.invoke(ProcessId(2), RegisterOp::Read);
+        assert!(sim.run_until_ops_complete(2_000_000));
+        let m = sim.read_path_metrics();
+        assert_eq!(m.relay_reads, 1);
+        assert_eq!(m.fast_reads, 0);
+        assert_eq!(m.write_backs, 0);
     }
 
     #[test]

@@ -80,6 +80,59 @@ fn atomic_mwmr_is_linearizable_on_every_seed() {
     }
 }
 
+/// The relay read mode under a contended writer: 40 adversarial seeds of
+/// single-writer traffic with a high write ratio, so most reads overlap a
+/// write in flight. Every history must linearize with zero new/old
+/// inversions — the relay minimum stands in for the two-round write-back.
+#[test]
+fn relay_swmr_is_linearizable_under_a_contended_writer() {
+    for seed in 0..40u64 {
+        let nodes = (0..5)
+            .map(|i| {
+                abd_core::swmr::SwmrNode::new(
+                    abd_core::presets::relay_swmr(5, ProcessId(i), ProcessId(0)),
+                    0u64,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(adversarial(seed), nodes);
+        let wl = WorkloadConfig::new(seed ^ 0x7e1a, 12, WriterMode::Single(ProcessId(0)))
+            .with_write_ratio(0.5);
+        let h = run_workload(&mut sim, &wl, 0, 10_000_000_000, true)
+            .unwrap_or_else(|| panic!("seed {seed}: relay workload did not complete"));
+        assert_eq!(
+            check_linearizable_with_limit(&h, 1_000_000),
+            CheckResult::Linearizable,
+            "seed {seed} produced a non-linearizable relay history:\n{h}"
+        );
+        assert!(check_regular_swmr(&h).is_empty(), "seed {seed}");
+        assert!(find_new_old_inversions(&h).is_empty(), "seed {seed}");
+    }
+}
+
+/// Same sweep for multi-writer relay reads: concurrent writers make tag
+/// disagreement the common case, exactly where `FastUnanimous` loses its
+/// precondition and relay must still linearize.
+#[test]
+fn relay_mwmr_is_linearizable_under_contending_writers() {
+    for seed in 0..40u64 {
+        let nodes = (0..5)
+            .map(|i| {
+                abd_core::mwmr::MwmrNode::new(abd_core::presets::relay_mwmr(5, ProcessId(i)), 0u64)
+            })
+            .collect();
+        let mut sim = Sim::new(adversarial(seed), nodes);
+        let wl = WorkloadConfig::new(seed ^ 0x2e1a, 8, WriterMode::All).with_write_ratio(0.5);
+        let h = run_workload(&mut sim, &wl, 0, 10_000_000_000, true)
+            .unwrap_or_else(|| panic!("seed {seed}: relay workload did not complete"));
+        assert_eq!(
+            check_linearizable_with_limit(&h, 1_000_000),
+            CheckResult::Linearizable,
+            "seed {seed} produced a non-linearizable relay history:\n{h}"
+        );
+    }
+}
+
 #[test]
 fn regular_baseline_exhibits_inversions_somewhere_in_the_sweep() {
     let mut total_inversions = 0u64;

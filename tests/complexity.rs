@@ -219,3 +219,105 @@ fn retransmission_adds_no_messages_on_reliable_links() {
         "timer cancelled on completion"
     );
 }
+
+#[test]
+fn relay_read_is_one_and_a_half_rounds_n_squared_minus_one_messages() {
+    // The Oh-RAM shape: reader -> servers (n-1 queries), every server ->
+    // every other server (forwards), servers -> reader (direct replies) —
+    // n^2 - 1 messages in 3 one-way delays. At n=3 the protocol
+    // short-circuits: a server's own replica plus the reader's query
+    // already cover the read quorum of 2, so the forward leg never fires
+    // and the read is 2 delays / 2(n-1) messages — strictly better, pinned
+    // separately below.
+    for n in [5usize, 7] {
+        let nodes = (0..n)
+            .map(|i| {
+                abd_core::swmr::SwmrNode::new(
+                    abd_core::presets::relay_swmr(n, ProcessId(i), ProcessId(0)),
+                    0u64,
+                )
+            })
+            .collect();
+        let mut sim = Sim::new(constant_delay(11), nodes);
+        sim.invoke(ProcessId(0), RegisterOp::Write(9));
+        assert!(sim.run_until_quiet(u64::MAX / 2));
+        let before = sim.metrics().sent;
+        sim.invoke(ProcessId(n - 1), RegisterOp::Read);
+        assert!(sim.run_until_quiet(u64::MAX / 2));
+        assert_eq!(
+            sim.metrics().sent - before,
+            (n * n) as u64 - 1,
+            "n={n}: relay messages"
+        );
+        assert_eq!(sim.completed()[1].latency(), 3 * D, "n={n}: 1.5 rounds");
+        assert_eq!(sim.read_path_metrics().relay_reads, 1, "n={n}");
+    }
+}
+
+#[test]
+fn relay_read_short_circuits_at_n_3() {
+    // With n=3 the read quorum is 2, and every server's round is covered
+    // by {itself, the reader} the moment the query lands: no forwards, a
+    // direct reply at delay 2 — the relay path costs no more than a fast
+    // read here.
+    let n = 3;
+    let nodes = (0..n)
+        .map(|i| {
+            abd_core::swmr::SwmrNode::new(
+                abd_core::presets::relay_swmr(n, ProcessId(i), ProcessId(0)),
+                0u64,
+            )
+        })
+        .collect();
+    let mut sim = Sim::new(constant_delay(11), nodes);
+    sim.invoke(ProcessId(0), RegisterOp::Write(9));
+    assert!(sim.run_until_quiet(u64::MAX / 2));
+    let before = sim.metrics().sent;
+    sim.invoke(ProcessId(n - 1), RegisterOp::Read);
+    assert!(sim.run_until_quiet(u64::MAX / 2));
+    assert_eq!(sim.metrics().sent - before, 2 * (n as u64 - 1));
+    assert_eq!(sim.completed()[1].latency(), 2 * D);
+    assert_eq!(sim.read_path_metrics().relay_reads, 1);
+}
+
+/// The regression tripwire for the whole relay feature: stage a read so
+/// its queries land while a second write is adopted at the writer but not
+/// yet at any other server. `FastUnanimous` sees a split query quorum,
+/// loses its unanimity precondition, and pays the full write-back round
+/// (2 rounds); `Relay` completes in 1.5 rounds with no precondition to
+/// lose.
+#[test]
+fn fast_unanimous_costs_two_rounds_under_a_contended_writer_while_relay_holds() {
+    let n = 5;
+    let run = |preset: fn(usize, ProcessId, ProcessId) -> abd_core::swmr::SwmrConfig| {
+        let nodes = (0..n)
+            .map(|i| abd_core::swmr::SwmrNode::new(preset(n, ProcessId(i), ProcessId(0)), 0u64))
+            .collect();
+        let mut sim = Sim::new(constant_delay(12), nodes);
+        // W1 settles by t=2D; the writer adopts W2's tag locally at t=2D,
+        // a full delay before any server hears of it. A read invoked at
+        // t=1.6D has its queries arrive at t=2.6D — inside the window
+        // where the writer disagrees with everyone else.
+        sim.invoke(ProcessId(0), RegisterOp::Write(1));
+        sim.invoke_at(2 * D, ProcessId(0), RegisterOp::Write(2));
+        let read = sim.invoke_at(8 * D / 5, ProcessId(3), RegisterOp::Read);
+        assert!(sim.run_until_quiet(u64::MAX / 2));
+        let rec = sim
+            .completed()
+            .iter()
+            .find(|r| r.op == read)
+            .expect("contended read completed")
+            .latency();
+        (rec, sim.read_path_metrics())
+    };
+
+    let (fast_latency, fast_metrics) = run(abd_core::presets::fast_swmr);
+    assert_eq!(fast_latency, 4 * D, "FastUnanimous degrades to 2 rounds");
+    assert_eq!(fast_metrics.fast_reads, 0, "unanimity precondition lost");
+    assert_eq!(fast_metrics.write_backs, 1, "write-back round paid");
+
+    let (relay_latency, relay_metrics) = run(abd_core::presets::relay_swmr);
+    assert_eq!(relay_latency, 3 * D, "Relay holds 1.5 rounds");
+    assert_eq!(relay_metrics.relay_reads, 1);
+    assert_eq!(relay_metrics.write_backs, 0, "no write-back in relay mode");
+}

@@ -19,7 +19,7 @@ use abd_core::byzantine::{ByzConfig, ByzNode};
 use abd_core::msg::RegisterOp;
 use abd_core::retransmit::BackoffPolicy;
 use abd_core::swmr::{SwmrConfig, SwmrNode};
-use abd_core::types::ProcessId;
+use abd_core::types::{ProcessId, ReadMode};
 use abd_kv::{KvConfig, KvNode, KvOp, KvResp};
 use abd_repro::lincheck::is_atomic_swmr;
 use abd_repro::simnet::nemesis::liveness_bound;
@@ -101,22 +101,22 @@ fn soak_repro(
 
 /// One full SWMR campaign; returns the trace digest for replay checks.
 fn swmr_campaign(sim_seed: u64, nemesis_seed: u64) -> u64 {
-    swmr_campaign_cfg(sim_seed, nemesis_seed, false)
+    swmr_campaign_cfg(sim_seed, nemesis_seed, ReadMode::TwoRound)
 }
 
-/// SWMR campaign with the fast-read flag under test control.
-fn swmr_campaign_cfg(sim_seed: u64, nemesis_seed: u64, fast_reads: bool) -> u64 {
+/// SWMR campaign with the read mode under test control.
+fn swmr_campaign_cfg(sim_seed: u64, nemesis_seed: u64, read_mode: ReadMode) -> u64 {
     let sched = NemesisConfig::new(nemesis_seed, N).plan();
     assert!(sched.respects_min_alive(N));
-    let name = if fast_reads {
-        "nemesis-swmr-fast"
-    } else {
-        "nemesis-swmr"
+    let name = match read_mode {
+        ReadMode::TwoRound => "nemesis-swmr",
+        ReadMode::FastUnanimous => "nemesis-swmr-fast",
+        ReadMode::Relay => "nemesis-swmr-relay",
     };
     soak_repro(
         name,
         ProtocolSpec::Swmr {
-            fast_reads,
+            read_mode,
             write_epilogue: false,
         },
         OracleSpec::AtomicSwmr,
@@ -206,7 +206,9 @@ fn soak_swmr_and_mwmr_randomized_campaigns() {
             let sched = NemesisConfig::new(sim_seed * 31 + 2, N).plan();
             soak_repro(
                 "nemesis-mwmr",
-                ProtocolSpec::Mwmr { fast_reads: false },
+                ProtocolSpec::Mwmr {
+                    read_mode: ReadMode::TwoRound,
+                },
                 OracleSpec::Linearizable,
                 sim_seed,
                 sched,
@@ -290,11 +292,11 @@ fn fast_read_campaigns_stay_atomic_and_replay() {
     // SWMR with the write-back elision on: crashes, restarts, and loss
     // bursts must not let a stale fast read through, and the runs must
     // replay bit-identically.
-    let d = swmr_campaign_cfg(21, 91, true);
-    assert_eq!(d, swmr_campaign_cfg(21, 91, true));
+    let d = swmr_campaign_cfg(21, 91, ReadMode::FastUnanimous);
+    assert_eq!(d, swmr_campaign_cfg(21, 91, ReadMode::FastUnanimous));
     assert_ne!(
         d,
-        swmr_campaign_cfg(21, 92, true),
+        swmr_campaign_cfg(21, 92, ReadMode::FastUnanimous),
         "a different campaign seed must produce a different trace"
     );
 
@@ -304,7 +306,9 @@ fn fast_read_campaigns_stay_atomic_and_replay() {
         let sched = NemesisConfig::new(sim_seed * 31 + 2, N).plan();
         soak_repro(
             "nemesis-mwmr-fast",
-            ProtocolSpec::Mwmr { fast_reads: true },
+            ProtocolSpec::Mwmr {
+                read_mode: ReadMode::FastUnanimous,
+            },
             OracleSpec::Linearizable,
             sim_seed,
             sched,
@@ -329,7 +333,7 @@ fn write_epilogue_campaigns_stay_atomic_and_replay() {
         soak_repro(
             "nemesis-swmr-epilogue",
             ProtocolSpec::Swmr {
-                fast_reads: false,
+                read_mode: ReadMode::TwoRound,
                 write_epilogue: epilogue,
             },
             OracleSpec::AtomicSwmr,
@@ -370,7 +374,7 @@ fn batched_fast_campaign_stays_atomic_and_replays() {
             "nemesis-batched",
             ProtocolSpec::BatchedSwmr {
                 window: 2_000,
-                fast_reads: true,
+                read_mode: ReadMode::FastUnanimous,
             },
             OracleSpec::AtomicSwmr,
             sim_seed,
@@ -436,6 +440,51 @@ fn kv_recovery_campaign_catches_up_before_serving_and_replays() {
 }
 
 #[test]
+fn relay_campaigns_survive_crash_waves_and_partitions_across_forty_seeds() {
+    // The relay read mode under the full nemesis: the planner's crash waves
+    // reboot every node and its rolling partitions repeatedly split the
+    // cluster while relay rounds are mid-flight. Across 40 seeds every
+    // history must certify atomic and every same-seed pair of runs must
+    // produce identical trace digests; a failing seed lands in
+    // `target/repro/` via `check_or_emit` for `abd_repro replay`/`shrink`.
+    for seed in 0..40u64 {
+        let nemesis_seed = seed * 31 + 9;
+        let d = swmr_campaign_cfg(seed, nemesis_seed, ReadMode::Relay);
+        assert_eq!(
+            d,
+            swmr_campaign_cfg(seed, nemesis_seed, ReadMode::Relay),
+            "relay seed {seed}: same-seed runs must replay bit-identically"
+        );
+    }
+}
+
+#[test]
+fn relay_mwmr_campaign_linearizes_under_faults() {
+    // Multi-writer relay under the nemesis: concurrent writers guarantee
+    // tag disagreement, so every read exercises the min-of-maxes path while
+    // crash waves and partitions interfere.
+    let run = |sim_seed: u64| {
+        let sched = NemesisConfig::new(sim_seed * 31 + 6, N).plan();
+        soak_repro(
+            "nemesis-mwmr-relay",
+            ProtocolSpec::Mwmr {
+                read_mode: ReadMode::Relay,
+            },
+            OracleSpec::Linearizable,
+            sim_seed,
+            sched,
+            mwmr_scripts(4),
+        )
+        .check_or_emit()
+        .unwrap_or_else(|e| panic!("relay mwmr seed {sim_seed}: {e}"))
+        .digest
+    };
+    for seed in [17u64, 18, 19] {
+        assert_eq!(run(seed), run(seed));
+    }
+}
+
+#[test]
 fn violating_the_majority_envelope_blocks_operations() {
     let nodes: Vec<SwmrNode<u64>> = (0..N)
         .map(|i| {
@@ -472,7 +521,7 @@ fn flag_off_campaign_trace_digest_is_pinned() {
     // digest, it changed flag-off behavior — that is a finding, not a
     // reason to re-pin (re-derive only for deliberate protocol changes).
     assert_eq!(
-        swmr_campaign_cfg(1234, 77, false),
+        swmr_campaign_cfg(1234, 77, ReadMode::TwoRound),
         0x17ee86c2e49634af,
         "flag-off campaign trace drifted from the pinned golden digest"
     );
@@ -486,7 +535,7 @@ fn probe_epilogue_seeds() {
         soak_repro(
             "probe-epilogue",
             ProtocolSpec::Swmr {
-                fast_reads: false,
+                read_mode: ReadMode::TwoRound,
                 write_epilogue: epilogue,
             },
             OracleSpec::AtomicSwmr,

@@ -13,6 +13,7 @@
 //! [`NemesisSchedule::validate`]: abd_repro::simnet::NemesisSchedule::validate
 
 use abd_core::msg::RegisterOp;
+use abd_core::types::ReadMode;
 use abd_repro::simnet::search::mutate;
 use abd_repro::simnet::{
     guided_search, MutationOp, NemesisConfig, OracleSpec, ProtocolSpec, SearchSpec, SimConfig,
@@ -94,7 +95,7 @@ fn small_spec() -> SearchSpec {
     SearchSpec {
         name: "search-determinism".to_string(),
         protocol: ProtocolSpec::Swmr {
-            fast_reads: false,
+            read_mode: ReadMode::TwoRound,
             write_epilogue: false,
         },
         n: 3,

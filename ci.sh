@@ -33,6 +33,12 @@ cargo test -q --test nemesis fixed_seed
 echo "==> relay nemesis smoke (relay read mode under crash waves and partitions)"
 cargo test -q --test nemesis relay_
 
+echo "==> per-tier nemesis smoke (sequential / regular / mixed-tier campaigns under faults)"
+cargo test -q --test nemesis tier_
+
+echo "==> oracle self-test gate (each tier's checker convicts its planted violation, weaker tiers acquit)"
+cargo test -q --test consistency_tiers oracle_selftest_
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -48,7 +54,7 @@ cargo run -q --release -p abd-bench --bin abd_repro -- explain \
 grep -q 'Invoke -> RelayRead -> Done' target/relay-explain.txt \
   || { echo "abd_repro explain lost the relay read-path line"; exit 1; }
 
-echo "==> throughput bench smoke (fast-path + batching gates, regenerates BENCH_throughput.json)"
+echo "==> throughput bench smoke (fast-path + batching + consistency-tier gates, regenerates BENCH_throughput.json)"
 cargo run -q --release -p abd-bench --bin fig_throughput -- --smoke
 git diff --exit-code -- BENCH_throughput.json \
   || { echo "BENCH_throughput.json drifted from the checked-in artifact"; exit 1; }

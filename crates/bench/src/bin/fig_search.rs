@@ -12,7 +12,7 @@
 //!
 //! The fitness metric is **mean schedules-to-detect** (campaigns run until
 //! the oracle first trips), censored at the budget when a trial never
-//! detects. The gate: guided must beat blind on at least 4 of the 5
+//! detects. The gate: guided must beat blind on all 5 of the 5
 //! mutants, and must detect the dropped-write-back mutant within budget.
 //!
 //! Each mutant's first guided detection then round-trips through the full
@@ -246,12 +246,12 @@ fn main() {
 
     let wins = results.iter().filter(|r| r.guided_wins()).count();
     println!(
-        "\nguided beats blind on {wins}/{} mutants (gate: >= 4)",
+        "\nguided beats blind on {wins}/{} mutants (gate: >= 5)",
         results.len()
     );
     assert!(
-        wins >= 4,
-        "guided search must beat blind on >= 4 of 5 mutants"
+        wins >= 5,
+        "guided search must beat blind on all 5 of 5 mutants"
     );
     let dropped = &results[0];
     assert!(

@@ -17,6 +17,14 @@
 //! * `relay+batched` — relay reads plus windowed [`Batched`] transport,
 //!   which is what absorbs the relay's O(n²) server-to-server fan-out.
 //!
+//! A **consistency-tier section** (T-series) reruns the same closed loop
+//! with reads demoted below atomic: `regular` serves every `Get` at
+//! [`Consistency::Regular`] (query round, no write-back), and
+//! `sc-mixed` issues 99% of reads at [`Consistency::Sequential`]
+//! (served locally, zero rounds) with every 100th read kept atomic —
+//! the SC-ABD deployment shape. Both rows are gated on msgs/op and
+//! rounds/op reductions against the all-atomic baseline.
+//!
 //! Before the workload, the binary asserts the micro-costs the fast path
 //! claims: an uncontended fast read is **1 round / `2(n−1)` messages** on
 //! SWMR, MWMR, and the store (baseline atomic reads: 2 rounds /
@@ -39,7 +47,7 @@ use abd_bench::Table;
 use abd_core::batch::Batched;
 use abd_core::context::{Protocol, ReadPathStats};
 use abd_core::msg::RegisterOp;
-use abd_core::types::{Nanos, ProcessId, ReadMode};
+use abd_core::types::{Consistency, Nanos, ProcessId, ReadMode};
 use abd_kv::{KvConfig, KvNode, KvOp, KvResp};
 use abd_runtime::cluster::{Cluster, Jitter};
 use abd_simnet::{LatencyModel, Metrics, Sim, SimConfig};
@@ -51,6 +59,9 @@ const OPS_PER_CLIENT: usize = 25;
 const KEYS: u64 = 8;
 const WRITE_PCT: u64 = 20;
 const BATCH_WINDOW: Nanos = 500;
+/// In the `sc-mixed` tier row, every `ATOMIC_EVERY`-th read is atomic;
+/// the rest run at the sequential tier (99% SC / 1% atomic).
+const ATOMIC_EVERY: u64 = 100;
 
 fn xorshift(s: &mut u64) -> u64 {
     *s ^= *s << 13;
@@ -65,6 +76,29 @@ fn gen_op(rng: &mut u64) -> KvOp<u64, u64> {
         KvOp::Put(key, xorshift(rng) % 1_000)
     } else {
         KvOp::Get(key)
+    }
+}
+
+/// Same op mix as [`gen_op`], but reads are demoted: every read runs at
+/// `tier` except each `ATOMIC_EVERY`-th one, which stays atomic.
+/// `atomic_every = 0` demotes every read unconditionally.
+fn gen_op_tiered(
+    rng: &mut u64,
+    reads: &mut u64,
+    tier: Consistency,
+    atomic_every: u64,
+) -> KvOp<u64, u64> {
+    match gen_op(rng) {
+        KvOp::Get(key) => {
+            *reads += 1;
+            let cons = if atomic_every > 0 && reads.is_multiple_of(atomic_every) {
+                Consistency::Atomic
+            } else {
+                tier
+            };
+            KvOp::GetAt(key, cons)
+        }
+        put => put,
     }
 }
 
@@ -105,12 +139,22 @@ fn run_closed_loop<P>(sim: &mut Sim<P>) -> RunResult
 where
     P: Protocol<Op = KvOp<u64, u64>, Resp = KvResp<u64>> + ReadPathStats,
 {
+    run_closed_loop_with(sim, gen_op)
+}
+
+/// [`run_closed_loop`] with a caller-supplied op generator, so the tier
+/// rows can demote reads without duplicating the driver.
+fn run_closed_loop_with<P, F>(sim: &mut Sim<P>, mut gen: F) -> RunResult
+where
+    P: Protocol<Op = KvOp<u64, u64>, Resp = KvResp<u64>> + ReadPathStats,
+    F: FnMut(&mut u64) -> KvOp<u64, u64>,
+{
     let per_node = CLIENTS_PER_NODE * OPS_PER_CLIENT;
     let mut issued = [0usize; N];
     let mut rng = 0x5eed_f00d_u64;
     for (i, count) in issued.iter_mut().enumerate() {
         for _ in 0..CLIENTS_PER_NODE {
-            sim.invoke(ProcessId(i), gen_op(&mut rng));
+            sim.invoke(ProcessId(i), gen(&mut rng));
             *count += 1;
         }
     }
@@ -123,7 +167,7 @@ where
         for rec in done {
             let i = rec.client.index();
             if issued[i] < per_node {
-                sim.invoke(ProcessId(i), gen_op(&mut rng));
+                sim.invoke(ProcessId(i), gen(&mut rng));
                 issued[i] += 1;
             }
         }
@@ -181,6 +225,7 @@ fn variant_json(name: &str, r: &RunResult) -> String {
             "    {{\"name\": \"{}\", \"ops\": {}, \"sent\": {}, ",
             "\"msgs_per_op\": {:.3}, \"rounds_per_op\": {:.3}, ",
             "\"fast_reads\": {}, \"write_backs\": {}, \"relay_reads\": {}, ",
+            "\"sc_reads\": {}, \"regular_reads\": {}, ",
             "\"makespan_ns\": {}, \"kops_per_virtual_sec\": {:.2}}}"
         ),
         name,
@@ -191,6 +236,8 @@ fn variant_json(name: &str, r: &RunResult) -> String {
         r.metrics.fast_reads,
         r.metrics.write_backs,
         r.metrics.relay_reads,
+        r.metrics.sc_reads,
+        r.metrics.regular_reads,
         r.makespan,
         r.kops_per_virtual_sec(),
     )
@@ -232,7 +279,14 @@ fn wall_clock_section() {
     for (name, fast) in [("baseline", false), ("fast", true)] {
         let cluster: Cluster<KvNode<u64, u64>> = Cluster::spawn(
             (0..3)
-                .map(|i| KvNode::new(KvConfig::new(3, ProcessId(i)).with_fast_reads(fast)))
+                .map(|i| {
+                    let mode = if fast {
+                        ReadMode::FastUnanimous
+                    } else {
+                        ReadMode::TwoRound
+                    };
+                    KvNode::new(KvConfig::new(3, ProcessId(i)).with_read_mode(mode))
+                })
                 .collect(),
             Jitter::None,
         );
@@ -244,7 +298,7 @@ fn wall_clock_section() {
                     let mut rng = (i as u64 + 1) * 77;
                     for _ in 0..ops_per_client {
                         match gen_op(&mut rng) {
-                            op @ KvOp::Get(_) => {
+                            op @ (KvOp::Get(_) | KvOp::GetAt(..)) => {
                                 assert!(matches!(client.invoke(op), KvResp::GetOk(_)));
                             }
                             op @ KvOp::Put(..) => {
@@ -323,6 +377,24 @@ fn main() {
     );
     let relay_batched = run_closed_loop(&mut relay_batched_sim);
 
+    // T-series: consistency tiers on the plain (unbatched, two-round
+    // atomic) cluster, so the only variable is the read tier itself.
+    let mut regular_sim = Sim::new(sim_cfg(1), kv_nodes(ReadMode::TwoRound));
+    let mut regular_reads_issued = 0u64;
+    let regular = run_closed_loop_with(&mut regular_sim, |rng| {
+        gen_op_tiered(rng, &mut regular_reads_issued, Consistency::Regular, 0)
+    });
+    let mut mixed_sim = Sim::new(sim_cfg(1), kv_nodes(ReadMode::TwoRound));
+    let mut mixed_reads_issued = 0u64;
+    let mixed = run_closed_loop_with(&mut mixed_sim, |rng| {
+        gen_op_tiered(
+            rng,
+            &mut mixed_reads_issued,
+            Consistency::Sequential,
+            ATOMIC_EVERY,
+        )
+    });
+
     let mut table = Table::new(
         &format!(
             "F6 — closed-loop KV workload (n={N}, {CLIENTS_PER_NODE} clients/node x \
@@ -345,6 +417,8 @@ fn main() {
         ("fast+adaptive-batch", &adaptive),
         ("relay", &relay),
         ("relay+batched", &relay_batched),
+        ("regular", &regular),
+        ("sc-mixed(99/1)", &mixed),
     ] {
         table.row(vec![
             name.to_string(),
@@ -390,6 +464,38 @@ fn main() {
         "batching must absorb the relay fan-out"
     );
 
+    // Tier gates: each demotion must pay off against the all-atomic
+    // baseline, in messages AND rounds, and the demoted paths must
+    // actually have carried the reads.
+    assert!(regular.metrics.regular_reads > 0, "regular tier must fire");
+    assert!(
+        regular.metrics.write_backs == 0,
+        "regular reads never write back"
+    );
+    assert!(mixed.metrics.sc_reads > 0, "SC tier must fire");
+    assert!(
+        mixed.metrics.write_backs > 0,
+        "the 1% atomic reads must still pay their write-backs"
+    );
+    let regular_reduction = (1.0 - regular.msgs_per_op() / base.msgs_per_op()) * 100.0;
+    println!(
+        "regular-tier reads send {regular_reduction:.1}% fewer messages per \
+         operation than all-atomic baseline (gate: >= 25%)"
+    );
+    assert!(regular_reduction >= 25.0, "regular msgs/op gate failed");
+    let mixed_reduction = (1.0 - mixed.msgs_per_op() / base.msgs_per_op()) * 100.0;
+    println!(
+        "sc-mixed(99/1) sends {mixed_reduction:.1}% fewer messages per \
+         operation than all-atomic baseline (gate: >= 50%)"
+    );
+    assert!(mixed_reduction >= 50.0, "sc-mixed msgs/op gate failed");
+    let mixed_rounds_ratio = mixed.rounds_per_op() / base.rounds_per_op();
+    println!(
+        "sc-mixed(99/1) rounds/op is {:.2}x baseline (gate: <= 0.5)",
+        mixed_rounds_ratio
+    );
+    assert!(mixed_rounds_ratio <= 0.5, "sc-mixed rounds/op gate failed");
+
     let json = format!(
         concat!(
             "{{\n",
@@ -400,10 +506,14 @@ fn main() {
             "  \"uncontended_fast_read\": {{\"rounds\": 1, \"messages\": \"2(n-1)\"}},\n",
             "  \"contended_writer\": {{\"fast_unanimous_rounds_per_read\": {:.3}, ",
             "\"relay_rounds_per_read\": {:.3}}},\n",
-            "  \"variants\": [\n{},\n{},\n{},\n{},\n{},\n{}\n  ],\n",
+            "  \"variants\": [\n{},\n{},\n{},\n{},\n{},\n{},\n{},\n{}\n  ],\n",
             "  \"msgs_per_op_reduction_pct\": {:.1},\n",
             "  \"adaptive_msgs_per_op_reduction_pct\": {:.1},\n",
-            "  \"relay_batched_absorption_pct\": {:.1}\n",
+            "  \"relay_batched_absorption_pct\": {:.1},\n",
+            "  \"tiers\": {{\"atomic_every\": {}, ",
+            "\"regular_msgs_per_op_reduction_pct\": {:.1}, ",
+            "\"mixed_msgs_per_op_reduction_pct\": {:.1}, ",
+            "\"mixed_rounds_per_op_ratio\": {:.3}}}\n",
             "}}\n"
         ),
         N,
@@ -421,9 +531,15 @@ fn main() {
         variant_json("fast+adaptive-batch", &adaptive),
         variant_json("relay", &relay),
         variant_json("relay+batched", &relay_batched),
+        variant_json("regular", &regular),
+        variant_json("sc-mixed(99/1)", &mixed),
         reduction,
         adaptive_reduction,
         relay_absorbed,
+        ATOMIC_EVERY,
+        regular_reduction,
+        mixed_reduction,
+        mixed_rounds_ratio,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     std::fs::write(path, &json).expect("write BENCH_throughput.json");

@@ -322,6 +322,14 @@ impl<P: Protocol + ReadPathStats> ReadPathStats for Batched<P> {
     fn relay_reads(&self) -> u64 {
         self.inner.relay_reads()
     }
+
+    fn sc_reads(&self) -> u64 {
+        self.inner.sc_reads()
+    }
+
+    fn regular_reads(&self) -> u64 {
+        self.inner.regular_reads()
+    }
 }
 
 #[cfg(test)]
@@ -588,6 +596,51 @@ mod tests {
         assert_eq!(node.current_window(), 100);
         node.on_restart(&mut Effects::new());
         assert_eq!(node.current_window(), 0, "learned window is volatile");
+    }
+
+    #[test]
+    fn adaptive_restart_wipes_outbox_and_relearns_from_same_tick() {
+        // The full crash/restart path for an adaptive instance: a grown
+        // window with traffic buffered behind an armed flush timer loses
+        // everything volatile at once — outbox, arming flag, learned
+        // window — and the reborn node behaves exactly like a fresh
+        // `adaptive` wrapper until load re-teaches it.
+        let mut node = Batched::adaptive(Chatty { me: ProcessId(0) }, 800);
+        let mut fx = Effects::new();
+        node.on_invoke(OpId(0), 4, &mut fx);
+        assert_eq!(node.current_window(), 100, "heavy flush opened a window");
+        let shipped_before = node.batches_sent();
+
+        // Buffer traffic inside the open window (armed, held back).
+        let mut fx = Effects::new();
+        node.on_invoke(OpId(1), 4, &mut fx);
+        assert!(fx.sends.is_empty(), "window open: sends held");
+
+        let mut restart_fx = Effects::new();
+        node.on_restart(&mut restart_fx);
+        assert!(restart_fx.sends.is_empty(), "outbox died with the crash");
+        assert_eq!(node.current_window(), 0, "window relearns from idle");
+
+        // A straggler flush timer the host failed to discard must find an
+        // empty outbox and must not disturb the collapsed window.
+        let mut stale_fx = Effects::new();
+        node.on_timer(FLUSH_KEY, &mut stale_fx);
+        assert!(stale_fx.sends.is_empty(), "nothing survived to flush");
+        assert_eq!(node.current_window(), 0);
+        assert_eq!(node.batches_sent(), shipped_before, "no phantom envelopes");
+
+        // Post-restart traffic ships same-tick — no latency tax from a
+        // window learned in a previous life.
+        let mut fx = Effects::new();
+        node.on_invoke(OpId(2), 1, &mut fx);
+        assert_eq!(fx.sends.len(), 2, "same-tick policy after restart");
+        assert!(matches!(fx.sends[0].1, Envelope::One(0)));
+
+        // And sustained pressure re-teaches the window from scratch.
+        let mut fx = Effects::new();
+        node.on_invoke(OpId(3), 4, &mut fx);
+        assert_eq!(fx.sends.len(), 2, "window was 0: flushed this tick");
+        assert_eq!(node.current_window(), 100, "relearned the grain window");
     }
 
     #[test]

@@ -355,7 +355,9 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> BoundedSwmrNode<V> {
                 );
                 self.arm_timer(uid, fx);
             }
-            RegisterOp::Read => {
+            // The bounded protocol has no weaker tiers: a `ReadAt` at any
+            // level is served atomically (stronger than requested is safe).
+            RegisterOp::Read | RegisterOp::ReadAt(_) => {
                 let uid = self.fresh_uid();
                 let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
                 let (best_label, best_value) = (self.stored_label, self.stored_value.clone());

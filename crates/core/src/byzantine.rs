@@ -332,7 +332,9 @@ impl<V: Clone + std::fmt::Debug + Eq + Send + 'static> ByzNode<V> {
                 );
                 self.arm_timer(uid, fx);
             }
-            RegisterOp::Read => {
+            // The Byzantine protocol has no weaker tiers: a `ReadAt` at any
+            // level is served atomically (stronger than requested is safe).
+            RegisterOp::Read | RegisterOp::ReadAt(_) => {
                 let uid = self.fresh_uid();
                 let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
                 // Our own (honest) replica votes for its pair.

@@ -204,6 +204,18 @@ pub trait ReadPathStats {
     fn relay_reads(&self) -> u64 {
         0
     }
+    /// Reads issued by this node that completed at
+    /// `Consistency::Sequential` — served from the local replica with no
+    /// network round; `0` for protocols without consistency tiers.
+    fn sc_reads(&self) -> u64 {
+        0
+    }
+    /// Reads issued by this node that completed at `Consistency::Regular` —
+    /// a query round with the write-back elided; `0` for protocols without
+    /// consistency tiers.
+    fn regular_reads(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

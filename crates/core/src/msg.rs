@@ -26,7 +26,7 @@
 //! protocols are idempotent in `uid`, which is what makes blind
 //! retransmission over lossy links safe.
 
-use crate::types::{ProcessId, RegisterError};
+use crate::types::{Consistency, ProcessId, RegisterError};
 
 /// Message exchanged by the register emulation, generic over the label type
 /// `L` and the register value type `V`.
@@ -127,10 +127,32 @@ impl<L, V> RegisterMsg<L, V> {
 /// A client operation on the emulated register.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum RegisterOp<V> {
-    /// Read the register.
+    /// Read the register at the default (atomic) consistency level.
     Read,
+    /// Read the register at an explicit consistency level.
+    ///
+    /// `ReadAt(Consistency::Atomic)` behaves exactly like [`RegisterOp::Read`];
+    /// weaker tiers shed protocol rounds as documented on [`Consistency`].
+    ReadAt(Consistency),
     /// Write `V` to the register.
     Write(V),
+}
+
+impl<V> RegisterOp<V> {
+    /// The consistency tier of this operation: the requested tier for reads,
+    /// `None` for writes (writes always run the full protocol).
+    pub fn consistency(&self) -> Option<Consistency> {
+        match self {
+            RegisterOp::Read => Some(Consistency::Atomic),
+            RegisterOp::ReadAt(c) => Some(*c),
+            RegisterOp::Write(_) => None,
+        }
+    }
+
+    /// Whether this operation is a read (at any consistency tier).
+    pub fn is_read(&self) -> bool {
+        !matches!(self, RegisterOp::Write(_))
+    }
 }
 
 /// Response to a completed [`RegisterOp`].
@@ -269,5 +291,19 @@ mod tests {
     fn into_read_value_panics_on_write_ok() {
         let w: RegisterResp<u8> = RegisterResp::WriteOk;
         w.into_read_value();
+    }
+
+    #[test]
+    fn op_consistency_accessor() {
+        use crate::types::Consistency;
+        let r: RegisterOp<u8> = RegisterOp::Read;
+        assert_eq!(r.consistency(), Some(Consistency::Atomic));
+        assert!(r.is_read());
+        let sc: RegisterOp<u8> = RegisterOp::ReadAt(Consistency::Sequential);
+        assert_eq!(sc.consistency(), Some(Consistency::Sequential));
+        assert!(sc.is_read());
+        let w: RegisterOp<u8> = RegisterOp::Write(1);
+        assert_eq!(w.consistency(), None);
+        assert!(!w.is_read());
     }
 }

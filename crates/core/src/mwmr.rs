@@ -48,7 +48,7 @@ use crate::procset::ProcSet;
 use crate::quorum::{fast_read_allowed, Majority, QuorumSystem};
 use crate::replica::Replica;
 use crate::retransmit::{BackoffPolicy, Retransmitter};
-use crate::types::{Nanos, OpId, ProcessId, ReadMode, Tag};
+use crate::types::{Consistency, Nanos, OpId, ProcessId, ReadMode, Tag};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
@@ -108,6 +108,7 @@ impl MwmrConfig {
     ///
     /// Back-compat shim for the pre-[`ReadMode`] boolean: `true` selects
     /// [`ReadMode::FastUnanimous`], `false` [`ReadMode::TwoRound`].
+    #[deprecated(note = "use with_read_mode(ReadMode::FastUnanimous) instead")]
     pub fn with_fast_reads(mut self, yes: bool) -> Self {
         self.read_mode = if yes {
             ReadMode::FastUnanimous
@@ -155,10 +156,13 @@ enum Pending<V> {
     },
     /// Reader collecting `(tag, value)` replies; the census tracks the max
     /// tag and whether the responders were unanimous about it (fast path).
+    /// `cons` is the read's requested tier: `Regular` completes without the
+    /// write-back, `Atomic` runs the full second phase.
     ReadQuery {
         op: OpId,
         ph: PhaseTracker,
         census: TagCensus<Tag, V>,
+        cons: Consistency,
     },
     /// Reader writing back the value it is about to return.
     ReadWriteBack {
@@ -233,6 +237,8 @@ pub struct MwmrNode<V> {
     fast_reads: u64,
     write_backs: u64,
     relay_reads: u64,
+    sc_reads: u64,
+    regular_reads: u64,
 }
 
 impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
@@ -258,6 +264,8 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
             fast_reads: 0,
             write_backs: 0,
             relay_reads: 0,
+            sc_reads: 0,
+            regular_reads: 0,
         }
     }
 
@@ -299,6 +307,18 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
     /// Reads issued here that completed via server-to-server relay.
     pub fn relay_reads(&self) -> u64 {
         self.relay_reads
+    }
+
+    /// Reads issued here that completed at `Consistency::Sequential`
+    /// (served locally, zero network rounds).
+    pub fn sc_reads(&self) -> u64 {
+        self.sc_reads
+    }
+
+    /// Reads issued here that completed at `Consistency::Regular` (query
+    /// round only, write-back elided).
+    pub fn regular_reads(&self) -> u64 {
+        self.regular_reads
     }
 
     fn fresh_uid(&mut self) -> u64 {
@@ -381,36 +401,72 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MwmrNode<V> {
                 self.broadcast(RegisterMsg::Query { uid }, fx);
                 self.arm_timer(uid, fx);
             }
-            RegisterOp::Read => {
-                if self.cfg.read_mode == ReadMode::Relay {
-                    self.begin_relay_read(op, fx);
-                    return;
-                }
-                let uid = self.fresh_uid();
-                let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
-                let (tag, value) = self.replica.snapshot();
-                let census = TagCensus::new(tag, value);
-                if self.cfg.quorum.is_read_quorum(ph.responders()) {
-                    self.complete_read_query(op, ph.responders(), census, fx);
-                    return;
-                }
-                self.pending = Some(Pending::ReadQuery { op, ph, census });
-                self.broadcast(RegisterMsg::Query { uid }, fx);
-                self.arm_timer(uid, fx);
-            }
+            RegisterOp::Read => self.begin_read(op, Consistency::Atomic, fx),
+            RegisterOp::ReadAt(cons) => self.begin_read(op, cons, fx),
         }
     }
 
-    /// The read's query phase holds a read quorum: one-round fast path if
-    /// the responders were unanimous and form a write quorum, two-phase
-    /// slow path otherwise.
+    fn begin_read(
+        &mut self,
+        op: OpId,
+        cons: Consistency,
+        fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        if cons == Consistency::Sequential {
+            // SC-ABD: serve the local replica with no network round — safe
+            // for the same reasons as the SWMR protocol (replica tags only
+            // ever advance; see DESIGN.md's consistency-tier section).
+            self.sc_reads += 1;
+            let (_, value) = self.replica.snapshot();
+            self.finish(op, RegisterResp::ReadOk(value), fx);
+            return;
+        }
+        if cons == Consistency::Atomic && self.cfg.read_mode == ReadMode::Relay {
+            self.begin_relay_read(op, fx);
+            return;
+        }
+        // Regular reads ignore `read_mode`: the relay round replaces the
+        // write-back, which a regular read skips anyway.
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        let (tag, value) = self.replica.snapshot();
+        let census = TagCensus::new(tag, value);
+        if self.cfg.quorum.is_read_quorum(ph.responders()) {
+            self.complete_read_query(op, ph.responders(), census, cons, fx);
+            return;
+        }
+        self.pending = Some(Pending::ReadQuery {
+            op,
+            ph,
+            census,
+            cons,
+        });
+        self.broadcast(RegisterMsg::Query { uid }, fx);
+        self.arm_timer(uid, fx);
+    }
+
+    /// The read's query phase holds a read quorum: a `Regular`-tier read
+    /// completes here with the census maximum; an atomic read takes the
+    /// one-round fast path if the responders were unanimous and form a
+    /// write quorum, the two-phase slow path otherwise.
     fn complete_read_query(
         &mut self,
         op: OpId,
         responders: &ProcSet,
         census: TagCensus<Tag, V>,
+        cons: Consistency,
         fx: &mut Effects<MwmrMsg<V>, RegisterResp<V>>,
     ) {
+        if cons == Consistency::Regular {
+            self.regular_reads += 1;
+            let (tag, value) = census.into_best();
+            // Adopt locally even though the write-back is skipped, so a
+            // later Sequential read on this node cannot regress below a
+            // value this node has already returned.
+            self.replica.adopt(tag, value.clone());
+            self.finish(op, RegisterResp::ReadOk(value), fx);
+            return;
+        }
         if self.cfg.read_mode == ReadMode::FastUnanimous
             && self.cfg.read_write_back
             && fast_read_allowed(self.cfg.quorum.as_ref(), responders, census.unanimous())
@@ -730,10 +786,15 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MwmrNode<V> {
                         }
                         census.observe(label, value);
                         if self.cfg.quorum.is_read_quorum(ph.responders()) {
-                            if let Some(Pending::ReadQuery { op, ph, census }) = self.pending.take()
+                            if let Some(Pending::ReadQuery {
+                                op,
+                                ph,
+                                census,
+                                cons,
+                            }) = self.pending.take()
                             {
                                 self.disarm_timer(uid, fx);
-                                self.complete_read_query(op, ph.responders(), census, fx);
+                                self.complete_read_query(op, ph.responders(), census, cons, fx);
                             }
                         }
                     }
@@ -904,6 +965,14 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> ReadPathStats for MwmrNode<V> 
     fn relay_reads(&self) -> u64 {
         self.relay_reads
     }
+
+    fn sc_reads(&self) -> u64 {
+        self.sc_reads
+    }
+
+    fn regular_reads(&self) -> u64 {
+        self.regular_reads
+    }
 }
 
 #[cfg(test)]
@@ -980,6 +1049,37 @@ mod tests {
         net.run_to_quiescence();
         assert_eq!(net.messages_sent(), 4 * (5 - 1));
         assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(0));
+    }
+
+    #[test]
+    fn sequential_read_is_local_and_free() {
+        let mut net = cluster(5);
+        net.invoke(1, RegisterOp::Write(7));
+        net.run_to_quiescence();
+        net.take_responses();
+        let before = net.messages_sent();
+        net.invoke(3, RegisterOp::ReadAt(Consistency::Sequential));
+        net.run_to_quiescence();
+        assert_eq!(net.messages_sent() - before, 0, "SC read sends nothing");
+        assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(7));
+        assert_eq!(net.node(3).sc_reads(), 1);
+        assert_eq!(net.node(3).write_backs(), 0);
+    }
+
+    #[test]
+    fn regular_tier_read_skips_write_back() {
+        let mut net = cluster(5);
+        net.invoke(2, RegisterOp::Write(4));
+        net.run_to_quiescence();
+        net.take_responses();
+        let before = net.messages_sent();
+        net.invoke(3, RegisterOp::ReadAt(Consistency::Regular));
+        net.run_to_quiescence();
+        // Query + replies only = 2(n-1); no write-back round.
+        assert_eq!(net.messages_sent() - before, 2 * (5 - 1));
+        assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(4));
+        assert_eq!(net.node(3).regular_reads(), 1);
+        assert_eq!(net.node(3).write_backs(), 0);
     }
 
     #[test]
@@ -1066,7 +1166,10 @@ mod tests {
 
     fn fast_cluster(n: usize) -> MiniNet<MwmrNode<u32>> {
         let nodes = (0..n)
-            .map(|i| MwmrNode::new(MwmrConfig::new(n, ProcessId(i)).with_fast_reads(true), 0u32))
+            .map(|i| {
+                let cfg = MwmrConfig::new(n, ProcessId(i)).with_read_mode(ReadMode::FastUnanimous);
+                MwmrNode::new(cfg, 0u32)
+            })
             .collect();
         MiniNet::new(nodes)
     }

@@ -28,7 +28,7 @@ pub fn atomic_swmr(n: usize, me: ProcessId, writer: ProcessId) -> SwmrConfig {
 /// a write quorum) skips the write-back — still atomic, see
 /// [`fast_read_allowed`](crate::quorum::fast_read_allowed).
 pub fn fast_swmr(n: usize, me: ProcessId, writer: ProcessId) -> SwmrConfig {
-    SwmrConfig::new(n, me, writer).with_fast_reads(true)
+    SwmrConfig::new(n, me, writer).with_read_mode(ReadMode::FastUnanimous)
 }
 
 /// The single-writer protocol with relay reads: servers forward tags among
@@ -66,7 +66,7 @@ pub fn atomic_mwmr(n: usize, me: ProcessId) -> MwmrConfig {
 /// The multi-writer protocol with the one-round read fast path (writes
 /// keep both phases — their query round orders concurrent writers).
 pub fn fast_mwmr(n: usize, me: ProcessId) -> MwmrConfig {
-    MwmrConfig::new(n, me).with_fast_reads(true)
+    MwmrConfig::new(n, me).with_read_mode(ReadMode::FastUnanimous)
 }
 
 /// The multi-writer protocol with relay reads (see [`relay_swmr`]).

@@ -125,7 +125,7 @@ use crate::procset::ProcSet;
 use crate::quorum::{fast_read_allowed, Majority, QuorumSystem};
 use crate::replica::Replica;
 use crate::retransmit::{BackoffPolicy, Retransmitter};
-use crate::types::{Nanos, OpId, ProcessId, ReadMode, RegisterError, SeqNo};
+use crate::types::{Consistency, Nanos, OpId, ProcessId, ReadMode, RegisterError, SeqNo};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
@@ -196,6 +196,7 @@ impl SwmrConfig {
     ///
     /// Back-compat shim for the pre-[`ReadMode`] boolean: `true` selects
     /// [`ReadMode::FastUnanimous`], `false` [`ReadMode::TwoRound`].
+    #[deprecated(note = "use with_read_mode(ReadMode::FastUnanimous) instead")]
     pub fn with_fast_reads(mut self, yes: bool) -> Self {
         self.read_mode = if yes {
             ReadMode::FastUnanimous
@@ -245,10 +246,13 @@ enum Pending<V> {
     },
     /// Reader collecting query replies; the census tracks the max label
     /// *and* whether the responders were unanimous about it (fast path).
+    /// `cons` is the read's requested tier: `Regular` completes without the
+    /// write-back, `Atomic` runs the full second phase.
     Query {
         op: OpId,
         ph: PhaseTracker,
         census: TagCensus<SeqNo, V>,
+        cons: Consistency,
     },
     /// Reader propagating the value it is about to return.
     WriteBack {
@@ -327,6 +331,8 @@ pub struct SwmrNode<V> {
     fast_reads: u64,
     write_backs: u64,
     relay_reads: u64,
+    sc_reads: u64,
+    regular_reads: u64,
 }
 
 impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
@@ -356,6 +362,8 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
             fast_reads: 0,
             write_backs: 0,
             relay_reads: 0,
+            sc_reads: 0,
+            regular_reads: 0,
         }
     }
 
@@ -404,6 +412,18 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
     /// Reads issued here that completed via server-to-server relay.
     pub fn relay_reads(&self) -> u64 {
         self.relay_reads
+    }
+
+    /// Reads issued here that completed at `Consistency::Sequential`
+    /// (served locally, zero network rounds).
+    pub fn sc_reads(&self) -> u64 {
+        self.sc_reads
+    }
+
+    /// Reads issued here that completed at `Consistency::Regular` (query
+    /// round only, write-back elided).
+    pub fn regular_reads(&self) -> u64 {
+        self.regular_reads
     }
 
     fn fresh_uid(&mut self) -> u64 {
@@ -519,7 +539,8 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
         debug_assert!(self.pending.is_none());
         match input {
             RegisterOp::Write(v) => self.begin_write(op, v, fx),
-            RegisterOp::Read => self.begin_read(op, fx),
+            RegisterOp::Read => self.begin_read(op, Consistency::Atomic, fx),
+            RegisterOp::ReadAt(cons) => self.begin_read(op, cons, fx),
         }
     }
 
@@ -569,35 +590,73 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> SwmrNode<V> {
         self.arm_timer(uid, fx);
     }
 
-    fn begin_read(&mut self, op: OpId, fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>) {
-        if self.cfg.read_mode == ReadMode::Relay {
+    fn begin_read(
+        &mut self,
+        op: OpId,
+        cons: Consistency,
+        fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
+    ) {
+        if cons == Consistency::Sequential {
+            // SC-ABD: serve the local replica with no network round. The
+            // replica pair is stable storage and `adopt` is monotone (and
+            // recovery only raises the label), so each client's reads
+            // observe a non-decreasing prefix of the writer's order — see
+            // DESIGN.md's consistency-tier section for the full argument.
+            self.sc_reads += 1;
+            let (_, value) = self.replica.snapshot();
+            self.finish(op, RegisterResp::ReadOk(value), fx);
+            return;
+        }
+        if cons == Consistency::Atomic && self.cfg.read_mode == ReadMode::Relay {
             self.begin_relay_read(op, fx);
             return;
         }
+        // Regular reads ignore `read_mode`: the relay round exists to
+        // replace the write-back, which a regular read skips anyway, and
+        // the fast path is an atomic-tier optimization.
         let uid = self.fresh_uid();
         let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
         let (label, value) = self.replica.snapshot();
         let census = TagCensus::new(label, value);
         if self.cfg.quorum.is_read_quorum(ph.responders()) {
-            self.complete_read_query(op, ph.responders(), census, fx);
+            self.complete_read_query(op, ph.responders(), census, cons, fx);
             return;
         }
-        self.pending = Some(Pending::Query { op, ph, census });
+        self.pending = Some(Pending::Query {
+            op,
+            ph,
+            census,
+            cons,
+        });
         self.broadcast(RegisterMsg::Query { uid }, fx);
         self.arm_timer(uid, fx);
     }
 
-    /// The read's query phase holds a read quorum: either take the
-    /// one-round fast path (unanimous responders that form a write quorum —
-    /// the max label is already durable, so the write-back is redundant) or
-    /// fall through to the two-phase slow path.
+    /// The read's query phase holds a read quorum. A `Regular`-tier read
+    /// completes here with the census maximum (write-back elided by
+    /// definition); an atomic read either takes the one-round fast path
+    /// (unanimous responders that form a write quorum — the max label is
+    /// already durable, so the write-back is redundant) or falls through to
+    /// the two-phase slow path.
     fn complete_read_query(
         &mut self,
         op: OpId,
         responders: &ProcSet,
         census: TagCensus<SeqNo, V>,
+        cons: Consistency,
         fx: &mut Effects<SwmrMsg<V>, RegisterResp<V>>,
     ) {
+        if cons == Consistency::Regular {
+            self.regular_reads += 1;
+            let (label, value) = census.into_best();
+            // Adopt locally even though the write-back is skipped: keeping
+            // the local replica at least as fresh as any value this node
+            // has returned is what lets Regular and Sequential reads from
+            // the same client compose (DESIGN.md, consistency tiers).
+            self.replica.adopt(label, value.clone());
+            self.finish(op, RegisterResp::ReadOk(value), fx);
+            return;
+        }
         if self.cfg.read_mode == ReadMode::FastUnanimous
             && self.cfg.read_write_back
             && fast_read_allowed(self.cfg.quorum.as_ref(), responders, census.unanimous())
@@ -872,9 +931,15 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for SwmrNode<V> {
                 }
                 census.observe(label, value);
                 if self.cfg.quorum.is_read_quorum(ph.responders()) {
-                    if let Some(Pending::Query { op, ph, census }) = self.pending.take() {
+                    if let Some(Pending::Query {
+                        op,
+                        ph,
+                        census,
+                        cons,
+                    }) = self.pending.take()
+                    {
                         self.disarm_timer(uid, fx);
-                        self.complete_read_query(op, ph.responders(), census, fx);
+                        self.complete_read_query(op, ph.responders(), census, cons, fx);
                     }
                 }
             }
@@ -1068,6 +1133,14 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> ReadPathStats for SwmrNode<V> 
     fn relay_reads(&self) -> u64 {
         self.relay_reads
     }
+
+    fn sc_reads(&self) -> u64 {
+        self.sc_reads
+    }
+
+    fn regular_reads(&self) -> u64 {
+        self.regular_reads
+    }
 }
 
 #[cfg(test)]
@@ -1253,6 +1326,111 @@ mod tests {
     }
 
     #[test]
+    fn sequential_read_is_local_and_free() {
+        let mut net = cluster(5, true);
+        net.invoke(0, RegisterOp::Write(7));
+        net.run_to_quiescence();
+        net.take_responses();
+        let before = net.messages_sent();
+        net.invoke(2, RegisterOp::ReadAt(Consistency::Sequential));
+        net.run_to_quiescence();
+        assert_eq!(net.messages_sent() - before, 0, "SC read sends nothing");
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(1), RegisterResp::ReadOk(7))]
+        );
+        assert_eq!(net.node(2).sc_reads(), 1);
+        assert_eq!(net.node(2).write_backs(), 0);
+    }
+
+    #[test]
+    fn sequential_read_can_lag_but_never_regresses_locally() {
+        let mut net = cluster(5, true);
+        // The write reaches only {0,1,2}; node 3's local replica is stale.
+        net.set_drop_filter(|_, to, _| to.index() >= 3);
+        net.invoke(0, RegisterOp::Write(1));
+        net.run_to_quiescence();
+        net.take_responses();
+        net.clear_drop_filter();
+        net.invoke(3, RegisterOp::ReadAt(Consistency::Sequential));
+        net.run_to_quiescence();
+        assert_eq!(
+            net.take_responses()[0].1,
+            RegisterResp::ReadOk(0),
+            "SC read may serve the stale local value"
+        );
+        // An atomic read raises the local replica; SC reads never go back.
+        net.invoke(3, RegisterOp::Read);
+        net.invoke(3, RegisterOp::ReadAt(Consistency::Sequential));
+        net.run_to_quiescence();
+        let r = net.take_responses();
+        assert_eq!(r[0].1, RegisterResp::ReadOk(1));
+        assert_eq!(r[1].1, RegisterResp::ReadOk(1), "local label only rises");
+    }
+
+    #[test]
+    fn regular_tier_read_skips_write_back_and_counts() {
+        let mut net = cluster(5, true);
+        net.invoke(0, RegisterOp::Write(4));
+        net.run_to_quiescence();
+        net.take_responses();
+        let before = net.messages_sent();
+        net.invoke(1, RegisterOp::ReadAt(Consistency::Regular));
+        net.run_to_quiescence();
+        // Query + replies only = 2(n-1); no write-back round.
+        assert_eq!(net.messages_sent() - before, 2 * (5 - 1));
+        assert_eq!(
+            net.take_responses(),
+            vec![(OpId(1), RegisterResp::ReadOk(4))]
+        );
+        assert_eq!(net.node(1).regular_reads(), 1);
+        assert_eq!(net.node(1).write_backs(), 0);
+    }
+
+    #[test]
+    fn regular_tier_read_adopts_census_max_locally() {
+        let mut net = cluster(5, true);
+        net.set_drop_filter(|_, to, _| to.index() >= 3);
+        net.invoke(0, RegisterOp::Write(6));
+        net.run_to_quiescence();
+        net.take_responses();
+        net.clear_drop_filter();
+        assert_eq!(net.node(3).replica_state().0, 0);
+        net.invoke(3, RegisterOp::ReadAt(Consistency::Regular));
+        net.run_to_quiescence();
+        assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(6));
+        // The reader adopted what it returned (so a later SC read on the
+        // same node cannot regress), but lagging peers were not updated.
+        assert_eq!(net.node(3).replica_state().0, 1);
+        assert_eq!(net.node(4).replica_state().0, 0, "no write-back spread");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn with_fast_reads_shim_still_maps_to_read_mode() {
+        let on = SwmrConfig::new(3, ProcessId(0), ProcessId(0)).with_fast_reads(true);
+        assert_eq!(on.read_mode, ReadMode::FastUnanimous);
+        let off = on.with_fast_reads(false);
+        assert_eq!(off.read_mode, ReadMode::TwoRound);
+    }
+
+    #[test]
+    fn read_at_atomic_matches_plain_read() {
+        let mut net = cluster(3, true);
+        net.invoke(0, RegisterOp::Write(9));
+        net.run_to_quiescence();
+        net.take_responses();
+        let before = net.messages_sent();
+        net.invoke(1, RegisterOp::ReadAt(Consistency::Atomic));
+        net.run_to_quiescence();
+        assert_eq!(net.messages_sent() - before, 4 * (3 - 1));
+        assert_eq!(net.take_responses()[0].1, RegisterResp::ReadOk(9));
+        assert_eq!(net.node(1).write_backs(), 1);
+        assert_eq!(net.node(1).sc_reads(), 0);
+        assert_eq!(net.node(1).regular_reads(), 0);
+    }
+
+    #[test]
     fn write_costs_2n_minus_2_messages() {
         let mut net = cluster(7, true);
         net.invoke(0, RegisterOp::Write(1));
@@ -1403,7 +1581,8 @@ mod tests {
     fn fast_cluster(n: usize) -> MiniNet<SwmrNode<u32>> {
         let nodes = (0..n)
             .map(|i| {
-                let cfg = SwmrConfig::new(n, ProcessId(i), ProcessId(0)).with_fast_reads(true);
+                let cfg = SwmrConfig::new(n, ProcessId(i), ProcessId(0))
+                    .with_read_mode(ReadMode::FastUnanimous);
                 SwmrNode::new(cfg, 0u32)
             })
             .collect();
@@ -1464,7 +1643,7 @@ mod tests {
             .map(|i| {
                 let cfg = SwmrConfig::new(5, ProcessId(i), ProcessId(0))
                     .with_quorum(Arc::new(Threshold::new(5, 1, 3)))
-                    .with_fast_reads(true);
+                    .with_read_mode(ReadMode::FastUnanimous);
                 SwmrNode::new(cfg, 0)
             })
             .collect();

@@ -158,6 +158,47 @@ pub enum ReadMode {
     Relay,
 }
 
+/// Per-operation consistency level for *read* operations.
+///
+/// Writes always run the full two-phase protocol; the tier only relaxes what
+/// a read must do before returning, trading recency guarantees for rounds and
+/// messages on the same replica/retransmission/recovery machinery:
+///
+/// * [`Atomic`](Consistency::Atomic) — the default. Reads are linearizable:
+///   query a quorum, then write the chosen pair back so no later read
+///   observes an older value (the paper's full protocol; the exact path is
+///   chosen by [`ReadMode`]).
+/// * [`Sequential`](Consistency::Sequential) — SC-ABD style. Reads return
+///   the local replica's value immediately with no network round at all.
+///   Clients still observe a view consistent with *some* total order that
+///   respects every client's program order, because replica labels only ever
+///   advance; cross-client real-time recency is forfeited.
+/// * [`Regular`](Consistency::Regular) — reads run the query round against a
+///   quorum but skip the write-back. A read never returns a value that was
+///   overwritten before it started, but two non-overlapping reads racing a
+///   write may observe the new value then the old one (the new/old inversion
+///   the write-back exists to prevent).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Consistency {
+    /// Linearizable reads: query round plus write-back (or fast/relay path).
+    #[default]
+    Atomic,
+    /// Sequentially consistent reads: serve the local replica, zero rounds.
+    Sequential,
+    /// Regular reads: query round only, write-back elided.
+    Regular,
+}
+
+impl fmt::Display for Consistency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Consistency::Atomic => write!(f, "atomic"),
+            Consistency::Sequential => write!(f, "sequential"),
+            Consistency::Regular => write!(f, "regular"),
+        }
+    }
+}
+
 /// Errors surfaced by protocol nodes through their responses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RegisterError {
@@ -236,5 +277,14 @@ mod tests {
         assert_ss::<Tag>();
         assert_ss::<OpId>();
         assert_ss::<RegisterError>();
+        assert_ss::<Consistency>();
+    }
+
+    #[test]
+    fn consistency_defaults_to_atomic_and_displays() {
+        assert_eq!(Consistency::default(), Consistency::Atomic);
+        assert_eq!(Consistency::Atomic.to_string(), "atomic");
+        assert_eq!(Consistency::Sequential.to_string(), "sequential");
+        assert_eq!(Consistency::Regular.to_string(), "regular");
     }
 }

@@ -49,7 +49,7 @@ use abd_core::phase::{PhaseTracker, RelayCensus, TagCensus};
 use abd_core::procset::ProcSet;
 use abd_core::quorum::{fast_read_allowed, Majority, QuorumSystem};
 use abd_core::retransmit::BackoffPolicy;
-use abd_core::types::{Nanos, OpId, ProcessId, ReadMode, Tag};
+use abd_core::types::{Consistency, Nanos, OpId, ProcessId, ReadMode, Tag};
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -150,8 +150,15 @@ pub enum KvMsg<K, V> {
 /// A client operation on the store.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum KvOp<K, V> {
-    /// Read the value of `key`.
+    /// Read the value of `key` (atomically — `Get(k)` ≡
+    /// `GetAt(k, Consistency::Atomic)`).
     Get(K),
+    /// Read the value of `key` at an explicit consistency tier:
+    /// sequential `Get`s serve the local replica in zero rounds, regular
+    /// `Get`s run the query round but skip the write-back. Writes are
+    /// always full-strength, which is what makes the weaker read tiers
+    /// safe to mix with atomic ones (see DESIGN.md).
+    GetAt(K, Consistency),
     /// Write `value` under `key`.
     Put(K, V),
 }
@@ -205,6 +212,7 @@ impl KvConfig {
     ///
     /// Back-compat shim for the pre-[`ReadMode`] boolean: `true` selects
     /// [`ReadMode::FastUnanimous`], `false` [`ReadMode::TwoRound`].
+    #[deprecated(note = "use with_read_mode(ReadMode::FastUnanimous) instead")]
     pub fn with_fast_reads(mut self, yes: bool) -> Self {
         self.read_mode = if yes {
             ReadMode::FastUnanimous
@@ -241,6 +249,9 @@ enum Pending<K, V> {
         key: K,
         ph: PhaseTracker,
         census: TagCensus<Tag, Option<V>>,
+        /// Tier the `Get` was invoked at (decides whether the write-back
+        /// runs when the query quorum completes).
+        cons: Consistency,
     },
     GetWriteBack {
         op: OpId,
@@ -326,6 +337,8 @@ pub struct KvNode<K, V> {
     fast_reads: u64,
     write_backs: u64,
     relay_reads: u64,
+    sc_reads: u64,
+    regular_reads: u64,
 }
 
 impl<K, V> KvNode<K, V>
@@ -354,6 +367,8 @@ where
             fast_reads: 0,
             write_backs: 0,
             relay_reads: 0,
+            sc_reads: 0,
+            regular_reads: 0,
         }
     }
 
@@ -375,6 +390,17 @@ where
     /// `Get`s issued here that completed via server-to-server relay.
     pub fn relay_reads(&self) -> u64 {
         self.relay_reads
+    }
+
+    /// Sequential-tier `Get`s served straight from the local replica.
+    pub fn sc_reads(&self) -> u64 {
+        self.sc_reads
+    }
+
+    /// Regular-tier `Get`s that ran the query round but skipped the
+    /// write-back.
+    pub fn regular_reads(&self) -> u64 {
+        self.regular_reads
     }
 
     /// Whether the node is running its post-restart state transfer
@@ -560,8 +586,19 @@ where
         key: K,
         responders: &ProcSet,
         census: TagCensus<Tag, Option<V>>,
+        cons: Consistency,
         fx: &mut Effects<KvMsg<K, V>, KvResp<V>>,
     ) {
+        if cons == Consistency::Regular {
+            // Regular tier: return the census maximum without propagating
+            // it. Adopting it locally keeps this replica monotone, so
+            // sequential `Get`s on the same node compose.
+            self.regular_reads += 1;
+            let (tag, value) = census.into_best();
+            self.adopt_opt(key, tag, value.clone());
+            fx.respond(op, KvResp::GetOk(value));
+            return;
+        }
         if self.cfg.read_mode == ReadMode::FastUnanimous
             && fast_read_allowed(self.cfg.quorum.as_ref(), responders, census.unanimous())
         {
@@ -574,41 +611,61 @@ where
         self.enter_get_write_back(op, key, (tag, value), fx);
     }
 
+    /// Starts one `Get` at tier `cons`. Sequential `Get`s answer from the
+    /// local replica in zero rounds; the other tiers run the query round,
+    /// with only atomic `Get`s eligible for the relay path (a weaker tier
+    /// has no write-back for the relay round to replace).
+    fn begin_get(
+        &mut self,
+        op: OpId,
+        key: K,
+        cons: Consistency,
+        fx: &mut Effects<KvMsg<K, V>, KvResp<V>>,
+    ) {
+        if cons == Consistency::Sequential {
+            self.sc_reads += 1;
+            let (_, value) = self.snapshot(&key);
+            fx.respond(op, KvResp::GetOk(value));
+            return;
+        }
+        if cons == Consistency::Atomic && self.cfg.read_mode == ReadMode::Relay {
+            self.begin_relay_get(op, key, fx);
+            return;
+        }
+        let uid = self.fresh_uid();
+        let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
+        let (tag, value) = self.snapshot(&key);
+        let census = TagCensus::new(tag, value);
+        if self.cfg.quorum.is_read_quorum(ph.responders()) {
+            self.complete_get_query(op, key, ph.responders(), census, cons, fx);
+            return;
+        }
+        self.broadcast(
+            KvMsg::Query {
+                uid,
+                key: key.clone(),
+            },
+            fx,
+        );
+        self.pending.insert(
+            uid,
+            Pending::GetQuery {
+                op,
+                key,
+                ph,
+                census,
+                cons,
+            },
+        );
+        self.arm_timer(uid, fx);
+    }
+
     /// Starts one invocation (the body of [`Protocol::on_invoke`] once the
     /// node is past any post-restart recovery).
     fn begin(&mut self, op: OpId, input: KvOp<K, V>, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
         match input {
-            KvOp::Get(key) => {
-                if self.cfg.read_mode == ReadMode::Relay {
-                    self.begin_relay_get(op, key, fx);
-                    return;
-                }
-                let uid = self.fresh_uid();
-                let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
-                let (tag, value) = self.snapshot(&key);
-                let census = TagCensus::new(tag, value);
-                if self.cfg.quorum.is_read_quorum(ph.responders()) {
-                    self.complete_get_query(op, key, ph.responders(), census, fx);
-                    return;
-                }
-                self.broadcast(
-                    KvMsg::Query {
-                        uid,
-                        key: key.clone(),
-                    },
-                    fx,
-                );
-                self.pending.insert(
-                    uid,
-                    Pending::GetQuery {
-                        op,
-                        key,
-                        ph,
-                        census,
-                    },
-                );
-                self.arm_timer(uid, fx);
-            }
+            KvOp::Get(key) => self.begin_get(op, key, Consistency::Atomic, fx),
+            KvOp::GetAt(key, cons) => self.begin_get(op, key, cons, fx),
             KvOp::Put(key, value) => {
                 let uid = self.fresh_uid();
                 let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
@@ -886,13 +943,14 @@ where
                                 key,
                                 ph,
                                 census,
+                                cons,
                                 ..
                             }) = self.pending.remove(&uid)
                             else {
                                 unreachable!()
                             };
                             self.disarm_timer(uid, fx);
-                            self.complete_get_query(op, key, ph.responders(), census, fx);
+                            self.complete_get_query(op, key, ph.responders(), census, cons, fx);
                         }
                     }
                     Pending::PutQuery { ph, best, .. } => {
@@ -1133,6 +1191,14 @@ where
     fn relay_reads(&self) -> u64 {
         self.relay_reads
     }
+
+    fn sc_reads(&self) -> u64 {
+        self.sc_reads
+    }
+
+    fn regular_reads(&self) -> u64 {
+        self.regular_reads
+    }
 }
 
 #[cfg(test)]
@@ -1337,7 +1403,8 @@ mod tests {
 
     #[test]
     fn uncontended_fast_get_skips_write_back() {
-        let mut net: Net<&str, u32> = Net::with(3, |cfg| cfg.with_fast_reads(true));
+        let mut net: Net<&str, u32> =
+            Net::with(3, |cfg| cfg.with_read_mode(ReadMode::FastUnanimous));
         net.invoke(0, KvOp::Put("k", 7));
         net.run();
         let before = net.sent;
@@ -1352,7 +1419,8 @@ mod tests {
 
     #[test]
     fn disagreeing_quorum_forces_get_slow_path() {
-        let mut net: Net<&str, u32> = Net::with(3, |cfg| cfg.with_fast_reads(true));
+        let mut net: Net<&str, u32> =
+            Net::with(3, |cfg| cfg.with_read_mode(ReadMode::FastUnanimous));
         // Node 2 misses the put: its replica stays stale.
         net.alive[2] = false;
         net.invoke(0, KvOp::Put("k", 7));
@@ -1368,6 +1436,88 @@ mod tests {
         assert_eq!(net.nodes[1].write_backs(), 1);
         // The write-back repaired the stale replica.
         assert_eq!(*net.nodes[2].local_entry(&"k").unwrap().1, 7);
+    }
+
+    #[test]
+    fn sequential_get_is_local_and_free() {
+        let mut net: Net<&str, u32> = Net::new(3);
+        net.invoke(0, KvOp::Put("k", 7));
+        net.run();
+        let before = net.sent;
+        net.invoke(1, KvOp::GetAt("k", Consistency::Sequential));
+        net.run();
+        let r = net.take();
+        assert_eq!(r.last().unwrap().1, KvResp::GetOk(Some(7)));
+        assert_eq!(net.sent - before, 0, "SC gets send nothing");
+        assert_eq!(net.nodes[1].sc_reads(), 1);
+        assert_eq!(net.nodes[1].write_backs(), 0);
+    }
+
+    #[test]
+    fn sequential_get_can_lag_behind_the_latest_put() {
+        let mut net: Net<&str, u32> = Net::new(3);
+        net.invoke(0, KvOp::Put("k", 1));
+        net.run();
+        // Node 2 misses the second put entirely.
+        net.alive[2] = false;
+        net.invoke(0, KvOp::Put("k", 2));
+        net.run();
+        net.alive[2] = true;
+        net.take();
+        // Its sequential get legitimately serves the stale local value.
+        net.invoke(2, KvOp::GetAt("k", Consistency::Sequential));
+        assert_eq!(net.take()[0].1, KvResp::GetOk(Some(1)));
+    }
+
+    #[test]
+    fn regular_get_skips_write_back_and_adopts_locally() {
+        let mut net: Net<&str, u32> = Net::new(3);
+        // Node 2 misses the put: its replica stays stale.
+        net.alive[2] = false;
+        net.invoke(0, KvOp::Put("k", 7));
+        net.run();
+        net.alive[2] = true;
+        net.take();
+        let before = net.sent;
+        net.invoke(2, KvOp::GetAt("k", Consistency::Regular));
+        net.run();
+        assert_eq!(net.take()[0].1, KvResp::GetOk(Some(7)));
+        // Query round only: 2(n-1) messages, no write-back broadcast.
+        assert_eq!(net.sent - before, 4);
+        assert_eq!(net.nodes[2].regular_reads(), 1);
+        assert_eq!(net.nodes[2].write_backs(), 0);
+        // The census maximum was adopted locally (monotone replica) even
+        // though it was not propagated to a quorum.
+        assert_eq!(*net.nodes[2].local_entry(&"k").unwrap().1, 7);
+    }
+
+    #[test]
+    fn get_at_atomic_matches_plain_get() {
+        let mut net: Net<&str, u32> = Net::new(3);
+        net.invoke(0, KvOp::Put("k", 7));
+        net.run();
+        net.take();
+        let before = net.sent;
+        net.invoke(1, KvOp::Get("k"));
+        net.run();
+        let plain = net.sent - before;
+        let before = net.sent;
+        net.invoke(1, KvOp::GetAt("k", Consistency::Atomic));
+        net.run();
+        assert_eq!(net.sent - before, plain, "same message complexity");
+        let r = net.take();
+        assert_eq!(r[0].1, KvResp::GetOk(Some(7)));
+        assert_eq!(r[1].1, KvResp::GetOk(Some(7)));
+        assert_eq!(net.nodes[1].write_backs(), 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn with_fast_reads_shim_still_maps_to_read_mode() {
+        let cfg = KvConfig::new(3, ProcessId(0)).with_fast_reads(true);
+        assert_eq!(cfg.read_mode, ReadMode::FastUnanimous);
+        let cfg = cfg.with_fast_reads(false);
+        assert_eq!(cfg.read_mode, ReadMode::TwoRound);
     }
 
     #[test]

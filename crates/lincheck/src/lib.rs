@@ -8,12 +8,16 @@
 //!   (simulated or real);
 //! * [`wg`] — a memoized Wing–Gong search deciding linearizability for
 //!   arbitrary register histories (multi-writer, pending operations);
+//! * [`sc`] — an exact memoized search deciding *sequential consistency*
+//!   (program order only, no cross-client real-time constraint), the tier
+//!   SC-ABD reads promise;
 //! * [`regularity`] — linear-time detectors for single-writer unique-value
 //!   histories: regularity/safeness violations and the *new/old inversion*
 //!   anomaly that separates regular from atomic registers;
 //! * [`oracle`] — those checkers reified as pluggable pass/fail predicates
 //!   ([`HistoryOracle`]) so harnesses like the `abd-simnet` campaign
-//!   shrinker can re-apply one failure definition to many replays.
+//!   shrinker can re-apply one failure definition to many replays. One
+//!   oracle per consistency tier: atomic, sequential, regular.
 //!
 //! ## Example
 //!
@@ -38,9 +42,13 @@
 pub mod history;
 pub mod oracle;
 pub mod regularity;
+pub mod sc;
 pub mod wg;
 
 pub use history::{CompletedOp, History, RegAction};
-pub use oracle::{AtomicSwmrOracle, HistoryOracle, LinearizableOracle};
+pub use oracle::{
+    AtomicSwmrOracle, HistoryOracle, LinearizableOracle, RegularOracle, SequentialConsistencyOracle,
+};
 pub use regularity::{check_regular_swmr, find_new_old_inversions, is_atomic_swmr, Anomaly};
+pub use sc::{check_sequential, check_sequential_with_limit, ScCheckResult};
 pub use wg::{check_linearizable, check_linearizable_with_limit, CheckResult};

@@ -1,0 +1,290 @@
+//! Sequential-consistency checker for register histories.
+//!
+//! Sequential consistency (Lamport) asks for a *total order* over all
+//! operations that (a) respects every client's program order and (b) makes
+//! each read return the value of the latest preceding write (or the initial
+//! value). Unlike linearizability there is **no real-time constraint**
+//! across clients: a read may return an arbitrarily stale value as long as
+//! each individual client's view only moves forward.
+//!
+//! For a single register the state is just "the current value", which makes
+//! an exact memoized search tractable: a schedule state is fully described
+//! by the per-client next-operation indices plus the current value. Two
+//! interleavings reaching the same `(indices, value)` pair are
+//! interchangeable, so the search memoizes on that pair — exact even with
+//! duplicate written values.
+//!
+//! Pending writes (invoked, never completed) are merged into their client's
+//! sequence as *optional* operations: the search may schedule them (the
+//! write took effect before the crash) or skip them (it never did). This
+//! mirrors how the Wing–Gong linearizability checker in [`crate::wg`]
+//! treats pending operations.
+//!
+//! ## Example
+//!
+//! ```
+//! use abd_lincheck::history::{History, RegAction};
+//! use abd_lincheck::sc::{check_sequential, ScCheckResult};
+//!
+//! let mut h = History::new(0u32);
+//! h.push(0, RegAction::Write(1), 0, 10);
+//! // Client 1 reads stale 0 *after* the write completed: not atomic, but
+//! // sequentially consistent (client 1's view is just behind).
+//! h.push(1, RegAction::Read(0), 20, 30);
+//! assert_eq!(check_sequential(&h), ScCheckResult::Sequential);
+//!
+//! // The same client then re-reading an *older* value than it already saw
+//! // violates program order and with it sequential consistency:
+//! h.push(1, RegAction::Read(1), 40, 50);
+//! h.push(1, RegAction::Read(0), 60, 70);
+//! assert_eq!(check_sequential(&h), ScCheckResult::NotSequential);
+//! ```
+
+use crate::history::{History, RegAction};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::hash::Hash;
+
+/// Outcome of the sequential-consistency search.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScCheckResult {
+    /// A witnessing total order exists.
+    Sequential,
+    /// No total order respecting program order explains the history.
+    NotSequential,
+    /// The state budget was exhausted before the search concluded.
+    Unknown,
+}
+
+/// Default bound on distinct `(indices, value)` states explored.
+pub const DEFAULT_SC_STATE_LIMIT: usize = 1_000_000;
+
+/// One entry of a client's program-order sequence.
+#[derive(Clone, Copy, Debug)]
+enum Entry {
+    /// A completed read that returned the value id.
+    Read(u32),
+    /// A completed write of the value id.
+    Write(u32),
+    /// A pending write: may be scheduled or skipped.
+    OptWrite(u32),
+}
+
+/// Checks sequential consistency with the default state budget.
+pub fn check_sequential<V: Clone + Eq + Hash + std::fmt::Debug>(h: &History<V>) -> ScCheckResult {
+    check_sequential_with_limit(h, DEFAULT_SC_STATE_LIMIT)
+}
+
+/// Checks sequential consistency, exploring at most `state_limit` distinct
+/// memoized states before giving up with [`ScCheckResult::Unknown`].
+///
+/// The search is deterministic: clients are tried in ascending id order and
+/// for a pending write the skip branch is explored before the schedule
+/// branch, so repeated runs on one history always traverse identically.
+pub fn check_sequential_with_limit<V: Clone + Eq + Hash + std::fmt::Debug>(
+    h: &History<V>,
+    state_limit: usize,
+) -> ScCheckResult {
+    // Intern values so states hash cheaply and compare by id.
+    fn intern_ref<'a, V: Eq + Hash>(v: &'a V, lookup: &mut HashMap<&'a V, u32>) -> u32 {
+        let next = lookup.len() as u32;
+        *lookup.entry(v).or_insert(next)
+    }
+    let mut lookup: HashMap<&V, u32> = HashMap::new();
+
+    let initial_id = intern_ref(h.initial(), &mut lookup);
+
+    // Per-client sequences in program order (start-time order within a
+    // client; `History::validate_sequential_clients` guarantees intervals
+    // within one client do not overlap).
+    let mut seqs: BTreeMap<usize, Vec<(u64, Entry)>> = BTreeMap::new();
+    for op in h.ops() {
+        let entry = match &op.action {
+            RegAction::Write(v) => Entry::Write(intern_ref(v, &mut lookup)),
+            RegAction::Read(v) => Entry::Read(intern_ref(v, &mut lookup)),
+        };
+        seqs.entry(op.client).or_default().push((op.start, entry));
+    }
+    for (client, v, start) in h.pending_writes() {
+        let id = intern_ref(v, &mut lookup);
+        seqs.entry(*client)
+            .or_default()
+            .push((*start, Entry::OptWrite(id)));
+    }
+    let mut clients: Vec<Vec<Entry>> = Vec::new();
+    for (_, mut seq) in seqs {
+        seq.sort_by_key(|(start, _)| *start);
+        clients.push(seq.into_iter().map(|(_, e)| e).collect());
+    }
+    if clients.is_empty() {
+        return ScCheckResult::Sequential;
+    }
+
+    // DFS over (per-client indices, current value id), memoized.
+    type State = (Vec<u32>, u32);
+    let start: State = (vec![0; clients.len()], initial_id);
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut stack: Vec<State> = vec![start.clone()];
+    seen.insert(start);
+    while let Some((indices, current)) = stack.pop() {
+        let done = clients.iter().zip(&indices).all(|(seq, &i)| {
+            seq[i as usize..]
+                .iter()
+                .all(|e| matches!(e, Entry::OptWrite(_)))
+        });
+        if done {
+            return ScCheckResult::Sequential;
+        }
+        for (c, seq) in clients.iter().enumerate() {
+            let i = indices[c] as usize;
+            if i >= seq.len() {
+                continue;
+            }
+            let push = |value: u32, seen: &mut HashSet<State>, stack: &mut Vec<State>| {
+                let mut next = indices.clone();
+                next[c] += 1;
+                let st = (next, value);
+                if seen.insert(st.clone()) {
+                    stack.push(st);
+                }
+            };
+            match seq[i] {
+                Entry::Read(v) => {
+                    if v == current {
+                        push(current, &mut seen, &mut stack);
+                    }
+                }
+                Entry::Write(v) => push(v, &mut seen, &mut stack),
+                Entry::OptWrite(v) => {
+                    // Skip branch first (deterministic order), then take.
+                    push(current, &mut seen, &mut stack);
+                    push(v, &mut seen, &mut stack);
+                }
+            }
+        }
+        if seen.len() > state_limit {
+            return ScCheckResult::Unknown;
+        }
+    }
+    ScCheckResult::NotSequential
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h0() -> History<u64> {
+        History::new(0u64)
+    }
+
+    #[test]
+    fn empty_history_is_sequential() {
+        assert_eq!(check_sequential(&h0()), ScCheckResult::Sequential);
+    }
+
+    #[test]
+    fn linearizable_history_is_sequential() {
+        let mut h = h0();
+        h.push(0, RegAction::Write(1), 0, 10);
+        h.push(1, RegAction::Read(1), 20, 30);
+        h.push(1, RegAction::Read(1), 40, 50);
+        assert_eq!(check_sequential(&h), ScCheckResult::Sequential);
+    }
+
+    #[test]
+    fn cross_client_staleness_is_sequential() {
+        // Client 1 reads fresh, client 2 reads stale, both after the write
+        // completed — violates atomicity (new/old inversion across clients)
+        // but not SC: order client 2's read before the write.
+        let mut h = h0();
+        h.push(0, RegAction::Write(1), 0, 10);
+        h.push(1, RegAction::Read(1), 20, 30);
+        h.push(2, RegAction::Read(0), 40, 50);
+        assert_eq!(check_sequential(&h), ScCheckResult::Sequential);
+    }
+
+    #[test]
+    fn same_client_new_old_inversion_is_not_sequential() {
+        // One client observes v1 then v0 with v0 written before v1:
+        // no total order respects its program order.
+        let mut h = h0();
+        h.push(0, RegAction::Write(1), 0, 10);
+        h.push(0, RegAction::Write(2), 20, 30);
+        h.push(1, RegAction::Read(2), 40, 50);
+        h.push(1, RegAction::Read(1), 60, 70);
+        assert_eq!(check_sequential(&h), ScCheckResult::NotSequential);
+    }
+
+    #[test]
+    fn pending_write_can_explain_a_read() {
+        let mut h = h0();
+        h.push(1, RegAction::Read(7), 10, 20);
+        h.push_pending_write(0, 7, 5);
+        assert_eq!(check_sequential(&h), ScCheckResult::Sequential);
+    }
+
+    #[test]
+    fn pending_write_may_be_skipped() {
+        let mut h = h0();
+        h.push_pending_write(0, 9, 5);
+        h.push(1, RegAction::Read(0), 10, 20);
+        assert_eq!(check_sequential(&h), ScCheckResult::Sequential);
+    }
+
+    #[test]
+    fn phantom_value_is_not_sequential() {
+        let mut h = h0();
+        h.push(0, RegAction::Write(1), 0, 10);
+        h.push(1, RegAction::Read(42), 20, 30);
+        assert_eq!(check_sequential(&h), ScCheckResult::NotSequential);
+    }
+
+    #[test]
+    fn write_read_write_read_interleaving_with_stale_tail() {
+        // Clients may lag at different depths; SC only needs *some* global
+        // order, so each client independently reading a prefix is fine.
+        let mut h = h0();
+        h.push(0, RegAction::Write(1), 0, 10);
+        h.push(0, RegAction::Write(2), 20, 30);
+        h.push(0, RegAction::Write(3), 40, 50);
+        h.push(1, RegAction::Read(1), 60, 70);
+        h.push(1, RegAction::Read(3), 80, 90);
+        h.push(2, RegAction::Read(2), 60, 70);
+        assert_eq!(check_sequential(&h), ScCheckResult::Sequential);
+    }
+
+    #[test]
+    fn duplicate_written_values_stay_exact() {
+        // Two writes of the same value: a read of it then a read of an
+        // intermediate different value then the same value again is SC
+        // (the two same-valued writes bracket the other one).
+        let mut h = h0();
+        h.push(0, RegAction::Write(5), 0, 10);
+        h.push(0, RegAction::Write(6), 20, 30);
+        h.push(0, RegAction::Write(5), 40, 50);
+        h.push(1, RegAction::Read(5), 60, 70);
+        h.push(1, RegAction::Read(6), 80, 90);
+        h.push(1, RegAction::Read(5), 100, 110);
+        assert_eq!(check_sequential(&h), ScCheckResult::Sequential);
+    }
+
+    #[test]
+    fn tiny_state_budget_reports_unknown() {
+        let mut h = h0();
+        for k in 1..=6u64 {
+            h.push(0, RegAction::Write(k), k * 20, k * 20 + 10);
+            h.push(1, RegAction::Read(k), k * 20 + 11, k * 20 + 15);
+        }
+        assert_eq!(check_sequential_with_limit(&h, 2), ScCheckResult::Unknown);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let mut h = h0();
+        h.push(0, RegAction::Write(1), 0, 10);
+        h.push(1, RegAction::Read(1), 5, 15);
+        h.push_pending_write(2, 3, 7);
+        for _ in 0..3 {
+            assert_eq!(check_sequential(&h), ScCheckResult::Sequential);
+        }
+    }
+}

@@ -42,7 +42,7 @@ use crate::sim::{DropReason, TapEvent, TapKind};
 use abd_core::batch::Envelope;
 use abd_core::msg::{RegisterMsg, RegisterOp};
 use abd_core::quorum::majority_threshold;
-use abd_core::types::{OpId, ProcessId};
+use abd_core::types::{Consistency, Nanos, OpId, ProcessId};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -118,11 +118,22 @@ impl<M: Classify> Classify for Envelope<M> {
 pub trait ClassifyOp {
     /// Whether this operation is a read.
     fn is_read(&self) -> bool;
+
+    /// The consistency tier a read was invoked at, `None` for writes.
+    /// Defaults to atomic — protocols without tiered reads serve every
+    /// read at full strength.
+    fn read_tier(&self) -> Option<Consistency> {
+        self.is_read().then_some(Consistency::Atomic)
+    }
 }
 
 impl<V> ClassifyOp for RegisterOp<V> {
     fn is_read(&self) -> bool {
-        matches!(self, RegisterOp::Read)
+        !matches!(self, RegisterOp::Write(_))
+    }
+
+    fn read_tier(&self) -> Option<Consistency> {
+        self.consistency()
     }
 }
 
@@ -151,6 +162,18 @@ pub enum Cell {
     UpdateWhileCrashed,
     /// A `Query` reached a node still inside its restart catch-up phase.
     RecoveryInterleavedQuery,
+    /// log₂ bucket of the delay between a node's restart and a `Query`
+    /// reaching it. [`Cell::RecoveryInterleavedQuery`] is binary — lit by
+    /// almost any crashy schedule — so it stops yielding novelty after one
+    /// admission. The bucketed gap keeps a gradient alive: each tighter
+    /// reboot-to-query window is a new cell, steering the corpus toward
+    /// schedules that interrogate a replica at ever-smaller distances from
+    /// its amnesia point, which is where recovery defects live.
+    RestartQueryGap(u8),
+    /// A read at this consistency tier completed somewhere in the
+    /// campaign — distinguishes which tiers a schedule's workload
+    /// actually exercised.
+    TierRead(Consistency),
     /// log₂ bucket of total retransmissions over the campaign.
     RetransmissionExhaustion(u8),
     /// Trace digest modulo 64 — distinguishes executions whose feature
@@ -173,6 +196,8 @@ impl fmt::Display for Cell {
             Cell::RelayReadUnderPartition => f.write_str("relay-read-under-partition"),
             Cell::UpdateWhileCrashed => f.write_str("write-back-while-crashed"),
             Cell::RecoveryInterleavedQuery => f.write_str("recovery-interleaved-query"),
+            Cell::RestartQueryGap(b) => write!(f, "restart-query-gap/2^{b}"),
+            Cell::TierRead(tier) => write!(f, "tier-read/{tier}"),
             Cell::RetransmissionExhaustion(b) => write!(f, "retransmission-exhaustion/2^{b}"),
             Cell::DigestBucket(b) => write!(f, "digest-bucket/{b}"),
         }
@@ -275,8 +300,10 @@ pub struct CoverageCollector {
     recovering: Vec<u32>,
     /// Majority threshold minus one: remote replies a catch-up needs.
     catchup_replies: u32,
-    /// Per node: in-flight read `(op, saw_update_ack, saw_relay_reply)`.
-    read_in_flight: Vec<Option<(OpId, bool, bool)>>,
+    /// Per node: in-flight read `(op, tier, saw_update_ack, saw_relay_reply)`.
+    read_in_flight: Vec<Option<(OpId, Consistency, bool, bool)>>,
+    /// Per node: instant of the most recent restart, cleared on crash.
+    restarted_at: Vec<Option<Nanos>>,
     cells: BTreeSet<Cell>,
 }
 
@@ -290,6 +317,7 @@ impl CoverageCollector {
             recovering: vec![0; n],
             catchup_replies: majority_threshold(n).saturating_sub(1) as u32,
             read_in_flight: vec![None; n],
+            restarted_at: vec![None; n],
             cells: BTreeSet::new(),
         }
     }
@@ -317,19 +345,27 @@ impl CoverageCollector {
                         }
                         self.last_kind[t] = Some(kind);
                         match kind {
-                            MsgKind::Query if self.recovering[t] > 0 => {
-                                self.cells.insert(Cell::RecoveryInterleavedQuery);
+                            MsgKind::Query => {
+                                if self.recovering[t] > 0 {
+                                    self.cells.insert(Cell::RecoveryInterleavedQuery);
+                                }
+                                if let Some(rt) = self.restarted_at[t] {
+                                    self.cells.insert(Cell::RestartQueryGap(log2_bucket(
+                                        ev.at.saturating_sub(rt),
+                                    )));
+                                }
                             }
                             MsgKind::QueryReply if self.recovering[t] > 0 => {
                                 self.recovering[t] -= 1;
                             }
                             MsgKind::UpdateAck => {
-                                if let Some((_, saw_ack, _)) = self.read_in_flight[t].as_mut() {
+                                if let Some((_, _, saw_ack, _)) = self.read_in_flight[t].as_mut() {
                                     *saw_ack = true;
                                 }
                             }
                             MsgKind::RelayReply => {
-                                if let Some((_, _, saw_relay)) = self.read_in_flight[t].as_mut() {
+                                if let Some((_, _, _, saw_relay)) = self.read_in_flight[t].as_mut()
+                                {
                                     *saw_relay = true;
                                 }
                             }
@@ -339,18 +375,18 @@ impl CoverageCollector {
                 }
             }
             TapKind::Invoke { op, input } => {
-                if input.is_read() {
-                    self.read_in_flight[t] = Some((*op, false, false));
-                } else {
-                    self.read_in_flight[t] = None;
-                }
+                self.read_in_flight[t] = input.read_tier().map(|tier| (*op, tier, false, false));
             }
             TapKind::Complete { op } => {
-                if let Some((read_op, saw_ack, saw_relay)) = self.read_in_flight[t] {
+                if let Some((read_op, tier, saw_ack, saw_relay)) = self.read_in_flight[t] {
                     if read_op == *op {
+                        self.cells.insert(Cell::TierRead(tier));
                         if saw_relay && ev.partition_active {
                             self.cells.insert(Cell::RelayReadUnderPartition);
-                        } else if !saw_ack && ev.partition_active {
+                        } else if !saw_ack && ev.partition_active && tier == Consistency::Atomic {
+                            // Only atomic reads *owe* a write-back; the
+                            // weaker tiers elide it by design, which is not
+                            // a coverage event.
                             self.cells.insert(Cell::FastReadUnderPartition);
                         }
                         self.read_in_flight[t] = None;
@@ -361,9 +397,11 @@ impl CoverageCollector {
                 self.last_kind[t] = None;
                 self.recovering[t] = 0;
                 self.read_in_flight[t] = None;
+                self.restarted_at[t] = None;
             }
             TapKind::Restart => {
                 self.recovering[t] = self.catchup_replies;
+                self.restarted_at[t] = Some(ev.at);
             }
             TapKind::TimerFire => {}
         }
@@ -533,6 +571,34 @@ mod tests {
     }
 
     #[test]
+    fn tiered_reads_light_tier_cells_but_not_fast_read() {
+        let mut c = CoverageCollector::new(3, ProcessId(0));
+        // An SC read completing under partition with no acks is *by design*
+        // write-back-free: it lights its tier cell, not the fast-read one.
+        let invoke: TapEvent<'_, RegisterMsg<u64, u64>, RegisterOp<u64>> = TapEvent {
+            at: 0,
+            target: ProcessId(1),
+            partition_active: true,
+            kind: TapKind::Invoke {
+                op: OpId(7),
+                input: &RegisterOp::ReadAt(Consistency::Sequential),
+            },
+        };
+        c.observe(&invoke);
+        let complete: TapEvent<'_, RegisterMsg<u64, u64>, RegisterOp<u64>> = TapEvent {
+            at: 10,
+            target: ProcessId(1),
+            partition_active: true,
+            kind: TapKind::Complete { op: OpId(7) },
+        };
+        c.observe(&complete);
+        let s = c.finish(&Metrics::default(), 0);
+        assert!(s.contains(&Cell::TierRead(Consistency::Sequential)));
+        assert!(!s.contains(&Cell::FastReadUnderPartition));
+        assert!(!s.contains(&Cell::TierRead(Consistency::Atomic)));
+    }
+
+    #[test]
     fn query_during_catchup_lights_recovery_interleaving() {
         let mut c = CoverageCollector::new(5, ProcessId(0));
         let restart: TapEvent<'_, RegisterMsg<u64, u64>, RegisterOp<u64>> = TapEvent {
@@ -562,6 +628,42 @@ mod tests {
         c.observe(&deliver(5, 2, &q, None, false));
         let s = c.finish(&Metrics::default(), 0);
         assert!(!s.contains(&Cell::RecoveryInterleavedQuery));
+    }
+
+    #[test]
+    fn restart_query_gap_buckets_the_reboot_to_query_window() {
+        let mut c = CoverageCollector::new(5, ProcessId(0));
+        let restart: TapEvent<'_, RegisterMsg<u64, u64>, RegisterOp<u64>> = TapEvent {
+            at: 1_000,
+            target: ProcessId(2),
+            partition_active: false,
+            kind: TapKind::Restart,
+        };
+        c.observe(&restart);
+        let q = RegisterMsg::Query { uid: 9 };
+        // 9µs after the restart: 2^13 < 9_000 <= 2^14 → bucket 14.
+        c.observe(&deliver(10_000, 2, &q, None, false));
+        let s = c.finish(&Metrics::default(), 0);
+        assert!(s.contains(&Cell::RestartQueryGap(14)));
+
+        // A query on a node that never restarted lights no gap cell, and a
+        // crash wipes the restart stamp until the next reboot.
+        let mut c = CoverageCollector::new(5, ProcessId(0));
+        c.observe(&deliver(10_000, 2, &q, None, false));
+        c.observe(&restart);
+        let crash: TapEvent<'_, RegisterMsg<u64, u64>, RegisterOp<u64>> = TapEvent {
+            at: 2_000,
+            target: ProcessId(2),
+            partition_active: false,
+            kind: TapKind::Crash,
+        };
+        c.observe(&crash);
+        c.observe(&deliver(50_000, 2, &q, None, false));
+        let s = c.finish(&Metrics::default(), 0);
+        assert!(
+            !s.cells().any(|c| matches!(c, Cell::RestartQueryGap(_))),
+            "no live restart stamp → no gap cell"
+        );
     }
 
     #[test]

@@ -52,6 +52,12 @@ pub struct Metrics {
     /// Reads completed through the relay (one-and-a-half-round) path.
     /// Same caveat as [`Metrics::fast_reads`].
     pub relay_reads: u64,
+    /// Reads completed at `Consistency::Sequential` (served from the local
+    /// replica, zero rounds). Same caveat as [`Metrics::fast_reads`].
+    pub sc_reads: u64,
+    /// Reads completed at `Consistency::Regular` (query round only). Same
+    /// caveat as [`Metrics::fast_reads`].
+    pub regular_reads: u64,
 }
 
 impl Metrics {

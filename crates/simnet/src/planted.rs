@@ -212,15 +212,35 @@ pub enum MutantKind {
     /// reordering, so detection depends on the fault schedule. `every` is
     /// ignored (always armed).
     NonMonotonicTag,
+    /// Every `N`th read **response** on this node re-serves the *first*
+    /// value the node ever read instead of the fresh one. (Re-serving
+    /// merely the previous read's value would lag the genuine sequence by
+    /// one and stay per-client monotone — never an SC violation.) Once the
+    /// register has advanced past the stash, the client observes
+    /// new-then-old against its *own* program order — a
+    /// sequential-consistency violation. If the newer value's write is
+    /// still pending (writer crashed mid-propagation), the stale value is
+    /// merely older than an incomplete write, so the history stays
+    /// **regular**: this is the mutant only the
+    /// [`SequentialConsistencyOracle`] tier (and above) can see.
+    ///
+    /// [`SequentialConsistencyOracle`]: abd_lincheck::SequentialConsistencyOracle
+    ScStashRead,
+    /// Every `N`th read response is replaced with a [forged](Forgeable)
+    /// value the register never held — a *phantom* read. Violates even
+    /// regularity, the weakest tier: every oracle must catch it.
+    PhantomRead,
 }
 
 impl MutantKind {
     /// All mutants, in declaration order.
-    pub const ALL: [MutantKind; 4] = [
+    pub const ALL: [MutantKind; 6] = [
         MutantKind::StaleTagAck,
         MutantKind::OffByOneQuorum,
         MutantKind::RecoverySkipsQuery,
         MutantKind::NonMonotonicTag,
+        MutantKind::ScStashRead,
+        MutantKind::PhantomRead,
     ];
 
     /// Stable name used in `.ron` artifacts and bench reports.
@@ -230,6 +250,8 @@ impl MutantKind {
             MutantKind::OffByOneQuorum => "OffByOneQuorum",
             MutantKind::RecoverySkipsQuery => "RecoverySkipsQuery",
             MutantKind::NonMonotonicTag => "NonMonotonicTag",
+            MutantKind::ScStashRead => "ScStashRead",
+            MutantKind::PhantomRead => "PhantomRead",
         }
     }
 
@@ -242,6 +264,24 @@ impl MutantKind {
 impl fmt::Display for MutantKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// Values a [`MutantKind::PhantomRead`] node can counterfeit.
+///
+/// `forge(k)` must return a value no legitimate workload ever writes, so
+/// that a forged read is a *phantom* by construction. The workload
+/// generators in [`crate::workload`] produce `u64` values below `2^63`
+/// (single-writer sequence numbers, or `client * 2^32 + k` for a handful of
+/// clients), so the `u64` impl sets the top bit.
+pub trait Forgeable {
+    /// The `k`th counterfeit value, distinct from every legitimate write.
+    fn forge(k: u64) -> Self;
+}
+
+impl Forgeable for u64 {
+    fn forge(k: u64) -> u64 {
+        (1 << 63) | k
     }
 }
 
@@ -272,10 +312,15 @@ pub struct MutantSwmr<V> {
     shadow: Option<(SeqNo, V)>,
     /// [`MutantKind::RecoverySkipsQuery`]: replica answers from `initial`.
     amnesia: bool,
+    /// [`MutantKind::ScStashRead`] / [`MutantKind::PhantomRead`]: read
+    /// responses produced on this node so far.
+    reads_answered: u64,
+    /// [`MutantKind::ScStashRead`]: the first read's genuine value.
+    first_read: Option<V>,
     sabotaged: u64,
 }
 
-impl<V: Clone + std::fmt::Debug + Send + 'static> MutantSwmr<V> {
+impl<V: Clone + std::fmt::Debug + Send + Forgeable + 'static> MutantSwmr<V> {
     /// Wraps `inner` with defect `kind`. `every` tunes the trigger rate for
     /// the counted mutants ([`MutantKind::StaleTagAck`],
     /// [`MutantKind::OffByOneQuorum`]; `0` disables them); the remaining
@@ -293,6 +338,8 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MutantSwmr<V> {
             max_seen: 0,
             shadow: None,
             amnesia: false,
+            reads_answered: 0,
+            first_read: None,
             sabotaged: 0,
         }
     }
@@ -343,6 +390,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MutantSwmr<V> {
     ) {
         fx.timers.extend(inner_fx.timers);
         for (op, r) in inner_fx.responses {
+            let r = self.rewrite_resp(r);
             fx.respond(op, r);
         }
         if self.kind == MutantKind::OffByOneQuorum {
@@ -352,6 +400,39 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MutantSwmr<V> {
                 let m = self.rewrite(m);
                 fx.send(to, m);
             }
+        }
+    }
+
+    /// Applies the read-response rewrites ([`MutantKind::ScStashRead`] /
+    /// [`MutantKind::PhantomRead`]) to one outgoing response. Identity for
+    /// all other kinds and for write/error responses.
+    fn rewrite_resp(&mut self, r: RegisterResp<V>) -> RegisterResp<V> {
+        let RegisterResp::ReadOk(v) = r else { return r };
+        match self.kind {
+            MutantKind::ScStashRead => {
+                self.reads_answered += 1;
+                // The stash pins the node's *first* genuine read; triggered
+                // responses re-serve it — real history, just arbitrarily
+                // stale once the register moves on.
+                let stale = self.first_read.get_or_insert_with(|| v.clone()).clone();
+                if self.every > 0
+                    && self.reads_answered > 1
+                    && self.reads_answered.is_multiple_of(self.every)
+                {
+                    self.sabotaged += 1;
+                    return RegisterResp::ReadOk(stale);
+                }
+                RegisterResp::ReadOk(v)
+            }
+            MutantKind::PhantomRead => {
+                self.reads_answered += 1;
+                if self.every > 0 && self.reads_answered.is_multiple_of(self.every) {
+                    self.sabotaged += 1;
+                    return RegisterResp::ReadOk(V::forge(self.sabotaged));
+                }
+                RegisterResp::ReadOk(v)
+            }
+            _ => RegisterResp::ReadOk(v),
         }
     }
 
@@ -401,7 +482,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> MutantSwmr<V> {
     }
 }
 
-impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MutantSwmr<V> {
+impl<V: Clone + std::fmt::Debug + Send + Forgeable + 'static> Protocol for MutantSwmr<V> {
     type Msg = SwmrMsg<V>;
     type Op = RegisterOp<V>;
     type Resp = RegisterResp<V>;
@@ -459,7 +540,7 @@ impl<V: Clone + std::fmt::Debug + Send + 'static> Protocol for MutantSwmr<V> {
                     self.amnesia = false;
                 }
             }
-            MutantKind::OffByOneQuorum => {}
+            MutantKind::OffByOneQuorum | MutantKind::ScStashRead | MutantKind::PhantomRead => {}
         }
         let mut inner_fx = Effects::new();
         self.inner.on_message(from, msg, &mut inner_fx);
@@ -847,6 +928,88 @@ mod tests {
             "post-refresh reply must be honest: {:?}",
             fx.sends
         );
+    }
+
+    /// Drives one full two-round read (query reply + write-back ack) on a
+    /// mutant reader and returns the response the client saw.
+    fn complete_read(
+        n: &mut MutantSwmr<u64>,
+        op: u64,
+        label: SeqNo,
+        value: u64,
+    ) -> RegisterResp<u64> {
+        let mut fx = Effects::new();
+        n.on_invoke(OpId(op), RegisterOp::Read, &mut fx);
+        let uid = fx
+            .sends
+            .iter()
+            .find_map(|(_, m)| match m {
+                RegisterMsg::Query { uid } => Some(*uid),
+                _ => None,
+            })
+            .expect("read opens with a query");
+        let mut fx = Effects::new();
+        n.on_message(
+            ProcessId(0),
+            RegisterMsg::QueryReply { uid, label, value },
+            &mut fx,
+        );
+        if let Some((_, r)) = fx.responses.first() {
+            return r.clone();
+        }
+        let uid = fx
+            .sends
+            .iter()
+            .find_map(|(_, m)| match m {
+                RegisterMsg::Update { uid, .. } => Some(*uid),
+                _ => None,
+            })
+            .expect("two-round read write-back");
+        let mut fx = Effects::new();
+        n.on_message(ProcessId(0), RegisterMsg::UpdateAck { uid }, &mut fx);
+        fx.responses
+            .first()
+            .map(|(_, r)| r.clone())
+            .expect("read completes on the write-back ack")
+    }
+
+    #[test]
+    fn sc_stash_read_re_serves_the_first_value() {
+        let mut n = mutant(1, MutantKind::ScStashRead, 2);
+        assert_eq!(complete_read(&mut n, 0, 1, 7), RegisterResp::ReadOk(7));
+        // Second read: the register advanced, but the mutant re-serves the
+        // pinned first value — new-then-old once the client has seen newer.
+        assert_eq!(complete_read(&mut n, 1, 2, 9), RegisterResp::ReadOk(7));
+        assert_eq!(n.sabotage_count(), 1);
+        // The stash stays pinned to the first value: the client sees 11,
+        // then the next trigger drags it all the way back to 7.
+        assert_eq!(complete_read(&mut n, 2, 3, 11), RegisterResp::ReadOk(11));
+        assert_eq!(complete_read(&mut n, 3, 4, 13), RegisterResp::ReadOk(7));
+        assert_eq!(n.sabotage_count(), 2);
+    }
+
+    #[test]
+    fn sc_stash_first_read_has_nothing_to_serve() {
+        let mut n = mutant(1, MutantKind::ScStashRead, 1);
+        // every=1 triggers on every read, but the very first response must
+        // stay genuine — there is no older history to mis-serve yet.
+        assert_eq!(complete_read(&mut n, 0, 1, 7), RegisterResp::ReadOk(7));
+        assert_eq!(n.sabotage_count(), 0);
+        assert_eq!(complete_read(&mut n, 1, 2, 9), RegisterResp::ReadOk(7));
+        assert_eq!(n.sabotage_count(), 1);
+    }
+
+    #[test]
+    fn phantom_read_forges_a_never_written_value() {
+        let mut n = mutant(1, MutantKind::PhantomRead, 2);
+        assert_eq!(complete_read(&mut n, 0, 1, 7), RegisterResp::ReadOk(7));
+        let forged = complete_read(&mut n, 1, 2, 9);
+        assert_eq!(forged, RegisterResp::ReadOk(u64::forge(1)));
+        let RegisterResp::ReadOk(v) = forged else {
+            panic!("read must succeed")
+        };
+        assert!(v & (1 << 63) != 0, "forged values carry the top bit: {v}");
+        assert_eq!(n.sabotage_count(), 1);
     }
 
     #[test]

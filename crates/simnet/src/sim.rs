@@ -859,6 +859,8 @@ where
         m.fast_reads = self.nodes.iter().map(|n| n.proto.fast_reads()).sum();
         m.write_backs = self.nodes.iter().map(|n| n.proto.write_backs()).sum();
         m.relay_reads = self.nodes.iter().map(|n| n.proto.relay_reads()).sum();
+        m.sc_reads = self.nodes.iter().map(|n| n.proto.sc_reads()).sum();
+        m.regular_reads = self.nodes.iter().map(|n| n.proto.regular_reads()).sum();
         m
     }
 }
@@ -910,7 +912,8 @@ mod tests {
         let nodes = (0..5)
             .map(|i| {
                 SwmrNode::new(
-                    SwmrConfig::new(5, ProcessId(i), ProcessId(0)).with_fast_reads(true),
+                    SwmrConfig::new(5, ProcessId(i), ProcessId(0))
+                        .with_read_mode(abd_core::types::ReadMode::FastUnanimous),
                     0u64,
                 )
             })

@@ -9,7 +9,7 @@
 use crate::sim::{OpRecord, Sim};
 use abd_core::context::Protocol;
 use abd_core::msg::{RegisterOp, RegisterResp};
-use abd_core::types::{Nanos, OpId, ProcessId};
+use abd_core::types::{Consistency, Nanos, OpId, ProcessId};
 use abd_lincheck::history::{History, RegAction};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -98,6 +98,65 @@ impl WorkloadConfig {
     }
 }
 
+/// Rewrites every plain `Read` in `scripts` to `ReadAt(tier)`, leaving
+/// writes (and already-tiered reads) untouched. Tier sweeps reuse one
+/// generated workload so that the scripts differ *only* in read tier.
+pub fn scripts_at_tier(
+    scripts: Vec<Vec<RegisterOp<u64>>>,
+    tier: Consistency,
+) -> Vec<Vec<RegisterOp<u64>>> {
+    scripts
+        .into_iter()
+        .map(|script| {
+            script
+                .into_iter()
+                .map(|op| match op {
+                    RegisterOp::Read => RegisterOp::ReadAt(tier),
+                    other => other,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Mixed-tier rewrite: each client's reads become `ReadAt(mostly)` except
+/// every `every`th read (1-indexed per client), which becomes
+/// `ReadAt(rarely)`. Deterministic, so a mixed workload is replayable.
+/// `every = 100` yields the SC-ABD sweet spot: 99% sequential reads with a
+/// 1% atomic refresh.
+///
+/// # Panics
+///
+/// Panics if `every` is zero.
+pub fn scripts_mixed_tier(
+    scripts: Vec<Vec<RegisterOp<u64>>>,
+    mostly: Consistency,
+    rarely: Consistency,
+    every: u64,
+) -> Vec<Vec<RegisterOp<u64>>> {
+    assert!(every > 0, "every must be positive");
+    scripts
+        .into_iter()
+        .map(|script| {
+            let mut reads = 0u64;
+            script
+                .into_iter()
+                .map(|op| match op {
+                    RegisterOp::Read => {
+                        reads += 1;
+                        if reads.is_multiple_of(every) {
+                            RegisterOp::ReadAt(rarely)
+                        } else {
+                            RegisterOp::ReadAt(mostly)
+                        }
+                    }
+                    other => other,
+                })
+                .collect()
+        })
+        .collect()
+}
+
 /// Converts completed operation records into a checker history. Errors
 /// (`RegisterResp::Err`) are skipped: a rejected operation never took
 /// effect.
@@ -116,7 +175,10 @@ pub fn history_from_records(
                     r.completed_at,
                 );
             }
-            (RegisterOp::Read, RegisterResp::ReadOk(v)) => {
+            // Tiered reads record identically to plain reads: the history
+            // does not care how a value was obtained, only what was seen —
+            // the *oracle* chosen for the run encodes the promised tier.
+            (RegisterOp::Read | RegisterOp::ReadAt(_), RegisterResp::ReadOk(v)) => {
                 h.push(
                     r.client.index(),
                     RegAction::Read(*v),
@@ -249,6 +311,62 @@ mod tests {
         );
         assert!(abd_lincheck::is_atomic_swmr(&h));
         assert!(h.validate_sequential_clients().is_ok());
+    }
+
+    #[test]
+    fn tier_rewrites_touch_only_plain_reads() {
+        let scripts = vec![vec![
+            RegisterOp::Read,
+            RegisterOp::Write(1),
+            RegisterOp::ReadAt(Consistency::Regular),
+            RegisterOp::Read,
+        ]];
+        let tiered = scripts_at_tier(scripts.clone(), Consistency::Sequential);
+        assert_eq!(
+            tiered[0],
+            vec![
+                RegisterOp::ReadAt(Consistency::Sequential),
+                RegisterOp::Write(1),
+                RegisterOp::ReadAt(Consistency::Regular),
+                RegisterOp::ReadAt(Consistency::Sequential),
+            ]
+        );
+        // Mixed: with every=2 the second plain read flips to the rare tier.
+        let mixed = scripts_mixed_tier(scripts, Consistency::Sequential, Consistency::Atomic, 2);
+        assert_eq!(
+            mixed[0],
+            vec![
+                RegisterOp::ReadAt(Consistency::Sequential),
+                RegisterOp::Write(1),
+                RegisterOp::ReadAt(Consistency::Regular),
+                RegisterOp::ReadAt(Consistency::Atomic),
+            ]
+        );
+    }
+
+    #[test]
+    fn tiered_reads_land_in_the_history() {
+        use crate::sim::OpRecord;
+        let records = vec![
+            OpRecord {
+                op: OpId(0),
+                client: ProcessId(0),
+                input: RegisterOp::Write(3u64),
+                resp: RegisterResp::WriteOk,
+                invoked_at: 0,
+                completed_at: 10,
+            },
+            OpRecord {
+                op: OpId(1),
+                client: ProcessId(1),
+                input: RegisterOp::ReadAt(Consistency::Sequential),
+                resp: RegisterResp::ReadOk(3),
+                invoked_at: 20,
+                completed_at: 30,
+            },
+        ];
+        let h = history_from_records(0, &records);
+        assert_eq!(h.len(), 2);
     }
 
     #[test]

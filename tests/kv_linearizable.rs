@@ -3,7 +3,7 @@
 //! and the store tolerates the same failure bound as the registers it is
 //! made of.
 
-use abd_core::types::ProcessId;
+use abd_core::types::{ProcessId, ReadMode};
 use abd_kv::{KvConfig, KvNode, KvOp, KvResp};
 use abd_repro::lincheck::{check_linearizable_with_limit, CheckResult, History, RegAction};
 use abd_repro::simnet::{LatencyModel, Sim, SimConfig};
@@ -18,8 +18,13 @@ fn cluster(n: usize, seed: u64) -> KvSim {
 }
 
 fn cluster_cfg(n: usize, seed: u64, fast_reads: bool) -> KvSim {
+    let mode = if fast_reads {
+        ReadMode::FastUnanimous
+    } else {
+        ReadMode::TwoRound
+    };
     let nodes = (0..n)
-        .map(|i| KvNode::new(KvConfig::new(n, ProcessId(i)).with_fast_reads(fast_reads)))
+        .map(|i| KvNode::new(KvConfig::new(n, ProcessId(i)).with_read_mode(mode)))
         .collect();
     Sim::new(
         SimConfig::new(seed)

@@ -19,11 +19,11 @@ use abd_core::byzantine::{ByzConfig, ByzNode};
 use abd_core::msg::RegisterOp;
 use abd_core::retransmit::BackoffPolicy;
 use abd_core::swmr::{SwmrConfig, SwmrNode};
-use abd_core::types::{ProcessId, ReadMode};
+use abd_core::types::{Consistency, ProcessId, ReadMode};
 use abd_kv::{KvConfig, KvNode, KvOp, KvResp};
-use abd_repro::lincheck::is_atomic_swmr;
+use abd_repro::lincheck::{is_atomic_swmr, RegAction};
 use abd_repro::simnet::nemesis::liveness_bound;
-use abd_repro::simnet::workload::history_from_sim;
+use abd_repro::simnet::workload::{history_from_sim, scripts_at_tier, scripts_mixed_tier};
 use abd_repro::simnet::{
     run_campaign, NemesisConfig, NemesisSchedule, OracleSpec, PlannedFault, ProtocolSpec, Repro,
     Sim, SimConfig,
@@ -481,6 +481,146 @@ fn relay_mwmr_campaign_linearizes_under_faults() {
     };
     for seed in [17u64, 18, 19] {
         assert_eq!(run(seed), run(seed));
+    }
+}
+
+/// One SWMR campaign with every read demoted to `tier`, judged by
+/// `oracle`; returns the trace digest for replay checks.
+fn tier_campaign(
+    sim_seed: u64,
+    nemesis_seed: u64,
+    name: &str,
+    scripts: Vec<Vec<RegisterOp<u64>>>,
+    oracle: OracleSpec,
+) -> u64 {
+    let sched = NemesisConfig::new(nemesis_seed, N).plan();
+    assert!(sched.respects_min_alive(N));
+    soak_repro(
+        name,
+        ProtocolSpec::Swmr {
+            read_mode: ReadMode::TwoRound,
+            write_epilogue: false,
+        },
+        oracle,
+        sim_seed,
+        sched,
+        scripts,
+    )
+    .check_or_emit()
+    .unwrap_or_else(|e| panic!("seed ({sim_seed},{nemesis_seed}): {e}"))
+    .digest
+}
+
+#[test]
+fn tier_sc_campaigns_certify_sequential_and_replay() {
+    // Every read demoted to the sequential tier: served from the local
+    // replica, zero rounds, no write-back. Under the full nemesis the
+    // histories must still certify *sequentially consistent* (the tier's
+    // own oracle — atomicity is deliberately not promised here), and the
+    // runs must replay bit-identically.
+    for seed in [51u64, 52, 53] {
+        let run = || {
+            tier_campaign(
+                seed,
+                seed * 31 + 7,
+                "nemesis-swmr-sc",
+                scripts_at_tier(swmr_scripts(6), Consistency::Sequential),
+                OracleSpec::Sequential,
+            )
+        };
+        assert_eq!(run(), run(), "sc tier seed {seed}");
+    }
+}
+
+#[test]
+fn tier_regular_campaigns_certify_regularity_and_replay() {
+    // Every read demoted to the regular tier: the query round still runs
+    // (so reads see every completed write) but the write-back is skipped,
+    // which is exactly the new/old inversion regularity tolerates. The
+    // tier's oracle must pass and the runs must replay bit-identically.
+    for seed in [61u64, 62, 63] {
+        let run = || {
+            tier_campaign(
+                seed,
+                seed * 31 + 8,
+                "nemesis-swmr-regular",
+                scripts_at_tier(swmr_scripts(6), Consistency::Regular),
+                OracleSpec::RegularSwmr,
+            )
+        };
+        assert_eq!(run(), run(), "regular tier seed {seed}");
+    }
+}
+
+#[test]
+fn tier_mixed_campaigns_stay_sequential_and_replay() {
+    // The SC-ABD deployment shape under faults: most reads sequential,
+    // every third read atomic (two-round — the relay read is deliberately
+    // not composed with SC reads here, because a relay read can return a
+    // census *minimum* older than the reader's own replica). The combined
+    // history must certify sequentially consistent as a whole.
+    for seed in [71u64, 72] {
+        let run = || {
+            tier_campaign(
+                seed,
+                seed * 31 + 9,
+                "nemesis-swmr-mixed-tier",
+                scripts_mixed_tier(
+                    swmr_scripts(6),
+                    Consistency::Sequential,
+                    Consistency::Atomic,
+                    3,
+                ),
+                OracleSpec::Sequential,
+            )
+        };
+        assert_eq!(run(), run(), "mixed tier seed {seed}");
+    }
+}
+
+#[test]
+fn relay_read_overlapping_writer_crash_pinned_campaign() {
+    // A hand-pinned schedule instead of the seeded planner: the writer is
+    // crashed at a fixed instant chosen to land inside the readers' first
+    // relay rounds (reads start at t=0; one hop is 1–10µs, so a relay read
+    // spans roughly 3–30µs). The relay servers must finish the read from
+    // the surviving majority's forwarded tags, the history must certify
+    // atomic, and the run must replay bit-identically — all routed through
+    // `check_or_emit` so a failure lands as a repro artifact.
+    const CRASH_AT: u64 = 8_000;
+    let run = |sim_seed: u64| {
+        let faults = vec![PlannedFault::Crash {
+            at: CRASH_AT,
+            node: ProcessId(0),
+            restart_at: 400_000,
+        }];
+        let sched = NemesisSchedule::from_faults(faults, 500_000, vec![0; N], N - 1);
+        let out = soak_repro(
+            "relay-read-writer-crash",
+            ProtocolSpec::Swmr {
+                read_mode: ReadMode::Relay,
+                write_epilogue: false,
+            },
+            OracleSpec::AtomicSwmr,
+            sim_seed,
+            sched,
+            swmr_scripts(4),
+        )
+        .check_or_emit()
+        .unwrap_or_else(|e| panic!("relay crash seed {sim_seed}: {e}"));
+        assert!(
+            out.history
+                .ops()
+                .iter()
+                .any(|op| matches!(op.action, RegAction::Read(_))
+                    && op.start < CRASH_AT
+                    && op.end > CRASH_AT),
+            "seed {sim_seed}: a relay read must straddle the writer crash"
+        );
+        out.digest
+    };
+    for seed in [3u64, 4, 5] {
+        assert_eq!(run(seed), run(seed), "relay crash seed {seed}");
     }
 }
 

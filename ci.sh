@@ -39,6 +39,10 @@ cargo test -q --test nemesis tier_
 echo "==> oracle self-test gate (each tier's checker convicts its planted violation, weaker tiers acquit)"
 cargo test -q --test consistency_tiers oracle_selftest_
 
+echo "==> recovery nemesis smoke (bulk golden trace pinned + anti-entropy sweep races crash waves)"
+cargo test -q --test nemesis kv_bulk_recovery
+cargo test -q --test nemesis anti_entropy
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -63,5 +67,10 @@ echo "==> search bench smoke (coverage-guided vs blind fitness gate, regenerates
 cargo run -q --release -p abd-bench --bin fig_search -- --smoke
 git diff --exit-code -- BENCH_search.json \
   || { echo "BENCH_search.json drifted from the checked-in artifact"; exit 1; }
+
+echo "==> recovery bench smoke (Merkle-vs-bulk byte/message gates, regenerates BENCH_recovery.json)"
+cargo run -q --release -p abd-bench --bin fig_recovery -- --smoke
+git diff --exit-code -- BENCH_recovery.json \
+  || { echo "BENCH_recovery.json drifted from the checked-in artifact"; exit 1; }
 
 echo "ci.sh: all gates green"

@@ -1,0 +1,186 @@
+//! **F8 — divergence-proportional recovery: bulk snapshot vs Merkle walk.**
+//!
+//! A rebooted replica must repair whatever it missed, but the bulk
+//! `SyncPull`/`SyncState` path pays for the whole store: every peer ships
+//! its full `(key, tag, value)` snapshot no matter how little actually
+//! diverged. The Merkle walk (`SyncDigest` → `SyncDiffReq` →
+//! `SyncEntries`) descends the per-shard digest tree instead, pruning
+//! every subtree whose digest already matches, so the transfer cost is
+//! proportional to the *divergence*, not the store.
+//!
+//! The experiment: an `n = 5` cluster whose replicas each hold 100 000
+//! keys. The four survivors hold `k` newer tags the rebooted node lacks
+//! (`k ∈ {1, 1 000, 50 000}`); the node restarts and catches up. One run
+//! takes the bulk path at `k = 1` (the worst case for bulk: maximal store,
+//! minimal divergence); three runs take the walk at increasing staleness.
+//!
+//! Gates (the binary asserts them, ci.sh pins the JSON):
+//!
+//! * at `k = 1` the walk moves **≥ 99 %** fewer sync bytes than bulk;
+//! * at `k = 1` the walk's message count is logarithmic in the store —
+//!   bounded by `(n−1) · 4·log₂(buckets)`, against bulk's
+//!   2 messages per peer but `O(store)` bytes;
+//! * walk messages, bytes and entries all grow monotonically with `k`:
+//!   the protocol spends in proportion to what actually diverged.
+//!
+//! Everything runs on the virtual clock with seeded RNGs, so
+//! `BENCH_recovery.json` is byte-reproducible; `--smoke` runs the
+//! identical computation (the full run is already cheap in release) and
+//! must leave the JSON unchanged.
+
+use abd_bench::Table;
+use abd_core::types::{ProcessId, Tag};
+use abd_kv::{KvConfig, KvNode};
+use abd_simnet::{Sim, SimConfig};
+
+const N: usize = 5;
+const KEYS: u32 = 100_000;
+const BUCKETS: usize = 1024;
+const SIM_SEED: u64 = 9;
+
+/// Sync-meter deltas for one crash/restart recovery.
+struct Recovery {
+    msgs: u64,
+    bytes: u64,
+    entries: u64,
+}
+
+/// Preload an `N`-node cluster with `KEYS` keys, make the last node `stale`
+/// keys behind its peers, reboot it, and read the sync meters once the
+/// cluster quiesces. `threshold` selects the path: `usize::MAX` forces
+/// bulk, `0` forces the Merkle walk.
+fn recover(threshold: usize, stale: u32) -> Recovery {
+    let mut nodes: Vec<KvNode<u32, u64>> = (0..N)
+        .map(|i| {
+            KvNode::new(
+                KvConfig::new(N, ProcessId(i))
+                    .with_sync_threshold(threshold)
+                    .with_sync_buckets(BUCKETS),
+            )
+        })
+        .collect();
+    for node in &mut nodes {
+        for k in 0..KEYS {
+            node.preload(k, Tag::new(1, ProcessId(0)), u64::from(k));
+        }
+    }
+    // The survivors adopt `stale` newer writes the rebooted node misses.
+    for node in nodes.iter_mut().take(N - 1) {
+        for k in 0..stale {
+            node.preload(k, Tag::new(2, ProcessId(1)), 1_000_000 + u64::from(k));
+        }
+    }
+    let mut sim = Sim::new(SimConfig::new(SIM_SEED), nodes);
+    sim.crash_at(1_000, ProcessId(N - 1));
+    sim.restart_at(2_000, ProcessId(N - 1));
+    assert!(
+        sim.run_until_quiet(600_000_000_000),
+        "recovery quiesces (threshold {threshold}, stale {stale})"
+    );
+    assert!(
+        !sim.node(N - 1).is_recovering(),
+        "rebooted node finished catch-up"
+    );
+    for k in 0..stale {
+        assert_eq!(
+            sim.node(N - 1).local_entry(&k).map(|(_, v)| *v),
+            Some(1_000_000 + u64::from(k)),
+            "stale key {k} repaired (threshold {threshold})"
+        );
+    }
+    let m = sim.read_path_metrics();
+    Recovery {
+        msgs: m.recovery_msgs,
+        bytes: m.recovery_bytes,
+        entries: m.sync_entries_sent,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let bulk = recover(usize::MAX, 1);
+    let stalenesses = [1u32, 1_000, 50_000];
+    let walks: Vec<Recovery> = stalenesses.iter().map(|&k| recover(0, k)).collect();
+
+    let mut table = Table::new(
+        "F8 — recovery cost vs divergence (n = 5, 100k-key store, 1024 buckets)",
+        &["mode", "stale keys", "sync msgs", "sync bytes", "entries"],
+    );
+    table.row(vec![
+        "bulk".into(),
+        "1".into(),
+        bulk.msgs.to_string(),
+        bulk.bytes.to_string(),
+        bulk.entries.to_string(),
+    ]);
+    for (k, w) in stalenesses.iter().zip(&walks) {
+        table.row(vec![
+            "merkle".into(),
+            k.to_string(),
+            w.msgs.to_string(),
+            w.bytes.to_string(),
+            w.entries.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Gate 1: at one stale key the walk must move ≥ 99 % fewer bytes.
+    let reduction = 100.0 * (1.0 - walks[0].bytes as f64 / bulk.bytes as f64);
+    assert!(
+        reduction >= 99.0,
+        "walk must cut sync bytes by ≥ 99 % at 1 stale key; got {reduction:.2} %"
+    );
+    // Gate 2: one stale key costs O(log store) messages — each peer's walk
+    // descends one root-to-leaf path, two messages per level plus the
+    // digest handshake.
+    let log2_buckets = BUCKETS.trailing_zeros() as u64;
+    let msg_bound = (N as u64 - 1) * 4 * log2_buckets;
+    assert!(
+        walks[0].msgs <= msg_bound,
+        "1-stale walk must stay within {msg_bound} messages; got {}",
+        walks[0].msgs
+    );
+    // Gate 3: the walk's spend grows with divergence, on every meter.
+    for pair in walks.windows(2) {
+        assert!(
+            pair[0].msgs < pair[1].msgs
+                && pair[0].bytes < pair[1].bytes
+                && pair[0].entries < pair[1].entries,
+            "walk cost must grow monotonically with staleness"
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"experiment\": \"F8_recovery\",\n");
+    json.push_str(&format!(
+        "  \"n\": {N}, \"keys\": {KEYS}, \"buckets\": {BUCKETS}, \"sim_seed\": {SIM_SEED},\n"
+    ));
+    json.push_str("  \"rows\": [\n");
+    let row = |mode: &str, stale: u32, r: &Recovery| {
+        format!(
+            "    {{\"mode\": \"{mode}\", \"stale\": {stale}, \"sync_msgs\": {}, \
+             \"sync_bytes\": {}, \"entries\": {}}}",
+            r.msgs, r.bytes, r.entries
+        )
+    };
+    json.push_str(&row("bulk", 1, &bulk));
+    for (k, w) in stalenesses.iter().zip(&walks) {
+        json.push_str(",\n");
+        json.push_str(&row("merkle", *k, w));
+    }
+    json.push_str("\n  ],\n");
+    json.push_str(&format!(
+        "  \"byte_reduction_pct_at_1_stale\": {reduction:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"msg_bound_at_1_stale\": {msg_bound}, \"monotone_in_staleness\": true\n}}\n"
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json");
+    std::fs::write(path, &json).expect("write BENCH_recovery.json");
+    println!("wrote BENCH_recovery.json");
+    println!("byte reduction at 1 stale key: {reduction:.2} % (gate: >= 99 %)");
+    if smoke {
+        println!("--smoke: full computation ran (it is the smoke test)");
+    }
+}

@@ -216,6 +216,21 @@ pub trait ReadPathStats {
     fn regular_reads(&self) -> u64 {
         0
     }
+    /// Sync-protocol messages (bulk state transfer and Merkle walk) sent
+    /// by this node; `0` for protocols without a recovery sync path.
+    fn recovery_msgs(&self) -> u64 {
+        0
+    }
+    /// Estimated payload bytes of the sync messages sent by this node;
+    /// `0` for protocols without a recovery sync path.
+    fn recovery_bytes(&self) -> u64 {
+        0
+    }
+    /// `(key, tag, value)` entries shipped by this node in sync replies;
+    /// `0` for protocols without a recovery sync path.
+    fn sync_entries_sent(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

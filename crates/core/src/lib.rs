@@ -70,6 +70,7 @@ pub mod bounded;
 pub mod byzantine;
 pub mod clock;
 pub mod context;
+pub mod merkle;
 pub mod msg;
 pub mod mwmr;
 pub mod phase;
@@ -86,6 +87,7 @@ pub(crate) mod testutil;
 
 pub use batch::{Batched, Envelope};
 pub use context::{Effects, Protocol, ReadPathStats, TimerCmd, TimerKey};
+pub use merkle::{key_hash, MerkleTree};
 pub use msg::{RegisterMsg, RegisterOp, RegisterResp};
 pub use mwmr::{MwmrConfig, MwmrNode};
 pub use procset::ProcSet;

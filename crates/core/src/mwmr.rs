@@ -104,20 +104,6 @@ impl MwmrConfig {
         self
     }
 
-    /// Enables or disables the one-round fast path for reads.
-    ///
-    /// Back-compat shim for the pre-[`ReadMode`] boolean: `true` selects
-    /// [`ReadMode::FastUnanimous`], `false` [`ReadMode::TwoRound`].
-    #[deprecated(note = "use with_read_mode(ReadMode::FastUnanimous) instead")]
-    pub fn with_fast_reads(mut self, yes: bool) -> Self {
-        self.read_mode = if yes {
-            ReadMode::FastUnanimous
-        } else {
-            ReadMode::TwoRound
-        };
-        self
-    }
-
     /// Selects how reads complete (see [`ReadMode`]).
     pub fn with_read_mode(mut self, mode: ReadMode) -> Self {
         self.read_mode = mode;

@@ -192,20 +192,6 @@ impl SwmrConfig {
         self
     }
 
-    /// Enables or disables the one-round fast path for reads.
-    ///
-    /// Back-compat shim for the pre-[`ReadMode`] boolean: `true` selects
-    /// [`ReadMode::FastUnanimous`], `false` [`ReadMode::TwoRound`].
-    #[deprecated(note = "use with_read_mode(ReadMode::FastUnanimous) instead")]
-    pub fn with_fast_reads(mut self, yes: bool) -> Self {
-        self.read_mode = if yes {
-            ReadMode::FastUnanimous
-        } else {
-            ReadMode::TwoRound
-        };
-        self
-    }
-
     /// Selects how reads complete (see [`ReadMode`]).
     pub fn with_read_mode(mut self, mode: ReadMode) -> Self {
         self.read_mode = mode;
@@ -1403,15 +1389,6 @@ mod tests {
         // same node cannot regress), but lagging peers were not updated.
         assert_eq!(net.node(3).replica_state().0, 1);
         assert_eq!(net.node(4).replica_state().0, 0, "no write-back spread");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn with_fast_reads_shim_still_maps_to_read_mode() {
-        let on = SwmrConfig::new(3, ProcessId(0), ProcessId(0)).with_fast_reads(true);
-        assert_eq!(on.read_mode, ReadMode::FastUnanimous);
-        let off = on.with_fast_reads(false);
-        assert_eq!(off.read_mode, ReadMode::TwoRound);
     }
 
     #[test]

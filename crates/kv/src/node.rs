@@ -36,15 +36,40 @@
 //!
 //! A restarted node keeps its store (stable storage, like the register
 //! replicas — see the `abd-core` SWMR module docs for why amnesia would
-//! break atomicity) but runs a **bulk state-transfer round** before serving
-//! clients: it broadcasts [`KvMsg::SyncPull`] and max-merges the
-//! [`KvMsg::SyncState`] snapshots of a read quorum into its store, so it
-//! rejoins with every key at least as fresh as the latest completed write.
-//! Invocations arriving meanwhile queue and run when the transfer finishes.
-//! One round recovers *all* keys — a per-key catch-up read would cost a
-//! round per key.
+//! break atomicity) but catches up from a read quorum before serving
+//! clients, so it rejoins with every key at least as fresh as the latest
+//! completed write. Invocations arriving meanwhile queue and run when the
+//! transfer finishes. Two transfer mechanisms exist, selected by store
+//! size at restart ([`KvConfig::with_sync_threshold`]):
+//!
+//! * **bulk** (small stores) — broadcast [`KvMsg::SyncPull`] and max-merge
+//!   the full [`KvMsg::SyncState`] snapshots of a read quorum. O(keyspace)
+//!   bytes, but a near-empty store diverges on essentially everything, so
+//!   below the threshold bulk *is* divergence-proportional — and one round
+//!   recovers all keys.
+//! * **Merkle walk** (large stores) — each node maintains an incremental
+//!   [`MerkleTree`] digest over its `(key → tag)` map (updated by the
+//!   single [`KvNode::digest_update`] helper on every adoption; it
+//!   persists with the store). The recovering node runs one walk per peer:
+//!   [`KvMsg::SyncDigest`] fetches the peer's root; on mismatch,
+//!   [`KvMsg::SyncDiffReq`] descends the mismatching subtrees in batches
+//!   and [`KvMsg::SyncEntries`] ships only the entries of divergent leaf
+//!   buckets. Traffic is proportional to *drift*, not store size — a
+//!   1-key-stale replica of a 100k-key store exchanges O(log buckets)
+//!   messages. A walk that finds equal roots counts the peer toward the
+//!   recovery read quorum immediately. Safety is the same max-merge
+//!   argument as bulk: digest equality over `(key, tag)` certifies entry
+//!   equality (see DESIGN.md §15 for the collision caveat), and everything
+//!   adopted goes through the usual monotone [`KvNode::adopt`].
+//!
+//! The same walk, detached from recovery, runs as a **background
+//! anti-entropy sweep** ([`KvConfig::with_anti_entropy`]): a timer picks
+//! peers round-robin and repairs drift continuously, so gray or
+//! partition-stranded replicas converge without waiting for a reboot (or a
+//! write-back) to touch them.
 
 use abd_core::context::{Effects, Protocol, ReadPathStats, TimerKey};
+use abd_core::merkle::{key_hash, MerkleTree};
 use abd_core::phase::{PhaseTracker, RelayCensus, TagCensus};
 use abd_core::procset::ProcSet;
 use abd_core::quorum::{fast_read_allowed, Majority, QuorumSystem};
@@ -104,6 +129,50 @@ pub enum KvMsg<K, V> {
         /// Phase id copied from the pull.
         uid: u64,
         /// Every key the sender stores, with its tag.
+        entries: Vec<(K, Tag, V)>,
+    },
+    /// Open a Merkle sync walk: ask the receiver for its tree's root
+    /// digest. Sent by a recovering node (one walk per peer) and by the
+    /// background anti-entropy sweep.
+    SyncDigest {
+        /// Walk id, echoed by every reply of this walk.
+        uid: u64,
+    },
+    /// Reply to [`KvMsg::SyncDigest`]: the receiver's root digest. Equal
+    /// roots end the walk with zero entries transferred.
+    SyncDigestAck {
+        /// Walk id copied from the request.
+        uid: u64,
+        /// The sender's Merkle root over its `(key → tag)` map.
+        root: u64,
+    },
+    /// Walk descent: ask for the children digests (internal nodes) or the
+    /// stored entries (leaf buckets) of a batch of tree nodes the walker
+    /// found mismatching. The walker drives; the receiver answers
+    /// statelessly from its current tree and store.
+    SyncDiffReq {
+        /// Walk id copied from the opening request.
+        uid: u64,
+        /// Walk step counter; replies echo it, which makes duplicated or
+        /// reordered replies no-ops (links are not FIFO).
+        step: u64,
+        /// Tree node ids to expand, at most `MAX_DIFF_NODES` per step.
+        nodes: Vec<u32>,
+    },
+    /// Reply to [`KvMsg::SyncDiffReq`]: children digests for the batch's
+    /// internal nodes and full entries for its leaf buckets. The walker
+    /// prunes every child whose digest matches its own tree and recurses
+    /// into the rest.
+    SyncEntries {
+        /// Walk id copied from the request.
+        uid: u64,
+        /// Step counter copied from the request.
+        step: u64,
+        /// `(tree node id, digest)` for each child of each internal node
+        /// in the request batch.
+        children: Vec<(u32, u64)>,
+        /// Every entry of every leaf bucket in the request batch. The
+        /// receiver max-merges, which is order-insensitive.
         entries: Vec<(K, Tag, V)>,
     },
     /// Open a relay `Get` round: the reader broadcasts its own replica
@@ -188,10 +257,24 @@ pub struct KvConfig {
     /// Retransmission policy for unfinished phases (`None` = reliable
     /// links).
     pub retransmit: Option<BackoffPolicy>,
+    /// Store size (keys) below which post-restart recovery uses the bulk
+    /// `SyncPull`/`SyncState` transfer instead of the Merkle walk. A small
+    /// store diverges on essentially everything, so bulk *is*
+    /// divergence-proportional there and costs one round instead of a
+    /// digest exchange. `0` forces the walk always, `usize::MAX` forces
+    /// bulk always.
+    pub sync_threshold: usize,
+    /// Leaf buckets of the Merkle sync tree (power of two). All nodes of a
+    /// cluster must agree — tree node ids travel in sync messages.
+    pub sync_buckets: usize,
+    /// Period of the background anti-entropy sweep (`None` = disabled).
+    /// Each firing walks one peer, round-robin.
+    pub anti_entropy: Option<Nanos>,
 }
 
 impl KvConfig {
-    /// Majority quorums, no retransmission.
+    /// Majority quorums, no retransmission, bulk recovery below 64 keys,
+    /// 1024 sync buckets, no background sweep.
     pub fn new(n: usize, me: ProcessId) -> Self {
         KvConfig {
             n,
@@ -199,6 +282,9 @@ impl KvConfig {
             quorum: Arc::new(Majority::new(n)),
             read_mode: ReadMode::TwoRound,
             retransmit: None,
+            sync_threshold: 64,
+            sync_buckets: 1024,
+            anti_entropy: None,
         }
     }
 
@@ -208,17 +294,23 @@ impl KvConfig {
         self
     }
 
-    /// Enables or disables the one-round fast path for `Get`s.
-    ///
-    /// Back-compat shim for the pre-[`ReadMode`] boolean: `true` selects
-    /// [`ReadMode::FastUnanimous`], `false` [`ReadMode::TwoRound`].
-    #[deprecated(note = "use with_read_mode(ReadMode::FastUnanimous) instead")]
-    pub fn with_fast_reads(mut self, yes: bool) -> Self {
-        self.read_mode = if yes {
-            ReadMode::FastUnanimous
-        } else {
-            ReadMode::TwoRound
-        };
+    /// Sets the store size below which recovery falls back to bulk state
+    /// transfer (see [`KvConfig::sync_threshold`]).
+    pub fn with_sync_threshold(mut self, keys: usize) -> Self {
+        self.sync_threshold = keys;
+        self
+    }
+
+    /// Sets the Merkle tree's leaf bucket count (power of two; cluster-wide
+    /// agreement required — see [`KvConfig::sync_buckets`]).
+    pub fn with_sync_buckets(mut self, buckets: usize) -> Self {
+        self.sync_buckets = buckets;
+        self
+    }
+
+    /// Enables the background anti-entropy sweep with the given period.
+    pub fn with_anti_entropy(mut self, period: Nanos) -> Self {
+        self.anti_entropy = Some(period);
         self
     }
 
@@ -241,6 +333,16 @@ impl KvConfig {
         self
     }
 }
+
+/// Upper bound on tree node ids per [`KvMsg::SyncDiffReq`] batch — the
+/// walk's rate limit: one bounded request in flight per walk, so a sweep
+/// can never flood a peer however wide the divergence.
+const MAX_DIFF_NODES: usize = 32;
+
+/// Timer key of the background anti-entropy sweep. Phase uids start at 1
+/// and count up, so the top of the key space is free ([`u64::MAX`] itself
+/// is the convention `Batched`'s flush timer uses).
+const SWEEP_KEY: u64 = u64::MAX - 1;
 
 #[derive(Clone, Debug)]
 enum Pending<K, V> {
@@ -298,6 +400,40 @@ struct RelayRound {
     done: bool,
 }
 
+/// The request a sync walk is currently waiting on (echoed back by the
+/// peer, which makes duplicate replies detectable).
+#[derive(Clone, Debug)]
+enum WalkReq {
+    /// Waiting for the peer's root digest ([`KvMsg::SyncDigestAck`]).
+    Root,
+    /// Waiting for the expansion of this node-id batch
+    /// ([`KvMsg::SyncEntries`] at the walk's current step).
+    Nodes(Vec<u32>),
+}
+
+/// One walker-side Merkle sync walk against a single peer. The walker
+/// drives: it holds the frontier of mismatching tree nodes and issues one
+/// bounded [`KvMsg::SyncDiffReq`] batch at a time; the peer answers
+/// statelessly. `step` makes the exchange robust to duplicated and
+/// reordered deliveries — a reply is consumed only if it echoes the
+/// current step, so every internal node is expanded exactly once and the
+/// frontier never double-enqueues a child.
+#[derive(Clone, Debug)]
+struct SyncWalk {
+    /// The peer being walked.
+    peer: ProcessId,
+    /// `true` when this walk is part of post-restart recovery (its
+    /// completion counts `peer` toward the recovery read quorum); `false`
+    /// for background anti-entropy sweeps.
+    recovery: bool,
+    /// Batches issued so far; echoed by replies.
+    step: u64,
+    /// What we are waiting for.
+    req: WalkReq,
+    /// Mismatching tree nodes not yet expanded.
+    frontier: VecDeque<u32>,
+}
+
 /// One node of the replicated key-value store.
 ///
 /// # Examples
@@ -334,6 +470,20 @@ pub struct KvNode<K, V> {
     /// cleared on restart; completed rounds are pruned when the same reader
     /// opens a strictly newer round.
     relays: HashMap<(ProcessId, u64), RelayRound>,
+    /// Incremental Merkle digest over `store`'s `(key → tag)` map. Stable
+    /// storage, like the store it indexes; mutated only by
+    /// [`KvNode::digest_update`].
+    tree: MerkleTree,
+    /// Bucket → keys index (insertion order; keys are never removed), so a
+    /// leaf-bucket sync request needn't scan the whole store.
+    buckets: Vec<Vec<K>>,
+    /// In-progress walker-side sync walks, keyed by walk uid.
+    walks: HashMap<u64, SyncWalk>,
+    /// Round-robin cursor of the anti-entropy sweep.
+    sweep_next: usize,
+    recovery_msgs: u64,
+    recovery_bytes: u64,
+    sync_entries_sent: u64,
     fast_reads: u64,
     write_backs: u64,
     relay_reads: u64,
@@ -354,6 +504,12 @@ where
             cfg.n,
             "quorum system sized for a different cluster"
         );
+        assert!(
+            cfg.sync_buckets.is_power_of_two(),
+            "sync_buckets must be a power of two"
+        );
+        let tree = MerkleTree::new(cfg.sync_buckets);
+        let buckets = vec![Vec::new(); cfg.sync_buckets];
         KvNode {
             cfg,
             store: HashMap::new(),
@@ -364,6 +520,13 @@ where
             recovering: None,
             queue: VecDeque::new(),
             relays: HashMap::new(),
+            tree,
+            buckets,
+            walks: HashMap::new(),
+            sweep_next: 0,
+            recovery_msgs: 0,
+            recovery_bytes: 0,
+            sync_entries_sent: 0,
             fast_reads: 0,
             write_backs: 0,
             relay_reads: 0,
@@ -401,6 +564,31 @@ where
     /// write-back.
     pub fn regular_reads(&self) -> u64 {
         self.regular_reads
+    }
+
+    /// Sync-protocol messages (bulk and Merkle walk) this node has sent.
+    pub fn recovery_msgs(&self) -> u64 {
+        self.recovery_msgs
+    }
+
+    /// Estimated payload bytes of the sync messages this node has sent.
+    pub fn recovery_bytes(&self) -> u64 {
+        self.recovery_bytes
+    }
+
+    /// `(key, tag, value)` entries this node has shipped in sync replies.
+    pub fn sync_entries_sent(&self) -> u64 {
+        self.sync_entries_sent
+    }
+
+    /// The node's current Merkle root over its `(key → tag)` map.
+    pub fn sync_root(&self) -> u64 {
+        self.tree.root()
+    }
+
+    /// Walker-side sync walks currently in progress on this node.
+    pub fn walks_in_flight(&self) -> usize {
+        self.walks.len()
     }
 
     /// Whether the node is running its post-restart state transfer
@@ -446,19 +634,46 @@ where
         }
     }
 
+    /// The single Merkle-maintenance point: the store's entry for `key`
+    /// just moved from tag `old` (`None` = fresh insert) to `new`. Updates
+    /// the bucket index and folds the delta into the digest tree. Every
+    /// [`MerkleTree::apply_delta`] call in this crate lives here — the
+    /// `merkle-digest-helper` lint rule flags any other call site, because
+    /// a store mutation that skips this helper silently desynchronizes the
+    /// digests every sync walk prunes by.
+    fn digest_update(&mut self, key: &K, old: Option<Tag>, new: Tag) {
+        let kh = key_hash(key);
+        if old.is_none() {
+            let b = self.tree.bucket_of(kh);
+            self.buckets[b].push(key.clone());
+        }
+        self.tree.apply_delta(kh, old, Some(new));
+    }
+
     fn adopt(&mut self, key: K, tag: Tag, value: V) {
         match self.store.get_mut(&key) {
             Some(entry) => {
                 if tag > entry.0 {
+                    let old = entry.0;
                     *entry = (tag, value);
+                    self.digest_update(&key, Some(old), tag);
                 }
             }
             None => {
                 if tag > Tag::initial() {
-                    self.store.insert(key, (tag, value));
+                    self.store.insert(key.clone(), (tag, value));
+                    self.digest_update(&key, None, tag);
                 }
             }
         }
+    }
+
+    /// Installs `(tag, value)` for `key` directly into the replica, as if
+    /// adopted from a peer (strictly-greater tags win, the digest tree
+    /// stays in sync). Benchmark/test helper for building large preloaded
+    /// stores without running a write round per key.
+    pub fn preload(&mut self, key: K, tag: Tag, value: V) {
+        self.adopt(key, tag, value);
     }
 
     /// [`KvNode::adopt`] for snapshot-shaped pairs, where `None` means the
@@ -476,6 +691,154 @@ where
                 fx.send(p, msg.clone());
             }
         }
+    }
+
+    /// Estimated wire payload of a sync message, for the recovery-traffic
+    /// counters. A fixed-size header per message plus the in-memory size
+    /// of each shipped entry and 12 bytes per `(node id, digest)` pair —
+    /// an estimate (there is no real wire format in the simulator), but a
+    /// consistent one, which is all the bulk-vs-walk comparison needs.
+    fn sync_msg_bytes(msg: &KvMsg<K, V>) -> u64 {
+        const HDR: u64 = 16;
+        let entry = std::mem::size_of::<(K, Tag, V)>() as u64;
+        match msg {
+            KvMsg::SyncPull { .. } | KvMsg::SyncDigest { .. } => HDR,
+            KvMsg::SyncDigestAck { .. } => HDR + 8,
+            KvMsg::SyncState { entries, .. } => HDR + entries.len() as u64 * entry,
+            KvMsg::SyncDiffReq { nodes, .. } => HDR + 8 + nodes.len() as u64 * 4,
+            KvMsg::SyncEntries {
+                children, entries, ..
+            } => HDR + 8 + children.len() as u64 * 12 + entries.len() as u64 * entry,
+            _ => 0,
+        }
+    }
+
+    /// The single send point of the sync protocol (both transfer modes,
+    /// both roles): counts the message, its estimated bytes, and any
+    /// entries it ships, then emits it.
+    fn send_sync(
+        &mut self,
+        to: ProcessId,
+        msg: KvMsg<K, V>,
+        fx: &mut Effects<KvMsg<K, V>, KvResp<V>>,
+    ) {
+        self.recovery_msgs += 1;
+        self.recovery_bytes += Self::sync_msg_bytes(&msg);
+        if let KvMsg::SyncState { entries, .. } | KvMsg::SyncEntries { entries, .. } = &msg {
+            self.sync_entries_sent += entries.len() as u64;
+        }
+        fx.send(to, msg);
+    }
+
+    /// Opens a Merkle sync walk against `peer`.
+    fn start_walk(
+        &mut self,
+        peer: ProcessId,
+        recovery: bool,
+        fx: &mut Effects<KvMsg<K, V>, KvResp<V>>,
+    ) {
+        let uid = self.fresh_uid();
+        self.walks.insert(
+            uid,
+            SyncWalk {
+                peer,
+                recovery,
+                step: 0,
+                req: WalkReq::Root,
+                frontier: VecDeque::new(),
+            },
+        );
+        self.send_sync(peer, KvMsg::SyncDigest { uid }, fx);
+        self.arm_timer(uid, fx);
+    }
+
+    /// Issues walk `uid`'s next [`KvMsg::SyncDiffReq`] batch, or finishes
+    /// the walk when the frontier is empty.
+    fn advance_walk(&mut self, uid: u64, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
+        let Some(walk) = self.walks.get_mut(&uid) else {
+            return;
+        };
+        let take = walk.frontier.len().min(MAX_DIFF_NODES);
+        if take == 0 {
+            self.finish_walk(uid, fx);
+            return;
+        }
+        let batch: Vec<u32> = walk.frontier.drain(..take).collect();
+        walk.req = WalkReq::Nodes(batch.clone());
+        let (peer, step) = (walk.peer, walk.step);
+        self.send_sync(
+            peer,
+            KvMsg::SyncDiffReq {
+                uid,
+                step,
+                nodes: batch,
+            },
+            fx,
+        );
+        self.arm_timer(uid, fx);
+    }
+
+    /// Tears down walk `uid`; a finished *recovery* walk counts its peer
+    /// toward the catch-up read quorum and, on quorum, ends recovery and
+    /// replays the queued invocations.
+    fn finish_walk(&mut self, uid: u64, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
+        let Some(walk) = self.walks.remove(&uid) else {
+            return;
+        };
+        self.disarm_timer(uid, fx);
+        if !walk.recovery {
+            return;
+        }
+        let done = match self.recovering.as_mut() {
+            Some(ph) => {
+                let rid = ph.uid();
+                ph.record(walk.peer, rid);
+                self.cfg.quorum.is_read_quorum(ph.responders())
+            }
+            None => false,
+        };
+        if done {
+            self.recovering = None;
+            while let Some((op, input)) = self.queue.pop_front() {
+                self.begin(op, input, fx);
+            }
+        }
+    }
+
+    /// (Re-)arms the anti-entropy sweep timer, when enabled.
+    fn arm_sweep(&mut self, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
+        if let Some(period) = self.cfg.anti_entropy {
+            fx.set_timer(TimerKey(SWEEP_KEY), period);
+        }
+    }
+
+    /// One anti-entropy sweep firing: walk the next peer round-robin.
+    /// Skipped while recovering (recovery already walks every peer); a
+    /// still-running background walk against the chosen peer is dropped
+    /// first — its adoptions so far are kept, and the fresh walk restarts
+    /// the comparison from the current trees.
+    fn on_sweep(&mut self, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
+        self.arm_sweep(fx);
+        if self.recovering.is_some() || self.cfg.n == 1 {
+            return;
+        }
+        let mut idx = self.sweep_next % self.cfg.n;
+        if idx == self.cfg.me.index() {
+            idx = (idx + 1) % self.cfg.n;
+        }
+        self.sweep_next = idx + 1;
+        let peer = ProcessId(idx);
+        let stale: Vec<u64> = self
+            .walks
+            .iter()
+            .filter(|(_, w)| !w.recovery && w.peer == peer)
+            .map(|(&u, _)| u)
+            .collect();
+        for u in stale {
+            self.walks.remove(&u);
+            self.disarm_timer(u, fx);
+        }
+        self.start_walk(peer, false, fx);
     }
 
     fn arm_timer(&mut self, uid: u64, fx: &mut Effects<KvMsg<K, V>, KvResp<V>>) {
@@ -1016,7 +1379,7 @@ where
                     .iter()
                     .map(|(k, (t, v))| (k.clone(), *t, v.clone()))
                     .collect();
-                fx.send(from, KvMsg::SyncState { uid, entries });
+                self.send_sync(from, KvMsg::SyncState { uid, entries }, fx);
             }
             KvMsg::SyncState { uid, entries } => {
                 let Some(ph) = self.recovering.as_mut() else {
@@ -1036,6 +1399,94 @@ where
                         self.begin(op, input, fx);
                     }
                 }
+            }
+            // ---- Merkle sync walk: peer role (stateless) ----
+            KvMsg::SyncDigest { uid } => {
+                let root = self.tree.root();
+                self.send_sync(from, KvMsg::SyncDigestAck { uid, root }, fx);
+            }
+            KvMsg::SyncDiffReq { uid, step, nodes } => {
+                // Answer from the current tree/store; out-of-range node
+                // ids (a misconfigured bucket count, a corrupt message)
+                // are skipped, never a panic. An empty bucket contributes
+                // no entries — the walker learns that from the reply being
+                // entry-free for that leaf.
+                let mut children = Vec::new();
+                let mut entries = Vec::new();
+                for id in nodes {
+                    if self.tree.digest(id).is_none() {
+                        continue;
+                    }
+                    if let Some((l, r)) = self.tree.children(id) {
+                        children.push((l, self.tree.digest(l).unwrap_or(0)));
+                        children.push((r, self.tree.digest(r).unwrap_or(0)));
+                    } else if let Some(b) = self.tree.bucket_of_leaf(id) {
+                        for k in &self.buckets[b] {
+                            if let Some((t, v)) = self.store.get(k) {
+                                entries.push((k.clone(), *t, v.clone()));
+                            }
+                        }
+                    }
+                }
+                self.send_sync(
+                    from,
+                    KvMsg::SyncEntries {
+                        uid,
+                        step,
+                        children,
+                        entries,
+                    },
+                    fx,
+                );
+            }
+            // ---- Merkle sync walk: walker role ----
+            KvMsg::SyncDigestAck { uid, root } => {
+                let Some(walk) = self.walks.get_mut(&uid) else {
+                    return;
+                };
+                // Only the opening request is answered by an ack; once the
+                // walk has descended, duplicates of the ack are stale.
+                if walk.peer != from || !matches!(walk.req, WalkReq::Root) {
+                    return;
+                }
+                if root == self.tree.root() {
+                    self.finish_walk(uid, fx);
+                    return;
+                }
+                walk.frontier.push_back(0);
+                self.advance_walk(uid, fx);
+            }
+            KvMsg::SyncEntries {
+                uid,
+                step,
+                children,
+                entries,
+            } => {
+                let fresh = match self.walks.get(&uid) {
+                    Some(w) => {
+                        w.peer == from && w.step == step && matches!(w.req, WalkReq::Nodes(_))
+                    }
+                    None => false,
+                };
+                if !fresh {
+                    return;
+                }
+                // Adopt the divergent leaf entries first (monotone, so a
+                // stale entry is a no-op), then prune children that now
+                // match our tree and descend into the rest.
+                for (k, t, v) in entries {
+                    self.adopt(k, t, v);
+                }
+                let next: Vec<u32> = children
+                    .into_iter()
+                    .filter(|&(id, digest)| self.tree.digest(id) != Some(digest))
+                    .map(|(id, _)| id)
+                    .collect();
+                if let Some(walk) = self.walks.get_mut(&uid) {
+                    walk.step += 1;
+                    walk.frontier.extend(next);
+                }
+                self.advance_walk(uid, fx);
             }
             // ---- relay read: server and reader roles ----
             KvMsg::RelayQuery {
@@ -1106,6 +1557,34 @@ where
 
     fn on_timer(&mut self, key: TimerKey, fx: &mut Effects<Self::Msg, Self::Resp>) {
         let uid = key.0;
+        if uid == SWEEP_KEY {
+            self.on_sweep(fx);
+            return;
+        }
+        if self.walks.contains_key(&uid) {
+            // Re-issue the walk's outstanding request; the step echo makes
+            // the eventual duplicate replies harmless.
+            let resend = self.walks.get(&uid).map(|w| {
+                (
+                    w.peer,
+                    match &w.req {
+                        WalkReq::Root => KvMsg::SyncDigest { uid },
+                        WalkReq::Nodes(nodes) => KvMsg::SyncDiffReq {
+                            uid,
+                            step: w.step,
+                            nodes: nodes.clone(),
+                        },
+                    },
+                )
+            });
+            if let Some((peer, msg)) = resend {
+                self.retransmissions += 1;
+                self.send_sync(peer, msg, fx);
+                *self.rtx_attempts.entry(uid).or_insert(0) += 1;
+                self.arm_timer(uid, fx);
+            }
+            return;
+        }
         if let Some(ph) = self.recovering.as_ref() {
             if ph.uid() != uid {
                 return;
@@ -1113,7 +1592,7 @@ where
             let targets = ph.missing();
             self.retransmissions += targets.len() as u64;
             for p in targets {
-                fx.send(p, KvMsg::SyncPull { uid });
+                self.send_sync(p, KvMsg::SyncPull { uid }, fx);
             }
             *self.rtx_attempts.entry(uid).or_insert(0) += 1;
             self.arm_timer(uid, fx);
@@ -1153,25 +1632,52 @@ where
         }
     }
 
+    fn on_start(&mut self, fx: &mut Effects<Self::Msg, Self::Resp>) {
+        self.arm_sweep(fx);
+    }
+
     fn on_restart(&mut self, fx: &mut Effects<Self::Msg, Self::Resp>) {
         // In-flight operations died with the crash; the store is stable
         // storage and survives, but may be stale. Catch up from a read
-        // quorum before serving anything.
+        // quorum before serving anything. The digest tree and bucket index
+        // persist with the store they summarize.
         self.pending.clear();
         self.rtx_attempts.clear();
         self.queue.clear();
         // Relay bookkeeping is volatile too: a post-restart reply still
         // carries the persisted store, which is all the safety argument
-        // needs (see the abd-core SWMR module docs).
+        // needs (see the abd-core SWMR module docs). Walks are plain
+        // request/reply state, also volatile.
         self.relays.clear();
+        self.walks.clear();
+        self.arm_sweep(fx);
         let uid = self.fresh_uid();
         let ph = PhaseTracker::new(uid, self.cfg.n, self.cfg.me);
         if self.cfg.quorum.is_read_quorum(ph.responders()) {
             return;
         }
         self.recovering = Some(ph);
-        self.broadcast(KvMsg::SyncPull { uid }, fx);
-        self.arm_timer(uid, fx);
+        if self.store.len() < self.cfg.sync_threshold {
+            // Bulk fallback: a store this small diverges on essentially
+            // everything, so the digest exchange would only add rounds.
+            for i in 0..self.cfg.n {
+                let p = ProcessId(i);
+                if p != self.cfg.me {
+                    self.send_sync(p, KvMsg::SyncPull { uid }, fx);
+                }
+            }
+            self.arm_timer(uid, fx);
+        } else {
+            // Merkle walk, one per peer. Each finished walk records its
+            // peer in `recovering`; serving resumes at a read quorum, and
+            // the remaining walks keep running as plain anti-entropy.
+            for i in 0..self.cfg.n {
+                let p = ProcessId(i);
+                if p != self.cfg.me {
+                    self.start_walk(p, true, fx);
+                }
+            }
+        }
     }
 }
 
@@ -1198,6 +1704,18 @@ where
 
     fn regular_reads(&self) -> u64 {
         self.regular_reads
+    }
+
+    fn recovery_msgs(&self) -> u64 {
+        self.recovery_msgs
+    }
+
+    fn recovery_bytes(&self) -> u64 {
+        self.recovery_bytes
+    }
+
+    fn sync_entries_sent(&self) -> u64 {
+        self.sync_entries_sent
     }
 }
 
@@ -1512,15 +2030,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn with_fast_reads_shim_still_maps_to_read_mode() {
-        let cfg = KvConfig::new(3, ProcessId(0)).with_fast_reads(true);
-        assert_eq!(cfg.read_mode, ReadMode::FastUnanimous);
-        let cfg = cfg.with_fast_reads(false);
-        assert_eq!(cfg.read_mode, ReadMode::TwoRound);
-    }
-
-    #[test]
     fn relay_get_returns_put_value_in_one_and_a_half_rounds() {
         let mut net: Net<&str, u32> = Net::with(5, |cfg| cfg.with_read_mode(ReadMode::Relay));
         net.invoke(0, KvOp::Put("k", 7));
@@ -1614,5 +2123,368 @@ mod tests {
         node.on_message(ProcessId(1), KvMsg::UpdateAck { uid: 77 }, &mut fx);
         assert!(fx.is_empty());
         assert_eq!(node.local_len(), 0);
+    }
+
+    // ---- Merkle sync: recovery walk, sweep, and bulk edge cases ----
+
+    /// Force the walk path regardless of store size.
+    fn merkle_net(n: usize) -> Net<u32, u64> {
+        Net::with(n, |cfg| cfg.with_sync_threshold(0).with_sync_buckets(16))
+    }
+
+    #[test]
+    fn digest_tree_tracks_the_store_across_nodes() {
+        let mut net = merkle_net(3);
+        for k in 0..20u32 {
+            net.invoke(0, KvOp::Put(k, u64::from(k) * 10));
+        }
+        net.run();
+        let root = net.nodes[0].sync_root();
+        assert_ne!(root, 0);
+        assert_eq!(net.nodes[1].sync_root(), root);
+        assert_eq!(net.nodes[2].sync_root(), root);
+    }
+
+    #[test]
+    fn merkle_restart_catches_up_before_serving_and_replays_once() {
+        let mut net = merkle_net(3);
+        for k in 0..20u32 {
+            net.invoke(0, KvOp::Put(k, 1));
+        }
+        net.run();
+        // Node 2 crashes and misses one overwrite.
+        net.alive[2] = false;
+        net.invoke(0, KvOp::Put(7, 2));
+        net.run();
+        net.take();
+        assert_eq!(*net.nodes[2].local_entry(&7).unwrap().1, 1);
+        net.restart(2);
+        assert!(net.nodes[2].is_recovering());
+        assert_eq!(net.nodes[2].walks_in_flight(), 2);
+        // Mid-recovery invocations queue, then replay exactly once.
+        net.invoke(2, KvOp::Get(7));
+        assert_eq!(net.nodes[2].queue_len(), 1);
+        assert!(net.take().is_empty());
+        net.run();
+        assert!(!net.nodes[2].is_recovering());
+        assert_eq!(net.nodes[2].walks_in_flight(), 0);
+        assert_eq!(*net.nodes[2].local_entry(&7).unwrap().1, 2);
+        let r = net.take();
+        assert_eq!(r, vec![(OpId(21), KvResp::GetOk(Some(2)))]);
+        assert_eq!(net.nodes[2].sync_root(), net.nodes[0].sync_root());
+    }
+
+    #[test]
+    fn merkle_recovery_ships_only_divergent_entries() {
+        let mut net = merkle_net(3);
+        for k in 0..64u32 {
+            net.invoke(0, KvOp::Put(k, 1));
+        }
+        net.run();
+        net.alive[2] = false;
+        net.invoke(0, KvOp::Put(3, 2));
+        net.run();
+        net.take();
+        net.restart(2);
+        net.run();
+        let shipped: u64 = (0..3)
+            .map(|i| net.nodes[i].sync_entries_sent())
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
+        // Each up-to-date peer ships the divergent bucket once. With 16
+        // buckets and 64 keys a bucket holds ~4 keys — nowhere near the
+        // 128 entries bulk transfer would have moved.
+        assert!(shipped >= 1, "the stale key must be shipped");
+        assert!(
+            shipped <= 16,
+            "only divergent buckets travel, got {shipped}"
+        );
+        assert_eq!(*net.nodes[2].local_entry(&3).unwrap().1, 2);
+    }
+
+    #[test]
+    fn merkle_walk_with_identical_stores_moves_no_entries() {
+        let mut net = merkle_net(3);
+        for k in 0..32u32 {
+            net.invoke(0, KvOp::Put(k, 5));
+        }
+        net.run();
+        net.take();
+        net.restart(2);
+        assert!(net.nodes[2].is_recovering());
+        net.run();
+        assert!(!net.nodes[2].is_recovering());
+        let shipped: u64 = (0..3).map(|i| net.nodes[i].sync_entries_sent()).sum();
+        assert_eq!(shipped, 0, "equal roots prune the whole tree");
+    }
+
+    #[test]
+    fn anti_entropy_sweep_repairs_drift_without_a_restart() {
+        let mut net: Net<u32, u64> = Net::with(3, |cfg| {
+            cfg.with_sync_threshold(0)
+                .with_sync_buckets(16)
+                .with_anti_entropy(1_000_000)
+        });
+        for k in 0..16u32 {
+            net.invoke(0, KvOp::Put(k, 1));
+        }
+        net.run();
+        // Node 2 sleeps through an overwrite (gray, not crashed: no
+        // restart, so only the sweep can repair it).
+        net.alive[2] = false;
+        net.invoke(0, KvOp::Put(9, 2));
+        net.run();
+        net.alive[2] = true;
+        net.take();
+        assert_eq!(*net.nodes[2].local_entry(&9).unwrap().1, 1);
+        // Fire node 2's sweep timer until its round-robin cursor has
+        // visited an up-to-date peer.
+        let mut fx = Effects::new();
+        net.nodes[2].on_timer(TimerKey(SWEEP_KEY), &mut fx);
+        net.absorb(ProcessId(2), fx);
+        net.run();
+        assert_eq!(*net.nodes[2].local_entry(&9).unwrap().1, 2);
+        assert_eq!(net.nodes[2].sync_root(), net.nodes[0].sync_root());
+    }
+
+    #[test]
+    fn sweep_rearms_and_stays_quiet_while_recovering() {
+        let mut node: KvNode<u32, u64> = KvNode::new(
+            KvConfig::new(3, ProcessId(0))
+                .with_anti_entropy(500)
+                .with_sync_threshold(usize::MAX),
+        );
+        let mut fx = Effects::new();
+        node.on_start(&mut fx);
+        assert_eq!(
+            fx.timers,
+            vec![abd_core::context::TimerCmd::Set {
+                key: TimerKey(SWEEP_KEY),
+                after: 500
+            }]
+        );
+        let mut fx = Effects::new();
+        node.on_restart(&mut fx);
+        assert!(node.is_recovering());
+        let mut fx2 = Effects::new();
+        node.on_timer(TimerKey(SWEEP_KEY), &mut fx2);
+        assert!(fx2.sends.is_empty(), "no sweep walk while recovering");
+        assert_eq!(fx2.timers.len(), 1, "but the sweep re-arms");
+        drop(fx);
+    }
+
+    #[test]
+    fn duplicated_walk_replies_are_no_ops() {
+        let mut node: KvNode<u32, u64> =
+            KvNode::new(KvConfig::new(3, ProcessId(0)).with_sync_buckets(4));
+        for k in 0..8u32 {
+            node.preload(k, Tag::new(1, ProcessId(1)), 7);
+        }
+        let mut fx = Effects::new();
+        // Open a walk by hand (background kind).
+        node.start_walk(ProcessId(1), false, &mut fx);
+        let uid = match fx.sends.pop() {
+            Some((_, KvMsg::SyncDigest { uid })) => uid,
+            other => panic!("expected SyncDigest, got {other:?}"),
+        };
+        // A mismatching root starts the descent at the tree root.
+        let mut fx = Effects::new();
+        node.on_message(ProcessId(1), KvMsg::SyncDigestAck { uid, root: 1 }, &mut fx);
+        let first_req = fx.sends.clone();
+        assert!(matches!(first_req[0].1, KvMsg::SyncDiffReq { step: 0, .. }));
+        // A duplicate of the ack must not restart or double-drive the walk.
+        let mut fx = Effects::new();
+        node.on_message(ProcessId(1), KvMsg::SyncDigestAck { uid, root: 1 }, &mut fx);
+        assert!(fx.sends.is_empty(), "duplicate ack ignored");
+        // A reply with a stale step is ignored too.
+        let mut fx = Effects::new();
+        node.on_message(
+            ProcessId(1),
+            KvMsg::SyncEntries {
+                uid,
+                step: 9,
+                children: vec![(1, 123), (2, 456)],
+                entries: vec![],
+            },
+            &mut fx,
+        );
+        assert!(fx.sends.is_empty(), "stale-step reply ignored");
+        // The matching-step reply advances the walk.
+        let mut fx = Effects::new();
+        node.on_message(
+            ProcessId(1),
+            KvMsg::SyncEntries {
+                uid,
+                step: 0,
+                children: vec![(1, 123), (2, 456)],
+                entries: vec![],
+            },
+            &mut fx,
+        );
+        assert!(matches!(fx.sends[0].1, KvMsg::SyncDiffReq { step: 1, .. }));
+    }
+
+    #[test]
+    fn bulk_sync_with_empty_stores_on_both_sides_completes() {
+        let mut net: Net<u32, u64> = Net::new(3);
+        net.restart(2);
+        assert!(net.nodes[2].is_recovering());
+        net.invoke(2, KvOp::Get(1));
+        net.run();
+        assert!(!net.nodes[2].is_recovering());
+        assert_eq!(net.nodes[2].local_len(), 0);
+        assert_eq!(net.take(), vec![(OpId(0), KvResp::GetOk(None))]);
+    }
+
+    #[test]
+    fn sync_state_tag_tie_with_differing_value_keeps_existing_entry() {
+        let mut node: KvNode<u32, u64> = KvNode::new(KvConfig::new(3, ProcessId(0)));
+        let t = Tag::new(4, ProcessId(1));
+        node.preload(1, t, 111);
+        let root = node.sync_root();
+        let mut fx = Effects::new();
+        node.on_restart(&mut fx);
+        let uid = match fx.sends.first() {
+            Some((_, KvMsg::SyncPull { uid })) => *uid,
+            other => panic!("expected SyncPull, got {other:?}"),
+        };
+        // A peer claims a *different* value at the same tag. Max-merge is
+        // strictly-greater, so the local entry (and digest) must survive —
+        // adopting a tag-tied different value would let two replicas
+        // permanently disagree under an equal digest.
+        let mut fx = Effects::new();
+        node.on_message(
+            ProcessId(1),
+            KvMsg::SyncState {
+                uid,
+                entries: vec![(1, t, 999)],
+            },
+            &mut fx,
+        );
+        node.on_message(
+            ProcessId(2),
+            KvMsg::SyncState {
+                uid,
+                entries: vec![(1, t, 999)],
+            },
+            &mut fx,
+        );
+        assert!(!node.is_recovering());
+        assert_eq!(node.local_entry(&1), Some((t, &111)));
+        assert_eq!(node.sync_root(), root);
+    }
+
+    #[test]
+    fn mid_recovery_invocations_replay_exactly_once_per_duplicate_state() {
+        let mut node: KvNode<u32, u64> = KvNode::new(KvConfig::new(3, ProcessId(0)));
+        let mut fx = Effects::new();
+        node.on_restart(&mut fx);
+        let uid = match fx.sends.first() {
+            Some((_, KvMsg::SyncPull { uid })) => *uid,
+            other => panic!("expected SyncPull, got {other:?}"),
+        };
+        let mut fx = Effects::new();
+        node.on_invoke(OpId(1), KvOp::Get(5), &mut fx);
+        assert_eq!(node.queue_len(), 1);
+        // First quorum-completing SyncState drains the queue...
+        let mut fx = Effects::new();
+        node.on_message(
+            ProcessId(1),
+            KvMsg::SyncState {
+                uid,
+                entries: vec![(5, Tag::new(1, ProcessId(1)), 42)],
+            },
+            &mut fx,
+        );
+        node.on_message(
+            ProcessId(2),
+            KvMsg::SyncState {
+                uid,
+                entries: vec![],
+            },
+            &mut fx,
+        );
+        assert_eq!(node.queue_len(), 0);
+        let query_uids: Vec<u64> = fx
+            .sends
+            .iter()
+            .filter_map(|(_, m)| match m {
+                KvMsg::Query { uid, .. } => Some(*uid),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            query_uids.len(),
+            2,
+            "the drained get broadcast one query round"
+        );
+        let quid = query_uids[0];
+        assert_eq!(node.in_flight(), 1);
+        // ...and a duplicated straggler SyncState must not replay it.
+        let mut fx = Effects::new();
+        node.on_message(
+            ProcessId(2),
+            KvMsg::SyncState {
+                uid,
+                entries: vec![],
+            },
+            &mut fx,
+        );
+        assert!(fx.is_empty(), "duplicate state replays nothing");
+        assert_eq!(node.in_flight(), 1, "still exactly one instance of the get");
+        // Completing the query round responds exactly once.
+        node.on_message(
+            ProcessId(1),
+            KvMsg::QueryReply {
+                uid: quid,
+                tag: Tag::new(1, ProcessId(1)),
+                value: Some(42),
+            },
+            &mut fx,
+        );
+        node.on_message(
+            ProcessId(2),
+            KvMsg::QueryReply {
+                uid: quid,
+                tag: Tag::new(1, ProcessId(1)),
+                value: Some(42),
+            },
+            &mut fx,
+        );
+        // The atomic get write-backs what it read; ack the round.
+        let wb_uid = match fx
+            .sends
+            .iter()
+            .find(|(_, m)| matches!(m, KvMsg::Update { .. }))
+        {
+            Some((_, KvMsg::Update { uid, .. })) => *uid,
+            other => panic!("expected write-back Update, got {other:?}"),
+        };
+        node.on_message(ProcessId(1), KvMsg::UpdateAck { uid: wb_uid }, &mut fx);
+        node.on_message(ProcessId(2), KvMsg::UpdateAck { uid: wb_uid }, &mut fx);
+        let gets: Vec<_> = fx
+            .responses
+            .iter()
+            .filter(|(op, _)| *op == OpId(1))
+            .collect();
+        assert_eq!(gets.len(), 1, "queued get responded exactly once");
+    }
+
+    #[test]
+    fn recovery_counters_account_bulk_traffic() {
+        let mut net: Net<u32, u64> = Net::new(3);
+        net.invoke(0, KvOp::Put(1, 10));
+        net.run();
+        net.take();
+        net.restart(2);
+        net.run();
+        // The recovering node sent 2 SyncPulls; each peer one SyncState.
+        assert_eq!(net.nodes[2].recovery_msgs(), 2);
+        assert_eq!(net.nodes[0].recovery_msgs(), 1);
+        assert_eq!(net.nodes[1].recovery_msgs(), 1);
+        let shipped: u64 = (0..3).map(|i| net.nodes[i].sync_entries_sent()).sum();
+        assert_eq!(shipped, 2, "each peer ships its single entry");
+        assert!(net.nodes[0].recovery_bytes() > net.nodes[2].recovery_bytes());
     }
 }

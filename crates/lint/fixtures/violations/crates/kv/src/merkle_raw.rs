@@ -1,0 +1,29 @@
+//! Fixture: raw Merkle-tree mutations (never compiled).
+//!
+//! The tree is an incremental digest of the store; the `digest_update`
+//! helper is the one place a store write and its tree delta (plus the
+//! bucket-index upkeep) happen together. Calling `apply_delta` anywhere
+//! else desynchronizes the two and makes sync walks prune subtrees that
+//! actually diverge. Mentioning `apply_delta` in prose is not a call site.
+
+pub fn adopt(&mut self, key: u32, tag: Tag, value: u64) {
+    let kh = key_hash(&key);
+    self.tree.apply_delta(kh, None, Some(tag)); // raw: skips bucket upkeep
+    self.store.insert(key, (tag, value));
+}
+
+pub fn digest_update(&mut self, key: &u32, old: Option<Tag>, new: Tag) {
+    let kh = key_hash(key);
+    self.tree.apply_delta(kh, old, Some(new)); // the one blessed call site
+}
+
+pub fn compliant(&mut self, key: u32, tag: Tag) {
+    self.digest_update(&key, None, tag);
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_code_is_exempt(t: &mut MerkleTree) {
+        t.apply_delta(7, None, None);
+    }
+}

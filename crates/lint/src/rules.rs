@@ -1,4 +1,4 @@
-//! The ten protocol-invariant rules.
+//! The eleven protocol-invariant rules.
 //!
 //! | id | invariant |
 //! |----|-----------|
@@ -12,8 +12,9 @@
 //! | `tag-monotonicity`   | stored tag/label fields are only assigned under a comparison (or via `max`/`cmp`) against the incoming value — labels must never move backwards |
 //! | `phase-graph`        | each protocol file declares its handler→phase transition graph (`abd-lint: phase-spec(...)`); the graph extracted from the handler bodies must match it exactly |
 //! | `exhaustive-msg-handling` | the top-level `match msg` in `on_message` covers every variant of the message enum it matches on |
+//! | `merkle-digest-helper` | every Merkle-tree mutation (`apply_delta`) in protocol code goes through the single `digest_update` helper, which also maintains the bucket index — a raw call can desynchronize tree and store, and a desynchronized tree makes the sync walk silently skip divergent keys |
 //!
-//! Rules 1–6 are line-anchored token/AST checks; rules 7–10 are semantic
+//! Rules 1–6 and 11 are line-anchored token/AST checks; rules 7–10 are semantic
 //! checks over flow facts (see [`crate::flow`]). All operate on the
 //! cleaned source view (see [`crate::source`]), so comments and string
 //! literals never trigger them.
@@ -85,6 +86,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "the `match msg` in on_message covers every variant of its \
                   message enum",
     },
+    RuleInfo {
+        id: "merkle-digest-helper",
+        summary: "Merkle-tree mutations go through the `digest_update` helper; \
+                  no raw `apply_delta` calls outside it",
+    },
 ];
 
 /// Handler functions whose bodies form the protocol message path.
@@ -153,6 +159,7 @@ pub fn check_file(file: &SourceFile, ws: &Workspace) -> FileOutcome {
     wildcard_and_exhaustive(file, &ast, &tk, ws, &mut out);
     raw_quorum_arith(file, &tk, &mut out);
     fast_path_helper(file, &tk, &mut out);
+    merkle_digest_helper(file, &ast, &tk, &mut out);
     persist_before_ack(file, &ast, &tk, &mut out);
     tag_monotonicity(file, &ast, &tk, &mut out);
     let graph = phase_graph(file, &ast, &mut out);
@@ -476,6 +483,49 @@ fn fast_path_helper(file: &SourceFile, tk: &Toks, out: &mut Vec<Finding>) {
     }
 }
 
+/// `merkle-digest-helper`: the Merkle tree is an incrementally-maintained
+/// digest of the store, and the two stay consistent only if every store
+/// mutation and its tree delta happen together. The `digest_update` helper
+/// is the one place that does both (it also maintains the per-bucket key
+/// index the walk serves leaves from). A raw `apply_delta` call anywhere
+/// else in protocol code can desynchronize tree and store, and a
+/// desynchronized tree makes the sync walk prune subtrees that actually
+/// diverge — silently skipping keys a recovering replica needs. The
+/// definition site (`crates/core/src/merkle.rs`, where `apply_delta` is
+/// declared, documented and unit-tested) and test code are exempt.
+fn merkle_digest_helper(file: &SourceFile, ast: &Ast, tk: &Toks, out: &mut Vec<Finding>) {
+    if !in_crates(&file.rel, &["core", "kv"]) || file.rel == "crates/core/src/merkle.rs" {
+        return;
+    }
+    let helper_bodies: Vec<(usize, usize)> = ast
+        .all_fns()
+        .into_iter()
+        .filter(|f| f.name == "digest_update")
+        .filter_map(|f| f.body.as_ref().map(|b| (b.open, b.close)))
+        .collect();
+    for c in calls_in(tk, 0, tk.toks.len()) {
+        if c.name != "apply_delta" || file.in_test_code(tk.off(c.tok)) {
+            continue;
+        }
+        if helper_bodies
+            .iter()
+            .any(|&(open, close)| c.tok > open && c.tok < close)
+        {
+            continue;
+        }
+        out.push(finding(
+            file,
+            "merkle-digest-helper",
+            tk.off(c.tok),
+            "raw Merkle mutation: `apply_delta` outside `digest_update` can \
+             desynchronize the tree from the store (and skips the bucket-index \
+             upkeep), making sync walks prune divergent subtrees; route the \
+             mutation through the node's `digest_update` helper"
+                .to_string(),
+        ));
+    }
+}
+
 /// `persist-before-ack`: within each linear group of a handler body (a
 /// top-level match arm, or a run of statements between matches), an
 /// ack/reply send must not precede the group's first persistent-state
@@ -781,6 +831,29 @@ mod tests {
             "fn f(&self) -> bool { let u = census.unanimous(); fast_read_allowed(q, r, u) }\n";
         let f = check("crates/kv/src/node.rs", src);
         assert_eq!(f.iter().filter(|f| f.rule == "fast-path-helper").count(), 1);
+    }
+
+    #[test]
+    fn raw_apply_delta_flagged_outside_digest_update() {
+        let bad = "fn adopt(&mut self, kh: u64) { self.tree.apply_delta(kh, old, new); }\n";
+        assert_eq!(
+            rule_count("crates/kv/src/node.rs", bad, "merkle-digest-helper"),
+            1
+        );
+        let good = "fn digest_update(&mut self, kh: u64) { self.tree.apply_delta(kh, old, new); }\nfn adopt(&mut self, kh: u64) { self.digest_update(kh); }\n";
+        assert_eq!(
+            rule_count("crates/kv/src/node.rs", good, "merkle-digest-helper"),
+            0
+        );
+        // The definition site, test code, and out-of-scope crates are exempt.
+        assert!(check("crates/core/src/merkle.rs", bad).is_empty());
+        let in_test =
+            "#[cfg(test)]\nmod tests { fn t(tr: &mut T) { tr.apply_delta(1, None, None); } }\n";
+        assert_eq!(
+            rule_count("crates/kv/src/node.rs", in_test, "merkle-digest-helper"),
+            0
+        );
+        assert!(check("crates/simnet/src/sim.rs", bad).is_empty());
     }
 
     #[test]

@@ -111,6 +111,21 @@ fn fast_path_helper_flags_calls_only() {
 }
 
 #[test]
+fn merkle_digest_helper_flags_raw_apply_delta_only() {
+    let f = scan("violations");
+    let md: Vec<&Finding> = f
+        .iter()
+        .filter(|f| f.rule == "merkle-digest-helper")
+        .collect();
+    // The raw call in `adopt` — but never the blessed call inside
+    // `digest_update`, the helper call site, the doc prose, or the test
+    // module.
+    assert_eq!(md.len(), 1, "{md:?}");
+    assert_eq!(md[0].file, "crates/kv/src/merkle_raw.rs");
+    assert_eq!(md[0].line, 11, "{md:?}");
+}
+
+#[test]
 fn persist_before_ack_flags_ack_first_arm_only() {
     let f = scan("violations");
     let pa: Vec<&Finding> = f

@@ -29,6 +29,11 @@
 //!   still inside its restart catch-up phase: reads racing recovery.
 //! - **Retransmission-exhaustion** — log₂ bucket of the campaign's total
 //!   retransmissions: how hard the loss/partition plan starved phases.
+//! - **Sync-divergence** — log₂ bucket of the `(key, tag, value)` entries a
+//!   restarted node received through the sync protocol (bulk snapshot or
+//!   Merkle walk) before the campaign ended: how far the schedule let that
+//!   replica diverge before recovery repaired it. Bucket 0 — a reboot that
+//!   needed no entries at all — is itself a distinct feature.
 //! - **Trace-digest buckets** — 64 buckets of the execution digest, a crude
 //!   but free tiebreaker that distinguishes schedules whose feature sets
 //!   coincide.
@@ -43,6 +48,7 @@ use abd_core::batch::Envelope;
 use abd_core::msg::{RegisterMsg, RegisterOp};
 use abd_core::quorum::majority_threshold;
 use abd_core::types::{Consistency, Nanos, OpId, ProcessId};
+use abd_kv::{KvMsg, KvOp};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -65,6 +71,18 @@ pub enum MsgKind {
     RelayReply,
     /// A coalesced envelope carrying several inner messages.
     Batch,
+    /// A bulk catch-up request (full-snapshot sync).
+    SyncPull,
+    /// A bulk catch-up reply carrying a full `(key, tag, value)` snapshot.
+    SyncState,
+    /// A Merkle walk opener (root-digest request).
+    SyncDigest,
+    /// A Merkle walk root-digest reply.
+    SyncDigestAck,
+    /// A Merkle walk descent request (batch of tree nodes to expand).
+    SyncDiffReq,
+    /// A Merkle walk descent reply (children digests + leaf entries).
+    SyncEntries,
 }
 
 impl fmt::Display for MsgKind {
@@ -78,6 +96,12 @@ impl fmt::Display for MsgKind {
             MsgKind::RelayFwd => "RelayFwd",
             MsgKind::RelayReply => "RelayReply",
             MsgKind::Batch => "Batch",
+            MsgKind::SyncPull => "SyncPull",
+            MsgKind::SyncState => "SyncState",
+            MsgKind::SyncDigest => "SyncDigest",
+            MsgKind::SyncDigestAck => "SyncDigestAck",
+            MsgKind::SyncDiffReq => "SyncDiffReq",
+            MsgKind::SyncEntries => "SyncEntries",
         };
         f.write_str(s)
     }
@@ -89,6 +113,14 @@ impl fmt::Display for MsgKind {
 pub trait Classify {
     /// The [`MsgKind`] of this message.
     fn classify(&self) -> MsgKind;
+
+    /// How many `(key, tag, value)` entries this message carries as sync
+    /// payload. Non-zero only for sync replies (`SyncState` snapshots and
+    /// Merkle `SyncEntries`); defaults to zero so protocols without a sync
+    /// layer never feed the divergence signal.
+    fn sync_entries(&self) -> u64 {
+        0
+    }
 }
 
 impl<L, V> Classify for RegisterMsg<L, V> {
@@ -110,6 +142,41 @@ impl<M: Classify> Classify for Envelope<M> {
         match self {
             Envelope::One(m) => m.classify(),
             Envelope::Batch(_) => MsgKind::Batch,
+        }
+    }
+
+    fn sync_entries(&self) -> u64 {
+        match self {
+            Envelope::One(m) => m.sync_entries(),
+            Envelope::Batch(ms) => ms.iter().map(Classify::sync_entries).sum(),
+        }
+    }
+}
+
+impl<K, V> Classify for KvMsg<K, V> {
+    fn classify(&self) -> MsgKind {
+        match self {
+            KvMsg::Query { .. } => MsgKind::Query,
+            KvMsg::QueryReply { .. } => MsgKind::QueryReply,
+            KvMsg::Update { .. } => MsgKind::Update,
+            KvMsg::UpdateAck { .. } => MsgKind::UpdateAck,
+            KvMsg::RelayQuery { .. } => MsgKind::RelayQuery,
+            KvMsg::RelayFwd { .. } => MsgKind::RelayFwd,
+            KvMsg::RelayReply { .. } => MsgKind::RelayReply,
+            KvMsg::SyncPull { .. } => MsgKind::SyncPull,
+            KvMsg::SyncState { .. } => MsgKind::SyncState,
+            KvMsg::SyncDigest { .. } => MsgKind::SyncDigest,
+            KvMsg::SyncDigestAck { .. } => MsgKind::SyncDigestAck,
+            KvMsg::SyncDiffReq { .. } => MsgKind::SyncDiffReq,
+            KvMsg::SyncEntries { .. } => MsgKind::SyncEntries,
+        }
+    }
+
+    fn sync_entries(&self) -> u64 {
+        match self {
+            KvMsg::SyncState { entries, .. } => entries.len() as u64,
+            KvMsg::SyncEntries { entries, .. } => entries.len() as u64,
+            _ => 0,
         }
     }
 }
@@ -134,6 +201,20 @@ impl<V> ClassifyOp for RegisterOp<V> {
 
     fn read_tier(&self) -> Option<Consistency> {
         self.consistency()
+    }
+}
+
+impl<K, V> ClassifyOp for KvOp<K, V> {
+    fn is_read(&self) -> bool {
+        !matches!(self, KvOp::Put(_, _))
+    }
+
+    fn read_tier(&self) -> Option<Consistency> {
+        match self {
+            KvOp::Get(_) => Some(Consistency::Atomic),
+            KvOp::GetAt(_, tier) => Some(*tier),
+            KvOp::Put(_, _) => None,
+        }
     }
 }
 
@@ -176,6 +257,15 @@ pub enum Cell {
     TierRead(Consistency),
     /// log₂ bucket of total retransmissions over the campaign.
     RetransmissionExhaustion(u8),
+    /// log₂ bucket of the sync entries (`SyncState` snapshot rows plus
+    /// Merkle `SyncEntries` rows) delivered to some restarted node —
+    /// how divergent a replica the schedule managed to produce before
+    /// recovery repaired it. Bucket 0 means a node rebooted and needed no
+    /// entries at all (digest-equal walk or empty snapshot); each higher
+    /// bucket is a reboot into a more divergent store, steering the search
+    /// toward partial-staleness schedules the Merkle walk must diff
+    /// precisely.
+    SyncDivergence(u8),
     /// Trace digest modulo 64 — distinguishes executions whose feature
     /// cells coincide.
     DigestBucket(u8),
@@ -199,6 +289,7 @@ impl fmt::Display for Cell {
             Cell::RestartQueryGap(b) => write!(f, "restart-query-gap/2^{b}"),
             Cell::TierRead(tier) => write!(f, "tier-read/{tier}"),
             Cell::RetransmissionExhaustion(b) => write!(f, "retransmission-exhaustion/2^{b}"),
+            Cell::SyncDivergence(b) => write!(f, "sync-divergence/2^{b}"),
             Cell::DigestBucket(b) => write!(f, "digest-bucket/{b}"),
         }
     }
@@ -304,6 +395,10 @@ pub struct CoverageCollector {
     read_in_flight: Vec<Option<(OpId, Consistency, bool, bool)>>,
     /// Per node: instant of the most recent restart, cleared on crash.
     restarted_at: Vec<Option<Nanos>>,
+    /// Per node: sync entries delivered since the most recent restart;
+    /// reset on crash and restart so the count measures one reboot's
+    /// divergence, not a lifetime total.
+    sync_entries_recv: Vec<u64>,
     cells: BTreeSet<Cell>,
 }
 
@@ -318,6 +413,7 @@ impl CoverageCollector {
             catchup_replies: majority_threshold(n).saturating_sub(1) as u32,
             read_in_flight: vec![None; n],
             restarted_at: vec![None; n],
+            sync_entries_recv: vec![0; n],
             cells: BTreeSet::new(),
         }
     }
@@ -344,6 +440,7 @@ impl CoverageCollector {
                             });
                         }
                         self.last_kind[t] = Some(kind);
+                        self.sync_entries_recv[t] += msg.sync_entries();
                         match kind {
                             MsgKind::Query => {
                                 if self.recovering[t] > 0 {
@@ -398,10 +495,12 @@ impl CoverageCollector {
                 self.recovering[t] = 0;
                 self.read_in_flight[t] = None;
                 self.restarted_at[t] = None;
+                self.sync_entries_recv[t] = 0;
             }
             TapKind::Restart => {
                 self.recovering[t] = self.catchup_replies;
                 self.restarted_at[t] = Some(ev.at);
+                self.sync_entries_recv[t] = 0;
             }
             TapKind::TimerFire => {}
         }
@@ -413,6 +512,15 @@ impl CoverageCollector {
             .insert(Cell::RetransmissionExhaustion(log2_bucket(
                 metrics.retransmissions,
             )));
+        for t in 0..self.restarted_at.len() {
+            // Only nodes still up after a reboot report divergence — a node
+            // that crashed again had its reboot's count wiped with the rest
+            // of its state.
+            if self.restarted_at[t].is_some() {
+                self.cells
+                    .insert(Cell::SyncDivergence(log2_bucket(self.sync_entries_recv[t])));
+            }
+        }
         self.cells.insert(digest_bucket(trace_digest));
         CoverageSample { cells: self.cells }
     }
@@ -697,6 +805,155 @@ mod tests {
         assert!(map.covers_digest(7));
         assert!(!map.covers_digest(8));
         assert_eq!(map.len(), s.len());
+    }
+
+    fn kv_deliver<'a>(
+        at: u64,
+        target: usize,
+        msg: &'a KvMsg<u32, u64>,
+        dropped: Option<DropReason>,
+    ) -> TapEvent<'a, KvMsg<u32, u64>, KvOp<u32, u64>> {
+        TapEvent {
+            at,
+            target: ProcessId(target),
+            partition_active: false,
+            kind: TapKind::Deliver {
+                from: ProcessId(0),
+                msg,
+                dropped,
+            },
+        }
+    }
+
+    fn kv_restart(at: u64, target: usize) -> TapEvent<'static, KvMsg<u32, u64>, KvOp<u32, u64>> {
+        TapEvent {
+            at,
+            target: ProcessId(target),
+            partition_active: false,
+            kind: TapKind::Restart,
+        }
+    }
+
+    #[test]
+    fn kv_sync_msgs_classify_onto_sync_kinds() {
+        use abd_core::types::Tag;
+        let pull: KvMsg<u32, u64> = KvMsg::SyncPull { uid: 1 };
+        assert_eq!(pull.classify(), MsgKind::SyncPull);
+        assert_eq!(pull.sync_entries(), 0);
+        let state: KvMsg<u32, u64> = KvMsg::SyncState {
+            uid: 1,
+            entries: vec![(7, Tag::new(1, ProcessId(0)), 9)],
+        };
+        assert_eq!(state.classify(), MsgKind::SyncState);
+        assert_eq!(state.sync_entries(), 1);
+        let digest: KvMsg<u32, u64> = KvMsg::SyncDigest { uid: 2 };
+        assert_eq!(digest.classify(), MsgKind::SyncDigest);
+        let ack: KvMsg<u32, u64> = KvMsg::SyncDigestAck { uid: 2, root: 5 };
+        assert_eq!(ack.classify(), MsgKind::SyncDigestAck);
+        let req: KvMsg<u32, u64> = KvMsg::SyncDiffReq {
+            uid: 2,
+            step: 0,
+            nodes: vec![0],
+        };
+        assert_eq!(req.classify(), MsgKind::SyncDiffReq);
+        let ent: KvMsg<u32, u64> = KvMsg::SyncEntries {
+            uid: 2,
+            step: 0,
+            children: vec![(1, 3)],
+            entries: vec![
+                (7, Tag::new(1, ProcessId(0)), 9),
+                (8, Tag::new(2, ProcessId(1)), 10),
+            ],
+        };
+        assert_eq!(ent.classify(), MsgKind::SyncEntries);
+        assert_eq!(ent.sync_entries(), 2);
+    }
+
+    #[test]
+    fn kv_ops_classify_reads_and_tiers() {
+        let get: KvOp<u32, u64> = KvOp::Get(1);
+        assert!(get.is_read());
+        assert_eq!(get.read_tier(), Some(Consistency::Atomic));
+        let seq: KvOp<u32, u64> = KvOp::GetAt(1, Consistency::Sequential);
+        assert_eq!(seq.read_tier(), Some(Consistency::Sequential));
+        let put: KvOp<u32, u64> = KvOp::Put(1, 2);
+        assert!(!put.is_read());
+        assert_eq!(put.read_tier(), None);
+    }
+
+    #[test]
+    fn sync_divergence_buckets_entries_since_restart() {
+        use abd_core::types::Tag;
+        let mut c = CoverageCollector::new(3, ProcessId(0));
+        c.observe(&kv_restart(1_000, 2));
+        // 9 entries across one snapshot and one walk reply:
+        // 2^3 < 9 <= 2^4 → bucket 4.
+        let state = KvMsg::SyncState {
+            uid: 1,
+            entries: (0..7).map(|k| (k, Tag::new(1, ProcessId(0)), 0)).collect(),
+        };
+        let ent = KvMsg::SyncEntries {
+            uid: 2,
+            step: 0,
+            children: vec![],
+            entries: (0..2).map(|k| (k, Tag::new(2, ProcessId(1)), 0)).collect(),
+        };
+        c.observe(&kv_deliver(2_000, 2, &state, None));
+        c.observe(&kv_deliver(3_000, 2, &ent, None));
+        let s = c.finish(&Metrics::default(), 0);
+        assert!(s.contains(&Cell::SyncDivergence(4)));
+        // Only the restarted node reports; nodes that never rebooted are
+        // silent even though node 2's count is non-zero.
+        assert_eq!(
+            s.cells()
+                .filter(|c| matches!(c, Cell::SyncDivergence(_)))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn clean_reboot_lights_bucket_zero_and_crash_wipes_the_count() {
+        // A reboot that needed no sync entries is bucket 0 — a distinct
+        // feature (digest-equal walk).
+        let mut c = CoverageCollector::new(3, ProcessId(0));
+        c.observe(&kv_restart(1_000, 1));
+        let s = c.finish(&Metrics::default(), 0);
+        assert!(s.contains(&Cell::SyncDivergence(0)));
+
+        // A node that received entries but then crashed again reports
+        // nothing: its reboot never survived to the end of the campaign.
+        let mut c = CoverageCollector::new(3, ProcessId(0));
+        c.observe(&kv_restart(1_000, 1));
+        use abd_core::types::Tag;
+        let state = KvMsg::SyncState {
+            uid: 1,
+            entries: vec![(3, Tag::new(1, ProcessId(0)), 4)],
+        };
+        c.observe(&kv_deliver(2_000, 1, &state, None));
+        let crash: TapEvent<'_, KvMsg<u32, u64>, KvOp<u32, u64>> = TapEvent {
+            at: 3_000,
+            target: ProcessId(1),
+            partition_active: false,
+            kind: TapKind::Crash,
+        };
+        c.observe(&crash);
+        let s = c.finish(&Metrics::default(), 0);
+        assert!(
+            !s.cells().any(|c| matches!(c, Cell::SyncDivergence(_))),
+            "crash wipes the reboot's divergence count"
+        );
+
+        // Dropped deliveries never count toward divergence.
+        let mut c = CoverageCollector::new(3, ProcessId(0));
+        c.observe(&kv_restart(1_000, 1));
+        let state = KvMsg::SyncState {
+            uid: 1,
+            entries: vec![(3, Tag::new(1, ProcessId(0)), 4)],
+        };
+        c.observe(&kv_deliver(2_000, 1, &state, Some(DropReason::Crashed)));
+        let s = c.finish(&Metrics::default(), 0);
+        assert!(s.contains(&Cell::SyncDivergence(0)));
     }
 
     #[test]

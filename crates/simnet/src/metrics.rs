@@ -58,6 +58,16 @@ pub struct Metrics {
     /// Reads completed at `Consistency::Regular` (query round only). Same
     /// caveat as [`Metrics::fast_reads`].
     pub regular_reads: u64,
+    /// Sync-protocol messages sent (bulk `SyncPull`/`SyncState` and the
+    /// Merkle walk), across recovery and background anti-entropy. Same
+    /// caveat as [`Metrics::fast_reads`].
+    pub recovery_msgs: u64,
+    /// Estimated payload bytes of those sync messages. Same caveat as
+    /// [`Metrics::fast_reads`].
+    pub recovery_bytes: u64,
+    /// `(key, tag, value)` entries shipped in sync replies. Same caveat as
+    /// [`Metrics::fast_reads`].
+    pub sync_entries_sent: u64,
 }
 
 impl Metrics {

@@ -861,6 +861,9 @@ where
         m.relay_reads = self.nodes.iter().map(|n| n.proto.relay_reads()).sum();
         m.sc_reads = self.nodes.iter().map(|n| n.proto.sc_reads()).sum();
         m.regular_reads = self.nodes.iter().map(|n| n.proto.regular_reads()).sum();
+        m.recovery_msgs = self.nodes.iter().map(|n| n.proto.recovery_msgs()).sum();
+        m.recovery_bytes = self.nodes.iter().map(|n| n.proto.recovery_bytes()).sum();
+        m.sync_entries_sent = self.nodes.iter().map(|n| n.proto.sync_entries_sent()).sum();
         m
     }
 }
